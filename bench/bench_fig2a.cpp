@@ -1,0 +1,61 @@
+// Reproduces Fig. 2(a): performance of Q1 for prospective adaptations
+// (assessment A1, response R2) with the web-service call on one of the
+// two machines made 10x, 20x and 30x costlier. Reported in normalised
+// response time (no-adaptivity / no-imbalance = 1).
+//
+// Paper reference series:
+//   adaptivity disabled: 3.53, 6.66, 9.76
+//   adaptivity enabled:  1.45, 2.48, 3.79
+
+#include "bench/bench_util.h"
+
+using namespace gqp;
+using namespace gqp::bench;
+
+int main() {
+  Banner("Fig. 2(a) — Q1, prospective adaptations (A1 + R2)",
+         "one WS call 10/20/30 times costlier; normalised response time");
+
+  ExperimentParams base;
+  base.query = QueryKind::kQ1;
+  base.response = ResponseType::kProspective;
+  base.assessment = AssessmentType::kA1;
+  base.repetitions = Repetitions();
+
+  // Baseline: no imbalance, no adaptivity.
+  ExperimentParams baseline = base;
+  baseline.name = "fig2a-baseline";
+  baseline.adaptivity = false;
+  const ExperimentResult base_result = MustRun(baseline);
+  std::printf("baseline (no ad / no imb): %.1f virtual ms\n",
+              base_result.response_ms);
+
+  const double paper_noad[] = {3.53, 6.66, 9.76};
+  const double paper_ad[] = {1.45, 2.48, 3.79};
+  const double factors[] = {10, 20, 30};
+
+  std::printf("\n%-12s %-22s %-22s\n", "perturb",
+              "adaptivity disabled", "adaptivity enabled");
+  std::printf("%-12s %-10s %-11s %-10s %-11s\n", "", "measured", "(paper)",
+              "measured", "(paper)");
+  for (int i = 0; i < 3; ++i) {
+    ExperimentParams noad = base;
+    noad.name = StrCat("fig2a-noad-", factors[i], "x");
+    noad.adaptivity = false;
+    noad.perturbations = {
+        {0, PerturbSpec::Kind::kFactor, factors[i], 0, 0, 0, 0, 0}};
+    const ExperimentResult noad_result = MustRun(noad);
+
+    ExperimentParams ad = base;
+    ad.name = StrCat("fig2a-ad-", factors[i], "x");
+    ad.adaptivity = true;
+    ad.perturbations = noad.perturbations;
+    const ExperimentResult ad_result = MustRun(ad);
+
+    std::printf("%-12s %-10.2f %-11.2f %-10.2f %-11.2f\n",
+                StrCat(factors[i], "x").c_str(),
+                Normalized(noad_result, base_result), paper_noad[i],
+                Normalized(ad_result, base_result), paper_ad[i]);
+  }
+  return 0;
+}

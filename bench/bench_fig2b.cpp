@@ -1,0 +1,63 @@
+// Reproduces Fig. 2(b): performance of Q1 under different adaptivity
+// policies — (A1+R2), (A1+R1), (A2+R2) — for 10x/20x/30x WS perturbation.
+//
+// Expected qualitative results (Section 3.2):
+//  - A1 (communication cost ignored, pipelining assumed) beats A2;
+//  - retrospective (R1) behaves better than prospective (R2) for bigger
+//    perturbations, and its bars stay roughly flat across perturbation
+//    sizes.
+
+#include "bench/bench_util.h"
+
+using namespace gqp;
+using namespace gqp::bench;
+
+int main() {
+  Banner("Fig. 2(b) — Q1 under different adaptivity policies",
+         "A1+R2 vs A1+R1 vs A2+R2; one WS 10/20/30 times costlier");
+
+  ExperimentParams base;
+  base.query = QueryKind::kQ1;
+  base.repetitions = Repetitions();
+
+  ExperimentParams baseline = base;
+  baseline.name = "fig2b-baseline";
+  baseline.adaptivity = false;
+  const ExperimentResult base_result = MustRun(baseline);
+
+  struct Policy {
+    const char* label;
+    AssessmentType assessment;
+    ResponseType response;
+  };
+  const Policy policies[] = {
+      {"A1+R2", AssessmentType::kA1, ResponseType::kProspective},
+      {"A1+R1", AssessmentType::kA1, ResponseType::kRetrospective},
+      {"A2+R2", AssessmentType::kA2, ResponseType::kProspective},
+  };
+  const double factors[] = {10, 20, 30};
+
+  std::printf("\n%-10s %-12s %-12s %-12s\n", "perturb", "A1+R2", "A1+R1",
+              "A2+R2");
+  for (const double factor : factors) {
+    std::printf("%-10s", StrCat(factor, "x").c_str());
+    for (const Policy& policy : policies) {
+      ExperimentParams p = base;
+      p.name = StrCat("fig2b-", policy.label, "-", factor, "x");
+      p.adaptivity = true;
+      p.assessment = policy.assessment;
+      p.response = policy.response;
+      p.perturbations = {
+          {0, PerturbSpec::Kind::kFactor, factor, 0, 0, 0, 0, 0}};
+      const ExperimentResult r = MustRun(p);
+      std::printf(" %-12.2f", Normalized(r, base_result));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape: A1+R1 roughly flat in the perturbation size and "
+      "best at 30x;\nA1 variants <= A2+R2 (A2 mixes in communication costs "
+      "that overlap with\nprocessing under pipelined parallelism, degrading "
+      "the repartitioning decision).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 4(a)-(c): performance of Q1 for retrospective
+// adaptations with three evaluator machines and a varying number of
+// perturbed machines (0..3), for perturbation sizes 10x, 20x and 30x.
+//
+// Expected results (Section 3.2, "Varying the number of perturbed
+// machines"): with adaptivity the performance degrades very gracefully;
+// as long as at least one machine is unperturbed the adaptive response is
+// nearly independent of the perturbation magnitude; the relative
+// degradation improves on the static system by up to an order of
+// magnitude.
+
+#include "bench/bench_util.h"
+
+using namespace gqp;
+using namespace gqp::bench;
+
+int main() {
+  Banner("Fig. 4(a)-(c) — Q1, retrospective adaptations, 3 evaluators",
+         "0..3 machines perturbed by 10x/20x/30x");
+
+  ExperimentParams base;
+  base.query = QueryKind::kQ1;
+  base.response = ResponseType::kRetrospective;
+  base.num_evaluators = 3;
+  base.repetitions = Repetitions();
+
+  ExperimentParams baseline = base;
+  baseline.name = "fig4-baseline";
+  baseline.adaptivity = false;
+  const ExperimentResult base_result = MustRun(baseline);
+  std::printf("baseline (no ad / no imb, 3 evaluators): %.1f virtual ms\n",
+              base_result.response_ms);
+
+  const double factors[] = {10, 20, 30};
+  for (const double factor : factors) {
+    std::printf("\nFig. 4 — perturbation %sx\n", StrCat(factor).c_str());
+    std::printf("%-22s %-22s %-20s\n", "#perturbed machines",
+                "adaptivity disabled", "adaptivity enabled");
+    for (int perturbed = 0; perturbed <= 3; ++perturbed) {
+      std::vector<PerturbSpec> specs;
+      for (int m = 0; m < perturbed; ++m) {
+        specs.push_back({m, PerturbSpec::Kind::kFactor, factor, 0, 0, 0, 0, 0});
+      }
+
+      ExperimentParams noad = base;
+      noad.name = StrCat("fig4-noad-", factor, "x-", perturbed);
+      noad.adaptivity = false;
+      noad.perturbations = specs;
+      const ExperimentResult noad_result = MustRun(noad);
+
+      ExperimentParams ad = base;
+      ad.name = StrCat("fig4-ad-", factor, "x-", perturbed);
+      ad.adaptivity = true;
+      ad.perturbations = specs;
+      const ExperimentResult ad_result = MustRun(ad);
+
+      std::printf("%-22d %-22.2f %-20.2f\n", perturbed,
+                  Normalized(noad_result, base_result),
+                  Normalized(ad_result, base_result));
+    }
+  }
+  std::printf(
+      "\nexpected shape: adaptive curves flat while >= 1 machine is "
+      "unperturbed and\nsimilar across 10x/20x/30x; static curves grow "
+      "steeply with both axes.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the substrate components:
+// regression guards for the pieces whose cost the simulation depends on.
+// These are not paper experiments; they keep the engine honest.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "exec/distribution_policy.h"
+#include "ft/recovery_log.h"
+#include "monitor/window_average.h"
+#include "sim/simulator.h"
+#include "storage/datagen.h"
+
+namespace gqp {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.Schedule(static_cast<double>(i % 97), [] {});
+    }
+    sim.RunToCompletion();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_RngGaussian(benchmark::State& state) {
+  Rng rng(7);
+  double sink = 0;
+  for (auto _ : state) {
+    sink += rng.NextTruncatedGaussian(30, 5, 20, 40);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_WindowAverage(benchmark::State& state) {
+  WindowAverage window(25);
+  Rng rng(3);
+  double sink = 0;
+  for (auto _ : state) {
+    window.Add(rng.NextDouble());
+    sink += window.Average();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_WindowAverage);
+
+void BM_HashBucketRoute(benchmark::State& state) {
+  ExchangeDesc desc;
+  desc.policy = PolicyKind::kHashBuckets;
+  desc.key_col = 0;
+  desc.num_buckets = 120;
+  auto policy = MakePolicy(desc, {0.5, 0.3, 0.2}).TakeValue();
+  auto schema = MakeSchema({{"orf", DataType::kString}});
+  std::vector<Tuple> tuples;
+  for (size_t i = 0; i < 512; ++i) {
+    tuples.emplace_back(schema, std::vector<Value>{Value(OrfKey(i))});
+  }
+  size_t i = 0;
+  int sink = 0;
+  for (auto _ : state) {
+    int bucket;
+    sink += policy->Route(tuples[i++ % tuples.size()], &bucket);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_HashBucketRoute);
+
+void BM_WeightedRoundRobinRoute(benchmark::State& state) {
+  WeightedRoundRobinPolicy policy({0.4, 0.3, 0.2, 0.1});
+  auto schema = MakeSchema({{"x", DataType::kInt64}});
+  Tuple t(schema, {Value(static_cast<int64_t>(1))});
+  int sink = 0;
+  for (auto _ : state) {
+    sink += policy.Route(t, nullptr);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_WeightedRoundRobinRoute);
+
+void BM_RecoveryLogAppendAck(benchmark::State& state) {
+  auto schema = MakeSchema({{"x", DataType::kInt64}});
+  Tuple t(schema, {Value(static_cast<int64_t>(42))});
+  for (auto _ : state) {
+    RecoveryLog log;
+    for (uint64_t s = 1; s <= static_cast<uint64_t>(state.range(0)); ++s) {
+      log.Append(LogRecord{s, static_cast<int>(s % 120), 0, t});
+    }
+    for (uint64_t s = 1; s <= static_cast<uint64_t>(state.range(0)); ++s) {
+      log.Ack(s);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecoveryLogAppendAck)->Arg(1000);
+
+void BM_RecoveryLogExtractMoved(benchmark::State& state) {
+  auto schema = MakeSchema({{"x", DataType::kInt64}});
+  Tuple t(schema, {Value(static_cast<int64_t>(42))});
+  for (auto _ : state) {
+    state.PauseTiming();
+    RecoveryLog log;
+    for (uint64_t s = 1; s <= 3000; ++s) {
+      log.Append(LogRecord{s, static_cast<int>(s % 120), 0, t});
+    }
+    state.ResumeTiming();
+    auto recalled = log.Extract(
+        [](const LogRecord& rec) { return rec.bucket < 30; });
+    benchmark::DoNotOptimize(recalled.size());
+  }
+}
+BENCHMARK(BM_RecoveryLogExtractMoved);
+
+void BM_ShannonEntropy(benchmark::State& state) {
+  ProteinSequencesSpec spec;
+  spec.num_rows = 1;
+  spec.sequence_length = 200;
+  auto table = GenerateProteinSequences(spec);
+  const std::string& seq = table->row(0).at(1).AsString();
+  double sink = 0;
+  for (auto _ : state) {
+    sink += ShannonEntropy(seq);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ShannonEntropy);
+
+void BM_ValueHash(benchmark::State& state) {
+  Value v(OrfKey(12345));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += v.Hash();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ValueHash);
+
+}  // namespace
+}  // namespace gqp
+
+BENCHMARK_MAIN();

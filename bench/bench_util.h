@@ -1,0 +1,48 @@
+// Shared reporting helpers for the paper-reproduction benchmark binaries.
+// Each binary regenerates one table or figure of the paper's evaluation
+// and prints rows in "paper vs measured" form.
+
+#ifndef GRIDQP_BENCH_BENCH_UTIL_H_
+#define GRIDQP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+
+#include "workload/experiment.h"
+
+namespace gqp::bench {
+
+/// Prints a banner naming the experiment being reproduced.
+inline void Banner(const std::string& title, const std::string& detail) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", detail.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Runs an experiment, printing an error and aborting the binary on
+/// failure (a bench that cannot execute its workload must not report).
+inline ExperimentResult MustRun(const ExperimentParams& params) {
+  ExperimentResult result = RunExperiment(params);
+  if (!result.ok) {
+    std::fprintf(stderr, "FATAL: experiment '%s' failed: %s\n",
+                 params.name.c_str(), result.error.c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+/// Quick environment flag for shorter runs (REPS=1 in CI loops).
+inline int Repetitions(int fallback = 3) {
+  const char* reps = std::getenv("GRIDQP_BENCH_REPS");
+  if (reps == nullptr) return fallback;
+  const int value = std::atoi(reps);
+  return value > 0 ? value : fallback;
+}
+
+}  // namespace gqp::bench
+
+#endif  // GRIDQP_BENCH_BENCH_UTIL_H_

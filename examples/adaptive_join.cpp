@@ -1,0 +1,124 @@
+// Adaptive partitioned hash join (the paper's Q2 scenario): the join of
+// protein_sequences with protein_interactions is partitioned over two
+// machines; one machine sleeps 10 ms before every join tuple. With the
+// retrospective (R1) response, the system repartitions the join's hash
+// table state through the recovery logs at runtime. The example shows the
+// final state distribution and verifies the join result against a locally
+// computed reference.
+//
+//   ./build/examples/adaptive_join
+
+#include <cstdio>
+#include <set>
+
+#include "storage/datagen.h"
+#include "workload/experiment.h"
+#include "workload/grid_setup.h"
+
+using namespace gqp;
+
+namespace {
+
+size_t ReferenceJoinSize(const Table& sequences, const Table& interactions) {
+  std::set<std::string> orfs;
+  for (const Tuple& row : sequences.rows()) orfs.insert(row[0].AsString());
+  size_t matches = 0;
+  for (const Tuple& row : interactions.rows()) {
+    if (orfs.count(row[0].AsString()) > 0) ++matches;
+  }
+  return matches;
+}
+
+struct RunOutcome {
+  double response_ms = -1;
+  size_t rows = 0;
+};
+
+RunOutcome RunOnce(bool adaptive, const TablePtr& sequences,
+                   const TablePtr& interactions) {
+  GridOptions grid_options;
+  grid_options.num_evaluators = 2;
+  grid_options.adaptive = adaptive;
+  GridSetup grid(grid_options);
+  if (!grid.Initialize().ok()) return {};
+
+  (void)grid.AddTable(sequences);
+  (void)grid.AddTable(interactions);
+  (void)grid.AddWebService("EntropyAnalyser", DataType::kDouble, 0.21);
+
+  // sleep(10 ms) before each join tuple on machine 0 — the paper's second
+  // load-injection method.
+  (void)grid.PerturbEvaluator(0, "op:hash_join",
+                              std::make_shared<AddedDelayPerturbation>(10.0));
+
+  QueryOptions options;
+  options.adaptivity.enabled = adaptive;
+  options.adaptivity.response = ResponseType::kRetrospective;
+  options.optimizer.costs.scan_cost_ms = 3.5;
+  options.optimizer.costs.join_probe_cost_ms = 1.0;
+  options.optimizer.costs.join_build_cost_ms = 0.5;
+
+  Result<int> query =
+      grid.gdqs()->SubmitQuery(QuerySql(QueryKind::kQ2), options);
+  if (!query.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 query.status().ToString().c_str());
+    return {};
+  }
+  grid.simulator()->RunToCompletion();
+  Result<QueryResult> result = grid.gdqs()->GetResult(*query);
+  if (!result.ok() || !result->complete) return {};
+
+  // Inspect the join state that ended up on each machine.
+  std::printf("  join build-state distribution:");
+  for (int i = 0; i < 2; ++i) {
+    Gqes* gqes = grid.gqes_on(grid.evaluator_node(i)->id());
+    for (FragmentExecutor* executor : gqes->Executors()) {
+      if (const HashJoinOperator* join = executor->FindHashJoin()) {
+        std::printf(" machine%d=%zu", i, join->StateSize());
+      }
+    }
+  }
+  Result<QueryStatsSnapshot> stats = grid.gdqs()->CollectStats(*query);
+  if (stats.ok() && adaptive) {
+    std::printf("  (resent through recovery logs: %llu tuples, rounds: %llu)",
+                static_cast<unsigned long long>(stats->resent_tuples),
+                static_cast<unsigned long long>(stats->rounds_applied));
+  }
+  std::printf("\n");
+  return {result->response_time_ms, result->rows.size()};
+}
+
+}  // namespace
+
+int main() {
+  TablePtr sequences = GenerateProteinSequences({});
+  TablePtr interactions = GenerateProteinInteractions({});
+  const size_t expected = ReferenceJoinSize(*sequences, *interactions);
+  std::printf("Q2: join of %zu sequences with %zu interactions "
+              "(expected %zu result rows)\n",
+              sequences->num_rows(), interactions->num_rows(), expected);
+  std::printf("machine 0 sleeps 10 ms before every join tuple\n");
+
+  std::printf("\n-- static execution --\n");
+  const RunOutcome static_run = RunOnce(false, sequences, interactions);
+  std::printf("  response: %.1f virtual ms, %zu rows\n",
+              static_run.response_ms, static_run.rows);
+
+  std::printf("\n-- adaptive execution (A1 + R1, state repartitioning) --\n");
+  const RunOutcome adaptive_run = RunOnce(true, sequences, interactions);
+  std::printf("  response: %.1f virtual ms, %zu rows\n",
+              adaptive_run.response_ms, adaptive_run.rows);
+
+  if (static_run.rows != expected || adaptive_run.rows != expected) {
+    std::fprintf(stderr,
+                 "FATAL: result cardinality mismatch (expected %zu)\n",
+                 expected);
+    return 1;
+  }
+  std::printf(
+      "\nresult correctness verified; adaptive is %.2fx faster while "
+      "producing the identical join result\n",
+      static_run.response_ms / adaptive_run.response_ms);
+  return 0;
+}

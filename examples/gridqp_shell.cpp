@@ -1,0 +1,184 @@
+// Interactive GridQP shell: a small grid with the demo protein database,
+// accepting SQL on stdin. Meta commands:
+//
+//   \explain <sql>     show the bound logical plan and the scheduled
+//                      physical fragments without running the query
+//   \perturb <i> <k>   make evaluator i's WS/join work k times costlier
+//   \fail <i>          crash evaluator i (takes effect on the next query)
+//   \adaptivity on|off toggle the AGQES adaptivity loop (default on)
+//   \stats             monitoring/adaptation counters of the last query
+//   \quit
+//
+//   echo "select i.orf1, count(*) from protein_interactions i
+//         group by i.orf1" | ./build/examples/gridqp_shell
+
+#include <cstdio>
+#include <unistd.h>
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "plan/binder.h"
+#include "storage/datagen.h"
+#include "workload/experiment.h"
+#include "workload/grid_setup.h"
+
+using namespace gqp;
+
+namespace {
+
+void PrintRows(const QueryResult& result, size_t limit = 20) {
+  std::printf("%s\n", result.schema->ToString().c_str());
+  for (size_t i = 0; i < result.rows.size() && i < limit; ++i) {
+    std::printf("  %s\n", result.rows[i].ToString().c_str());
+  }
+  if (result.rows.size() > limit) {
+    std::printf("  ... (%zu rows total)\n", result.rows.size());
+  }
+  std::printf("%zu rows in %.1f virtual ms\n", result.rows.size(),
+              result.response_time_ms);
+}
+
+}  // namespace
+
+int main() {
+  GridOptions grid_options;
+  grid_options.num_evaluators = 3;
+  GridSetup grid(grid_options);
+  if (!grid.Initialize().ok()) return 1;
+  (void)grid.AddTable(GenerateProteinSequences({}));
+  (void)grid.AddTable(GenerateProteinInteractions({}));
+  (void)grid.AddWebService("EntropyAnalyser", DataType::kDouble, 0.21);
+
+  bool adaptivity = true;
+  int last_query = -1;
+  const bool tty = isatty(0);
+
+  std::printf("GridQP shell — 1 coordinator, 1 data node, 3 evaluators\n");
+  std::printf("tables: protein_sequences (3000), protein_interactions "
+              "(4700); WS: EntropyAnalyser\n");
+
+  std::string line;
+  while (true) {
+    if (tty) std::printf("gridqp> ");
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (!tty) std::printf("gridqp> %s\n", line.c_str());
+
+    if (line[0] == '\\') {
+      std::istringstream in(line.substr(1));
+      std::string cmd;
+      in >> cmd;
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "adaptivity") {
+        std::string mode;
+        in >> mode;
+        adaptivity = mode != "off";
+        std::printf("adaptivity %s\n", adaptivity ? "on" : "off");
+        continue;
+      }
+      if (cmd == "perturb") {
+        int evaluator = -1;
+        double factor = 1;
+        in >> evaluator >> factor;
+        for (const char* tag : {"ws:EntropyAnalyser", "op:hash_join",
+                                "op:hash_aggregate"}) {
+          const Status s = grid.PerturbEvaluator(
+              evaluator, tag,
+              std::make_shared<ConstantFactorPerturbation>(factor));
+          if (!s.ok()) {
+            std::printf("error: %s\n", s.ToString().c_str());
+            break;
+          }
+        }
+        std::printf("evaluator %d perturbed x%.1f\n", evaluator, factor);
+        continue;
+      }
+      if (cmd == "fail") {
+        int evaluator = -1;
+        in >> evaluator;
+        const Status s = grid.FailEvaluator(evaluator);
+        std::printf("%s\n", s.ok() ? "machine crashed"
+                                   : s.ToString().c_str());
+        continue;
+      }
+      if (cmd == "stats") {
+        if (last_query < 0) {
+          std::printf("no query yet\n");
+          continue;
+        }
+        auto stats = grid.gdqs()->CollectStats(last_query);
+        if (!stats.ok()) {
+          std::printf("error: %s\n", stats.status().ToString().c_str());
+          continue;
+        }
+        std::printf("raw M1 %llu, raw M2 %llu, MED digests %llu, proposals "
+                    "%llu, rounds applied %llu, resent %llu\n",
+                    static_cast<unsigned long long>(stats->raw_m1),
+                    static_cast<unsigned long long>(stats->raw_m2),
+                    static_cast<unsigned long long>(stats->med_notifications),
+                    static_cast<unsigned long long>(
+                        stats->diagnoser_proposals),
+                    static_cast<unsigned long long>(stats->rounds_applied),
+                    static_cast<unsigned long long>(stats->resent_tuples));
+        std::printf("tuples per evaluator:");
+        for (const uint64_t n : stats->tuples_per_evaluator) {
+          std::printf(" %llu", static_cast<unsigned long long>(n));
+        }
+        std::printf("\n");
+        continue;
+      }
+      if (cmd == "explain") {
+        std::string sql;
+        std::getline(in, sql);
+        Result<LogicalNodePtr> logical = PlanSql(sql, *grid.catalog());
+        if (!logical.ok()) {
+          std::printf("error: %s\n", logical.status().ToString().c_str());
+          continue;
+        }
+        std::printf("-- logical plan --\n%s",
+                    (*logical)->TreeString().c_str());
+        Result<PhysicalPlan> physical = CreatePhysicalPlan(*logical, {});
+        if (!physical.ok()) {
+          std::printf("error: %s\n", physical.status().ToString().c_str());
+          continue;
+        }
+        Result<ScheduledPlan> scheduled =
+            SchedulePlan(*physical, *grid.registry(), {});
+        if (!scheduled.ok()) {
+          std::printf("error: %s\n", scheduled.status().ToString().c_str());
+          continue;
+        }
+        std::printf("-- scheduled physical plan --\n%s",
+                    scheduled->ToString().c_str());
+        continue;
+      }
+      std::printf("unknown command \\%s\n", cmd.c_str());
+      continue;
+    }
+
+    QueryOptions options;
+    options.adaptivity.enabled = adaptivity;
+    options.adaptivity.response = ResponseType::kRetrospective;
+    Result<int> query = grid.gdqs()->SubmitQuery(line, options);
+    if (!query.ok()) {
+      std::printf("error: %s\n", query.status().ToString().c_str());
+      continue;
+    }
+    grid.simulator()->RunToCompletion();
+    if (!grid.gdqs()->QueryComplete(*query)) {
+      std::printf("error: query did not complete (%s)\n",
+                  grid.gdqs()->ExecutionStatus(*query).ToString().c_str());
+      continue;
+    }
+    Result<QueryResult> result = grid.gdqs()->GetResult(*query);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    last_query = *query;
+    PrintRows(*result);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fault tolerance in action: the partitioned join of Q2 is running on
+// three machines when one of them crashes. The recovery logs kept by the
+// exchange producers (the substrate the paper reuses for retrospective
+// adaptation) contain every tuple whose effects are not yet safe
+// downstream — including the hash-table state of the dead machine — so
+// the Responder redistributes them to the survivors and the query
+// completes with the full result.
+//
+//   ./build/examples/node_failure
+
+#include <cstdio>
+#include <set>
+
+#include "storage/datagen.h"
+#include "workload/experiment.h"
+#include "workload/grid_setup.h"
+
+using namespace gqp;
+
+int main() {
+  TablePtr sequences = GenerateProteinSequences({});
+  TablePtr interactions = GenerateProteinInteractions({});
+
+  std::set<std::string> orfs;
+  for (const Tuple& row : sequences->rows()) orfs.insert(row[0].AsString());
+  size_t expected = 0;
+  for (const Tuple& row : interactions->rows()) {
+    if (orfs.count(row[0].AsString()) > 0) ++expected;
+  }
+
+  GridOptions grid_options;
+  grid_options.num_evaluators = 3;
+  grid_options.adaptive = true;
+  GridSetup grid(grid_options);
+  if (!grid.Initialize().ok()) return 1;
+  (void)grid.AddTable(sequences);
+  (void)grid.AddTable(interactions);
+  (void)grid.AddWebService("EntropyAnalyser", DataType::kDouble, 0.21);
+
+  QueryOptions options;
+  options.adaptivity.enabled = true;
+  options.adaptivity.response = ResponseType::kRetrospective;
+  options.optimizer.costs.scan_cost_ms = 1.0;
+
+  std::printf("running Q2 (%zu x %zu partitioned hash join, 3 machines); "
+              "expecting %zu result rows\n",
+              sequences->num_rows(), interactions->num_rows(), expected);
+
+  Result<int> query =
+      grid.gdqs()->SubmitQuery(QuerySql(QueryKind::kQ2), options);
+  if (!query.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  grid.simulator()->Schedule(2000.0, [&grid] {
+    std::printf("[%8.1f ms] machine 0 crashes\n", grid.simulator()->Now());
+    const Status s = grid.FailEvaluator(0);
+    if (!s.ok()) {
+      std::fprintf(stderr, "failure injection failed: %s\n",
+                   s.ToString().c_str());
+    }
+  });
+
+  grid.simulator()->RunToCompletion();
+
+  if (!grid.gdqs()->QueryComplete(*query)) {
+    std::fprintf(stderr, "query did not complete after the crash\n");
+    return 1;
+  }
+  Result<QueryResult> result = grid.gdqs()->GetResult(*query);
+  if (!result.ok()) return 1;
+
+  Result<QueryStatsSnapshot> stats = grid.gdqs()->CollectStats(*query);
+  std::printf("query completed in %.1f virtual ms with %zu rows "
+              "(expected %zu; at-least-once, extras = unacknowledged "
+              "window at the crash)\n",
+              result->response_time_ms, result->rows.size(), expected);
+  if (stats.ok()) {
+    std::printf("recovered through the logs: %llu tuples resent, "
+                "%llu recovery/adaptation rounds\n",
+                static_cast<unsigned long long>(stats->resent_tuples),
+                static_cast<unsigned long long>(stats->rounds_applied));
+  }
+  // Surviving machines' state sizes.
+  for (int i = 1; i < 3; ++i) {
+    Gqes* gqes = grid.gqes_on(grid.evaluator_node(i)->id());
+    for (FragmentExecutor* executor : gqes->Executors()) {
+      if (const HashJoinOperator* join = executor->FindHashJoin()) {
+        std::printf("survivor machine %d holds %zu build tuples\n", i,
+                    join->StateSize());
+      }
+    }
+  }
+  return result->rows.size() >= expected ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// Adaptivity policy knobs (Section 3.1 of the paper). Defaults are the
+// paper's: thresM = thresA = 20%, window = 25 events, M1 every 10 tuples,
+// assessment A1, response R2.
+
+#ifndef GRIDQP_ADAPT_ADAPTIVITY_CONFIG_H_
+#define GRIDQP_ADAPT_ADAPTIVITY_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+
+namespace gqp {
+
+/// How the Diagnoser computes the cost per tuple c(p_i) of a subplan:
+/// A1 uses only the subplan's own processing cost (M1); A2 additionally
+/// charges the communication cost of delivering its input (M2).
+enum class AssessmentType { kA1, kA2 };
+
+/// How the Responder changes the data distribution: R2 (prospective)
+/// affects only future tuples; R1 (retrospective) also redistributes the
+/// recovery logs (and thereby recreates operator state elsewhere).
+enum class ResponseType { kProspective, kRetrospective };
+
+std::string_view AssessmentTypeToString(AssessmentType a);
+std::string_view ResponseTypeToString(ResponseType r);
+
+struct AdaptivityConfig {
+  bool enabled = true;
+  AssessmentType assessment = AssessmentType::kA1;
+  ResponseType response = ResponseType::kProspective;
+  /// MED notification threshold (relative change of the windowed average).
+  double thres_m = 0.20;
+  /// Diagnoser trigger threshold (relative change of any weight).
+  double thres_a = 0.20;
+  /// MED sliding-window length.
+  size_t window = 25;
+  /// Raw events before a MED group publishes its first digest.
+  size_t min_events = 4;
+  /// Responder skips adaptation when the average input progress exceeds
+  /// this fraction ("execution close to completion").
+  double progress_guard = 0.90;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_ADAPT_ADAPTIVITY_CONFIG_H_

@@ -1,0 +1,143 @@
+#include "adapt/diagnoser.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gqp {
+
+std::string_view AssessmentTypeToString(AssessmentType a) {
+  switch (a) {
+    case AssessmentType::kA1:
+      return "A1";
+    case AssessmentType::kA2:
+      return "A2";
+  }
+  return "?";
+}
+
+std::string_view ResponseTypeToString(ResponseType r) {
+  switch (r) {
+    case ResponseType::kProspective:
+      return "R2";
+    case ResponseType::kRetrospective:
+      return "R1";
+  }
+  return "?";
+}
+
+Diagnoser::Diagnoser(MessageBus* bus, HostId host, std::string name,
+                     AdaptivityConfig config, int target_fragment,
+                     std::vector<SubplanId> instances,
+                     std::vector<double> initial_weights)
+    : GridService(bus, host, std::move(name)),
+      config_(config),
+      target_fragment_(target_fragment),
+      instances_(std::move(instances)),
+      weights_(std::move(initial_weights)),
+      processing_cost_(instances_.size(), -1.0),
+      comm_cost_(instances_.size(), 0.0),
+      dead_(instances_.size(), false) {}
+
+int Diagnoser::InstanceIndex(const SubplanId& id) const {
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Diagnoser::HandleMessage(const Message& msg) {
+  if (const auto* notice = PayloadAs<FailureNoticePayload>(msg.payload)) {
+    const int idx = notice->consumer_index();
+    if (idx >= 0 && static_cast<size_t>(idx) < dead_.size()) {
+      dead_[static_cast<size_t>(idx)] = true;
+    }
+    return;
+  }
+  GQP_LOG_DEBUG << "diagnoser: unexpected direct payload "
+                << (msg.payload ? msg.payload->TypeName() : "null");
+}
+
+void Diagnoser::OnNotification(const Address& /*publisher*/,
+                               const std::string& topic,
+                               const PayloadPtr& body) {
+  if (topic == kTopicWeightsApplied) {
+    const auto* applied = PayloadAs<WeightsAppliedPayload>(body);
+    if (applied != nullptr &&
+        applied->target_fragment() == target_fragment_ &&
+        applied->weights().size() == weights_.size()) {
+      weights_ = applied->weights();
+    }
+    return;
+  }
+  if (topic != kTopicMonitoringAverages) return;
+  const auto* digest = PayloadAs<MonitoringAveragePayload>(body);
+  if (digest == nullptr) return;
+  ++stats_.digests_received;
+
+  switch (digest->kind()) {
+    case MonitoringAveragePayload::Kind::kProcessingCost: {
+      const int idx = InstanceIndex(digest->subplan());
+      if (idx < 0) return;  // some other subplan (e.g. a scan fragment)
+      processing_cost_[static_cast<size_t>(idx)] = digest->average_ms();
+      break;
+    }
+    case MonitoringAveragePayload::Kind::kCommunicationCost: {
+      const int idx = InstanceIndex(digest->recipient());
+      if (idx < 0) return;
+      const double per_buffer = digest->average_ms();
+      const double tuples = digest->avg_tuples_per_buffer();
+      comm_cost_[static_cast<size_t>(idx)] =
+          tuples > 0 ? per_buffer / tuples : 0.0;
+      break;
+    }
+  }
+  Evaluate();
+}
+
+void Diagnoser::Evaluate() {
+  // Need a cost estimate for every live instance before proposing
+  // anything; crashed instances are excluded entirely (weight 0).
+  std::vector<double> total(instances_.size(), 0.0);
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (dead_[i]) continue;
+    if (processing_cost_[i] < 0.0) return;
+    total[i] = processing_cost_[i];
+    if (config_.assessment == AssessmentType::kA2) {
+      total[i] += comm_cost_[i];
+    }
+    if (total[i] <= 0.0) total[i] = 1e-9;
+  }
+
+  // W' with w'_i inversely proportional to c(p_i).
+  double denom = 0.0;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (!dead_[i]) denom += 1.0 / total[i];
+  }
+  if (denom <= 0.0) return;
+  std::vector<double> proposed(instances_.size(), 0.0);
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (!dead_[i]) proposed[i] = (1.0 / total[i]) / denom;
+  }
+
+  // Trigger only when some weight changes by more than thresA (relative).
+  bool trigger = false;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    const double base = std::max(weights_[i], 1e-9);
+    if (std::abs(proposed[i] - weights_[i]) / base > config_.thres_a) {
+      trigger = true;
+      break;
+    }
+  }
+  if (!trigger) return;
+
+  ++stats_.proposals_sent;
+  const Status s = Publish(
+      kTopicImbalance, std::make_shared<ImbalanceProposalPayload>(
+                           target_fragment_, proposed, total));
+  if (!s.ok()) {
+    GQP_LOG_WARN << "diagnoser: proposal publish failed: " << s.ToString();
+  }
+}
+
+}  // namespace gqp

@@ -1,0 +1,88 @@
+// Diagnoser: the assessment stage of the adaptivity loop (Fig. 1). One per
+// query. Subscribes to MonitoringEventDetector digests; maintains the
+// current tuple-distribution vector W and the latest cost per tuple c(p_i)
+// of every instance of the monitored partitioned subplan; proposes a
+// balanced vector W' with w'_i inversely proportional to c(p_i) whenever
+// some weight would change by more than thresA.
+
+#ifndef GRIDQP_ADAPT_DIAGNOSER_H_
+#define GRIDQP_ADAPT_DIAGNOSER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "adapt/adaptivity_config.h"
+#include "exec/exchange_messages.h"
+#include "monitor/monitoring_events.h"
+#include "rpc/service.h"
+
+namespace gqp {
+
+/// Proposal published by the Diagnoser on kTopicImbalance.
+class ImbalanceProposalPayload : public Payload {
+ public:
+  ImbalanceProposalPayload(int target_fragment, std::vector<double> weights,
+                           std::vector<double> costs)
+      : target_fragment_(target_fragment),
+        weights_(std::move(weights)),
+        costs_(std::move(costs)) {}
+
+  size_t WireSize() const override {
+    return 32 + 16 * weights_.size();
+  }
+  std::string_view TypeName() const override { return "ImbalanceProposal"; }
+
+  int target_fragment() const { return target_fragment_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<double>& costs() const { return costs_; }
+
+ private:
+  int target_fragment_;
+  std::vector<double> weights_;
+  std::vector<double> costs_;
+};
+
+struct DiagnoserStats {
+  uint64_t digests_received = 0;
+  uint64_t proposals_sent = 0;
+};
+
+/// \brief The Diagnoser grid service.
+class Diagnoser : public GridService {
+ public:
+  /// `instances` are the monitored subplan instances in consumer order;
+  /// `initial_weights` is the scheduler's W.
+  Diagnoser(MessageBus* bus, HostId host, std::string name,
+            AdaptivityConfig config, int target_fragment,
+            std::vector<SubplanId> instances,
+            std::vector<double> initial_weights);
+
+  const DiagnoserStats& stats() const { return stats_; }
+  const std::vector<double>& current_weights() const { return weights_; }
+
+ protected:
+  void HandleMessage(const Message& msg) override;
+  void OnNotification(const Address& publisher, const std::string& topic,
+                      const PayloadPtr& body) override;
+
+ private:
+  /// Index of a subplan instance in the consumer order; -1 if unknown.
+  int InstanceIndex(const SubplanId& id) const;
+  void Evaluate();
+
+  AdaptivityConfig config_;
+  int target_fragment_;
+  std::vector<SubplanId> instances_;
+  std::vector<double> weights_;
+  /// Latest M1 windowed average per instance (<0: unknown).
+  std::vector<double> processing_cost_;
+  /// Latest per-tuple communication cost per instance (A2 assessment).
+  std::vector<double> comm_cost_;
+  /// Instances reported crashed (excluded from balancing).
+  std::vector<bool> dead_;
+  DiagnoserStats stats_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_ADAPT_DIAGNOSER_H_

@@ -1,0 +1,247 @@
+#include "adapt/responder.h"
+
+#include "common/logging.h"
+
+namespace gqp {
+
+Responder::Responder(MessageBus* bus, HostId host, std::string name,
+                     AdaptivityConfig config, int target_fragment,
+                     std::vector<ConsumerEndpoint> producers,
+                     std::vector<double> initial_weights)
+    : GridService(bus, host, std::move(name)),
+      config_(config),
+      target_fragment_(target_fragment),
+      producers_(std::move(producers)),
+      weights_(std::move(initial_weights)) {}
+
+void Responder::OnNotification(const Address& /*publisher*/,
+                               const std::string& topic,
+                               const PayloadPtr& body) {
+  if (topic != kTopicImbalance) return;
+  const auto* proposal = PayloadAs<ImbalanceProposalPayload>(body);
+  if (proposal == nullptr || proposal->target_fragment() != target_fragment_) {
+    return;
+  }
+  ++stats_.proposals_received;
+  if (!adaptation_enabled_) {
+    ++stats_.skipped_disabled;
+    return;
+  }
+  // Keep only the newest proposal; rounds are serialized.
+  pending_proposal_ = proposal->weights();
+  MaybeStartRound();
+}
+
+void Responder::HandleMessage(const Message& msg) {
+  if (const auto* reply = PayloadAs<ProgressReplyPayload>(msg.payload)) {
+    OnProgressReply(*reply);
+    return;
+  }
+  if (const auto* outcome =
+          PayloadAs<RedistributeOutcomePayload>(msg.payload)) {
+    OnOutcome(*outcome);
+    return;
+  }
+  if (const auto* notice = PayloadAs<FailureNoticePayload>(msg.payload)) {
+    OnFailureNotice(*notice);
+    return;
+  }
+  if (const auto* offer = PayloadAs<CompletionOfferPayload>(msg.payload)) {
+    (void)offer;
+    // Execution is ending: stop initiating adaptations (the paper's
+    // "close to completion" guard, made safe for the completion protocol).
+    adaptation_enabled_ = false;
+    pending_proposal_.reset();
+    pending_completions_.push_back(msg.from);
+    if (!round_.has_value()) GrantPendingCompletions();
+    return;
+  }
+  GQP_LOG_DEBUG << "responder: unhandled payload "
+                << (msg.payload ? msg.payload->TypeName() : "null");
+}
+
+void Responder::OnFailureNotice(const FailureNoticePayload& notice) {
+  if (notice.consumer_index() < 0 ||
+      dead_consumers_.count(notice.consumer_index()) > 0) {
+    return;
+  }
+  ++stats_.failures_handled;
+  dead_consumers_.insert(notice.consumer_index());
+  pending_failures_.push_back(notice.consumer_index());
+  MaybeStartRound();
+}
+
+void Responder::MaybeStartRound() {
+  if (round_.has_value()) return;
+
+  // Failure recovery takes priority and runs even after completion offers
+  // disabled performance adaptation: it is a correctness action.
+  if (!pending_failures_.empty() && !weights_.empty()) {
+    Round round;
+    round.id = next_round_id_++;
+    round.recovery = true;
+    round.dead.assign(dead_consumers_.begin(), dead_consumers_.end());
+    pending_failures_.clear();
+    // Redistribute the dead machines' shares over the survivors.
+    round.weights = weights_;
+    double live_total = 0;
+    for (size_t i = 0; i < round.weights.size(); ++i) {
+      if (dead_consumers_.count(static_cast<int>(i)) > 0) {
+        round.weights[i] = 0;
+      }
+      live_total += round.weights[i];
+    }
+    if (live_total <= 0) {
+      GQP_LOG_ERROR << "responder: every evaluator failed; cannot recover";
+      round_.reset();
+      return;
+    }
+    for (double& w : round.weights) w /= live_total;
+    ++stats_.rounds_started;
+    round.redistribute_sent = true;
+    for (const ConsumerEndpoint& producer : producers_) {
+      round.awaiting_outcome.insert(producer.id.ToString());
+    }
+    auto request = std::make_shared<RedistributeRequestPayload>(
+        round.id, target_fragment_, round.weights, /*retrospective=*/true,
+        round.dead);
+    for (const ConsumerEndpoint& producer : producers_) {
+      const Status s = SendTo(producer.address, request);
+      if (!s.ok()) {
+        GQP_LOG_WARN << "responder: recovery request failed: "
+                     << s.ToString();
+      }
+    }
+    round_ = std::move(round);
+    return;
+  }
+
+  if (!pending_proposal_.has_value() || !adaptation_enabled_) {
+    return;
+  }
+  Round round;
+  round.id = next_round_id_++;
+  round.weights = std::move(*pending_proposal_);
+  // Dead machines stay excluded from performance rebalancing.
+  if (!dead_consumers_.empty()) {
+    double live_total = 0;
+    for (size_t i = 0; i < round.weights.size(); ++i) {
+      if (dead_consumers_.count(static_cast<int>(i)) > 0) {
+        round.weights[i] = 0;
+      }
+      live_total += round.weights[i];
+    }
+    if (live_total <= 0) return;
+    for (double& w : round.weights) w /= live_total;
+    round.dead.assign(dead_consumers_.begin(), dead_consumers_.end());
+  }
+  pending_proposal_.reset();
+  ++stats_.rounds_started;
+
+  // Phase 1: estimate progress by contacting all data-producing
+  // evaluators.
+  for (const ConsumerEndpoint& producer : producers_) {
+    round.awaiting_progress.insert(producer.id.ToString());
+    const Status s = SendTo(producer.address,
+                            std::make_shared<ProgressRequestPayload>(round.id));
+    if (!s.ok()) {
+      GQP_LOG_WARN << "responder: progress request failed: " << s.ToString();
+    }
+  }
+  round_ = std::move(round);
+  if (round_->awaiting_progress.empty()) {
+    // No producers to ask (degenerate plan); just finish.
+    FinishRound();
+  }
+}
+
+void Responder::OnProgressReply(const ProgressReplyPayload& reply) {
+  if (!round_.has_value() || reply.round() != round_->id ||
+      round_->redistribute_sent) {
+    return;
+  }
+  const std::string key = reply.producer().ToString();
+  if (round_->awaiting_progress.erase(key) == 0) return;
+  round_->progress_sum += reply.fraction();
+  ++round_->progress_replies;
+  if (!round_->awaiting_progress.empty()) return;
+
+  // Phase 2: decide.
+  const double avg_progress =
+      round_->progress_replies > 0
+          ? round_->progress_sum / round_->progress_replies
+          : 1.0;
+  const bool retrospective =
+      config_.response == ResponseType::kRetrospective;
+  if (avg_progress >= config_.progress_guard && !retrospective) {
+    // Too late for a prospective change to pay off.
+    ++stats_.skipped_progress;
+    FinishRound();
+    return;
+  }
+
+  round_->redistribute_sent = true;
+  for (const ConsumerEndpoint& producer : producers_) {
+    round_->awaiting_outcome.insert(producer.id.ToString());
+  }
+  auto request = std::make_shared<RedistributeRequestPayload>(
+      round_->id, target_fragment_, round_->weights, retrospective,
+      round_->dead);
+  for (const ConsumerEndpoint& producer : producers_) {
+    const Status s = SendTo(producer.address, request);
+    if (!s.ok()) {
+      GQP_LOG_WARN << "responder: redistribute request failed: "
+                   << s.ToString();
+    }
+  }
+}
+
+void Responder::OnOutcome(const RedistributeOutcomePayload& outcome) {
+  if (!round_.has_value() || outcome.round() != round_->id) return;
+  const std::string key = outcome.producer().ToString();
+  if (round_->awaiting_outcome.erase(key) == 0) return;
+  round_->any_applied = round_->any_applied || outcome.applied();
+  if (round_->awaiting_outcome.empty()) FinishRound();
+}
+
+void Responder::FinishRound() {
+  if (!round_.has_value()) return;
+  const bool applied = round_->any_applied;
+  const std::vector<double> weights = std::move(round_->weights);
+  const uint64_t id = round_->id;
+  round_.reset();
+
+  if (applied) {
+    ++stats_.rounds_applied;
+    weights_ = weights;
+    // W <- W' at the Diagnoser(s).
+    const Status s =
+        Publish(kTopicWeightsApplied,
+                std::make_shared<WeightsAppliedPayload>(
+                    id, target_fragment_, weights));
+    if (!s.ok()) {
+      GQP_LOG_WARN << "responder: weights-applied publish failed: "
+                   << s.ToString();
+    }
+  } else {
+    ++stats_.rounds_rejected;
+  }
+
+  GrantPendingCompletions();
+  MaybeStartRound();
+}
+
+void Responder::GrantPendingCompletions() {
+  if (round_.has_value()) return;
+  for (const Address& consumer : pending_completions_) {
+    ++stats_.completion_grants;
+    const Status s = SendTo(
+        consumer, std::make_shared<CompletionGrantPayload>(SubplanId{}));
+    if (!s.ok()) {
+      GQP_LOG_WARN << "responder: completion grant failed: " << s.ToString();
+    }
+  }
+  pending_completions_.clear();
+}
+
+}  // namespace gqp

@@ -1,0 +1,109 @@
+// Responder: the response stage of the adaptivity loop (Fig. 1). One per
+// query. Receives imbalance proposals from the Diagnoser, estimates the
+// progress of execution by contacting the producers (after Chaudhuri et
+// al.), and — when worthwhile — orchestrates a redistribution round:
+// RedistributeRequest to every producer feeding the monitored fragment,
+// outcome collection, then a WeightsApplied announcement so Diagnosers
+// update W <- W'.
+//
+// The Responder is also the serialization point that makes distributed
+// completion safe: partitioned consumers offer completion to it, and a
+// consumer is only granted leave to finish when no retrospective round is
+// in flight; the first offer disables further adaptation for the query.
+
+#ifndef GRIDQP_ADAPT_RESPONDER_H_
+#define GRIDQP_ADAPT_RESPONDER_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "adapt/adaptivity_config.h"
+#include "adapt/diagnoser.h"
+#include "exec/exchange_messages.h"
+#include "exec/exchange_producer.h"
+#include "rpc/service.h"
+
+namespace gqp {
+
+struct ResponderStats {
+  uint64_t proposals_received = 0;
+  uint64_t rounds_started = 0;
+  uint64_t rounds_applied = 0;
+  uint64_t rounds_rejected = 0;
+  uint64_t skipped_progress = 0;
+  uint64_t skipped_disabled = 0;
+  uint64_t completion_grants = 0;
+  uint64_t failures_handled = 0;
+};
+
+/// \brief The Responder grid service.
+class Responder : public GridService {
+ public:
+  /// `producers` are the fragment instances feeding the monitored
+  /// fragment (the data-delivering evaluators the paper's Responder
+  /// contacts).
+  /// `initial_weights` is the scheduler's W over the monitored fragment's
+  /// instances (used to derive recovery weights when an instance fails).
+  Responder(MessageBus* bus, HostId host, std::string name,
+            AdaptivityConfig config, int target_fragment,
+            std::vector<ConsumerEndpoint> producers,
+            std::vector<double> initial_weights = {});
+
+  const ResponderStats& stats() const { return stats_; }
+  bool adaptation_enabled() const { return adaptation_enabled_; }
+  const std::vector<double>& current_weights() const { return weights_; }
+
+ protected:
+  void HandleMessage(const Message& msg) override;
+  void OnNotification(const Address& publisher, const std::string& topic,
+                      const PayloadPtr& body) override;
+
+ private:
+  struct Round {
+    uint64_t id = 0;
+    std::vector<double> weights;
+    /// Crashed consumer indexes carried by this (recovery) round.
+    std::vector<int> dead;
+    /// Recovery rounds skip the progress-estimation guard: they are about
+    /// correctness, not performance.
+    bool recovery = false;
+    /// Producers whose progress reply / outcome is outstanding.
+    std::set<std::string> awaiting_progress;
+    std::set<std::string> awaiting_outcome;
+    double progress_sum = 0.0;
+    int progress_replies = 0;
+    bool any_applied = false;
+    bool redistribute_sent = false;
+  };
+
+  void MaybeStartRound();
+  void OnFailureNotice(const FailureNoticePayload& notice);
+  void OnProgressReply(const ProgressReplyPayload& reply);
+  void OnOutcome(const RedistributeOutcomePayload& outcome);
+  void FinishRound();
+  void GrantPendingCompletions();
+
+  AdaptivityConfig config_;
+  int target_fragment_;
+  std::vector<ConsumerEndpoint> producers_;
+
+  std::optional<std::vector<double>> pending_proposal_;
+  std::optional<Round> round_;
+  uint64_t next_round_id_ = 1;
+  bool adaptation_enabled_ = true;
+  /// Effective distribution vector (W), updated as rounds apply.
+  std::vector<double> weights_;
+  /// Crashed consumer indexes, by consumer index of the monitored
+  /// fragment.
+  std::set<int> dead_consumers_;
+  /// Failure awaiting a free round slot.
+  std::vector<int> pending_failures_;
+  /// Consumers waiting for a completion grant.
+  std::vector<Address> pending_completions_;
+  ResponderStats stats_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_ADAPT_RESPONDER_H_

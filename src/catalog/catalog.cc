@@ -1,0 +1,62 @@
+#include "catalog/catalog.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+
+Status Catalog::RegisterTable(TableEntry entry) {
+  if (entry.name.empty() || entry.schema == nullptr) {
+    return Status::InvalidArgument("table entry needs a name and schema");
+  }
+  const std::string key = ToUpper(entry.name);
+  auto [it, inserted] = tables_.emplace(key, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists(StrCat("table already registered: ", key));
+  }
+  return Status::OK();
+}
+
+Status Catalog::RegisterWebService(WebServiceEntry entry) {
+  if (entry.name.empty()) {
+    return Status::InvalidArgument("web service entry needs a name");
+  }
+  const std::string key = ToUpper(entry.name);
+  auto [it, inserted] = web_services_.emplace(key, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrCat("web service already registered: ", key));
+  }
+  return Status::OK();
+}
+
+Result<TableEntry> Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToUpper(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("unknown table '", name, "'"));
+  }
+  return it->second;
+}
+
+Result<WebServiceEntry> Catalog::FindWebService(
+    const std::string& name) const {
+  auto it = web_services_.find(ToUpper(name));
+  if (it == web_services_.end()) {
+    return Status::NotFound(StrCat("unknown web service '", name, "'"));
+  }
+  return it->second;
+}
+
+bool Catalog::HasWebService(const std::string& name) const {
+  return web_services_.count(ToUpper(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, entry] : tables_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace gqp

@@ -1,0 +1,66 @@
+// Catalog: metadata the GDQS keeps about data resources (tables exposed as
+// Grid Data Services) and computational resources (web-service operations
+// usable as typed foreign functions). The optimiser reads cardinality and
+// cost statistics from here.
+
+#ifndef GRIDQP_CATALOG_CATALOG_H_
+#define GRIDQP_CATALOG_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/message.h"
+#include "storage/schema.h"
+
+namespace gqp {
+
+/// Optimiser statistics for a table.
+struct TableStats {
+  size_t num_rows = 0;
+  size_t avg_row_bytes = 0;
+};
+
+/// A table exposed by a Grid Data Service on some host.
+struct TableEntry {
+  std::string name;
+  SchemaPtr schema;
+  HostId data_host = kInvalidHost;
+  TableStats stats;
+};
+
+/// A web-service operation callable from queries.
+struct WebServiceEntry {
+  std::string name;
+  /// Result type of the operation.
+  DataType result_type = DataType::kDouble;
+  /// Nominal per-call cost (ms) used by the optimiser; the actual runtime
+  /// cost is whatever the hosting node charges.
+  double nominal_cost_ms = 1.0;
+};
+
+/// \brief Metadata catalog.
+class Catalog {
+ public:
+  /// Registers a table. Fails on duplicate names (case-insensitive).
+  Status RegisterTable(TableEntry entry);
+
+  /// Registers a web-service operation. Fails on duplicates.
+  Status RegisterWebService(WebServiceEntry entry);
+
+  Result<TableEntry> FindTable(const std::string& name) const;
+  Result<WebServiceEntry> FindWebService(const std::string& name) const;
+
+  bool HasWebService(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, TableEntry> tables_;
+  std::unordered_map<std::string, WebServiceEntry> web_services_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_CATALOG_CATALOG_H_

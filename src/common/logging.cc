@@ -1,0 +1,82 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace gqp {
+namespace {
+
+struct LoggerState {
+  LogLevel level = LogLevel::kWarn;
+  Logger::Sink sink;
+  std::function<double()> now_ms;
+  std::mutex mu;
+};
+
+LoggerState& State() {
+  static LoggerState state;
+  return state;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { State().level = level; }
+
+LogLevel Logger::level() { return State().level; }
+
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(State().mu);
+  State().sink = std::move(sink);
+}
+
+void Logger::SetTimeSource(std::function<double()> now_ms) {
+  std::lock_guard<std::mutex> lock(State().mu);
+  State().now_ms = std::move(now_ms);
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(State().mu);
+  if (State().sink) {
+    State().sink(level, message);
+    return;
+  }
+  if (State().now_ms) {
+    std::fprintf(stderr, "[%10.3f ms] [%s] %s\n", State().now_ms(),
+                 LevelName(level), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // File/line only on debug-or-lower to keep operational logs tidy.
+  if (level <= LogLevel::kDebug) {
+    stream_ << file << ":" << line << " ";
+  }
+}
+
+LogMessage::~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+}  // namespace internal
+}  // namespace gqp

@@ -1,0 +1,77 @@
+// Minimal leveled logger. Sinks to stderr by default; tests can capture via
+// Logger::SetSink. Log lines are prefixed with the virtual time when a
+// simulation clock has been registered (see sim/simulator.h).
+
+#ifndef GRIDQP_COMMON_LOGGING_H_
+#define GRIDQP_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace gqp {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-wide logging configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Minimum level that is emitted. Defaults to kWarn so that tests and
+  /// benchmarks stay quiet unless asked.
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore.
+  static void SetSink(Sink sink);
+
+  /// Optionally supplies a "current virtual time" callback used to prefix
+  /// log lines, e.g. from the active simulator.
+  static void SetTimeSource(std::function<double()> now_ms);
+
+  static void Log(LogLevel level, const std::string& message);
+  static bool Enabled(LogLevel level) { return level >= Logger::level(); }
+};
+
+namespace internal {
+
+/// Stream-style single-line log statement builder.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gqp
+
+#define GQP_LOG(level)                                              \
+  if (!::gqp::Logger::Enabled(::gqp::LogLevel::level)) {            \
+  } else                                                            \
+    ::gqp::internal::LogMessage(::gqp::LogLevel::level, __FILE__, __LINE__)
+
+#define GQP_LOG_TRACE GQP_LOG(kTrace)
+#define GQP_LOG_DEBUG GQP_LOG(kDebug)
+#define GQP_LOG_INFO GQP_LOG(kInfo)
+#define GQP_LOG_WARN GQP_LOG(kWarn)
+#define GQP_LOG_ERROR GQP_LOG(kError)
+
+#endif  // GRIDQP_COMMON_LOGGING_H_

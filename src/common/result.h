@@ -1,0 +1,99 @@
+// Result<T>: value-or-Status, in the style of arrow::Result. Used as the
+// return type of fallible functions that produce a value.
+
+#ifndef GRIDQP_COMMON_RESULT_H_
+#define GRIDQP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gqp {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<Plan> plan = optimizer.Optimize(query);
+///   if (!plan.ok()) return plan.status();
+///   Use(plan.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit conversion from an error status. It is a programming error to
+  /// construct a Result from an OK status; that is remapped to Internal.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; Status::OK() when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out. Precondition: ok().
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` if this Result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace gqp
+
+// Propagates an error Status from an expression returning Status.
+#define GQP_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::gqp::Status _gqp_status = (expr);       \
+    if (!_gqp_status.ok()) return _gqp_status; \
+  } while (0)
+
+#define GQP_CONCAT_IMPL(x, y) x##y
+#define GQP_CONCAT(x, y) GQP_CONCAT_IMPL(x, y)
+
+// Evaluates an expression returning Result<T>; on success assigns the value
+// to `lhs`, on error returns the Status from the enclosing function.
+#define GQP_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto GQP_CONCAT(_gqp_result_, __LINE__) = (rexpr);                 \
+  if (!GQP_CONCAT(_gqp_result_, __LINE__).ok())                      \
+    return GQP_CONCAT(_gqp_result_, __LINE__).status();              \
+  lhs = std::move(GQP_CONCAT(_gqp_result_, __LINE__)).TakeValue()
+
+#endif  // GRIDQP_COMMON_RESULT_H_

@@ -1,0 +1,53 @@
+// Small string helpers (GCC 12 lacks std::format, so formatting goes
+// through these instead).
+
+#ifndef GRIDQP_COMMON_STRINGS_H_
+#define GRIDQP_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gqp {
+
+/// Concatenates streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (void)(os << ... << args);
+  return os.str();
+}
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator; elements must be streamable.
+template <typename Container>
+std::string StrJoin(const Container& items, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    os << item;
+    first = false;
+  }
+  return os.str();
+}
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// ASCII case-insensitive equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII.
+std::string ToUpper(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace gqp
+
+#endif  // GRIDQP_COMMON_STRINGS_H_

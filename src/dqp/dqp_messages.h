@@ -1,0 +1,53 @@
+// Control payloads between the GDQS coordinator and GQES evaluation
+// services: fragment deployment and acknowledgment.
+
+#ifndef GRIDQP_DQP_DQP_MESSAGES_H_
+#define GRIDQP_DQP_DQP_MESSAGES_H_
+
+#include <string>
+
+#include "exec/fragment_executor.h"
+#include "net/message.h"
+
+namespace gqp {
+
+/// GDQS -> GQES: instantiate one fragment instance.
+class DeployFragmentPayload : public Payload {
+ public:
+  explicit DeployFragmentPayload(FragmentInstancePlan plan)
+      : plan_(std::move(plan)) {}
+
+  size_t WireSize() const override {
+    // Plan descriptors are small; approximate by operator count.
+    return 256 + 128 * plan_.fragment.ops.size();
+  }
+  std::string_view TypeName() const override { return "DeployFragment"; }
+
+  const FragmentInstancePlan& plan() const { return plan_; }
+
+ private:
+  FragmentInstancePlan plan_;
+};
+
+/// GQES -> GDQS: deployment outcome.
+class DeployAckPayload : public Payload {
+ public:
+  DeployAckPayload(SubplanId id, bool ok, std::string message)
+      : id_(id), ok_(ok), message_(std::move(message)) {}
+
+  size_t WireSize() const override { return 48 + message_.size(); }
+  std::string_view TypeName() const override { return "DeployAck"; }
+
+  const SubplanId& id() const { return id_; }
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  SubplanId id_;
+  bool ok_;
+  std::string message_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_DQP_DQP_MESSAGES_H_

@@ -1,0 +1,429 @@
+#include "dqp/gdqs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "dqp/dqp_messages.h"
+#include "plan/binder.h"
+
+namespace gqp {
+
+Gdqs::Gdqs(MessageBus* bus, GridNode* node, Network* network,
+           Catalog* catalog, ResourceRegistry* registry)
+    : GridService(bus, node->id(), "gdqs"),
+      node_(node),
+      network_(network),
+      catalog_(catalog),
+      registry_(registry) {}
+
+Gdqs::~Gdqs() = default;
+
+void Gdqs::AddGqes(Gqes* gqes) { gqes_.push_back(gqes); }
+
+Gqes* Gdqs::GqesOnHost(HostId host) const {
+  for (Gqes* g : gqes_) {
+    if (g->host() == host) return g;
+  }
+  return nullptr;
+}
+
+Result<int> Gdqs::SubmitQuery(
+    const std::string& sql, const QueryOptions& options,
+    std::function<void(const QueryResult&)> on_complete) {
+  GQP_ASSIGN_OR_RETURN(LogicalNodePtr logical, PlanSql(sql, *catalog_));
+  GQP_ASSIGN_OR_RETURN(PhysicalPlan physical,
+                       CreatePhysicalPlan(logical, options.optimizer));
+
+  if (options.adaptivity.enabled &&
+      options.adaptivity.response == ResponseType::kProspective &&
+      physical.HasStatefulPartitionedFragment()) {
+    return Status::InvalidArgument(
+        "prospective response (R2) cannot preserve correctness for "
+        "partitioned stateful operators; use retrospective response (R1)");
+  }
+
+  SchedulerOptions sched = options.scheduler;
+  if (sched.coordinator == kInvalidHost) sched.coordinator = host();
+  GQP_ASSIGN_OR_RETURN(ScheduledPlan scheduled,
+                       SchedulePlan(physical, *registry_, sched));
+
+  QueryState state;
+  state.id = next_query_id_++;
+  state.scheduled = std::move(scheduled);
+  state.options = options;
+  state.submit_time = simulator()->Now();
+  state.on_complete = std::move(on_complete);
+  for (const FragmentDesc& f : state.scheduled.plan.fragments) {
+    if (f.IsRoot()) state.root_fragment = f.id;
+    if (f.partitioned && state.scheduled.NumInstances(f.id) > 1) {
+      state.monitored_fragment = f.id;
+    }
+  }
+  state.root_instance = SubplanId{state.id, state.root_fragment, 0};
+
+  if (options.adaptivity.enabled && state.monitored_fragment >= 0) {
+    GQP_RETURN_IF_ERROR(SetUpAdaptivity(&state));
+  }
+  GQP_RETURN_IF_ERROR(Deploy(&state));
+
+  const int id = state.id;
+  queries_.emplace(id, std::move(state));
+  return id;
+}
+
+Status Gdqs::SetUpAdaptivity(QueryState* state) {
+  const int target = state->monitored_fragment;
+  const auto& plan = state->scheduled.plan;
+
+  // Monitored instances (consumer order).
+  std::vector<SubplanId> instances;
+  const auto& hosts =
+      state->scheduled.instance_hosts[static_cast<size_t>(target)];
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    instances.push_back(SubplanId{state->id, target, static_cast<int>(i)});
+  }
+
+  // Initial W: the input exchanges of the monitored fragment share it.
+  const std::vector<const ExchangeDesc*> inputs = plan.InputsOf(target);
+  if (inputs.empty()) {
+    return Status::Internal("monitored fragment has no input exchanges");
+  }
+  const std::vector<double>& w0 =
+      state->scheduled.initial_weights[static_cast<size_t>(inputs[0]->id)];
+
+  // Producers feeding the monitored fragment.
+  std::vector<ConsumerEndpoint> producers;
+  std::set<HostId> monitored_hosts(hosts.begin(), hosts.end());
+  for (const ExchangeDesc* ex : inputs) {
+    const auto& producer_hosts =
+        state->scheduled
+            .instance_hosts[static_cast<size_t>(ex->producer_fragment)];
+    for (size_t i = 0; i < producer_hosts.size(); ++i) {
+      SubplanId pid{state->id, ex->producer_fragment, static_cast<int>(i)};
+      producers.push_back(ConsumerEndpoint{
+          pid, Address{producer_hosts[i], pid.ToString()}});
+      monitored_hosts.insert(producer_hosts[i]);
+    }
+  }
+
+  state->diagnoser = std::make_unique<Diagnoser>(
+      bus(), host(), StrCat("diagnoser.q", state->id), state->options.adaptivity,
+      target, instances, w0);
+  state->responder = std::make_unique<Responder>(
+      bus(), host(), StrCat("responder.q", state->id),
+      state->options.adaptivity, target, std::move(producers), w0);
+  GQP_RETURN_IF_ERROR(state->diagnoser->Start());
+  GQP_RETURN_IF_ERROR(state->responder->Start());
+
+  // Pub/sub wiring (Fig. 1): Diagnoser listens to every involved site's
+  // MED; the Responder listens to the Diagnoser; the Diagnoser learns the
+  // applied W from the Responder.
+  for (const HostId h : monitored_hosts) {
+    GQP_RETURN_IF_ERROR(state->diagnoser->Subscribe(
+        Address{h, "med"}, kTopicMonitoringAverages));
+  }
+  GQP_RETURN_IF_ERROR(state->responder->Subscribe(
+      state->diagnoser->address(), kTopicImbalance));
+  GQP_RETURN_IF_ERROR(state->diagnoser->Subscribe(
+      state->responder->address(), kTopicWeightsApplied));
+  return Status::OK();
+}
+
+Status Gdqs::Deploy(QueryState* state) {
+  const auto& plan = state->scheduled.plan;
+  for (const FragmentDesc& frag : plan.fragments) {
+    const auto& hosts =
+        state->scheduled.instance_hosts[static_cast<size_t>(frag.id)];
+    for (size_t inst = 0; inst < hosts.size(); ++inst) {
+      FragmentInstancePlan instance;
+      instance.id =
+          SubplanId{state->id, frag.id, static_cast<int>(inst)};
+      instance.fragment = frag;
+      instance.config = state->options.exec;
+      instance.config.monitoring_enabled =
+          state->options.exec.monitoring_enabled &&
+          state->options.adaptivity.enabled;
+      instance.coordinator = address();
+
+      // Input wiring.
+      for (const ExchangeDesc* ex : plan.InputsOf(frag.id)) {
+        InputWiring wiring;
+        wiring.desc = *ex;
+        wiring.num_producers = state->scheduled.NumInstances(
+            ex->producer_fragment);
+        instance.inputs.push_back(std::move(wiring));
+      }
+
+      // Output wiring.
+      if (const ExchangeDesc* out = plan.OutputOf(frag.id)) {
+        OutputWiring wiring;
+        wiring.desc = *out;
+        const auto& consumer_hosts =
+            state->scheduled
+                .instance_hosts[static_cast<size_t>(out->consumer_fragment)];
+        for (size_t c = 0; c < consumer_hosts.size(); ++c) {
+          SubplanId cid{state->id, out->consumer_fragment,
+                        static_cast<int>(c)};
+          wiring.consumers.push_back(ConsumerEndpoint{
+              cid, Address{consumer_hosts[c], cid.ToString()}});
+        }
+        wiring.initial_weights =
+            state->scheduled.initial_weights[static_cast<size_t>(out->id)];
+        if (frag.IsScanLeaf()) {
+          wiring.estimated_rows = frag.ops.front().estimated_rows;
+        }
+        instance.output = std::move(wiring);
+      }
+
+      // Adaptivity wiring.
+      if (state->options.adaptivity.enabled && state->responder != nullptr) {
+        instance.adaptivity.enabled = true;
+        instance.adaptivity.med = Address{hosts[inst], "med"};
+        instance.adaptivity.responder = state->responder->address();
+      }
+
+      const Address gqes_addr{hosts[inst], StrCat("gqes@", hosts[inst])};
+      if (GqesOnHost(hosts[inst]) == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("no GQES registered on host ", hosts[inst]));
+      }
+      state->pending_acks.insert(instance.id.ToString());
+      state->instance_addresses.push_back(
+          Address{hosts[inst], instance.id.ToString()});
+      GQP_RETURN_IF_ERROR(SendTo(
+          gqes_addr,
+          std::make_shared<DeployFragmentPayload>(std::move(instance))));
+    }
+  }
+  return Status::OK();
+}
+
+void Gdqs::HandleMessage(const Message& msg) {
+  if (const auto* ack = PayloadAs<DeployAckPayload>(msg.payload)) {
+    OnDeployAck(*ack);
+    return;
+  }
+  if (const auto* complete =
+          PayloadAs<FragmentCompletePayload>(msg.payload)) {
+    OnFragmentComplete(*complete);
+    return;
+  }
+  GQP_LOG_DEBUG << "GDQS: unhandled payload "
+                << (msg.payload ? msg.payload->TypeName() : "null");
+}
+
+void Gdqs::OnDeployAck(const DeployAckPayload& ack) {
+  auto it = queries_.find(ack.id().query);
+  if (it == queries_.end()) return;
+  QueryState& state = it->second;
+  state.pending_acks.erase(ack.id().ToString());
+  if (!ack.ok()) {
+    state.failed_deploys.push_back(
+        StrCat(ack.id().ToString(), ": ", ack.message()));
+    GQP_LOG_ERROR << "deployment failed: " << ack.id().ToString() << " "
+                  << ack.message();
+  }
+  if (!state.pending_acks.empty() || state.started) return;
+  if (!state.failed_deploys.empty()) return;  // query stalls; caller checks
+  state.started = true;
+  for (const Address& instance : state.instance_addresses) {
+    const Status s =
+        SendTo(instance, std::make_shared<BeginPayload>(state.id));
+    if (!s.ok()) {
+      GQP_LOG_ERROR << "begin broadcast failed: " << s.ToString();
+    }
+  }
+}
+
+void Gdqs::OnFragmentComplete(const FragmentCompletePayload& complete) {
+  auto it = queries_.find(complete.id().query);
+  if (it == queries_.end()) return;
+  QueryState& state = it->second;
+  if (complete.id().fragment != state.root_fragment || state.complete) {
+    return;
+  }
+  state.complete = true;
+  state.completion_time = simulator()->Now();
+  if (state.on_complete) state.on_complete(BuildResult(state));
+}
+
+bool Gdqs::QueryComplete(int query_id) const {
+  auto it = queries_.find(query_id);
+  return it != queries_.end() && it->second.complete;
+}
+
+FragmentExecutor* Gdqs::FindInstance(const SubplanId& id) const {
+  for (Gqes* g : gqes_) {
+    if (FragmentExecutor* executor = g->FindExecutor(id)) return executor;
+  }
+  return nullptr;
+}
+
+QueryResult Gdqs::BuildResult(const QueryState& state) const {
+  QueryResult result;
+  result.query_id = state.id;
+  result.complete = state.complete;
+  result.schema = state.scheduled.plan.result_schema;
+  result.submit_time_ms = state.submit_time;
+  result.completion_time_ms = state.completion_time;
+  result.response_time_ms = state.completion_time - state.submit_time;
+  if (const FragmentExecutor* root = FindInstance(state.root_instance)) {
+    result.rows = root->Results();
+  }
+  return result;
+}
+
+Result<QueryResult> Gdqs::GetResult(int query_id) const {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("unknown query ", query_id));
+  }
+  if (!it->second.failed_deploys.empty()) {
+    return Status::Internal(StrCat("query ", query_id, " failed to deploy: ",
+                                   StrJoin(it->second.failed_deploys, "; ")));
+  }
+  return BuildResult(it->second);
+}
+
+Result<ScheduledPlan> Gdqs::GetPlan(int query_id) const {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("unknown query ", query_id));
+  }
+  return it->second.scheduled;
+}
+
+Status Gdqs::ExecutionStatus(int query_id) const {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("unknown query ", query_id));
+  }
+  for (Gqes* g : gqes_) {
+    for (FragmentExecutor* executor : g->Executors()) {
+      if (executor->plan().id.query != query_id) continue;
+      if (!executor->execution_status().ok()) {
+        return executor->execution_status();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryStatsSnapshot> Gdqs::CollectStats(int query_id) const {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("unknown query ", query_id));
+  }
+  const QueryState& state = it->second;
+  QueryStatsSnapshot snap;
+
+  for (Gqes* g : gqes_) {
+    if (g->med() != nullptr) {
+      // MEDs are shared across queries; for single-query experiments the
+      // attribution is exact (documented in DESIGN.md).
+      snap.raw_m1 += g->med()->stats().raw_m1;
+      snap.raw_m2 += g->med()->stats().raw_m2;
+      snap.med_notifications += g->med()->stats().notifications_out;
+    }
+    for (FragmentExecutor* executor : g->Executors()) {
+      if (executor->plan().id.query != query_id) continue;
+      if (executor->producer() != nullptr) {
+        const ProducerStats& ps = executor->producer()->stats();
+        snap.resent_tuples += ps.resent_tuples;
+        if (state.monitored_fragment >= 0 &&
+            executor->plan().output.has_value() &&
+            executor->plan().output->desc.consumer_fragment ==
+                state.monitored_fragment) {
+          if (snap.tuples_per_evaluator.size() <
+              ps.tuples_to_consumer.size()) {
+            snap.tuples_per_evaluator.resize(ps.tuples_to_consumer.size(), 0);
+          }
+          for (size_t i = 0; i < ps.tuples_to_consumer.size(); ++i) {
+            snap.tuples_per_evaluator[i] += ps.tuples_to_consumer[i];
+          }
+        }
+      }
+      snap.discarded_tuples +=
+          executor->stats().tuples_discarded_in_moves;
+    }
+  }
+  if (state.diagnoser != nullptr) {
+    snap.diagnoser_proposals = state.diagnoser->stats().proposals_sent;
+  }
+  if (state.responder != nullptr) {
+    snap.rounds_started = state.responder->stats().rounds_started;
+    snap.rounds_applied = state.responder->stats().rounds_applied;
+  }
+  return snap;
+}
+
+Status Gdqs::ReportNodeFailure(HostId failed_host) {
+  for (auto& [id, state] : queries_) {
+    if (state.complete) continue;
+    const auto& plan = state.scheduled.plan;
+    for (const FragmentDesc& frag : plan.fragments) {
+      const auto& hosts =
+          state.scheduled.instance_hosts[static_cast<size_t>(frag.id)];
+      for (size_t inst = 0; inst < hosts.size(); ++inst) {
+        if (hosts[inst] != failed_host) continue;
+        const SubplanId dead{state.id, frag.id, static_cast<int>(inst)};
+
+        // Downstream consumers stop waiting for the dead instance's
+        // stream (what it already delivered remains valid).
+        if (const ExchangeDesc* out = plan.OutputOf(frag.id)) {
+          const auto& consumer_hosts =
+              state.scheduled
+                  .instance_hosts[static_cast<size_t>(out->consumer_fragment)];
+          for (size_t c = 0; c < consumer_hosts.size(); ++c) {
+            const SubplanId cid{state.id, out->consumer_fragment,
+                                static_cast<int>(c)};
+            GQP_RETURN_IF_ERROR(
+                SendTo(Address{consumer_hosts[c], cid.ToString()},
+                       std::make_shared<ProducerLostPayload>(
+                           out->id, dead, out->consumer_port)));
+          }
+        }
+
+        // Evaluator instances of the monitored fragment are recovered
+        // through the Responder (recovery-log redistribution).
+        if (frag.id == state.monitored_fragment &&
+            state.responder != nullptr) {
+          auto notice = std::make_shared<FailureNoticePayload>(
+              dead, static_cast<int>(inst));
+          GQP_RETURN_IF_ERROR(SendTo(state.responder->address(), notice));
+          if (state.diagnoser != nullptr) {
+            GQP_RETURN_IF_ERROR(
+                SendTo(state.diagnoser->address(), notice));
+          }
+        } else if (frag.id != state.monitored_fragment &&
+                   !frag.IsScanLeaf() && !frag.IsRoot()) {
+          GQP_LOG_WARN << "failure of unmonitored fragment instance "
+                       << dead.ToString() << " cannot be recovered";
+        }
+        if (frag.IsScanLeaf() || frag.IsRoot()) {
+          return Status::Unimplemented(
+              "data-node and coordinator failures are not recoverable");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Gdqs::ReleaseQuery(int query_id) {
+  for (Gqes* g : gqes_) g->ReleaseQuery(query_id);
+  queries_.erase(query_id);
+}
+
+Diagnoser* Gdqs::diagnoser(int query_id) const {
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : it->second.diagnoser.get();
+}
+
+Responder* Gdqs::responder(int query_id) const {
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : it->second.responder.get();
+}
+
+}  // namespace gqp

@@ -1,0 +1,151 @@
+// GDQS — Grid Distributed Query Service: the coordinator. Accepts SQL
+// queries, compiles them (parse -> bind -> optimise -> schedule), deploys
+// fragment instances to the GQESs, wires the adaptivity services
+// (MonitoringEventDetectors -> Diagnoser -> Responder, pub/sub), starts
+// execution, and collects the result at the root fragment.
+
+#ifndef GRIDQP_DQP_GDQS_H_
+#define GRIDQP_DQP_GDQS_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adapt/adaptivity_config.h"
+#include "adapt/diagnoser.h"
+#include "adapt/responder.h"
+#include "catalog/catalog.h"
+#include "dqp/dqp_messages.h"
+#include "dqp/gqes.h"
+#include "plan/optimizer.h"
+#include "plan/scheduler.h"
+
+namespace gqp {
+
+/// Per-query knobs a client passes at submission.
+struct QueryOptions {
+  AdaptivityConfig adaptivity;
+  ExecConfig exec;
+  OptimizerOptions optimizer;
+  SchedulerOptions scheduler;
+};
+
+/// The outcome of a completed query.
+struct QueryResult {
+  int query_id = 0;
+  bool complete = false;
+  SchemaPtr schema;
+  std::vector<Tuple> rows;
+  SimTime submit_time_ms = 0;
+  SimTime completion_time_ms = 0;
+  double response_time_ms = 0;
+};
+
+/// Aggregated execution statistics for the overhead experiments.
+struct QueryStatsSnapshot {
+  uint64_t raw_m1 = 0;
+  uint64_t raw_m2 = 0;
+  uint64_t med_notifications = 0;
+  uint64_t diagnoser_proposals = 0;
+  uint64_t rounds_started = 0;
+  uint64_t rounds_applied = 0;
+  uint64_t resent_tuples = 0;
+  uint64_t discarded_tuples = 0;
+  /// Tuples routed to each evaluator instance of the monitored fragment.
+  std::vector<uint64_t> tuples_per_evaluator;
+};
+
+/// \brief The coordinator service.
+class Gdqs : public GridService {
+ public:
+  Gdqs(MessageBus* bus, GridNode* node, Network* network, Catalog* catalog,
+       ResourceRegistry* registry);
+  ~Gdqs() override;
+
+  /// Makes an evaluation service known to the coordinator (the resource
+  /// registry of the paper keeps node metadata; this keeps service
+  /// pointers for deployment and stats harvesting).
+  void AddGqes(Gqes* gqes);
+
+  /// Compiles and deploys a query; execution proceeds as the simulation
+  /// runs. `on_complete` (optional) fires when the root fragment finishes.
+  Result<int> SubmitQuery(const std::string& sql, const QueryOptions& options,
+                          std::function<void(const QueryResult&)> on_complete =
+                              nullptr);
+
+  /// True once the root fragment of `query_id` reported completion.
+  bool QueryComplete(int query_id) const;
+
+  /// Fetches the result of a (completed) query.
+  Result<QueryResult> GetResult(int query_id) const;
+
+  /// Aggregates execution stats across all services involved in a query.
+  Result<QueryStatsSnapshot> CollectStats(int query_id) const;
+
+  /// The scheduled plan of a query (tests/EXPLAIN output).
+  Result<ScheduledPlan> GetPlan(int query_id) const;
+
+  /// First fragment execution error observed for the query (OK if none).
+  Status ExecutionStatus(int query_id) const;
+
+  /// Reports a crashed host (normally fed by a heartbeat failure
+  /// detector; tests and examples call it directly). For every running
+  /// query: evaluator instances on the host are declared dead, downstream
+  /// consumers stop waiting for their streams, and the Responder runs a
+  /// recovery round that redistributes the recovery-logged tuples of the
+  /// dead instances to the survivors.
+  Status ReportNodeFailure(HostId host);
+
+  /// Drops all executors and adaptivity services of a query.
+  void ReleaseQuery(int query_id);
+
+  Diagnoser* diagnoser(int query_id) const;
+  Responder* responder(int query_id) const;
+
+ protected:
+  void HandleMessage(const Message& msg) override;
+
+ private:
+  struct QueryState {
+    int id = 0;
+    ScheduledPlan scheduled;
+    QueryOptions options;
+    SimTime submit_time = 0;
+    SimTime completion_time = 0;
+    int root_fragment = -1;
+    SubplanId root_instance;
+    std::set<std::string> pending_acks;
+    std::vector<std::string> failed_deploys;
+    bool started = false;
+    bool complete = false;
+    std::vector<Address> instance_addresses;
+    std::unique_ptr<Diagnoser> diagnoser;
+    std::unique_ptr<Responder> responder;
+    std::function<void(const QueryResult&)> on_complete;
+    /// The partitioned fragment being monitored (-1 when none).
+    int monitored_fragment = -1;
+  };
+
+  Gqes* GqesOnHost(HostId host) const;
+  Status Deploy(QueryState* state);
+  Status SetUpAdaptivity(QueryState* state);
+  void OnDeployAck(const DeployAckPayload& ack);
+  void OnFragmentComplete(const FragmentCompletePayload& complete);
+  QueryResult BuildResult(const QueryState& state) const;
+  FragmentExecutor* FindInstance(const SubplanId& id) const;
+
+  GridNode* node_;
+  Network* network_;
+  Catalog* catalog_;
+  ResourceRegistry* registry_;
+  std::vector<Gqes*> gqes_;
+  std::unordered_map<int, QueryState> queries_;
+  int next_query_id_ = 1;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_DQP_GDQS_H_

@@ -1,0 +1,97 @@
+#include "dqp/gqes.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "dqp/dqp_messages.h"
+
+namespace gqp {
+
+Gqes::Gqes(MessageBus* bus, GridNode* node, Network* network, bool adaptive,
+           MonitoringEventDetectorConfig med_config)
+    : GridService(bus, node->id(), StrCat("gqes@", node->id())),
+      node_(node),
+      network_(network),
+      adaptive_(adaptive) {
+  if (adaptive_) {
+    med_ = std::make_unique<MonitoringEventDetector>(bus, node->id(), "med",
+                                                     med_config, node);
+  }
+}
+
+Gqes::~Gqes() = default;
+
+Status Gqes::StartService() {
+  GQP_RETURN_IF_ERROR(Start());
+  if (med_ != nullptr) {
+    GQP_RETURN_IF_ERROR(med_->Start());
+  }
+  return Status::OK();
+}
+
+void Gqes::RegisterTable(TablePtr table) {
+  tables_[ToUpper(table->name())] = std::move(table);
+}
+
+Address Gqes::med_address() const {
+  if (med_ == nullptr) return Address{};
+  return med_->address();
+}
+
+FragmentExecutor* Gqes::FindExecutor(const SubplanId& id) const {
+  auto it = executors_.find(id.ToString());
+  return it == executors_.end() ? nullptr : it->second.get();
+}
+
+std::vector<FragmentExecutor*> Gqes::Executors() const {
+  std::vector<FragmentExecutor*> out;
+  out.reserve(executors_.size());
+  for (const auto& [key, executor] : executors_) {
+    out.push_back(executor.get());
+  }
+  return out;
+}
+
+void Gqes::ReleaseQuery(int query_id) {
+  for (auto it = executors_.begin(); it != executors_.end();) {
+    if (it->second->plan().id.query == query_id) {
+      it = executors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Gqes::HandleMessage(const Message& msg) {
+  const auto* deploy = PayloadAs<DeployFragmentPayload>(msg.payload);
+  if (deploy == nullptr) {
+    GQP_LOG_DEBUG << "GQES " << name() << ": unhandled payload "
+                  << (msg.payload ? msg.payload->TypeName() : "null");
+    return;
+  }
+
+  const FragmentInstancePlan& plan = deploy->plan();
+  TablePtr table;
+  if (plan.fragment.IsScanLeaf()) {
+    auto it = tables_.find(ToUpper(plan.fragment.ops.front().table));
+    if (it != tables_.end()) table = it->second;
+  }
+
+  auto executor = std::make_unique<FragmentExecutor>(bus(), node_, network_,
+                                                     plan, std::move(table));
+  const Status prepared = executor->Prepare();
+  if (prepared.ok()) {
+    executors_[plan.id.ToString()] = std::move(executor);
+  } else {
+    GQP_LOG_ERROR << "GQES " << name() << ": deploy of "
+                  << plan.id.ToString() << " failed: " << prepared.ToString();
+  }
+  const Status sent = SendTo(
+      msg.from, std::make_shared<DeployAckPayload>(plan.id, prepared.ok(),
+                                                   prepared.ToString()));
+  if (!sent.ok()) {
+    GQP_LOG_ERROR << "GQES " << name()
+                  << ": deploy ack failed: " << sent.ToString();
+  }
+}
+
+}  // namespace gqp

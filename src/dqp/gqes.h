@@ -1,0 +1,66 @@
+// GQES — Grid Query Evaluation Service. One per machine. Receives plan
+// fragments from the GDQS, instantiates FragmentExecutors (the query
+// engine), and — in its adaptive configuration (AGQES) — hosts the site's
+// MonitoringEventDetector. Tables exposed by local Grid Data Services are
+// registered with the GQES of their machine.
+
+#ifndef GRIDQP_DQP_GQES_H_
+#define GRIDQP_DQP_GQES_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/fragment_executor.h"
+#include "grid/node.h"
+#include "monitor/monitoring_event_detector.h"
+#include "rpc/service.h"
+#include "storage/table.h"
+
+namespace gqp {
+
+/// \brief A (possibly adaptive) query-evaluation service.
+class Gqes : public GridService {
+ public:
+  /// When `adaptive` is true the service creates a local
+  /// MonitoringEventDetector (endpoint "med" on this host), making it an
+  /// AGQES.
+  Gqes(MessageBus* bus, GridNode* node, Network* network, bool adaptive,
+       MonitoringEventDetectorConfig med_config = {});
+  ~Gqes() override;
+
+  /// Registers the GQES endpoint (and the MED's, when adaptive).
+  Status StartService();
+
+  /// Exposes a local table (the machine's Grid Data Service).
+  void RegisterTable(TablePtr table);
+
+  /// The local MED address ({host, "med"}); invalid when not adaptive.
+  Address med_address() const;
+
+  /// Executor lookup (tests, stats harvesting). Null when unknown.
+  FragmentExecutor* FindExecutor(const SubplanId& id) const;
+  std::vector<FragmentExecutor*> Executors() const;
+  MonitoringEventDetector* med() const { return med_.get(); }
+  GridNode* node() const { return node_; }
+
+  /// Destroys all executors of a query (endpoint cleanup between runs).
+  void ReleaseQuery(int query_id);
+
+ protected:
+  void HandleMessage(const Message& msg) override;
+
+ private:
+  GridNode* node_;
+  Network* network_;
+  bool adaptive_;
+  std::unique_ptr<MonitoringEventDetector> med_;
+  std::unordered_map<std::string, TablePtr> tables_;
+  std::unordered_map<std::string, std::unique_ptr<FragmentExecutor>>
+      executors_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_DQP_GQES_H_

@@ -1,0 +1,163 @@
+#include "exec/distribution_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace gqp {
+
+Status ValidateWeights(const std::vector<double>& weights,
+                       size_t expected_size) {
+  if (weights.size() != expected_size) {
+    return Status::InvalidArgument(
+        StrCat("weight vector has ", weights.size(), " entries, expected ",
+               expected_size));
+  }
+  double sum = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("weights must be finite and >= 0");
+    }
+    sum += w;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        StrFormat("weights must sum to 1 (got %.9f)", sum));
+  }
+  return Status::OK();
+}
+
+WeightedRoundRobinPolicy::WeightedRoundRobinPolicy(std::vector<double> weights)
+    : weights_(std::move(weights)), credits_(weights_.size(), 0.0) {}
+
+int WeightedRoundRobinPolicy::Route(const Tuple& /*tuple*/, int* bucket_out) {
+  if (bucket_out != nullptr) *bucket_out = -1;
+  // Zero-weight consumers (e.g. crashed machines) never win the credit
+  // race, even when every live credit is negative.
+  int best = -1;
+  for (size_t i = 0; i < credits_.size(); ++i) {
+    credits_[i] += weights_[i];
+    if (weights_[i] <= 0.0) continue;
+    if (best < 0 || credits_[i] > credits_[static_cast<size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) best = 0;  // all weights zero: degenerate, validated away
+  credits_[static_cast<size_t>(best)] -= 1.0;
+  return best;
+}
+
+Result<std::vector<BucketMove>> WeightedRoundRobinPolicy::UpdateWeights(
+    const std::vector<double>& weights) {
+  GQP_RETURN_IF_ERROR(ValidateWeights(weights, weights_.size()));
+  weights_ = weights;
+  // Keep credits: routing smoothly converges to the new proportions.
+  return std::vector<BucketMove>{};
+}
+
+HashBucketPolicy::HashBucketPolicy(int num_buckets, size_t key_col,
+                                   std::vector<double> weights)
+    : num_buckets_(num_buckets < 1 ? 1 : num_buckets),
+      key_col_(key_col),
+      weights_(std::move(weights)),
+      owner_(static_cast<size_t>(num_buckets_), 0) {
+  const std::vector<int> counts = TargetCounts(weights_);
+  int bucket = 0;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    for (int k = 0; k < counts[c]; ++k) {
+      owner_[static_cast<size_t>(bucket++)] = static_cast<int>(c);
+    }
+  }
+}
+
+std::vector<int> HashBucketPolicy::TargetCounts(
+    const std::vector<double>& weights) const {
+  const size_t n = weights.size();
+  std::vector<int> counts(n, 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  int assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double exact = weights[i] * num_buckets_;
+    counts[i] = static_cast<int>(std::floor(exact));
+    assigned += counts[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  // Largest remainder first; ties broken by index for determinism.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (int k = 0; k < num_buckets_ - assigned; ++k) {
+    counts[remainders[static_cast<size_t>(k) % remainders.size()].second]++;
+  }
+  return counts;
+}
+
+int HashBucketPolicy::BucketOf(const Tuple& tuple) const {
+  const Value& key = tuple.at(key_col_);
+  return static_cast<int>(key.Hash() % static_cast<uint64_t>(num_buckets_));
+}
+
+int HashBucketPolicy::Route(const Tuple& tuple, int* bucket_out) {
+  const int bucket = BucketOf(tuple);
+  if (bucket_out != nullptr) *bucket_out = bucket;
+  return owner_[static_cast<size_t>(bucket)];
+}
+
+int HashBucketPolicy::OwnerOf(int bucket) const {
+  if (bucket < 0 || bucket >= num_buckets_) return -1;
+  return owner_[static_cast<size_t>(bucket)];
+}
+
+Result<std::vector<BucketMove>> HashBucketPolicy::UpdateWeights(
+    const std::vector<double>& weights) {
+  GQP_RETURN_IF_ERROR(ValidateWeights(weights, weights_.size()));
+  const std::vector<int> target = TargetCounts(weights);
+
+  std::vector<int> current(weights_.size(), 0);
+  for (const int owner : owner_) current[static_cast<size_t>(owner)]++;
+
+  // Move the minimal number of buckets: take from over-allocated owners
+  // (highest bucket index first, deterministic) and hand to
+  // under-allocated ones.
+  std::vector<BucketMove> moves;
+  std::vector<int> deficit(weights_.size());
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    deficit[c] = target[c] - current[c];
+  }
+  size_t receiver = 0;
+  for (int b = num_buckets_ - 1; b >= 0; --b) {
+    const int owner = owner_[static_cast<size_t>(b)];
+    if (deficit[static_cast<size_t>(owner)] >= 0) continue;
+    while (receiver < deficit.size() && deficit[receiver] <= 0) ++receiver;
+    if (receiver >= deficit.size()) break;
+    moves.push_back(BucketMove{b, owner, static_cast<int>(receiver)});
+    owner_[static_cast<size_t>(b)] = static_cast<int>(receiver);
+    deficit[static_cast<size_t>(owner)]++;
+    deficit[receiver]--;
+  }
+  weights_ = weights;
+  return moves;
+}
+
+Result<std::unique_ptr<DistributionPolicy>> MakePolicy(
+    const ExchangeDesc& desc, std::vector<double> weights) {
+  GQP_RETURN_IF_ERROR(ValidateWeights(weights, weights.size()));
+  if (weights.empty()) {
+    return Status::InvalidArgument("policy needs at least one consumer");
+  }
+  switch (desc.policy) {
+    case PolicyKind::kWeightedRoundRobin:
+      return std::unique_ptr<DistributionPolicy>(
+          new WeightedRoundRobinPolicy(std::move(weights)));
+    case PolicyKind::kHashBuckets:
+      return std::unique_ptr<DistributionPolicy>(new HashBucketPolicy(
+          desc.num_buckets, desc.key_col, std::move(weights)));
+  }
+  return Status::Internal("unknown policy kind");
+}
+
+}  // namespace gqp

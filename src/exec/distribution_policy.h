@@ -1,0 +1,127 @@
+// Tuple-distribution policies of the enhanced exchange operator. The
+// Diagnoser reasons in terms of the workload vector W = (w1..wn); these
+// classes turn W into per-tuple routing decisions:
+//
+//  - WeightedRoundRobinPolicy: smooth weighted round-robin for stateless
+//    downstream operators (any tuple may go anywhere).
+//  - HashBucketPolicy: Flux-style logical partitions. The key column is
+//    hashed into `num_buckets` buckets; buckets are owned by consumers in
+//    proportion to W. Rebalancing reassigns the minimal number of buckets,
+//    which defines exactly which state must move.
+
+#ifndef GRIDQP_EXEC_DISTRIBUTION_POLICY_H_
+#define GRIDQP_EXEC_DISTRIBUTION_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/physical_plan.h"
+#include "storage/tuple.h"
+
+namespace gqp {
+
+/// One bucket ownership change from a weight update.
+struct BucketMove {
+  int bucket = -1;
+  int from_consumer = -1;
+  int to_consumer = -1;
+};
+
+/// \brief Maps tuples to consumer indexes under a weight vector W.
+class DistributionPolicy {
+ public:
+  virtual ~DistributionPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+  virtual int num_consumers() const = 0;
+  virtual const std::vector<double>& weights() const = 0;
+
+  /// Routes a tuple. `bucket_out` receives the logical bucket (-1 for
+  /// round-robin policies).
+  virtual int Route(const Tuple& tuple, int* bucket_out) = 0;
+
+  /// Installs a new weight vector. Returns the bucket ownership changes
+  /// (empty for round-robin policies). Fails if the vector has the wrong
+  /// arity, non-positive entries, or does not sum to ~1.
+  virtual Result<std::vector<BucketMove>> UpdateWeights(
+      const std::vector<double>& weights) = 0;
+
+  /// Consumer currently owning `bucket`; -1 when not applicable.
+  virtual int OwnerOf(int bucket) const = 0;
+};
+
+/// Validates a weight vector (size, positivity, sums to 1 within 1e-6).
+Status ValidateWeights(const std::vector<double>& weights,
+                       size_t expected_size);
+
+/// \brief Smooth weighted round-robin (credit-based).
+///
+/// Each decision adds w_i to every consumer's credit and picks the highest
+/// credit, subtracting 1 from the winner; over time consumer i receives a
+/// w_i fraction of tuples with minimal burstiness.
+class WeightedRoundRobinPolicy : public DistributionPolicy {
+ public:
+  explicit WeightedRoundRobinPolicy(std::vector<double> weights);
+
+  PolicyKind kind() const override {
+    return PolicyKind::kWeightedRoundRobin;
+  }
+  int num_consumers() const override {
+    return static_cast<int>(weights_.size());
+  }
+  const std::vector<double>& weights() const override { return weights_; }
+  int Route(const Tuple& tuple, int* bucket_out) override;
+  Result<std::vector<BucketMove>> UpdateWeights(
+      const std::vector<double>& weights) override;
+  int OwnerOf(int) const override { return -1; }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> credits_;
+};
+
+/// \brief Hash partitioning into logical buckets owned by consumers.
+class HashBucketPolicy : public DistributionPolicy {
+ public:
+  /// Builds the initial ownership map: bucket counts proportional to
+  /// `weights` (largest-remainder rounding), buckets dealt to consumers in
+  /// contiguous runs. Deterministic: producers sharing a consumer group
+  /// stay in lockstep as long as they apply the same weight updates in the
+  /// same order.
+  HashBucketPolicy(int num_buckets, size_t key_col,
+                   std::vector<double> weights);
+
+  PolicyKind kind() const override { return PolicyKind::kHashBuckets; }
+  int num_consumers() const override {
+    return static_cast<int>(weights_.size());
+  }
+  const std::vector<double>& weights() const override { return weights_; }
+  int Route(const Tuple& tuple, int* bucket_out) override;
+  Result<std::vector<BucketMove>> UpdateWeights(
+      const std::vector<double>& weights) override;
+  int OwnerOf(int bucket) const override;
+
+  int num_buckets() const { return num_buckets_; }
+  /// The bucket a tuple falls into (stable across producers/consumers).
+  int BucketOf(const Tuple& tuple) const;
+  const std::vector<int>& owner_map() const { return owner_; }
+
+ private:
+  /// Target bucket counts per consumer for a weight vector
+  /// (largest-remainder apportionment; sums to num_buckets_).
+  std::vector<int> TargetCounts(const std::vector<double>& weights) const;
+
+  int num_buckets_;
+  size_t key_col_;
+  std::vector<double> weights_;
+  std::vector<int> owner_;  // bucket -> consumer
+};
+
+/// Factory from an exchange descriptor + initial weights.
+Result<std::unique_ptr<DistributionPolicy>> MakePolicy(
+    const ExchangeDesc& desc, std::vector<double> weights);
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXEC_DISTRIBUTION_POLICY_H_

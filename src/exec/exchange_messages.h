@@ -1,0 +1,457 @@
+// Payload types exchanged between fragment instances (data path) and
+// between the Responder and fragment instances (adaptation control path).
+//
+// Data path:   TupleBatchPayload, EosPayload, AckPayload
+// Control path: RedistributeRequest/Outcome, StateMoveRequest/Reply,
+//               RestoreComplete, ProgressRequest/Reply,
+//               CompletionOffer/Grant, WeightsAppliedPayload
+//
+// The control protocol implements the paper's two response types:
+//   R2 (prospective):  producers switch their distribution policy for
+//                      future tuples only.
+//   R1 (retrospective): additionally, tuples in the recovery logs (queued,
+//                      in transit, or constituting downstream operator
+//                      state) are recalled and redistributed under the new
+//                      policy; consumers purge moved state and park probe
+//                      tuples of moved buckets until the state is rebuilt.
+
+#ifndef GRIDQP_EXEC_EXCHANGE_MESSAGES_H_
+#define GRIDQP_EXEC_EXCHANGE_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/monitoring_events.h"
+#include "net/message.h"
+#include "storage/tuple.h"
+
+namespace gqp {
+
+/// A tuple tagged with its producer sequence number and logical partition
+/// bucket (-1 under round-robin routing).
+struct RoutedTuple {
+  uint64_t seq = 0;
+  int bucket = -1;
+  Tuple tuple;
+};
+
+/// A buffer of data tuples on one exchange.
+class TupleBatchPayload : public Payload {
+ public:
+  TupleBatchPayload(int exchange_id, SubplanId producer, int consumer_port,
+                    bool resend, std::vector<RoutedTuple> tuples)
+      : exchange_id_(exchange_id),
+        producer_(producer),
+        consumer_port_(consumer_port),
+        resend_(resend),
+        tuples_(std::move(tuples)) {}
+
+  size_t WireSize() const override {
+    size_t bytes = 48;
+    for (const RoutedTuple& t : tuples_) bytes += 12 + t.tuple.WireSize();
+    return bytes;
+  }
+  std::string_view TypeName() const override { return "TupleBatch"; }
+
+  int exchange_id() const { return exchange_id_; }
+  const SubplanId& producer() const { return producer_; }
+  int consumer_port() const { return consumer_port_; }
+  bool resend() const { return resend_; }
+  const std::vector<RoutedTuple>& tuples() const { return tuples_; }
+
+ private:
+  int exchange_id_;
+  SubplanId producer_;
+  int consumer_port_;
+  bool resend_;
+  std::vector<RoutedTuple> tuples_;
+};
+
+/// End-of-stream marker from one producer instance.
+class EosPayload : public Payload {
+ public:
+  EosPayload(int exchange_id, SubplanId producer, int consumer_port)
+      : exchange_id_(exchange_id),
+        producer_(producer),
+        consumer_port_(consumer_port) {}
+
+  size_t WireSize() const override { return 32; }
+  std::string_view TypeName() const override { return "Eos"; }
+
+  int exchange_id() const { return exchange_id_; }
+  const SubplanId& producer() const { return producer_; }
+  int consumer_port() const { return consumer_port_; }
+
+ private:
+  int exchange_id_;
+  SubplanId producer_;
+  int consumer_port_;
+};
+
+/// Acknowledgment tuples: seqs whose processing completed downstream.
+class AckPayload : public Payload {
+ public:
+  AckPayload(int exchange_id, SubplanId consumer, std::vector<uint64_t> seqs)
+      : exchange_id_(exchange_id),
+        consumer_(consumer),
+        seqs_(std::move(seqs)) {}
+
+  size_t WireSize() const override { return 32 + 8 * seqs_.size(); }
+  std::string_view TypeName() const override { return "Ack"; }
+
+  int exchange_id() const { return exchange_id_; }
+  const SubplanId& consumer() const { return consumer_; }
+  const std::vector<uint64_t>& seqs() const { return seqs_; }
+
+ private:
+  int exchange_id_;
+  SubplanId consumer_;
+  std::vector<uint64_t> seqs_;
+};
+
+/// Responder -> producer fragment: change the distribution policy of the
+/// exchanges feeding fragment `target_fragment` to `weights`;
+/// retrospectively redistribute logged tuples when `retrospective`.
+class RedistributeRequestPayload : public Payload {
+ public:
+  RedistributeRequestPayload(uint64_t round, int target_fragment,
+                             std::vector<double> weights, bool retrospective,
+                             std::vector<int> dead_consumers = {})
+      : round_(round),
+        target_fragment_(target_fragment),
+        weights_(std::move(weights)),
+        retrospective_(retrospective),
+        dead_consumers_(std::move(dead_consumers)) {}
+
+  size_t WireSize() const override {
+    return 40 + 8 * weights_.size() + 4 * dead_consumers_.size();
+  }
+  std::string_view TypeName() const override { return "RedistributeRequest"; }
+
+  uint64_t round() const { return round_; }
+  int target_fragment() const { return target_fragment_; }
+  const std::vector<double>& weights() const { return weights_; }
+  bool retrospective() const { return retrospective_; }
+  /// Consumer indexes that crashed: they are excluded from routing, never
+  /// asked for state-move replies, and their processed-set is assumed
+  /// empty (everything unacknowledged is recovered to survivors).
+  const std::vector<int>& dead_consumers() const { return dead_consumers_; }
+
+ private:
+  uint64_t round_;
+  int target_fragment_;
+  std::vector<double> weights_;
+  bool retrospective_;
+  std::vector<int> dead_consumers_;
+};
+
+/// Producer fragment -> Responder: outcome of a redistribution round on
+/// one exchange (applied, or rejected because the stream had fully
+/// completed).
+class RedistributeOutcomePayload : public Payload {
+ public:
+  RedistributeOutcomePayload(uint64_t round, SubplanId producer, bool applied)
+      : round_(round), producer_(producer), applied_(applied) {}
+
+  size_t WireSize() const override { return 40; }
+  std::string_view TypeName() const override { return "RedistributeOutcome"; }
+
+  uint64_t round() const { return round_; }
+  const SubplanId& producer() const { return producer_; }
+  bool applied() const { return applied_; }
+
+ private:
+  uint64_t round_;
+  SubplanId producer_;
+  bool applied_;
+};
+
+/// Producer -> consumer: purge instruction of a retrospective round.
+/// `purge_all` (round-robin policies) drops every unprocessed queued tuple
+/// of this producer; otherwise `buckets_lost` lists partitions to purge
+/// (queued tuples and operator state) and `buckets_gained` partitions this
+/// consumer is about to receive (probe tuples for them must be parked until
+/// RestoreComplete).
+class StateMoveRequestPayload : public Payload {
+ public:
+  StateMoveRequestPayload(uint64_t round, int exchange_id, SubplanId producer,
+                          int consumer_port, bool purge_all,
+                          std::vector<int> buckets_lost,
+                          std::vector<int> buckets_gained)
+      : round_(round),
+        exchange_id_(exchange_id),
+        producer_(producer),
+        consumer_port_(consumer_port),
+        purge_all_(purge_all),
+        buckets_lost_(std::move(buckets_lost)),
+        buckets_gained_(std::move(buckets_gained)) {}
+
+  size_t WireSize() const override {
+    return 48 + 4 * (buckets_lost_.size() + buckets_gained_.size());
+  }
+  std::string_view TypeName() const override { return "StateMoveRequest"; }
+
+  uint64_t round() const { return round_; }
+  int exchange_id() const { return exchange_id_; }
+  const SubplanId& producer() const { return producer_; }
+  int consumer_port() const { return consumer_port_; }
+  bool purge_all() const { return purge_all_; }
+  const std::vector<int>& buckets_lost() const { return buckets_lost_; }
+  const std::vector<int>& buckets_gained() const { return buckets_gained_; }
+
+ private:
+  uint64_t round_;
+  int exchange_id_;
+  SubplanId producer_;
+  int consumer_port_;
+  bool purge_all_;
+  std::vector<int> buckets_lost_;
+  std::vector<int> buckets_gained_;
+};
+
+/// Consumer -> producer: seqs of this producer the consumer has fully
+/// processed among the purged scope (they must NOT be resent), plus how
+/// many queued tuples were discarded (for accounting).
+class StateMoveReplyPayload : public Payload {
+ public:
+  StateMoveReplyPayload(uint64_t round, int exchange_id, SubplanId consumer,
+                        std::vector<uint64_t> processed_seqs,
+                        uint64_t discarded)
+      : round_(round),
+        exchange_id_(exchange_id),
+        consumer_(consumer),
+        processed_seqs_(std::move(processed_seqs)),
+        discarded_(discarded) {}
+
+  size_t WireSize() const override { return 40 + 8 * processed_seqs_.size(); }
+  std::string_view TypeName() const override { return "StateMoveReply"; }
+
+  uint64_t round() const { return round_; }
+  int exchange_id() const { return exchange_id_; }
+  const SubplanId& consumer() const { return consumer_; }
+  const std::vector<uint64_t>& processed_seqs() const {
+    return processed_seqs_;
+  }
+  uint64_t discarded() const { return discarded_; }
+
+ private:
+  uint64_t round_;
+  int exchange_id_;
+  SubplanId consumer_;
+  std::vector<uint64_t> processed_seqs_;
+  uint64_t discarded_;
+};
+
+/// Producer -> consumer: all recalled tuples for `buckets` have been
+/// resent; parked probe tuples of those buckets may flow again.
+class RestoreCompletePayload : public Payload {
+ public:
+  RestoreCompletePayload(uint64_t round, int exchange_id, SubplanId producer,
+                         int consumer_port, std::vector<int> buckets,
+                         bool all_buckets)
+      : round_(round),
+        exchange_id_(exchange_id),
+        producer_(producer),
+        consumer_port_(consumer_port),
+        buckets_(std::move(buckets)),
+        all_buckets_(all_buckets) {}
+
+  size_t WireSize() const override { return 40 + 4 * buckets_.size(); }
+  std::string_view TypeName() const override { return "RestoreComplete"; }
+
+  uint64_t round() const { return round_; }
+  int exchange_id() const { return exchange_id_; }
+  const SubplanId& producer() const { return producer_; }
+  int consumer_port() const { return consumer_port_; }
+  const std::vector<int>& buckets() const { return buckets_; }
+  bool all_buckets() const { return all_buckets_; }
+
+ private:
+  uint64_t round_;
+  int exchange_id_;
+  SubplanId producer_;
+  int consumer_port_;
+  std::vector<int> buckets_;
+  bool all_buckets_;
+};
+
+/// Responder -> producer: progress estimation request (Chaudhuri et al.
+/// style "how far along is the stream").
+class ProgressRequestPayload : public Payload {
+ public:
+  explicit ProgressRequestPayload(uint64_t round) : round_(round) {}
+
+  size_t WireSize() const override { return 16; }
+  std::string_view TypeName() const override { return "ProgressRequest"; }
+
+  uint64_t round() const { return round_; }
+
+ private:
+  uint64_t round_;
+};
+
+/// Producer -> Responder: fraction of the input already distributed.
+class ProgressReplyPayload : public Payload {
+ public:
+  ProgressReplyPayload(uint64_t round, SubplanId producer, double fraction,
+                       bool eos_sent, uint64_t log_size)
+      : round_(round),
+        producer_(producer),
+        fraction_(fraction),
+        eos_sent_(eos_sent),
+        log_size_(log_size) {}
+
+  size_t WireSize() const override { return 48; }
+  std::string_view TypeName() const override { return "ProgressReply"; }
+
+  uint64_t round() const { return round_; }
+  const SubplanId& producer() const { return producer_; }
+  double fraction() const { return fraction_; }
+  bool eos_sent() const { return eos_sent_; }
+  uint64_t log_size() const { return log_size_; }
+
+ private:
+  uint64_t round_;
+  SubplanId producer_;
+  double fraction_;
+  bool eos_sent_;
+  uint64_t log_size_;
+};
+
+/// Consumer fragment -> Responder: the instance has drained all inputs and
+/// wants to finish; the Responder must confirm no retrospective
+/// redistribution can still route work to it.
+class CompletionOfferPayload : public Payload {
+ public:
+  explicit CompletionOfferPayload(SubplanId consumer) : consumer_(consumer) {}
+
+  size_t WireSize() const override { return 24; }
+  std::string_view TypeName() const override { return "CompletionOffer"; }
+
+  const SubplanId& consumer() const { return consumer_; }
+
+ private:
+  SubplanId consumer_;
+};
+
+/// Responder -> consumer fragment: go ahead and finish.
+class CompletionGrantPayload : public Payload {
+ public:
+  explicit CompletionGrantPayload(SubplanId consumer) : consumer_(consumer) {}
+
+  size_t WireSize() const override { return 24; }
+  std::string_view TypeName() const override { return "CompletionGrant"; }
+
+  const SubplanId& consumer() const { return consumer_; }
+
+ private:
+  SubplanId consumer_;
+};
+
+/// Responder -> Diagnoser (pub/sub): a redistribution round completed and
+/// the effective distribution vector is now `weights` (W <- W').
+class WeightsAppliedPayload : public Payload {
+ public:
+  WeightsAppliedPayload(uint64_t round, int target_fragment,
+                        std::vector<double> weights)
+      : round_(round),
+        target_fragment_(target_fragment),
+        weights_(std::move(weights)) {}
+
+  size_t WireSize() const override { return 32 + 8 * weights_.size(); }
+  std::string_view TypeName() const override { return "WeightsApplied"; }
+
+  uint64_t round() const { return round_; }
+  int target_fragment() const { return target_fragment_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  uint64_t round_;
+  int target_fragment_;
+  std::vector<double> weights_;
+};
+
+/// Coordinator -> consumer fragment: one of the producers feeding `port`
+/// crashed; stop waiting for its end-of-stream marker.
+class ProducerLostPayload : public Payload {
+ public:
+  ProducerLostPayload(int exchange_id, SubplanId producer, int consumer_port)
+      : exchange_id_(exchange_id),
+        producer_(producer),
+        consumer_port_(consumer_port) {}
+
+  size_t WireSize() const override { return 32; }
+  std::string_view TypeName() const override { return "ProducerLost"; }
+
+  int exchange_id() const { return exchange_id_; }
+  const SubplanId& producer() const { return producer_; }
+  int consumer_port() const { return consumer_port_; }
+
+ private:
+  int exchange_id_;
+  SubplanId producer_;
+  int consumer_port_;
+};
+
+/// Coordinator -> Responder/Diagnoser: a monitored evaluator instance
+/// crashed; trigger recovery (Responder) and exclude it from balancing
+/// decisions (Diagnoser).
+class FailureNoticePayload : public Payload {
+ public:
+  FailureNoticePayload(SubplanId instance, int consumer_index)
+      : instance_(instance), consumer_index_(consumer_index) {}
+
+  size_t WireSize() const override { return 32; }
+  std::string_view TypeName() const override { return "FailureNotice"; }
+
+  const SubplanId& instance() const { return instance_; }
+  int consumer_index() const { return consumer_index_; }
+
+ private:
+  SubplanId instance_;
+  int consumer_index_;
+};
+
+/// GDQS -> fragment instance: all fragments are deployed, begin execution
+/// (scan leaves start pumping).
+class BeginPayload : public Payload {
+ public:
+  explicit BeginPayload(int query) : query_(query) {}
+
+  size_t WireSize() const override { return 16; }
+  std::string_view TypeName() const override { return "Begin"; }
+
+  int query() const { return query_; }
+
+ private:
+  int query_;
+};
+
+/// Fragment instance -> coordinator (GDQS): this instance finished.
+class FragmentCompletePayload : public Payload {
+ public:
+  FragmentCompletePayload(SubplanId id, uint64_t tuples_processed,
+                          uint64_t tuples_emitted)
+      : id_(id),
+        tuples_processed_(tuples_processed),
+        tuples_emitted_(tuples_emitted) {}
+
+  size_t WireSize() const override { return 40; }
+  std::string_view TypeName() const override { return "FragmentComplete"; }
+
+  const SubplanId& id() const { return id_; }
+  uint64_t tuples_processed() const { return tuples_processed_; }
+  uint64_t tuples_emitted() const { return tuples_emitted_; }
+
+ private:
+  SubplanId id_;
+  uint64_t tuples_processed_;
+  uint64_t tuples_emitted_;
+};
+
+/// Pub/sub topic on which the Responder announces applied weight vectors.
+inline constexpr const char* kTopicWeightsApplied = "adapt.weights_applied";
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXEC_EXCHANGE_MESSAGES_H_

@@ -1,0 +1,166 @@
+// Exchange producer: the upstream half of the paper's enhanced exchange
+// operator. Owns the distribution policy, per-consumer buffers, checkpoint
+// insertion, the recovery log, and the retrospective (R1) redistribution
+// protocol. It is embedded in a FragmentExecutor, which supplies the
+// messaging/work hooks.
+
+#ifndef GRIDQP_EXEC_EXCHANGE_PRODUCER_H_
+#define GRIDQP_EXEC_EXCHANGE_PRODUCER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/distribution_policy.h"
+#include "exec/exchange_messages.h"
+#include "exec/exec_config.h"
+#include "ft/recovery_log.h"
+
+namespace gqp {
+
+/// A consumer endpoint of this exchange.
+struct ConsumerEndpoint {
+  SubplanId id;
+  Address address;
+};
+
+/// Wiring of a fragment's output exchange.
+struct OutputWiring {
+  ExchangeDesc desc;
+  std::vector<ConsumerEndpoint> consumers;
+  std::vector<double> initial_weights;
+  /// Expected number of input tuples (scan cardinality) for progress
+  /// estimation; 0 = unknown.
+  uint64_t estimated_rows = 0;
+};
+
+/// Producer-side counters.
+struct ProducerStats {
+  uint64_t tuples_offered = 0;
+  std::vector<uint64_t> tuples_to_consumer;
+  uint64_t buffers_sent = 0;
+  uint64_t resent_tuples = 0;
+  uint64_t redistributions_applied = 0;
+  uint64_t redistributions_rejected = 0;
+};
+
+/// \brief The producing half of an exchange.
+class ExchangeProducer {
+ public:
+  /// Callbacks into the owning FragmentExecutor.
+  struct Hooks {
+    /// Sends a payload to consumer `idx` (over the bus).
+    std::function<Status(int idx, PayloadPtr payload)> send;
+    /// Charges exchange CPU work on the local node; `done` runs when the
+    /// work completes (may be null for fire-and-forget accounting).
+    std::function<void(double cost_ms, std::function<void()> done)>
+        submit_work;
+    /// Reports one sent buffer for M2 monitoring: consumer index, CPU send
+    /// cost, tuple count and serialized size (the executor adds the
+    /// network transfer time).
+    std::function<void(int idx, double send_cost_ms, size_t tuples,
+                       size_t wire_bytes)>
+        on_buffer_sent;
+    /// Reports completion of a redistribution round (to the Responder).
+    std::function<void(uint64_t round, bool applied)> on_round_done;
+    /// Reports output seqs acknowledged by consumers (drives cascading
+    /// acknowledgments: an input tuple is only safe once every output
+    /// derived from it is safe downstream).
+    std::function<void(const std::vector<uint64_t>& seqs)> on_acked;
+  };
+
+  ExchangeProducer(SubplanId self, OutputWiring wiring, ExecConfig config,
+                   Hooks hooks);
+
+  /// Initializes the distribution policy.
+  Status Open();
+
+  /// Routes, logs and buffers one output tuple; flushes full buffers.
+  /// Returns the sequence number assigned to the tuple.
+  Result<uint64_t> Offer(const Tuple& tuple);
+
+  /// Input exhausted: flush all buffers and send EOS (deferred while a
+  /// retrospective round is in flight).
+  Status FinishInput();
+
+  /// Handles an acknowledgment batch from a consumer.
+  void OnAck(const AckPayload& ack);
+
+  /// Responder asked for a redistribution (R1 or R2). Reports the outcome
+  /// via hooks.on_round_done (synchronously for R2/rejections,
+  /// asynchronously after the state-move dance for R1).
+  Status HandleRedistribute(const RedistributeRequestPayload& request);
+
+  /// Consumer reply of the in-flight R1 round.
+  Status HandleStateMoveReply(const StateMoveReplyPayload& reply);
+
+  /// Fraction of the expected input already offered (1.0 once finished).
+  double ProgressFraction() const;
+
+  bool eos_sent() const { return eos_sent_; }
+  bool input_finished() const { return input_finished_; }
+  bool round_in_flight() const { return round_.has_value(); }
+  size_t log_size() const { return log_.size(); }
+  const RecoveryLog& log() const { return log_; }
+  const ProducerStats& stats() const { return stats_; }
+  const DistributionPolicy* policy() const { return policy_.get(); }
+  int num_consumers() const {
+    return static_cast<int>(wiring_.consumers.size());
+  }
+
+ private:
+  struct InFlightRound {
+    uint64_t id = 0;
+    /// Tuples offered after the policy switched to the new weights are
+    /// already routed correctly; only log records below this watermark
+    /// are recalled (otherwise a tuple sent under the new map would also
+    /// be resent, duplicating it downstream).
+    uint64_t recall_before_seq = 0;
+    /// Buckets each consumer loses / gains (hash policies).
+    std::vector<std::vector<int>> lost;
+    std::vector<std::vector<int>> gained;
+    bool purge_all = false;
+    /// Consumers whose StateMoveReply is still outstanding.
+    std::set<int> awaiting_reply;
+    /// Processed seqs reported by consumers (must not be resent).
+    std::unordered_set<uint64_t> processed;
+  };
+
+  /// Flushes consumer `idx`'s buffer as one TupleBatch message.
+  Status Flush(int idx, bool resend);
+
+  /// Sends EOS markers to every consumer.
+  Status SendEos();
+
+  /// All replies arrived: extract, re-route and resend logged tuples, then
+  /// send RestoreComplete markers and finish the round.
+  Status CompleteRound();
+
+  Status RouteAndBuffer(const Tuple& tuple, uint64_t seq, bool resend);
+
+  SubplanId self_;
+  OutputWiring wiring_;
+  ExecConfig config_;
+  Hooks hooks_;
+  std::unique_ptr<DistributionPolicy> policy_;
+  RecoveryLog log_;
+
+  uint64_t next_seq_ = 1;
+  std::vector<std::vector<RoutedTuple>> buffers_;
+  /// CPU cost accumulated per consumer since its last flush (routing/log
+  /// appends), charged with the flush work item.
+  std::vector<double> pending_overhead_ms_;
+  bool input_finished_ = false;
+  bool eos_sent_ = false;
+  std::optional<InFlightRound> round_;
+  /// Crashed consumers: never routed to, never flushed to, never awaited.
+  std::set<int> dead_consumers_;
+  ProducerStats stats_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXEC_EXCHANGE_PRODUCER_H_

@@ -1,0 +1,815 @@
+#include "exec/fragment_executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "plan/cost_model.h"
+
+namespace gqp {
+namespace {
+
+constexpr const char* kExchangeTag = "op:exchange";
+
+std::string ProducerKey(const SubplanId& id) { return id.ToString(); }
+
+bool BucketInList(int bucket, const std::vector<int>& buckets) {
+  return std::find(buckets.begin(), buckets.end(), bucket) != buckets.end();
+}
+
+}  // namespace
+
+FragmentExecutor::FragmentExecutor(MessageBus* bus, GridNode* node,
+                                   Network* network,
+                                   FragmentInstancePlan plan,
+                                   TablePtr scan_table)
+    : GridService(bus, node->id(), plan.id.ToString()),
+      node_(node),
+      network_(network),
+      plan_(std::move(plan)),
+      scan_table_(std::move(scan_table)) {}
+
+FragmentExecutor::~FragmentExecutor() = default;
+
+Status FragmentExecutor::Prepare() {
+  if (plan_.fragment.ops.empty()) {
+    return Status::InvalidArgument("fragment has no operators");
+  }
+  const bool is_scan = plan_.fragment.IsScanLeaf();
+  if (is_scan && scan_table_ == nullptr) {
+    return Status::FailedPrecondition(
+        StrCat("no local table for scan fragment ",
+               plan_.fragment.ops.front().table));
+  }
+  if (!is_scan &&
+      static_cast<int>(plan_.inputs.size()) !=
+          plan_.fragment.num_input_ports) {
+    return Status::InvalidArgument("input wiring/port count mismatch");
+  }
+
+  // Instantiate the chain (scan leaves skip the scan descriptor: the
+  // executor itself drives the table).
+  const size_t first_op = is_scan ? 1 : 0;
+  for (size_t i = first_op; i < plan_.fragment.ops.size(); ++i) {
+    GQP_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalOperator> op,
+                         MakeOperator(plan_.fragment.ops[i]));
+    ops_.push_back(std::move(op));
+  }
+  for (size_t i = 0; i + 1 < ops_.size(); ++i) {
+    ops_[i]->set_next(ops_[i + 1].get());
+  }
+  for (auto& op : ops_) {
+    GQP_RETURN_IF_ERROR(op->Open(&ctx_));
+  }
+
+  // Input ports.
+  ports_.clear();
+  for (const InputWiring& wiring : plan_.inputs) {
+    PortState port;
+    port.wiring = wiring;
+    ports_.push_back(std::move(port));
+  }
+
+  // Output exchange.
+  if (plan_.output.has_value()) {
+    ExchangeProducer::Hooks hooks;
+    hooks.send = [this](int idx, PayloadPtr payload) {
+      return SendTo(
+          plan_.output->consumers[static_cast<size_t>(idx)].address,
+          std::move(payload));
+    };
+    hooks.submit_work = [this](double cost_ms, std::function<void()> done) {
+      node_->SubmitWork(kExchangeTag, cost_ms,
+                        [done = std::move(done)]() {
+                          if (done) done();
+                        });
+    };
+    hooks.on_buffer_sent = [this](int idx, double send_cost_ms,
+                                  size_t tuples, size_t wire_bytes) {
+      ++stats_.m2_sent;
+      if (!plan_.config.monitoring_enabled ||
+          plan_.adaptivity.med.host == kInvalidHost) {
+        return;
+      }
+      const ConsumerEndpoint& consumer =
+          plan_.output->consumers[static_cast<size_t>(idx)];
+      const double transfer = network_->TransferTime(
+          host(), consumer.address.host, wire_bytes);
+      node_->SubmitWork(kExchangeTag, plan_.config.monitor_emit_cost_ms,
+                        nullptr);
+      const Status s = SendTo(
+          plan_.adaptivity.med,
+          std::make_shared<M2Payload>(plan_.id, consumer.id,
+                                      send_cost_ms + transfer, tuples));
+      if (!s.ok()) {
+        GQP_LOG_WARN << "M2 emission failed: " << s.ToString();
+      }
+    };
+    hooks.on_acked = [this](const std::vector<uint64_t>& seqs) {
+      OnOutputsAcked(seqs);
+    };
+    hooks.on_round_done = [this](uint64_t round, bool applied) {
+      if (plan_.adaptivity.responder.host == kInvalidHost) return;
+      const Status s =
+          SendTo(plan_.adaptivity.responder,
+                 std::make_shared<RedistributeOutcomePayload>(
+                     round, plan_.id, applied));
+      if (!s.ok()) {
+        GQP_LOG_WARN << "redistribute outcome report failed: "
+                     << s.ToString();
+      }
+    };
+    producer_ = std::make_unique<ExchangeProducer>(
+        plan_.id, *plan_.output, plan_.config, std::move(hooks));
+    GQP_RETURN_IF_ERROR(producer_->Open());
+  }
+
+  return Start();  // register the service endpoint
+}
+
+Status FragmentExecutor::Begin() {
+  if (began_) return Status::OK();
+  began_ = true;
+  idle_since_ = simulator()->Now();
+  idle_tracking_ = true;
+  MaybeProcess();
+  return Status::OK();
+}
+
+const std::vector<Tuple>& FragmentExecutor::Results() const {
+  static const std::vector<Tuple> kEmpty;
+  for (const auto& op : ops_) {
+    if (const auto* collect = dynamic_cast<const CollectOperator*>(op.get())) {
+      return collect->results();
+    }
+  }
+  return kEmpty;
+}
+
+size_t FragmentExecutor::QueuedTuples(int port) const {
+  if (port < 0 || static_cast<size_t>(port) >= ports_.size()) return 0;
+  const PortState& p = ports_[static_cast<size_t>(port)];
+  return p.queue.size() + p.parked.size();
+}
+
+const HashJoinOperator* FragmentExecutor::FindHashJoin() const {
+  for (const auto& op : ops_) {
+    if (const auto* join = dynamic_cast<const HashJoinOperator*>(op.get())) {
+      return join;
+    }
+  }
+  return nullptr;
+}
+
+std::unordered_map<std::string, std::vector<uint64_t>>
+FragmentExecutor::ProcessedSeqs(int port) const {
+  std::unordered_map<std::string, std::vector<uint64_t>> out;
+  if (port < 0 || static_cast<size_t>(port) >= ports_.size()) return out;
+  for (const auto& [key, tracking] : ports_[static_cast<size_t>(port)].producers) {
+    out[key] = std::vector<uint64_t>(tracking.processed.begin(),
+                                     tracking.processed.end());
+  }
+  return out;
+}
+
+void FragmentExecutor::Fail(const Status& status) {
+  if (exec_status_.ok()) exec_status_ = status;
+  GQP_LOG_ERROR << "fragment " << plan_.id.ToString()
+                << " failed: " << status.ToString();
+}
+
+// ---- message dispatch ----------------------------------------------------
+
+void FragmentExecutor::HandleMessage(const Message& msg) {
+  if (const auto* begin = PayloadAs<BeginPayload>(msg.payload)) {
+    (void)begin;
+    const Status s = Begin();
+    if (!s.ok()) Fail(s);
+    return;
+  }
+  if (const auto* batch = PayloadAs<TupleBatchPayload>(msg.payload)) {
+    OnTupleBatch(msg, *batch);
+    return;
+  }
+  if (const auto* eos = PayloadAs<EosPayload>(msg.payload)) {
+    OnEos(*eos);
+    return;
+  }
+  if (const auto* lost = PayloadAs<ProducerLostPayload>(msg.payload)) {
+    OnProducerLost(*lost);
+    return;
+  }
+  if (const auto* ack = PayloadAs<AckPayload>(msg.payload)) {
+    OnAck(*ack);
+    return;
+  }
+  if (const auto* redistribute =
+          PayloadAs<RedistributeRequestPayload>(msg.payload)) {
+    OnRedistribute(*redistribute);
+    return;
+  }
+  if (PayloadAs<StateMoveRequestPayload>(msg.payload) != nullptr ||
+      PayloadAs<RestoreCompletePayload>(msg.payload) != nullptr) {
+    // Defer while a tuple is mid-processing, and keep arrival order: a
+    // RestoreComplete must never overtake the StateMoveRequest that set
+    // up the buckets it clears.
+    if (processing_ || !deferred_state_moves_.empty()) {
+      deferred_state_moves_.push_back(msg);
+    } else {
+      DispatchStateMove(msg);
+    }
+    return;
+  }
+  if (const auto* reply = PayloadAs<StateMoveReplyPayload>(msg.payload)) {
+    OnStateMoveReply(*reply);
+    return;
+  }
+  if (const auto* restore = PayloadAs<RestoreCompletePayload>(msg.payload)) {
+    OnRestoreComplete(*restore);
+    return;
+  }
+  if (const auto* progress = PayloadAs<ProgressRequestPayload>(msg.payload)) {
+    const double fraction =
+        producer_ != nullptr ? producer_->ProgressFraction() : 1.0;
+    const bool eos = producer_ != nullptr ? producer_->eos_sent() : true;
+    const uint64_t log_size =
+        producer_ != nullptr ? producer_->log_size() : 0;
+    const Status s =
+        SendTo(msg.from, std::make_shared<ProgressReplyPayload>(
+                             progress->round(), plan_.id, fraction, eos,
+                             log_size));
+    if (!s.ok()) Fail(s);
+    return;
+  }
+  if (PayloadAs<CompletionGrantPayload>(msg.payload) != nullptr) {
+    OnCompletionGrant();
+    return;
+  }
+  GQP_LOG_DEBUG << "fragment " << plan_.id.ToString()
+                << ": unhandled payload "
+                << (msg.payload ? msg.payload->TypeName() : "null");
+}
+
+void FragmentExecutor::DispatchStateMove(const Message& msg) {
+  if (const auto* move = PayloadAs<StateMoveRequestPayload>(msg.payload)) {
+    OnStateMoveRequest(msg, *move);
+    return;
+  }
+  if (const auto* restore = PayloadAs<RestoreCompletePayload>(msg.payload)) {
+    OnRestoreComplete(*restore);
+  }
+}
+
+FragmentExecutor::ProducerTracking& FragmentExecutor::TrackProducer(
+    PortState* port, const SubplanId& producer, const Address& address,
+    int exchange_id) {
+  const std::string key = ProducerKey(producer);
+  auto it = port->producers.find(key);
+  if (it == port->producers.end()) {
+    ProducerTracking tracking;
+    tracking.address = address;
+    tracking.acks =
+        std::make_unique<AckBatcher>(plan_.config.checkpoint_interval);
+    tracking.exchange_id = exchange_id;
+    it = port->producers.emplace(key, std::move(tracking)).first;
+  }
+  return it->second;
+}
+
+void FragmentExecutor::OnTupleBatch(const Message& msg,
+                                    const TupleBatchPayload& batch) {
+  const int port_idx = batch.consumer_port();
+  if (port_idx < 0 || static_cast<size_t>(port_idx) >= ports_.size()) {
+    Fail(Status::OutOfRange(
+        StrCat("tuple batch for invalid port ", port_idx)));
+    return;
+  }
+  PortState& port = ports_[static_cast<size_t>(port_idx)];
+  TrackProducer(&port, batch.producer(), msg.from, batch.exchange_id());
+  const std::string key = ProducerKey(batch.producer());
+  for (const RoutedTuple& rt : batch.tuples()) {
+    port.queue.push_back(QueuedTuple{rt, key});
+  }
+  stats_.queue_high_watermark =
+      std::max(stats_.queue_high_watermark, port.queue.size());
+  node_->SubmitWork(kExchangeTag,
+                    plan_.config.consumer_enqueue_cost_ms *
+                        static_cast<double>(batch.tuples().size()),
+                    nullptr);
+  // New work may re-open a fragment that had offered completion.
+  completion_offered_ = false;
+  MaybeProcess();
+}
+
+void FragmentExecutor::OnEos(const EosPayload& eos) {
+  const int port_idx = eos.consumer_port();
+  if (port_idx < 0 || static_cast<size_t>(port_idx) >= ports_.size()) {
+    Fail(Status::OutOfRange(StrCat("EOS for invalid port ", port_idx)));
+    return;
+  }
+  ports_[static_cast<size_t>(port_idx)].eos_from.insert(
+      ProducerKey(eos.producer()));
+  MaybeProcess();
+  CheckCompletion();
+}
+
+void FragmentExecutor::OnProducerLost(const ProducerLostPayload& lost) {
+  const int port_idx = lost.consumer_port();
+  if (port_idx < 0 || static_cast<size_t>(port_idx) >= ports_.size()) {
+    return;
+  }
+  // Keep whatever the crashed producer already delivered (those outputs
+  // are valid); just stop waiting for its end-of-stream marker.
+  ports_[static_cast<size_t>(port_idx)].lost.insert(
+      ProducerKey(lost.producer()));
+  MaybeProcess();
+  CheckCompletion();
+}
+
+void FragmentExecutor::OnAck(const AckPayload& ack) {
+  if (producer_ == nullptr) return;
+  producer_->OnAck(ack);
+}
+
+void FragmentExecutor::OnRedistribute(
+    const RedistributeRequestPayload& request) {
+  if (producer_ == nullptr) {
+    GQP_LOG_WARN << "redistribute request at fragment without an output";
+    return;
+  }
+  const Status s = producer_->HandleRedistribute(request);
+  if (!s.ok()) {
+    GQP_LOG_WARN << "fragment " << plan_.id.ToString()
+                 << ": redistribute failed: " << s.ToString();
+  }
+}
+
+void FragmentExecutor::OnStateMoveRequest(
+    const Message& msg, const StateMoveRequestPayload& request) {
+  const int port_idx = request.consumer_port();
+  if (port_idx < 0 || static_cast<size_t>(port_idx) >= ports_.size()) {
+    Fail(Status::OutOfRange("StateMoveRequest for invalid port"));
+    return;
+  }
+  PortState& port = ports_[static_cast<size_t>(port_idx)];
+  ProducerTracking& tracking = TrackProducer(&port, request.producer(),
+                                             msg.from, request.exchange_id());
+  const std::string key = ProducerKey(request.producer());
+  const bool stateful = plan_.fragment.Stateful();
+
+  // The round stays open (and this fragment unfinishable) until the
+  // producer's RestoreComplete marker arrives behind any resent tuples.
+  open_state_rounds_[key].insert(request.round());
+
+  // 1. Purge unprocessed queued/parked tuples of this producer in scope.
+  uint64_t discarded = 0;
+  auto purge = [&](std::deque<QueuedTuple>* q) {
+    for (auto it = q->begin(); it != q->end();) {
+      const bool mine = it->producer_key == key;
+      const bool in_scope =
+          request.purge_all() ||
+          BucketInList(it->rt.bucket, request.buckets_lost());
+      if (mine && in_scope) {
+        ++discarded;
+        it = q->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  purge(&port.queue);
+  purge(&port.parked);
+  stats_.tuples_discarded_in_moves += discarded;
+  if (discarded > 0) {
+    node_->SubmitWork(kExchangeTag,
+                      plan_.config.consumer_discard_cost_ms *
+                          static_cast<double>(discarded),
+                      nullptr);
+  }
+
+  // 2. Stateful fragments: port 0 carries build state.
+  if (stateful && port_idx == 0) {
+    if (!request.buckets_lost().empty()) {
+      for (auto& op : ops_) op->PurgeBuckets(request.buckets_lost());
+      // Probe tuples of lost buckets must not run against the now-missing
+      // state; they stay parked until the probe-side purge removes them.
+      for (const int b : request.buckets_lost()) frozen_lost_.insert(b);
+    }
+    for (const int b : request.buckets_gained()) {
+      awaiting_restore_.insert(b);
+    }
+  }
+  if (stateful && port_idx != 0 && !request.buckets_lost().empty()) {
+    // The probe-side purge arrived: those buckets can thaw.
+    for (const int b : request.buckets_lost()) frozen_lost_.erase(b);
+  }
+
+  // 3. Reply with the full processed set so nothing is duplicated.
+  if (request.purge_all() || !request.buckets_lost().empty()) {
+    std::vector<uint64_t> processed(tracking.processed.begin(),
+                                    tracking.processed.end());
+    std::sort(processed.begin(), processed.end());
+    auto reply = std::make_shared<StateMoveReplyPayload>(
+        request.round(), request.exchange_id(), plan_.id,
+        std::move(processed), discarded);
+    const Address to = msg.from;
+    node_->SubmitWork(kExchangeTag, plan_.config.exchange_send_cost_ms,
+                      [this, to, reply]() {
+                        const Status s = SendTo(to, reply);
+                        if (!s.ok()) Fail(s);
+                      });
+  }
+  MaybeProcess();
+  CheckCompletion();
+}
+
+void FragmentExecutor::OnStateMoveReply(const StateMoveReplyPayload& reply) {
+  if (producer_ == nullptr) return;
+  const Status s = producer_->HandleStateMoveReply(reply);
+  if (!s.ok()) {
+    GQP_LOG_WARN << "fragment " << plan_.id.ToString()
+                 << ": state-move reply failed: " << s.ToString();
+  }
+}
+
+void FragmentExecutor::OnRestoreComplete(
+    const RestoreCompletePayload& restore) {
+  auto open_it = open_state_rounds_.find(ProducerKey(restore.producer()));
+  if (open_it != open_state_rounds_.end()) {
+    open_it->second.erase(restore.round());
+    if (open_it->second.empty()) open_state_rounds_.erase(open_it);
+  }
+  const int port_idx = restore.consumer_port();
+  if (port_idx == 0 && plan_.fragment.Stateful()) {
+    if (restore.all_buckets()) {
+      awaiting_restore_.clear();
+    } else {
+      for (const int b : restore.buckets()) awaiting_restore_.erase(b);
+    }
+    // Unpark probe tuples whose buckets are clear again.
+    for (auto& port : ports_) {
+      for (auto it = port.parked.begin(); it != port.parked.end();) {
+        const int b = it->rt.bucket;
+        if (awaiting_restore_.count(b) == 0 && frozen_lost_.count(b) == 0) {
+          port.queue.push_back(std::move(*it));
+          it = port.parked.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  MaybeProcess();
+  CheckCompletion();
+}
+
+// ---- driver ----------------------------------------------------------------
+
+bool FragmentExecutor::PortRunnable(int port) const {
+  for (int q = 0; q < port; ++q) {
+    const PortState& earlier = ports_[static_cast<size_t>(q)];
+    if (!earlier.EosComplete() || !earlier.queue.empty()) return false;
+  }
+  return true;
+}
+
+int FragmentExecutor::PickPort() {
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    if (ports_[p].queue.empty()) continue;
+    if (!PortRunnable(static_cast<int>(p))) continue;
+    return static_cast<int>(p);
+  }
+  return -1;
+}
+
+void FragmentExecutor::MaybeProcess() {
+  if (!began_ || processing_ || finished_ || dispatching_control_) return;
+
+  if (plan_.fragment.IsScanLeaf()) {
+    if (scan_row_ < scan_table_->num_rows()) {
+      processing_ = true;
+      ProcessScanRow();
+    } else {
+      CheckCompletion();
+    }
+    return;
+  }
+
+  const int port = PickPort();
+  if (port < 0) {
+    if (!idle_tracking_) {
+      idle_tracking_ = true;
+      idle_since_ = simulator()->Now();
+    }
+    return;
+  }
+  if (idle_tracking_) {
+    const double wait = simulator()->Now() - idle_since_;
+    m1_wait_ms_ += wait;
+    stats_.idle_wait_ms += wait;
+    idle_tracking_ = false;
+  }
+  processing_ = true;
+  ProcessQueuedTuple(port);
+}
+
+void FragmentExecutor::ProcessScanRow() {
+  const Tuple& row = scan_table_->row(scan_row_++);
+  const PhysOpDesc& scan_desc = plan_.fragment.ops.front();
+  ctx_.ResetForTuple();
+  ctx_.Charge(scan_desc.cost_tag, scan_desc.base_cost_ms);
+
+  Status s = Status::OK();
+  if (!ops_.empty()) {
+    s = ops_.front()->Process(0, row, -1, &ctx_);
+  } else {
+    ctx_.out.push_back(row);
+  }
+  if (!s.ok()) {
+    Fail(s);
+    processing_ = false;
+    return;
+  }
+
+  ++stats_.tuples_processed;
+  node_->SubmitComposite(ctx_.charges, [this](double actual_ms) {
+    stats_.busy_ms += actual_ms;
+    m1_cost_ms_ += actual_ms;
+    ++m1_tuples_;
+    (void)DeliverOutputs(&ctx_);
+    EmitM1IfDue(actual_ms);
+    processing_ = false;
+    MaybeProcess();
+  });
+}
+
+void FragmentExecutor::ProcessQueuedTuple(int port_idx) {
+  PortState& port = ports_[static_cast<size_t>(port_idx)];
+  // Park probe tuples of in-move buckets (stateful fragments only).
+  while (!port.queue.empty()) {
+    const int bucket = port.queue.front().rt.bucket;
+    const bool parked = port_idx > 0 && (awaiting_restore_.count(bucket) > 0 ||
+                                         frozen_lost_.count(bucket) > 0);
+    if (!parked) break;
+    port.parked.push_back(std::move(port.queue.front()));
+    port.queue.pop_front();
+    ++stats_.tuples_parked;
+  }
+  if (port.queue.empty()) {
+    processing_ = false;
+    MaybeProcess();
+    return;
+  }
+
+  QueuedTuple qt = std::move(port.queue.front());
+  port.queue.pop_front();
+
+  ctx_.ResetForTuple();
+  const Status s =
+      ops_.front()->Process(port_idx, qt.rt.tuple, qt.rt.bucket, &ctx_);
+  if (!s.ok()) {
+    Fail(s);
+    processing_ = false;
+    return;
+  }
+  const bool retained = ctx_.retained;
+  ++stats_.tuples_processed;
+
+  node_->SubmitComposite(
+      ctx_.charges, [this, port_idx, qt = std::move(qt),
+                     retained](double actual_ms) {
+        stats_.busy_ms += actual_ms;
+        m1_cost_ms_ += actual_ms;
+        ++m1_tuples_;
+        const std::vector<uint64_t> output_seqs = DeliverOutputs(&ctx_);
+        RecordProcessed(port_idx, qt, retained, output_seqs);
+        processing_ = false;
+        // Handle state moves that raced with this tuple: its seq is now in
+        // the processed set, so the purge/reply below stay consistent.
+        // The driver stays suppressed until every deferred control message
+        // is dispatched — otherwise the first handler would start new
+        // tuple work and later purges/replies would race with it again.
+        dispatching_control_ = true;
+        std::vector<Message> deferred;
+        deferred.swap(deferred_state_moves_);
+        for (const Message& m : deferred) DispatchStateMove(m);
+        dispatching_control_ = false;
+        EmitM1IfDue(actual_ms);
+        MaybeProcess();
+        CheckCompletion();
+      });
+}
+
+std::vector<uint64_t> FragmentExecutor::DeliverOutputs(ExecContext* ctx) {
+  std::vector<uint64_t> seqs;
+  stats_.tuples_emitted += ctx->out.size();
+  if (producer_ == nullptr) {
+    ctx->out.clear();
+    return seqs;
+  }
+  seqs.reserve(ctx->out.size());
+  for (const Tuple& t : ctx->out) {
+    Result<uint64_t> seq = producer_->Offer(t);
+    if (!seq.ok()) {
+      Fail(seq.status());
+      break;
+    }
+    seqs.push_back(*seq);
+  }
+  ctx->out.clear();
+  return seqs;
+}
+
+void FragmentExecutor::RecordProcessed(
+    int port_idx, const QueuedTuple& qt, bool retained,
+    const std::vector<uint64_t>& output_seqs) {
+  if (retained) return;  // state-resident tuples are acknowledged at the end
+  PortState& port = ports_[static_cast<size_t>(port_idx)];
+  auto it = port.producers.find(qt.producer_key);
+  if (it == port.producers.end()) return;
+  // The processed set is updated immediately (state moves must not resend
+  // this tuple), but the acknowledgment cascades: it is sent only once all
+  // outputs derived from the tuple are acknowledged downstream.
+  it->second.processed.insert(qt.rt.seq);
+  if (output_seqs.empty() || producer_ == nullptr) {
+    AckInput(port_idx, qt.producer_key, qt.rt.seq);
+    return;
+  }
+  auto pending = std::make_shared<PendingInput>();
+  pending->port = port_idx;
+  pending->producer_key = qt.producer_key;
+  pending->seq = qt.rt.seq;
+  pending->remaining_outputs = output_seqs.size();
+  for (const uint64_t out_seq : output_seqs) {
+    output_to_input_.emplace(out_seq, pending);
+  }
+}
+
+void FragmentExecutor::AckInput(int port_idx, const std::string& producer_key,
+                                uint64_t seq) {
+  PortState& port = ports_[static_cast<size_t>(port_idx)];
+  auto it = port.producers.find(producer_key);
+  if (it == port.producers.end()) return;
+  if (it->second.acks->Add(seq)) {
+    FlushAcks(port_idx, producer_key, /*force=*/false);
+  }
+}
+
+void FragmentExecutor::OnOutputsAcked(const std::vector<uint64_t>& seqs) {
+  for (const uint64_t out_seq : seqs) {
+    auto it = output_to_input_.find(out_seq);
+    if (it == output_to_input_.end()) continue;
+    const std::shared_ptr<PendingInput> pending = it->second;
+    output_to_input_.erase(it);
+    if (pending->remaining_outputs == 0) continue;  // defensive
+    if (--pending->remaining_outputs == 0) {
+      AckInput(pending->port, pending->producer_key, pending->seq);
+    }
+  }
+}
+
+void FragmentExecutor::FlushAcks(int port_idx, const std::string& producer_key,
+                                 bool force) {
+  PortState& port = ports_[static_cast<size_t>(port_idx)];
+  auto it = port.producers.find(producer_key);
+  if (it == port.producers.end()) return;
+  ProducerTracking& tracking = it->second;
+  if (!force && tracking.acks->pending() < plan_.config.checkpoint_interval) {
+    return;
+  }
+  std::vector<uint64_t> seqs = tracking.acks->Drain();
+  if (seqs.empty()) return;
+  auto ack = std::make_shared<AckPayload>(tracking.exchange_id, plan_.id,
+                                          std::move(seqs));
+  ++stats_.acks_sent;
+  const Address to = tracking.address;
+  node_->SubmitWork(kExchangeTag, plan_.config.exchange_send_cost_ms,
+                    [this, to, ack]() {
+                      const Status s = SendTo(to, ack);
+                      if (!s.ok()) Fail(s);
+                    });
+}
+
+void FragmentExecutor::EmitM1IfDue(double /*cost_ms*/) {
+  if (!plan_.config.monitoring_enabled || plan_.config.m1_frequency == 0 ||
+      plan_.adaptivity.med.host == kInvalidHost || producer_ == nullptr) {
+    return;
+  }
+  if (m1_tuples_ < plan_.config.m1_frequency) return;
+
+  const double cost_per_tuple =
+      m1_cost_ms_ / static_cast<double>(m1_tuples_);
+  const double wait_per_tuple =
+      m1_wait_ms_ / static_cast<double>(m1_tuples_);
+  const double selectivity =
+      stats_.tuples_processed > 0
+          ? static_cast<double>(stats_.tuples_emitted) /
+                static_cast<double>(stats_.tuples_processed)
+          : 1.0;
+  m1_tuples_ = 0;
+  m1_cost_ms_ = 0.0;
+  m1_wait_ms_ = 0.0;
+  ++stats_.m1_sent;
+  node_->SubmitWork(kExchangeTag, plan_.config.monitor_emit_cost_ms, nullptr);
+  const Status s = SendTo(
+      plan_.adaptivity.med,
+      std::make_shared<M1Payload>(plan_.id, cost_per_tuple, wait_per_tuple,
+                                  selectivity, stats_.tuples_processed));
+  if (!s.ok()) {
+    GQP_LOG_WARN << "M1 emission failed: " << s.ToString();
+  }
+}
+
+// ---- completion ------------------------------------------------------------
+
+bool FragmentExecutor::LocallyDrained() const {
+  if (processing_) return false;
+  if (plan_.fragment.IsScanLeaf()) {
+    return scan_row_ >= scan_table_->num_rows();
+  }
+  if (!awaiting_restore_.empty()) return false;
+  if (!open_state_rounds_.empty()) return false;
+  for (const PortState& port : ports_) {
+    if (!port.EosComplete()) return false;
+    if (!port.queue.empty() || !port.parked.empty()) return false;
+  }
+  return true;
+}
+
+void FragmentExecutor::CheckCompletion() {
+  if (finished_ || !began_ || !LocallyDrained()) return;
+
+  // Partitioned consumers must confirm with the Responder that no
+  // retrospective redistribution can still route work to them.
+  const bool needs_handshake =
+      plan_.adaptivity.enabled && plan_.fragment.partitioned &&
+      !plan_.fragment.IsScanLeaf() &&
+      plan_.adaptivity.responder.host != kInvalidHost;
+  if (!needs_handshake) {
+    FinishFragment();
+    return;
+  }
+  if (completion_offered_) return;
+  completion_offered_ = true;
+  const Status s =
+      SendTo(plan_.adaptivity.responder,
+             std::make_shared<CompletionOfferPayload>(plan_.id));
+  if (!s.ok()) Fail(s);
+}
+
+void FragmentExecutor::OnCompletionGrant() {
+  if (finished_) return;
+  if (!LocallyDrained()) {
+    // In-flight resends arrived between our offer and the grant; drain
+    // them and re-offer.
+    completion_offered_ = false;
+    MaybeProcess();
+    return;
+  }
+  FinishFragment();
+}
+
+void FragmentExecutor::FinishFragment() {
+  if (finished_) return;
+  finished_ = true;
+
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    for (auto& op : ops_) {
+      const Status s = op->FinishPort(static_cast<int>(p), &ctx_);
+      if (!s.ok()) Fail(s);
+    }
+  }
+  ctx_.ResetForTuple();
+  if (!ops_.empty()) {
+    const Status s = ops_.front()->Finish(&ctx_);
+    if (!s.ok()) Fail(s);
+    (void)DeliverOutputs(&ctx_);
+  }
+
+  // Drain remaining acknowledgments (the paper's "checkpoints are returned
+  // ... when tuples are not needed any more").
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    std::vector<std::string> keys;
+    for (const auto& [key, tracking] : ports_[p].producers) {
+      keys.push_back(key);
+    }
+    for (const std::string& key : keys) {
+      FlushAcks(static_cast<int>(p), key, /*force=*/true);
+    }
+  }
+
+  if (producer_ != nullptr) {
+    const Status s = producer_->FinishInput();
+    if (!s.ok()) Fail(s);
+  }
+
+  if (plan_.coordinator.host != kInvalidHost) {
+    const Status s =
+        SendTo(plan_.coordinator,
+               std::make_shared<FragmentCompletePayload>(
+                   plan_.id, stats_.tuples_processed, stats_.tuples_emitted));
+    if (!s.ok()) Fail(s);
+  }
+}
+
+}  // namespace gqp

@@ -1,0 +1,273 @@
+// FragmentExecutor: one running instance of a plan fragment on a grid
+// node, exposed as a GridService endpoint. It is the paper's query engine
+// component of a (A)GQES:
+//
+//  - scan leaves pump their table through the operator chain and into the
+//    exchange producer "as fast as they can";
+//  - partitioned evaluation fragments consume exchange inputs (port 0 is
+//    drained before port 1, giving the classic two-phase hash join),
+//    run the chain, acknowledge processed tuples, emit self-monitoring
+//    M1/M2 events, and participate in the retrospective state-move
+//    protocol (purging, parking and restoring partitions);
+//  - the root fragment collects results and reports query completion.
+
+#ifndef GRIDQP_EXEC_FRAGMENT_EXECUTOR_H_
+#define GRIDQP_EXEC_FRAGMENT_EXECUTOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/exchange_producer.h"
+#include "exec/operators.h"
+#include "grid/node.h"
+#include "rpc/service.h"
+#include "storage/table.h"
+
+namespace gqp {
+
+/// Wiring of one input port.
+struct InputWiring {
+  ExchangeDesc desc;
+  int num_producers = 1;
+};
+
+/// Adaptivity wiring of a fragment instance.
+struct AdaptivityWiring {
+  bool enabled = false;
+  /// Local MonitoringEventDetector receiving raw M1/M2 events.
+  Address med;
+  /// The query's Responder (state-move outcomes + completion handshake).
+  Address responder;
+};
+
+/// Everything a GQES needs to instantiate one fragment instance.
+struct FragmentInstancePlan {
+  SubplanId id;
+  FragmentDesc fragment;
+  std::vector<InputWiring> inputs;
+  std::optional<OutputWiring> output;
+  ExecConfig config;
+  AdaptivityWiring adaptivity;
+  /// Coordinator (GDQS) endpoint for completion notifications.
+  Address coordinator;
+};
+
+/// Per-instance execution counters.
+struct FragmentStats {
+  uint64_t tuples_processed = 0;
+  uint64_t tuples_emitted = 0;
+  uint64_t tuples_discarded_in_moves = 0;
+  uint64_t tuples_parked = 0;
+  uint64_t m1_sent = 0;
+  uint64_t m2_sent = 0;
+  uint64_t acks_sent = 0;
+  double busy_ms = 0.0;
+  double idle_wait_ms = 0.0;
+  size_t queue_high_watermark = 0;
+};
+
+/// \brief A deployed fragment instance.
+class FragmentExecutor : public GridService {
+ public:
+  /// `tables` resolves scan targets on this host (null for non-scan
+  /// fragments). The executor registers its endpoint under
+  /// `plan.id.ToString()`.
+  FragmentExecutor(MessageBus* bus, GridNode* node, Network* network,
+                   FragmentInstancePlan plan, TablePtr scan_table);
+  ~FragmentExecutor() override;
+
+  /// Validates the plan, instantiates operators/producer and registers the
+  /// endpoint.
+  Status Prepare();
+
+  /// Begins execution (scan fragments start pumping; consumers wait for
+  /// data). Idempotent.
+  Status Begin();
+
+  bool finished() const { return finished_; }
+  const FragmentStats& stats() const { return stats_; }
+  const ExchangeProducer* producer() const { return producer_.get(); }
+  const FragmentInstancePlan& plan() const { return plan_; }
+  GridNode* node() const { return node_; }
+
+  /// Results collected by a root fragment (empty otherwise).
+  const std::vector<Tuple>& Results() const;
+
+  /// Introspection for tests: buckets currently awaiting build-state
+  /// restoration / frozen after a local state purge.
+  size_t awaiting_restore_count() const { return awaiting_restore_.size(); }
+  size_t frozen_lost_count() const { return frozen_lost_.size(); }
+  /// Queued + parked tuples on one input port.
+  size_t QueuedTuples(int port) const;
+  /// Seqs processed on a port, per producer key (tests verify that state
+  /// moves never process a tuple at two consumers).
+  std::unordered_map<std::string, std::vector<uint64_t>> ProcessedSeqs(
+      int port) const;
+  /// The fragment's hash join, if any (tests inspect its state).
+  const HashJoinOperator* FindHashJoin() const;
+
+  /// First execution error encountered (simulation keeps running so that
+  /// tests can inspect state; callers check this after completion).
+  const Status& execution_status() const { return exec_status_; }
+
+ protected:
+  void HandleMessage(const Message& msg) override;
+
+ private:
+  struct QueuedTuple {
+    RoutedTuple rt;
+    /// Producer identity (for acknowledgments and processed-tracking).
+    std::string producer_key;
+  };
+
+  struct ProducerTracking {
+    Address address;
+    std::unique_ptr<AckBatcher> acks;
+    /// Every seq of this producer whose processing completed here (never
+    /// resent by state moves).
+    std::unordered_set<uint64_t> processed;
+    int exchange_id = -1;
+  };
+
+  struct PortState {
+    PortState() = default;
+    PortState(PortState&&) = default;
+    PortState& operator=(PortState&&) = default;
+    PortState(const PortState&) = delete;
+    PortState& operator=(const PortState&) = delete;
+
+    InputWiring wiring;
+    std::deque<QueuedTuple> queue;
+    /// Probe tuples parked while their bucket's build state moves.
+    std::deque<QueuedTuple> parked;
+    /// Producers that sent their end-of-stream marker.
+    std::set<std::string> eos_from;
+    /// Producers reported crashed before their EOS arrived.
+    std::set<std::string> lost;
+    std::unordered_map<std::string, ProducerTracking> producers;
+
+    bool EosComplete() const {
+      size_t done = eos_from.size();
+      for (const std::string& key : lost) {
+        if (eos_from.count(key) == 0) ++done;
+      }
+      return done >= static_cast<size_t>(wiring.num_producers);
+    }
+  };
+
+  // --- message handlers -------------------------------------------------
+  void OnTupleBatch(const Message& msg, const TupleBatchPayload& batch);
+  void OnEos(const EosPayload& eos);
+  void OnProducerLost(const ProducerLostPayload& lost);
+  void OnAck(const AckPayload& ack);
+  void OnRedistribute(const RedistributeRequestPayload& request);
+  void OnStateMoveRequest(const Message& msg,
+                          const StateMoveRequestPayload& request);
+  void OnStateMoveReply(const StateMoveReplyPayload& reply);
+  void OnRestoreComplete(const RestoreCompletePayload& restore);
+  void OnCompletionGrant();
+  /// Routes a (possibly deferred) StateMoveRequest/RestoreComplete.
+  void DispatchStateMove(const Message& msg);
+
+  // --- driver ------------------------------------------------------------
+  /// Port whose tuples should be processed next (-1: nothing runnable).
+  int PickPort();
+  /// True when earlier ports are fully drained (two-phase ordering).
+  bool PortRunnable(int port) const;
+  void MaybeProcess();
+  void ProcessScanRow();
+  void ProcessQueuedTuple(int port);
+  /// Offers staged outputs to the producer; returns their seqs.
+  std::vector<uint64_t> DeliverOutputs(ExecContext* ctx);
+  void RecordProcessed(int port, const QueuedTuple& qt, bool retained,
+                       const std::vector<uint64_t>& output_seqs);
+  /// Marks an input tuple safe (enqueues its acknowledgment).
+  void AckInput(int port, const std::string& producer_key, uint64_t seq);
+  /// Cascading acknowledgments: outputs acked downstream release inputs.
+  void OnOutputsAcked(const std::vector<uint64_t>& seqs);
+  void EmitM1IfDue(double cost_ms);
+  void FlushAcks(int port, const std::string& producer_key, bool force);
+
+  // --- completion ---------------------------------------------------------
+  bool LocallyDrained() const;
+  void CheckCompletion();
+  void FinishFragment();
+  ProducerTracking& TrackProducer(PortState* port, const SubplanId& producer,
+                                  const Address& address, int exchange_id);
+
+  void Fail(const Status& status);
+
+  GridNode* node_;
+  Network* network_;
+  FragmentInstancePlan plan_;
+  TablePtr scan_table_;
+
+  std::vector<std::unique_ptr<PhysicalOperator>> ops_;
+  std::unique_ptr<ExchangeProducer> producer_;
+  std::vector<PortState> ports_;
+  ExecContext ctx_;
+
+  /// State-move rounds announced by a producer whose RestoreComplete has
+  /// not arrived yet. While any round is open, resent tuples may still be
+  /// in flight (they precede the RestoreComplete on the producer's link),
+  /// so the fragment must not finish.
+  std::map<std::string, std::set<uint64_t>> open_state_rounds_;
+
+  /// Buckets whose build state is being restored here (probe tuples for
+  /// them are parked). Only non-empty on stateful fragments.
+  std::unordered_set<int> awaiting_restore_;
+  /// Buckets this instance lost in an in-flight round (their probe tuples
+  /// are parked until the probe-side purge arrives).
+  std::unordered_set<int> frozen_lost_;
+
+  /// Cascading-acknowledgment bookkeeping: an input tuple is acknowledged
+  /// upstream only when every output tuple derived from it has been
+  /// acknowledged by our consumers ("checkpoints are returned when the
+  /// tuples are not needed any more by the operators higher up"). Without
+  /// this, a crash could lose results that were acknowledged but still
+  /// buffered in the dead machine's exchange.
+  struct PendingInput {
+    int port = 0;
+    std::string producer_key;
+    uint64_t seq = 0;
+    size_t remaining_outputs = 0;
+  };
+  /// output seq -> the input awaiting it.
+  std::unordered_map<uint64_t, std::shared_ptr<PendingInput>>
+      output_to_input_;
+
+  /// StateMoveRequests arriving while a tuple is mid-processing are
+  /// deferred until the work item completes; otherwise the in-flight
+  /// tuple would be missing from both the purge and the processed-set
+  /// reply, and the producer would resend it (duplicating results).
+  std::vector<Message> deferred_state_moves_;
+
+  bool began_ = false;
+  bool processing_ = false;
+  /// True while deferred control messages are being dispatched; keeps the
+  /// tuple driver quiescent so purges/replies never race with new work.
+  bool dispatching_control_ = false;
+  bool finished_ = false;
+  bool completion_offered_ = false;
+  size_t scan_row_ = 0;
+  SimTime idle_since_ = 0.0;
+  bool idle_tracking_ = false;
+
+  // M1 accumulation since the last emission.
+  uint64_t m1_tuples_ = 0;
+  double m1_cost_ms_ = 0.0;
+  double m1_wait_ms_ = 0.0;
+
+  FragmentStats stats_;
+  Status exec_status_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXEC_FRAGMENT_EXECUTOR_H_

@@ -1,0 +1,330 @@
+#include "exec/operators.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gqp {
+
+Status PhysicalOperator::Open(ExecContext*) { return Status::OK(); }
+
+Status PhysicalOperator::FinishPort(int, ExecContext*) {
+  return Status::OK();
+}
+
+Status PhysicalOperator::Finish(ExecContext* ctx) {
+  if (next_ != nullptr) return next_->Finish(ctx);
+  return Status::OK();
+}
+
+void PhysicalOperator::PurgeBuckets(const std::vector<int>&) {}
+
+Status PhysicalOperator::Emit(const Tuple& tuple, ExecContext* ctx) {
+  if (next_ != nullptr) return next_->Process(0, tuple, -1, ctx);
+  ctx->out.push_back(tuple);
+  return Status::OK();
+}
+
+// ---- Filter ------------------------------------------------------------
+
+FilterOperator::FilterOperator(const PhysOpDesc& desc)
+    : predicate_(desc.predicate),
+      cost_ms_(desc.base_cost_ms),
+      tag_(desc.cost_tag) {}
+
+Status FilterOperator::Process(int, const Tuple& tuple, int,
+                               ExecContext* ctx) {
+  ctx->Charge(tag_, cost_ms_);
+  GQP_ASSIGN_OR_RETURN(Value v, predicate_->Eval(tuple, ctx->functions));
+  if (!ValueIsTrue(v)) return Status::OK();
+  return Emit(tuple, ctx);
+}
+
+// ---- Project -----------------------------------------------------------
+
+ProjectOperator::ProjectOperator(const PhysOpDesc& desc)
+    : exprs_(desc.exprs),
+      out_schema_(desc.out_schema),
+      cost_ms_(desc.base_cost_ms),
+      tag_(desc.cost_tag) {}
+
+Status ProjectOperator::Process(int, const Tuple& tuple, int,
+                                ExecContext* ctx) {
+  ctx->Charge(tag_, cost_ms_);
+  std::vector<Value> values;
+  values.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    GQP_ASSIGN_OR_RETURN(Value v, e->Eval(tuple, ctx->functions));
+    values.push_back(std::move(v));
+  }
+  return Emit(Tuple(out_schema_, std::move(values)), ctx);
+}
+
+// ---- OperationCall -----------------------------------------------------
+
+OperationCallOperator::OperationCallOperator(const PhysOpDesc& desc)
+    : ws_name_(desc.ws_name),
+      arg_col_(desc.arg_col),
+      out_schema_(desc.out_schema),
+      cost_ms_(desc.base_cost_ms),
+      tag_(desc.cost_tag) {}
+
+Status OperationCallOperator::Process(int, const Tuple& tuple, int,
+                                      ExecContext* ctx) {
+  ctx->Charge(tag_, cost_ms_);
+  if (arg_col_ >= tuple.size()) {
+    return Status::OutOfRange(
+        StrCat("operation call argument column ", arg_col_, " out of range"));
+  }
+  GQP_ASSIGN_OR_RETURN(FunctionRegistry::Fn fn,
+                       ctx->functions->Find(ws_name_));
+  GQP_ASSIGN_OR_RETURN(Value result, fn({tuple.at(arg_col_)}));
+  std::vector<Value> values = tuple.values();
+  values.push_back(std::move(result));
+  return Emit(Tuple(out_schema_, std::move(values)), ctx);
+}
+
+// ---- HashJoin ----------------------------------------------------------
+
+HashJoinOperator::HashJoinOperator(const PhysOpDesc& desc)
+    : build_key_(desc.build_key),
+      probe_key_(desc.probe_key),
+      out_schema_(desc.out_schema),
+      probe_cost_ms_(desc.base_cost_ms),
+      build_cost_ms_(desc.build_cost_ms),
+      tag_(desc.cost_tag) {}
+
+Status HashJoinOperator::Process(int port, const Tuple& tuple, int bucket,
+                                 ExecContext* ctx) {
+  if (bucket < 0) bucket = 0;  // single-consumer (unpartitioned) execution
+  if (port == 0) {
+    ctx->Charge(tag_, build_cost_ms_);
+    if (build_key_ >= tuple.size()) {
+      return Status::OutOfRange("build key column out of range");
+    }
+    const Value& key = tuple.at(build_key_);
+    auto& entries = state_[bucket][key.Hash()];
+    for (const BuildEntry& existing : entries) {
+      if (existing.tuple == tuple) {
+        ++duplicate_build_inserts_;
+        GQP_LOG_WARN << "hash join: duplicate build insert, key="
+                     << key.ToString() << " bucket=" << bucket;
+        break;
+      }
+    }
+    entries.push_back(BuildEntry{key, tuple});
+    ctx->retained = true;
+    return Status::OK();
+  }
+  if (port == 1) {
+    ctx->Charge(tag_, probe_cost_ms_);
+    if (probe_key_ >= tuple.size()) {
+      return Status::OutOfRange("probe key column out of range");
+    }
+    const Value& key = tuple.at(probe_key_);
+    auto bucket_it = state_.find(bucket);
+    if (bucket_it == state_.end()) return Status::OK();
+    auto entries_it = bucket_it->second.find(key.Hash());
+    if (entries_it == bucket_it->second.end()) return Status::OK();
+    for (const BuildEntry& entry : entries_it->second) {
+      if (entry.key != key) continue;  // hash collision
+      GQP_RETURN_IF_ERROR(
+          Emit(Tuple::Concat(out_schema_, entry.tuple, tuple), ctx));
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      StrCat("hash join has no input port ", port));
+}
+
+void HashJoinOperator::PurgeBuckets(const std::vector<int>& buckets) {
+  for (const int b : buckets) state_.erase(b < 0 ? 0 : b);
+}
+
+size_t HashJoinOperator::StateSize() const {
+  size_t count = 0;
+  for (const auto& [bucket, keys] : state_) {
+    for (const auto& [hash, entries] : keys) count += entries.size();
+  }
+  return count;
+}
+
+size_t HashJoinOperator::StateSizeForBucket(int bucket) const {
+  auto it = state_.find(bucket);
+  if (it == state_.end()) return 0;
+  size_t count = 0;
+  for (const auto& [hash, entries] : it->second) count += entries.size();
+  return count;
+}
+
+// ---- HashAggregate -------------------------------------------------------
+
+namespace {
+
+/// Unambiguous group-key encoding: type tag + length-prefixed rendering.
+std::string EncodeGroupKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    const std::string s = v.ToString();
+    key.push_back(static_cast<char>('0' + static_cast<int>(v.type())));
+    key += std::to_string(s.size());
+    key.push_back(':');
+    key += s;
+  }
+  return key;
+}
+
+}  // namespace
+
+HashAggregateOperator::HashAggregateOperator(const PhysOpDesc& desc)
+    : group_exprs_(desc.group_exprs),
+      aggs_(desc.aggs),
+      out_schema_(desc.out_schema),
+      cost_ms_(desc.base_cost_ms),
+      tag_(desc.cost_tag) {}
+
+Status HashAggregateOperator::Accumulate(GroupState* group,
+                                         const Tuple& tuple,
+                                         ExecContext* ctx) {
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    Accumulator& acc = group->accums[i];
+    Value v;
+    if (spec.arg != nullptr) {
+      GQP_ASSIGN_OR_RETURN(v, spec.arg->Eval(tuple, ctx->functions));
+      // SQL semantics: aggregates ignore nulls.
+      if (v.is_null()) continue;
+    }
+    switch (spec.kind) {
+      case AggKind::kCount:
+        ++acc.count;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        ++acc.count;
+        acc.sum += v.ToNumeric();
+        break;
+      case AggKind::kMin:
+        if (!acc.has_value || v < acc.min) acc.min = v;
+        acc.has_value = true;
+        break;
+      case AggKind::kMax:
+        if (!acc.has_value || acc.max < v) acc.max = v;
+        acc.has_value = true;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggregateOperator::Process(int port, const Tuple& tuple,
+                                      int bucket, ExecContext* ctx) {
+  if (port != 0) {
+    return Status::InvalidArgument("hash aggregate has a single input port");
+  }
+  if (bucket < 0) bucket = 0;
+  ctx->Charge(tag_, cost_ms_);
+
+  std::vector<Value> group_values;
+  group_values.reserve(group_exprs_.size());
+  for (const ExprPtr& e : group_exprs_) {
+    GQP_ASSIGN_OR_RETURN(Value v, e->Eval(tuple, ctx->functions));
+    group_values.push_back(std::move(v));
+  }
+  const std::string key = EncodeGroupKey(group_values);
+  auto [it, inserted] = state_[bucket].try_emplace(key);
+  if (inserted) {
+    it->second.group_values = std::move(group_values);
+    it->second.accums.resize(aggs_.size());
+  }
+  GQP_RETURN_IF_ERROR(Accumulate(&it->second, tuple, ctx));
+  ctx->retained = true;
+  return Status::OK();
+}
+
+Value HashAggregateOperator::Finalize(const AggSpec& spec,
+                                      const Accumulator& acc) const {
+  switch (spec.kind) {
+    case AggKind::kCount:
+      return Value(acc.count);
+    case AggKind::kSum:
+      if (acc.count == 0) return Value::Null();
+      if (spec.result_type == DataType::kInt64) {
+        return Value(static_cast<int64_t>(acc.sum));
+      }
+      return Value(acc.sum);
+    case AggKind::kAvg:
+      if (acc.count == 0) return Value::Null();
+      return Value(acc.sum / static_cast<double>(acc.count));
+    case AggKind::kMin:
+      return acc.has_value ? acc.min : Value::Null();
+    case AggKind::kMax:
+      return acc.has_value ? acc.max : Value::Null();
+  }
+  return Value::Null();
+}
+
+Status HashAggregateOperator::Finish(ExecContext* ctx) {
+  for (const auto& [bucket, groups] : state_) {
+    for (const auto& [key, group] : groups) {
+      ctx->Charge(tag_, cost_ms_);
+      std::vector<Value> values = group.group_values;
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        values.push_back(Finalize(aggs_[i], group.accums[i]));
+      }
+      GQP_RETURN_IF_ERROR(Emit(Tuple(out_schema_, std::move(values)), ctx));
+    }
+  }
+  state_.clear();
+  if (next_ != nullptr) return next_->Finish(ctx);
+  return Status::OK();
+}
+
+void HashAggregateOperator::PurgeBuckets(const std::vector<int>& buckets) {
+  for (const int b : buckets) state_.erase(b < 0 ? 0 : b);
+}
+
+size_t HashAggregateOperator::GroupCount() const {
+  size_t count = 0;
+  for (const auto& [bucket, groups] : state_) count += groups.size();
+  return count;
+}
+
+// ---- Collect -----------------------------------------------------------
+
+CollectOperator::CollectOperator(const PhysOpDesc& desc)
+    : cost_ms_(desc.base_cost_ms), tag_(desc.cost_tag) {}
+
+Status CollectOperator::Process(int, const Tuple& tuple, int,
+                                ExecContext* ctx) {
+  ctx->Charge(tag_, cost_ms_);
+  results_.push_back(tuple);
+  return Status::OK();
+}
+
+// ---- Factory -----------------------------------------------------------
+
+Result<std::unique_ptr<PhysicalOperator>> MakeOperator(
+    const PhysOpDesc& desc) {
+  switch (desc.kind) {
+    case PhysOpKind::kScan:
+      return Status::InvalidArgument(
+          "scans are driven by the fragment executor, not the chain");
+    case PhysOpKind::kFilter:
+      return std::unique_ptr<PhysicalOperator>(new FilterOperator(desc));
+    case PhysOpKind::kProject:
+      return std::unique_ptr<PhysicalOperator>(new ProjectOperator(desc));
+    case PhysOpKind::kHashJoin:
+      return std::unique_ptr<PhysicalOperator>(new HashJoinOperator(desc));
+    case PhysOpKind::kOperationCall:
+      return std::unique_ptr<PhysicalOperator>(
+          new OperationCallOperator(desc));
+    case PhysOpKind::kHashAggregate:
+      return std::unique_ptr<PhysicalOperator>(
+          new HashAggregateOperator(desc));
+    case PhysOpKind::kCollect:
+      return std::unique_ptr<PhysicalOperator>(new CollectOperator(desc));
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+}  // namespace gqp

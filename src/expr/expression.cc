@@ -1,0 +1,290 @@
+#include "expr/expression.h"
+
+#include "common/strings.h"
+#include "storage/datagen.h"
+
+namespace gqp {
+
+void FunctionRegistry::Register(const std::string& name, Fn fn) {
+  fns_[ToUpper(name)] = std::move(fn);
+}
+
+Result<FunctionRegistry::Fn> FunctionRegistry::Find(
+    const std::string& name) const {
+  auto it = fns_.find(ToUpper(name));
+  if (it == fns_.end()) {
+    return Status::NotFound(StrCat("unknown function '", name, "'"));
+  }
+  return it->second;
+}
+
+bool FunctionRegistry::Contains(const std::string& name) const {
+  return fns_.count(ToUpper(name)) > 0;
+}
+
+const FunctionRegistry& FunctionRegistry::Builtins() {
+  static const FunctionRegistry* registry = [] {
+    auto* r = new FunctionRegistry();
+    r->Register("ENTROPYANALYSER",
+                [](const std::vector<Value>& args) -> Result<Value> {
+                  if (args.size() != 1 ||
+                      args[0].type() != DataType::kString) {
+                    return Status::InvalidArgument(
+                        "EntropyAnalyser expects one string argument");
+                  }
+                  return Value(ShannonEntropy(args[0].AsString()));
+                });
+    r->Register("LENGTH", [](const std::vector<Value>& args) -> Result<Value> {
+      if (args.size() != 1 || args[0].type() != DataType::kString) {
+        return Status::InvalidArgument("LENGTH expects one string argument");
+      }
+      return Value(static_cast<int64_t>(args[0].AsString().size()));
+    });
+    r->Register("UPPER", [](const std::vector<Value>& args) -> Result<Value> {
+      if (args.size() != 1 || args[0].type() != DataType::kString) {
+        return Status::InvalidArgument("UPPER expects one string argument");
+      }
+      return Value(ToUpper(args[0].AsString()));
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Result<Value> ColumnRefExpr::Eval(const Tuple& tuple,
+                                  const FunctionRegistry*) const {
+  if (index_ >= tuple.size()) {
+    return Status::OutOfRange(StrCat("column index ", index_,
+                                     " out of range for tuple of arity ",
+                                     tuple.size()));
+  }
+  return tuple.at(index_);
+}
+
+namespace {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<Value> ComparisonExpr::Eval(const Tuple& tuple,
+                                   const FunctionRegistry* registry) const {
+  GQP_ASSIGN_OR_RETURN(Value l, left_->Eval(tuple, registry));
+  GQP_ASSIGN_OR_RETURN(Value r, right_->Eval(tuple, registry));
+  if (l.is_null() || r.is_null()) return Value::Null();
+
+  int cmp;
+  if (l == r) {
+    cmp = 0;
+  } else if (l < r) {
+    cmp = -1;
+  } else {
+    cmp = 1;
+  }
+  bool out = false;
+  switch (op_) {
+    case CompareOp::kEq:
+      out = cmp == 0;
+      break;
+    case CompareOp::kNe:
+      out = cmp != 0;
+      break;
+    case CompareOp::kLt:
+      out = cmp < 0;
+      break;
+    case CompareOp::kLe:
+      out = cmp <= 0;
+      break;
+    case CompareOp::kGt:
+      out = cmp > 0;
+      break;
+    case CompareOp::kGe:
+      out = cmp >= 0;
+      break;
+  }
+  return Value(static_cast<int64_t>(out ? 1 : 0));
+}
+
+std::string ComparisonExpr::ToString() const {
+  return StrCat("(", left_->ToString(), " ", CompareOpName(op_), " ",
+                right_->ToString(), ")");
+}
+
+Result<Value> LogicalExpr::Eval(const Tuple& tuple,
+                                const FunctionRegistry* registry) const {
+  GQP_ASSIGN_OR_RETURN(Value l, left_->Eval(tuple, registry));
+  switch (op_) {
+    case LogicalOp::kNot:
+      if (l.is_null()) return Value::Null();
+      return Value(static_cast<int64_t>(ValueIsTrue(l) ? 0 : 1));
+    case LogicalOp::kAnd: {
+      if (!l.is_null() && !ValueIsTrue(l)) {
+        return Value(static_cast<int64_t>(0));
+      }
+      GQP_ASSIGN_OR_RETURN(Value r, right_->Eval(tuple, registry));
+      // SQL three-valued logic: false dominates null for AND.
+      if (!r.is_null() && !ValueIsTrue(r)) {
+        return Value(static_cast<int64_t>(0));
+      }
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value(static_cast<int64_t>(1));
+    }
+    case LogicalOp::kOr: {
+      if (!l.is_null() && ValueIsTrue(l)) {
+        return Value(static_cast<int64_t>(1));
+      }
+      GQP_ASSIGN_OR_RETURN(Value r, right_->Eval(tuple, registry));
+      // SQL three-valued logic: true dominates null for OR.
+      if (!r.is_null() && ValueIsTrue(r)) {
+        return Value(static_cast<int64_t>(1));
+      }
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value(static_cast<int64_t>(0));
+    }
+  }
+  return Status::Internal("unreachable logical op");
+}
+
+std::string LogicalExpr::ToString() const {
+  switch (op_) {
+    case LogicalOp::kNot:
+      return StrCat("NOT ", left_->ToString());
+    case LogicalOp::kAnd:
+      return StrCat("(", left_->ToString(), " AND ", right_->ToString(), ")");
+    case LogicalOp::kOr:
+      return StrCat("(", left_->ToString(), " OR ", right_->ToString(), ")");
+  }
+  return "?";
+}
+
+Result<Value> ArithmeticExpr::Eval(const Tuple& tuple,
+                                   const FunctionRegistry* registry) const {
+  GQP_ASSIGN_OR_RETURN(Value l, left_->Eval(tuple, registry));
+  GQP_ASSIGN_OR_RETURN(Value r, right_->Eval(tuple, registry));
+  if (l.is_null() || r.is_null()) return Value::Null();
+  const bool both_int = l.type() == DataType::kInt64 &&
+                        r.type() == DataType::kInt64 && op_ != ArithOp::kDiv;
+  const double a = l.ToNumeric();
+  const double b = r.ToNumeric();
+  double out = 0.0;
+  switch (op_) {
+    case ArithOp::kAdd:
+      out = a + b;
+      break;
+    case ArithOp::kSub:
+      out = a - b;
+      break;
+    case ArithOp::kMul:
+      out = a * b;
+      break;
+    case ArithOp::kDiv:
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      out = a / b;
+      break;
+  }
+  if (both_int) return Value(static_cast<int64_t>(out));
+  return Value(out);
+}
+
+std::string ArithmeticExpr::ToString() const {
+  const char* name = "?";
+  switch (op_) {
+    case ArithOp::kAdd:
+      name = "+";
+      break;
+    case ArithOp::kSub:
+      name = "-";
+      break;
+    case ArithOp::kMul:
+      name = "*";
+      break;
+    case ArithOp::kDiv:
+      name = "/";
+      break;
+  }
+  return StrCat("(", left_->ToString(), " ", name, " ", right_->ToString(),
+                ")");
+}
+
+Result<Value> FunctionCallExpr::Eval(const Tuple& tuple,
+                                     const FunctionRegistry* registry) const {
+  if (registry == nullptr) registry = &FunctionRegistry::Builtins();
+  GQP_ASSIGN_OR_RETURN(FunctionRegistry::Fn fn, registry->Find(name_));
+  std::vector<Value> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& arg : args_) {
+    GQP_ASSIGN_OR_RETURN(Value v, arg->Eval(tuple, registry));
+    args.push_back(std::move(v));
+  }
+  return fn(args);
+}
+
+double FunctionCallExpr::UnitCost() const {
+  double cost = 1.0;
+  for (const ExprPtr& arg : args_) cost += arg->UnitCost();
+  return cost;
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args_.size());
+  for (const ExprPtr& arg : args_) parts.push_back(arg->ToString());
+  return StrCat(name_, "(", StrJoin(parts, ", "), ")");
+}
+
+ExprPtr Col(size_t index, std::string name) {
+  return std::make_shared<ColumnRefExpr>(index, std::move(name));
+}
+ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprPtr Cmp(CompareOp op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<ComparisonExpr>(op, std::move(l), std::move(r));
+}
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kAnd, std::move(l),
+                                       std::move(r));
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kOr, std::move(l),
+                                       std::move(r));
+}
+ExprPtr Not(ExprPtr e) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kNot, std::move(e));
+}
+ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<ArithmeticExpr>(op, std::move(l), std::move(r));
+}
+ExprPtr Call(std::string name, std::vector<ExprPtr> args) {
+  return std::make_shared<FunctionCallExpr>(std::move(name), std::move(args));
+}
+
+bool ValueIsTrue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      return false;
+    case DataType::kInt64:
+      return v.AsInt64() != 0;
+    case DataType::kDouble:
+      return v.AsDouble() != 0.0;
+    case DataType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+}  // namespace gqp

@@ -1,0 +1,229 @@
+// Expression trees evaluated over tuples: column references, literals,
+// comparisons, boolean connectives, arithmetic, and scalar function calls.
+//
+// Web-service invocations (the paper's "operation call" operator) are NOT
+// expressions at runtime — the planner lifts them out of the select list
+// into OperationCallOperator — but they appear as FunctionCall nodes in
+// parsed queries, and a FunctionRegistry makes them locally evaluable for
+// reference results in tests.
+
+#ifndef GRIDQP_EXPR_EXPRESSION_H_
+#define GRIDQP_EXPR_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/tuple.h"
+
+namespace gqp {
+
+class Expression;
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kComparison,
+  kLogical,
+  kArithmetic,
+  kFunctionCall,
+};
+
+/// Comparison operators.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Boolean connectives.
+enum class LogicalOp { kAnd, kOr, kNot };
+
+/// Arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+/// Registry of named scalar functions for local evaluation.
+class FunctionRegistry {
+ public:
+  using Fn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+  /// Registers a function (case-insensitive name). Replaces existing.
+  void Register(const std::string& name, Fn fn);
+
+  /// Looks up a function; NotFound if absent.
+  Result<Fn> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// A registry preloaded with built-ins (ENTROPYANALYSER, LENGTH, UPPER).
+  static const FunctionRegistry& Builtins();
+
+ private:
+  std::unordered_map<std::string, Fn> fns_;
+};
+
+/// \brief An immutable expression node.
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  virtual ExprKind kind() const = 0;
+
+  /// Evaluates against a tuple. `registry` resolves FunctionCall nodes and
+  /// may be null when the expression contains none.
+  virtual Result<Value> Eval(const Tuple& tuple,
+                             const FunctionRegistry* registry = nullptr)
+      const = 0;
+
+  /// A nominal CPU cost in "cost units" for the planner's bookkeeping.
+  virtual double UnitCost() const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+/// Column reference by position (resolved by the planner).
+class ColumnRefExpr : public Expression {
+ public:
+  ColumnRefExpr(size_t index, std::string name)
+      : index_(index), name_(std::move(name)) {}
+
+  ExprKind kind() const override { return ExprKind::kColumnRef; }
+  Result<Value> Eval(const Tuple& tuple,
+                     const FunctionRegistry*) const override;
+  double UnitCost() const override { return 0.1; }
+  std::string ToString() const override { return name_; }
+
+  size_t index() const { return index_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  size_t index_;
+  std::string name_;
+};
+
+/// Constant.
+class LiteralExpr : public Expression {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+  Result<Value> Eval(const Tuple&, const FunctionRegistry*) const override {
+    return value_;
+  }
+  double UnitCost() const override { return 0.0; }
+  std::string ToString() const override { return value_.ToString(); }
+
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// Binary comparison; evaluates to int64 0/1 (null if either side null).
+class ComparisonExpr : public Expression {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  ExprKind kind() const override { return ExprKind::kComparison; }
+  Result<Value> Eval(const Tuple& tuple,
+                     const FunctionRegistry* registry) const override;
+  double UnitCost() const override {
+    return 0.2 + left_->UnitCost() + right_->UnitCost();
+  }
+  std::string ToString() const override;
+
+  CompareOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+ private:
+  CompareOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// AND/OR/NOT; NOT uses only the left child.
+class LogicalExpr : public Expression {
+ public:
+  LogicalExpr(LogicalOp op, ExprPtr left, ExprPtr right = nullptr)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  ExprKind kind() const override { return ExprKind::kLogical; }
+  Result<Value> Eval(const Tuple& tuple,
+                     const FunctionRegistry* registry) const override;
+  double UnitCost() const override {
+    return 0.1 + left_->UnitCost() + (right_ ? right_->UnitCost() : 0.0);
+  }
+  std::string ToString() const override;
+
+  LogicalOp op() const { return op_; }
+
+ private:
+  LogicalOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// +,-,*,/ over numerics (int64 preserved when both sides are int64,
+/// except division which is double).
+class ArithmeticExpr : public Expression {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  ExprKind kind() const override { return ExprKind::kArithmetic; }
+  Result<Value> Eval(const Tuple& tuple,
+                     const FunctionRegistry* registry) const override;
+  double UnitCost() const override {
+    return 0.2 + left_->UnitCost() + right_->UnitCost();
+  }
+  std::string ToString() const override;
+
+  ArithOp op() const { return op_; }
+
+ private:
+  ArithOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// Named scalar function call (including web-service operations at parse
+/// time).
+class FunctionCallExpr : public Expression {
+ public:
+  FunctionCallExpr(std::string name, std::vector<ExprPtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+
+  ExprKind kind() const override { return ExprKind::kFunctionCall; }
+  Result<Value> Eval(const Tuple& tuple,
+                     const FunctionRegistry* registry) const override;
+  double UnitCost() const override;
+  std::string ToString() const override;
+
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+// ---- Convenience factories -------------------------------------------
+
+ExprPtr Col(size_t index, std::string name);
+ExprPtr Lit(Value v);
+ExprPtr Cmp(CompareOp op, ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr e);
+ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+ExprPtr Call(std::string name, std::vector<ExprPtr> args);
+
+/// True when the value is non-null and truthy (non-zero / non-empty).
+bool ValueIsTrue(const Value& v);
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXPR_EXPRESSION_H_

@@ -1,0 +1,56 @@
+#include "ft/recovery_log.h"
+
+#include <algorithm>
+
+namespace gqp {
+
+void RecoveryLog::Append(LogRecord record) {
+  records_.emplace(record.seq, std::move(record));
+  ++stats_.appended;
+  stats_.high_watermark = std::max(stats_.high_watermark, records_.size());
+}
+
+void RecoveryLog::Ack(uint64_t seq) {
+  if (records_.erase(seq) > 0) ++stats_.acked;
+}
+
+void RecoveryLog::AckBatch(const std::vector<uint64_t>& seqs) {
+  for (const uint64_t seq : seqs) Ack(seq);
+}
+
+std::vector<LogRecord> RecoveryLog::Extract(
+    const std::function<bool(const LogRecord&)>& pred) {
+  std::vector<LogRecord> out;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (pred(it->second)) {
+      out.push_back(std::move(it->second));
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.extracted += out.size();
+  return out;
+}
+
+std::vector<LogRecord> RecoveryLog::ExtractAll() {
+  return Extract([](const LogRecord&) { return true; });
+}
+
+bool AckBatcher::Add(uint64_t seq) {
+  pending_.push_back(seq);
+  return pending_.size() >= interval_;
+}
+
+std::vector<uint64_t> AckBatcher::Drain() {
+  std::vector<uint64_t> out;
+  out.swap(pending_);
+  return out;
+}
+
+void AckBatcher::Remove(uint64_t seq) {
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), seq),
+                 pending_.end());
+}
+
+}  // namespace gqp

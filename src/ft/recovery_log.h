@@ -1,0 +1,114 @@
+// Recovery log: the fault-tolerance substrate (after Smith & Watson,
+// CS-TR-893) that the paper reuses for retrospective (R1) state
+// repartitioning. Exchange producers append every outgoing tuple; records
+// are pruned when acknowledgment tuples return from consumers. At any
+// instant the log therefore holds exactly the tuples that are in transit,
+// queued unprocessed at consumers, or resident in downstream operator
+// state — the set R1 redistributes.
+
+#ifndef GRIDQP_FT_RECOVERY_LOG_H_
+#define GRIDQP_FT_RECOVERY_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace gqp {
+
+/// One logged outgoing tuple.
+struct LogRecord {
+  /// Producer-global sequence number (unique per producer instance).
+  uint64_t seq = 0;
+  /// Logical partition bucket (hash policies) or -1 (round-robin policies).
+  int bucket = -1;
+  /// Consumer index the tuple was sent to.
+  int consumer = -1;
+  Tuple tuple;
+};
+
+/// Aggregate counters for overhead reporting.
+struct RecoveryLogStats {
+  uint64_t appended = 0;
+  uint64_t acked = 0;
+  uint64_t extracted = 0;
+  size_t high_watermark = 0;
+};
+
+/// \brief Per-producer log of unacknowledged outgoing tuples.
+class RecoveryLog {
+ public:
+  /// Appends a record. Sequence numbers must be strictly increasing.
+  void Append(LogRecord record);
+
+  /// Removes a record upon acknowledgment. Unknown seqs are ignored
+  /// (acks may race with retrospective extraction).
+  void Ack(uint64_t seq);
+
+  /// Removes a batch of acknowledged records.
+  void AckBatch(const std::vector<uint64_t>& seqs);
+
+  /// \brief Extracts (removes and returns) all records matching `pred`,
+  /// in sequence order.
+  ///
+  /// R1 redistribution uses this to pull back the tuples whose partition
+  /// assignment changed.
+  std::vector<LogRecord> Extract(
+      const std::function<bool(const LogRecord&)>& pred);
+
+  /// Extracts every record (round-robin policies redistribute all
+  /// unprocessed tuples).
+  std::vector<LogRecord> ExtractAll();
+
+  /// Re-inserts a record after re-routing (it is still unacknowledged, now
+  /// owned by a different consumer).
+  void Reinsert(LogRecord record) { Append(std::move(record)); }
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  bool Contains(uint64_t seq) const { return records_.count(seq) > 0; }
+  const RecoveryLogStats& stats() const { return stats_; }
+
+ private:
+  std::map<uint64_t, LogRecord> records_;
+  RecoveryLogStats stats_;
+};
+
+/// \brief Consumer-side acknowledgment batching.
+///
+/// Consumers acknowledge at checkpoint granularity: processed sequence
+/// numbers accumulate and are drained every `checkpoint_interval` tuples
+/// (or explicitly at end-of-stream), mirroring the paper's checkpoint /
+/// acknowledgment-tuple protocol.
+class AckBatcher {
+ public:
+  explicit AckBatcher(size_t checkpoint_interval)
+      : interval_(checkpoint_interval == 0 ? 1 : checkpoint_interval) {}
+
+  /// Records a processed tuple. Returns true when a checkpoint boundary is
+  /// reached and Drain() should be sent upstream.
+  bool Add(uint64_t seq);
+
+  /// Returns and clears the pending acknowledgment batch.
+  std::vector<uint64_t> Drain();
+
+  /// Discards a pending seq (the tuple was recalled before its ack went
+  /// out; the producer will resend it elsewhere).
+  void Remove(uint64_t seq);
+
+  size_t pending() const { return pending_.size(); }
+
+  /// Seqs currently awaiting acknowledgment (used in StateMove replies so
+  /// producers do not resend tuples that were already processed).
+  const std::vector<uint64_t>& pending_seqs() const { return pending_; }
+
+ private:
+  size_t interval_;
+  std::vector<uint64_t> pending_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_FT_RECOVERY_LOG_H_

@@ -1,0 +1,107 @@
+#include "grid/perturbation.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace gqp {
+
+ConstantFactorPerturbation::ConstantFactorPerturbation(double factor)
+    : factor_(factor) {
+  assert(factor > 0.0);
+}
+
+double ConstantFactorPerturbation::Apply(double base_cost_ms, SimTime) {
+  return base_cost_ms * factor_;
+}
+
+std::string ConstantFactorPerturbation::Describe() const {
+  return StrFormat("constant x%.2f", factor_);
+}
+
+AddedDelayPerturbation::AddedDelayPerturbation(double delay_ms)
+    : delay_ms_(delay_ms) {
+  assert(delay_ms >= 0.0);
+}
+
+double AddedDelayPerturbation::Apply(double base_cost_ms, SimTime) {
+  return base_cost_ms + delay_ms_;
+}
+
+std::string AddedDelayPerturbation::Describe() const {
+  return StrFormat("sleep +%.1f ms", delay_ms_);
+}
+
+GaussianFactorPerturbation::GaussianFactorPerturbation(double mean,
+                                                       double stddev,
+                                                       double lo, double hi,
+                                                       uint64_t seed)
+    : mean_(mean), stddev_(stddev), lo_(lo), hi_(hi), rng_(seed) {
+  assert(lo <= hi);
+}
+
+double GaussianFactorPerturbation::Apply(double base_cost_ms, SimTime) {
+  return base_cost_ms * rng_.NextTruncatedGaussian(mean_, stddev_, lo_, hi_);
+}
+
+std::string GaussianFactorPerturbation::Describe() const {
+  return StrFormat("gaussian mean=%.1f sd=%.1f in [%.1f,%.1f]", mean_, stddev_,
+                   lo_, hi_);
+}
+
+DriftPerturbation::DriftPerturbation(double sigma, double tau_ms,
+                                     uint64_t seed)
+    : sigma_(sigma), tau_ms_(tau_ms), rng_(seed) {
+  assert(sigma >= 0.0 && tau_ms > 0.0);
+  // Start from the stationary distribution.
+  x_ = rng_.NextGaussian(0.0, sigma_);
+}
+
+double DriftPerturbation::CurrentFactor(SimTime now) {
+  const double dt = now - last_t_;
+  if (dt > 0) {
+    const double decay = std::exp(-dt / tau_ms_);
+    const double stddev = sigma_ * std::sqrt(1.0 - decay * decay);
+    x_ = x_ * decay + rng_.NextGaussian(0.0, stddev);
+    last_t_ = now;
+  }
+  // Clamp to keep pathological tails out of the cost model.
+  const double factor = std::exp(x_);
+  return factor < 0.25 ? 0.25 : (factor > 4.0 ? 4.0 : factor);
+}
+
+double DriftPerturbation::Apply(double base_cost_ms, SimTime now) {
+  return base_cost_ms * CurrentFactor(now);
+}
+
+std::string DriftPerturbation::Describe() const {
+  return StrFormat("drift sigma=%.2f tau=%.0fms", sigma_, tau_ms_);
+}
+
+StepPerturbation::StepPerturbation(std::vector<Step> steps)
+    : steps_(std::move(steps)) {
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    assert(steps_[i - 1].start_ms <= steps_[i].start_ms);
+  }
+}
+
+double StepPerturbation::Apply(double base_cost_ms, SimTime now) {
+  double factor = 1.0;
+  for (const Step& s : steps_) {
+    if (s.start_ms > now) break;
+    factor = s.factor;
+  }
+  return base_cost_ms * factor;
+}
+
+std::string StepPerturbation::Describe() const {
+  std::string out = "steps{";
+  for (const Step& s : steps_) {
+    out += StrFormat("%.0fms:x%.1f ", s.start_ms, s.factor);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gqp

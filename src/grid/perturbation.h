@@ -1,0 +1,128 @@
+// Perturbation profiles: the load-injection models of the paper's
+// evaluation (Section 3.2). A profile transforms the base virtual cost of a
+// unit of work into the cost actually charged on a perturbed machine.
+//
+// The paper injects load two ways: (i) making an operation k times costlier
+// (busy-loop iteration) and (ii) inserting sleep() calls before each tuple.
+// Fig. 5 additionally varies the factor per tuple, normally distributed
+// around a stable mean.
+
+#ifndef GRIDQP_GRID_PERTURBATION_H_
+#define GRIDQP_GRID_PERTURBATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace gqp {
+
+/// \brief Maps a base work cost to a perturbed cost.
+///
+/// Profiles may be stateful (RNG-driven); one instance is owned per
+/// (node, operation-tag) binding.
+class PerturbationProfile {
+ public:
+  virtual ~PerturbationProfile() = default;
+
+  /// Returns the perturbed cost in ms for work whose unperturbed cost is
+  /// `base_cost_ms`, at virtual time `now`.
+  virtual double Apply(double base_cost_ms, SimTime now) = 0;
+
+  /// Human-readable description for logs/reports.
+  virtual std::string Describe() const = 0;
+};
+
+using PerturbationPtr = std::shared_ptr<PerturbationProfile>;
+
+/// No perturbation; returns the base cost unchanged.
+class NoPerturbation : public PerturbationProfile {
+ public:
+  double Apply(double base_cost_ms, SimTime) override { return base_cost_ms; }
+  std::string Describe() const override { return "none"; }
+};
+
+/// Multiplies cost by a constant factor (the paper's "k times costlier" WS).
+class ConstantFactorPerturbation : public PerturbationProfile {
+ public:
+  explicit ConstantFactorPerturbation(double factor);
+  double Apply(double base_cost_ms, SimTime) override;
+  std::string Describe() const override;
+
+ private:
+  double factor_;
+};
+
+/// Adds a fixed delay per unit of work (the paper's sleep(10 ms) before each
+/// join tuple).
+class AddedDelayPerturbation : public PerturbationProfile {
+ public:
+  explicit AddedDelayPerturbation(double delay_ms);
+  double Apply(double base_cost_ms, SimTime) override;
+  std::string Describe() const override;
+
+ private:
+  double delay_ms_;
+};
+
+/// Per-tuple factor drawn from a truncated normal distribution (Fig. 5:
+/// factors in [25,35], [20,40], [1,60] with a stable mean).
+class GaussianFactorPerturbation : public PerturbationProfile {
+ public:
+  GaussianFactorPerturbation(double mean, double stddev, double lo, double hi,
+                             uint64_t seed);
+  double Apply(double base_cost_ms, SimTime) override;
+  std::string Describe() const override;
+
+ private:
+  double mean_, stddev_, lo_, hi_;
+  Rng rng_;
+};
+
+/// Mean-reverting load drift (Ornstein–Uhlenbeck process on the log
+/// factor): models the natural performance fluctuations of shared
+/// wide-area machines. The factor wanders around 1.0 with stationary
+/// standard deviation `sigma` (of the log factor) and correlation time
+/// `tau_ms`; the paper observed such fluctuations occasionally triggering
+/// adaptations even between nominally identical machines.
+class DriftPerturbation : public PerturbationProfile {
+ public:
+  DriftPerturbation(double sigma, double tau_ms, uint64_t seed);
+  double Apply(double base_cost_ms, SimTime now) override;
+  std::string Describe() const override;
+
+  /// Current multiplicative factor (tests).
+  double CurrentFactor(SimTime now);
+
+ private:
+  double sigma_;
+  double tau_ms_;
+  Rng rng_;
+  double x_ = 0.0;  // log-factor state
+  SimTime last_t_ = 0.0;
+};
+
+/// Piecewise-constant factor over virtual time: the factor of the last
+/// step whose start time is <= now applies. Used to model machines whose
+/// load changes mid-query.
+class StepPerturbation : public PerturbationProfile {
+ public:
+  struct Step {
+    SimTime start_ms;
+    double factor;
+  };
+
+  /// Steps must be sorted by start time; factor 1.0 applies before the
+  /// first step.
+  explicit StepPerturbation(std::vector<Step> steps);
+  double Apply(double base_cost_ms, SimTime now) override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_GRID_PERTURBATION_H_

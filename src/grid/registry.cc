@@ -1,0 +1,48 @@
+#include "grid/registry.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+
+std::string_view NodeRoleToString(NodeRole role) {
+  switch (role) {
+    case NodeRole::kCoordinator:
+      return "coordinator";
+    case NodeRole::kData:
+      return "data";
+    case NodeRole::kCompute:
+      return "compute";
+  }
+  return "?";
+}
+
+Status ResourceRegistry::Register(GridNode* node, NodeRole role) {
+  if (node == nullptr) return Status::InvalidArgument("null node");
+  auto [it, inserted] = entries_.emplace(node->id(), ResourceEntry{node, role});
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrCat("node ", node->id(), " already registered"));
+  }
+  order_.push_back(node->id());
+  return Status::OK();
+}
+
+std::vector<GridNode*> ResourceRegistry::NodesWithRole(NodeRole role) const {
+  std::vector<GridNode*> out;
+  for (HostId id : order_) {
+    const ResourceEntry& e = entries_.at(id);
+    if (e.role == role) out.push_back(e.node);
+  }
+  return out;
+}
+
+Result<GridNode*> ResourceRegistry::Find(HostId id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound(StrCat("node ", id, " not registered"));
+  }
+  return it->second.node;
+}
+
+}  // namespace gqp

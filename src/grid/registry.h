@@ -1,0 +1,58 @@
+// ResourceRegistry: the directory of computational resources and service
+// addresses. The paper's GDQS "contacts resource registries that contain
+// the addresses of the computational and data resources available"; this
+// is that registry.
+
+#ifndef GRIDQP_GRID_REGISTRY_H_
+#define GRIDQP_GRID_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "grid/node.h"
+
+namespace gqp {
+
+/// Role a node advertises to the scheduler.
+enum class NodeRole {
+  kCoordinator,  ///< runs the GDQS and collects results
+  kData,         ///< hosts Grid Data Services (table scans)
+  kCompute,      ///< eligible to evaluate partitioned subplans
+};
+
+std::string_view NodeRoleToString(NodeRole role);
+
+/// Registry entry for one machine.
+struct ResourceEntry {
+  GridNode* node = nullptr;
+  NodeRole role = NodeRole::kCompute;
+};
+
+/// \brief In-memory resource directory.
+///
+/// Owns nothing; nodes are owned by the grid setup (see
+/// workload/grid_setup.h). Lookup failures return NotFound.
+class ResourceRegistry {
+ public:
+  /// Registers a node under its HostId. Fails on duplicates.
+  Status Register(GridNode* node, NodeRole role);
+
+  /// All registered nodes with the given role, in registration order.
+  std::vector<GridNode*> NodesWithRole(NodeRole role) const;
+
+  /// Node lookup by id.
+  Result<GridNode*> Find(HostId id) const;
+
+  size_t size() const { return order_.size(); }
+
+ private:
+  std::unordered_map<HostId, ResourceEntry> entries_;
+  std::vector<HostId> order_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_GRID_REGISTRY_H_

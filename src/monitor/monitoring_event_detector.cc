@@ -1,0 +1,91 @@
+#include "monitor/monitoring_event_detector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gqp {
+
+std::string SubplanId::ToString() const {
+  return StrFormat("q%d.f%d.i%d", query, fragment, instance);
+}
+
+MonitoringEventDetector::MonitoringEventDetector(
+    MessageBus* bus, HostId host, std::string name,
+    MonitoringEventDetectorConfig config, GridNode* node)
+    : GridService(bus, host, std::move(name)),
+      config_(config),
+      node_(node) {}
+
+void MonitoringEventDetector::HandleMessage(const Message& msg) {
+  if (const auto* m1 = PayloadAs<M1Payload>(msg.payload)) {
+    ++stats_.raw_m1;
+    const std::string key = StrCat("m1:", m1->subplan().ToString());
+    auto [it, inserted] = groups_.try_emplace(key, config_.window);
+    Group& group = it->second;
+    if (inserted) {
+      group.kind = MonitoringAveragePayload::Kind::kProcessingCost;
+      group.subplan = m1->subplan();
+    }
+    group.last_selectivity = m1->selectivity();
+    Observe(&group, m1->cost_per_tuple_ms(), 0.0);
+    return;
+  }
+  if (const auto* m2 = PayloadAs<M2Payload>(msg.payload)) {
+    ++stats_.raw_m2;
+    const std::string key = StrCat("m2:", m2->producer().ToString(), ">",
+                                   m2->recipient().ToString());
+    auto [it, inserted] = groups_.try_emplace(key, config_.window);
+    Group& group = it->second;
+    if (inserted) {
+      group.kind = MonitoringAveragePayload::Kind::kCommunicationCost;
+      group.subplan = m2->producer();
+      group.recipient = m2->recipient();
+    }
+    Observe(&group, m2->send_cost_ms(),
+            static_cast<double>(m2->tuples_in_buffer()));
+    return;
+  }
+  GQP_LOG_DEBUG << "MED " << name() << ": ignoring payload "
+                << (msg.payload ? msg.payload->TypeName() : "null");
+}
+
+void MonitoringEventDetector::Observe(Group* group, double value,
+                                      double tuples_in_buffer) {
+  if (node_ != nullptr && config_.processing_cost_ms > 0) {
+    node_->SubmitWork("med:process", config_.processing_cost_ms, nullptr);
+  }
+  group->costs.Add(value);
+  if (tuples_in_buffer > 0) group->tuples_per_buffer.Add(tuples_in_buffer);
+  MaybeNotify(group);
+}
+
+void MonitoringEventDetector::MaybeNotify(Group* group) {
+  if (group->costs.total_observations() < config_.min_events) return;
+  const double avg = group->costs.Average();
+  bool notify = false;
+  if (group->last_notified < 0) {
+    notify = true;  // first digest establishes the baseline downstream
+  } else if (group->last_notified == 0.0) {
+    notify = avg != 0.0;
+  } else {
+    const double change =
+        std::abs(avg - group->last_notified) / group->last_notified;
+    notify = change >= config_.thres_m;
+  }
+  if (!notify) return;
+  group->last_notified = avg;
+  ++stats_.notifications_out;
+  auto digest = std::make_shared<MonitoringAveragePayload>(
+      group->kind, group->subplan, group->recipient, avg,
+      group->tuples_per_buffer.Average(), group->last_selectivity,
+      group->costs.total_observations());
+  const Status s = Publish(kTopicMonitoringAverages, std::move(digest));
+  if (!s.ok()) {
+    GQP_LOG_WARN << "MED " << name()
+                 << ": failed to publish digest: " << s.ToString();
+  }
+}
+
+}  // namespace gqp

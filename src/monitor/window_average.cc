@@ -1,0 +1,38 @@
+#include "monitor/window_average.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gqp {
+
+WindowAverage::WindowAverage(size_t window)
+    : window_(window < 1 ? 1 : window) {}
+
+void WindowAverage::Add(double value) {
+  values_.push_back(value);
+  ++total_;
+  if (values_.size() > window_) values_.pop_front();
+}
+
+double WindowAverage::Average() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  double lo = values_.front();
+  double hi = values_.front();
+  for (const double v : values_) {
+    sum += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (values_.size() > 2) {
+    return (sum - lo - hi) / static_cast<double>(values_.size() - 2);
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+void WindowAverage::Clear() {
+  values_.clear();
+  // total_ intentionally preserved: it counts lifetime observations.
+}
+
+}  // namespace gqp

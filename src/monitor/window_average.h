@@ -1,0 +1,42 @@
+// Sliding-window average over the last N observations, discarding the
+// minimum and maximum before averaging — the exact smoothing the paper's
+// MonitoringEventDetector applies to raw monitoring events.
+
+#ifndef GRIDQP_MONITOR_WINDOW_AVERAGE_H_
+#define GRIDQP_MONITOR_WINDOW_AVERAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace gqp {
+
+/// \brief Trimmed sliding-window mean.
+class WindowAverage {
+ public:
+  /// `window` is the maximum number of retained observations (the paper
+  /// uses 25). Values < 1 are treated as 1.
+  explicit WindowAverage(size_t window);
+
+  /// Adds an observation, evicting the oldest when the window is full.
+  void Add(double value);
+
+  /// The trimmed average: mean over the window with one minimum and one
+  /// maximum removed (when more than 2 observations are present; otherwise
+  /// the plain mean). Returns 0 when empty.
+  double Average() const;
+
+  size_t count() const { return values_.size(); }
+  uint64_t total_observations() const { return total_; }
+  bool empty() const { return values_.empty(); }
+  void Clear();
+
+ private:
+  size_t window_;
+  std::deque<double> values_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_MONITOR_WINDOW_AVERAGE_H_

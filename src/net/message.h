@@ -1,0 +1,73 @@
+// Message and payload types carried by the simulated network.
+//
+// GridQP is an in-process simulation, so payloads are passed by pointer
+// rather than actually serialized; every payload nevertheless reports a
+// WireSize() used by the network cost model, mirroring the byte cost the
+// paper's SOAP/HTTP transport would have paid.
+
+#ifndef GRIDQP_NET_MESSAGE_H_
+#define GRIDQP_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace gqp {
+
+/// Identifies a simulated grid host. Hosts are registered with the Network.
+using HostId = int32_t;
+
+constexpr HostId kInvalidHost = -1;
+
+/// A service endpoint: a named service running on a host.
+struct Address {
+  HostId host = kInvalidHost;
+  std::string service;
+
+  bool operator==(const Address& other) const {
+    return host == other.host && service == other.service;
+  }
+  std::string ToString() const {
+    return service + "@" + std::to_string(host);
+  }
+};
+
+struct AddressHash {
+  size_t operator()(const Address& a) const {
+    return std::hash<std::string>()(a.service) * 1000003u ^
+           std::hash<int32_t>()(a.host);
+  }
+};
+
+/// \brief Base class for everything sent over the simulated network.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Serialized size in bytes, used for transfer-time costing. Includes a
+  /// nominal envelope (the SOAP/HTTP analogue) added by the network layer,
+  /// so implementations return body size only.
+  virtual size_t WireSize() const = 0;
+
+  /// Stable payload type name for dispatch and debugging.
+  virtual std::string_view TypeName() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// A message in flight between two service endpoints.
+struct Message {
+  Address from;
+  Address to;
+  PayloadPtr payload;
+};
+
+/// Downcasts a payload; returns nullptr when the runtime type differs.
+template <typename T>
+const T* PayloadAs(const PayloadPtr& p) {
+  return dynamic_cast<const T*>(p.get());
+}
+
+}  // namespace gqp
+
+#endif  // GRIDQP_NET_MESSAGE_H_

@@ -1,0 +1,77 @@
+#include "net/network.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+namespace {
+
+uint64_t LinkKey(HostId src, HostId dst) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+         static_cast<uint32_t>(dst);
+}
+
+}  // namespace
+
+void Network::RegisterHost(HostId host, DeliveryHandler handler) {
+  hosts_[host] = std::move(handler);
+}
+
+void Network::SetLink(HostId src, HostId dst, LinkParams params) {
+  links_[LinkKey(src, dst)].params = params;
+}
+
+Network::LinkState& Network::GetLink(HostId src, HostId dst) {
+  auto [it, inserted] = links_.try_emplace(LinkKey(src, dst));
+  if (inserted) it->second.params = default_link_;
+  return it->second;
+}
+
+const LinkParams& Network::GetLinkParams(HostId src, HostId dst) const {
+  auto it = links_.find(LinkKey(src, dst));
+  return it == links_.end() ? default_link_ : it->second.params;
+}
+
+void Network::SetHostDown(HostId host) { down_.insert(host); }
+
+Status Network::Send(Message msg) {
+  if (down_.count(msg.to.host) > 0 || down_.count(msg.from.host) > 0) {
+    return Status::OK();  // dropped on the floor, like the real wide area
+  }
+  auto host_it = hosts_.find(msg.to.host);
+  if (host_it == hosts_.end()) {
+    return Status::NotFound(
+        StrCat("destination host ", msg.to.host, " not registered"));
+  }
+  DeliveryHandler* handler = &host_it->second;
+
+  if (msg.from.host == msg.to.host) {
+    ++stats_.local_deliveries;
+    sim_->Schedule(0.0, [handler, m = std::move(msg)]() { (*handler)(m); });
+    return Status::OK();
+  }
+
+  const size_t bytes =
+      (msg.payload ? msg.payload->WireSize() : 0) + envelope_bytes_;
+  LinkState& link = GetLink(msg.from.host, msg.to.host);
+  const SimTime start = std::max(sim_->Now(), link.busy_until);
+  const double tx = static_cast<double>(bytes) /
+                    link.params.bandwidth_bytes_per_ms;
+  link.busy_until = start + tx;
+  const SimTime arrival = start + tx + link.params.latency_ms;
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+
+  sim_->ScheduleAt(arrival, [handler, m = std::move(msg)]() { (*handler)(m); });
+  return Status::OK();
+}
+
+double Network::TransferTime(HostId src, HostId dst, size_t bytes) const {
+  if (src == dst) return 0.0;
+  const LinkParams& p = GetLinkParams(src, dst);
+  return static_cast<double>(bytes + envelope_bytes_) /
+             p.bandwidth_bytes_per_ms +
+         p.latency_ms;
+}
+
+}  // namespace gqp

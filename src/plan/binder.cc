@@ -1,0 +1,636 @@
+#include "plan/binder.h"
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace gqp {
+namespace {
+
+/// Tracks the provenance of each column in a relation's schema.
+struct ColumnBinding {
+  std::string qualifier;  // table alias (lowercased not required; compared
+                          // case-insensitively); empty for computed columns
+  std::string name;
+};
+
+/// A bound relation: plan subtree plus column provenance and a row
+/// estimate for build-side selection.
+struct BoundRel {
+  LogicalNodePtr node;
+  std::vector<ColumnBinding> cols;
+  double row_estimate = 0;
+};
+
+/// Collects the table qualifiers (aliases) an AST expression references;
+/// unqualified columns contribute "".
+void CollectQualifiers(const AstExprPtr& e, std::set<std::string>* out) {
+  switch (e->kind()) {
+    case AstExprKind::kColumn: {
+      const auto* c = static_cast<const AstColumn*>(e.get());
+      out->insert(ToUpper(c->qualifier()));
+      return;
+    }
+    case AstExprKind::kLiteral:
+    case AstExprKind::kStar:
+      return;
+    case AstExprKind::kCall: {
+      const auto* c = static_cast<const AstCall*>(e.get());
+      for (const auto& a : c->args()) CollectQualifiers(a, out);
+      return;
+    }
+    case AstExprKind::kBinary: {
+      const auto* b = static_cast<const AstBinary*>(e.get());
+      CollectQualifiers(b->left(), out);
+      CollectQualifiers(b->right(), out);
+      return;
+    }
+    case AstExprKind::kUnaryNot: {
+      const auto* n = static_cast<const AstUnaryNot*>(e.get());
+      CollectQualifiers(n->operand(), out);
+      return;
+    }
+  }
+}
+
+/// Maps an aggregate function name to its kind; nullopt for non-aggregates.
+std::optional<AggKind> AggKindFromName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "COUNT")) return AggKind::kCount;
+  if (EqualsIgnoreCase(name, "SUM")) return AggKind::kSum;
+  if (EqualsIgnoreCase(name, "AVG")) return AggKind::kAvg;
+  if (EqualsIgnoreCase(name, "MIN")) return AggKind::kMin;
+  if (EqualsIgnoreCase(name, "MAX")) return AggKind::kMax;
+  return std::nullopt;
+}
+
+/// Splits an AND tree into conjuncts.
+void SplitConjuncts(const AstExprPtr& e, std::vector<AstExprPtr>* out) {
+  if (e->kind() == AstExprKind::kBinary) {
+    const auto* b = static_cast<const AstBinary*>(e.get());
+    if (b->op() == AstBinaryOp::kAnd) {
+      SplitConjuncts(b->left(), out);
+      SplitConjuncts(b->right(), out);
+      return;
+    }
+  }
+  out->push_back(e);
+}
+
+/// Resolves a column against a relation. Ambiguous unqualified names and
+/// unknown columns are errors.
+Result<size_t> ResolveColumn(const BoundRel& rel, const std::string& qualifier,
+                             const std::string& name) {
+  size_t found = rel.cols.size();
+  for (size_t i = 0; i < rel.cols.size(); ++i) {
+    const ColumnBinding& c = rel.cols[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    if (found != rel.cols.size()) {
+      return Status::InvalidArgument(
+          StrCat("ambiguous column reference '", name, "'"));
+    }
+    found = i;
+  }
+  if (found == rel.cols.size()) {
+    return Status::NotFound(StrCat(
+        "unknown column '", qualifier.empty() ? name : qualifier + "." + name,
+        "'"));
+  }
+  return found;
+}
+
+/// Infers the output type of a bound expression.
+DataType InferType(const ExprPtr& e, const Schema& schema) {
+  switch (e->kind()) {
+    case ExprKind::kColumnRef: {
+      const auto* c = static_cast<const ColumnRefExpr*>(e.get());
+      if (c->index() < schema.num_fields()) {
+        return schema.field(c->index()).type;
+      }
+      return DataType::kNull;
+    }
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr*>(e.get())->value().type();
+    case ExprKind::kComparison:
+    case ExprKind::kLogical:
+      return DataType::kInt64;
+    case ExprKind::kArithmetic:
+      return DataType::kDouble;
+    case ExprKind::kFunctionCall: {
+      const auto* c = static_cast<const FunctionCallExpr*>(e.get());
+      if (EqualsIgnoreCase(c->name(), "LENGTH")) return DataType::kInt64;
+      if (EqualsIgnoreCase(c->name(), "UPPER")) return DataType::kString;
+      return DataType::kDouble;
+    }
+  }
+  return DataType::kDouble;
+}
+
+/// Binder working state.
+class Binder {
+ public:
+  Binder(const SelectQuery& query, const Catalog& catalog)
+      : query_(query), catalog_(catalog) {}
+
+  Result<LogicalNodePtr> Bind();
+
+ private:
+  Result<BoundRel> BindTable(const TableRef& ref);
+
+  /// Binds an AST expression over `rel`. Web-service calls are resolved
+  /// through `ws_columns_` (must have been lifted first); hitting an
+  /// unlifted WS call is an error.
+  Result<ExprPtr> BindExpr(const AstExprPtr& e, const BoundRel& rel);
+
+  /// Finds WS calls in an AST subtree, in evaluation order.
+  void FindWsCalls(const AstExprPtr& e, std::vector<const AstCall*>* out);
+
+  /// Builds the aggregate + projection plan on top of `rel` for a grouped
+  /// or globally-aggregated query.
+  Result<LogicalNodePtr> BindAggregate(const BoundRel& rel);
+
+  const SelectQuery& query_;
+  const Catalog& catalog_;
+  std::unordered_map<const AstExpr*, size_t> ws_columns_;
+};
+
+Result<BoundRel> Binder::BindTable(const TableRef& ref) {
+  GQP_ASSIGN_OR_RETURN(TableEntry entry, catalog_.FindTable(ref.table));
+  BoundRel rel;
+  const std::string& alias = ref.effective_alias();
+  rel.node = std::make_shared<LogicalScan>(entry, alias, entry.schema);
+  for (const Field& f : entry.schema->fields()) {
+    rel.cols.push_back(ColumnBinding{alias, f.name});
+  }
+  rel.row_estimate = static_cast<double>(entry.stats.num_rows);
+  return rel;
+}
+
+void Binder::FindWsCalls(const AstExprPtr& e,
+                         std::vector<const AstCall*>* out) {
+  switch (e->kind()) {
+    case AstExprKind::kCall: {
+      const auto* c = static_cast<const AstCall*>(e.get());
+      if (catalog_.HasWebService(c->name())) {
+        out->push_back(c);
+        return;  // nested WS calls inside WS args are not supported
+      }
+      for (const auto& a : c->args()) FindWsCalls(a, out);
+      return;
+    }
+    case AstExprKind::kBinary: {
+      const auto* b = static_cast<const AstBinary*>(e.get());
+      FindWsCalls(b->left(), out);
+      FindWsCalls(b->right(), out);
+      return;
+    }
+    case AstExprKind::kUnaryNot: {
+      const auto* n = static_cast<const AstUnaryNot*>(e.get());
+      FindWsCalls(n->operand(), out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+Result<ExprPtr> Binder::BindExpr(const AstExprPtr& e, const BoundRel& rel) {
+  switch (e->kind()) {
+    case AstExprKind::kColumn: {
+      const auto* c = static_cast<const AstColumn*>(e.get());
+      GQP_ASSIGN_OR_RETURN(size_t idx,
+                           ResolveColumn(rel, c->qualifier(), c->name()));
+      return Col(idx, c->ToString());
+    }
+    case AstExprKind::kLiteral:
+      return Lit(static_cast<const AstLiteral*>(e.get())->value());
+    case AstExprKind::kStar:
+      return Status::InvalidArgument("'*' is only allowed alone in SELECT");
+    case AstExprKind::kCall: {
+      const auto* c = static_cast<const AstCall*>(e.get());
+      auto ws_it = ws_columns_.find(e.get());
+      if (ws_it != ws_columns_.end()) {
+        return Col(ws_it->second, c->ToString());
+      }
+      if (catalog_.HasWebService(c->name())) {
+        return Status::InvalidArgument(
+            StrCat("web-service call ", c->name(),
+                   "() is only supported in the select list"));
+      }
+      if (!FunctionRegistry::Builtins().Contains(c->name())) {
+        return Status::NotFound(StrCat("unknown function '", c->name(), "'"));
+      }
+      std::vector<ExprPtr> args;
+      for (const auto& a : c->args()) {
+        GQP_ASSIGN_OR_RETURN(ExprPtr bound, BindExpr(a, rel));
+        args.push_back(std::move(bound));
+      }
+      return Call(c->name(), std::move(args));
+    }
+    case AstExprKind::kBinary: {
+      const auto* b = static_cast<const AstBinary*>(e.get());
+      GQP_ASSIGN_OR_RETURN(ExprPtr l, BindExpr(b->left(), rel));
+      GQP_ASSIGN_OR_RETURN(ExprPtr r, BindExpr(b->right(), rel));
+      switch (b->op()) {
+        case AstBinaryOp::kEq:
+          return Cmp(CompareOp::kEq, l, r);
+        case AstBinaryOp::kNe:
+          return Cmp(CompareOp::kNe, l, r);
+        case AstBinaryOp::kLt:
+          return Cmp(CompareOp::kLt, l, r);
+        case AstBinaryOp::kLe:
+          return Cmp(CompareOp::kLe, l, r);
+        case AstBinaryOp::kGt:
+          return Cmp(CompareOp::kGt, l, r);
+        case AstBinaryOp::kGe:
+          return Cmp(CompareOp::kGe, l, r);
+        case AstBinaryOp::kAnd:
+          return And(l, r);
+        case AstBinaryOp::kOr:
+          return Or(l, r);
+        case AstBinaryOp::kAdd:
+          return Arith(ArithOp::kAdd, l, r);
+        case AstBinaryOp::kSub:
+          return Arith(ArithOp::kSub, l, r);
+        case AstBinaryOp::kMul:
+          return Arith(ArithOp::kMul, l, r);
+        case AstBinaryOp::kDiv:
+          return Arith(ArithOp::kDiv, l, r);
+      }
+      return Status::Internal("unhandled binary op");
+    }
+    case AstExprKind::kUnaryNot: {
+      const auto* n = static_cast<const AstUnaryNot*>(e.get());
+      GQP_ASSIGN_OR_RETURN(ExprPtr operand, BindExpr(n->operand(), rel));
+      return Not(std::move(operand));
+    }
+  }
+  return Status::Internal("unhandled AST node");
+}
+
+Result<LogicalNodePtr> Binder::BindAggregate(const BoundRel& rel) {
+  // Bind the GROUP BY expressions.
+  std::vector<ExprPtr> group_exprs;
+  std::vector<Field> agg_fields;
+  for (const AstExprPtr& g : query_.group_by) {
+    GQP_ASSIGN_OR_RETURN(ExprPtr bound, BindExpr(g, rel));
+    std::string name = g->ToString();
+    if (bound->kind() == ExprKind::kColumnRef) {
+      name = rel.cols[static_cast<const ColumnRefExpr*>(bound.get())->index()]
+                 .name;
+    }
+    agg_fields.push_back(
+        Field{std::move(name), InferType(bound, *rel.node->schema())});
+    group_exprs.push_back(std::move(bound));
+  }
+
+  // Classify select items: group columns or aggregate calls.
+  struct ItemSlot {
+    size_t position = 0;  // into the aggregate output schema
+    std::string name;
+    DataType type = DataType::kNull;
+  };
+  std::vector<ItemSlot> slots;
+  std::vector<AggSpec> aggs;
+  for (const SelectItem& item : query_.items) {
+    if (item.expr->kind() == AstExprKind::kStar) {
+      return Status::InvalidArgument("'*' is not allowed with GROUP BY");
+    }
+    const auto* call = item.expr->kind() == AstExprKind::kCall
+                           ? static_cast<const AstCall*>(item.expr.get())
+                           : nullptr;
+    const std::optional<AggKind> kind =
+        call != nullptr ? AggKindFromName(call->name()) : std::nullopt;
+    if (kind.has_value()) {
+      AggSpec spec;
+      spec.kind = *kind;
+      if (call->args().size() != 1) {
+        return Status::InvalidArgument(
+            StrCat(call->name(), " expects exactly one argument"));
+      }
+      const bool star = call->args()[0]->kind() == AstExprKind::kStar;
+      if (star) {
+        if (spec.kind != AggKind::kCount) {
+          return Status::InvalidArgument("'*' is only valid in COUNT(*)");
+        }
+      } else {
+        GQP_ASSIGN_OR_RETURN(spec.arg, BindExpr(call->args()[0], rel));
+      }
+      // Result type: COUNT int64; AVG double; SUM follows the argument
+      // (int64 stays integral); MIN/MAX follow the argument.
+      const DataType arg_type =
+          spec.arg != nullptr ? InferType(spec.arg, *rel.node->schema())
+                              : DataType::kInt64;
+      switch (spec.kind) {
+        case AggKind::kCount:
+          spec.result_type = DataType::kInt64;
+          break;
+        case AggKind::kAvg:
+          spec.result_type = DataType::kDouble;
+          break;
+        case AggKind::kSum:
+          spec.result_type = arg_type == DataType::kInt64
+                                 ? DataType::kInt64
+                                 : DataType::kDouble;
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax:
+          spec.result_type = arg_type;
+          break;
+      }
+      spec.name = item.alias.empty() ? item.expr->ToString() : item.alias;
+      ItemSlot slot;
+      slot.position = group_exprs.size() + aggs.size();
+      slot.name = spec.name;
+      slot.type = spec.result_type;
+      slots.push_back(std::move(slot));
+      aggs.push_back(std::move(spec));
+      continue;
+    }
+    // Non-aggregate item: must match a GROUP BY expression.
+    GQP_ASSIGN_OR_RETURN(ExprPtr bound, BindExpr(item.expr, rel));
+    size_t position = group_exprs.size();
+    for (size_t g = 0; g < group_exprs.size(); ++g) {
+      if (group_exprs[g]->ToString() == bound->ToString()) {
+        position = g;
+        break;
+      }
+    }
+    if (position == group_exprs.size()) {
+      return Status::InvalidArgument(
+          StrCat("'", item.expr->ToString(),
+                 "' must appear in GROUP BY or be aggregated"));
+    }
+    ItemSlot slot;
+    slot.position = position;
+    slot.name = item.alias.empty() ? agg_fields[position].name : item.alias;
+    slot.type = agg_fields[position].type;
+    slots.push_back(std::move(slot));
+  }
+  for (const AggSpec& spec : aggs) {
+    agg_fields.push_back(Field{spec.name, spec.result_type});
+  }
+
+  SchemaPtr agg_schema = MakeSchema(std::move(agg_fields));
+  LogicalNodePtr agg_node = std::make_shared<LogicalAggregate>(
+      rel.node, std::move(group_exprs), std::move(aggs), agg_schema);
+
+  // Projection mapping select-list order onto the aggregate output.
+  std::vector<ExprPtr> exprs;
+  std::vector<Field> out_fields;
+  for (const ItemSlot& slot : slots) {
+    exprs.push_back(Col(slot.position, slot.name));
+    out_fields.push_back(Field{slot.name, slot.type});
+  }
+  return LogicalNodePtr(std::make_shared<LogicalProject>(
+      agg_node, std::move(exprs), MakeSchema(std::move(out_fields))));
+}
+
+Result<LogicalNodePtr> Binder::Bind() {
+  if (query_.tables.empty()) {
+    return Status::InvalidArgument("query needs at least one table");
+  }
+
+  // Bind each table, checking alias uniqueness.
+  std::vector<BoundRel> rels;
+  std::set<std::string> aliases;
+  for (const TableRef& ref : query_.tables) {
+    if (!aliases.insert(ToUpper(ref.effective_alias())).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate table alias '", ref.effective_alias(), "'"));
+    }
+    GQP_ASSIGN_OR_RETURN(BoundRel rel, BindTable(ref));
+    rels.push_back(std::move(rel));
+  }
+
+  // Classify WHERE conjuncts.
+  std::vector<AstExprPtr> conjuncts;
+  if (query_.where != nullptr) SplitConjuncts(query_.where, &conjuncts);
+
+  auto alias_to_rel = [&](const std::string& upper_alias) -> int {
+    for (size_t i = 0; i < query_.tables.size(); ++i) {
+      if (ToUpper(query_.tables[i].effective_alias()) == upper_alias) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  // A conjunct is single-table if it references exactly one alias (or only
+  // unqualified columns that resolve within one table — approximated here
+  // by qualifier analysis; unqualified references force join-time
+  // placement for safety).
+  struct PendingConjunct {
+    AstExprPtr ast;
+    int sole_rel = -1;  // >=0: push to that table
+  };
+  std::vector<PendingConjunct> pending;
+  for (const AstExprPtr& c : conjuncts) {
+    std::set<std::string> quals;
+    CollectQualifiers(c, &quals);
+    PendingConjunct pc{c, -1};
+    if (quals.size() == 1 && !quals.count("")) {
+      pc.sole_rel = alias_to_rel(*quals.begin());
+    }
+    pending.push_back(std::move(pc));
+  }
+
+  // Push single-table filters below the joins.
+  for (auto it = pending.begin(); it != pending.end();) {
+    if (it->sole_rel >= 0) {
+      BoundRel& rel = rels[static_cast<size_t>(it->sole_rel)];
+      GQP_ASSIGN_OR_RETURN(ExprPtr pred, BindExpr(it->ast, rel));
+      rel.node = std::make_shared<LogicalFilter>(rel.node, std::move(pred));
+      rel.row_estimate *= 0.5;  // default filter selectivity estimate
+      it = pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Greedy left-deep join ordering: repeatedly find an equi-conjunct
+  // linking the accumulated relation to an unjoined one.
+  BoundRel accum = std::move(rels[0]);
+  std::vector<bool> joined(rels.size(), false);
+  joined[0] = true;
+  size_t remaining = rels.size() - 1;
+
+  // Provenance of which original rel each accumulated column came from is
+  // implicit in the qualifier; equi-join detection works on qualifiers.
+  while (remaining > 0) {
+    bool progressed = false;
+    for (auto it = pending.begin(); it != pending.end() && !progressed;
+         ++it) {
+      const AstExprPtr& ast = it->ast;
+      if (ast->kind() != AstExprKind::kBinary) continue;
+      const auto* bin = static_cast<const AstBinary*>(ast.get());
+      if (bin->op() != AstBinaryOp::kEq) continue;
+      if (bin->left()->kind() != AstExprKind::kColumn ||
+          bin->right()->kind() != AstExprKind::kColumn) {
+        continue;
+      }
+      const auto* lc = static_cast<const AstColumn*>(bin->left().get());
+      const auto* rc = static_cast<const AstColumn*>(bin->right().get());
+      const int lrel = alias_to_rel(ToUpper(lc->qualifier()));
+      const int rrel = alias_to_rel(ToUpper(rc->qualifier()));
+      if (lrel < 0 || rrel < 0) continue;
+      const bool l_in = joined[static_cast<size_t>(lrel)];
+      const bool r_in = joined[static_cast<size_t>(rrel)];
+      if (l_in == r_in) continue;  // both joined (residual) or both not
+
+      const int new_rel_idx = l_in ? rrel : lrel;
+      const AstColumn* accum_col = l_in ? lc : rc;
+      const AstColumn* new_col = l_in ? rc : lc;
+      BoundRel& incoming = rels[static_cast<size_t>(new_rel_idx)];
+
+      GQP_ASSIGN_OR_RETURN(
+          size_t accum_key,
+          ResolveColumn(accum, accum_col->qualifier(), accum_col->name()));
+      GQP_ASSIGN_OR_RETURN(
+          size_t incoming_key,
+          ResolveColumn(incoming, new_col->qualifier(), new_col->name()));
+
+      // Build side = smaller estimated input (hash table lives there).
+      BoundRel* build = &accum;
+      BoundRel* probe = &incoming;
+      size_t build_key = accum_key;
+      size_t probe_key = incoming_key;
+      if (incoming.row_estimate < accum.row_estimate) {
+        std::swap(build, probe);
+        std::swap(build_key, probe_key);
+      }
+
+      SchemaPtr out_schema = std::make_shared<const Schema>(
+          build->node->schema()->Concat(*probe->node->schema()));
+      BoundRel joined_rel;
+      joined_rel.node = std::make_shared<LogicalJoin>(
+          build->node, probe->node, build_key, probe_key, out_schema);
+      joined_rel.cols = build->cols;
+      joined_rel.cols.insert(joined_rel.cols.end(), probe->cols.begin(),
+                             probe->cols.end());
+      joined_rel.row_estimate =
+          std::max(build->row_estimate, probe->row_estimate);
+      accum = std::move(joined_rel);
+
+      joined[static_cast<size_t>(new_rel_idx)] = true;
+      --remaining;
+      pending.erase(it);
+      progressed = true;
+    }
+    if (!progressed) {
+      return Status::InvalidArgument(
+          "cross joins are not supported: every table must be connected by "
+          "an equi-join predicate");
+    }
+  }
+
+  // Residual conjuncts become a filter above the join tree.
+  for (const PendingConjunct& pc : pending) {
+    GQP_ASSIGN_OR_RETURN(ExprPtr pred, BindExpr(pc.ast, accum));
+    accum.node = std::make_shared<LogicalFilter>(accum.node, std::move(pred));
+  }
+
+  // Lift web-service calls from the select list into OperationCall nodes.
+  std::vector<const AstCall*> ws_calls;
+  for (const SelectItem& item : query_.items) {
+    if (item.expr->kind() == AstExprKind::kStar) continue;
+    FindWsCalls(item.expr, &ws_calls);
+  }
+  for (const AstCall* call : ws_calls) {
+    GQP_ASSIGN_OR_RETURN(WebServiceEntry ws,
+                         catalog_.FindWebService(call->name()));
+    if (call->args().size() != 1) {
+      return Status::InvalidArgument(
+          StrCat("web-service operation ", call->name(),
+                 " expects exactly one argument"));
+    }
+    GQP_ASSIGN_OR_RETURN(ExprPtr arg, BindExpr(call->args()[0], accum));
+    if (arg->kind() != ExprKind::kColumnRef) {
+      return Status::Unimplemented(
+          "web-service arguments must be plain column references");
+    }
+    const size_t arg_col =
+        static_cast<const ColumnRefExpr*>(arg.get())->index();
+    const std::string out_name = call->ToString();
+
+    std::vector<Field> fields = accum.node->schema()->fields();
+    fields.push_back(Field{out_name, ws.result_type});
+    SchemaPtr out_schema = MakeSchema(std::move(fields));
+    accum.node = std::make_shared<LogicalOperationCall>(
+        accum.node, ws, arg_col, out_name, out_schema);
+    ws_columns_[call] = accum.node->schema()->num_fields() - 1;
+    accum.cols.push_back(ColumnBinding{"", out_name});
+  }
+
+  // Aggregation: triggered by GROUP BY or aggregate calls in the select
+  // list. Aggregates and web-service calls cannot be combined.
+  bool has_agg_items = false;
+  for (const SelectItem& item : query_.items) {
+    if (item.expr->kind() != AstExprKind::kCall) continue;
+    const auto* call = static_cast<const AstCall*>(item.expr.get());
+    if (AggKindFromName(call->name()).has_value()) has_agg_items = true;
+  }
+  if (has_agg_items || !query_.group_by.empty()) {
+    if (!ws_calls.empty()) {
+      return Status::Unimplemented(
+          "aggregates cannot be combined with web-service calls");
+    }
+    return BindAggregate(accum);
+  }
+
+  // Final projection.
+  std::vector<ExprPtr> exprs;
+  std::vector<Field> out_fields;
+  for (const SelectItem& item : query_.items) {
+    if (item.expr->kind() == AstExprKind::kStar) {
+      if (query_.items.size() != 1) {
+        return Status::InvalidArgument("'*' must be the only select item");
+      }
+      for (size_t i = 0; i < accum.node->schema()->num_fields(); ++i) {
+        const Field& f = accum.node->schema()->field(i);
+        exprs.push_back(Col(i, f.name));
+        out_fields.push_back(f);
+      }
+      break;
+    }
+    GQP_ASSIGN_OR_RETURN(ExprPtr bound, BindExpr(item.expr, accum));
+    std::string name = item.alias;
+    if (name.empty()) {
+      if (bound->kind() == ExprKind::kColumnRef) {
+        const size_t idx =
+            static_cast<const ColumnRefExpr*>(bound.get())->index();
+        name = accum.cols[idx].name;
+      } else {
+        name = item.expr->ToString();
+      }
+    }
+    out_fields.push_back(
+        Field{std::move(name), InferType(bound, *accum.node->schema())});
+    exprs.push_back(std::move(bound));
+  }
+
+  SchemaPtr out_schema = MakeSchema(std::move(out_fields));
+  return LogicalNodePtr(std::make_shared<LogicalProject>(
+      accum.node, std::move(exprs), std::move(out_schema)));
+}
+
+}  // namespace
+
+Result<LogicalNodePtr> BindSelect(const SelectQuery& query,
+                                  const Catalog& catalog) {
+  Binder binder(query, catalog);
+  return binder.Bind();
+}
+
+Result<LogicalNodePtr> PlanSql(const std::string& sql,
+                               const Catalog& catalog) {
+  GQP_ASSIGN_OR_RETURN(SelectQuery query, ParseSelect(sql));
+  return BindSelect(query, catalog);
+}
+
+}  // namespace gqp

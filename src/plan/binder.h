@@ -1,0 +1,28 @@
+// Binder: resolves a parsed SelectQuery against the Catalog into a logical
+// plan. Performs name resolution, single-table filter pushdown, greedy
+// equi-join ordering (build side = smaller estimated input), and lifting
+// of web-service calls out of the select list into LogicalOperationCall
+// nodes (the paper's operation_call operator).
+
+#ifndef GRIDQP_PLAN_BINDER_H_
+#define GRIDQP_PLAN_BINDER_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace gqp {
+
+/// Binds `query` against `catalog`. Errors: unknown tables/columns/
+/// functions, ambiguous names, missing join predicates (cross joins are
+/// rejected), web-service calls outside the select list.
+Result<LogicalNodePtr> BindSelect(const SelectQuery& query,
+                                  const Catalog& catalog);
+
+/// Convenience: parse + bind.
+Result<LogicalNodePtr> PlanSql(const std::string& sql, const Catalog& catalog);
+
+}  // namespace gqp
+
+#endif  // GRIDQP_PLAN_BINDER_H_

@@ -1,0 +1,68 @@
+#include "plan/logical_plan.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+
+std::string LogicalNode::TreeString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += ToString();
+  out += "\n";
+  for (const LogicalNodePtr& child : children()) {
+    out += child->TreeString(indent + 1);
+  }
+  return out;
+}
+
+std::string LogicalScan::ToString() const {
+  return StrCat("Scan(", table_.name, " AS ", alias_, ", rows=",
+                table_.stats.num_rows, ")");
+}
+
+std::string LogicalFilter::ToString() const {
+  return StrCat("Filter(", predicate_->ToString(), ")");
+}
+
+std::string LogicalProject::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(exprs_.size());
+  for (const auto& e : exprs_) parts.push_back(e->ToString());
+  return StrCat("Project(", StrJoin(parts, ", "), ")");
+}
+
+std::string LogicalJoin::ToString() const {
+  return StrCat("HashJoin(build.", schema()->field(left_key_).name,
+                " = probe.", right_->schema()->field(right_key_).name, ")");
+}
+
+std::string_view AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::string LogicalAggregate::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& g : group_exprs_) parts.push_back(g->ToString());
+  for (const auto& a : aggs_) {
+    parts.push_back(StrCat(AggKindToString(a.kind), "(",
+                           a.arg ? a.arg->ToString() : "*", ")"));
+  }
+  return StrCat("Aggregate(", StrJoin(parts, ", "), ")");
+}
+
+std::string LogicalOperationCall::ToString() const {
+  return StrCat("OperationCall(", ws_.name, " -> ", out_name_, ")");
+}
+
+}  // namespace gqp

@@ -1,0 +1,205 @@
+// Logical query plans: the binder resolves a parsed SelectQuery against
+// the catalog into this representation; the optimiser then turns it into
+// a fragmented physical plan.
+
+#ifndef GRIDQP_PLAN_LOGICAL_PLAN_H_
+#define GRIDQP_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "expr/expression.h"
+#include "storage/schema.h"
+
+namespace gqp {
+
+class LogicalNode;
+using LogicalNodePtr = std::shared_ptr<const LogicalNode>;
+
+enum class LogicalKind {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kOperationCall,
+  kAggregate,
+};
+
+/// Aggregate function kinds.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+std::string_view AggKindToString(AggKind kind);
+
+/// One aggregate computation: a function over an input expression
+/// (null expr = COUNT(*)).
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  ExprPtr arg;  // null for COUNT(*)
+  std::string name;
+  DataType result_type = DataType::kInt64;
+};
+
+/// \brief Base class for logical operators.
+///
+/// Every node knows its output schema; expressions inside a node are bound
+/// to positions in its *input* schema.
+class LogicalNode {
+ public:
+  LogicalNode(LogicalKind kind, SchemaPtr schema)
+      : kind_(kind), schema_(std::move(schema)) {}
+  virtual ~LogicalNode() = default;
+
+  LogicalKind kind() const { return kind_; }
+  const SchemaPtr& schema() const { return schema_; }
+  virtual std::vector<LogicalNodePtr> children() const = 0;
+  virtual std::string ToString() const = 0;
+
+  /// Pretty-prints the subtree (for EXPLAIN-style output).
+  std::string TreeString(int indent = 0) const;
+
+ private:
+  LogicalKind kind_;
+  SchemaPtr schema_;
+};
+
+/// Scan of a catalog table (columns renamed by alias qualification).
+class LogicalScan : public LogicalNode {
+ public:
+  LogicalScan(TableEntry table, std::string alias, SchemaPtr schema)
+      : LogicalNode(LogicalKind::kScan, std::move(schema)),
+        table_(std::move(table)),
+        alias_(std::move(alias)) {}
+
+  const TableEntry& table() const { return table_; }
+  const std::string& alias() const { return alias_; }
+  std::vector<LogicalNodePtr> children() const override { return {}; }
+  std::string ToString() const override;
+
+ private:
+  TableEntry table_;
+  std::string alias_;
+};
+
+/// Row filter.
+class LogicalFilter : public LogicalNode {
+ public:
+  LogicalFilter(LogicalNodePtr input, ExprPtr predicate)
+      : LogicalNode(LogicalKind::kFilter, input->schema()),
+        input_(std::move(input)),
+        predicate_(std::move(predicate)) {}
+
+  const LogicalNodePtr& input() const { return input_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  std::vector<LogicalNodePtr> children() const override { return {input_}; }
+  std::string ToString() const override;
+
+ private:
+  LogicalNodePtr input_;
+  ExprPtr predicate_;
+};
+
+/// Projection (computes expressions over the input row).
+class LogicalProject : public LogicalNode {
+ public:
+  LogicalProject(LogicalNodePtr input, std::vector<ExprPtr> exprs,
+                 SchemaPtr schema)
+      : LogicalNode(LogicalKind::kProject, std::move(schema)),
+        input_(std::move(input)),
+        exprs_(std::move(exprs)) {}
+
+  const LogicalNodePtr& input() const { return input_; }
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+  std::vector<LogicalNodePtr> children() const override { return {input_}; }
+  std::string ToString() const override;
+
+ private:
+  LogicalNodePtr input_;
+  std::vector<ExprPtr> exprs_;
+};
+
+/// Equi-join; output schema is left ++ right.
+class LogicalJoin : public LogicalNode {
+ public:
+  LogicalJoin(LogicalNodePtr left, LogicalNodePtr right, size_t left_key,
+              size_t right_key, SchemaPtr schema)
+      : LogicalNode(LogicalKind::kJoin, std::move(schema)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_(left_key),
+        right_key_(right_key) {}
+
+  const LogicalNodePtr& left() const { return left_; }
+  const LogicalNodePtr& right() const { return right_; }
+  /// Key column position in the left (build) input schema.
+  size_t left_key() const { return left_key_; }
+  /// Key column position in the right (probe) input schema.
+  size_t right_key() const { return right_key_; }
+  std::vector<LogicalNodePtr> children() const override {
+    return {left_, right_};
+  }
+  std::string ToString() const override;
+
+ private:
+  LogicalNodePtr left_;
+  LogicalNodePtr right_;
+  size_t left_key_;
+  size_t right_key_;
+};
+
+/// Invocation of a web-service operation as a typed foreign function; the
+/// result column is appended to the input schema.
+class LogicalOperationCall : public LogicalNode {
+ public:
+  LogicalOperationCall(LogicalNodePtr input, WebServiceEntry ws,
+                       size_t arg_column, std::string out_name,
+                       SchemaPtr schema)
+      : LogicalNode(LogicalKind::kOperationCall, std::move(schema)),
+        input_(std::move(input)),
+        ws_(std::move(ws)),
+        arg_column_(arg_column),
+        out_name_(std::move(out_name)) {}
+
+  const LogicalNodePtr& input() const { return input_; }
+  const WebServiceEntry& ws() const { return ws_; }
+  size_t arg_column() const { return arg_column_; }
+  const std::string& out_name() const { return out_name_; }
+  std::vector<LogicalNodePtr> children() const override { return {input_}; }
+  std::string ToString() const override;
+
+ private:
+  LogicalNodePtr input_;
+  WebServiceEntry ws_;
+  size_t arg_column_;
+  std::string out_name_;
+};
+
+/// Hash aggregation with grouping. Output schema: group columns followed
+/// by aggregate results. Stateful: partial aggregates live per logical
+/// partition bucket, so retrospective adaptation can move them like join
+/// state.
+class LogicalAggregate : public LogicalNode {
+ public:
+  LogicalAggregate(LogicalNodePtr input, std::vector<ExprPtr> group_exprs,
+                   std::vector<AggSpec> aggs, SchemaPtr schema)
+      : LogicalNode(LogicalKind::kAggregate, std::move(schema)),
+        input_(std::move(input)),
+        group_exprs_(std::move(group_exprs)),
+        aggs_(std::move(aggs)) {}
+
+  const LogicalNodePtr& input() const { return input_; }
+  const std::vector<ExprPtr>& group_exprs() const { return group_exprs_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+  std::vector<LogicalNodePtr> children() const override { return {input_}; }
+  std::string ToString() const override;
+
+ private:
+  LogicalNodePtr input_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,273 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace gqp {
+namespace {
+
+/// True if the subtree is a scan optionally topped by pushed filters.
+bool IsScanChain(const LogicalNodePtr& node) {
+  if (node->kind() == LogicalKind::kScan) return true;
+  if (node->kind() == LogicalKind::kFilter) {
+    return IsScanChain(
+        static_cast<const LogicalFilter*>(node.get())->input());
+  }
+  return false;
+}
+
+int CountJoins(const LogicalNodePtr& node) {
+  int count = node->kind() == LogicalKind::kJoin ? 1 : 0;
+  for (const LogicalNodePtr& child : node->children()) {
+    count += CountJoins(child);
+  }
+  return count;
+}
+
+PhysOpDesc MakeScanDesc(const LogicalScan& scan, const CostModel& costs) {
+  PhysOpDesc desc;
+  desc.kind = PhysOpKind::kScan;
+  desc.out_schema = scan.schema();
+  desc.base_cost_ms = costs.scan_cost_ms;
+  desc.cost_tag = CostModel::ScanTag();
+  desc.table = scan.table().name;
+  desc.data_host = scan.table().data_host;
+  desc.estimated_rows = scan.table().stats.num_rows;
+  return desc;
+}
+
+PhysOpDesc MakeFilterDesc(const LogicalFilter& filter,
+                          const CostModel& costs) {
+  PhysOpDesc desc;
+  desc.kind = PhysOpKind::kFilter;
+  desc.out_schema = filter.schema();
+  desc.base_cost_ms = costs.filter_cost_ms;
+  desc.cost_tag = CostModel::FilterTag();
+  desc.predicate = filter.predicate();
+  return desc;
+}
+
+/// Builds a scan-leaf fragment from a scan chain, ops in push order.
+Result<FragmentDesc> BuildScanFragment(const LogicalNodePtr& chain,
+                                       const CostModel& costs) {
+  // Collect Filter* above the Scan, bottom-up.
+  std::vector<const LogicalFilter*> filters;
+  LogicalNodePtr cur = chain;
+  while (cur->kind() == LogicalKind::kFilter) {
+    const auto* f = static_cast<const LogicalFilter*>(cur.get());
+    filters.push_back(f);
+    cur = f->input();
+  }
+  if (cur->kind() != LogicalKind::kScan) {
+    return Status::Internal("scan chain does not terminate in a scan");
+  }
+  FragmentDesc frag;
+  frag.ops.push_back(
+      MakeScanDesc(*static_cast<const LogicalScan*>(cur.get()), costs));
+  for (auto it = filters.rbegin(); it != filters.rend(); ++it) {
+    frag.ops.push_back(MakeFilterDesc(**it, costs));
+  }
+  frag.pinned_host = frag.ops.front().data_host;
+  return frag;
+}
+
+}  // namespace
+
+Result<PhysicalPlan> CreatePhysicalPlan(const LogicalNodePtr& root,
+                                        const OptimizerOptions& options) {
+  const CostModel& costs = options.costs;
+  if (CountJoins(root) > 1) {
+    return Status::Unimplemented(
+        "plans with more than one join are not supported yet");
+  }
+
+  // Walk down from the root, splitting the middle chain from the scan
+  // chains.
+  std::vector<LogicalNodePtr> middle_top_down;
+  std::vector<LogicalNodePtr> scan_chains;  // port order
+  const LogicalJoin* join = nullptr;
+
+  LogicalNodePtr cur = root;
+  while (true) {
+    if (IsScanChain(cur)) {
+      scan_chains.push_back(cur);
+      break;
+    }
+    middle_top_down.push_back(cur);
+    if (cur->kind() == LogicalKind::kJoin) {
+      join = static_cast<const LogicalJoin*>(cur.get());
+      if (!IsScanChain(join->left()) || !IsScanChain(join->right())) {
+        return Status::Unimplemented(
+            "joins must read directly from base tables");
+      }
+      scan_chains.push_back(join->left());   // port 0: build
+      scan_chains.push_back(join->right());  // port 1: probe
+      break;
+    }
+    const std::vector<LogicalNodePtr> children = cur->children();
+    if (children.size() != 1) {
+      return Status::Internal(
+          StrCat("unexpected child count ", children.size(),
+                 " in middle chain"));
+    }
+    cur = children[0];
+  }
+
+  PhysicalPlan plan;
+  plan.result_schema = root->schema();
+
+  // Scan-leaf fragments.
+  for (const LogicalNodePtr& chain : scan_chains) {
+    GQP_ASSIGN_OR_RETURN(FragmentDesc frag, BuildScanFragment(chain, costs));
+    frag.id = static_cast<int>(plan.fragments.size());
+    plan.fragments.push_back(std::move(frag));
+  }
+  const int num_scans = static_cast<int>(plan.fragments.size());
+
+  // Middle (evaluation) fragment: middle chain in push order.
+  FragmentDesc middle;
+  middle.id = num_scans;
+  middle.partitioned = options.partition_evaluation;
+  middle.num_input_ports = num_scans;
+  for (auto it = middle_top_down.rbegin(); it != middle_top_down.rend();
+       ++it) {
+    const LogicalNode& node = **it;
+    PhysOpDesc desc;
+    desc.out_schema = node.schema();
+    switch (node.kind()) {
+      case LogicalKind::kJoin: {
+        const auto& j = static_cast<const LogicalJoin&>(node);
+        desc.kind = PhysOpKind::kHashJoin;
+        // base_cost_ms covers the probe; build cost is configured
+        // separately below via a second field (probe dominates).
+        desc.base_cost_ms = costs.join_probe_cost_ms;
+        desc.build_cost_ms = costs.join_build_cost_ms;
+        desc.cost_tag = CostModel::JoinTag();
+        desc.build_key = j.left_key();
+        desc.probe_key = j.right_key();
+        break;
+      }
+      case LogicalKind::kFilter: {
+        desc = MakeFilterDesc(static_cast<const LogicalFilter&>(node), costs);
+        break;
+      }
+      case LogicalKind::kProject: {
+        const auto& p = static_cast<const LogicalProject&>(node);
+        desc.kind = PhysOpKind::kProject;
+        desc.base_cost_ms = costs.project_cost_ms;
+        desc.cost_tag = CostModel::ProjectTag();
+        desc.exprs = p.exprs();
+        desc.out_schema = p.schema();
+        break;
+      }
+      case LogicalKind::kOperationCall: {
+        const auto& oc = static_cast<const LogicalOperationCall&>(node);
+        desc.kind = PhysOpKind::kOperationCall;
+        desc.base_cost_ms = oc.ws().nominal_cost_ms > 0
+                                ? oc.ws().nominal_cost_ms
+                                : costs.default_ws_cost_ms;
+        desc.cost_tag = CostModel::WsTag(oc.ws().name);
+        desc.ws_name = oc.ws().name;
+        desc.arg_col = oc.arg_column();
+        break;
+      }
+      case LogicalKind::kAggregate: {
+        const auto& agg = static_cast<const LogicalAggregate&>(node);
+        desc.kind = PhysOpKind::kHashAggregate;
+        desc.base_cost_ms = costs.agg_update_cost_ms;
+        desc.cost_tag = CostModel::AggregateTag();
+        desc.group_exprs = agg.group_exprs();
+        desc.aggs = agg.aggs();
+        break;
+      }
+      case LogicalKind::kScan:
+        return Status::Internal("scan cannot appear in the middle chain");
+    }
+    middle.ops.push_back(std::move(desc));
+  }
+  if (middle.ops.empty()) {
+    // Degenerate single-table SELECT * handled by an identity project.
+    PhysOpDesc identity;
+    identity.kind = PhysOpKind::kProject;
+    identity.out_schema = root->schema();
+    identity.base_cost_ms = costs.project_cost_ms;
+    identity.cost_tag = CostModel::ProjectTag();
+    for (size_t i = 0; i < root->schema()->num_fields(); ++i) {
+      identity.exprs.push_back(Col(i, root->schema()->field(i).name));
+    }
+    middle.ops.push_back(std::move(identity));
+  }
+  plan.fragments.push_back(std::move(middle));
+
+  // Root collect fragment.
+  FragmentDesc root_frag;
+  root_frag.id = num_scans + 1;
+  root_frag.num_input_ports = 1;
+  PhysOpDesc collect;
+  collect.kind = PhysOpKind::kCollect;
+  collect.out_schema = root->schema();
+  collect.base_cost_ms = costs.collect_cost_ms;
+  collect.cost_tag = CostModel::CollectTag();
+  root_frag.ops.push_back(std::move(collect));
+  plan.fragments.push_back(std::move(root_frag));
+
+  // Grouped aggregates need their input hash-partitioned on a group
+  // column so each group lives at exactly one instance. Global aggregates
+  // (or non-column group keys) cannot be partitioned this way; they run
+  // on a single evaluator.
+  const LogicalAggregate* aggregate = nullptr;
+  for (const LogicalNodePtr& node : middle_top_down) {
+    if (node->kind() == LogicalKind::kAggregate) {
+      aggregate = static_cast<const LogicalAggregate*>(node.get());
+    }
+  }
+  int aggregate_key_col = -1;
+  if (aggregate != nullptr) {
+    if (join != nullptr) {
+      return Status::Unimplemented(
+          "aggregation over join results is not supported yet");
+    }
+    if (!aggregate->group_exprs().empty() &&
+        aggregate->group_exprs()[0]->kind() == ExprKind::kColumnRef) {
+      aggregate_key_col = static_cast<int>(
+          static_cast<const ColumnRefExpr*>(
+              aggregate->group_exprs()[0].get())
+              ->index());
+    } else {
+      plan.fragments[static_cast<size_t>(num_scans)].partitioned = false;
+    }
+  }
+
+  // Exchanges: scans -> middle.
+  for (int s = 0; s < num_scans; ++s) {
+    ExchangeDesc ex;
+    ex.id = static_cast<int>(plan.exchanges.size());
+    ex.producer_fragment = s;
+    ex.consumer_fragment = num_scans;
+    ex.consumer_port = s;
+    ex.num_buckets = options.num_buckets;
+    if (join != nullptr) {
+      ex.policy = PolicyKind::kHashBuckets;
+      ex.key_col = (s == 0) ? join->left_key() : join->right_key();
+    } else if (aggregate_key_col >= 0) {
+      ex.policy = PolicyKind::kHashBuckets;
+      ex.key_col = static_cast<size_t>(aggregate_key_col);
+    } else {
+      ex.policy = PolicyKind::kWeightedRoundRobin;
+    }
+    plan.exchanges.push_back(ex);
+  }
+  // Middle -> root.
+  ExchangeDesc out;
+  out.id = static_cast<int>(plan.exchanges.size());
+  out.producer_fragment = num_scans;
+  out.consumer_fragment = num_scans + 1;
+  out.consumer_port = 0;
+  out.policy = PolicyKind::kWeightedRoundRobin;
+  plan.exchanges.push_back(out);
+
+  return plan;
+}
+
+}  // namespace gqp

@@ -1,0 +1,40 @@
+// Optimiser: converts a bound logical plan into a fragmented physical
+// plan. Mirrors the OGSA-DQP compile pipeline: scans (plus their pushed
+// filters) stay on the data hosts; everything between the scans and the
+// result collection forms a single partitioned subplan cloned across
+// evaluator nodes; the root collect fragment runs on the coordinator.
+//
+// Distribution policies: inputs feeding a hash join are hash-bucketed on
+// the join keys (so that clones see consistent key ranges — the paper's
+// "hash function applied to the join attribute defines the site for each
+// tuple"); stateless partitioned fragments receive tuples by weighted
+// round-robin.
+
+#ifndef GRIDQP_PLAN_OPTIMIZER_H_
+#define GRIDQP_PLAN_OPTIMIZER_H_
+
+#include "common/result.h"
+#include "plan/cost_model.h"
+#include "plan/logical_plan.h"
+#include "plan/physical_plan.h"
+
+namespace gqp {
+
+struct OptimizerOptions {
+  CostModel costs;
+  /// Logical partition count for bucketed routing.
+  int num_buckets = 120;
+  /// When false, the evaluation fragment is not cloned (single-node
+  /// execution; useful for reference runs in tests).
+  bool partition_evaluation = true;
+};
+
+/// Builds the physical plan. Current limitations (sufficient for the
+/// paper's workloads and documented in DESIGN.md): at most one join per
+/// query; joins must sit directly on scan fragments.
+Result<PhysicalPlan> CreatePhysicalPlan(const LogicalNodePtr& root,
+                                        const OptimizerOptions& options);
+
+}  // namespace gqp
+
+#endif  // GRIDQP_PLAN_OPTIMIZER_H_

@@ -1,0 +1,147 @@
+#include "plan/physical_plan.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+
+std::string_view PhysOpKindToString(PhysOpKind kind) {
+  switch (kind) {
+    case PhysOpKind::kScan:
+      return "Scan";
+    case PhysOpKind::kFilter:
+      return "Filter";
+    case PhysOpKind::kProject:
+      return "Project";
+    case PhysOpKind::kHashJoin:
+      return "HashJoin";
+    case PhysOpKind::kOperationCall:
+      return "OperationCall";
+    case PhysOpKind::kHashAggregate:
+      return "HashAggregate";
+    case PhysOpKind::kCollect:
+      return "Collect";
+  }
+  return "?";
+}
+
+std::string_view PolicyKindToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kWeightedRoundRobin:
+      return "weighted-round-robin";
+    case PolicyKind::kHashBuckets:
+      return "hash-buckets";
+  }
+  return "?";
+}
+
+std::string PhysOpDesc::ToString() const {
+  std::string out(PhysOpKindToString(kind));
+  switch (kind) {
+    case PhysOpKind::kScan:
+      out += StrCat("(", table, ")");
+      break;
+    case PhysOpKind::kFilter:
+      out += StrCat("(", predicate ? predicate->ToString() : "?", ")");
+      break;
+    case PhysOpKind::kProject: {
+      std::vector<std::string> parts;
+      for (const auto& e : exprs) parts.push_back(e->ToString());
+      out += StrCat("(", StrJoin(parts, ", "), ")");
+      break;
+    }
+    case PhysOpKind::kHashJoin:
+      out += StrCat("(build[", build_key, "]=probe[", probe_key, "])");
+      break;
+    case PhysOpKind::kOperationCall:
+      out += StrCat("(", ws_name, ")");
+      break;
+    case PhysOpKind::kHashAggregate: {
+      std::vector<std::string> parts;
+      for (const auto& g : group_exprs) parts.push_back(g->ToString());
+      for (const auto& a : aggs) {
+        parts.push_back(StrCat(AggKindToString(a.kind), "(",
+                               a.arg ? a.arg->ToString() : "*", ")"));
+      }
+      out += StrCat("(", StrJoin(parts, ", "), ")");
+      break;
+    }
+    case PhysOpKind::kCollect:
+      break;
+  }
+  return out;
+}
+
+const FragmentDesc* PhysicalPlan::FindFragment(int id) const {
+  for (const FragmentDesc& f : fragments) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+const ExchangeDesc* PhysicalPlan::FindExchange(int id) const {
+  for (const ExchangeDesc& e : exchanges) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const ExchangeDesc*> PhysicalPlan::InputsOf(
+    int fragment_id) const {
+  std::vector<const ExchangeDesc*> out;
+  for (const ExchangeDesc& e : exchanges) {
+    if (e.consumer_fragment == fragment_id) out.push_back(&e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExchangeDesc* a, const ExchangeDesc* b) {
+              return a->consumer_port < b->consumer_port;
+            });
+  return out;
+}
+
+const ExchangeDesc* PhysicalPlan::OutputOf(int fragment_id) const {
+  for (const ExchangeDesc& e : exchanges) {
+    if (e.producer_fragment == fragment_id) return &e;
+  }
+  return nullptr;
+}
+
+bool PhysicalPlan::HasStatefulPartitionedFragment() const {
+  for (const FragmentDesc& f : fragments) {
+    if (f.partitioned && f.Stateful()) return true;
+  }
+  return false;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string out;
+  for (const FragmentDesc& f : fragments) {
+    out += StrFormat("fragment %d%s%s:\n", f.id,
+                     f.partitioned ? " [partitioned]" : "",
+                     f.pinned_host != kInvalidHost
+                         ? StrCat(" [host ", f.pinned_host, "]").c_str()
+                         : "");
+    for (const PhysOpDesc& op : f.ops) {
+      out += "  " + op.ToString() + "\n";
+    }
+  }
+  for (const ExchangeDesc& e : exchanges) {
+    out += StrFormat("exchange %d: f%d -> f%d.port%d (%s)\n", e.id,
+                     e.producer_fragment, e.consumer_fragment,
+                     e.consumer_port,
+                     std::string(PolicyKindToString(e.policy)).c_str());
+  }
+  return out;
+}
+
+std::string ScheduledPlan::ToString() const {
+  std::string out = plan.ToString();
+  for (size_t f = 0; f < instance_hosts.size(); ++f) {
+    std::vector<std::string> hosts;
+    for (HostId h : instance_hosts[f]) hosts.push_back(std::to_string(h));
+    out += StrFormat("placement f%zu: hosts [%s]\n", f,
+                     StrJoin(hosts, ", ").c_str());
+  }
+  return out;
+}
+
+}  // namespace gqp

@@ -1,0 +1,167 @@
+// Physical plans are *descriptors*: plain data the GDQS ships to remote
+// GQES services, which instantiate executable operators from them
+// (exec/fragment_executor.h). A plan is a set of fragments connected by
+// exchanges; fragments marked `partitioned` are cloned across evaluator
+// nodes (intra-operator parallelism).
+
+#ifndef GRIDQP_PLAN_PHYSICAL_PLAN_H_
+#define GRIDQP_PLAN_PHYSICAL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expression.h"
+#include "plan/logical_plan.h"
+#include "net/message.h"
+#include "storage/schema.h"
+
+namespace gqp {
+
+enum class PhysOpKind {
+  kScan,
+  kFilter,
+  kProject,
+  kHashJoin,
+  kOperationCall,
+  kHashAggregate,
+  kCollect,
+};
+
+std::string_view PhysOpKindToString(PhysOpKind kind);
+
+/// Descriptor of one physical operator.
+struct PhysOpDesc {
+  PhysOpKind kind = PhysOpKind::kScan;
+  /// Output schema of this operator.
+  SchemaPtr out_schema;
+  /// Per-tuple base CPU cost (ms at node capacity 1.0) and the operation
+  /// tag perturbation profiles key on.
+  double base_cost_ms = 0.0;
+  std::string cost_tag;
+
+  // kScan
+  std::string table;
+  HostId data_host = kInvalidHost;
+  size_t estimated_rows = 0;
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> exprs;
+
+  // kHashJoin: key positions in the build (port 0) and probe (port 1)
+  // input schemas. `base_cost_ms` is the per-probe cost;
+  // `build_cost_ms` the per-build-tuple insertion cost.
+  size_t build_key = 0;
+  size_t probe_key = 0;
+  double build_cost_ms = 0.0;
+
+  // kOperationCall
+  std::string ws_name;
+  size_t arg_col = 0;
+
+  // kHashAggregate
+  std::vector<ExprPtr> group_exprs;
+  std::vector<AggSpec> aggs;
+
+  std::string ToString() const;
+};
+
+/// Tuple-routing policy of an exchange.
+enum class PolicyKind {
+  /// Weighted round-robin: stateless downstream, any tuple anywhere.
+  kWeightedRoundRobin,
+  /// Hash of a key column into logical buckets owned by consumers:
+  /// required when the consuming fragment holds keyed state (hash join).
+  kHashBuckets,
+};
+
+std::string_view PolicyKindToString(PolicyKind kind);
+
+/// Descriptor of an exchange connecting a producer fragment to one input
+/// port of a consumer fragment.
+struct ExchangeDesc {
+  int id = 0;
+  PolicyKind policy = PolicyKind::kWeightedRoundRobin;
+  /// Key column in the producer's output schema (kHashBuckets only).
+  size_t key_col = 0;
+  /// Logical partition count for bucketed routing (Flux-style).
+  int num_buckets = 120;
+  int producer_fragment = -1;
+  int consumer_fragment = -1;
+  int consumer_port = 0;
+};
+
+/// Descriptor of a plan fragment (subplan).
+struct FragmentDesc {
+  int id = 0;
+  /// Operators in push order: ops[0] is the leaf (scan source or the
+  /// operator fed by the input exchanges), ops.back() feeds the output
+  /// exchange or is the kCollect sink.
+  std::vector<PhysOpDesc> ops;
+  /// Number of exchange input ports (0 for scan leaves).
+  int num_input_ports = 0;
+  /// Cloned across evaluator nodes when true.
+  bool partitioned = false;
+  /// Placement constraint (data host for scans, coordinator for the root);
+  /// kInvalidHost when the scheduler is free to choose.
+  HostId pinned_host = kInvalidHost;
+
+  bool IsScanLeaf() const {
+    return !ops.empty() && ops.front().kind == PhysOpKind::kScan;
+  }
+  bool IsRoot() const {
+    return !ops.empty() && ops.back().kind == PhysOpKind::kCollect;
+  }
+  /// True if the fragment holds partitioned operator state (hash join or
+  /// hash aggregate).
+  bool Stateful() const {
+    for (const PhysOpDesc& op : ops) {
+      if (op.kind == PhysOpKind::kHashJoin ||
+          op.kind == PhysOpKind::kHashAggregate) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// A complete (unplaced) physical plan.
+struct PhysicalPlan {
+  std::vector<FragmentDesc> fragments;
+  std::vector<ExchangeDesc> exchanges;
+  SchemaPtr result_schema;
+
+  const FragmentDesc* FindFragment(int id) const;
+  const ExchangeDesc* FindExchange(int id) const;
+  /// Exchanges feeding a given fragment, ordered by consumer port.
+  std::vector<const ExchangeDesc*> InputsOf(int fragment_id) const;
+  /// The output exchange of a fragment, or nullptr for the root.
+  const ExchangeDesc* OutputOf(int fragment_id) const;
+  /// True if any partitioned fragment is stateful (forces retrospective
+  /// response for correctness).
+  bool HasStatefulPartitionedFragment() const;
+
+  std::string ToString() const;
+};
+
+/// Placement decision: hosts per fragment (clones for partitioned ones)
+/// and the initial workload-distribution vector W per exchange.
+struct ScheduledPlan {
+  PhysicalPlan plan;
+  /// instance_hosts[fragment_id] lists the host of each instance.
+  std::vector<std::vector<HostId>> instance_hosts;
+  /// initial_weights[exchange_id][i]: fraction of tuples routed to
+  /// consumer instance i. Sums to 1.
+  std::vector<std::vector<double>> initial_weights;
+
+  int NumInstances(int fragment_id) const {
+    return static_cast<int>(instance_hosts[fragment_id].size());
+  }
+  std::string ToString() const;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_PLAN_PHYSICAL_PLAN_H_

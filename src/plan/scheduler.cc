@@ -1,0 +1,79 @@
+#include "plan/scheduler.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+
+Result<ScheduledPlan> SchedulePlan(const PhysicalPlan& plan,
+                                   const ResourceRegistry& registry,
+                                   const SchedulerOptions& options) {
+  ScheduledPlan scheduled;
+  scheduled.plan = plan;
+
+  // Resolve the coordinator.
+  HostId coordinator = options.coordinator;
+  if (coordinator == kInvalidHost) {
+    const auto coordinators = registry.NodesWithRole(NodeRole::kCoordinator);
+    if (coordinators.empty()) {
+      return Status::FailedPrecondition("no coordinator node registered");
+    }
+    coordinator = coordinators.front()->id();
+  }
+
+  // Select evaluator nodes.
+  std::vector<GridNode*> compute = registry.NodesWithRole(NodeRole::kCompute);
+  if (compute.empty()) {
+    return Status::FailedPrecondition("no compute nodes registered");
+  }
+  if (options.num_evaluators > 0 &&
+      static_cast<size_t>(options.num_evaluators) < compute.size()) {
+    compute.resize(static_cast<size_t>(options.num_evaluators));
+  }
+
+  scheduled.instance_hosts.resize(plan.fragments.size());
+  for (const FragmentDesc& frag : plan.fragments) {
+    auto& hosts = scheduled.instance_hosts[static_cast<size_t>(frag.id)];
+    if (frag.IsRoot()) {
+      hosts = {coordinator};
+    } else if (frag.IsScanLeaf()) {
+      HostId data_host = frag.pinned_host;
+      if (data_host == kInvalidHost) {
+        const auto data_nodes = registry.NodesWithRole(NodeRole::kData);
+        if (data_nodes.empty()) {
+          return Status::FailedPrecondition(
+              StrCat("no data node for table fragment ", frag.id));
+        }
+        data_host = data_nodes.front()->id();
+      } else {
+        GQP_ASSIGN_OR_RETURN(GridNode * node, registry.Find(data_host));
+        (void)node;
+      }
+      hosts = {data_host};
+    } else if (frag.partitioned) {
+      for (GridNode* node : compute) hosts.push_back(node->id());
+    } else {
+      hosts = {compute.front()->id()};
+    }
+  }
+
+  // Initial weights per exchange: proportional to consumer-node capacity.
+  scheduled.initial_weights.resize(plan.exchanges.size());
+  for (const ExchangeDesc& ex : plan.exchanges) {
+    const auto& hosts =
+        scheduled.instance_hosts[static_cast<size_t>(ex.consumer_fragment)];
+    std::vector<double> weights;
+    double total = 0.0;
+    for (HostId h : hosts) {
+      GQP_ASSIGN_OR_RETURN(GridNode * node, registry.Find(h));
+      weights.push_back(node->capacity());
+      total += node->capacity();
+    }
+    for (double& w : weights) w /= total;
+    scheduled.initial_weights[static_cast<size_t>(ex.id)] =
+        std::move(weights);
+  }
+
+  return scheduled;
+}
+
+}  // namespace gqp

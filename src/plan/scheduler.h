@@ -1,0 +1,32 @@
+// Scheduler: places plan fragments onto grid nodes and assigns the initial
+// workload-distribution vector W (after the resource-scheduling approach
+// of Gounaris et al., GRID'04 [11]: partitioned fragments are cloned over
+// the selected compute nodes and W is proportional to node capacity).
+
+#ifndef GRIDQP_PLAN_SCHEDULER_H_
+#define GRIDQP_PLAN_SCHEDULER_H_
+
+#include "common/result.h"
+#include "grid/registry.h"
+#include "plan/physical_plan.h"
+
+namespace gqp {
+
+struct SchedulerOptions {
+  /// Number of compute nodes to clone partitioned fragments over;
+  /// 0 = all registered compute nodes.
+  int num_evaluators = 0;
+  /// Host running the root collect fragment; kInvalidHost = the
+  /// registry's coordinator node.
+  HostId coordinator = kInvalidHost;
+};
+
+/// Produces a ScheduledPlan. Errors when required roles are missing from
+/// the registry (no coordinator, no compute nodes, unknown data host).
+Result<ScheduledPlan> SchedulePlan(const PhysicalPlan& plan,
+                                   const ResourceRegistry& registry,
+                                   const SchedulerOptions& options);
+
+}  // namespace gqp
+
+#endif  // GRIDQP_PLAN_SCHEDULER_H_

@@ -1,0 +1,56 @@
+#include "rpc/message_bus.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gqp {
+
+Status MessageBus::RegisterEndpoint(const Address& addr, Handler handler) {
+  if (addr.host == kInvalidHost || addr.service.empty()) {
+    return Status::InvalidArgument("endpoint needs a host and service name");
+  }
+  auto [it, inserted] = endpoints_.emplace(addr, std::move(handler));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrCat("endpoint already registered: ", addr.ToString()));
+  }
+  EnsureHostRegistered(addr.host);
+  return Status::OK();
+}
+
+void MessageBus::UnregisterEndpoint(const Address& addr) {
+  endpoints_.erase(addr);
+}
+
+void MessageBus::EnsureHostRegistered(HostId host) {
+  auto [it, inserted] = hosts_registered_.try_emplace(host, true);
+  (void)it;
+  if (inserted) {
+    network_->RegisterHost(host,
+                           [this](const Message& msg) { Deliver(msg); });
+  }
+}
+
+Status MessageBus::Send(const Address& from, const Address& to,
+                        PayloadPtr payload) {
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.payload = std::move(payload);
+  return network_->Send(std::move(msg));
+}
+
+void MessageBus::Deliver(const Message& msg) {
+  auto it = endpoints_.find(msg.to);
+  if (it == endpoints_.end()) {
+    ++dropped_;
+    GQP_LOG_DEBUG << "dropping message for unknown endpoint "
+                  << msg.to.ToString() << " (type "
+                  << (msg.payload ? msg.payload->TypeName() : "null") << ")";
+    return;
+  }
+  it->second(msg);
+}
+
+}  // namespace gqp

@@ -1,0 +1,58 @@
+// MessageBus: routes messages to service endpoints over the simulated
+// network. One bus per grid; services register their Address with it.
+
+#ifndef GRIDQP_RPC_MESSAGE_BUS_H_
+#define GRIDQP_RPC_MESSAGE_BUS_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "net/network.h"
+
+namespace gqp {
+
+/// \brief Endpoint registry + send facade.
+///
+/// The bus registers one delivery handler per host with the Network and
+/// dispatches arriving messages to the addressed service. Unknown
+/// destinations are logged and dropped (as a lossy wide-area transport
+/// would), never fatal.
+class MessageBus {
+ public:
+  explicit MessageBus(Network* network) : network_(network) {}
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  using Handler = std::function<void(const Message&)>;
+
+  /// Registers a service endpoint. Fails on duplicate address.
+  Status RegisterEndpoint(const Address& addr, Handler handler);
+
+  /// Removes an endpoint (e.g., when a query's evaluators shut down).
+  void UnregisterEndpoint(const Address& addr);
+
+  /// Sends `payload` from `from` to `to` through the network model.
+  Status Send(const Address& from, const Address& to, PayloadPtr payload);
+
+  Network* network() const { return network_; }
+  Simulator* simulator() const { return network_->simulator(); }
+
+  /// Count of messages that arrived for unregistered endpoints.
+  uint64_t dropped_messages() const { return dropped_; }
+
+ private:
+  void Deliver(const Message& msg);
+  void EnsureHostRegistered(HostId host);
+
+  Network* network_;
+  std::unordered_map<Address, Handler, AddressHash> endpoints_;
+  std::unordered_map<HostId, bool> hosts_registered_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_RPC_MESSAGE_BUS_H_

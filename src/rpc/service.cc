@@ -1,0 +1,86 @@
+#include "rpc/service.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/result.h"
+
+namespace gqp {
+
+GridService::GridService(MessageBus* bus, HostId host, std::string name)
+    : bus_(bus) {
+  address_.host = host;
+  address_.service = std::move(name);
+}
+
+GridService::~GridService() { Stop(); }
+
+Status GridService::Start() {
+  if (started_) return Status::OK();
+  GQP_RETURN_IF_ERROR(bus_->RegisterEndpoint(
+      address_, [this](const Message& msg) { Dispatch(msg); }));
+  started_ = true;
+  return Status::OK();
+}
+
+void GridService::Stop() {
+  if (!started_) return;
+  bus_->UnregisterEndpoint(address_);
+  started_ = false;
+}
+
+Status GridService::SendTo(const Address& to, PayloadPtr payload) {
+  return bus_->Send(address_, to, std::move(payload));
+}
+
+Status GridService::Subscribe(const Address& publisher,
+                              const std::string& topic) {
+  return SendTo(publisher,
+                std::make_shared<SubscribePayload>(topic, address_));
+}
+
+Status GridService::Publish(const std::string& topic, PayloadPtr body) {
+  auto it = subscribers_.find(topic);
+  if (it == subscribers_.end()) return Status::OK();
+  auto notification =
+      std::make_shared<NotificationPayload>(topic, std::move(body));
+  for (const Address& sub : it->second) {
+    GQP_RETURN_IF_ERROR(SendTo(sub, notification));
+  }
+  return Status::OK();
+}
+
+size_t GridService::SubscriberCount(const std::string& topic) const {
+  auto it = subscribers_.find(topic);
+  return it == subscribers_.end() ? 0 : it->second.size();
+}
+
+void GridService::OnNotification(const Address& /*publisher*/,
+                                 const std::string& /*topic*/,
+                                 const PayloadPtr& /*body*/) {}
+
+void GridService::Dispatch(const Message& msg) {
+  if (const auto* sub = PayloadAs<SubscribePayload>(msg.payload)) {
+    auto& subs = subscribers_[sub->topic()];
+    if (std::find(subs.begin(), subs.end(), sub->subscriber()) == subs.end()) {
+      subs.push_back(sub->subscriber());
+    }
+    return;
+  }
+  if (const auto* unsub = PayloadAs<UnsubscribePayload>(msg.payload)) {
+    auto it = subscribers_.find(unsub->topic());
+    if (it != subscribers_.end()) {
+      auto& subs = it->second;
+      subs.erase(std::remove(subs.begin(), subs.end(), unsub->subscriber()),
+                 subs.end());
+    }
+    return;
+  }
+  if (const auto* note = PayloadAs<NotificationPayload>(msg.payload)) {
+    OnNotification(msg.from, note->topic(), note->body());
+    return;
+  }
+  HandleMessage(msg);
+}
+
+}  // namespace gqp

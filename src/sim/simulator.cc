@@ -1,0 +1,94 @@
+#include "sim/simulator.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gqp {
+
+EventId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(top.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(top.id);
+    if (cb_it == callbacks_.end()) continue;  // defensive
+    std::function<void()> fn = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = top.time;
+    ++events_executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+Status Simulator::Run(SimTime until) {
+  const uint64_t budget_start = events_executed_;
+  while (!heap_.empty()) {
+    // Peek: stop before events beyond the horizon.
+    Entry top = heap_.top();
+    if (cancelled_.count(top.id) > 0) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.time > until) {
+      if (until != kSimTimeInfinity && until > now_) now_ = until;
+      return Status::OK();
+    }
+    if (events_executed_ - budget_start >= max_events_) {
+      return Status::ResourceExhausted(
+          StrCat("simulator exceeded ", max_events_,
+                 " events; likely a runaway event loop (t=", now_, " ms)"));
+    }
+    Step();
+  }
+  if (until != kSimTimeInfinity && until > now_) now_ = until;
+  return Status::OK();
+}
+
+SimTime Simulator::RunToCompletion() {
+  Status s = Run();
+  if (!s.ok()) {
+    GQP_LOG_ERROR << "Simulator::RunToCompletion failed: " << s.ToString();
+    std::abort();
+  }
+  return now_;
+}
+
+void Simulator::Reset() {
+  now_ = 0.0;
+  events_executed_ = 0;
+  heap_ = {};
+  cancelled_.clear();
+  callbacks_.clear();
+}
+
+}  // namespace gqp

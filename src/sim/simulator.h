@@ -1,0 +1,105 @@
+// Discrete-event simulation kernel. All GridQP experiments run in virtual
+// time: grid nodes, the network, and the adaptivity services schedule
+// callbacks on a single Simulator, which executes them in timestamp order.
+//
+// Determinism: ties on timestamp are broken by scheduling sequence number,
+// so a run is a pure function of its inputs (including RNG seeds).
+
+#ifndef GRIDQP_SIM_SIMULATOR_H_
+#define GRIDQP_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gqp {
+
+/// Virtual time in milliseconds.
+using SimTime = double;
+
+constexpr SimTime kSimTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+/// Handle for a scheduled event; usable with Simulator::Cancel.
+using EventId = uint64_t;
+
+constexpr EventId kInvalidEventId = 0;
+
+/// \brief Single-threaded discrete-event simulator.
+///
+/// Not thread-safe by design: determinism is a core requirement (see
+/// DESIGN.md D1).
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time (ms). Starts at 0.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ms from now. Negative delays are clamped
+  /// to 0 (the event still runs after currently pending events at Now()).
+  EventId Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute virtual time. Times in the past are
+  /// clamped to Now().
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op. Returns true if the event was pending.
+  bool Cancel(EventId id);
+
+  /// Runs one event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs until the event queue is empty or `until` is passed (events with
+  /// timestamp > `until` stay queued; Now() advances to at most `until`).
+  /// Returns an error if the event budget is exhausted (runaway loop guard).
+  Status Run(SimTime until = kSimTimeInfinity);
+
+  /// Convenience: runs the full simulation and returns the final time.
+  /// CHECK-fails (aborts) on runaway; use Run() where errors must propagate.
+  SimTime RunToCompletion();
+
+  /// Number of events executed so far.
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of currently pending (non-cancelled) events.
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+  /// Replaces the runaway guard (default: 500M events).
+  void set_max_events(uint64_t max_events) { max_events_ = max_events; }
+
+  /// Resets time to 0 and drops all pending events.
+  void Reset();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // Min-heap by (time, id).
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  uint64_t max_events_ = 500'000'000ULL;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Callbacks keyed by id; erased on execution/cancellation.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_SIM_SIMULATOR_H_

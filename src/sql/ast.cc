@@ -1,0 +1,79 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+namespace {
+
+const char* AstBinaryOpName(AstBinaryOp op) {
+  switch (op) {
+    case AstBinaryOp::kEq:
+      return "=";
+    case AstBinaryOp::kNe:
+      return "<>";
+    case AstBinaryOp::kLt:
+      return "<";
+    case AstBinaryOp::kLe:
+      return "<=";
+    case AstBinaryOp::kGt:
+      return ">";
+    case AstBinaryOp::kGe:
+      return ">=";
+    case AstBinaryOp::kAnd:
+      return "AND";
+    case AstBinaryOp::kOr:
+      return "OR";
+    case AstBinaryOp::kAdd:
+      return "+";
+    case AstBinaryOp::kSub:
+      return "-";
+    case AstBinaryOp::kMul:
+      return "*";
+    case AstBinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string AstCall::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args_.size());
+  for (const auto& a : args_) parts.push_back(a->ToString());
+  return StrCat(name_, "(", StrJoin(parts, ", "), ")");
+}
+
+std::string AstBinary::ToString() const {
+  return StrCat("(", left_->ToString(), " ", AstBinaryOpName(op_), " ",
+                right_->ToString(), ")");
+}
+
+std::string SelectQuery::ToString() const {
+  std::vector<std::string> item_strs;
+  item_strs.reserve(items.size());
+  for (const auto& item : items) {
+    std::string s = item.expr->ToString();
+    if (!item.alias.empty()) s += " AS " + item.alias;
+    item_strs.push_back(std::move(s));
+  }
+  std::vector<std::string> table_strs;
+  table_strs.reserve(tables.size());
+  for (const auto& t : tables) {
+    std::string s = t.table;
+    if (!t.alias.empty()) s += " " + t.alias;
+    table_strs.push_back(std::move(s));
+  }
+  std::string out = StrCat("SELECT ", StrJoin(item_strs, ", "), " FROM ",
+                           StrJoin(table_strs, ", "));
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    std::vector<std::string> group_strs;
+    group_strs.reserve(group_by.size());
+    for (const auto& g : group_by) group_strs.push_back(g->ToString());
+    out += " GROUP BY " + StrJoin(group_strs, ", ");
+  }
+  return out;
+}
+
+}  // namespace gqp

@@ -1,0 +1,168 @@
+// Abstract syntax tree produced by the SQL parser. Names are unresolved
+// here; the planner binds them against the catalog.
+
+#ifndef GRIDQP_SQL_AST_H_
+#define GRIDQP_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace gqp {
+
+class AstExpr;
+using AstExprPtr = std::shared_ptr<const AstExpr>;
+
+enum class AstExprKind {
+  kColumn,
+  kLiteral,
+  kCall,
+  kBinary,
+  kUnaryNot,
+  kStar,
+};
+
+/// Binary operators at the AST level (comparisons, connectives,
+/// arithmetic).
+enum class AstBinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kAdd, kSub, kMul, kDiv,
+};
+
+/// \brief A parsed (unresolved) expression.
+class AstExpr {
+ public:
+  explicit AstExpr(AstExprKind kind) : kind_(kind) {}
+  virtual ~AstExpr() = default;
+
+  AstExprKind kind() const { return kind_; }
+  virtual std::string ToString() const = 0;
+
+ private:
+  AstExprKind kind_;
+};
+
+/// `alias.column` or bare `column` reference.
+class AstColumn : public AstExpr {
+ public:
+  AstColumn(std::string qualifier, std::string name)
+      : AstExpr(AstExprKind::kColumn),
+        qualifier_(std::move(qualifier)),
+        name_(std::move(name)) {}
+
+  const std::string& qualifier() const { return qualifier_; }
+  const std::string& name() const { return name_; }
+  std::string ToString() const override {
+    return qualifier_.empty() ? name_ : qualifier_ + "." + name_;
+  }
+
+ private:
+  std::string qualifier_;  // may be empty
+  std::string name_;
+};
+
+/// Constant literal.
+class AstLiteral : public AstExpr {
+ public:
+  explicit AstLiteral(Value value)
+      : AstExpr(AstExprKind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+/// Function (or web-service operation) invocation.
+class AstCall : public AstExpr {
+ public:
+  AstCall(std::string name, std::vector<AstExprPtr> args)
+      : AstExpr(AstExprKind::kCall),
+        name_(std::move(name)),
+        args_(std::move(args)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AstExprPtr>& args() const { return args_; }
+  std::string ToString() const override;
+
+ private:
+  std::string name_;
+  std::vector<AstExprPtr> args_;
+};
+
+/// Binary expression.
+class AstBinary : public AstExpr {
+ public:
+  AstBinary(AstBinaryOp op, AstExprPtr left, AstExprPtr right)
+      : AstExpr(AstExprKind::kBinary),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  AstBinaryOp op() const { return op_; }
+  const AstExprPtr& left() const { return left_; }
+  const AstExprPtr& right() const { return right_; }
+  std::string ToString() const override;
+
+ private:
+  AstBinaryOp op_;
+  AstExprPtr left_;
+  AstExprPtr right_;
+};
+
+/// NOT expr.
+class AstUnaryNot : public AstExpr {
+ public:
+  explicit AstUnaryNot(AstExprPtr operand)
+      : AstExpr(AstExprKind::kUnaryNot), operand_(std::move(operand)) {}
+
+  const AstExprPtr& operand() const { return operand_; }
+  std::string ToString() const override {
+    return "NOT " + operand_->ToString();
+  }
+
+ private:
+  AstExprPtr operand_;
+};
+
+/// `*` in a select list.
+class AstStar : public AstExpr {
+ public:
+  AstStar() : AstExpr(AstExprKind::kStar) {}
+  std::string ToString() const override { return "*"; }
+};
+
+/// One item of the select list.
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;  // optional
+};
+
+/// A FROM-clause table with optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// A parsed SELECT query.
+struct SelectQuery {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> tables;
+  AstExprPtr where;  // may be null
+  /// GROUP BY expressions (empty when not grouping).
+  std::vector<AstExprPtr> group_by;
+
+  std::string ToString() const;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_SQL_AST_H_

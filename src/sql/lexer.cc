@@ -1,0 +1,122 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace gqp {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kw = new std::unordered_set<std::string>{
+      "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "NULL",
+      "GROUP", "BY",
+  };
+  return *kw;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsSymbol(std::string_view sym) const {
+  return type == TokenType::kSymbol && text == sym;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      const std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, std::move(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      const size_t start = i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !seen_dot))) {
+        if (sql[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tokens.push_back({TokenType::kNumber, sql.substr(start, i - start),
+                        start});
+      continue;
+    }
+    if (c == '\'') {
+      const size_t start = i;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrCat("unterminated string literal at position ", start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char operators first.
+    if (i + 1 < n) {
+      const std::string two = sql.substr(i, 2);
+      if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+        tokens.push_back({TokenType::kSymbol, two, i});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = ",().*=<>+-/;";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(
+        StrCat("unexpected character '", std::string(1, c), "' at position ",
+               i));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace gqp

@@ -1,0 +1,38 @@
+// SQL lexer for the SELECT subset GridQP supports (enough to express the
+// paper's Q1/Q2 and similar queries).
+
+#ifndef GRIDQP_SQL_LEXER_H_
+#define GRIDQP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gqp {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,
+  kNumber,
+  kString,
+  kSymbol,  // punctuation and operators
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keywords uppercased; identifiers as written
+  size_t position = 0;
+
+  bool IsKeyword(std::string_view kw) const;
+  bool IsSymbol(std::string_view sym) const;
+};
+
+/// Tokenizes `sql`. Returns ParseError with position info on bad input.
+/// The final token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace gqp
+
+#endif  // GRIDQP_SQL_LEXER_H_

@@ -1,0 +1,267 @@
+#include "sql/parser.h"
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace gqp {
+namespace {
+
+/// Parser state over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> ParseQuery();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(std::string_view symbol_or_keyword);
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StrCat(what, " near position ",
+                                     Peek().position, " (got '", Peek().text,
+                                     "')"));
+  }
+
+  Result<SelectItem> ParseSelectItem();
+  Result<TableRef> ParseTableRef();
+
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+  Result<AstExprPtr> ParseOr();
+  Result<AstExprPtr> ParseAnd();
+  Result<AstExprPtr> ParseNot();
+  Result<AstExprPtr> ParseComparison();
+  Result<AstExprPtr> ParseAdditive();
+  Result<AstExprPtr> ParseMultiplicative();
+  Result<AstExprPtr> ParseUnary();
+  Result<AstExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+bool Parser::Match(std::string_view symbol_or_keyword) {
+  const Token& t = Peek();
+  if (t.IsSymbol(symbol_or_keyword) || t.IsKeyword(symbol_or_keyword)) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+Result<SelectQuery> Parser::ParseQuery() {
+  if (!Match("SELECT")) return Error("expected SELECT");
+  SelectQuery query;
+
+  if (Match("*")) {
+    query.items.push_back(SelectItem{std::make_shared<AstStar>(), ""});
+  } else {
+    do {
+      GQP_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      query.items.push_back(std::move(item));
+    } while (Match(","));
+  }
+
+  if (!Match("FROM")) return Error("expected FROM");
+  do {
+    GQP_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    query.tables.push_back(std::move(ref));
+  } while (Match(","));
+
+  if (Match("WHERE")) {
+    GQP_ASSIGN_OR_RETURN(query.where, ParseExpr());
+  }
+  if (Match("GROUP")) {
+    if (!Match("BY")) return Error("expected BY after GROUP");
+    do {
+      GQP_ASSIGN_OR_RETURN(AstExprPtr expr, ParseExpr());
+      query.group_by.push_back(std::move(expr));
+    } while (Match(","));
+  }
+  Match(";");
+  if (Peek().type != TokenType::kEnd) return Error("trailing input");
+  return query;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  GQP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  if (Match("AS")) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected alias after AS");
+    }
+    item.alias = Advance().text;
+  } else if (Peek().type == TokenType::kIdentifier) {
+    item.alias = Advance().text;
+  }
+  return item;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  if (Peek().type != TokenType::kIdentifier) {
+    return Error("expected table name");
+  }
+  TableRef ref;
+  ref.table = Advance().text;
+  if (Peek().type == TokenType::kIdentifier) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+Result<AstExprPtr> Parser::ParseOr() {
+  GQP_ASSIGN_OR_RETURN(AstExprPtr left, ParseAnd());
+  while (Match("OR")) {
+    GQP_ASSIGN_OR_RETURN(AstExprPtr right, ParseAnd());
+    left = std::make_shared<AstBinary>(AstBinaryOp::kOr, left, right);
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseAnd() {
+  GQP_ASSIGN_OR_RETURN(AstExprPtr left, ParseNot());
+  while (Match("AND")) {
+    GQP_ASSIGN_OR_RETURN(AstExprPtr right, ParseNot());
+    left = std::make_shared<AstBinary>(AstBinaryOp::kAnd, left, right);
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseNot() {
+  if (Match("NOT")) {
+    GQP_ASSIGN_OR_RETURN(AstExprPtr operand, ParseNot());
+    return AstExprPtr(std::make_shared<AstUnaryNot>(std::move(operand)));
+  }
+  return ParseComparison();
+}
+
+Result<AstExprPtr> Parser::ParseComparison() {
+  GQP_ASSIGN_OR_RETURN(AstExprPtr left, ParseAdditive());
+  struct OpMap {
+    std::string_view sym;
+    AstBinaryOp op;
+  };
+  static constexpr OpMap kOps[] = {
+      {"=", AstBinaryOp::kEq},  {"<>", AstBinaryOp::kNe},
+      {"!=", AstBinaryOp::kNe}, {"<=", AstBinaryOp::kLe},
+      {">=", AstBinaryOp::kGe}, {"<", AstBinaryOp::kLt},
+      {">", AstBinaryOp::kGt},
+  };
+  for (const OpMap& m : kOps) {
+    if (Peek().IsSymbol(m.sym)) {
+      Advance();
+      GQP_ASSIGN_OR_RETURN(AstExprPtr right, ParseAdditive());
+      return AstExprPtr(std::make_shared<AstBinary>(m.op, left, right));
+    }
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseAdditive() {
+  GQP_ASSIGN_OR_RETURN(AstExprPtr left, ParseMultiplicative());
+  while (true) {
+    AstBinaryOp op;
+    if (Peek().IsSymbol("+")) {
+      op = AstBinaryOp::kAdd;
+    } else if (Peek().IsSymbol("-")) {
+      op = AstBinaryOp::kSub;
+    } else {
+      return left;
+    }
+    Advance();
+    GQP_ASSIGN_OR_RETURN(AstExprPtr right, ParseMultiplicative());
+    left = std::make_shared<AstBinary>(op, left, right);
+  }
+}
+
+Result<AstExprPtr> Parser::ParseMultiplicative() {
+  GQP_ASSIGN_OR_RETURN(AstExprPtr left, ParseUnary());
+  while (true) {
+    AstBinaryOp op;
+    if (Peek().IsSymbol("*")) {
+      op = AstBinaryOp::kMul;
+    } else if (Peek().IsSymbol("/")) {
+      op = AstBinaryOp::kDiv;
+    } else {
+      return left;
+    }
+    Advance();
+    GQP_ASSIGN_OR_RETURN(AstExprPtr right, ParseUnary());
+    left = std::make_shared<AstBinary>(op, left, right);
+  }
+}
+
+Result<AstExprPtr> Parser::ParseUnary() {
+  if (Match("-")) {
+    GQP_ASSIGN_OR_RETURN(AstExprPtr operand, ParseUnary());
+    return AstExprPtr(std::make_shared<AstBinary>(
+        AstBinaryOp::kSub,
+        std::make_shared<AstLiteral>(Value(static_cast<int64_t>(0))),
+        std::move(operand)));
+  }
+  return ParsePrimary();
+}
+
+Result<AstExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  if (t.type == TokenType::kNumber) {
+    Advance();
+    if (t.text.find('.') != std::string::npos) {
+      return AstExprPtr(std::make_shared<AstLiteral>(
+          Value(std::stod(t.text))));
+    }
+    return AstExprPtr(std::make_shared<AstLiteral>(
+        Value(static_cast<int64_t>(std::stoll(t.text)))));
+  }
+  if (t.type == TokenType::kString) {
+    Advance();
+    return AstExprPtr(std::make_shared<AstLiteral>(Value(t.text)));
+  }
+  if (t.IsKeyword("NULL")) {
+    Advance();
+    return AstExprPtr(std::make_shared<AstLiteral>(Value::Null()));
+  }
+  if (Match("(")) {
+    GQP_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+    if (!Match(")")) return Error("expected ')'");
+    return inner;
+  }
+  if (t.type == TokenType::kIdentifier) {
+    const std::string first = Advance().text;
+    if (Match("(")) {  // function call
+      std::vector<AstExprPtr> args;
+      if (Peek().IsSymbol("*")) {  // aggregate star: COUNT(*)
+        Advance();
+        args.push_back(std::make_shared<AstStar>());
+      } else if (!Peek().IsSymbol(")")) {
+        do {
+          GQP_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+        } while (Match(","));
+      }
+      if (!Match(")")) return Error("expected ')' after arguments");
+      return AstExprPtr(
+          std::make_shared<AstCall>(first, std::move(args)));
+    }
+    if (Match(".")) {  // qualified column
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column name after '.'");
+      }
+      const std::string col = Advance().text;
+      return AstExprPtr(std::make_shared<AstColumn>(first, col));
+    }
+    return AstExprPtr(std::make_shared<AstColumn>("", first));
+  }
+  return Error("expected expression");
+}
+
+}  // namespace
+
+Result<SelectQuery> ParseSelect(const std::string& sql) {
+  GQP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace gqp

@@ -1,0 +1,31 @@
+// Recursive-descent parser for the GridQP SELECT subset:
+//
+//   query      := SELECT select_list FROM table_refs [WHERE expr] [;]
+//   select_list:= '*' | item (',' item)*
+//   item       := expr [AS ident | ident]
+//   table_refs := table_ref (',' table_ref)*
+//   table_ref  := ident [ident]
+//   expr       := or_expr with standard precedence
+//                 (OR < AND < NOT < comparison < +- < */ < unary < primary)
+//   primary    := literal | NULL | ident['.'ident] | ident '(' args ')' |
+//                 '(' expr ')'
+//
+// This covers the paper's Q1 and Q2 and typical variants.
+
+#ifndef GRIDQP_SQL_PARSER_H_
+#define GRIDQP_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace gqp {
+
+/// Parses a single SELECT statement. Returns ParseError with a position
+/// hint on malformed input.
+Result<SelectQuery> ParseSelect(const std::string& sql);
+
+}  // namespace gqp
+
+#endif  // GRIDQP_SQL_PARSER_H_

@@ -1,0 +1,68 @@
+#include "storage/datagen.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace gqp {
+namespace {
+
+// The 20 standard amino-acid one-letter codes.
+constexpr char kAminoAcids[] = "ACDEFGHIKLMNPQRSTVWY";
+constexpr size_t kNumAminoAcids = sizeof(kAminoAcids) - 1;
+
+}  // namespace
+
+std::string OrfKey(size_t i) { return StrFormat("ORF%05zu", i); }
+
+TablePtr GenerateProteinSequences(const ProteinSequencesSpec& spec) {
+  auto schema = MakeSchema({{"orf", DataType::kString},
+                            {"sequence", DataType::kString}});
+  auto table = std::make_shared<Table>("protein_sequences", schema);
+  Rng rng(spec.seed);
+  for (size_t i = 0; i < spec.num_rows; ++i) {
+    std::string seq;
+    seq.reserve(spec.sequence_length);
+    for (size_t j = 0; j < spec.sequence_length; ++j) {
+      seq.push_back(kAminoAcids[rng.NextBelow(kNumAminoAcids)]);
+    }
+    // Appends cannot fail here: arity always matches the schema.
+    (void)table->AppendValues({Value(OrfKey(i)), Value(std::move(seq))});
+  }
+  return table;
+}
+
+TablePtr GenerateProteinInteractions(const ProteinInteractionsSpec& spec) {
+  auto schema = MakeSchema({{"orf1", DataType::kString},
+                            {"orf2", DataType::kString}});
+  auto table = std::make_shared<Table>("protein_interactions", schema);
+  Rng rng(spec.seed);
+  for (size_t i = 0; i < spec.num_rows; ++i) {
+    const bool matches = rng.NextBool(spec.match_fraction);
+    const size_t orf1_index =
+        matches ? rng.NextBelow(spec.num_orfs)
+                : spec.num_orfs + rng.NextBelow(spec.num_orfs + 1);
+    const size_t orf2_index = rng.NextBelow(2 * spec.num_orfs);
+    (void)table->AppendValues(
+        {Value(OrfKey(orf1_index)), Value(OrfKey(orf2_index))});
+  }
+  return table;
+}
+
+double ShannonEntropy(const std::string& s) {
+  if (s.empty()) return 0.0;
+  std::array<size_t, 256> counts{};
+  for (const char c : s) counts[static_cast<unsigned char>(c)]++;
+  double entropy = 0.0;
+  const double n = static_cast<double>(s.size());
+  for (const size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace gqp

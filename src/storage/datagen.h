@@ -1,0 +1,56 @@
+// Synthetic data generators reproducing the OGSA-DQP demo database used in
+// the paper's evaluation: `protein_sequences` (3000 rows; the paper notes
+// the sequences were modified to equal length) and `protein_interactions`
+// (4700 rows joining back to the sequence ORFs).
+
+#ifndef GRIDQP_STORAGE_DATAGEN_H_
+#define GRIDQP_STORAGE_DATAGEN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace gqp {
+
+/// Parameters for the protein-sequence table generator.
+struct ProteinSequencesSpec {
+  /// Row count; the paper uses 3000 (Fig. 3(b) doubles it to 6000).
+  size_t num_rows = 3000;
+  /// All sequences have this length, matching the paper's equal-length
+  /// modification.
+  size_t sequence_length = 200;
+  uint64_t seed = 1;
+};
+
+/// Parameters for the protein-interactions generator.
+struct ProteinInteractionsSpec {
+  /// Row count; the paper uses 4700.
+  size_t num_rows = 4700;
+  /// ORF keys are drawn from [0, num_orfs); make this the sequence-table
+  /// row count so every interaction joins with probability
+  /// `match_fraction`.
+  size_t num_orfs = 3000;
+  /// Fraction of ORF1 values that exist in protein_sequences.
+  double match_fraction = 1.0;
+  uint64_t seed = 2;
+};
+
+/// Schema: (orf STRING, sequence STRING). `orf` is the primary key
+/// ("ORF00042" style).
+TablePtr GenerateProteinSequences(const ProteinSequencesSpec& spec);
+
+/// Schema: (orf1 STRING, orf2 STRING). `orf1` references
+/// protein_sequences.orf for `match_fraction` of the rows; non-matching
+/// rows use keys outside the generated range.
+TablePtr GenerateProteinInteractions(const ProteinInteractionsSpec& spec);
+
+/// Builds the ORF key string for index `i` ("ORF%05d" style, stable).
+std::string OrfKey(size_t i);
+
+/// Shannon entropy (bits per symbol) of a string — the reference
+/// implementation of the paper's EntropyAnalyser web service.
+double ShannonEntropy(const std::string& s);
+
+}  // namespace gqp
+
+#endif  // GRIDQP_STORAGE_DATAGEN_H_

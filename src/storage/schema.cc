@@ -1,0 +1,32 @@
+#include "storage/schema.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return Status::NotFound(StrCat("no column named '", name, "'"));
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Field> fields = fields_;
+  fields.insert(fields.end(), other.fields_.begin(), other.fields_.end());
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gqp

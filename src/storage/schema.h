@@ -1,0 +1,61 @@
+// Schema: ordered, named, typed columns. Shared immutably between tuples.
+
+#ifndef GRIDQP_STORAGE_SCHEMA_H_
+#define GRIDQP_STORAGE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace gqp {
+
+/// One column of a schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Immutable column layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with the given name (case-insensitive), or
+  /// NotFound.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+  /// Builds a schema concatenating this and `other` (join output). Columns
+  /// keep their names; callers qualify them beforehand if needed.
+  Schema Concat(const Schema& other) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+inline SchemaPtr MakeSchema(std::vector<Field> fields) {
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+}  // namespace gqp
+
+#endif  // GRIDQP_STORAGE_SCHEMA_H_

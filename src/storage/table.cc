@@ -1,0 +1,27 @@
+#include "storage/table.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+
+Status Table::Append(Tuple tuple) {
+  if (tuple.size() != schema_->num_fields()) {
+    return Status::InvalidArgument(
+        StrCat("arity mismatch appending to ", name_, ": got ", tuple.size(),
+               " values, schema has ", schema_->num_fields()));
+  }
+  rows_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Table::AppendValues(std::vector<Value> values) {
+  return Append(Tuple(schema_, std::move(values)));
+}
+
+size_t Table::TotalWireSize() const {
+  size_t bytes = 0;
+  for (const Tuple& t : rows_) bytes += t.WireSize();
+  return bytes;
+}
+
+}  // namespace gqp

@@ -1,0 +1,48 @@
+// Table: an in-memory relation. Backs the Grid Data Services on the data
+// node; also used to collect query results.
+
+#ifndef GRIDQP_STORAGE_TABLE_H_
+#define GRIDQP_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/tuple.h"
+
+namespace gqp {
+
+/// \brief A named, schema'd collection of tuples.
+class Table {
+ public:
+  Table(std::string name, SchemaPtr schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row; fails if the arity does not match the schema. (Types
+  /// are not coerced; generators produce well-typed rows.)
+  Status Append(Tuple tuple);
+
+  /// Convenience: appends from raw values.
+  Status AppendValues(std::vector<Value> values);
+
+  /// Total wire size of all rows (used in bench reporting).
+  size_t TotalWireSize() const;
+
+ private:
+  std::string name_;
+  SchemaPtr schema_;
+  std::vector<Tuple> rows_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace gqp
+
+#endif  // GRIDQP_STORAGE_TABLE_H_

@@ -1,0 +1,40 @@
+#include "storage/tuple.h"
+
+namespace gqp {
+
+size_t Tuple::WireSize() const {
+  size_t bytes = 8;  // row header
+  if (values_) {
+    for (const Value& v : *values_) bytes += v.WireSize();
+  }
+  return bytes;
+}
+
+Tuple Tuple::Concat(const SchemaPtr& schema, const Tuple& left,
+                    const Tuple& right) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right.size());
+  for (size_t i = 0; i < left.size(); ++i) values.push_back(left.at(i));
+  for (size_t i = 0; i < right.size(); ++i) values.push_back(right.at(i));
+  return Tuple(schema, std::move(values));
+}
+
+bool Tuple::operator==(const Tuple& other) const {
+  if (size() != other.size()) return false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (at(i) != other.at(i)) return false;
+  }
+  return true;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < size(); ++i) {
+    if (i > 0) out += ", ";
+    out += at(i).ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace gqp

@@ -1,0 +1,53 @@
+// Tuple: an immutable row handle. Copies are cheap (shared payload), which
+// matters because the exchange machinery keeps tuples simultaneously in
+// producer recovery logs, consumer queues and operator state.
+
+#ifndef GRIDQP_STORAGE_TUPLE_H_
+#define GRIDQP_STORAGE_TUPLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace gqp {
+
+/// \brief A reference-counted row.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(SchemaPtr schema, std::vector<Value> values)
+      : schema_(std::move(schema)),
+        values_(std::make_shared<const std::vector<Value>>(std::move(values))) {
+  }
+
+  bool valid() const { return values_ != nullptr; }
+  const SchemaPtr& schema() const { return schema_; }
+  size_t size() const { return values_ ? values_->size() : 0; }
+
+  /// Column accessor. Precondition: i < size().
+  const Value& at(size_t i) const { return (*values_)[i]; }
+  const Value& operator[](size_t i) const { return at(i); }
+
+  const std::vector<Value>& values() const { return *values_; }
+
+  /// Serialized size in bytes for the network cost model.
+  size_t WireSize() const;
+
+  /// Concatenates two tuples under a combined schema (join output).
+  static Tuple Concat(const SchemaPtr& schema, const Tuple& left,
+                      const Tuple& right);
+
+  bool operator==(const Tuple& other) const;
+
+  std::string ToString() const;
+
+ private:
+  SchemaPtr schema_;
+  std::shared_ptr<const std::vector<Value>> values_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_STORAGE_TUPLE_H_

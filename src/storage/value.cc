@@ -1,0 +1,124 @@
+#include "storage/value.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace gqp {
+namespace {
+
+// FNV-1a over raw bytes, with a type-tag seed so 1 (int) != 1.0 (double).
+uint64_t FnvHash(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+DataType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kInt64;
+    case 2:
+      return DataType::kDouble;
+    case 3:
+      return DataType::kString;
+  }
+  return DataType::kNull;
+}
+
+double Value::ToNumeric() const {
+  if (std::holds_alternative<int64_t>(v_)) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  if (std::holds_alternative<double>(v_)) return std::get<double>(v_);
+  return 0.0;
+}
+
+size_t Value::WireSize() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 1;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 4 + AsString().size();
+  }
+  return 1;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kInt64: {
+      const int64_t v = AsInt64();
+      return FnvHash(&v, sizeof(v), 1);
+    }
+    case DataType::kDouble: {
+      const double v = AsDouble();
+      return FnvHash(&v, sizeof(v), 2);
+    }
+    case DataType::kString: {
+      const std::string& s = AsString();
+      return FnvHash(s.data(), s.size(), 3);
+    }
+  }
+  return 0;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type());
+  }
+  switch (type()) {
+    case DataType::kNull:
+      return false;
+    case DataType::kInt64:
+      return AsInt64() < other.AsInt64();
+    case DataType::kDouble:
+      return AsDouble() < other.AsDouble();
+    case DataType::kString:
+      return AsString() < other.AsString();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble:
+      return StrFormat("%g", AsDouble());
+    case DataType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+}  // namespace gqp

@@ -1,0 +1,67 @@
+// Value: the runtime datum type flowing through the engine (null, int64,
+// double, string).
+
+#ifndef GRIDQP_STORAGE_VALUE_H_
+#define GRIDQP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace gqp {
+
+/// Column/value types known to the engine.
+enum class DataType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+std::string_view DataTypeToString(DataType type);
+
+/// \brief A single datum.
+///
+/// Values are small; strings dominate size. Equality and ordering follow
+/// SQL semantics except that null == null (needed for hashing) and null
+/// sorts first.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  DataType type() const;
+
+  /// Typed accessors. Preconditions: matching type.
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric coercion: int64 and double both convert; 0.0 for others.
+  double ToNumeric() const;
+
+  /// Approximate serialized size in bytes (wire-cost model).
+  size_t WireSize() const;
+
+  /// Stable 64-bit hash (used by hash-partitioning and hash joins).
+  uint64_t Hash() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_STORAGE_VALUE_H_

@@ -1,0 +1,105 @@
+#include "workload/grid_setup.h"
+
+#include "common/strings.h"
+
+namespace gqp {
+
+GridSetup::GridSetup(const GridOptions& options) : options_(options) {
+  network_ = std::make_unique<Network>(&sim_, options_.link);
+  bus_ = std::make_unique<MessageBus>(network_.get());
+}
+
+GridSetup::~GridSetup() = default;
+
+Status GridSetup::Initialize() {
+  if (initialized_) return Status::OK();
+  if (options_.num_evaluators < 1) {
+    return Status::InvalidArgument("need at least one evaluator");
+  }
+
+  // Host ids: 0 coordinator, 1 data node, 2.. evaluators.
+  nodes_.push_back(std::make_unique<GridNode>(&sim_, 0, "coordinator", 1.0));
+  nodes_.push_back(std::make_unique<GridNode>(&sim_, 1, "data", 1.0));
+  for (int i = 0; i < options_.num_evaluators; ++i) {
+    const double capacity =
+        static_cast<size_t>(i) < options_.evaluator_capacities.size()
+            ? options_.evaluator_capacities[static_cast<size_t>(i)]
+            : 1.0;
+    nodes_.push_back(std::make_unique<GridNode>(
+        &sim_, static_cast<HostId>(2 + i), StrCat("evaluator", i), capacity));
+  }
+
+  GQP_RETURN_IF_ERROR(
+      registry_.Register(nodes_[0].get(), NodeRole::kCoordinator));
+  GQP_RETURN_IF_ERROR(registry_.Register(nodes_[1].get(), NodeRole::kData));
+  for (int i = 0; i < options_.num_evaluators; ++i) {
+    GQP_RETURN_IF_ERROR(registry_.Register(
+        nodes_[static_cast<size_t>(2 + i)].get(), NodeRole::kCompute));
+  }
+
+  for (auto& node : nodes_) {
+    auto gqes = std::make_unique<Gqes>(bus_.get(), node.get(), network_.get(),
+                                       options_.adaptive, options_.med);
+    GQP_RETURN_IF_ERROR(gqes->StartService());
+    gqes_.push_back(std::move(gqes));
+  }
+
+  gdqs_ = std::make_unique<Gdqs>(bus_.get(), nodes_[0].get(), network_.get(),
+                                 &catalog_, &registry_);
+  GQP_RETURN_IF_ERROR(gdqs_->Start());
+  for (auto& gqes : gqes_) gdqs_->AddGqes(gqes.get());
+
+  initialized_ = true;
+  return Status::OK();
+}
+
+Gqes* GridSetup::gqes_on(HostId host) {
+  for (auto& gqes : gqes_) {
+    if (gqes->host() == host) return gqes.get();
+  }
+  return nullptr;
+}
+
+Status GridSetup::AddTable(TablePtr table) {
+  if (!initialized_) return Status::FailedPrecondition("not initialized");
+  TableEntry entry;
+  entry.name = table->name();
+  entry.schema = table->schema();
+  entry.data_host = data_node()->id();
+  entry.stats.num_rows = table->num_rows();
+  entry.stats.avg_row_bytes =
+      table->num_rows() > 0 ? table->TotalWireSize() / table->num_rows() : 0;
+  GQP_RETURN_IF_ERROR(catalog_.RegisterTable(std::move(entry)));
+  gqes_on(data_node()->id())->RegisterTable(std::move(table));
+  return Status::OK();
+}
+
+Status GridSetup::AddWebService(const std::string& name, DataType result_type,
+                                double nominal_cost_ms) {
+  WebServiceEntry entry;
+  entry.name = name;
+  entry.result_type = result_type;
+  entry.nominal_cost_ms = nominal_cost_ms;
+  return catalog_.RegisterWebService(std::move(entry));
+}
+
+Status GridSetup::PerturbEvaluator(int i, const std::string& tag,
+                                   PerturbationPtr profile) {
+  if (i < 0 || i >= options_.num_evaluators) {
+    return Status::OutOfRange(StrCat("no evaluator ", i));
+  }
+  evaluator_node(i)->SetPerturbation(tag, std::move(profile));
+  return Status::OK();
+}
+
+Status GridSetup::FailEvaluator(int i) {
+  if (i < 0 || i >= options_.num_evaluators) {
+    return Status::OutOfRange(StrCat("no evaluator ", i));
+  }
+  GridNode* node = evaluator_node(i);
+  node->Kill();
+  network_->SetHostDown(node->id());
+  return gdqs_->ReportNodeFailure(node->id());
+}
+
+}  // namespace gqp

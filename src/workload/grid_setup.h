@@ -1,0 +1,86 @@
+// GridSetup: assembles a complete simulated grid — simulator, network,
+// bus, nodes (coordinator + data node + N evaluators), GQES services, the
+// GDQS coordinator, catalog and registry — mirroring the paper's testbed
+// topology (two/three evaluation machines plus a third machine that
+// "retrieves and sends data as fast as it can").
+
+#ifndef GRIDQP_WORKLOAD_GRID_SETUP_H_
+#define GRIDQP_WORKLOAD_GRID_SETUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dqp/gdqs.h"
+
+namespace gqp {
+
+struct GridOptions {
+  int num_evaluators = 2;
+  /// Capacity of each evaluator (heterogeneous grids use unequal values).
+  std::vector<double> evaluator_capacities;
+  LinkParams link;  // defaults model the paper's 100 Mbps LAN
+  /// Create MEDs on every node (AGQES mode).
+  bool adaptive = true;
+  MonitoringEventDetectorConfig med;
+};
+
+/// \brief Owns one simulated grid and all its services.
+class GridSetup {
+ public:
+  explicit GridSetup(const GridOptions& options);
+  ~GridSetup();
+
+  GridSetup(const GridSetup&) = delete;
+  GridSetup& operator=(const GridSetup&) = delete;
+
+  /// Builds services; must be called once before use.
+  Status Initialize();
+
+  Simulator* simulator() { return &sim_; }
+  Network* network() { return network_.get(); }
+  MessageBus* bus() { return bus_.get(); }
+  Catalog* catalog() { return &catalog_; }
+  ResourceRegistry* registry() { return &registry_; }
+  Gdqs* gdqs() { return gdqs_.get(); }
+
+  GridNode* coordinator_node() { return nodes_[0].get(); }
+  GridNode* data_node() { return nodes_[1].get(); }
+  GridNode* evaluator_node(int i) { return nodes_[static_cast<size_t>(2 + i)].get(); }
+  int num_evaluators() const { return options_.num_evaluators; }
+  Gqes* gqes_on(HostId host);
+
+  /// Registers a table on the data node (as a Grid Data Service) and in
+  /// the catalog.
+  Status AddTable(TablePtr table);
+
+  /// Registers a web-service operation usable from queries, with its
+  /// nominal per-call cost.
+  Status AddWebService(const std::string& name, DataType result_type,
+                       double nominal_cost_ms);
+
+  /// Installs a perturbation profile for an operation tag on evaluator i.
+  Status PerturbEvaluator(int i, const std::string& tag,
+                          PerturbationPtr profile);
+
+  /// Crashes evaluator i: its machine stops executing, the network drops
+  /// its traffic, and the coordinator is informed so running queries
+  /// recover the machine's unacknowledged work from the recovery logs.
+  Status FailEvaluator(int i);
+
+ private:
+  GridOptions options_;
+  Simulator sim_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<MessageBus> bus_;
+  Catalog catalog_;
+  ResourceRegistry registry_;
+  std::vector<std::unique_ptr<GridNode>> nodes_;
+  std::vector<std::unique_ptr<Gqes>> gqes_;
+  std::unique_ptr<Gdqs> gdqs_;
+  bool initialized_ = false;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_WORKLOAD_GRID_SETUP_H_

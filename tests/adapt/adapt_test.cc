@@ -1,0 +1,325 @@
+// Unit tests for the assessment (Diagnoser) and response (Responder)
+// stages, driven over a real bus with scripted producer endpoints.
+
+#include <gtest/gtest.h>
+
+#include "adapt/diagnoser.h"
+#include "adapt/responder.h"
+
+namespace gqp {
+namespace {
+
+/// Scripted stand-in for a producer fragment endpoint: answers progress
+/// requests with a fixed fraction and redistribute requests with a fixed
+/// outcome, recording everything it receives.
+class FakeProducer : public GridService {
+ public:
+  FakeProducer(MessageBus* bus, HostId host, std::string name)
+      : GridService(bus, host, std::move(name)) {}
+
+  double progress = 0.1;
+  bool apply = true;
+  std::vector<RedistributeRequestPayload> redistributes;
+  int progress_requests = 0;
+
+ protected:
+  void HandleMessage(const Message& msg) override {
+    if (const auto* req = PayloadAs<ProgressRequestPayload>(msg.payload)) {
+      ++progress_requests;
+      SubplanId id{1, 0, 0};
+      (void)SendTo(msg.from, std::make_shared<ProgressReplyPayload>(
+                                 req->round(), id, progress, false, 10));
+      return;
+    }
+    if (const auto* req =
+            PayloadAs<RedistributeRequestPayload>(msg.payload)) {
+      redistributes.push_back(*req);
+      SubplanId id{1, 0, 0};
+      (void)SendTo(msg.from, std::make_shared<RedistributeOutcomePayload>(
+                                 req->round(), id, apply));
+      return;
+    }
+  }
+};
+
+class AdaptTest : public ::testing::Test {
+ protected:
+  AdaptTest()
+      : network_(&sim_, LinkParams{0.1, 10000.0}), bus_(&network_) {}
+
+  void Run() { sim_.RunToCompletion(); }
+
+  /// Sends an M1-style cost digest to the diagnoser via pub/sub.
+  void SendCostDigest(Diagnoser* diagnoser, GridService* publisher,
+                      const SubplanId& subplan, double cost) {
+    auto digest = std::make_shared<MonitoringAveragePayload>(
+        MonitoringAveragePayload::Kind::kProcessingCost, subplan, SubplanId{},
+        cost, 0, 1.0, 10);
+    Message m;
+    m.from = publisher->address();
+    m.to = diagnoser->address();
+    m.payload = std::make_shared<NotificationPayload>(
+        kTopicMonitoringAverages, digest);
+    ASSERT_TRUE(bus_.Send(m.from, m.to, m.payload).ok());
+    Run();
+  }
+
+  Simulator sim_;
+  Network network_;
+  MessageBus bus_;
+};
+
+/// Records imbalance proposals published by a Diagnoser.
+class ProposalSink : public GridService {
+ public:
+  using GridService::GridService;
+  std::vector<ImbalanceProposalPayload> proposals;
+
+ protected:
+  void HandleMessage(const Message&) override {}
+  void OnNotification(const Address&, const std::string& topic,
+                      const PayloadPtr& body) override {
+    if (topic != kTopicImbalance) return;
+    const auto* p = PayloadAs<ImbalanceProposalPayload>(body);
+    ASSERT_NE(p, nullptr);
+    proposals.push_back(*p);
+  }
+};
+
+TEST_F(AdaptTest, DiagnoserProposesInverseCostWeights) {
+  SubplanId i0{1, 2, 0}, i1{1, 2, 1};
+  Diagnoser diagnoser(&bus_, 0, "diag", {}, 2, {i0, i1}, {0.5, 0.5});
+  ASSERT_TRUE(diagnoser.Start().ok());
+  ProposalSink sink(&bus_, 1, "sink");
+  ASSERT_TRUE(sink.Start().ok());
+  ASSERT_TRUE(sink.Subscribe(diagnoser.address(), kTopicImbalance).ok());
+  Run();
+
+  SendCostDigest(&diagnoser, &sink, i0, 10.0);
+  EXPECT_TRUE(sink.proposals.empty());  // only one instance known
+  SendCostDigest(&diagnoser, &sink, i1, 1.0);
+  ASSERT_EQ(sink.proposals.size(), 1u);
+  // w' ~ 1/c: (1/10, 1) normalised = (1/11, 10/11).
+  EXPECT_NEAR(sink.proposals[0].weights()[0], 1.0 / 11, 1e-9);
+  EXPECT_NEAR(sink.proposals[0].weights()[1], 10.0 / 11, 1e-9);
+}
+
+TEST_F(AdaptTest, DiagnoserSilentBelowThreshold) {
+  SubplanId i0{1, 2, 0}, i1{1, 2, 1};
+  AdaptivityConfig config;
+  config.thres_a = 0.20;
+  Diagnoser diagnoser(&bus_, 0, "diag", config, 2, {i0, i1}, {0.5, 0.5});
+  ASSERT_TRUE(diagnoser.Start().ok());
+  ProposalSink sink(&bus_, 1, "sink");
+  ASSERT_TRUE(sink.Start().ok());
+  ASSERT_TRUE(sink.Subscribe(diagnoser.address(), kTopicImbalance).ok());
+  Run();
+
+  // 10% cost difference -> ~5% weight change: below thresA.
+  SendCostDigest(&diagnoser, &sink, i0, 1.0);
+  SendCostDigest(&diagnoser, &sink, i1, 1.1);
+  EXPECT_TRUE(sink.proposals.empty());
+}
+
+TEST_F(AdaptTest, DiagnoserA2AddsCommunicationCost) {
+  SubplanId i0{1, 2, 0}, i1{1, 2, 1};
+  SubplanId producer{1, 0, 0};
+  AdaptivityConfig config;
+  config.assessment = AssessmentType::kA2;
+  Diagnoser diagnoser(&bus_, 0, "diag", config, 2, {i0, i1}, {0.5, 0.5});
+  ASSERT_TRUE(diagnoser.Start().ok());
+  ProposalSink sink(&bus_, 1, "sink");
+  ASSERT_TRUE(sink.Start().ok());
+  ASSERT_TRUE(sink.Subscribe(diagnoser.address(), kTopicImbalance).ok());
+  Run();
+
+  // Comm digest: 50 ms per 50-tuple buffer to i0 = 1 ms/tuple extra.
+  auto comm = std::make_shared<MonitoringAveragePayload>(
+      MonitoringAveragePayload::Kind::kCommunicationCost, producer, i0, 50.0,
+      50.0, 1.0, 5);
+  ASSERT_TRUE(bus_.Send(sink.address(), diagnoser.address(),
+                        std::make_shared<NotificationPayload>(
+                            kTopicMonitoringAverages, comm))
+                  .ok());
+  Run();
+  SendCostDigest(&diagnoser, &sink, i0, 1.0);
+  SendCostDigest(&diagnoser, &sink, i1, 1.0);
+  // A2 totals: i0 = 1 + 1 = 2, i1 = 1 -> weights (1/3, 2/3).
+  ASSERT_EQ(sink.proposals.size(), 1u);
+  EXPECT_NEAR(sink.proposals[0].weights()[0], 1.0 / 3, 1e-9);
+}
+
+TEST_F(AdaptTest, DiagnoserUpdatesWOnWeightsApplied) {
+  SubplanId i0{1, 2, 0}, i1{1, 2, 1};
+  Diagnoser diagnoser(&bus_, 0, "diag", {}, 2, {i0, i1}, {0.5, 0.5});
+  ASSERT_TRUE(diagnoser.Start().ok());
+  ProposalSink sink(&bus_, 1, "sink");
+  ASSERT_TRUE(sink.Start().ok());
+
+  auto applied = std::make_shared<WeightsAppliedPayload>(
+      1, 2, std::vector<double>{0.1, 0.9});
+  ASSERT_TRUE(bus_.Send(sink.address(), diagnoser.address(),
+                        std::make_shared<NotificationPayload>(
+                            kTopicWeightsApplied, applied))
+                  .ok());
+  Run();
+  EXPECT_EQ(diagnoser.current_weights(), (std::vector<double>{0.1, 0.9}));
+}
+
+TEST_F(AdaptTest, ResponderRunsProgressThenRedistributes) {
+  FakeProducer producer(&bus_, 1, "q1.f0.i0");
+  ASSERT_TRUE(producer.Start().ok());
+  AdaptivityConfig config;
+  config.response = ResponseType::kRetrospective;
+  Responder responder(&bus_, 0, "resp", config, 2,
+                      {{SubplanId{1, 0, 0}, producer.address()}},
+                      {0.5, 0.5});
+  ASSERT_TRUE(responder.Start().ok());
+
+  // Feed a proposal through the pub/sub path.
+  auto proposal = std::make_shared<ImbalanceProposalPayload>(
+      2, std::vector<double>{0.2, 0.8}, std::vector<double>{5.0, 1.0});
+  ASSERT_TRUE(bus_.Send(Address{0, "diag"}, responder.address(),
+                        std::make_shared<NotificationPayload>(
+                            kTopicImbalance, proposal))
+                  .ok());
+  Run();
+
+  EXPECT_EQ(producer.progress_requests, 1);
+  ASSERT_EQ(producer.redistributes.size(), 1u);
+  EXPECT_TRUE(producer.redistributes[0].retrospective());
+  EXPECT_EQ(producer.redistributes[0].weights(),
+            (std::vector<double>{0.2, 0.8}));
+  EXPECT_EQ(responder.stats().rounds_applied, 1u);
+  EXPECT_EQ(responder.current_weights(), (std::vector<double>{0.2, 0.8}));
+}
+
+TEST_F(AdaptTest, ResponderSkipsProspectiveNearCompletion) {
+  FakeProducer producer(&bus_, 1, "q1.f0.i0");
+  producer.progress = 0.99;
+  ASSERT_TRUE(producer.Start().ok());
+  AdaptivityConfig config;
+  config.response = ResponseType::kProspective;
+  config.progress_guard = 0.90;
+  Responder responder(&bus_, 0, "resp", config, 2,
+                      {{SubplanId{1, 0, 0}, producer.address()}},
+                      {0.5, 0.5});
+  ASSERT_TRUE(responder.Start().ok());
+
+  auto proposal = std::make_shared<ImbalanceProposalPayload>(
+      2, std::vector<double>{0.2, 0.8}, std::vector<double>{5.0, 1.0});
+  ASSERT_TRUE(bus_.Send(Address{0, "diag"}, responder.address(),
+                        std::make_shared<NotificationPayload>(
+                            kTopicImbalance, proposal))
+                  .ok());
+  Run();
+  EXPECT_TRUE(producer.redistributes.empty());
+  EXPECT_EQ(responder.stats().skipped_progress, 1u);
+}
+
+TEST_F(AdaptTest, CompletionOfferDisablesAdaptationAndGrants) {
+  FakeProducer producer(&bus_, 1, "q1.f0.i0");
+  ASSERT_TRUE(producer.Start().ok());
+  Responder responder(&bus_, 0, "resp", {}, 2,
+                      {{SubplanId{1, 0, 0}, producer.address()}},
+                      {0.5, 0.5});
+  ASSERT_TRUE(responder.Start().ok());
+
+  // A consumer offers completion.
+  bool granted = false;
+  class GrantSink : public GridService {
+   public:
+    GrantSink(MessageBus* bus, bool* granted)
+        : GridService(bus, 2, "consumer"), granted_(granted) {}
+
+   protected:
+    void HandleMessage(const Message& msg) override {
+      if (PayloadAs<CompletionGrantPayload>(msg.payload) != nullptr) {
+        *granted_ = true;
+      }
+    }
+    bool* granted_;
+  } consumer(&bus_, &granted);
+  ASSERT_TRUE(consumer.Start().ok());
+
+  ASSERT_TRUE(bus_.Send(consumer.address(), responder.address(),
+                        std::make_shared<CompletionOfferPayload>(
+                            SubplanId{1, 2, 0}))
+                  .ok());
+  Run();
+  EXPECT_TRUE(granted);
+  EXPECT_FALSE(responder.adaptation_enabled());
+
+  // Later proposals are ignored.
+  auto proposal = std::make_shared<ImbalanceProposalPayload>(
+      2, std::vector<double>{0.2, 0.8}, std::vector<double>{5.0, 1.0});
+  ASSERT_TRUE(bus_.Send(Address{0, "diag"}, responder.address(),
+                        std::make_shared<NotificationPayload>(
+                            kTopicImbalance, proposal))
+                  .ok());
+  Run();
+  EXPECT_TRUE(producer.redistributes.empty());
+  EXPECT_EQ(responder.stats().skipped_disabled, 1u);
+}
+
+TEST_F(AdaptTest, FailureNoticeTriggersRecoveryRound) {
+  FakeProducer producer(&bus_, 1, "q1.f0.i0");
+  ASSERT_TRUE(producer.Start().ok());
+  Responder responder(&bus_, 0, "resp", {}, 2,
+                      {{SubplanId{1, 0, 0}, producer.address()}},
+                      {0.5, 0.5});
+  ASSERT_TRUE(responder.Start().ok());
+
+  ASSERT_TRUE(bus_.Send(Address{0, "gdqs"}, responder.address(),
+                        std::make_shared<FailureNoticePayload>(
+                            SubplanId{1, 2, 1}, 1))
+                  .ok());
+  Run();
+
+  ASSERT_EQ(producer.redistributes.size(), 1u);
+  const auto& req = producer.redistributes[0];
+  EXPECT_TRUE(req.retrospective());
+  EXPECT_EQ(req.dead_consumers(), (std::vector<int>{1}));
+  EXPECT_EQ(req.weights(), (std::vector<double>{1.0, 0.0}));
+  EXPECT_EQ(responder.stats().failures_handled, 1u);
+  // Duplicate notices are idempotent.
+  ASSERT_TRUE(bus_.Send(Address{0, "gdqs"}, responder.address(),
+                        std::make_shared<FailureNoticePayload>(
+                            SubplanId{1, 2, 1}, 1))
+                  .ok());
+  Run();
+  EXPECT_EQ(responder.stats().failures_handled, 1u);
+}
+
+TEST_F(AdaptTest, RecoveryRunsEvenAfterCompletionOffersDisabledAdaptation) {
+  FakeProducer producer(&bus_, 1, "q1.f0.i0");
+  ASSERT_TRUE(producer.Start().ok());
+  Responder responder(&bus_, 0, "resp", {}, 2,
+                      {{SubplanId{1, 0, 0}, producer.address()}},
+                      {0.5, 0.5});
+  ASSERT_TRUE(responder.Start().ok());
+
+  ASSERT_TRUE(bus_.Send(Address{2, "c"}, responder.address(),
+                        std::make_shared<CompletionOfferPayload>(
+                            SubplanId{1, 2, 0}))
+                  .ok());
+  Run();
+  ASSERT_FALSE(responder.adaptation_enabled());
+
+  ASSERT_TRUE(bus_.Send(Address{0, "gdqs"}, responder.address(),
+                        std::make_shared<FailureNoticePayload>(
+                            SubplanId{1, 2, 1}, 1))
+                  .ok());
+  Run();
+  EXPECT_EQ(producer.redistributes.size(), 1u);
+}
+
+TEST(AdaptTypeNames, ToStringHelpers) {
+  EXPECT_EQ(AssessmentTypeToString(AssessmentType::kA1), "A1");
+  EXPECT_EQ(AssessmentTypeToString(AssessmentType::kA2), "A2");
+  EXPECT_EQ(ResponseTypeToString(ResponseType::kProspective), "R2");
+  EXPECT_EQ(ResponseTypeToString(ResponseType::kRetrospective), "R1");
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,81 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+TableEntry MakeTable(const std::string& name, size_t rows = 100) {
+  TableEntry e;
+  e.name = name;
+  e.schema = MakeSchema({{"x", DataType::kInt64}});
+  e.data_host = 1;
+  e.stats.num_rows = rows;
+  return e;
+}
+
+TEST(CatalogTest, RegisterAndFindTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable(MakeTable("T1", 42)).ok());
+  auto found = catalog.FindTable("t1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->stats.num_rows, 42u);
+  EXPECT_EQ(found->data_host, 1);
+}
+
+TEST(CatalogTest, TableLookupCaseInsensitive) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable(MakeTable("Protein_Sequences")).ok());
+  EXPECT_TRUE(catalog.FindTable("PROTEIN_SEQUENCES").ok());
+  EXPECT_TRUE(catalog.FindTable("protein_sequences").ok());
+}
+
+TEST(CatalogTest, UnknownTableFails) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.FindTable("nope").status().IsNotFound());
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable(MakeTable("t")).ok());
+  EXPECT_TRUE(catalog.RegisterTable(MakeTable("T")).IsAlreadyExists());
+}
+
+TEST(CatalogTest, InvalidTableEntryRejected) {
+  Catalog catalog;
+  TableEntry no_schema;
+  no_schema.name = "x";
+  EXPECT_TRUE(catalog.RegisterTable(no_schema).IsInvalidArgument());
+}
+
+TEST(CatalogTest, WebServiceRegistration) {
+  Catalog catalog;
+  WebServiceEntry ws;
+  ws.name = "EntropyAnalyser";
+  ws.result_type = DataType::kDouble;
+  ws.nominal_cost_ms = 0.25;
+  ASSERT_TRUE(catalog.RegisterWebService(ws).ok());
+  EXPECT_TRUE(catalog.HasWebService("entropyanalyser"));
+  EXPECT_FALSE(catalog.HasWebService("Other"));
+  auto found = catalog.FindWebService("ENTROPYANALYSER");
+  ASSERT_TRUE(found.ok());
+  EXPECT_DOUBLE_EQ(found->nominal_cost_ms, 0.25);
+}
+
+TEST(CatalogTest, DuplicateWebServiceRejected) {
+  Catalog catalog;
+  WebServiceEntry ws;
+  ws.name = "F";
+  ASSERT_TRUE(catalog.RegisterWebService(ws).ok());
+  EXPECT_TRUE(catalog.RegisterWebService(ws).IsAlreadyExists());
+}
+
+TEST(CatalogTest, TableNamesLists) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable(MakeTable("a")).ok());
+  ASSERT_TRUE(catalog.RegisterTable(MakeTable("b")).ok());
+  EXPECT_EQ(catalog.TableNames().size(), 2u);
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,124 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gqp {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(5.0, 9.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(RngTest, NextBelowBound) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(12);
+  const int n = 50000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(30.0, 5.0);
+  EXPECT_NEAR(sum / n, 30.0, 0.3);
+}
+
+TEST(RngTest, TruncatedGaussianStaysInBounds) {
+  Rng rng(14);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextTruncatedGaussian(30.0, 10.0, 20.0, 40.0);
+    EXPECT_GE(v, 20.0);
+    EXPECT_LE(v, 40.0);
+  }
+}
+
+TEST(RngTest, TruncatedGaussianDegenerateIntervalClamps) {
+  Rng rng(15);
+  // Interval far from the mean: rejection fails, clamping kicks in.
+  const double v = rng.NextTruncatedGaussian(0.0, 0.001, 100.0, 101.0);
+  EXPECT_GE(v, 100.0);
+  EXPECT_LE(v, 101.0);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(16);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) heads += rng.NextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng forked = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(77);
+  b.Next();  // align with the state after Fork's draw
+  EXPECT_NE(forked.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace gqp

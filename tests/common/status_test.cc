@@ -1,0 +1,129 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace gqp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorFactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("bad").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+}
+
+TEST(StatusTest, ErrorIsNotOk) {
+  EXPECT_FALSE(Status::Internal("boom").ok());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  EXPECT_EQ(Status::NotFound("the thing").message(), "the thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("t").ToString(), "NotFound: t");
+  EXPECT_EQ(Status::InvalidArgument("w").ToString(), "InvalidArgument: w");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, OkStatusRemappedToInternal) {
+  Result<int> r = [] () -> Result<int> { return Status::OK(); }();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, TakeValueMovesOut) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = r.TakeValue();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> err(Status::Internal("x"));
+  EXPECT_EQ(err.ValueOr(7), 7);
+  Result<int> ok(3);
+  EXPECT_EQ(ok.ValueOr(7), 3);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Passthrough(int x) {
+  GQP_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Passthrough(1).ok());
+  EXPECT_TRUE(Passthrough(-1).IsInvalidArgument());
+}
+
+Result<int> Doubled(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return 2 * x;
+}
+
+Result<int> Quadrupled(int x) {
+  GQP_ASSIGN_OR_RETURN(int d, Doubled(x));
+  GQP_ASSIGN_OR_RETURN(int q, Doubled(d));
+  return q;
+}
+
+TEST(MacrosTest, AssignOrReturnChains) {
+  Result<int> r = Quadrupled(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 12);
+  EXPECT_TRUE(Quadrupled(-1).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace gqp

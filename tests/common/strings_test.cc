@@ -1,0 +1,54 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+TEST(StringsTest, StrCatConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrJoin) {
+  std::vector<std::string> v{"a", "b", "c"};
+  EXPECT_EQ(StrJoin(v, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin(std::vector<int>{1, 2}, "-"), "1-2");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, "-"), "");
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringsTest, ToUpper) {
+  EXPECT_EQ(ToUpper("Protein_Sequences9"), "PROTEIN_SEQUENCES9");
+  EXPECT_EQ(ToUpper(""), "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,405 @@
+// End-to-end integration tests: full grid, real queries, adaptivity on and
+// off, perturbations injected — asserting above all that dynamic
+// rebalancing (including retrospective state repartitioning) never loses
+// or duplicates results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "storage/datagen.h"
+#include "workload/experiment.h"
+#include "workload/grid_setup.h"
+
+namespace gqp {
+namespace {
+
+/// Builds a grid with the demo datasets loaded.
+struct TestGrid {
+  explicit TestGrid(int evaluators, bool adaptive, size_t rows = 300,
+                    size_t interactions = 500, uint64_t seed = 1) {
+    GridOptions options;
+    options.num_evaluators = evaluators;
+    options.adaptive = adaptive;
+    setup = std::make_unique<GridSetup>(options);
+    EXPECT_TRUE(setup->Initialize().ok());
+
+    ProteinSequencesSpec seq_spec;
+    seq_spec.num_rows = rows;
+    seq_spec.sequence_length = 40;
+    seq_spec.seed = seed;
+    sequences = GenerateProteinSequences(seq_spec);
+    EXPECT_TRUE(setup->AddTable(sequences).ok());
+
+    ProteinInteractionsSpec inter_spec;
+    inter_spec.num_rows = interactions;
+    inter_spec.num_orfs = rows;
+    inter_spec.seed = seed + 13;
+    interactions_table = GenerateProteinInteractions(inter_spec);
+    EXPECT_TRUE(setup->AddTable(interactions_table).ok());
+
+    EXPECT_TRUE(
+        setup->AddWebService("EntropyAnalyser", DataType::kDouble, 0.2).ok());
+  }
+
+  Result<QueryResult> Run(const std::string& sql, QueryOptions options) {
+    GQP_ASSIGN_OR_RETURN(int id, setup->gdqs()->SubmitQuery(sql, options));
+    GQP_RETURN_IF_ERROR(setup->simulator()->Run());
+    if (!setup->gdqs()->QueryComplete(id)) {
+      GQP_RETURN_IF_ERROR(setup->gdqs()->ExecutionStatus(id));
+      return Status::Internal("query did not complete");
+    }
+    GQP_RETURN_IF_ERROR(setup->gdqs()->ExecutionStatus(id));
+    last_query_id = id;
+    return setup->gdqs()->GetResult(id);
+  }
+
+  std::unique_ptr<GridSetup> setup;
+  TablePtr sequences;
+  TablePtr interactions_table;
+  int last_query_id = -1;
+};
+
+/// Multiset of stringified rows, for order-insensitive comparison.
+std::multiset<std::string> RowSet(const std::vector<Tuple>& rows) {
+  std::multiset<std::string> out;
+  for (const Tuple& t : rows) out.insert(t.ToString());
+  return out;
+}
+
+/// The expected Q2 answer computed directly from the base tables.
+std::multiset<std::string> ReferenceQ2(const Table& sequences,
+                                       const Table& interactions) {
+  std::set<std::string> orfs;
+  for (const Tuple& row : sequences.rows()) orfs.insert(row[0].AsString());
+  std::multiset<std::string> out;
+  for (const Tuple& row : interactions.rows()) {
+    if (orfs.count(row[0].AsString()) > 0) {
+      out.insert("[" + row[1].AsString() + "]");
+    }
+  }
+  return out;
+}
+
+TEST(IntegrationTest, Q1ReturnsEntropyForEveryRow) {
+  TestGrid grid(2, /*adaptive=*/false);
+  QueryOptions options;
+  options.adaptivity.enabled = false;
+  auto result = grid.Run(QuerySql(QueryKind::kQ1), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), grid.sequences->num_rows());
+  // Spot-check a value against the reference implementation.
+  std::multiset<double> expected, got;
+  for (const Tuple& row : grid.sequences->rows()) {
+    expected.insert(ShannonEntropy(row[1].AsString()));
+  }
+  for (const Tuple& row : result->rows) got.insert(row[0].AsDouble());
+  EXPECT_EQ(expected, got);
+}
+
+TEST(IntegrationTest, Q2MatchesReferenceJoin) {
+  TestGrid grid(2, /*adaptive=*/false);
+  QueryOptions options;
+  options.adaptivity.enabled = false;
+  auto result = grid.Run(QuerySql(QueryKind::kQ2), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RowSet(result->rows),
+            ReferenceQ2(*grid.sequences, *grid.interactions_table));
+}
+
+TEST(IntegrationTest, ResponseTimeIsPositiveAndFinite) {
+  TestGrid grid(2, false);
+  QueryOptions options;
+  options.adaptivity.enabled = false;
+  auto result = grid.Run(QuerySql(QueryKind::kQ1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->response_time_ms, 0.0);
+  EXPECT_LT(result->response_time_ms, 1e9);
+}
+
+TEST(IntegrationTest, StatefulPlanRejectsProspectiveResponse) {
+  TestGrid grid(2, true);
+  QueryOptions options;
+  options.adaptivity.enabled = true;
+  options.adaptivity.response = ResponseType::kProspective;
+  auto result = grid.setup->gdqs()->SubmitQuery(QuerySql(QueryKind::kQ2),
+                                                options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(IntegrationTest, UnknownTableFailsAtSubmit) {
+  TestGrid grid(1, false);
+  QueryOptions options;
+  auto result = grid.setup->gdqs()->SubmitQuery("select x from missing",
+                                                options);
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(IntegrationTest, ParseErrorSurfaced) {
+  TestGrid grid(1, false);
+  QueryOptions options;
+  EXPECT_TRUE(grid.setup->gdqs()
+                  ->SubmitQuery("selekt broken", options)
+                  .status()
+                  .IsParseError());
+}
+
+TEST(IntegrationTest, MultipleQueriesOnOneGrid) {
+  TestGrid grid(2, false);
+  QueryOptions options;
+  options.adaptivity.enabled = false;
+  auto r1 = grid.Run("select p.orf from protein_sequences p", options);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = grid.Run("select i.orf2 from protein_interactions i", options);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r1->rows.size(), 300u);
+  EXPECT_EQ(r2->rows.size(), 500u);
+}
+
+TEST(IntegrationTest, CompletionCallbackFires) {
+  TestGrid grid(2, false);
+  QueryOptions options;
+  options.adaptivity.enabled = false;
+  bool fired = false;
+  auto submitted = grid.setup->gdqs()->SubmitQuery(
+      "select p.orf from protein_sequences p", options,
+      [&](const QueryResult& r) {
+        fired = true;
+        EXPECT_EQ(r.rows.size(), 300u);
+      });
+  ASSERT_TRUE(submitted.ok());
+  grid.setup->simulator()->RunToCompletion();
+  EXPECT_TRUE(fired);
+}
+
+TEST(IntegrationTest, ReleaseQueryFreesExecutors) {
+  TestGrid grid(2, false);
+  QueryOptions options;
+  options.adaptivity.enabled = false;
+  auto result = grid.Run("select p.orf from protein_sequences p", options);
+  ASSERT_TRUE(result.ok());
+  grid.setup->gdqs()->ReleaseQuery(grid.last_query_id);
+  EXPECT_TRUE(grid.setup->gdqs()
+                  ->GetResult(grid.last_query_id)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(IntegrationTest, FilterQueryEndToEnd) {
+  TestGrid grid(2, false);
+  QueryOptions options;
+  options.adaptivity.enabled = false;
+  auto result = grid.Run(
+      "select p.orf from protein_sequences p where p.orf = 'ORF00007'",
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsString(), "ORF00007");
+}
+
+TEST(IntegrationTest, BuiltinFunctionQueryEndToEnd) {
+  TestGrid grid(2, false);
+  QueryOptions options;
+  options.adaptivity.enabled = false;
+  auto result = grid.Run(
+      "select LENGTH(p.sequence) from protein_sequences p", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 300u);
+  for (const Tuple& row : result->rows) {
+    EXPECT_EQ(row[0].AsInt64(), 40);
+  }
+}
+
+// ---- Correctness under adaptation (the paper's key invariant) -------------
+
+struct AdaptCase {
+  QueryKind query;
+  ResponseType response;
+  int evaluators;
+  double factor;     // WS/join cost multiplier on evaluator 0 (1 = none)
+  double sleep_ms;   // added per-tuple delay on evaluator 0
+  uint64_t seed;
+};
+
+class AdaptiveCorrectnessTest : public ::testing::TestWithParam<AdaptCase> {};
+
+TEST_P(AdaptiveCorrectnessTest, NoLostOrDuplicatedResults) {
+  const AdaptCase param = GetParam();
+  TestGrid grid(param.evaluators, /*adaptive=*/true, 300, 500, param.seed);
+
+  const std::string tag = PerturbTag(param.query);
+  if (param.factor > 1) {
+    ASSERT_TRUE(grid.setup
+                    ->PerturbEvaluator(0, tag,
+                                       std::make_shared<
+                                           ConstantFactorPerturbation>(
+                                           param.factor))
+                    .ok());
+  }
+  if (param.sleep_ms > 0) {
+    ASSERT_TRUE(grid.setup
+                    ->PerturbEvaluator(0, tag,
+                                       std::make_shared<
+                                           AddedDelayPerturbation>(
+                                           param.sleep_ms))
+                    .ok());
+  }
+  // Mild drift on the other evaluators.
+  for (int i = 1; i < param.evaluators; ++i) {
+    ASSERT_TRUE(grid.setup
+                    ->PerturbEvaluator(i, tag,
+                                       std::make_shared<DriftPerturbation>(
+                                           0.2, 100.0, param.seed + 7 +
+                                                           static_cast<uint64_t>(i)))
+                    .ok());
+  }
+
+  QueryOptions options;
+  options.adaptivity.enabled = true;
+  options.adaptivity.response = param.response;
+  // Aggressive settings to provoke many adaptation rounds.
+  options.adaptivity.thres_a = 0.10;
+  options.adaptivity.thres_m = 0.10;
+  options.exec.buffer_tuples = 20;
+  options.exec.checkpoint_interval = 10;
+
+  auto result = grid.Run(QuerySql(param.query), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  if (param.query == QueryKind::kQ1) {
+    EXPECT_EQ(result->rows.size(), grid.sequences->num_rows());
+  } else {
+    EXPECT_EQ(RowSet(result->rows),
+              ReferenceQ2(*grid.sequences, *grid.interactions_table));
+  }
+
+  // The hash joins must never observe duplicate build inserts.
+  for (int i = 0; i < param.evaluators; ++i) {
+    Gqes* gqes = grid.setup->gqes_on(grid.setup->evaluator_node(i)->id());
+    for (FragmentExecutor* executor : gqes->Executors()) {
+      if (const HashJoinOperator* join = executor->FindHashJoin()) {
+        EXPECT_EQ(join->duplicate_build_inserts(), 0u);
+      }
+      EXPECT_TRUE(executor->finished());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PerturbationSweep, AdaptiveCorrectnessTest,
+    ::testing::Values(
+        // Q1 prospective, various imbalance sizes and seeds.
+        AdaptCase{QueryKind::kQ1, ResponseType::kProspective, 2, 10, 0, 1},
+        AdaptCase{QueryKind::kQ1, ResponseType::kProspective, 2, 30, 0, 2},
+        AdaptCase{QueryKind::kQ1, ResponseType::kProspective, 3, 20, 0, 3},
+        // Q1 retrospective (purge-all recalls).
+        AdaptCase{QueryKind::kQ1, ResponseType::kRetrospective, 2, 10, 0, 4},
+        AdaptCase{QueryKind::kQ1, ResponseType::kRetrospective, 2, 30, 0, 5},
+        AdaptCase{QueryKind::kQ1, ResponseType::kRetrospective, 3, 20, 0, 6},
+        AdaptCase{QueryKind::kQ1, ResponseType::kRetrospective, 4, 15, 0, 7},
+        // Q2 retrospective: hash-join state repartitioning.
+        AdaptCase{QueryKind::kQ2, ResponseType::kRetrospective, 2, 0, 5, 8},
+        AdaptCase{QueryKind::kQ2, ResponseType::kRetrospective, 2, 0, 20, 9},
+        AdaptCase{QueryKind::kQ2, ResponseType::kRetrospective, 2, 8, 0, 10},
+        AdaptCase{QueryKind::kQ2, ResponseType::kRetrospective, 3, 0, 10, 11},
+        AdaptCase{QueryKind::kQ2, ResponseType::kRetrospective, 4, 0, 10, 12},
+        // No imbalance at all: only drift-driven adaptations.
+        AdaptCase{QueryKind::kQ1, ResponseType::kRetrospective, 2, 1, 0, 13},
+        AdaptCase{QueryKind::kQ2, ResponseType::kRetrospective, 2, 1, 0, 14}));
+
+TEST(IntegrationTest, AdaptationImprovesImbalancedResponse) {
+  // Static run.
+  TestGrid static_grid(2, false, 600, 500, 1);
+  ASSERT_TRUE(static_grid.setup
+                  ->PerturbEvaluator(0, PerturbTag(QueryKind::kQ1),
+                                     std::make_shared<
+                                         ConstantFactorPerturbation>(10))
+                  .ok());
+  QueryOptions static_options;
+  static_options.adaptivity.enabled = false;
+  auto static_result =
+      static_grid.Run(QuerySql(QueryKind::kQ1), static_options);
+  ASSERT_TRUE(static_result.ok()) << static_result.status().ToString();
+
+  // Adaptive run on an identical grid.
+  TestGrid adaptive_grid(2, true, 600, 500, 1);
+  ASSERT_TRUE(adaptive_grid.setup
+                  ->PerturbEvaluator(0, PerturbTag(QueryKind::kQ1),
+                                     std::make_shared<
+                                         ConstantFactorPerturbation>(10))
+                  .ok());
+  QueryOptions adaptive_options;
+  adaptive_options.adaptivity.enabled = true;
+  auto adaptive_result =
+      adaptive_grid.Run(QuerySql(QueryKind::kQ1), adaptive_options);
+  ASSERT_TRUE(adaptive_result.ok()) << adaptive_result.status().ToString();
+
+  EXPECT_LT(adaptive_result->response_time_ms,
+            0.7 * static_result->response_time_ms);
+}
+
+TEST(IntegrationTest, AdaptiveRunShiftsTuplesToFasterMachine) {
+  TestGrid grid(2, true, 600, 500, 1);
+  ASSERT_TRUE(grid.setup
+                  ->PerturbEvaluator(0, PerturbTag(QueryKind::kQ1),
+                                     std::make_shared<
+                                         ConstantFactorPerturbation>(10))
+                  .ok());
+  QueryOptions options;
+  options.adaptivity.enabled = true;
+  auto result = grid.Run(QuerySql(QueryKind::kQ1), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto stats = grid.setup->gdqs()->CollectStats(grid.last_query_id);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->tuples_per_evaluator.size(), 2u);
+  // The slow machine (evaluator 0) must have received markedly fewer
+  // tuples. (Prospective response cannot recall tuples shipped before the
+  // adaptation, so the split is closer than the ideal 1:10.)
+  EXPECT_LT(static_cast<double>(stats->tuples_per_evaluator[0]),
+            0.75 * static_cast<double>(stats->tuples_per_evaluator[1]));
+  EXPECT_GE(stats->rounds_applied, 1u);
+}
+
+TEST(IntegrationTest, DeterministicForEqualSeeds) {
+  auto run = [] {
+    TestGrid grid(2, true, 200, 300, 42);
+    QueryOptions options;
+    options.adaptivity.enabled = true;
+    auto result = grid.Run(QuerySql(QueryKind::kQ1), options);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result->response_time_ms : -1.0;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(IntegrationTest, StatsSnapshotPopulated) {
+  TestGrid grid(2, true, 300, 400, 3);
+  QueryOptions options;
+  options.adaptivity.enabled = true;
+  auto result = grid.Run(QuerySql(QueryKind::kQ1), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto stats = grid.setup->gdqs()->CollectStats(grid.last_query_id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->raw_m1, 0u);
+  EXPECT_GT(stats->raw_m2, 0u);
+  uint64_t total = 0;
+  for (const uint64_t n : stats->tuples_per_evaluator) total += n;
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(IntegrationTest, MonitoringDisabledProducesNoRawEvents) {
+  TestGrid grid(2, true, 200, 300, 3);
+  QueryOptions options;
+  options.adaptivity.enabled = true;
+  options.exec.monitoring_enabled = false;
+  auto result = grid.Run(QuerySql(QueryKind::kQ1), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto stats = grid.setup->gdqs()->CollectStats(grid.last_query_id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->raw_m1, 0u);
+}
+
+}  // namespace
+}  // namespace gqp

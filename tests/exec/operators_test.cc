@@ -1,0 +1,250 @@
+#include "exec/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/cost_model.h"
+#include "storage/datagen.h"
+
+namespace gqp {
+namespace {
+
+SchemaPtr SeqSchema() {
+  return MakeSchema({{"orf", DataType::kString},
+                     {"sequence", DataType::kString}});
+}
+
+Tuple SeqRow(const std::string& orf, const std::string& seq) {
+  return Tuple(SeqSchema(), {Value(orf), Value(seq)});
+}
+
+TEST(OperatorFactoryTest, RejectsScan) {
+  PhysOpDesc desc;
+  desc.kind = PhysOpKind::kScan;
+  EXPECT_FALSE(MakeOperator(desc).ok());
+}
+
+TEST(FilterOperatorTest, DropsNonMatching) {
+  PhysOpDesc desc;
+  desc.kind = PhysOpKind::kFilter;
+  desc.predicate = Cmp(CompareOp::kEq, Col(0, "orf"), Lit(Value("A")));
+  desc.base_cost_ms = 0.1;
+  desc.cost_tag = "op:filter";
+  FilterOperator filter(desc);
+  ExecContext ctx;
+  ASSERT_TRUE(filter.Process(0, SeqRow("A", "x"), -1, &ctx).ok());
+  ASSERT_TRUE(filter.Process(0, SeqRow("B", "x"), -1, &ctx).ok());
+  ASSERT_EQ(ctx.out.size(), 1u);
+  EXPECT_EQ(ctx.out[0][0].AsString(), "A");
+  // Cost charged for both evaluations.
+  EXPECT_EQ(ctx.charges.size(), 2u);
+}
+
+TEST(ProjectOperatorTest, ComputesExpressions) {
+  PhysOpDesc desc;
+  desc.kind = PhysOpKind::kProject;
+  desc.exprs = {Call("LENGTH", {Col(1, "sequence")}), Col(0, "orf")};
+  desc.out_schema = MakeSchema(
+      {{"len", DataType::kInt64}, {"orf", DataType::kString}});
+  ProjectOperator project(desc);
+  ExecContext ctx;
+  ASSERT_TRUE(project.Process(0, SeqRow("K", "abcde"), -1, &ctx).ok());
+  ASSERT_EQ(ctx.out.size(), 1u);
+  EXPECT_EQ(ctx.out[0][0].AsInt64(), 5);
+  EXPECT_EQ(ctx.out[0][1].AsString(), "K");
+}
+
+TEST(OperationCallOperatorTest, AppendsComputedColumn) {
+  PhysOpDesc desc;
+  desc.kind = PhysOpKind::kOperationCall;
+  desc.ws_name = "EntropyAnalyser";
+  desc.arg_col = 1;
+  desc.base_cost_ms = 0.25;
+  desc.cost_tag = CostModel::WsTag("EntropyAnalyser");
+  desc.out_schema = MakeSchema({{"orf", DataType::kString},
+                                {"sequence", DataType::kString},
+                                {"e", DataType::kDouble}});
+  OperationCallOperator op(desc);
+  ExecContext ctx;
+  ASSERT_TRUE(op.Process(0, SeqRow("K", "abab"), -1, &ctx).ok());
+  ASSERT_EQ(ctx.out.size(), 1u);
+  ASSERT_EQ(ctx.out[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(ctx.out[0][2].AsDouble(), 1.0);
+  ASSERT_EQ(ctx.charges.size(), 1u);
+  EXPECT_EQ(ctx.charges[0].first, "ws:EntropyAnalyser");
+}
+
+TEST(OperationCallOperatorTest, BadArgColumnFails) {
+  PhysOpDesc desc;
+  desc.kind = PhysOpKind::kOperationCall;
+  desc.ws_name = "EntropyAnalyser";
+  desc.arg_col = 9;
+  OperationCallOperator op(desc);
+  ExecContext ctx;
+  EXPECT_TRUE(op.Process(0, SeqRow("K", "x"), -1, &ctx).IsOutOfRange());
+}
+
+class HashJoinTest : public ::testing::Test {
+ protected:
+  HashJoinTest() {
+    PhysOpDesc desc;
+    desc.kind = PhysOpKind::kHashJoin;
+    desc.build_key = 0;
+    desc.probe_key = 0;
+    desc.base_cost_ms = 0.1;
+    desc.build_cost_ms = 0.05;
+    desc.cost_tag = "op:hash_join";
+    desc.out_schema = MakeSchema({{"orf", DataType::kString},
+                                  {"sequence", DataType::kString},
+                                  {"orf1", DataType::kString},
+                                  {"orf2", DataType::kString}});
+    join_ = std::make_unique<HashJoinOperator>(desc);
+  }
+
+  SchemaPtr ProbeSchema() {
+    return MakeSchema({{"orf1", DataType::kString},
+                       {"orf2", DataType::kString}});
+  }
+  Tuple ProbeRow(const std::string& orf1, const std::string& orf2) {
+    return Tuple(ProbeSchema(), {Value(orf1), Value(orf2)});
+  }
+
+  std::unique_ptr<HashJoinOperator> join_;
+  ExecContext ctx_;
+};
+
+TEST_F(HashJoinTest, BuildRetainsTuples) {
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  EXPECT_TRUE(ctx_.retained);
+  EXPECT_TRUE(ctx_.out.empty());
+  EXPECT_EQ(join_->StateSize(), 1u);
+  EXPECT_EQ(join_->StateSizeForBucket(3), 1u);
+}
+
+TEST_F(HashJoinTest, ProbeEmitsMatches) {
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  ctx_.ResetForTuple();
+  ASSERT_TRUE(join_->Process(1, ProbeRow("A", "B"), 3, &ctx_).ok());
+  ASSERT_EQ(ctx_.out.size(), 1u);
+  EXPECT_EQ(ctx_.out[0].size(), 4u);
+  EXPECT_EQ(ctx_.out[0][0].AsString(), "A");
+  EXPECT_EQ(ctx_.out[0][3].AsString(), "B");
+  EXPECT_FALSE(ctx_.retained);
+}
+
+TEST_F(HashJoinTest, ProbeMissEmitsNothing) {
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  ctx_.ResetForTuple();
+  ASSERT_TRUE(join_->Process(1, ProbeRow("Z", "B"), 3, &ctx_).ok());
+  EXPECT_TRUE(ctx_.out.empty());
+}
+
+TEST_F(HashJoinTest, DuplicateBuildKeysAllMatch) {
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s2"), 3, &ctx_).ok());
+  ctx_.ResetForTuple();
+  ASSERT_TRUE(join_->Process(1, ProbeRow("A", "B"), 3, &ctx_).ok());
+  EXPECT_EQ(ctx_.out.size(), 2u);
+}
+
+TEST_F(HashJoinTest, ProbeOnlySeesOwnBucket) {
+  // Equal keys always share a bucket in production; a mismatched bucket
+  // (as after a partition purge) must find nothing.
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  ctx_.ResetForTuple();
+  ASSERT_TRUE(join_->Process(1, ProbeRow("A", "B"), 4, &ctx_).ok());
+  EXPECT_TRUE(ctx_.out.empty());
+}
+
+TEST_F(HashJoinTest, PurgeBucketsDropsState) {
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  ASSERT_TRUE(join_->Process(0, SeqRow("B", "s2"), 5, &ctx_).ok());
+  join_->PurgeBuckets({3});
+  EXPECT_EQ(join_->StateSize(), 1u);
+  EXPECT_EQ(join_->StateSizeForBucket(3), 0u);
+  ctx_.ResetForTuple();
+  ASSERT_TRUE(join_->Process(1, ProbeRow("A", "x"), 3, &ctx_).ok());
+  EXPECT_TRUE(ctx_.out.empty());
+}
+
+TEST_F(HashJoinTest, StateRebuildAfterPurge) {
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  join_->PurgeBuckets({3});
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  EXPECT_EQ(join_->duplicate_build_inserts(), 0u);
+  ctx_.ResetForTuple();
+  ASSERT_TRUE(join_->Process(1, ProbeRow("A", "B"), 3, &ctx_).ok());
+  EXPECT_EQ(ctx_.out.size(), 1u);
+}
+
+TEST_F(HashJoinTest, DuplicateInsertDetectorFires) {
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), 3, &ctx_).ok());
+  EXPECT_EQ(join_->duplicate_build_inserts(), 1u);
+}
+
+TEST_F(HashJoinTest, NegativeBucketNormalizedToZero) {
+  ASSERT_TRUE(join_->Process(0, SeqRow("A", "s1"), -1, &ctx_).ok());
+  ctx_.ResetForTuple();
+  ASSERT_TRUE(join_->Process(1, ProbeRow("A", "B"), -1, &ctx_).ok());
+  EXPECT_EQ(ctx_.out.size(), 1u);
+}
+
+TEST_F(HashJoinTest, InvalidPortFails) {
+  EXPECT_TRUE(
+      join_->Process(2, SeqRow("A", "s"), 0, &ctx_).IsInvalidArgument());
+}
+
+TEST(CollectOperatorTest, AccumulatesResults) {
+  PhysOpDesc desc;
+  desc.kind = PhysOpKind::kCollect;
+  desc.base_cost_ms = 0.01;
+  desc.cost_tag = "op:collect";
+  CollectOperator collect(desc);
+  ExecContext ctx;
+  ASSERT_TRUE(collect.Process(0, SeqRow("A", "x"), -1, &ctx).ok());
+  ASSERT_TRUE(collect.Process(0, SeqRow("B", "y"), -1, &ctx).ok());
+  EXPECT_EQ(collect.results().size(), 2u);
+  EXPECT_TRUE(ctx.out.empty());  // collect is a sink
+}
+
+TEST(OperatorChainTest, EmitFlowsThroughChain) {
+  PhysOpDesc filter_desc;
+  filter_desc.kind = PhysOpKind::kFilter;
+  filter_desc.predicate =
+      Cmp(CompareOp::kNe, Col(0, "orf"), Lit(Value("skip")));
+  FilterOperator filter(filter_desc);
+
+  PhysOpDesc project_desc;
+  project_desc.kind = PhysOpKind::kProject;
+  project_desc.exprs = {Col(0, "orf")};
+  project_desc.out_schema = MakeSchema({{"orf", DataType::kString}});
+  ProjectOperator project(project_desc);
+
+  filter.set_next(&project);
+  ExecContext ctx;
+  ASSERT_TRUE(filter.Process(0, SeqRow("keep", "x"), -1, &ctx).ok());
+  ASSERT_TRUE(filter.Process(0, SeqRow("skip", "x"), -1, &ctx).ok());
+  ASSERT_EQ(ctx.out.size(), 1u);
+  EXPECT_EQ(ctx.out[0].size(), 1u);
+}
+
+TEST(ExecContextTest, ResetClearsPerTupleState) {
+  ExecContext ctx;
+  ctx.Charge("a", 1.0);
+  ctx.retained = true;
+  ctx.out.push_back(SeqRow("x", "y"));
+  ctx.ResetForTuple();
+  EXPECT_TRUE(ctx.charges.empty());
+  EXPECT_FALSE(ctx.retained);
+  EXPECT_TRUE(ctx.out.empty());
+}
+
+TEST(ExecContextTest, TotalBaseCostSums) {
+  ExecContext ctx;
+  ctx.Charge("a", 1.5);
+  ctx.Charge("b", 2.5);
+  EXPECT_DOUBLE_EQ(ctx.TotalBaseCost(), 4.0);
+}
+
+}  // namespace
+}  // namespace gqp

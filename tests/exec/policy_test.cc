@@ -1,0 +1,235 @@
+#include "exec/distribution_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+#include "storage/datagen.h"
+
+namespace gqp {
+namespace {
+
+Tuple KeyTuple(const std::string& key) {
+  static SchemaPtr schema = MakeSchema({{"orf", DataType::kString}});
+  return Tuple(schema, {Value(key)});
+}
+
+// ---- Weight validation ------------------------------------------------------
+
+TEST(WeightsTest, ValidatesSumAndSign) {
+  EXPECT_TRUE(ValidateWeights({0.5, 0.5}, 2).ok());
+  EXPECT_TRUE(ValidateWeights({0.5, 0.5}, 3).IsInvalidArgument());
+  EXPECT_TRUE(ValidateWeights({0.7, 0.7}, 2).IsInvalidArgument());
+  EXPECT_TRUE(ValidateWeights({-0.2, 1.2}, 2).IsInvalidArgument());
+  EXPECT_TRUE(ValidateWeights({1.0}, 1).ok());
+}
+
+// ---- Weighted round-robin ---------------------------------------------------
+
+TEST(WeightedRoundRobinTest, UniformWeightsCycle) {
+  WeightedRoundRobinPolicy policy({0.5, 0.5});
+  std::map<int, int> counts;
+  for (int i = 0; i < 100; ++i) {
+    int bucket = 99;
+    counts[policy.Route(KeyTuple("k"), &bucket)]++;
+    EXPECT_EQ(bucket, -1);
+  }
+  EXPECT_EQ(counts[0], 50);
+  EXPECT_EQ(counts[1], 50);
+}
+
+/// Property: over N tuples, each consumer receives within 1 tuple of its
+/// exact share, for a sweep of weight vectors.
+class WrrProportionTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(WrrProportionTest, SharesMatchWeights) {
+  const std::vector<double> weights = GetParam();
+  WeightedRoundRobinPolicy policy(weights);
+  const int n = 1000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<size_t>(policy.Route(KeyTuple("k"), nullptr))]++;
+  }
+  for (size_t c = 0; c < weights.size(); ++c) {
+    EXPECT_NEAR(counts[c], weights[c] * n, weights.size() + 1.0)
+        << "consumer " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightSweep, WrrProportionTest,
+    ::testing::Values(std::vector<double>{1.0},
+                      std::vector<double>{0.5, 0.5},
+                      std::vector<double>{0.9, 0.1},
+                      std::vector<double>{10.0 / 11, 1.0 / 11},
+                      std::vector<double>{0.5, 0.3, 0.2},
+                      std::vector<double>{0.25, 0.25, 0.25, 0.25},
+                      std::vector<double>{0.7, 0.1, 0.1, 0.1}));
+
+TEST(WeightedRoundRobinTest, UpdateWeightsChangesShares) {
+  WeightedRoundRobinPolicy policy({0.5, 0.5});
+  ASSERT_TRUE(policy.UpdateWeights({0.9, 0.1}).ok());
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < 1000; ++i) {
+    counts[static_cast<size_t>(policy.Route(KeyTuple("k"), nullptr))]++;
+  }
+  EXPECT_NEAR(counts[0], 900, 5);
+}
+
+TEST(WeightedRoundRobinTest, UpdateReportsNoBucketMoves) {
+  WeightedRoundRobinPolicy policy({0.5, 0.5});
+  auto moves = policy.UpdateWeights({0.3, 0.7});
+  ASSERT_TRUE(moves.ok());
+  EXPECT_TRUE(moves->empty());
+}
+
+TEST(WeightedRoundRobinTest, InvalidUpdateRejected) {
+  WeightedRoundRobinPolicy policy({0.5, 0.5});
+  EXPECT_FALSE(policy.UpdateWeights({0.5, 0.6}).ok());
+  EXPECT_FALSE(policy.UpdateWeights({1.0}).ok());
+}
+
+// ---- Hash buckets -----------------------------------------------------------
+
+TEST(HashBucketTest, InitialOwnershipProportional) {
+  HashBucketPolicy policy(120, 0, {0.5, 0.25, 0.25});
+  std::vector<int> counts(3, 0);
+  for (int b = 0; b < 120; ++b) counts[static_cast<size_t>(policy.OwnerOf(b))]++;
+  EXPECT_EQ(counts[0], 60);
+  EXPECT_EQ(counts[1], 30);
+  EXPECT_EQ(counts[2], 30);
+}
+
+TEST(HashBucketTest, RoutingIsDeterministicByKey) {
+  HashBucketPolicy a(120, 0, {0.5, 0.5});
+  HashBucketPolicy b(120, 0, {0.5, 0.5});
+  for (int i = 0; i < 200; ++i) {
+    int bucket_a = -1, bucket_b = -1;
+    const Tuple t = KeyTuple(OrfKey(static_cast<size_t>(i)));
+    EXPECT_EQ(a.Route(t, &bucket_a), b.Route(t, &bucket_b));
+    EXPECT_EQ(bucket_a, bucket_b);
+    EXPECT_EQ(bucket_a, a.BucketOf(t));
+  }
+}
+
+TEST(HashBucketTest, EqualKeysSameBucket) {
+  HashBucketPolicy policy(120, 0, {0.3, 0.7});
+  int b1 = -1, b2 = -1;
+  policy.Route(KeyTuple("ORF00123"), &b1);
+  policy.Route(KeyTuple("ORF00123"), &b2);
+  EXPECT_EQ(b1, b2);
+}
+
+TEST(HashBucketTest, UpdateMovesMinimalBuckets) {
+  HashBucketPolicy policy(100, 0, {0.5, 0.5});
+  auto moves = policy.UpdateWeights({0.7, 0.3});
+  ASSERT_TRUE(moves.ok());
+  // Exactly 20 buckets change hands (50 -> 70).
+  EXPECT_EQ(moves->size(), 20u);
+  for (const BucketMove& m : *moves) {
+    EXPECT_EQ(m.from_consumer, 1);
+    EXPECT_EQ(m.to_consumer, 0);
+    EXPECT_EQ(policy.OwnerOf(m.bucket), 0);
+  }
+}
+
+TEST(HashBucketTest, UpdateToSameWeightsMovesNothing) {
+  HashBucketPolicy policy(120, 0, {0.5, 0.5});
+  auto moves = policy.UpdateWeights({0.5, 0.5});
+  ASSERT_TRUE(moves.ok());
+  EXPECT_TRUE(moves->empty());
+}
+
+/// Property: two policies applying the same weight-update sequence stay in
+/// lockstep (the invariant the build and probe exchanges of a partitioned
+/// join rely on).
+class HashLockstepTest
+    : public ::testing::TestWithParam<std::vector<std::vector<double>>> {};
+
+TEST_P(HashLockstepTest, IdenticalUpdateSequencesKeepIdenticalMaps) {
+  HashBucketPolicy a(120, 0, {0.5, 0.5});
+  HashBucketPolicy b(120, 1, {0.5, 0.5});  // different key col is fine
+  for (const auto& weights : GetParam()) {
+    ASSERT_TRUE(a.UpdateWeights(weights).ok());
+    ASSERT_TRUE(b.UpdateWeights(weights).ok());
+    EXPECT_EQ(a.owner_map(), b.owner_map());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UpdateSequences, HashLockstepTest,
+    ::testing::Values(
+        std::vector<std::vector<double>>{{0.9, 0.1}},
+        std::vector<std::vector<double>>{{0.7, 0.3}, {0.2, 0.8}},
+        std::vector<std::vector<double>>{{0.6, 0.4}, {0.6, 0.4}, {0.1, 0.9}},
+        std::vector<std::vector<double>>{
+            {10.0 / 11, 1.0 / 11}, {0.5, 0.5}, {1.0 / 3, 2.0 / 3}}));
+
+/// Property: every bucket always has exactly one owner and the counts
+/// match the largest-remainder apportionment after arbitrary updates.
+TEST(HashBucketTest, OwnershipPartitionInvariant) {
+  Rng rng(99);
+  HashBucketPolicy policy(120, 0, {0.25, 0.25, 0.25, 0.25});
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> w(4);
+    double total = 0;
+    for (double& x : w) {
+      x = rng.NextDouble(0.05, 1.0);
+      total += x;
+    }
+    for (double& x : w) x /= total;
+    ASSERT_TRUE(policy.UpdateWeights(w).ok());
+    std::vector<int> counts(4, 0);
+    int owned = 0;
+    for (int b = 0; b < 120; ++b) {
+      const int owner = policy.OwnerOf(b);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, 4);
+      counts[static_cast<size_t>(owner)]++;
+      ++owned;
+    }
+    EXPECT_EQ(owned, 120);
+    int total_count = 0;
+    for (size_t c = 0; c < 4; ++c) {
+      total_count += counts[c];
+      EXPECT_NEAR(counts[c], w[c] * 120, 1.5) << "consumer " << c;
+    }
+    EXPECT_EQ(total_count, 120);
+  }
+}
+
+TEST(HashBucketTest, OwnerOfOutOfRange) {
+  HashBucketPolicy policy(10, 0, {1.0});
+  EXPECT_EQ(policy.OwnerOf(-1), -1);
+  EXPECT_EQ(policy.OwnerOf(10), -1);
+}
+
+// ---- Factory -----------------------------------------------------------------
+
+TEST(PolicyFactoryTest, BuildsByKind) {
+  ExchangeDesc rr;
+  rr.policy = PolicyKind::kWeightedRoundRobin;
+  auto p1 = MakePolicy(rr, {0.5, 0.5});
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ((*p1)->kind(), PolicyKind::kWeightedRoundRobin);
+
+  ExchangeDesc hash;
+  hash.policy = PolicyKind::kHashBuckets;
+  hash.num_buckets = 64;
+  hash.key_col = 0;
+  auto p2 = MakePolicy(hash, {0.5, 0.5});
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ((*p2)->kind(), PolicyKind::kHashBuckets);
+}
+
+TEST(PolicyFactoryTest, EmptyWeightsRejected) {
+  ExchangeDesc rr;
+  rr.policy = PolicyKind::kWeightedRoundRobin;
+  EXPECT_FALSE(MakePolicy(rr, {}).ok());
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,161 @@
+#include "expr/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+int64_t I(int64_t v) { return v; }
+
+Tuple Row() {
+  auto schema = MakeSchema({{"a", DataType::kInt64},
+                            {"b", DataType::kDouble},
+                            {"s", DataType::kString},
+                            {"n", DataType::kNull}});
+  return Tuple(schema, {Value(I(10)), Value(2.5), Value("hello"),
+                        Value::Null()});
+}
+
+Value Eval(const ExprPtr& e) {
+  Result<Value> r = e->Eval(Row());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Value();
+}
+
+TEST(ExpressionTest, ColumnRef) {
+  EXPECT_EQ(Eval(Col(0, "a")).AsInt64(), 10);
+  EXPECT_EQ(Eval(Col(2, "s")).AsString(), "hello");
+}
+
+TEST(ExpressionTest, ColumnRefOutOfRangeFails) {
+  EXPECT_TRUE(Col(9, "x")->Eval(Row()).status().IsOutOfRange());
+}
+
+TEST(ExpressionTest, Literal) {
+  EXPECT_EQ(Eval(Lit(Value(I(7)))).AsInt64(), 7);
+  EXPECT_TRUE(Eval(Lit(Value::Null())).is_null());
+}
+
+TEST(ExpressionTest, Comparisons) {
+  EXPECT_EQ(Eval(Cmp(CompareOp::kEq, Col(0, "a"), Lit(Value(I(10))))).AsInt64(), 1);
+  EXPECT_EQ(Eval(Cmp(CompareOp::kNe, Col(0, "a"), Lit(Value(I(10))))).AsInt64(), 0);
+  EXPECT_EQ(Eval(Cmp(CompareOp::kLt, Col(0, "a"), Lit(Value(I(11))))).AsInt64(), 1);
+  EXPECT_EQ(Eval(Cmp(CompareOp::kLe, Col(0, "a"), Lit(Value(I(10))))).AsInt64(), 1);
+  EXPECT_EQ(Eval(Cmp(CompareOp::kGt, Col(0, "a"), Lit(Value(I(10))))).AsInt64(), 0);
+  EXPECT_EQ(Eval(Cmp(CompareOp::kGe, Col(0, "a"), Lit(Value(I(10))))).AsInt64(), 1);
+}
+
+TEST(ExpressionTest, StringComparison) {
+  EXPECT_EQ(Eval(Cmp(CompareOp::kEq, Col(2, "s"), Lit(Value("hello")))).AsInt64(), 1);
+  EXPECT_EQ(Eval(Cmp(CompareOp::kLt, Lit(Value("abc")), Lit(Value("abd")))).AsInt64(), 1);
+}
+
+TEST(ExpressionTest, NullComparisonsYieldNull) {
+  EXPECT_TRUE(Eval(Cmp(CompareOp::kEq, Col(3, "n"), Lit(Value(I(1))))).is_null());
+}
+
+TEST(ExpressionTest, LogicalAndOrNot) {
+  auto t = Lit(Value(I(1)));
+  auto f = Lit(Value(I(0)));
+  EXPECT_EQ(Eval(And(t, t)).AsInt64(), 1);
+  EXPECT_EQ(Eval(And(t, f)).AsInt64(), 0);
+  EXPECT_EQ(Eval(Or(f, t)).AsInt64(), 1);
+  EXPECT_EQ(Eval(Or(f, f)).AsInt64(), 0);
+  EXPECT_EQ(Eval(Not(f)).AsInt64(), 1);
+  EXPECT_EQ(Eval(Not(t)).AsInt64(), 0);
+}
+
+TEST(ExpressionTest, LogicalShortCircuits) {
+  // AND with false left never evaluates the right side (which would fail).
+  auto failing = Col(99, "boom");
+  EXPECT_EQ(Eval(And(Lit(Value(I(0))), failing)).AsInt64(), 0);
+  EXPECT_EQ(Eval(Or(Lit(Value(I(1))), failing)).AsInt64(), 1);
+}
+
+TEST(ExpressionTest, NullLogicSemantics) {
+  auto null = Lit(Value::Null());
+  auto t = Lit(Value(I(1)));
+  EXPECT_TRUE(Eval(And(null, t)).is_null());
+  EXPECT_TRUE(Eval(Or(null, Lit(Value(I(0))))).is_null());
+  EXPECT_EQ(Eval(Or(null, t)).AsInt64(), 1);  // true OR null = true
+  EXPECT_TRUE(Eval(Not(null)).is_null());
+}
+
+TEST(ExpressionTest, Arithmetic) {
+  EXPECT_EQ(Eval(Arith(ArithOp::kAdd, Col(0, "a"), Lit(Value(I(5))))).AsInt64(), 15);
+  EXPECT_EQ(Eval(Arith(ArithOp::kSub, Col(0, "a"), Lit(Value(I(3))))).AsInt64(), 7);
+  EXPECT_EQ(Eval(Arith(ArithOp::kMul, Col(0, "a"), Lit(Value(I(2))))).AsInt64(), 20);
+  EXPECT_DOUBLE_EQ(Eval(Arith(ArithOp::kDiv, Col(0, "a"), Lit(Value(I(4))))).AsDouble(), 2.5);
+}
+
+TEST(ExpressionTest, MixedArithmeticIsDouble) {
+  EXPECT_DOUBLE_EQ(
+      Eval(Arith(ArithOp::kAdd, Col(0, "a"), Col(1, "b"))).AsDouble(), 12.5);
+}
+
+TEST(ExpressionTest, DivisionByZeroFails) {
+  EXPECT_TRUE(Arith(ArithOp::kDiv, Col(0, "a"), Lit(Value(I(0))))
+                  ->Eval(Row())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ExpressionTest, NullArithmeticYieldsNull) {
+  EXPECT_TRUE(Eval(Arith(ArithOp::kAdd, Col(3, "n"), Col(0, "a"))).is_null());
+}
+
+TEST(ExpressionTest, BuiltinFunctions) {
+  EXPECT_EQ(Eval(Call("LENGTH", {Col(2, "s")})).AsInt64(), 5);
+  EXPECT_EQ(Eval(Call("upper", {Col(2, "s")})).AsString(), "HELLO");
+  const Value e = Eval(Call("EntropyAnalyser", {Lit(Value("abab"))}));
+  EXPECT_DOUBLE_EQ(e.AsDouble(), 1.0);
+}
+
+TEST(ExpressionTest, UnknownFunctionFails) {
+  EXPECT_TRUE(Call("NOPE", {})->Eval(Row()).status().IsNotFound());
+}
+
+TEST(ExpressionTest, FunctionArgErrors) {
+  EXPECT_FALSE(Call("LENGTH", {Col(0, "a")})->Eval(Row()).ok());
+  EXPECT_FALSE(Call("ENTROPYANALYSER", {})->Eval(Row()).ok());
+}
+
+TEST(ExpressionTest, ToStringRoundTrips) {
+  auto e = And(Cmp(CompareOp::kEq, Col(0, "a"), Lit(Value(I(1)))),
+               Not(Col(1, "b")));
+  EXPECT_EQ(e->ToString(), "((a = 1) AND NOT b)");
+  EXPECT_EQ(Call("F", {Col(0, "a"), Lit(Value(I(2)))})->ToString(), "F(a, 2)");
+}
+
+TEST(ExpressionTest, ValueIsTrueSemantics) {
+  EXPECT_FALSE(ValueIsTrue(Value::Null()));
+  EXPECT_FALSE(ValueIsTrue(Value(I(0))));
+  EXPECT_TRUE(ValueIsTrue(Value(I(-1))));
+  EXPECT_FALSE(ValueIsTrue(Value(0.0)));
+  EXPECT_TRUE(ValueIsTrue(Value(0.5)));
+  EXPECT_FALSE(ValueIsTrue(Value("")));
+  EXPECT_TRUE(ValueIsTrue(Value("x")));
+}
+
+TEST(ExpressionTest, FunctionRegistryRegisterAndFind) {
+  FunctionRegistry reg;
+  reg.Register("Twice", [](const std::vector<Value>& args) -> Result<Value> {
+    return Value(args[0].ToNumeric() * 2);
+  });
+  EXPECT_TRUE(reg.Contains("TWICE"));
+  EXPECT_TRUE(reg.Contains("twice"));
+  EXPECT_FALSE(reg.Contains("thrice"));
+  auto fn = reg.Find("tWiCe");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_DOUBLE_EQ((*fn)({Value(I(4))})->AsDouble(), 8.0);
+}
+
+TEST(ExpressionTest, UnitCostsAreMonotone) {
+  auto simple = Col(0, "a");
+  auto complex = And(Cmp(CompareOp::kEq, Col(0, "a"), Col(1, "b")),
+                     Cmp(CompareOp::kLt, Col(0, "a"), Lit(Value(I(3)))));
+  EXPECT_GT(complex->UnitCost(), simple->UnitCost());
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,118 @@
+#include "ft/recovery_log.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+Tuple MakeTuple(int64_t v) {
+  static SchemaPtr schema = MakeSchema({{"x", DataType::kInt64}});
+  return Tuple(schema, {Value(v)});
+}
+
+TEST(RecoveryLogTest, AppendAndSize) {
+  RecoveryLog log;
+  EXPECT_TRUE(log.empty());
+  log.Append({1, 0, 0, MakeTuple(1)});
+  log.Append({2, 1, 1, MakeTuple(2)});
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log.Contains(1));
+  EXPECT_FALSE(log.Contains(3));
+}
+
+TEST(RecoveryLogTest, AckRemoves) {
+  RecoveryLog log;
+  log.Append({1, 0, 0, MakeTuple(1)});
+  log.Ack(1);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.stats().acked, 1u);
+}
+
+TEST(RecoveryLogTest, AckUnknownIsNoop) {
+  RecoveryLog log;
+  log.Append({1, 0, 0, MakeTuple(1)});
+  log.Ack(99);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.stats().acked, 0u);
+}
+
+TEST(RecoveryLogTest, AckBatch) {
+  RecoveryLog log;
+  for (uint64_t s = 1; s <= 5; ++s) log.Append({s, 0, 0, MakeTuple(1)});
+  log.AckBatch({1, 3, 5});
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log.Contains(2));
+  EXPECT_TRUE(log.Contains(4));
+}
+
+TEST(RecoveryLogTest, ExtractByPredicateRemovesAndReturnsInSeqOrder) {
+  RecoveryLog log;
+  log.Append({3, 7, 0, MakeTuple(3)});
+  log.Append({1, 7, 0, MakeTuple(1)});
+  log.Append({2, 9, 0, MakeTuple(2)});
+  auto extracted =
+      log.Extract([](const LogRecord& r) { return r.bucket == 7; });
+  ASSERT_EQ(extracted.size(), 2u);
+  EXPECT_EQ(extracted[0].seq, 1u);
+  EXPECT_EQ(extracted[1].seq, 3u);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log.Contains(2));
+}
+
+TEST(RecoveryLogTest, ExtractAll) {
+  RecoveryLog log;
+  for (uint64_t s = 1; s <= 4; ++s) log.Append({s, 0, 0, MakeTuple(1)});
+  EXPECT_EQ(log.ExtractAll().size(), 4u);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(RecoveryLogTest, ReinsertAfterReroute) {
+  RecoveryLog log;
+  log.Append({5, 2, 0, MakeTuple(5)});
+  auto extracted = log.ExtractAll();
+  extracted[0].consumer = 1;
+  log.Reinsert(extracted[0]);
+  EXPECT_TRUE(log.Contains(5));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(RecoveryLogTest, HighWatermarkTracksPeak) {
+  RecoveryLog log;
+  for (uint64_t s = 1; s <= 10; ++s) log.Append({s, 0, 0, MakeTuple(1)});
+  log.AckBatch({1, 2, 3, 4, 5});
+  log.Append({11, 0, 0, MakeTuple(11)});
+  EXPECT_EQ(log.stats().high_watermark, 10u);
+  EXPECT_EQ(log.stats().appended, 11u);
+}
+
+TEST(AckBatcherTest, SignalsAtInterval) {
+  AckBatcher batcher(3);
+  EXPECT_FALSE(batcher.Add(1));
+  EXPECT_FALSE(batcher.Add(2));
+  EXPECT_TRUE(batcher.Add(3));
+  EXPECT_EQ(batcher.Drain(), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(AckBatcherTest, RemoveDiscardsPendingSeq) {
+  AckBatcher batcher(10);
+  batcher.Add(1);
+  batcher.Add(2);
+  batcher.Remove(1);
+  EXPECT_EQ(batcher.Drain(), (std::vector<uint64_t>{2}));
+}
+
+TEST(AckBatcherTest, ZeroIntervalTreatedAsOne) {
+  AckBatcher batcher(0);
+  EXPECT_TRUE(batcher.Add(1));
+}
+
+TEST(AckBatcherTest, PendingSeqsVisible) {
+  AckBatcher batcher(10);
+  batcher.Add(4);
+  batcher.Add(7);
+  EXPECT_EQ(batcher.pending_seqs(), (std::vector<uint64_t>{4, 7}));
+}
+
+}  // namespace
+}  // namespace gqp

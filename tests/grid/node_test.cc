@@ -1,0 +1,182 @@
+#include "grid/node.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+TEST(GridNodeTest, WorkTakesBaseCostAtUnitCapacity) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  double done_at = -1;
+  node.SubmitWork("op:x", 10.0, [&] { done_at = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST(GridNodeTest, CapacityScalesCost) {
+  Simulator sim;
+  GridNode node(&sim, 1, "fast", 2.0);
+  double done_at = -1;
+  node.SubmitWork("op:x", 10.0, [&] { done_at = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(GridNodeTest, WorkIsSerialFifo) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  std::vector<std::pair<int, double>> done;
+  for (int i = 0; i < 3; ++i) {
+    node.SubmitWork("op:x", 10.0, [&done, &sim, i] {
+      done.emplace_back(i, sim.Now());
+    });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], std::make_pair(0, 10.0));
+  EXPECT_EQ(done[1], std::make_pair(1, 20.0));
+  EXPECT_EQ(done[2], std::make_pair(2, 30.0));
+}
+
+TEST(GridNodeTest, ConstantFactorPerturbationAppliesToTag) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  node.SetPerturbation("ws:E", std::make_shared<ConstantFactorPerturbation>(10));
+  double ws_done = -1, other_done = -1;
+  node.SubmitWork("ws:E", 1.0, [&] { ws_done = sim.Now(); });
+  node.SubmitWork("op:scan", 1.0, [&] { other_done = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(ws_done, 10.0);
+  EXPECT_DOUBLE_EQ(other_done, 11.0);  // unperturbed
+}
+
+TEST(GridNodeTest, AddedDelayPerturbation) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  node.SetPerturbation("op:hash_join",
+                       std::make_shared<AddedDelayPerturbation>(10.0));
+  EXPECT_DOUBLE_EQ(node.EffectiveCost("op:hash_join", 1.0), 11.0);
+}
+
+TEST(GridNodeTest, NodeWidePerturbationAppliesToEverything) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  node.SetNodePerturbation(std::make_shared<ConstantFactorPerturbation>(3));
+  EXPECT_DOUBLE_EQ(node.EffectiveCost("anything", 2.0), 6.0);
+}
+
+TEST(GridNodeTest, TagAndNodePerturbationsCompose) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  node.SetPerturbation("ws:E", std::make_shared<ConstantFactorPerturbation>(2));
+  node.SetNodePerturbation(std::make_shared<ConstantFactorPerturbation>(3));
+  EXPECT_DOUBLE_EQ(node.EffectiveCost("ws:E", 1.0), 6.0);
+}
+
+TEST(GridNodeTest, ClearPerturbations) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  node.SetPerturbation("ws:E", std::make_shared<ConstantFactorPerturbation>(9));
+  node.ClearPerturbations();
+  EXPECT_DOUBLE_EQ(node.EffectiveCost("ws:E", 1.0), 1.0);
+}
+
+TEST(GridNodeTest, CompositeWorkSumsPartsAndReportsActual) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  node.SetPerturbation("b", std::make_shared<ConstantFactorPerturbation>(4));
+  double reported = -1;
+  node.SubmitComposite({{"a", 1.0}, {"b", 2.0}},
+                       [&](double actual) { reported = actual; });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(reported, 9.0);  // 1 + 2*4
+  EXPECT_DOUBLE_EQ(sim.Now(), 9.0);
+}
+
+TEST(GridNodeTest, StatsAccumulatePerTag) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  node.SubmitWork("a", 2.0, nullptr);
+  node.SubmitWork("a", 3.0, nullptr);
+  node.SubmitWork("b", 1.0, nullptr);
+  sim.RunToCompletion();
+  EXPECT_EQ(node.stats().work_items, 3u);
+  EXPECT_DOUBLE_EQ(node.stats().busy_ms, 6.0);
+  EXPECT_DOUBLE_EQ(node.stats().busy_ms_by_tag.at("a"), 5.0);
+  EXPECT_DOUBLE_EQ(node.stats().busy_ms_by_tag.at("b"), 1.0);
+}
+
+TEST(GridNodeTest, IdleReflectsQueueState) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  EXPECT_TRUE(node.Idle());
+  node.SubmitWork("a", 5.0, nullptr);
+  EXPECT_FALSE(node.Idle());
+  sim.RunToCompletion();
+  EXPECT_TRUE(node.Idle());
+}
+
+TEST(GridNodeTest, StepPerturbationSwitchesAtBoundaries) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  node.SetPerturbation(
+      "x", std::make_shared<StepPerturbation>(std::vector<StepPerturbation::Step>{
+               {100.0, 5.0}, {200.0, 1.0}}));
+  EXPECT_DOUBLE_EQ(node.EffectiveCost("x", 1.0), 1.0);  // before first step
+  sim.Schedule(150, [] {});
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(node.EffectiveCost("x", 1.0), 5.0);
+  sim.Schedule(100, [] {});
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(node.EffectiveCost("x", 1.0), 1.0);
+}
+
+TEST(GridNodeTest, GaussianPerturbationWithinBand) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  node.SetPerturbation("x", std::make_shared<GaussianFactorPerturbation>(
+                                30.0, 5.0, 20.0, 40.0, 1));
+  for (int i = 0; i < 200; ++i) {
+    const double c = node.EffectiveCost("x", 1.0);
+    EXPECT_GE(c, 20.0);
+    EXPECT_LE(c, 40.0);
+  }
+}
+
+TEST(GridNodeTest, DriftPerturbationStaysClamped) {
+  Simulator sim;
+  GridNode node(&sim, 1, "n", 1.0);
+  auto drift = std::make_shared<DriftPerturbation>(0.5, 100.0, 42);
+  node.SetPerturbation("x", drift);
+  for (int i = 0; i < 500; ++i) {
+    sim.Schedule(10, [] {});
+    sim.RunToCompletion();
+    const double c = node.EffectiveCost("x", 1.0);
+    EXPECT_GE(c, 0.25);
+    EXPECT_LE(c, 4.0);
+  }
+}
+
+TEST(GridNodeTest, DriftPerturbationIsMeanReverting) {
+  Simulator sim;
+  DriftPerturbation drift(0.2, 50.0, 7);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += drift.Apply(1.0, static_cast<double>(i) * 10.0);
+  }
+  // exp(OU) has mean exp(sigma^2/2) ~ 1.02; accept a broad band.
+  EXPECT_NEAR(sum / n, 1.0, 0.15);
+}
+
+TEST(GridNodeTest, PerturbationDescriptions) {
+  EXPECT_EQ(NoPerturbation().Describe(), "none");
+  EXPECT_NE(ConstantFactorPerturbation(10).Describe().find("10"),
+            std::string::npos);
+  EXPECT_NE(AddedDelayPerturbation(10).Describe().find("10"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,58 @@
+#include "grid/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+TEST(RegistryTest, RegisterAndFind) {
+  Simulator sim;
+  GridNode node(&sim, 5, "n", 1.0);
+  ResourceRegistry registry;
+  ASSERT_TRUE(registry.Register(&node, NodeRole::kCompute).ok());
+  Result<GridNode*> found = registry.Find(5);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, &node);
+}
+
+TEST(RegistryTest, FindUnknownFails) {
+  ResourceRegistry registry;
+  EXPECT_TRUE(registry.Find(99).status().IsNotFound());
+}
+
+TEST(RegistryTest, DuplicateRegistrationFails) {
+  Simulator sim;
+  GridNode node(&sim, 5, "n", 1.0);
+  ResourceRegistry registry;
+  ASSERT_TRUE(registry.Register(&node, NodeRole::kCompute).ok());
+  EXPECT_TRUE(registry.Register(&node, NodeRole::kData).IsAlreadyExists());
+}
+
+TEST(RegistryTest, NullNodeRejected) {
+  ResourceRegistry registry;
+  EXPECT_TRUE(registry.Register(nullptr, NodeRole::kData).IsInvalidArgument());
+}
+
+TEST(RegistryTest, NodesWithRolePreservesOrder) {
+  Simulator sim;
+  GridNode a(&sim, 1, "a", 1.0), b(&sim, 2, "b", 1.0), c(&sim, 3, "c", 1.0);
+  ResourceRegistry registry;
+  ASSERT_TRUE(registry.Register(&a, NodeRole::kCompute).ok());
+  ASSERT_TRUE(registry.Register(&b, NodeRole::kData).ok());
+  ASSERT_TRUE(registry.Register(&c, NodeRole::kCompute).ok());
+  const auto compute = registry.NodesWithRole(NodeRole::kCompute);
+  ASSERT_EQ(compute.size(), 2u);
+  EXPECT_EQ(compute[0], &a);
+  EXPECT_EQ(compute[1], &c);
+  EXPECT_EQ(registry.NodesWithRole(NodeRole::kCoordinator).size(), 0u);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(RegistryTest, RoleNames) {
+  EXPECT_EQ(NodeRoleToString(NodeRole::kCoordinator), "coordinator");
+  EXPECT_EQ(NodeRoleToString(NodeRole::kData), "data");
+  EXPECT_EQ(NodeRoleToString(NodeRole::kCompute), "compute");
+}
+
+}  // namespace
+}  // namespace gqp

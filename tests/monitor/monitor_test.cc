@@ -1,0 +1,215 @@
+#include "monitor/monitoring_event_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/window_average.h"
+#include "rpc/message_bus.h"
+
+namespace gqp {
+namespace {
+
+// ---- WindowAverage ----------------------------------------------------------
+
+TEST(WindowAverageTest, EmptyIsZero) {
+  WindowAverage w(25);
+  EXPECT_DOUBLE_EQ(w.Average(), 0.0);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(WindowAverageTest, PlainMeanForUpToTwoValues) {
+  WindowAverage w(25);
+  w.Add(2.0);
+  EXPECT_DOUBLE_EQ(w.Average(), 2.0);
+  w.Add(4.0);
+  EXPECT_DOUBLE_EQ(w.Average(), 3.0);
+}
+
+TEST(WindowAverageTest, DiscardsMinAndMax) {
+  WindowAverage w(25);
+  w.Add(100.0);  // max, discarded
+  w.Add(0.0);    // min, discarded
+  w.Add(5.0);
+  w.Add(7.0);
+  EXPECT_DOUBLE_EQ(w.Average(), 6.0);
+}
+
+TEST(WindowAverageTest, EvictsOldestBeyondWindow) {
+  WindowAverage w(3);
+  w.Add(1000.0);
+  w.Add(1.0);
+  w.Add(2.0);
+  w.Add(3.0);  // evicts 1000
+  // Window [1,2,3]: trimmed mean = 2.
+  EXPECT_DOUBLE_EQ(w.Average(), 2.0);
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_EQ(w.total_observations(), 4u);
+}
+
+TEST(WindowAverageTest, WindowOfOne) {
+  WindowAverage w(1);
+  w.Add(5.0);
+  w.Add(9.0);
+  EXPECT_DOUBLE_EQ(w.Average(), 9.0);
+}
+
+TEST(WindowAverageTest, ZeroWindowClampedToOne) {
+  WindowAverage w(0);
+  w.Add(3.0);
+  EXPECT_DOUBLE_EQ(w.Average(), 3.0);
+}
+
+TEST(WindowAverageTest, ClearKeepsLifetimeCount) {
+  WindowAverage w(5);
+  w.Add(1.0);
+  w.Add(2.0);
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.total_observations(), 2u);
+}
+
+// ---- MonitoringEventDetector -------------------------------------------------
+
+class MedTest : public ::testing::Test {
+ protected:
+  MedTest()
+      : network_(&sim_, LinkParams{0.1, 10000.0}),
+        bus_(&network_) {}
+
+  /// A sink service that records MED digests.
+  class DigestSink : public GridService {
+   public:
+    using GridService::GridService;
+    std::vector<MonitoringAveragePayload> digests;
+
+   protected:
+    void HandleMessage(const Message&) override {}
+    void OnNotification(const Address&, const std::string& topic,
+                        const PayloadPtr& body) override {
+      ASSERT_EQ(topic, std::string(kTopicMonitoringAverages));
+      const auto* digest = PayloadAs<MonitoringAveragePayload>(body);
+      ASSERT_NE(digest, nullptr);
+      digests.push_back(*digest);
+    }
+  };
+
+  void SendM1(MonitoringEventDetector* med, const SubplanId& id, double cost,
+              int count) {
+    for (int i = 0; i < count; ++i) {
+      Message m;
+      m.from = {9, "engine"};
+      m.to = med->address();
+      m.payload = std::make_shared<M1Payload>(id, cost, 0.0, 1.0, 10);
+      (void)bus_.Send(m.from, m.to, m.payload);
+    }
+    sim_.RunToCompletion();
+  }
+
+  Simulator sim_;
+  Network network_;
+  MessageBus bus_;
+};
+
+TEST_F(MedTest, FirstDigestAfterMinEvents) {
+  MonitoringEventDetectorConfig config;
+  config.min_events = 3;
+  MonitoringEventDetector med(&bus_, 1, "med", config);
+  ASSERT_TRUE(med.Start().ok());
+  DigestSink sink(&bus_, 2, "sink");
+  ASSERT_TRUE(sink.Start().ok());
+  ASSERT_TRUE(sink.Subscribe(med.address(), kTopicMonitoringAverages).ok());
+  sim_.RunToCompletion();
+
+  SubplanId id{1, 2, 0};
+  SendM1(&med, id, 5.0, 2);
+  EXPECT_TRUE(sink.digests.empty());  // below min_events
+  SendM1(&med, id, 5.0, 1);
+  ASSERT_EQ(sink.digests.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.digests[0].average_ms(), 5.0);
+  EXPECT_EQ(sink.digests[0].subplan(), id);
+  EXPECT_EQ(sink.digests[0].kind(),
+            MonitoringAveragePayload::Kind::kProcessingCost);
+}
+
+TEST_F(MedTest, NoRenotifyWithinThreshold) {
+  MonitoringEventDetectorConfig config;
+  config.min_events = 1;
+  config.thres_m = 0.20;
+  MonitoringEventDetector med(&bus_, 1, "med", config);
+  ASSERT_TRUE(med.Start().ok());
+  DigestSink sink(&bus_, 2, "sink");
+  ASSERT_TRUE(sink.Start().ok());
+  ASSERT_TRUE(sink.Subscribe(med.address(), kTopicMonitoringAverages).ok());
+  sim_.RunToCompletion();
+
+  SubplanId id{1, 2, 0};
+  SendM1(&med, id, 5.0, 1);
+  ASSERT_EQ(sink.digests.size(), 1u);
+  // 10% higher average: below thresM, no digest.
+  SendM1(&med, id, 5.6, 8);
+  EXPECT_EQ(sink.digests.size(), 1u);
+  // Push the average past +20%.
+  SendM1(&med, id, 30.0, 10);
+  EXPECT_GT(sink.digests.size(), 1u);
+}
+
+TEST_F(MedTest, GroupsByM1Subplan) {
+  MonitoringEventDetectorConfig config;
+  config.min_events = 1;
+  MonitoringEventDetector med(&bus_, 1, "med", config);
+  ASSERT_TRUE(med.Start().ok());
+  DigestSink sink(&bus_, 2, "sink");
+  ASSERT_TRUE(sink.Start().ok());
+  ASSERT_TRUE(sink.Subscribe(med.address(), kTopicMonitoringAverages).ok());
+  sim_.RunToCompletion();
+
+  SendM1(&med, SubplanId{1, 2, 0}, 1.0, 1);
+  SendM1(&med, SubplanId{1, 2, 1}, 9.0, 1);
+  ASSERT_EQ(sink.digests.size(), 2u);
+  EXPECT_DOUBLE_EQ(sink.digests[0].average_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(sink.digests[1].average_ms(), 9.0);
+}
+
+TEST_F(MedTest, M2GroupedByProducerRecipientPair) {
+  MonitoringEventDetectorConfig config;
+  config.min_events = 1;
+  MonitoringEventDetector med(&bus_, 1, "med", config);
+  ASSERT_TRUE(med.Start().ok());
+  DigestSink sink(&bus_, 2, "sink");
+  ASSERT_TRUE(sink.Start().ok());
+  ASSERT_TRUE(sink.Subscribe(med.address(), kTopicMonitoringAverages).ok());
+  sim_.RunToCompletion();
+
+  SubplanId producer{1, 0, 0};
+  SubplanId consumer0{1, 2, 0};
+  Message m;
+  m.from = {9, "engine"};
+  m.to = med.address();
+  m.payload = std::make_shared<M2Payload>(producer, consumer0, 3.0, 50);
+  ASSERT_TRUE(bus_.Send(m.from, m.to, m.payload).ok());
+  sim_.RunToCompletion();
+  ASSERT_EQ(sink.digests.size(), 1u);
+  EXPECT_EQ(sink.digests[0].kind(),
+            MonitoringAveragePayload::Kind::kCommunicationCost);
+  EXPECT_EQ(sink.digests[0].recipient(), consumer0);
+  EXPECT_DOUBLE_EQ(sink.digests[0].avg_tuples_per_buffer(), 50.0);
+  EXPECT_EQ(med.stats().raw_m2, 1u);
+}
+
+TEST_F(MedTest, StatsCountRawEvents) {
+  MonitoringEventDetectorConfig config;
+  config.min_events = 100;  // suppress digests
+  MonitoringEventDetector med(&bus_, 1, "med", config);
+  ASSERT_TRUE(med.Start().ok());
+  SendM1(&med, SubplanId{1, 2, 0}, 1.0, 7);
+  EXPECT_EQ(med.stats().raw_m1, 7u);
+  EXPECT_EQ(med.stats().notifications_out, 0u);
+}
+
+TEST(SubplanIdTest, ToStringFormat) {
+  EXPECT_EQ((SubplanId{3, 1, 2}).ToString(), "q3.f1.i2");
+  EXPECT_TRUE((SubplanId{1, 2, 3}) == (SubplanId{1, 2, 3}));
+  EXPECT_FALSE((SubplanId{1, 2, 3}) == (SubplanId{1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,150 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+class TestPayload : public Payload {
+ public:
+  explicit TestPayload(size_t bytes, int tag = 0) : bytes_(bytes), tag_(tag) {}
+  size_t WireSize() const override { return bytes_; }
+  std::string_view TypeName() const override { return "Test"; }
+  int tag() const { return tag_; }
+
+ private:
+  size_t bytes_;
+  int tag_;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(&sim_, LinkParams{1.0, 1000.0}) {
+    network_.set_envelope_bytes(0);
+  }
+
+  Message MakeMessage(HostId from, HostId to, size_t bytes, int tag = 0) {
+    Message m;
+    m.from = {from, "src"};
+    m.to = {to, "dst"};
+    m.payload = std::make_shared<TestPayload>(bytes, tag);
+    return m;
+  }
+
+  Simulator sim_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, SendToUnregisteredHostFails) {
+  EXPECT_TRUE(network_.Send(MakeMessage(1, 2, 10)).IsNotFound());
+}
+
+TEST_F(NetworkTest, DeliveryTimeIsTransmissionPlusLatency) {
+  double arrival = -1;
+  network_.RegisterHost(2, [&](const Message&) { arrival = sim_.Now(); });
+  // 1000 bytes at 1000 bytes/ms = 1 ms tx + 1 ms latency.
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 1000)).ok());
+  sim_.RunToCompletion();
+  EXPECT_DOUBLE_EQ(arrival, 2.0);
+}
+
+TEST_F(NetworkTest, LinkSerializesTransfers) {
+  std::vector<double> arrivals;
+  network_.RegisterHost(2, [&](const Message&) {
+    arrivals.push_back(sim_.Now());
+  });
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 1000)).ok());
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 1000)).ok());
+  sim_.RunToCompletion();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 2.0);
+  // Second transfer starts when the link frees at t=1, finishes tx at 2,
+  // arrives at 3.
+  EXPECT_DOUBLE_EQ(arrivals[1], 3.0);
+}
+
+TEST_F(NetworkTest, FifoPerLink) {
+  std::vector<int> tags;
+  network_.RegisterHost(2, [&](const Message& m) {
+    tags.push_back(static_cast<const TestPayload*>(m.payload.get())->tag());
+  });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 100 * (5 - i), i)).ok());
+  }
+  sim_.RunToCompletion();
+  EXPECT_EQ(tags, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(NetworkTest, IndependentLinksDoNotSerialize) {
+  std::vector<double> arrivals;
+  network_.RegisterHost(3, [&](const Message&) {
+    arrivals.push_back(sim_.Now());
+  });
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 3, 1000)).ok());
+  ASSERT_TRUE(network_.Send(MakeMessage(2, 3, 1000)).ok());
+  sim_.RunToCompletion();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 2.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 2.0);  // different (src,dst) link
+}
+
+TEST_F(NetworkTest, LocalDeliveryIsImmediateAndFree) {
+  double arrival = -1;
+  network_.RegisterHost(1, [&](const Message&) { arrival = sim_.Now(); });
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 1, 1000000)).ok());
+  sim_.RunToCompletion();
+  EXPECT_DOUBLE_EQ(arrival, 0.0);
+  EXPECT_EQ(network_.stats().local_deliveries, 1u);
+  EXPECT_EQ(network_.stats().messages_sent, 0u);
+}
+
+TEST_F(NetworkTest, PerLinkOverride) {
+  network_.SetLink(1, 2, LinkParams{10.0, 1000.0});
+  double arrival = -1;
+  network_.RegisterHost(2, [&](const Message&) { arrival = sim_.Now(); });
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 1000)).ok());
+  sim_.RunToCompletion();
+  EXPECT_DOUBLE_EQ(arrival, 11.0);
+}
+
+TEST_F(NetworkTest, EnvelopeBytesCharged) {
+  network_.set_envelope_bytes(1000);
+  double arrival = -1;
+  network_.RegisterHost(2, [&](const Message&) { arrival = sim_.Now(); });
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 0)).ok());
+  sim_.RunToCompletion();
+  EXPECT_DOUBLE_EQ(arrival, 2.0);  // 1000 envelope bytes = 1 ms tx
+}
+
+TEST_F(NetworkTest, StatsCountBytes) {
+  network_.RegisterHost(2, [](const Message&) {});
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 123)).ok());
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 77)).ok());
+  sim_.RunToCompletion();
+  EXPECT_EQ(network_.stats().messages_sent, 2u);
+  EXPECT_EQ(network_.stats().bytes_sent, 200u);
+}
+
+TEST_F(NetworkTest, TransferTimeMatchesModel) {
+  EXPECT_DOUBLE_EQ(network_.TransferTime(1, 2, 2000), 3.0);
+  EXPECT_DOUBLE_EQ(network_.TransferTime(5, 5, 2000), 0.0);  // same host
+}
+
+TEST_F(NetworkTest, ReversedLinkIsSeparate) {
+  std::vector<double> arrivals;
+  network_.RegisterHost(1, [&](const Message&) {
+    arrivals.push_back(sim_.Now());
+  });
+  network_.RegisterHost(2, [&](const Message&) {
+    arrivals.push_back(sim_.Now());
+  });
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 1000)).ok());
+  ASSERT_TRUE(network_.Send(MakeMessage(2, 1, 1000)).ok());
+  sim_.RunToCompletion();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 2.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 2.0);
+}
+
+}  // namespace
+}  // namespace gqp

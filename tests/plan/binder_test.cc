@@ -1,0 +1,193 @@
+#include "plan/binder.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+std::string Q1Sql() {
+  return "select EntropyAnalyser(p.sequence) from protein_sequences p";
+}
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() {
+    TableEntry sequences;
+    sequences.name = "protein_sequences";
+    sequences.schema = MakeSchema(
+        {{"orf", DataType::kString}, {"sequence", DataType::kString}});
+    sequences.data_host = 1;
+    sequences.stats.num_rows = 3000;
+    EXPECT_TRUE(catalog_.RegisterTable(sequences).ok());
+
+    TableEntry interactions;
+    interactions.name = "protein_interactions";
+    interactions.schema = MakeSchema(
+        {{"orf1", DataType::kString}, {"orf2", DataType::kString}});
+    interactions.data_host = 1;
+    interactions.stats.num_rows = 4700;
+    EXPECT_TRUE(catalog_.RegisterTable(interactions).ok());
+
+    WebServiceEntry ws;
+    ws.name = "EntropyAnalyser";
+    ws.result_type = DataType::kDouble;
+    ws.nominal_cost_ms = 0.25;
+    EXPECT_TRUE(catalog_.RegisterWebService(ws).ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, BindsSimpleProjection) {
+  auto plan = PlanSql("select p.orf from protein_sequences p", catalog_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->kind(), LogicalKind::kProject);
+  ASSERT_EQ((*plan)->schema()->num_fields(), 1u);
+  EXPECT_EQ((*plan)->schema()->field(0).name, "orf");
+  EXPECT_EQ((*plan)->schema()->field(0).type, DataType::kString);
+  EXPECT_EQ((*plan)->children()[0]->kind(), LogicalKind::kScan);
+}
+
+TEST_F(BinderTest, Q1LiftsWebServiceCall) {
+  auto plan = PlanSql(Q1Sql(), catalog_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Project on top of an OperationCall on top of the scan.
+  EXPECT_EQ((*plan)->kind(), LogicalKind::kProject);
+  const auto children = (*plan)->children();
+  const auto& below = children[0];
+  ASSERT_EQ(below->kind(), LogicalKind::kOperationCall);
+  const auto* call = static_cast<const LogicalOperationCall*>(below.get());
+  EXPECT_EQ(call->ws().name, "EntropyAnalyser");
+  EXPECT_EQ(call->arg_column(), 1u);  // p.sequence
+  EXPECT_EQ((*plan)->schema()->field(0).type, DataType::kDouble);
+}
+
+TEST_F(BinderTest, Q2BuildsHashJoinWithSmallerBuildSide) {
+  auto plan = PlanSql(
+      "select i.orf2 from protein_sequences p, protein_interactions i "
+      "where i.orf1 = p.orf",
+      catalog_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const auto children = (*plan)->children();
+  const auto& join_node = children[0];
+  ASSERT_EQ(join_node->kind(), LogicalKind::kJoin);
+  const auto* join = static_cast<const LogicalJoin*>(join_node.get());
+  // protein_sequences (3000) is smaller than protein_interactions (4700):
+  // it must be the build (left) side.
+  EXPECT_EQ(join->left()->kind(), LogicalKind::kScan);
+  EXPECT_EQ(static_cast<const LogicalScan*>(join->left().get())->table().name,
+            "protein_sequences");
+  EXPECT_EQ(join->left_key(), 0u);   // p.orf
+  EXPECT_EQ(join->right_key(), 0u);  // i.orf1
+}
+
+TEST_F(BinderTest, SingleTableFilterPushedBelowJoin) {
+  auto plan = PlanSql(
+      "select i.orf2 from protein_sequences p, protein_interactions i "
+      "where i.orf1 = p.orf and p.orf = 'ORF00001'",
+      catalog_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const auto children = (*plan)->children();
+  const auto& join_node = children[0];
+  ASSERT_EQ(join_node->kind(), LogicalKind::kJoin);
+  const auto* join = static_cast<const LogicalJoin*>(join_node.get());
+  // One side must carry the pushed filter.
+  const bool left_filtered =
+      join->left()->kind() == LogicalKind::kFilter;
+  const bool right_filtered =
+      join->right()->kind() == LogicalKind::kFilter;
+  EXPECT_TRUE(left_filtered || right_filtered);
+}
+
+TEST_F(BinderTest, SelectStarExpandsAllColumns) {
+  auto plan = PlanSql("select * from protein_sequences", catalog_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->schema()->num_fields(), 2u);
+}
+
+TEST_F(BinderTest, AliasResolution) {
+  auto plan = PlanSql("select orf from protein_sequences p", catalog_);
+  ASSERT_TRUE(plan.ok());  // unqualified but unambiguous
+}
+
+TEST_F(BinderTest, UnknownTableFails) {
+  EXPECT_TRUE(PlanSql("select x from nope", catalog_).status().IsNotFound());
+}
+
+TEST_F(BinderTest, UnknownColumnFails) {
+  EXPECT_TRUE(PlanSql("select p.bogus from protein_sequences p", catalog_)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(BinderTest, AmbiguousColumnFails) {
+  // orf1/orf2 unique, but a self-join makes everything ambiguous.
+  auto r = PlanSql(
+      "select orf1 from protein_interactions a, protein_interactions b "
+      "where a.orf1 = b.orf2",
+      catalog_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, CrossJoinRejected) {
+  auto r = PlanSql(
+      "select p.orf from protein_sequences p, protein_interactions i",
+      catalog_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  auto r = PlanSql(
+      "select p.orf from protein_sequences p, protein_interactions p "
+      "where p.orf = p.orf1",
+      catalog_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, WsCallOutsideSelectListRejected) {
+  auto r = PlanSql(
+      "select p.orf from protein_sequences p "
+      "where EntropyAnalyser(p.sequence) > 4",
+      catalog_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(BinderTest, WsCallWrongArityRejected) {
+  auto r = PlanSql("select EntropyAnalyser(p.orf, p.sequence) "
+                   "from protein_sequences p",
+                   catalog_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, BuiltinFunctionStaysInProjection) {
+  auto plan = PlanSql("select LENGTH(p.sequence) from protein_sequences p",
+                      catalog_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // No OperationCall: LENGTH is a local builtin, evaluated in the project.
+  EXPECT_EQ((*plan)->children()[0]->kind(), LogicalKind::kScan);
+  EXPECT_EQ((*plan)->schema()->field(0).type, DataType::kInt64);
+}
+
+TEST_F(BinderTest, ResidualPredicateBecomesFilter) {
+  auto plan = PlanSql(
+      "select i.orf2 from protein_sequences p, protein_interactions i "
+      "where i.orf1 = p.orf and i.orf2 > p.orf",
+      catalog_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The multi-table non-equi conjunct sits above the join.
+  EXPECT_EQ((*plan)->children()[0]->kind(), LogicalKind::kFilter);
+}
+
+TEST_F(BinderTest, TreeStringRenders) {
+  auto plan = PlanSql(Q1Sql(), catalog_);
+  ASSERT_TRUE(plan.ok());
+  const std::string tree = (*plan)->TreeString();
+  EXPECT_NE(tree.find("Project"), std::string::npos);
+  EXPECT_NE(tree.find("OperationCall"), std::string::npos);
+  EXPECT_NE(tree.find("Scan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,202 @@
+#include "plan/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/binder.h"
+#include "plan/scheduler.h"
+
+namespace gqp {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() {
+    TableEntry sequences;
+    sequences.name = "protein_sequences";
+    sequences.schema = MakeSchema(
+        {{"orf", DataType::kString}, {"sequence", DataType::kString}});
+    sequences.data_host = 1;
+    sequences.stats.num_rows = 3000;
+    EXPECT_TRUE(catalog_.RegisterTable(sequences).ok());
+
+    TableEntry interactions;
+    interactions.name = "protein_interactions";
+    interactions.schema = MakeSchema(
+        {{"orf1", DataType::kString}, {"orf2", DataType::kString}});
+    interactions.data_host = 1;
+    interactions.stats.num_rows = 4700;
+    EXPECT_TRUE(catalog_.RegisterTable(interactions).ok());
+
+    WebServiceEntry ws;
+    ws.name = "EntropyAnalyser";
+    ws.nominal_cost_ms = 0.25;
+    EXPECT_TRUE(catalog_.RegisterWebService(ws).ok());
+  }
+
+  PhysicalPlan Plan(const std::string& sql) {
+    auto logical = PlanSql(sql, catalog_);
+    EXPECT_TRUE(logical.ok()) << logical.status().ToString();
+    auto physical = CreatePhysicalPlan(*logical, options_);
+    EXPECT_TRUE(physical.ok()) << physical.status().ToString();
+    return physical.TakeValue();
+  }
+
+  Catalog catalog_;
+  OptimizerOptions options_;
+};
+
+TEST_F(OptimizerTest, Q1HasThreeFragments) {
+  PhysicalPlan plan = Plan(
+      "select EntropyAnalyser(p.sequence) from protein_sequences p");
+  ASSERT_EQ(plan.fragments.size(), 3u);
+  EXPECT_TRUE(plan.fragments[0].IsScanLeaf());
+  EXPECT_TRUE(plan.fragments[1].partitioned);
+  EXPECT_TRUE(plan.fragments[2].IsRoot());
+  // Middle: OperationCall then Project.
+  ASSERT_EQ(plan.fragments[1].ops.size(), 2u);
+  EXPECT_EQ(plan.fragments[1].ops[0].kind, PhysOpKind::kOperationCall);
+  EXPECT_EQ(plan.fragments[1].ops[1].kind, PhysOpKind::kProject);
+  EXPECT_FALSE(plan.HasStatefulPartitionedFragment());
+}
+
+TEST_F(OptimizerTest, Q1ExchangesUseRoundRobin) {
+  PhysicalPlan plan = Plan(
+      "select EntropyAnalyser(p.sequence) from protein_sequences p");
+  ASSERT_EQ(plan.exchanges.size(), 2u);
+  EXPECT_EQ(plan.exchanges[0].policy, PolicyKind::kWeightedRoundRobin);
+  EXPECT_EQ(plan.exchanges[0].producer_fragment, 0);
+  EXPECT_EQ(plan.exchanges[0].consumer_fragment, 1);
+}
+
+TEST_F(OptimizerTest, Q2HasFourFragmentsAndHashExchanges) {
+  PhysicalPlan plan = Plan(
+      "select i.orf2 from protein_sequences p, protein_interactions i "
+      "where i.orf1 = p.orf");
+  ASSERT_EQ(plan.fragments.size(), 4u);  // 2 scans + middle + root
+  EXPECT_TRUE(plan.HasStatefulPartitionedFragment());
+  // Scan->middle exchanges hash on the join keys.
+  const auto inputs = plan.InputsOf(2);
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0]->policy, PolicyKind::kHashBuckets);
+  EXPECT_EQ(inputs[1]->policy, PolicyKind::kHashBuckets);
+  EXPECT_EQ(inputs[0]->consumer_port, 0);
+  EXPECT_EQ(inputs[1]->consumer_port, 1);
+  // Middle fragment has two input ports, join first.
+  EXPECT_EQ(plan.fragments[2].num_input_ports, 2);
+  EXPECT_EQ(plan.fragments[2].ops[0].kind, PhysOpKind::kHashJoin);
+}
+
+TEST_F(OptimizerTest, ScanFragmentPinnedToDataHost) {
+  PhysicalPlan plan = Plan("select p.orf from protein_sequences p");
+  EXPECT_EQ(plan.fragments[0].pinned_host, 1);
+}
+
+TEST_F(OptimizerTest, CostTagsAssigned) {
+  PhysicalPlan plan = Plan(
+      "select EntropyAnalyser(p.sequence) from protein_sequences p");
+  EXPECT_EQ(plan.fragments[0].ops[0].cost_tag, "op:scan");
+  EXPECT_EQ(plan.fragments[1].ops[0].cost_tag, "ws:EntropyAnalyser");
+}
+
+TEST_F(OptimizerTest, WsCostFromCatalog) {
+  PhysicalPlan plan = Plan(
+      "select EntropyAnalyser(p.sequence) from protein_sequences p");
+  EXPECT_DOUBLE_EQ(plan.fragments[1].ops[0].base_cost_ms, 0.25);
+}
+
+TEST_F(OptimizerTest, UnpartitionedWhenDisabled) {
+  options_.partition_evaluation = false;
+  PhysicalPlan plan = Plan("select p.orf from protein_sequences p");
+  for (const FragmentDesc& f : plan.fragments) {
+    EXPECT_FALSE(f.partitioned);
+  }
+}
+
+TEST_F(OptimizerTest, ResultSchemaPropagated) {
+  PhysicalPlan plan = Plan("select p.orf from protein_sequences p");
+  ASSERT_NE(plan.result_schema, nullptr);
+  EXPECT_EQ(plan.result_schema->num_fields(), 1u);
+}
+
+TEST_F(OptimizerTest, LookupHelpers) {
+  PhysicalPlan plan = Plan("select p.orf from protein_sequences p");
+  EXPECT_NE(plan.FindFragment(0), nullptr);
+  EXPECT_EQ(plan.FindFragment(99), nullptr);
+  EXPECT_NE(plan.OutputOf(0), nullptr);
+  EXPECT_EQ(plan.OutputOf(2), nullptr);  // root has no output
+  EXPECT_NE(plan.FindExchange(0), nullptr);
+}
+
+// ---- Scheduler --------------------------------------------------------------
+
+class SchedulerTest : public OptimizerTest {
+ protected:
+  SchedulerTest()
+      : coordinator_(&sim_, 0, "coord", 1.0),
+        data_(&sim_, 1, "data", 1.0),
+        eval0_(&sim_, 2, "e0", 1.0),
+        eval1_(&sim_, 3, "e1", 3.0) {
+    EXPECT_TRUE(registry_.Register(&coordinator_, NodeRole::kCoordinator).ok());
+    EXPECT_TRUE(registry_.Register(&data_, NodeRole::kData).ok());
+    EXPECT_TRUE(registry_.Register(&eval0_, NodeRole::kCompute).ok());
+    EXPECT_TRUE(registry_.Register(&eval1_, NodeRole::kCompute).ok());
+  }
+
+  Simulator sim_;
+  GridNode coordinator_, data_, eval0_, eval1_;
+  ResourceRegistry registry_;
+};
+
+TEST_F(SchedulerTest, PlacesFragmentsByRole) {
+  PhysicalPlan plan = Plan(
+      "select EntropyAnalyser(p.sequence) from protein_sequences p");
+  auto scheduled = SchedulePlan(plan, registry_, {});
+  ASSERT_TRUE(scheduled.ok()) << scheduled.status().ToString();
+  EXPECT_EQ(scheduled->instance_hosts[0], (std::vector<HostId>{1}));
+  EXPECT_EQ(scheduled->instance_hosts[1], (std::vector<HostId>{2, 3}));
+  EXPECT_EQ(scheduled->instance_hosts[2], (std::vector<HostId>{0}));
+}
+
+TEST_F(SchedulerTest, InitialWeightsProportionalToCapacity) {
+  PhysicalPlan plan = Plan(
+      "select EntropyAnalyser(p.sequence) from protein_sequences p");
+  auto scheduled = SchedulePlan(plan, registry_, {});
+  ASSERT_TRUE(scheduled.ok());
+  const auto& w = scheduled->initial_weights[0];
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);  // capacity 1 vs 3
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+}
+
+TEST_F(SchedulerTest, NumEvaluatorsLimitsClones) {
+  PhysicalPlan plan = Plan(
+      "select EntropyAnalyser(p.sequence) from protein_sequences p");
+  SchedulerOptions opts;
+  opts.num_evaluators = 1;
+  auto scheduled = SchedulePlan(plan, registry_, opts);
+  ASSERT_TRUE(scheduled.ok());
+  EXPECT_EQ(scheduled->instance_hosts[1].size(), 1u);
+}
+
+TEST_F(SchedulerTest, MissingCoordinatorFails) {
+  ResourceRegistry empty;
+  Simulator sim;
+  GridNode only(&sim, 9, "x", 1.0);
+  ASSERT_TRUE(empty.Register(&only, NodeRole::kCompute).ok());
+  PhysicalPlan plan = Plan("select p.orf from protein_sequences p");
+  EXPECT_TRUE(
+      SchedulePlan(plan, empty, {}).status().IsFailedPrecondition());
+}
+
+TEST_F(SchedulerTest, MissingComputeNodesFails) {
+  ResourceRegistry only_coord;
+  Simulator sim;
+  GridNode c(&sim, 9, "c", 1.0);
+  ASSERT_TRUE(only_coord.Register(&c, NodeRole::kCoordinator).ok());
+  PhysicalPlan plan = Plan("select p.orf from protein_sequences p");
+  EXPECT_TRUE(
+      SchedulePlan(plan, only_coord, {}).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,182 @@
+#include "rpc/service.h"
+
+#include <gtest/gtest.h>
+
+#include "rpc/message_bus.h"
+
+namespace gqp {
+namespace {
+
+class PingPayload : public Payload {
+ public:
+  explicit PingPayload(int value) : value_(value) {}
+  size_t WireSize() const override { return 8; }
+  std::string_view TypeName() const override { return "Ping"; }
+  int value() const { return value_; }
+
+ private:
+  int value_;
+};
+
+/// A service recording everything it receives.
+class RecordingService : public GridService {
+ public:
+  using GridService::GridService;
+
+  std::vector<int> pings;
+  std::vector<std::pair<std::string, int>> notifications;
+
+ protected:
+  void HandleMessage(const Message& msg) override {
+    if (const auto* ping = PayloadAs<PingPayload>(msg.payload)) {
+      pings.push_back(ping->value());
+    }
+  }
+  void OnNotification(const Address&, const std::string& topic,
+                      const PayloadPtr& body) override {
+    const auto* ping = PayloadAs<PingPayload>(body);
+    notifications.emplace_back(topic, ping != nullptr ? ping->value() : -1);
+  }
+};
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest()
+      : network_(&sim_, LinkParams{0.1, 10000.0}), bus_(&network_) {}
+
+  Simulator sim_;
+  Network network_;
+  MessageBus bus_;
+};
+
+TEST_F(ServiceTest, EndpointRegistrationAndSend) {
+  RecordingService a(&bus_, 1, "a");
+  RecordingService b(&bus_, 2, "b");
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  ASSERT_TRUE(a.SendTo(b.address(), std::make_shared<PingPayload>(5)).ok());
+  sim_.RunToCompletion();
+  EXPECT_EQ(b.pings, (std::vector<int>{5}));
+}
+
+TEST_F(ServiceTest, DuplicateEndpointRejected) {
+  RecordingService a(&bus_, 1, "same");
+  RecordingService b(&bus_, 1, "same");
+  ASSERT_TRUE(a.Start().ok());
+  EXPECT_TRUE(b.Start().IsAlreadyExists());
+}
+
+TEST_F(ServiceTest, SameNameDifferentHostsAllowed) {
+  RecordingService a(&bus_, 1, "med");
+  RecordingService b(&bus_, 2, "med");
+  ASSERT_TRUE(a.Start().ok());
+  EXPECT_TRUE(b.Start().ok());
+}
+
+TEST_F(ServiceTest, StopUnregistersEndpoint) {
+  RecordingService a(&bus_, 1, "a");
+  RecordingService b(&bus_, 2, "b");
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  b.Stop();
+  ASSERT_TRUE(a.SendTo(Address{2, "b"}, std::make_shared<PingPayload>(1)).ok());
+  sim_.RunToCompletion();
+  EXPECT_TRUE(b.pings.empty());
+  EXPECT_EQ(bus_.dropped_messages(), 1u);
+}
+
+TEST_F(ServiceTest, SubscribeThenPublishDelivers) {
+  RecordingService pub(&bus_, 1, "pub");
+  RecordingService sub(&bus_, 2, "sub");
+  ASSERT_TRUE(pub.Start().ok());
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.Subscribe(pub.address(), "topic.x").ok());
+  sim_.RunToCompletion();  // deliver the subscription
+  EXPECT_EQ(pub.SubscriberCount("topic.x"), 1u);
+
+  ASSERT_TRUE(pub.Publish("topic.x", std::make_shared<PingPayload>(9)).ok());
+  sim_.RunToCompletion();
+  ASSERT_EQ(sub.notifications.size(), 1u);
+  EXPECT_EQ(sub.notifications[0].first, "topic.x");
+  EXPECT_EQ(sub.notifications[0].second, 9);
+}
+
+TEST_F(ServiceTest, PublishWithoutSubscribersIsNoop) {
+  RecordingService pub(&bus_, 1, "pub");
+  ASSERT_TRUE(pub.Start().ok());
+  EXPECT_TRUE(pub.Publish("t", std::make_shared<PingPayload>(1)).ok());
+  sim_.RunToCompletion();
+}
+
+TEST_F(ServiceTest, TopicsAreIndependent) {
+  RecordingService pub(&bus_, 1, "pub");
+  RecordingService sub(&bus_, 2, "sub");
+  ASSERT_TRUE(pub.Start().ok());
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.Subscribe(pub.address(), "a").ok());
+  sim_.RunToCompletion();
+  ASSERT_TRUE(pub.Publish("b", std::make_shared<PingPayload>(1)).ok());
+  sim_.RunToCompletion();
+  EXPECT_TRUE(sub.notifications.empty());
+}
+
+TEST_F(ServiceTest, MultipleSubscribersAllNotified) {
+  RecordingService pub(&bus_, 1, "pub");
+  RecordingService s1(&bus_, 2, "s1");
+  RecordingService s2(&bus_, 3, "s2");
+  ASSERT_TRUE(pub.Start().ok());
+  ASSERT_TRUE(s1.Start().ok());
+  ASSERT_TRUE(s2.Start().ok());
+  ASSERT_TRUE(s1.Subscribe(pub.address(), "t").ok());
+  ASSERT_TRUE(s2.Subscribe(pub.address(), "t").ok());
+  sim_.RunToCompletion();
+  ASSERT_TRUE(pub.Publish("t", std::make_shared<PingPayload>(3)).ok());
+  sim_.RunToCompletion();
+  EXPECT_EQ(s1.notifications.size(), 1u);
+  EXPECT_EQ(s2.notifications.size(), 1u);
+}
+
+TEST_F(ServiceTest, DuplicateSubscriptionDeliversOnce) {
+  RecordingService pub(&bus_, 1, "pub");
+  RecordingService sub(&bus_, 2, "sub");
+  ASSERT_TRUE(pub.Start().ok());
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.Subscribe(pub.address(), "t").ok());
+  ASSERT_TRUE(sub.Subscribe(pub.address(), "t").ok());
+  sim_.RunToCompletion();
+  EXPECT_EQ(pub.SubscriberCount("t"), 1u);
+}
+
+TEST_F(ServiceTest, UnsubscribeStopsDelivery) {
+  RecordingService pub(&bus_, 1, "pub");
+  RecordingService sub(&bus_, 2, "sub");
+  ASSERT_TRUE(pub.Start().ok());
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.Subscribe(pub.address(), "t").ok());
+  sim_.RunToCompletion();
+  ASSERT_TRUE(sub.SendTo(pub.address(), std::make_shared<UnsubscribePayload>(
+                                            "t", sub.address()))
+                  .ok());
+  sim_.RunToCompletion();
+  EXPECT_EQ(pub.SubscriberCount("t"), 0u);
+  ASSERT_TRUE(pub.Publish("t", std::make_shared<PingPayload>(1)).ok());
+  sim_.RunToCompletion();
+  EXPECT_TRUE(sub.notifications.empty());
+}
+
+TEST_F(ServiceTest, NotificationsTravelTheNetworkAsynchronously) {
+  RecordingService pub(&bus_, 1, "pub");
+  RecordingService sub(&bus_, 2, "sub");
+  ASSERT_TRUE(pub.Start().ok());
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.Subscribe(pub.address(), "t").ok());
+  sim_.RunToCompletion();
+  ASSERT_TRUE(pub.Publish("t", std::make_shared<PingPayload>(1)).ok());
+  // Not delivered synchronously:
+  EXPECT_TRUE(sub.notifications.empty());
+  sim_.RunToCompletion();
+  EXPECT_EQ(sub.notifications.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gqp

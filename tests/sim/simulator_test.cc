@@ -1,0 +1,146 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, ExecutesInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30.0);
+}
+
+TEST(SimulatorTest, TiesBreakBySchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  double inner_time = -1;
+  sim.Schedule(10, [&] {
+    sim.Schedule(5, [&] { inner_time = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(inner_time, 15.0);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  double t = -1;
+  sim.Schedule(10, [&] {
+    sim.Schedule(-5, [&] { t = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(t, 10.0);
+}
+
+TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  double t = -1;
+  sim.Schedule(10, [&] {
+    sim.ScheduleAt(3.0, [&] { t = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(t, 10.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.Schedule(5, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunToCompletion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelUnknownIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(9999));
+}
+
+TEST(SimulatorTest, CancelFiredEventReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.Schedule(1, [] {});
+  sim.RunToCompletion();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1, [&] { ++count; });
+  sim.Schedule(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilHorizonLeavesLaterEvents) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(5, [&] { ++count; });
+  sim.Schedule(15, [&] { ++count; });
+  ASSERT_TRUE(sim.Run(10).ok());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.Now(), 10.0);
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, RunawayGuardReturnsResourceExhausted) {
+  Simulator sim;
+  sim.set_max_events(100);
+  std::function<void()> loop = [&] { sim.Schedule(1, loop); };
+  sim.Schedule(1, loop);
+  const Status s = sim.Run();
+  EXPECT_TRUE(s.IsResourceExhausted());
+}
+
+TEST(SimulatorTest, ResetClearsState) {
+  Simulator sim;
+  sim.Schedule(5, [] {});
+  sim.RunToCompletion();
+  sim.Schedule(100, [] {});
+  sim.Reset();
+  EXPECT_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, EventsExecutedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  sim.Schedule(1, [] {});
+  const EventId id = sim.Schedule(2, [] {});
+  sim.Cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,181 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace gqp {
+namespace {
+
+// ---- Lexer ----------------------------------------------------------------
+
+TEST(LexerTest, TokenizesKeywordsIdentifiersSymbols) {
+  auto tokens = Tokenize("select a.b from t;");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 8u);  // select a . b from t ; <end>
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_TRUE((*tokens)[2].IsSymbol("."));
+  EXPECT_TRUE((*tokens)[4].IsKeyword("FROM"));
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("42 3.14 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_EQ((*tokens)[1].text, "3.14");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[2].text, "it's");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = Tokenize("a <= b <> c >= d != e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<="));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[5].IsSymbol(">="));
+  EXPECT_TRUE((*tokens)[7].IsSymbol("!="));
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("select 'oops").status().IsParseError());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_TRUE(Tokenize("select #").status().IsParseError());
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("SeLeCt FrOm WhErE");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+TEST(ParserTest, ParsesPaperQ1) {
+  auto q = ParseSelect(
+      "select EntropyAnalyser(p.sequence) from protein_sequences p");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->items.size(), 1u);
+  EXPECT_EQ(q->items[0].expr->kind(), AstExprKind::kCall);
+  ASSERT_EQ(q->tables.size(), 1u);
+  EXPECT_EQ(q->tables[0].table, "protein_sequences");
+  EXPECT_EQ(q->tables[0].effective_alias(), "p");
+  EXPECT_EQ(q->where, nullptr);
+}
+
+TEST(ParserTest, ParsesPaperQ2) {
+  auto q = ParseSelect(
+      "select i.ORF2 from protein_sequences p, protein_interactions i "
+      "where i.ORF1 = p.ORF;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->tables.size(), 2u);
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->kind(), AstExprKind::kBinary);
+  EXPECT_EQ(q->ToString(),
+            "SELECT i.ORF2 FROM protein_sequences p, protein_interactions i "
+            "WHERE (i.ORF1 = p.ORF)");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto q = ParseSelect("select * from t");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->items.size(), 1u);
+  EXPECT_EQ(q->items[0].expr->kind(), AstExprKind::kStar);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto q = ParseSelect("select a AS x, b y from t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->items[0].alias, "x");
+  EXPECT_EQ(q->items[1].alias, "y");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto q = ParseSelect("select a + b * c from t where x = 1 or y = 2 and z = 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->items[0].expr->ToString(), "(a + (b * c))");
+  // AND binds tighter than OR.
+  EXPECT_EQ(q->where->ToString(), "((x = 1) OR ((y = 2) AND (z = 3)))");
+}
+
+TEST(ParserTest, NotAndParentheses) {
+  auto q = ParseSelect("select a from t where not (a = 1 or b = 2)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->ToString(), "NOT ((a = 1) OR (b = 2))");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  auto q = ParseSelect("select -a from t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->items[0].expr->ToString(), "(0 - a)");
+}
+
+TEST(ParserTest, FunctionWithMultipleArgs) {
+  auto q = ParseSelect("select f(a, 1, 'x') from t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->items[0].expr->ToString(), "f(a, 1, x)");
+}
+
+TEST(ParserTest, NullLiteral) {
+  auto q = ParseSelect("select a from t where b = NULL");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->ToString(), "(b = NULL)");
+}
+
+TEST(ParserTest, NumberLiterals) {
+  auto q = ParseSelect("select 1, 2.5 from t");
+  ASSERT_TRUE(q.ok());
+  const auto* lit0 = static_cast<const AstLiteral*>(q->items[0].expr.get());
+  EXPECT_EQ(lit0->value().type(), DataType::kInt64);
+  const auto* lit1 = static_cast<const AstLiteral*>(q->items[1].expr.get());
+  EXPECT_EQ(lit1->value().type(), DataType::kDouble);
+}
+
+TEST(ParserTest, ErrorMissingFrom) {
+  EXPECT_TRUE(ParseSelect("select a").status().IsParseError());
+}
+
+TEST(ParserTest, ErrorMissingSelect) {
+  EXPECT_TRUE(ParseSelect("from t").status().IsParseError());
+}
+
+TEST(ParserTest, ErrorTrailingInput) {
+  EXPECT_TRUE(ParseSelect("select a from t garbage garbage")
+                  .status()
+                  .IsParseError() ||
+              ParseSelect("select a from t garbage garbage").ok() == false);
+}
+
+TEST(ParserTest, ErrorUnbalancedParens) {
+  EXPECT_FALSE(ParseSelect("select (a from t").ok());
+  EXPECT_FALSE(ParseSelect("select f(a from t").ok());
+}
+
+TEST(ParserTest, ErrorMissingTableName) {
+  EXPECT_FALSE(ParseSelect("select a from ").ok());
+  EXPECT_FALSE(ParseSelect("select a from 42").ok());
+}
+
+TEST(ParserTest, ErrorDanglingComparison) {
+  EXPECT_FALSE(ParseSelect("select a from t where a =").ok());
+}
+
+TEST(ParserTest, StarMixedWithItemsParsesButIsRejectedLater) {
+  // The grammar only allows '*' alone; mixing is a parse error here.
+  EXPECT_FALSE(ParseSelect("select *, a from t").ok());
+}
+
+TEST(ParserTest, MultipleTablesParsed) {
+  auto q = ParseSelect("select a from t1 x, t2 y, t3 z");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->tables.size(), 3u);
+  EXPECT_EQ(q->tables[2].alias, "z");
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,168 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datagen.h"
+
+namespace gqp {
+namespace {
+
+SchemaPtr TwoColSchema() {
+  return MakeSchema({{"orf", DataType::kString},
+                     {"len", DataType::kInt64}});
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  SchemaPtr s = TwoColSchema();
+  ASSERT_TRUE(s->IndexOf("ORF").ok());
+  EXPECT_EQ(*s->IndexOf("ORF"), 0u);
+  EXPECT_EQ(*s->IndexOf("len"), 1u);
+  EXPECT_TRUE(s->IndexOf("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, ConcatAppendsFields) {
+  SchemaPtr a = TwoColSchema();
+  Schema joined = a->Concat(*MakeSchema({{"x", DataType::kDouble}}));
+  ASSERT_EQ(joined.num_fields(), 3u);
+  EXPECT_EQ(joined.field(2).name, "x");
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  EXPECT_EQ(TwoColSchema()->ToString(), "(orf:STRING, len:INT64)");
+}
+
+TEST(TupleTest, AccessAndEquality) {
+  SchemaPtr s = TwoColSchema();
+  Tuple t(s, {Value("ORF1"), Value(static_cast<int64_t>(7))});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].AsString(), "ORF1");
+  EXPECT_EQ(t.at(1).AsInt64(), 7);
+  Tuple same(s, {Value("ORF1"), Value(static_cast<int64_t>(7))});
+  EXPECT_EQ(t, same);
+  Tuple different(s, {Value("ORF2"), Value(static_cast<int64_t>(7))});
+  EXPECT_FALSE(t == different);
+}
+
+TEST(TupleTest, CopiesShareStorage) {
+  SchemaPtr s = TwoColSchema();
+  Tuple t(s, {Value("a"), Value(static_cast<int64_t>(1))});
+  Tuple copy = t;
+  EXPECT_EQ(&t.values(), &copy.values());
+}
+
+TEST(TupleTest, DefaultIsInvalid) {
+  Tuple t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TupleTest, WireSizeCountsValuesPlusHeader) {
+  SchemaPtr s = TwoColSchema();
+  Tuple t(s, {Value("abcd"), Value(static_cast<int64_t>(1))});
+  EXPECT_EQ(t.WireSize(), 8u + 8u + 8u);  // header + string(4+4) + int64
+}
+
+TEST(TupleTest, ConcatJoinsRows) {
+  SchemaPtr left = TwoColSchema();
+  SchemaPtr right = MakeSchema({{"v", DataType::kDouble}});
+  SchemaPtr out = std::make_shared<const Schema>(left->Concat(*right));
+  Tuple l(left, {Value("k"), Value(static_cast<int64_t>(1))});
+  Tuple r(right, {Value(2.0)});
+  Tuple joined = Tuple::Concat(out, l, r);
+  ASSERT_EQ(joined.size(), 3u);
+  EXPECT_EQ(joined[0].AsString(), "k");
+  EXPECT_DOUBLE_EQ(joined[2].AsDouble(), 2.0);
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table table("t", TwoColSchema());
+  EXPECT_TRUE(table.AppendValues({Value("a"), Value(static_cast<int64_t>(1))})
+                  .ok());
+  EXPECT_TRUE(table.AppendValues({Value("a")}).IsInvalidArgument());
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableTest, RowsAccessible) {
+  Table table("t", TwoColSchema());
+  ASSERT_TRUE(
+      table.AppendValues({Value("x"), Value(static_cast<int64_t>(9))}).ok());
+  EXPECT_EQ(table.row(0)[1].AsInt64(), 9);
+}
+
+TEST(DatagenTest, ProteinSequencesShape) {
+  ProteinSequencesSpec spec;
+  spec.num_rows = 100;
+  spec.sequence_length = 50;
+  TablePtr t = GenerateProteinSequences(spec);
+  EXPECT_EQ(t->name(), "protein_sequences");
+  ASSERT_EQ(t->num_rows(), 100u);
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    EXPECT_EQ(t->row(i)[0].AsString(), OrfKey(i));
+    EXPECT_EQ(t->row(i)[1].AsString().size(), 50u);
+  }
+}
+
+TEST(DatagenTest, SequencesAreEqualLengthAsInThePaper) {
+  TablePtr t = GenerateProteinSequences({});
+  const size_t len = t->row(0)[1].AsString().size();
+  for (size_t i = 1; i < t->num_rows(); ++i) {
+    EXPECT_EQ(t->row(i)[1].AsString().size(), len);
+  }
+}
+
+TEST(DatagenTest, GenerationIsDeterministicPerSeed) {
+  ProteinSequencesSpec spec;
+  spec.num_rows = 10;
+  spec.seed = 5;
+  TablePtr a = GenerateProteinSequences(spec);
+  TablePtr b = GenerateProteinSequences(spec);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(a->row(i), b->row(i));
+  spec.seed = 6;
+  TablePtr c = GenerateProteinSequences(spec);
+  EXPECT_FALSE(a->row(0) == c->row(0));
+}
+
+TEST(DatagenTest, InteractionsReferenceSequenceOrfs) {
+  ProteinInteractionsSpec spec;
+  spec.num_rows = 500;
+  spec.num_orfs = 100;
+  spec.match_fraction = 1.0;
+  TablePtr t = GenerateProteinInteractions(spec);
+  ASSERT_EQ(t->num_rows(), 500u);
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    const std::string& orf1 = t->row(i)[0].AsString();
+    // With match_fraction 1.0 every orf1 is within [0, num_orfs).
+    EXPECT_LT(std::stoi(orf1.substr(3)), 100);
+  }
+}
+
+TEST(DatagenTest, MatchFractionZeroProducesNoMatches) {
+  ProteinInteractionsSpec spec;
+  spec.num_rows = 200;
+  spec.num_orfs = 100;
+  spec.match_fraction = 0.0;
+  TablePtr t = GenerateProteinInteractions(spec);
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    EXPECT_GE(std::stoi(t->row(i)[0].AsString().substr(3)), 100);
+  }
+}
+
+TEST(DatagenTest, PaperCardinalitiesByDefault) {
+  EXPECT_EQ(GenerateProteinSequences({})->num_rows(), 3000u);
+  EXPECT_EQ(GenerateProteinInteractions({})->num_rows(), 4700u);
+}
+
+TEST(DatagenTest, ShannonEntropyKnownValues) {
+  EXPECT_DOUBLE_EQ(ShannonEntropy(""), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy("aaaa"), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy("ab"), 1.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy("abcd"), 2.0);
+  // Entropy of 20 symbols is at most log2(20) ~ 4.32.
+  TablePtr t = GenerateProteinSequences({});
+  const double e = ShannonEntropy(t->row(0)[1].AsString());
+  EXPECT_GT(e, 3.5);
+  EXPECT_LT(e, 4.33);
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,91 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+namespace gqp {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value(static_cast<int64_t>(5)).type(), DataType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("x").type(), DataType::kString);
+  EXPECT_EQ(Value(std::string("y")).type(), DataType::kString);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(static_cast<int64_t>(42)).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, ToNumericCoerces) {
+  EXPECT_DOUBLE_EQ(Value(static_cast<int64_t>(3)).ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToNumeric(), 2.5);
+  EXPECT_DOUBLE_EQ(Value("nan-ish").ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value().ToNumeric(), 0.0);
+}
+
+TEST(ValueTest, EqualitySameTypeOnly) {
+  EXPECT_EQ(Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(1)));
+  EXPECT_NE(Value(static_cast<int64_t>(1)), Value(1.0));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(2)));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(1.0), Value(1.5));
+  // Null sorts before everything (type order).
+  EXPECT_LT(Value(), Value(static_cast<int64_t>(0)));
+}
+
+TEST(ValueTest, HashIsStableAndTypeTagged) {
+  const Value a(static_cast<int64_t>(1));
+  EXPECT_EQ(a.Hash(), Value(static_cast<int64_t>(1)).Hash());
+  EXPECT_NE(a.Hash(), Value(1.0).Hash());
+  EXPECT_NE(Value("1").Hash(), a.Hash());
+  EXPECT_EQ(Value("ORF00042").Hash(), Value("ORF00042").Hash());
+}
+
+TEST(ValueTest, HashSpreads) {
+  // Hashes of sequential keys should not collide (bucket routing depends
+  // on a decent spread).
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(Value("ORF" + std::to_string(i)).Hash());
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(ValueTest, WireSize) {
+  EXPECT_EQ(Value().WireSize(), 1u);
+  EXPECT_EQ(Value(static_cast<int64_t>(1)).WireSize(), 8u);
+  EXPECT_EQ(Value(1.0).WireSize(), 8u);
+  EXPECT_EQ(Value("abcd").WireSize(), 8u);  // 4 header + 4 chars
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(static_cast<int64_t>(-3)).ToString(), "-3");
+  EXPECT_EQ(Value("txt").ToString(), "txt");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, DataTypeNames) {
+  EXPECT_EQ(DataTypeToString(DataType::kNull), "NULL");
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "INT64");
+  EXPECT_EQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+  EXPECT_EQ(DataTypeToString(DataType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace gqp
