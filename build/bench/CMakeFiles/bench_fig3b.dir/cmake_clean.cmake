@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b.dir/bench_fig3b.cpp.o"
+  "CMakeFiles/bench_fig3b.dir/bench_fig3b.cpp.o.d"
+  "bench_fig3b"
+  "bench_fig3b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

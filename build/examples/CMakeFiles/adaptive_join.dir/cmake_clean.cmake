@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_join.dir/adaptive_join.cpp.o"
+  "CMakeFiles/adaptive_join.dir/adaptive_join.cpp.o.d"
+  "adaptive_join"
+  "adaptive_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_workflow.dir/adaptive_workflow.cpp.o"
+  "CMakeFiles/adaptive_workflow.dir/adaptive_workflow.cpp.o.d"
+  "adaptive_workflow"
+  "adaptive_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

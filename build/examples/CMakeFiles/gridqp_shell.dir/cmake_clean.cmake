@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridqp_shell.dir/gridqp_shell.cpp.o"
+  "CMakeFiles/gridqp_shell.dir/gridqp_shell.cpp.o.d"
+  "gridqp_shell"
+  "gridqp_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridqp_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_failure.dir/node_failure.cpp.o"
+  "CMakeFiles/node_failure.dir/node_failure.cpp.o.d"
+  "node_failure"
+  "node_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/gqp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dqp/CMakeFiles/gqp_dqp.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/gqp_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gqp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/gqp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/gqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/gqp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/gqp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/gqp_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/gqp_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/gqp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gqp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gqp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gqp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volatile_grid.dir/volatile_grid.cpp.o"
+  "CMakeFiles/volatile_grid.dir/volatile_grid.cpp.o.d"
+  "volatile_grid"
+  "volatile_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volatile_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

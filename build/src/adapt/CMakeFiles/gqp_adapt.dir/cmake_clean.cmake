@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_adapt.dir/diagnoser.cc.o"
+  "CMakeFiles/gqp_adapt.dir/diagnoser.cc.o.d"
+  "CMakeFiles/gqp_adapt.dir/responder.cc.o"
+  "CMakeFiles/gqp_adapt.dir/responder.cc.o.d"
+  "libgqp_adapt.a"
+  "libgqp_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

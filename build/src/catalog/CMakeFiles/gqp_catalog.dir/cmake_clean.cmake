@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_catalog.dir/catalog.cc.o"
+  "CMakeFiles/gqp_catalog.dir/catalog.cc.o.d"
+  "libgqp_catalog.a"
+  "libgqp_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

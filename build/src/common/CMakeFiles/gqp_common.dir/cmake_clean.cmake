@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_common.dir/logging.cc.o"
+  "CMakeFiles/gqp_common.dir/logging.cc.o.d"
+  "CMakeFiles/gqp_common.dir/random.cc.o"
+  "CMakeFiles/gqp_common.dir/random.cc.o.d"
+  "CMakeFiles/gqp_common.dir/status.cc.o"
+  "CMakeFiles/gqp_common.dir/status.cc.o.d"
+  "CMakeFiles/gqp_common.dir/strings.cc.o"
+  "CMakeFiles/gqp_common.dir/strings.cc.o.d"
+  "libgqp_common.a"
+  "libgqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

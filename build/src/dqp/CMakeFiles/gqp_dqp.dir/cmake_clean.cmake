@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_dqp.dir/gdqs.cc.o"
+  "CMakeFiles/gqp_dqp.dir/gdqs.cc.o.d"
+  "CMakeFiles/gqp_dqp.dir/gqes.cc.o"
+  "CMakeFiles/gqp_dqp.dir/gqes.cc.o.d"
+  "libgqp_dqp.a"
+  "libgqp_dqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_dqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_exec.dir/distribution_policy.cc.o"
+  "CMakeFiles/gqp_exec.dir/distribution_policy.cc.o.d"
+  "CMakeFiles/gqp_exec.dir/exchange_producer.cc.o"
+  "CMakeFiles/gqp_exec.dir/exchange_producer.cc.o.d"
+  "CMakeFiles/gqp_exec.dir/fragment_executor.cc.o"
+  "CMakeFiles/gqp_exec.dir/fragment_executor.cc.o.d"
+  "CMakeFiles/gqp_exec.dir/operators.cc.o"
+  "CMakeFiles/gqp_exec.dir/operators.cc.o.d"
+  "libgqp_exec.a"
+  "libgqp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

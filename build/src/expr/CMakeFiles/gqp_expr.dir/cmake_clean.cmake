@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_expr.dir/expression.cc.o"
+  "CMakeFiles/gqp_expr.dir/expression.cc.o.d"
+  "libgqp_expr.a"
+  "libgqp_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_ft.dir/recovery_log.cc.o"
+  "CMakeFiles/gqp_ft.dir/recovery_log.cc.o.d"
+  "libgqp_ft.a"
+  "libgqp_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

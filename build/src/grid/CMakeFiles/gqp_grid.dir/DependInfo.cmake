@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/node.cc" "src/grid/CMakeFiles/gqp_grid.dir/node.cc.o" "gcc" "src/grid/CMakeFiles/gqp_grid.dir/node.cc.o.d"
+  "/root/repo/src/grid/perturbation.cc" "src/grid/CMakeFiles/gqp_grid.dir/perturbation.cc.o" "gcc" "src/grid/CMakeFiles/gqp_grid.dir/perturbation.cc.o.d"
+  "/root/repo/src/grid/registry.cc" "src/grid/CMakeFiles/gqp_grid.dir/registry.cc.o" "gcc" "src/grid/CMakeFiles/gqp_grid.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gqp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gqp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

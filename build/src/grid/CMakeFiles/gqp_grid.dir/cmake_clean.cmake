@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_grid.dir/node.cc.o"
+  "CMakeFiles/gqp_grid.dir/node.cc.o.d"
+  "CMakeFiles/gqp_grid.dir/perturbation.cc.o"
+  "CMakeFiles/gqp_grid.dir/perturbation.cc.o.d"
+  "CMakeFiles/gqp_grid.dir/registry.cc.o"
+  "CMakeFiles/gqp_grid.dir/registry.cc.o.d"
+  "libgqp_grid.a"
+  "libgqp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/monitoring_event_detector.cc" "src/monitor/CMakeFiles/gqp_monitor.dir/monitoring_event_detector.cc.o" "gcc" "src/monitor/CMakeFiles/gqp_monitor.dir/monitoring_event_detector.cc.o.d"
+  "/root/repo/src/monitor/window_average.cc" "src/monitor/CMakeFiles/gqp_monitor.dir/window_average.cc.o" "gcc" "src/monitor/CMakeFiles/gqp_monitor.dir/window_average.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gqp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/gqp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gqp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gqp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

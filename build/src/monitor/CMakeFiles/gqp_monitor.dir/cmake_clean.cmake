@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_monitor.dir/monitoring_event_detector.cc.o"
+  "CMakeFiles/gqp_monitor.dir/monitoring_event_detector.cc.o.d"
+  "CMakeFiles/gqp_monitor.dir/window_average.cc.o"
+  "CMakeFiles/gqp_monitor.dir/window_average.cc.o.d"
+  "libgqp_monitor.a"
+  "libgqp_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

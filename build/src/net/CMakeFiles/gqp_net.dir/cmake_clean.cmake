@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_net.dir/network.cc.o"
+  "CMakeFiles/gqp_net.dir/network.cc.o.d"
+  "libgqp_net.a"
+  "libgqp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

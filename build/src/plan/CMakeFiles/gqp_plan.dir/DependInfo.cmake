@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/binder.cc" "src/plan/CMakeFiles/gqp_plan.dir/binder.cc.o" "gcc" "src/plan/CMakeFiles/gqp_plan.dir/binder.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/plan/CMakeFiles/gqp_plan.dir/logical_plan.cc.o" "gcc" "src/plan/CMakeFiles/gqp_plan.dir/logical_plan.cc.o.d"
+  "/root/repo/src/plan/optimizer.cc" "src/plan/CMakeFiles/gqp_plan.dir/optimizer.cc.o" "gcc" "src/plan/CMakeFiles/gqp_plan.dir/optimizer.cc.o.d"
+  "/root/repo/src/plan/physical_plan.cc" "src/plan/CMakeFiles/gqp_plan.dir/physical_plan.cc.o" "gcc" "src/plan/CMakeFiles/gqp_plan.dir/physical_plan.cc.o.d"
+  "/root/repo/src/plan/scheduler.cc" "src/plan/CMakeFiles/gqp_plan.dir/scheduler.cc.o" "gcc" "src/plan/CMakeFiles/gqp_plan.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/gqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/gqp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/gqp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/gqp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gqp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gqp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

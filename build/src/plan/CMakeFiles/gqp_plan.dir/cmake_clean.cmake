@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_plan.dir/binder.cc.o"
+  "CMakeFiles/gqp_plan.dir/binder.cc.o.d"
+  "CMakeFiles/gqp_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/gqp_plan.dir/logical_plan.cc.o.d"
+  "CMakeFiles/gqp_plan.dir/optimizer.cc.o"
+  "CMakeFiles/gqp_plan.dir/optimizer.cc.o.d"
+  "CMakeFiles/gqp_plan.dir/physical_plan.cc.o"
+  "CMakeFiles/gqp_plan.dir/physical_plan.cc.o.d"
+  "CMakeFiles/gqp_plan.dir/scheduler.cc.o"
+  "CMakeFiles/gqp_plan.dir/scheduler.cc.o.d"
+  "libgqp_plan.a"
+  "libgqp_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgqp_plan.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_rpc.dir/message_bus.cc.o"
+  "CMakeFiles/gqp_rpc.dir/message_bus.cc.o.d"
+  "CMakeFiles/gqp_rpc.dir/service.cc.o"
+  "CMakeFiles/gqp_rpc.dir/service.cc.o.d"
+  "libgqp_rpc.a"
+  "libgqp_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_sim.dir/simulator.cc.o"
+  "CMakeFiles/gqp_sim.dir/simulator.cc.o.d"
+  "libgqp_sim.a"
+  "libgqp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_sql.dir/ast.cc.o"
+  "CMakeFiles/gqp_sql.dir/ast.cc.o.d"
+  "CMakeFiles/gqp_sql.dir/lexer.cc.o"
+  "CMakeFiles/gqp_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/gqp_sql.dir/parser.cc.o"
+  "CMakeFiles/gqp_sql.dir/parser.cc.o.d"
+  "libgqp_sql.a"
+  "libgqp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

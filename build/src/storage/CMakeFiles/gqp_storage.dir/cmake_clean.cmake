@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_storage.dir/datagen.cc.o"
+  "CMakeFiles/gqp_storage.dir/datagen.cc.o.d"
+  "CMakeFiles/gqp_storage.dir/schema.cc.o"
+  "CMakeFiles/gqp_storage.dir/schema.cc.o.d"
+  "CMakeFiles/gqp_storage.dir/table.cc.o"
+  "CMakeFiles/gqp_storage.dir/table.cc.o.d"
+  "CMakeFiles/gqp_storage.dir/tuple.cc.o"
+  "CMakeFiles/gqp_storage.dir/tuple.cc.o.d"
+  "CMakeFiles/gqp_storage.dir/value.cc.o"
+  "CMakeFiles/gqp_storage.dir/value.cc.o.d"
+  "libgqp_storage.a"
+  "libgqp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqp_workload.dir/experiment.cc.o"
+  "CMakeFiles/gqp_workload.dir/experiment.cc.o.d"
+  "CMakeFiles/gqp_workload.dir/grid_setup.cc.o"
+  "CMakeFiles/gqp_workload.dir/grid_setup.cc.o.d"
+  "libgqp_workload.a"
+  "libgqp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
