@@ -1,6 +1,7 @@
 #include "adapt/responder.h"
 
 #include "common/logging.h"
+#include "plan/scheduler.h"
 
 namespace gqp {
 
@@ -83,20 +84,12 @@ void Responder::MaybeStartRound() {
     round.dead.assign(dead_consumers_.begin(), dead_consumers_.end());
     pending_failures_.clear();
     // Redistribute the dead machines' shares over the survivors.
-    round.weights = weights_;
-    double live_total = 0;
-    for (size_t i = 0; i < round.weights.size(); ++i) {
-      if (dead_consumers_.count(static_cast<int>(i)) > 0) {
-        round.weights[i] = 0;
-      }
-      live_total += round.weights[i];
-    }
-    if (live_total <= 0) {
+    round.weights = RecoveryWeights(weights_, dead_consumers_);
+    if (round.weights.empty()) {
       GQP_LOG_ERROR << "responder: every evaluator failed; cannot recover";
       round_.reset();
       return;
     }
-    for (double& w : round.weights) w /= live_total;
     ++stats_.rounds_started;
     round.redistribute_sent = true;
     for (const ConsumerEndpoint& producer : producers_) {
@@ -124,15 +117,8 @@ void Responder::MaybeStartRound() {
   round.weights = std::move(*pending_proposal_);
   // Dead machines stay excluded from performance rebalancing.
   if (!dead_consumers_.empty()) {
-    double live_total = 0;
-    for (size_t i = 0; i < round.weights.size(); ++i) {
-      if (dead_consumers_.count(static_cast<int>(i)) > 0) {
-        round.weights[i] = 0;
-      }
-      live_total += round.weights[i];
-    }
-    if (live_total <= 0) return;
-    for (double& w : round.weights) w /= live_total;
+    round.weights = RecoveryWeights(std::move(round.weights), dead_consumers_);
+    if (round.weights.empty()) return;
     round.dead.assign(dead_consumers_.begin(), dead_consumers_.end());
   }
   pending_proposal_.reset();

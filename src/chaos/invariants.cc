@@ -1,0 +1,219 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "storage/datagen.h"
+
+namespace gqp {
+namespace chaos {
+
+namespace {
+
+/// First few elements of a container, for violation messages.
+template <typename Container>
+std::string Preview(const Container& items, size_t limit = 8) {
+  std::string out = "[";
+  size_t shown = 0;
+  for (const auto& item : items) {
+    if (shown == limit) {
+      out += StrCat(", ... (", items.size(), " total)");
+      break;
+    }
+    if (shown > 0) out += ", ";
+    out += StrCat(item);
+    ++shown;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::multiset<std::string> OracleRows(QueryKind query, const Table& sequences,
+                                      const Table& interactions) {
+  std::multiset<std::string> oracle;
+  if (query == QueryKind::kQ1) {
+    const SchemaPtr schema = MakeSchema({{"e", DataType::kDouble}});
+    for (const Tuple& row : sequences.rows()) {
+      oracle.insert(
+          Tuple(schema, {Value(ShannonEntropy(row[1].AsString()))})
+              .ToString());
+    }
+    return oracle;
+  }
+  // Q2: select i.orf2 from sequences p, interactions i where i.orf1 = p.orf.
+  std::multiset<std::string> orfs;
+  for (const Tuple& row : sequences.rows()) orfs.insert(row[0].AsString());
+  for (const Tuple& row : interactions.rows()) {
+    const size_t matches = orfs.count(row[0].AsString());
+    for (size_t i = 0; i < matches; ++i) {
+      oracle.insert(StrCat("[", row[1].AsString(), "]"));
+    }
+  }
+  return oracle;
+}
+
+size_t MaxOutputFanout(QueryKind query, const Table& sequences,
+                       const Table& interactions) {
+  if (query == QueryKind::kQ1) return 1;
+  // A replayed probe (interaction) tuple re-emits one row per build tuple
+  // sharing its key; a replayed build (sequence) tuple can at worst
+  // re-enable every interaction row of its orf.
+  std::unordered_map<std::string, size_t> seq_by_orf;
+  for (const Tuple& row : sequences.rows()) ++seq_by_orf[row[0].AsString()];
+  std::unordered_map<std::string, size_t> inter_by_orf;
+  for (const Tuple& row : interactions.rows()) {
+    ++inter_by_orf[row[0].AsString()];
+  }
+  size_t fanout = 1;
+  for (const auto& [orf, count] : seq_by_orf) fanout = std::max(fanout, count);
+  for (const auto& [orf, count] : inter_by_orf) {
+    fanout = std::max(fanout, count);
+  }
+  return fanout;
+}
+
+void CheckResults(const std::multiset<std::string>& oracle,
+                  const std::vector<Tuple>& actual, bool failures_injected,
+                  uint64_t resent_tuples, size_t max_fanout,
+                  std::vector<std::string>* violations) {
+  std::multiset<std::string> got;
+  for (const Tuple& t : actual) got.insert(t.ToString());
+
+  // Nothing may ever be lost, failures or not.
+  std::vector<std::string> missing;
+  for (auto it = oracle.begin(); it != oracle.end();
+       it = oracle.upper_bound(*it)) {
+    const size_t want = oracle.count(*it);
+    const size_t have = got.count(*it);
+    if (have < want) {
+      missing.push_back(StrCat(*it, " (want ", want, ", got ", have, ")"));
+    }
+  }
+  if (!missing.empty()) {
+    violations->push_back(StrCat("[results] lost result rows: ",
+                                 Preview(missing)));
+  }
+
+  // Extras: exact equality without failures; with failures, at most the
+  // replayed tuples times their worst-case fanout.
+  std::vector<std::string> extra;
+  for (auto it = got.begin(); it != got.end(); it = got.upper_bound(*it)) {
+    const size_t want = oracle.count(*it);
+    const size_t have = got.count(*it);
+    if (have > want) {
+      extra.push_back(StrCat(*it, " (want ", want, ", got ", have, ")"));
+    }
+  }
+  const uint64_t budget =
+      failures_injected ? resent_tuples * static_cast<uint64_t>(max_fanout)
+                        : 0;
+  if (got.size() > oracle.size() + budget) {
+    violations->push_back(
+        StrCat("[results] ", got.size() - oracle.size(),
+               " duplicate rows exceed the at-least-once budget of ", budget,
+               " (resent=", resent_tuples, ", fanout=", max_fanout,
+               "): ", Preview(extra)));
+  } else if (!failures_injected && !extra.empty()) {
+    violations->push_back(StrCat(
+        "[results] duplicated rows without any failure injected "
+        "(redistribution must be exactly-once): ",
+        Preview(extra)));
+  }
+}
+
+void CheckConservation(GridSetup* grid, int query_id,
+                       std::vector<std::string>* violations) {
+  // Gather every fragment instance of the query, hosts in id order.
+  struct Instance {
+    FragmentExecutor* exec = nullptr;
+    bool live = false;
+  };
+  std::map<std::string, Instance> instances;
+  const int num_hosts = 2 + grid->num_evaluators();
+  for (int host = 0; host < num_hosts; ++host) {
+    Gqes* gqes = grid->gqes_on(static_cast<HostId>(host));
+    if (gqes == nullptr) continue;
+    for (FragmentExecutor* exec : gqes->Executors()) {
+      if (exec->plan().id.query != query_id) continue;
+      instances[exec->plan().id.ToString()] =
+          Instance{exec, !exec->node()->dead()};
+    }
+  }
+
+  // Producer-side: routing conservation, log drain, and the expected
+  // delivery count per consumer instance.
+  std::map<std::string, uint64_t> expected_received;
+  for (const auto& [key, inst] : instances) {
+    const ExchangeProducer* producer = inst.exec->producer();
+    if (producer == nullptr) continue;
+    const ProducerStats& ps = producer->stats();
+
+    uint64_t routed = 0;
+    for (const uint64_t n : ps.tuples_to_consumer) routed += n;
+    if (inst.live && routed != ps.tuples_offered + ps.resent_tuples) {
+      violations->push_back(StrCat(
+          "[conservation] producer ", key, ": routed ", routed,
+          " != offered ", ps.tuples_offered, " + resent ", ps.resent_tuples));
+    }
+
+    const RecoveryLogStats& ls = producer->log().stats();
+    if (inst.live && ls.appended > 0 &&
+        ls.appended != ps.tuples_offered + ps.resent_tuples) {
+      violations->push_back(StrCat(
+          "[conservation] producer ", key, ": recovery log appended ",
+          ls.appended, " != offered ", ps.tuples_offered, " + resent ",
+          ps.resent_tuples));
+    }
+    if (inst.live && producer->eos_sent() && !producer->log().empty()) {
+      violations->push_back(StrCat(
+          "[conservation] producer ", key, ": ", producer->log().size(),
+          " tuples stranded in the recovery log after completion, seqs ",
+          Preview(producer->log().PendingSeqs())));
+    }
+
+    if (!inst.exec->plan().output.has_value()) continue;
+    const auto& consumers = inst.exec->plan().output->consumers;
+    for (size_t c = 0;
+         c < consumers.size() && c < ps.tuples_sent_to_consumer.size(); ++c) {
+      expected_received[consumers[c].id.ToString()] +=
+          ps.tuples_sent_to_consumer[c];
+    }
+  }
+
+  // Consumer-side: every tuple sent to a surviving consumer arrived, and
+  // no sequence number was processed by two surviving consumers.
+  std::map<std::string, std::map<uint64_t, int>> processed_by_producer;
+  for (const auto& [key, inst] : instances) {
+    if (!inst.live) continue;
+    const auto it = expected_received.find(key);
+    const uint64_t expected =
+        it == expected_received.end() ? 0 : it->second;
+    if (inst.exec->stats().tuples_received != expected) {
+      violations->push_back(StrCat(
+          "[conservation] consumer ", key, ": received ",
+          inst.exec->stats().tuples_received, " tuples but producers sent ",
+          expected));
+    }
+    const size_t num_ports = inst.exec->plan().inputs.size();
+    for (size_t port = 0; port < num_ports; ++port) {
+      for (const auto& [producer_key, seqs] :
+           inst.exec->ProcessedSeqs(static_cast<int>(port))) {
+        for (const uint64_t seq : seqs) {
+          const int count = ++processed_by_producer[producer_key][seq];
+          if (count == 2) {
+            violations->push_back(StrCat(
+                "[conservation] seq ", seq, " of producer ", producer_key,
+                " processed by two surviving consumers"));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace chaos
+}  // namespace gqp

@@ -1,0 +1,63 @@
+// System-invariant checks for chaos runs. Instead of golden outputs, a
+// chaos run is judged by properties that must hold under ANY perturbation
+// and failure schedule:
+//
+//   (a) result correctness — the result multiset equals the oracle answer
+//       computed directly from the datasets; when machines crashed
+//       mid-query, at-least-once semantics apply (nothing lost, duplicate
+//       rows bounded by the replayed-tuple count);
+//   (b) tuple conservation — producer routing, recovery-log and
+//       consumer-receive counters balance across every exchange, no
+//       recovery log is left non-empty, and no tuple is processed by two
+//       surviving consumers;
+//   (c) replay determinism — checked by the runner/tests comparing event
+//       traces of double runs (see trace.h);
+//   (d) termination — the simulation drains, the query completes and
+//       reports no execution error.
+//
+// Every violation string is prefixed with the invariant tag so sweeps can
+// aggregate by class.
+
+#ifndef GRIDQP_CHAOS_INVARIANTS_H_
+#define GRIDQP_CHAOS_INVARIANTS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.h"
+#include "workload/grid_setup.h"
+
+namespace gqp {
+namespace chaos {
+
+/// Oracle result rows (rendered with Tuple::ToString) computed directly
+/// from the datasets, independent of the pipeline: Q1 applies the web
+/// service function to every sequence; Q2 evaluates the join.
+std::multiset<std::string> OracleRows(QueryKind query, const Table& sequences,
+                                      const Table& interactions);
+
+/// Upper bound on result rows a single replayed input tuple can
+/// regenerate: the duplicate-row budget per resent tuple under
+/// at-least-once recovery. Q1 maps one input to one output; Q2 is bounded
+/// by the heaviest join key of the build side.
+size_t MaxOutputFanout(QueryKind query, const Table& sequences,
+                       const Table& interactions);
+
+/// Invariant (a). `resent_tuples` is the producers' total replay count;
+/// with no failures injected the result must equal the oracle exactly
+/// (redistribution rounds must never duplicate or lose tuples).
+void CheckResults(const std::multiset<std::string>& oracle,
+                  const std::vector<Tuple>& actual, bool failures_injected,
+                  uint64_t resent_tuples, size_t max_fanout,
+                  std::vector<std::string>* violations);
+
+/// Invariant (b), checked over every fragment instance of `query_id` in
+/// the grid after the simulation drained.
+void CheckConservation(GridSetup* grid, int query_id,
+                       std::vector<std::string>* violations);
+
+}  // namespace chaos
+}  // namespace gqp
+
+#endif  // GRIDQP_CHAOS_INVARIANTS_H_

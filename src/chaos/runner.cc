@@ -1,0 +1,224 @@
+#include "chaos/runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "chaos/invariants.h"
+#include "chaos/trace.h"
+#include "common/strings.h"
+#include "storage/datagen.h"
+#include "workload/grid_setup.h"
+
+namespace gqp {
+namespace chaos {
+
+namespace {
+
+PerturbationPtr MakeProfile(const PerturbationEvent& ev) {
+  switch (ev.kind) {
+    case PerturbationEvent::Kind::kConstantFactor:
+      return std::make_shared<ConstantFactorPerturbation>(ev.p0);
+    case PerturbationEvent::Kind::kAddedDelay:
+      return std::make_shared<AddedDelayPerturbation>(ev.p0);
+    case PerturbationEvent::Kind::kGaussianFactor:
+      return std::make_shared<GaussianFactorPerturbation>(
+          ev.p0, ev.p1, ev.p2, ev.p3, ev.profile_seed);
+    case PerturbationEvent::Kind::kDrift:
+      return std::make_shared<DriftPerturbation>(ev.p0, ev.p1,
+                                                 ev.profile_seed);
+    case PerturbationEvent::Kind::kStep: {
+      std::vector<StepPerturbation::Step> steps;
+      for (const auto& [start_ms, factor] : ev.steps) {
+        steps.push_back(StepPerturbation::Step{start_ms, factor});
+      }
+      return std::make_shared<StepPerturbation>(std::move(steps));
+    }
+    case PerturbationEvent::Kind::kClear:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void InstallPerturbation(GridSetup* grid, const PerturbationEvent& ev,
+                         const std::string& tag) {
+  if (ev.kind == PerturbationEvent::Kind::kClear) {
+    grid->evaluator_node(ev.evaluator)->ClearPerturbations();
+    return;
+  }
+  PerturbationPtr profile = MakeProfile(ev);
+  if (ev.node_wide) {
+    grid->evaluator_node(ev.evaluator)->SetNodePerturbation(
+        std::move(profile));
+  } else {
+    (void)grid->PerturbEvaluator(ev.evaluator, tag, std::move(profile));
+  }
+}
+
+std::string DumpExecutors(GridSetup* grid, int query_id) {
+  std::string out;
+  const int num_hosts = 2 + grid->num_evaluators();
+  for (int host = 0; host < num_hosts; ++host) {
+    Gqes* gqes = grid->gqes_on(static_cast<HostId>(host));
+    if (gqes == nullptr) continue;
+    for (FragmentExecutor* exec : gqes->Executors()) {
+      if (exec->plan().id.query != query_id) continue;
+      out += StrCat("\n    ", exec->DebugString());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChaosRunResult::Report() const {
+  std::string out;
+  if (!status.ok()) out = StrCat("run error: ", status.ToString(), "\n");
+  for (const std::string& v : violations) out += v + "\n";
+  return out;
+}
+
+ChaosRunResult RunScenario(const ChaosScenario& scenario,
+                           const ChaosRunOptions& options) {
+  ChaosRunResult result;
+  const std::string repro = ReproCommand(scenario.seed);
+
+  GridOptions grid_options;
+  grid_options.num_evaluators = scenario.num_evaluators;
+  grid_options.evaluator_capacities = scenario.capacities;
+  grid_options.link = scenario.initial_link;
+  grid_options.adaptive = true;
+  grid_options.med.window = scenario.med_window;
+  grid_options.med.thres_m = scenario.thres_m;
+
+  GridSetup grid(grid_options);
+  result.status = grid.Initialize();
+  if (!result.status.ok()) return result;
+
+  EventTraceRecorder recorder(options.keep_trace);
+  recorder.Attach(grid.simulator());
+  grid.simulator()->set_max_events(options.max_events);
+
+  // Datasets, seeded from the scenario (same derivation as the experiment
+  // harness so chaos results stay comparable to the paper runs).
+  ProteinSequencesSpec seq_spec;
+  seq_spec.num_rows = scenario.sequences;
+  seq_spec.sequence_length = scenario.sequence_length;
+  seq_spec.seed = scenario.seed;
+  const TablePtr sequences = GenerateProteinSequences(seq_spec);
+  ProteinInteractionsSpec inter_spec;
+  inter_spec.num_rows = scenario.interactions;
+  inter_spec.num_orfs = scenario.sequences;
+  inter_spec.seed = scenario.seed + 1000003;
+  const TablePtr interactions = GenerateProteinInteractions(inter_spec);
+
+  result.status = grid.AddTable(sequences);
+  if (!result.status.ok()) return result;
+  result.status = grid.AddTable(interactions);
+  if (!result.status.ok()) return result;
+  result.status = grid.AddWebService("EntropyAnalyser", DataType::kDouble,
+                                     scenario.ws_cost_ms);
+  if (!result.status.ok()) return result;
+
+  // Chaos schedule: perturbations, failures and link shifts fire as
+  // simulator events at their scenario times.
+  const std::string tag = PerturbTag(scenario.query);
+  for (const PerturbationEvent& ev : scenario.perturbations) {
+    if (ev.at_ms <= 0.0) {
+      InstallPerturbation(&grid, ev, tag);
+    } else {
+      grid.simulator()->Schedule(ev.at_ms, [&grid, &ev, tag] {
+        InstallPerturbation(&grid, ev, tag);
+      });
+    }
+  }
+  for (const FailureEvent& ev : scenario.failures) {
+    grid.simulator()->Schedule(ev.at_ms, [&grid, &ev] {
+      (void)grid.FailEvaluator(ev.evaluator);
+    });
+  }
+  for (const LinkShiftEvent& ev : scenario.link_shifts) {
+    grid.simulator()->Schedule(ev.at_ms, [&grid, &ev] {
+      grid.network()->SetAllLinks(ev.params);
+    });
+  }
+
+  QueryOptions query_options;
+  query_options.adaptivity.enabled = true;
+  query_options.adaptivity.assessment = scenario.assessment;
+  query_options.adaptivity.response = scenario.response;
+  query_options.adaptivity.thres_a = scenario.thres_a;
+  query_options.adaptivity.thres_m = scenario.thres_m;
+  query_options.adaptivity.window = scenario.med_window;
+  query_options.exec.m1_frequency = scenario.m1_frequency;
+  query_options.exec.checkpoint_interval = scenario.checkpoint_interval;
+  query_options.exec.buffer_tuples = scenario.buffer_tuples;
+  query_options.exec.monitoring_enabled = true;
+  query_options.exec.recovery_log_enabled = true;
+  query_options.scheduler.num_evaluators = scenario.num_evaluators;
+
+  Result<int> query = grid.gdqs()->SubmitQuery(QuerySql(scenario.query),
+                                               query_options);
+  if (!query.ok()) {
+    result.status = query.status();
+    return result;
+  }
+
+  // --- invariant (d): termination --------------------------------------
+  const Status run_status = grid.simulator()->Run();
+  EventTraceRecorder::Detach(grid.simulator());
+  result.trace_hash = recorder.hash();
+  result.trace_events = recorder.events();
+  if (options.keep_trace) result.trace = recorder.trace();
+  result.final_time_ms = grid.simulator()->Now();
+  result.completed = grid.gdqs()->QueryComplete(*query);
+
+  if (!run_status.ok()) {
+    result.violations.push_back(
+        StrCat("[termination] simulator did not drain: ",
+               run_status.ToString(), " — repro: ", repro));
+    return result;
+  }
+  if (!result.completed) {
+    result.violations.push_back(StrCat(
+        "[termination] query never completed (events=",
+        grid.simulator()->events_executed(), ", t=", result.final_time_ms,
+        " ms) — repro: ", repro, DumpExecutors(&grid, *query)));
+    return result;
+  }
+  const Status exec_status = grid.gdqs()->ExecutionStatus(*query);
+  if (!exec_status.ok()) {
+    result.violations.push_back(
+        StrCat("[termination] execution error: ", exec_status.ToString(),
+               " — repro: ", repro));
+    return result;
+  }
+
+  Result<QueryResult> query_result = grid.gdqs()->GetResult(*query);
+  if (!query_result.ok()) {
+    result.status = query_result.status();
+    return result;
+  }
+  result.response_ms = query_result->response_time_ms;
+  for (const Tuple& row : query_result->rows) {
+    result.result_rows.push_back(row.ToString());
+  }
+  Result<QueryStatsSnapshot> stats = grid.gdqs()->CollectStats(*query);
+  if (stats.ok()) result.stats = *stats;
+
+  // --- invariants (a) + (b) ---------------------------------------------
+  std::vector<std::string> violations;
+  const std::multiset<std::string> oracle =
+      OracleRows(scenario.query, *sequences, *interactions);
+  CheckResults(oracle, query_result->rows, !scenario.failures.empty(),
+               result.stats.resent_tuples,
+               MaxOutputFanout(scenario.query, *sequences, *interactions),
+               &violations);
+  CheckConservation(&grid, *query, &violations);
+  for (std::string& v : violations) {
+    result.violations.push_back(StrCat(v, " — repro: ", repro));
+  }
+  return result;
+}
+
+}  // namespace chaos
+}  // namespace gqp

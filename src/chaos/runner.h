@@ -1,0 +1,62 @@
+// Chaos runner: executes one seeded scenario through the full GDQS/GQES
+// pipeline (grid construction, datasets, query compilation, adaptive
+// execution under the scenario's perturbation/failure/network schedule)
+// and checks the system invariants of invariants.h. Any violation carries
+// the one-line repro command, so a red sweep entry is immediately
+// replayable: `chaos_repro --seed=N`.
+
+#ifndef GRIDQP_CHAOS_RUNNER_H_
+#define GRIDQP_CHAOS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.h"
+#include "dqp/gdqs.h"
+
+namespace gqp {
+namespace chaos {
+
+struct ChaosRunOptions {
+  /// Keep the full serialized event trace (determinism tests); the FNV
+  /// hash is always recorded.
+  bool keep_trace = false;
+  /// Per-scenario event budget: a runaway loop becomes a termination
+  /// violation instead of a hung test.
+  uint64_t max_events = 30'000'000ULL;
+};
+
+struct ChaosRunResult {
+  /// Infrastructure failures (grid setup, submission); invariant
+  /// violations are reported in `violations`, not here.
+  Status status = Status::OK();
+  bool completed = false;
+  std::vector<std::string> violations;
+
+  /// Result rows in arrival order (rendered), for determinism comparison.
+  std::vector<std::string> result_rows;
+  double response_ms = 0.0;
+  double final_time_ms = 0.0;
+  QueryStatsSnapshot stats;
+
+  uint64_t trace_hash = 0;
+  uint64_t trace_events = 0;
+  /// Only populated with ChaosRunOptions::keep_trace.
+  std::string trace;
+
+  bool ok() const { return status.ok() && violations.empty(); }
+  /// Violations joined into one report, repro command included.
+  std::string Report() const;
+};
+
+/// Runs one scenario and checks invariants (a), (b) and (d). Invariant (c)
+/// is checked by running the same scenario twice and comparing
+/// trace/results (see tests/chaos/determinism_test.cc).
+ChaosRunResult RunScenario(const ChaosScenario& scenario,
+                           const ChaosRunOptions& options = {});
+
+}  // namespace chaos
+}  // namespace gqp
+
+#endif  // GRIDQP_CHAOS_RUNNER_H_

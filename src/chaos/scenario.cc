@@ -1,0 +1,228 @@
+#include "chaos/scenario.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace gqp {
+namespace chaos {
+
+namespace {
+
+std::string_view KindName(PerturbationEvent::Kind kind) {
+  switch (kind) {
+    case PerturbationEvent::Kind::kConstantFactor:
+      return "factor";
+    case PerturbationEvent::Kind::kAddedDelay:
+      return "sleep";
+    case PerturbationEvent::Kind::kGaussianFactor:
+      return "gauss";
+    case PerturbationEvent::Kind::kDrift:
+      return "drift";
+    case PerturbationEvent::Kind::kStep:
+      return "step";
+    case PerturbationEvent::Kind::kClear:
+      return "clear";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PerturbationEvent::Describe() const {
+  std::string out =
+      StrCat("t", at_ms, ":e", evaluator, ":", KindName(kind));
+  if (node_wide) out += ":node";
+  switch (kind) {
+    case Kind::kConstantFactor:
+    case Kind::kAddedDelay:
+      out += StrCat("(", p0, ")");
+      break;
+    case Kind::kGaussianFactor:
+      out += StrCat("(", p0, ",", p1, ",[", p2, ",", p3, "])");
+      break;
+    case Kind::kDrift:
+      out += StrCat("(", p0, ",", p1, ")");
+      break;
+    case Kind::kStep:
+      out += StrCat("(", steps.size(), " steps)");
+      break;
+    case Kind::kClear:
+      break;
+  }
+  return out;
+}
+
+std::string ChaosScenario::Describe() const {
+  std::string caps;
+  for (size_t i = 0; i < capacities.size(); ++i) {
+    if (i > 0) caps += ",";
+    caps += StrCat(capacities[i]);
+  }
+  std::string out = StrCat(
+      "seed=", seed, " query=", query == QueryKind::kQ1 ? "Q1" : "Q2",
+      " rows=", sequences, "/", interactions, " evals=", num_evaluators,
+      " caps=[", caps, "] link=", initial_link.latency_ms, "ms/",
+      initial_link.bandwidth_bytes_per_ms, " assess=",
+      AssessmentTypeToString(assessment), " resp=",
+      ResponseTypeToString(response), " ckpt=", checkpoint_interval,
+      " m1=", m1_frequency, " med=", med_window, " buf=", buffer_tuples);
+  if (!perturbations.empty()) {
+    out += " perturb=[";
+    for (size_t i = 0; i < perturbations.size(); ++i) {
+      if (i > 0) out += " ";
+      out += perturbations[i].Describe();
+    }
+    out += "]";
+  }
+  if (!failures.empty()) {
+    out += " fail=[";
+    for (size_t i = 0; i < failures.size(); ++i) {
+      if (i > 0) out += " ";
+      out += StrCat("t", failures[i].at_ms, ":e", failures[i].evaluator);
+    }
+    out += "]";
+  }
+  if (!link_shifts.empty()) {
+    out += " links=[";
+    for (size_t i = 0; i < link_shifts.size(); ++i) {
+      if (i > 0) out += " ";
+      out += StrCat("t", link_shifts[i].at_ms, ":",
+                    link_shifts[i].params.latency_ms, "ms/",
+                    link_shifts[i].params.bandwidth_bytes_per_ms);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+ChaosScenario GenerateScenario(uint64_t seed) {
+  // Every draw happens in a fixed order so the scenario is a pure function
+  // of the seed; never reorder or make draws conditional on earlier ones
+  // unless the condition itself is seed-deterministic.
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  ChaosScenario s;
+  s.seed = seed;
+
+  s.query = rng.NextBool(0.5) ? QueryKind::kQ1 : QueryKind::kQ2;
+  s.sequences = static_cast<size_t>(rng.NextInt(150, 600));
+  s.interactions = static_cast<size_t>(rng.NextInt(200, 900));
+  s.sequence_length = static_cast<size_t>(rng.NextInt(16, 48));
+  s.ws_cost_ms = rng.NextDouble(0.1, 0.4);
+
+  s.num_evaluators = static_cast<int>(rng.NextInt(2, 4));
+  for (int i = 0; i < s.num_evaluators; ++i) {
+    s.capacities.push_back(rng.NextDouble(0.5, 2.0));
+  }
+  s.initial_link.latency_ms = rng.NextDouble(0.1, 2.0);
+  s.initial_link.bandwidth_bytes_per_ms = rng.NextDouble(4000.0, 20000.0);
+
+  s.assessment =
+      rng.NextBool(0.5) ? AssessmentType::kA1 : AssessmentType::kA2;
+  s.response = rng.NextBool(0.5) ? ResponseType::kProspective
+                                 : ResponseType::kRetrospective;
+  // R2 cannot preserve correctness for partitioned stateful operators
+  // (the GDQS rejects it for the join); override after the draw so the
+  // draw sequence stays identical across queries.
+  if (s.query == QueryKind::kQ2) s.response = ResponseType::kRetrospective;
+  static constexpr size_t kCheckpoints[] = {1, 5, 25, 50};
+  s.checkpoint_interval = kCheckpoints[rng.NextBelow(4)];
+  static constexpr size_t kM1[] = {1, 5, 10, 20};
+  s.m1_frequency = kM1[rng.NextBelow(4)];
+  static constexpr size_t kWindows[] = {5, 10, 25};
+  s.med_window = kWindows[rng.NextBelow(3)];
+  static constexpr size_t kBuffers[] = {10, 25, 50};
+  s.buffer_tuples = kBuffers[rng.NextBelow(3)];
+  s.thres_m = rng.NextDouble(0.10, 0.40);
+  s.thres_a = rng.NextDouble(0.10, 0.40);
+
+  // Perturbation schedule: 0-3 profile installations at random times on
+  // random evaluators.
+  const int num_perturbations = static_cast<int>(rng.NextInt(0, 3));
+  for (int i = 0; i < num_perturbations; ++i) {
+    PerturbationEvent ev;
+    ev.at_ms = rng.NextDouble(0.0, 400.0);
+    ev.evaluator = static_cast<int>(rng.NextBelow(
+        static_cast<uint64_t>(s.num_evaluators)));
+    ev.node_wide = rng.NextBool(0.25);
+    ev.profile_seed = rng.Next();
+    switch (rng.NextBelow(6)) {
+      case 0:
+        ev.kind = PerturbationEvent::Kind::kConstantFactor;
+        ev.p0 = rng.NextDouble(2.0, 30.0);
+        break;
+      case 1:
+        ev.kind = PerturbationEvent::Kind::kAddedDelay;
+        ev.p0 = rng.NextDouble(1.0, 12.0);
+        break;
+      case 2: {
+        ev.kind = PerturbationEvent::Kind::kGaussianFactor;
+        ev.p0 = rng.NextDouble(5.0, 30.0);   // mean
+        ev.p1 = rng.NextDouble(1.0, 10.0);   // stddev
+        ev.p2 = std::max(1.0, ev.p0 - rng.NextDouble(2.0, 15.0));  // lo
+        ev.p3 = ev.p0 + rng.NextDouble(2.0, 15.0);                 // hi
+        break;
+      }
+      case 3:
+        ev.kind = PerturbationEvent::Kind::kDrift;
+        ev.p0 = rng.NextDouble(0.2, 0.8);       // sigma
+        ev.p1 = rng.NextDouble(50.0, 400.0);    // tau_ms
+        break;
+      case 4: {
+        ev.kind = PerturbationEvent::Kind::kStep;
+        const int num_steps = static_cast<int>(rng.NextInt(2, 4));
+        double t = rng.NextDouble(0.0, 100.0);
+        for (int step = 0; step < num_steps; ++step) {
+          ev.steps.emplace_back(t, rng.NextDouble(1.0, 20.0));
+          t += rng.NextDouble(30.0, 200.0);
+        }
+        break;
+      }
+      default:
+        ev.kind = PerturbationEvent::Kind::kClear;
+        break;
+    }
+    s.perturbations.push_back(std::move(ev));
+  }
+
+  // Failure schedule: at most num_evaluators - 1 crashes (someone must
+  // survive to absorb the recovered work), on distinct evaluators.
+  int num_failures = 0;
+  const double failure_dice = rng.NextDouble();
+  if (failure_dice > 0.85) {
+    num_failures = 2;
+  } else if (failure_dice > 0.50) {
+    num_failures = 1;
+  }
+  num_failures = std::min(num_failures, s.num_evaluators - 1);
+  std::vector<int> victims;
+  for (int i = 0; i < s.num_evaluators; ++i) victims.push_back(i);
+  for (int i = 0; i < num_failures; ++i) {
+    const size_t pick = rng.NextBelow(victims.size());
+    FailureEvent ev;
+    ev.evaluator = victims[pick];
+    victims.erase(victims.begin() + static_cast<long>(pick));
+    ev.at_ms = rng.NextDouble(30.0, 500.0);
+    s.failures.push_back(ev);
+  }
+
+  // Network shifts: 0-2 fabric-wide latency/bandwidth changes.
+  const int num_shifts = static_cast<int>(rng.NextInt(0, 2));
+  for (int i = 0; i < num_shifts; ++i) {
+    LinkShiftEvent ev;
+    ev.at_ms = rng.NextDouble(20.0, 400.0);
+    ev.params.latency_ms = rng.NextDouble(0.1, 4.0);
+    ev.params.bandwidth_bytes_per_ms = rng.NextDouble(2000.0, 20000.0);
+    s.link_shifts.push_back(ev);
+  }
+
+  return s;
+}
+
+std::string ReproCommand(uint64_t seed) {
+  return StrCat("chaos_repro --seed=", seed);
+}
+
+}  // namespace chaos
+}  // namespace gqp

@@ -1,0 +1,116 @@
+// Chaos scenarios: seeded, randomized stress inputs for the adaptivity
+// loop. A ChaosScenario is a pure function of a single uint64_t seed — it
+// composes a query, a heterogeneous grid, perturbation schedules (the
+// paper's load-injection profiles attached to random (node, operation)
+// bindings at random virtual times), evaluator failures, and network
+// delay/bandwidth shifts. The runner (runner.h) executes scenarios through
+// the full GDQS/GQES pipeline and checks system invariants instead of
+// golden outputs.
+
+#ifndef GRIDQP_CHAOS_SCENARIO_H_
+#define GRIDQP_CHAOS_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adapt/adaptivity_config.h"
+#include "net/network.h"
+#include "workload/experiment.h"
+
+namespace gqp {
+namespace chaos {
+
+/// Installs (or clears) a perturbation profile on one evaluator at a
+/// virtual time.
+struct PerturbationEvent {
+  enum class Kind {
+    /// Operation k times costlier (factor = p0).
+    kConstantFactor,
+    /// Fixed added delay per unit of work (delay_ms = p0).
+    kAddedDelay,
+    /// Per-tuple factor ~ truncated N(p0, p1) in [p2, p3].
+    kGaussianFactor,
+    /// Ornstein-Uhlenbeck load drift (sigma = p0, tau_ms = p1).
+    kDrift,
+    /// Piecewise-constant factor over time (steps).
+    kStep,
+    /// Removes every perturbation from the evaluator (load goes away).
+    kClear,
+  };
+
+  SimTime at_ms = 0.0;
+  int evaluator = 0;
+  Kind kind = Kind::kConstantFactor;
+  /// Profile parameters; meaning depends on `kind` (see enumerators).
+  double p0 = 1.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+  /// (start_ms, factor) pairs for kStep, sorted by start time.
+  std::vector<std::pair<double, double>> steps;
+  /// Seed for RNG-driven profiles.
+  uint64_t profile_seed = 0;
+  /// Node-wide (every operation) instead of the query's perturb tag.
+  bool node_wide = false;
+
+  std::string Describe() const;
+};
+
+/// Crashes one evaluator machine at a virtual time.
+struct FailureEvent {
+  SimTime at_ms = 0.0;
+  int evaluator = 0;
+};
+
+/// Replaces every link's latency/bandwidth at a virtual time.
+struct LinkShiftEvent {
+  SimTime at_ms = 0.0;
+  LinkParams params;
+};
+
+/// \brief A complete seeded chaos scenario.
+struct ChaosScenario {
+  uint64_t seed = 0;
+
+  // --- workload ---------------------------------------------------------
+  QueryKind query = QueryKind::kQ1;
+  size_t sequences = 300;
+  size_t interactions = 450;
+  size_t sequence_length = 32;
+  double ws_cost_ms = 0.2;
+
+  // --- grid -------------------------------------------------------------
+  int num_evaluators = 2;
+  std::vector<double> capacities;
+  LinkParams initial_link;
+
+  // --- engine / adaptivity knobs ---------------------------------------
+  AssessmentType assessment = AssessmentType::kA1;
+  ResponseType response = ResponseType::kRetrospective;
+  size_t checkpoint_interval = 25;
+  size_t m1_frequency = 10;
+  size_t med_window = 25;
+  size_t buffer_tuples = 50;
+  double thres_m = 0.20;
+  double thres_a = 0.20;
+
+  // --- injected chaos ---------------------------------------------------
+  std::vector<PerturbationEvent> perturbations;
+  std::vector<FailureEvent> failures;
+  std::vector<LinkShiftEvent> link_shifts;
+
+  /// One-line summary for logs and violation reports.
+  std::string Describe() const;
+};
+
+/// Generates the scenario for a seed. Deterministic: equal seeds yield
+/// structurally identical scenarios. Guarantees at least one evaluator
+/// survives every failure schedule.
+ChaosScenario GenerateScenario(uint64_t seed);
+
+/// The one-line command that reproduces a scenario (printed with every
+/// invariant violation).
+std::string ReproCommand(uint64_t seed);
+
+}  // namespace chaos
+}  // namespace gqp
+
+#endif  // GRIDQP_CHAOS_SCENARIO_H_

@@ -240,12 +240,14 @@ void Gdqs::OnFragmentComplete(const FragmentCompletePayload& complete) {
   auto it = queries_.find(complete.id().query);
   if (it == queries_.end()) return;
   QueryState& state = it->second;
-  if (complete.id().fragment != state.root_fragment || state.complete) {
-    return;
-  }
+  if (complete.id().fragment != state.root_fragment) return;
+  // The root can re-finish after resuming for a recovery resend; refresh
+  // the completion time so response time covers the recovery tail, but
+  // fire the client callback only once.
+  const bool first = !state.complete;
   state.complete = true;
   state.completion_time = simulator()->Now();
-  if (state.on_complete) state.on_complete(BuildResult(state));
+  if (first && state.on_complete) state.on_complete(BuildResult(state));
 }
 
 bool Gdqs::QueryComplete(int query_id) const {
@@ -382,6 +384,24 @@ Status Gdqs::ReportNodeFailure(HostId failed_host) {
                 SendTo(Address{consumer_hosts[c], cid.ToString()},
                        std::make_shared<ProducerLostPayload>(
                            out->id, dead, out->consumer_port)));
+          }
+        }
+
+        // Upstream producers stop sending to the dead instance and drop it
+        // from any in-flight redistribution round (it can never reply, and
+        // the recovery round cannot start until that round closes).
+        for (const ExchangeDesc& exch : plan.exchanges) {
+          if (exch.consumer_fragment != frag.id) continue;
+          const auto& producer_hosts =
+              state.scheduled
+                  .instance_hosts[static_cast<size_t>(exch.producer_fragment)];
+          for (size_t p = 0; p < producer_hosts.size(); ++p) {
+            if (producer_hosts[p] == failed_host) continue;
+            const SubplanId pid{state.id, exch.producer_fragment,
+                                static_cast<int>(p)};
+            GQP_RETURN_IF_ERROR(
+                SendTo(Address{producer_hosts[p], pid.ToString()},
+                       std::make_shared<ConsumerLostPayload>(exch.id, dead)));
           }
         }
 

@@ -8,10 +8,10 @@
 #define GRIDQP_DQP_GDQS_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "adapt/adaptivity_config.h"
@@ -142,7 +142,10 @@ class Gdqs : public GridService {
   Catalog* catalog_;
   ResourceRegistry* registry_;
   std::vector<Gqes*> gqes_;
-  std::unordered_map<int, QueryState> queries_;
+  /// Ordered by query id: ReportNodeFailure walks every running query, and
+  /// its recovery rounds must fire in a deterministic order (replay
+  /// determinism is a tested invariant of the chaos harness).
+  std::map<int, QueryState> queries_;
   int next_query_id_ = 1;
 };
 

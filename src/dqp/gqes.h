@@ -7,6 +7,7 @@
 #ifndef GRIDQP_DQP_GQES_H_
 #define GRIDQP_DQP_GQES_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -57,8 +58,9 @@ class Gqes : public GridService {
   bool adaptive_;
   std::unique_ptr<MonitoringEventDetector> med_;
   std::unordered_map<std::string, TablePtr> tables_;
-  std::unordered_map<std::string, std::unique_ptr<FragmentExecutor>>
-      executors_;
+  /// Ordered by instance key so Executors() enumerates deterministically
+  /// (stats harvesting and chaos invariant sweeps iterate it).
+  std::map<std::string, std::unique_ptr<FragmentExecutor>> executors_;
 };
 
 }  // namespace gqp

@@ -175,7 +175,7 @@ class RedistributeOutcomePayload : public Payload {
 class StateMoveRequestPayload : public Payload {
  public:
   StateMoveRequestPayload(uint64_t round, int exchange_id, SubplanId producer,
-                          int consumer_port, bool purge_all,
+                          int consumer_port, bool purge_all, bool recovery,
                           std::vector<int> buckets_lost,
                           std::vector<int> buckets_gained)
       : round_(round),
@@ -183,11 +183,12 @@ class StateMoveRequestPayload : public Payload {
         producer_(producer),
         consumer_port_(consumer_port),
         purge_all_(purge_all),
+        recovery_(recovery),
         buckets_lost_(std::move(buckets_lost)),
         buckets_gained_(std::move(buckets_gained)) {}
 
   size_t WireSize() const override {
-    return 48 + 4 * (buckets_lost_.size() + buckets_gained_.size());
+    return 49 + 4 * (buckets_lost_.size() + buckets_gained_.size());
   }
   std::string_view TypeName() const override { return "StateMoveRequest"; }
 
@@ -196,6 +197,13 @@ class StateMoveRequestPayload : public Payload {
   const SubplanId& producer() const { return producer_; }
   int consumer_port() const { return consumer_port_; }
   bool purge_all() const { return purge_all_; }
+  /// A failure-recovery round: the purge scope widens to every
+  /// unprocessed queued tuple of this producer (a crashed consumer may
+  /// have held records of ANY bucket, including buckets that since
+  /// migrated elsewhere), and the reply must claim everything this
+  /// consumer holds — processed and state-retained alike — so only the
+  /// truly lost records are resent.
+  bool recovery() const { return recovery_; }
   const std::vector<int>& buckets_lost() const { return buckets_lost_; }
   const std::vector<int>& buckets_gained() const { return buckets_gained_; }
 
@@ -205,6 +213,7 @@ class StateMoveRequestPayload : public Payload {
   SubplanId producer_;
   int consumer_port_;
   bool purge_all_;
+  bool recovery_;
   std::vector<int> buckets_lost_;
   std::vector<int> buckets_gained_;
 };
@@ -216,21 +225,35 @@ class StateMoveReplyPayload : public Payload {
  public:
   StateMoveReplyPayload(uint64_t round, int exchange_id, SubplanId consumer,
                         std::vector<uint64_t> processed_seqs,
+                        std::vector<uint64_t> retained_seqs,
                         uint64_t discarded)
       : round_(round),
         exchange_id_(exchange_id),
         consumer_(consumer),
         processed_seqs_(std::move(processed_seqs)),
+        retained_seqs_(std::move(retained_seqs)),
         discarded_(discarded) {}
 
-  size_t WireSize() const override { return 40 + 8 * processed_seqs_.size(); }
+  size_t WireSize() const override {
+    return 40 + 8 * (processed_seqs_.size() + retained_seqs_.size());
+  }
   std::string_view TypeName() const override { return "StateMoveReply"; }
 
   uint64_t round() const { return round_; }
   int exchange_id() const { return exchange_id_; }
   const SubplanId& consumer() const { return consumer_; }
+  /// Streamed seqs this consumer fully processed: its outputs hold their
+  /// results, so the claim stays valid (and the record must never be
+  /// resent) for as long as this consumer lives — even across later
+  /// bucket moves.
   const std::vector<uint64_t>& processed_seqs() const {
     return processed_seqs_;
+  }
+  /// State-resident seqs of buckets this consumer keeps. The claim is
+  /// only as durable as the bucket ownership, so it suppresses resending
+  /// for the current round only.
+  const std::vector<uint64_t>& retained_seqs() const {
+    return retained_seqs_;
   }
   uint64_t discarded() const { return discarded_; }
 
@@ -239,6 +262,7 @@ class StateMoveReplyPayload : public Payload {
   int exchange_id_;
   SubplanId consumer_;
   std::vector<uint64_t> processed_seqs_;
+  std::vector<uint64_t> retained_seqs_;
   uint64_t discarded_;
 };
 
@@ -391,6 +415,28 @@ class ProducerLostPayload : public Payload {
   int exchange_id_;
   SubplanId producer_;
   int consumer_port_;
+};
+
+/// Coordinator -> producer fragment: one of the consumers of `exchange_id`
+/// crashed. The producer stops sending to it, and — critically — drops it
+/// from any in-flight redistribution round: a dead consumer can never send
+/// its StateMoveReply, and a round stuck waiting for one would deadlock
+/// the whole query (the Responder serializes rounds, so the recovery round
+/// could never start either).
+class ConsumerLostPayload : public Payload {
+ public:
+  ConsumerLostPayload(int exchange_id, SubplanId consumer)
+      : exchange_id_(exchange_id), consumer_(consumer) {}
+
+  size_t WireSize() const override { return 32; }
+  std::string_view TypeName() const override { return "ConsumerLost"; }
+
+  int exchange_id() const { return exchange_id_; }
+  const SubplanId& consumer() const { return consumer_; }
+
+ private:
+  int exchange_id_;
+  SubplanId consumer_;
 };
 
 /// Coordinator -> Responder/Diagnoser: a monitored evaluator instance

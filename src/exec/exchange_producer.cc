@@ -23,6 +23,7 @@ Status ExchangeProducer::Open() {
   buffers_.resize(wiring_.consumers.size());
   pending_overhead_ms_.resize(wiring_.consumers.size(), 0.0);
   stats_.tuples_to_consumer.assign(wiring_.consumers.size(), 0);
+  stats_.tuples_sent_to_consumer.assign(wiring_.consumers.size(), 0);
   return Status::OK();
 }
 
@@ -89,6 +90,7 @@ Status ExchangeProducer::Flush(int idx, bool resend) {
                    << ": send failed: " << s.ToString();
       return;
     }
+    stats_.tuples_sent_to_consumer[static_cast<size_t>(idx)] += tuple_count;
     if (hooks_.on_buffer_sent) {
       hooks_.on_buffer_sent(idx, cost, tuple_count, wire_bytes);
     }
@@ -127,6 +129,7 @@ Status ExchangeProducer::FinishInput() {
 
 void ExchangeProducer::OnAck(const AckPayload& ack) {
   log_.AckBatch(ack.seqs());
+  for (const uint64_t seq : ack.seqs()) claimed_by_.erase(seq);
   if (hooks_.on_acked) hooks_.on_acked(ack.seqs());
 }
 
@@ -192,22 +195,23 @@ Status ExchangeProducer::HandleRedistribute(
   round.lost.resize(static_cast<size_t>(num_consumers()));
   round.gained.resize(static_cast<size_t>(num_consumers()));
   round.purge_all = policy_->kind() == PolicyKind::kWeightedRoundRobin;
-  if (round.purge_all) {
-    // Round-robin: every unprocessed tuple is redistributable, every
-    // live consumer purges and replies.
-    for (int c = 0; c < num_consumers(); ++c) {
-      if (dead_consumers_.count(c) == 0) round.awaiting_reply.insert(c);
-    }
-  } else {
+  // A crashed consumer may have held records of ANY bucket — including
+  // buckets that migrated away from it in earlier rounds while it kept
+  // the (unacknowledged) results. Recovery therefore recalls the whole
+  // log, and every survivor must reply with what it holds so only the
+  // truly lost records are resent.
+  round.recovery = !request.dead_consumers().empty();
+  if (!round.purge_all) {
     for (const BucketMove& m : moves) {
       round.lost[static_cast<size_t>(m.from_consumer)].push_back(m.bucket);
       round.gained[static_cast<size_t>(m.to_consumer)].push_back(m.bucket);
     }
-    for (int c = 0; c < num_consumers(); ++c) {
-      if (dead_consumers_.count(c) > 0) continue;  // no reply will come
-      if (!round.lost[static_cast<size_t>(c)].empty()) {
-        round.awaiting_reply.insert(c);
-      }
+  }
+  for (int c = 0; c < num_consumers(); ++c) {
+    if (dead_consumers_.count(c) > 0) continue;  // no reply will come
+    if (round.purge_all || round.recovery ||
+        !round.lost[static_cast<size_t>(c)].empty()) {
+      round.awaiting_reply.insert(c);
     }
   }
   // A dead consumer's processed set is unknown and assumed empty: every
@@ -223,7 +227,7 @@ Status ExchangeProducer::HandleRedistribute(
   // and will be resent through the new routing (avoids duplicates).
   for (int c = 0; c < num_consumers(); ++c) {
     auto& buf = buffers_[static_cast<size_t>(c)];
-    if (round.purge_all) {
+    if (round.purge_all || round.recovery) {
       buf.clear();
       continue;
     }
@@ -241,13 +245,13 @@ Status ExchangeProducer::HandleRedistribute(
   for (int c = 0; c < num_consumers(); ++c) {
     const size_t uc = static_cast<size_t>(c);
     if (dead_consumers_.count(c) > 0) continue;
-    if (!round.purge_all && round.lost[uc].empty() &&
+    if (!round.purge_all && !round.recovery && round.lost[uc].empty() &&
         round.gained[uc].empty()) {
       continue;
     }
     auto msg = std::make_shared<StateMoveRequestPayload>(
         round.id, wiring_.desc.id, self_, wiring_.desc.consumer_port,
-        round.purge_all, round.lost[uc], round.gained[uc]);
+        round.purge_all, round.recovery, round.lost[uc], round.gained[uc]);
     const int idx = c;
     hooks_.submit_work(config_.exchange_send_cost_ms, [this, idx, msg]() {
       const Status s = hooks_.send(idx, msg);
@@ -264,6 +268,29 @@ Status ExchangeProducer::HandleRedistribute(
     return CompleteRound();
   }
   return Status::OK();
+}
+
+std::string ExchangeProducer::DebugString() const {
+  std::string out =
+      StrCat("eos=", eos_sent_, " input_finished=", input_finished_,
+             " log=", log_.size());
+  size_t buffered = 0;
+  for (const auto& buf : buffers_) buffered += buf.size();
+  if (buffered > 0) out += StrCat(" buffered=", buffered);
+  if (!dead_consumers_.empty()) {
+    out += StrCat(" dead_consumers=", dead_consumers_.size());
+  }
+  if (round_.has_value()) {
+    out += StrCat(" round=", round_->id, " awaiting_reply={");
+    bool first = true;
+    for (const int c : round_->awaiting_reply) {
+      if (!first) out += " ";
+      first = false;
+      out += StrCat(c);
+    }
+    out += "}";
+  }
+  return out;
 }
 
 Status ExchangeProducer::HandleStateMoveReply(
@@ -287,8 +314,39 @@ Status ExchangeProducer::HandleStateMoveReply(
   round_->awaiting_reply.erase(idx);
   for (const uint64_t seq : reply.processed_seqs()) {
     round_->processed.insert(seq);
+    // Sticky claim: the consumer's outputs hold this record's results as
+    // long as it lives, so later rounds must not resend it either — even
+    // ones that do not consult this consumer (e.g. its bucket moved on).
+    claimed_by_[seq] = idx;
+  }
+  // Retained (state-resident) claims are only as durable as the bucket
+  // ownership: they suppress resending for this round only.
+  for (const uint64_t seq : reply.retained_seqs()) {
+    round_->processed.insert(seq);
   }
   if (round_->awaiting_reply.empty()) return CompleteRound();
+  return Status::OK();
+}
+
+Status ExchangeProducer::HandleConsumerLost(const SubplanId& consumer) {
+  int idx = -1;
+  for (int c = 0; c < num_consumers(); ++c) {
+    if (wiring_.consumers[static_cast<size_t>(c)].id == consumer) {
+      idx = c;
+      break;
+    }
+  }
+  if (idx < 0) return Status::OK();
+  dead_consumers_.insert(idx);
+  // Unsent buffered tuples are in the log; the recovery round recalls and
+  // reroutes them.
+  buffers_[static_cast<size_t>(idx)].clear();
+  if (round_.has_value() && round_->awaiting_reply.erase(idx) > 0 &&
+      round_->awaiting_reply.empty()) {
+    // Its processed set is unknown and assumed empty: anything it had not
+    // acknowledged is recalled by the recovery round that follows.
+    return CompleteRound();
+  }
   return Status::OK();
 }
 
@@ -306,24 +364,37 @@ Status ExchangeProducer::CompleteRound() {
   std::sort(moved_buckets.begin(), moved_buckets.end());
 
   std::vector<LogRecord> recalled = log_.Extract(
-      [&round, &moved_buckets](const LogRecord& rec) {
+      [this, &round, &moved_buckets](const LogRecord& rec) {
         if (rec.seq >= round.recall_before_seq) return false;
         if (round.processed.count(rec.seq) > 0) return false;
-        if (round.purge_all) return true;
+        // A surviving consumer claimed this record in an earlier round:
+        // its outputs still hold the results.
+        const auto claim = claimed_by_.find(rec.seq);
+        if (claim != claimed_by_.end() &&
+            dead_consumers_.count(claim->second) == 0) {
+          return false;
+        }
+        if (round.purge_all || round.recovery) return true;
         return std::binary_search(moved_buckets.begin(), moved_buckets.end(),
                                   rec.bucket);
       });
-  // Drop the processed-but-unacked records too: their consumers keep the
-  // results; the pending acknowledgments will simply find nothing to prune.
-  log_.Extract([&round](const LogRecord& rec) {
-    return round.processed.count(rec.seq) > 0;
-  });
+  // Processed-but-unacked records stay in the log: "processed" only means
+  // the consumer holds the derived results, and those are durable nowhere
+  // else until the downstream acknowledgment cascades back. Dropping them
+  // here would make the results unrecoverable if that consumer crashes
+  // later. The pending acknowledgments prune them in due course.
 
   // Re-route under the new policy. Buckets are stable; only ownership
   // changed. Charge the paper's "log management" overhead.
   const double extract_cost =
       static_cast<double>(recalled.size()) * config_.log_extract_cost_ms;
   if (extract_cost > 0) hooks_.submit_work(extract_cost, nullptr);
+  if (!recalled.empty()) {
+    std::string seqs;
+    for (const LogRecord& rec : recalled) seqs += StrCat(" ", rec.seq);
+    GQP_LOG_DEBUG << "producer " << self_.ToString() << " round " << round.id
+                  << ": recalled" << seqs;
+  }
   for (const LogRecord& rec : recalled) {
     GQP_RETURN_IF_ERROR(RouteAndBuffer(rec.tuple, rec.seq, /*resend=*/true));
   }
@@ -338,7 +409,7 @@ Status ExchangeProducer::CompleteRound() {
   for (int c = 0; c < num_consumers(); ++c) {
     const size_t uc = static_cast<size_t>(c);
     if (dead_consumers_.count(c) > 0) continue;
-    if (!round.purge_all && round.gained[uc].empty() &&
+    if (!round.purge_all && !round.recovery && round.gained[uc].empty() &&
         round.lost[uc].empty()) {
       continue;
     }

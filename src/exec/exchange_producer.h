@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -40,7 +41,14 @@ struct OutputWiring {
 /// Producer-side counters.
 struct ProducerStats {
   uint64_t tuples_offered = 0;
+  /// Routed (buffered) per consumer; includes resends, and tuples later
+  /// recalled from the buffer before any send.
   std::vector<uint64_t> tuples_to_consumer;
+  /// Tuples actually handed to the network per consumer (counted when the
+  /// flush work item completes on a live node). The chaos harness checks
+  /// these against consumer-side receive counters: every tuple sent to a
+  /// surviving consumer must arrive.
+  std::vector<uint64_t> tuples_sent_to_consumer;
   uint64_t buffers_sent = 0;
   uint64_t resent_tuples = 0;
   uint64_t redistributions_applied = 0;
@@ -86,6 +94,15 @@ class ExchangeProducer {
   /// retrospective round is in flight).
   Status FinishInput();
 
+  /// Re-opens the stream after the fragment resumed (a recovery resend
+  /// arrived post-completion): further Offers are accepted and EOS goes
+  /// out again once the fragment re-finishes. Consumers track EOS markers
+  /// as a set, so the repeated marker is harmless.
+  void Reopen() {
+    input_finished_ = false;
+    eos_sent_ = false;
+  }
+
   /// Handles an acknowledgment batch from a consumer.
   void OnAck(const AckPayload& ack);
 
@@ -96,6 +113,12 @@ class ExchangeProducer {
 
   /// Consumer reply of the in-flight R1 round.
   Status HandleStateMoveReply(const StateMoveReplyPayload& reply);
+
+  /// Coordinator reported `consumer` crashed: stop sending to it and drop
+  /// it from the in-flight round (it can never reply; waiting would
+  /// deadlock the round and with it the recovery that must follow).
+  /// Unknown consumers are ignored.
+  Status HandleConsumerLost(const SubplanId& consumer);
 
   /// Fraction of the expected input already offered (1.0 once finished).
   double ProgressFraction() const;
@@ -111,6 +134,10 @@ class ExchangeProducer {
     return static_cast<int>(wiring_.consumers.size());
   }
 
+  /// One-line dump of the producer state (EOS, log, in-flight round) for
+  /// stuck-query diagnostics.
+  std::string DebugString() const;
+
  private:
   struct InFlightRound {
     uint64_t id = 0;
@@ -123,6 +150,11 @@ class ExchangeProducer {
     std::vector<std::vector<int>> lost;
     std::vector<std::vector<int>> gained;
     bool purge_all = false;
+    /// Failure-recovery round: recall is not bucket-scoped (a crashed
+    /// consumer may have held records of buckets that since migrated
+    /// away); every record a surviving consumer does not claim in its
+    /// reply is resent.
+    bool recovery = false;
     /// Consumers whose StateMoveReply is still outstanding.
     std::set<int> awaiting_reply;
     /// Processed seqs reported by consumers (must not be resent).
@@ -158,6 +190,12 @@ class ExchangeProducer {
   std::optional<InFlightRound> round_;
   /// Crashed consumers: never routed to, never flushed to, never awaited.
   std::set<int> dead_consumers_;
+  /// Sticky processed claims from state-move replies: seq -> consumer
+  /// index whose outputs hold the record's results. Valid while that
+  /// consumer lives; recall skips claimed records so a bucket that moves
+  /// on (possibly to a consumer never asked about the seq) cannot cause a
+  /// resend and a duplicate. Pruned as acknowledgments arrive.
+  std::unordered_map<uint64_t, int> claimed_by_;
   ProducerStats stats_;
 };
 

@@ -199,6 +199,15 @@ void FragmentExecutor::HandleMessage(const Message& msg) {
     OnProducerLost(*lost);
     return;
   }
+  if (const auto* lost = PayloadAs<ConsumerLostPayload>(msg.payload)) {
+    if (producer_ != nullptr) {
+      const Status s = producer_->HandleConsumerLost(lost->consumer());
+      if (!s.ok()) Fail(s);
+      MaybeProcess();
+      CheckCompletion();
+    }
+    return;
+  }
   if (const auto* ack = PayloadAs<AckPayload>(msg.payload)) {
     OnAck(*ack);
     return;
@@ -287,6 +296,7 @@ void FragmentExecutor::OnTupleBatch(const Message& msg,
   PortState& port = ports_[static_cast<size_t>(port_idx)];
   TrackProducer(&port, batch.producer(), msg.from, batch.exchange_id());
   const std::string key = ProducerKey(batch.producer());
+  stats_.tuples_received += batch.tuples().size();
   for (const RoutedTuple& rt : batch.tuples()) {
     port.queue.push_back(QueuedTuple{rt, key});
   }
@@ -296,7 +306,14 @@ void FragmentExecutor::OnTupleBatch(const Message& msg,
                     plan_.config.consumer_enqueue_cost_ms *
                         static_cast<double>(batch.tuples().size()),
                     nullptr);
-  // New work may re-open a fragment that had offered completion.
+  // New work may re-open a fragment that had offered completion — or one
+  // that already finished: the completion handshake cannot foresee
+  // failures, so a recovery resend may arrive post-completion. Resume,
+  // reprocess, and finish (incl. EOS + completion report) again.
+  if (finished_) {
+    finished_ = false;
+    if (producer_ != nullptr) producer_->Reopen();
+  }
   completion_offered_ = false;
   MaybeProcess();
 }
@@ -320,8 +337,15 @@ void FragmentExecutor::OnProducerLost(const ProducerLostPayload& lost) {
   }
   // Keep whatever the crashed producer already delivered (those outputs
   // are valid); just stop waiting for its end-of-stream marker.
-  ports_[static_cast<size_t>(port_idx)].lost.insert(
-      ProducerKey(lost.producer()));
+  const std::string key = ProducerKey(lost.producer());
+  ports_[static_cast<size_t>(port_idx)].lost.insert(key);
+  // Abandon its open rounds: no RestoreComplete will ever arrive, and the
+  // replacement delivery comes through the coordinator's recovery.
+  open_state_rounds_.erase(key);
+  for (auto it = build_recovery_rounds_.begin();
+       it != build_recovery_rounds_.end();) {
+    it = it->first == key ? build_recovery_rounds_.erase(it) : std::next(it);
+  }
   MaybeProcess();
   CheckCompletion();
 }
@@ -329,6 +353,9 @@ void FragmentExecutor::OnProducerLost(const ProducerLostPayload& lost) {
 void FragmentExecutor::OnAck(const AckPayload& ack) {
   if (producer_ == nullptr) return;
   producer_->OnAck(ack);
+  // The ack may have drained the recovery log: retained inputs become
+  // releasable only once every output is durable downstream.
+  MaybeAckRetained();
 }
 
 void FragmentExecutor::OnRedistribute(
@@ -363,14 +390,16 @@ void FragmentExecutor::OnStateMoveRequest(
 
   // 1. Purge unprocessed queued/parked tuples of this producer in scope.
   uint64_t discarded = 0;
+  std::string discarded_seqs;
   auto purge = [&](std::deque<QueuedTuple>* q) {
     for (auto it = q->begin(); it != q->end();) {
       const bool mine = it->producer_key == key;
       const bool in_scope =
-          request.purge_all() ||
+          request.purge_all() || request.recovery() ||
           BucketInList(it->rt.bucket, request.buckets_lost());
       if (mine && in_scope) {
         ++discarded;
+        discarded_seqs += StrCat(" ", it->rt.seq);
         it = q->erase(it);
       } else {
         ++it;
@@ -379,6 +408,11 @@ void FragmentExecutor::OnStateMoveRequest(
   };
   purge(&port.queue);
   purge(&port.parked);
+  if (discarded > 0) {
+    GQP_LOG_DEBUG << "fragment " << plan_.id.ToString() << " round "
+                  << request.round() << ": discarded" << discarded_seqs
+                  << " from " << key << " (producer will resend)";
+  }
   stats_.tuples_discarded_in_moves += discarded;
   if (discarded > 0) {
     node_->SubmitWork(kExchangeTag,
@@ -389,11 +423,29 @@ void FragmentExecutor::OnStateMoveRequest(
 
   // 2. Stateful fragments: port 0 carries build state.
   if (stateful && port_idx == 0) {
+    if (request.recovery()) {
+      // The recovery purge above discarded queued build tuples of every
+      // bucket, kept ones included. Probe processing must pause entirely
+      // until this producer's resends land (RestoreComplete), or probes
+      // would run against incomplete state and silently drop matches.
+      build_recovery_rounds_.insert({key, request.round()});
+    }
     if (!request.buckets_lost().empty()) {
       for (auto& op : ops_) op->PurgeBuckets(request.buckets_lost());
       // Probe tuples of lost buckets must not run against the now-missing
       // state; they stay parked until the probe-side purge removes them.
       for (const int b : request.buckets_lost()) frozen_lost_.insert(b);
+      // The purged state's inputs are no longer held here; the bucket's
+      // new owner becomes responsible for them. Forgetting them now keeps
+      // a later ack of ours from pruning the producer's only copy.
+      auto& retained = tracking.retained_unacked;
+      retained.erase(
+          std::remove_if(retained.begin(), retained.end(),
+                         [&request](const ProducerTracking::RetainedInput& r) {
+                           return BucketInList(r.bucket,
+                                               request.buckets_lost());
+                         }),
+          retained.end());
     }
     for (const int b : request.buckets_gained()) {
       awaiting_restore_.insert(b);
@@ -404,14 +456,26 @@ void FragmentExecutor::OnStateMoveRequest(
     for (const int b : request.buckets_lost()) frozen_lost_.erase(b);
   }
 
-  // 3. Reply with the full processed set so nothing is duplicated.
-  if (request.purge_all() || !request.buckets_lost().empty()) {
+  // 3. Reply with everything this consumer holds — processed seqs (its
+  // outputs carry their results while it lives) plus retained
+  // (state-resident) seqs of buckets it keeps — so nothing it already
+  // has is resent and duplicated.
+  if (request.purge_all() || request.recovery() ||
+      !request.buckets_lost().empty()) {
     std::vector<uint64_t> processed(tracking.processed.begin(),
                                     tracking.processed.end());
     std::sort(processed.begin(), processed.end());
+    std::vector<uint64_t> retained;
+    for (const ProducerTracking::RetainedInput& r :
+         tracking.retained_unacked) {
+      if (!BucketInList(r.bucket, request.buckets_lost())) {
+        retained.push_back(r.seq);
+      }
+    }
+    std::sort(retained.begin(), retained.end());
     auto reply = std::make_shared<StateMoveReplyPayload>(
         request.round(), request.exchange_id(), plan_.id,
-        std::move(processed), discarded);
+        std::move(processed), std::move(retained), discarded);
     const Address to = msg.from;
     node_->SubmitWork(kExchangeTag, plan_.config.exchange_send_cost_ms,
                       [this, to, reply]() {
@@ -441,20 +505,25 @@ void FragmentExecutor::OnRestoreComplete(
   }
   const int port_idx = restore.consumer_port();
   if (port_idx == 0 && plan_.fragment.Stateful()) {
+    build_recovery_rounds_.erase(
+        {ProducerKey(restore.producer()), restore.round()});
     if (restore.all_buckets()) {
       awaiting_restore_.clear();
     } else {
       for (const int b : restore.buckets()) awaiting_restore_.erase(b);
     }
-    // Unpark probe tuples whose buckets are clear again.
-    for (auto& port : ports_) {
-      for (auto it = port.parked.begin(); it != port.parked.end();) {
-        const int b = it->rt.bucket;
-        if (awaiting_restore_.count(b) == 0 && frozen_lost_.count(b) == 0) {
-          port.queue.push_back(std::move(*it));
-          it = port.parked.erase(it);
-        } else {
-          ++it;
+    // Unpark probe tuples whose buckets are clear again (none while a
+    // build-side recovery round is still restoring state).
+    if (build_recovery_rounds_.empty()) {
+      for (auto& port : ports_) {
+        for (auto it = port.parked.begin(); it != port.parked.end();) {
+          const int b = it->rt.bucket;
+          if (awaiting_restore_.count(b) == 0 && frozen_lost_.count(b) == 0) {
+            port.queue.push_back(std::move(*it));
+            it = port.parked.erase(it);
+          } else {
+            ++it;
+          }
         }
       }
     }
@@ -548,8 +617,10 @@ void FragmentExecutor::ProcessQueuedTuple(int port_idx) {
   // Park probe tuples of in-move buckets (stateful fragments only).
   while (!port.queue.empty()) {
     const int bucket = port.queue.front().rt.bucket;
-    const bool parked = port_idx > 0 && (awaiting_restore_.count(bucket) > 0 ||
-                                         frozen_lost_.count(bucket) > 0);
+    const bool parked =
+        port_idx > 0 &&
+        (!build_recovery_rounds_.empty() ||
+         awaiting_restore_.count(bucket) > 0 || frozen_lost_.count(bucket) > 0);
     if (!parked) break;
     port.parked.push_back(std::move(port.queue.front()));
     port.queue.pop_front();
@@ -623,10 +694,17 @@ std::vector<uint64_t> FragmentExecutor::DeliverOutputs(ExecContext* ctx) {
 void FragmentExecutor::RecordProcessed(
     int port_idx, const QueuedTuple& qt, bool retained,
     const std::vector<uint64_t>& output_seqs) {
-  if (retained) return;  // state-resident tuples are acknowledged at the end
   PortState& port = ports_[static_cast<size_t>(port_idx)];
   auto it = port.producers.find(qt.producer_key);
   if (it == port.producers.end()) return;
+  if (retained) {
+    // State-resident tuples are acknowledged only once the fragment has
+    // finished and its outputs are durable downstream (MaybeAckRetained):
+    // until then they are the recovery copy of the state.
+    it->second.retained_unacked.push_back(
+        ProducerTracking::RetainedInput{qt.rt.seq, qt.rt.bucket});
+    return;
+  }
   // The processed set is updated immediately (state moves must not resend
   // this tuple), but the acknowledgment cascades: it is sent only once all
   // outputs derived from the tuple are acknowledged downstream.
@@ -650,8 +728,12 @@ void FragmentExecutor::AckInput(int port_idx, const std::string& producer_key,
   PortState& port = ports_[static_cast<size_t>(port_idx)];
   auto it = port.producers.find(producer_key);
   if (it == port.producers.end()) return;
-  if (it->second.acks->Add(seq)) {
-    FlushAcks(port_idx, producer_key, /*force=*/false);
+  const bool checkpoint_due = it->second.acks->Add(seq);
+  // After the fragment finished, acknowledgments no longer batch: late
+  // cascading acks (outputs confirmed downstream after our completion)
+  // must still reach the producer, or its recovery log never drains.
+  if (checkpoint_due || finished_) {
+    FlushAcks(port_idx, producer_key, /*force=*/finished_);
   }
 }
 
@@ -664,6 +746,28 @@ void FragmentExecutor::OnOutputsAcked(const std::vector<uint64_t>& seqs) {
     if (pending->remaining_outputs == 0) continue;  // defensive
     if (--pending->remaining_outputs == 0) {
       AckInput(pending->port, pending->producer_key, pending->seq);
+    }
+  }
+}
+
+void FragmentExecutor::MaybeAckRetained() {
+  if (!finished_) return;
+  // Outputs are durable once nothing remains in the recovery log (the
+  // root has no producer: its outputs ARE the delivered result).
+  if (producer_ != nullptr && !producer_->log().empty()) return;
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    std::vector<std::string> keys;
+    for (const auto& [key, tracking] : ports_[p].producers) {
+      if (!tracking.retained_unacked.empty()) keys.push_back(key);
+    }
+    for (const std::string& key : keys) {
+      ProducerTracking& tracking = ports_[p].producers.at(key);
+      for (const ProducerTracking::RetainedInput& r :
+           tracking.retained_unacked) {
+        tracking.acks->Add(r.seq);
+      }
+      tracking.retained_unacked.clear();
+      FlushAcks(static_cast<int>(p), key, /*force=*/true);
     }
   }
 }
@@ -721,6 +825,47 @@ void FragmentExecutor::EmitM1IfDue(double /*cost_ms*/) {
 }
 
 // ---- completion ------------------------------------------------------------
+
+std::string FragmentExecutor::DebugString() const {
+  std::string out = StrCat(plan_.id.ToString(), ": began=", began_,
+                           " finished=", finished_, " processing=",
+                           processing_, " offered=", completion_offered_,
+                           " dead=", node_->dead());
+  if (plan_.fragment.IsScanLeaf()) {
+    out += StrCat(" scan_row=", scan_row_, "/", scan_table_->num_rows());
+  }
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    const PortState& port = ports_[p];
+    size_t acks_pending = 0;
+    for (const auto& [key, tracking] : port.producers) {
+      acks_pending += tracking.acks->pending();
+      acks_pending += tracking.retained_unacked.size();
+    }
+    out += StrCat(" port", p, "={queue=", port.queue.size(), " parked=",
+                  port.parked.size(), " eos=", port.eos_from.size(), "/",
+                  port.wiring.num_producers, " lost=", port.lost.size(),
+                  " acks_pending=", acks_pending, "}");
+  }
+  if (!open_state_rounds_.empty()) {
+    out += " open_rounds={";
+    bool first = true;
+    for (const auto& [key, rounds] : open_state_rounds_) {
+      if (!first) out += " ";
+      first = false;
+      out += StrCat(key, ":", rounds.size());
+    }
+    out += "}";
+  }
+  if (!awaiting_restore_.empty()) {
+    out += StrCat(" awaiting_restore=", awaiting_restore_.size());
+  }
+  if (!frozen_lost_.empty()) out += StrCat(" frozen=", frozen_lost_.size());
+  if (producer_ != nullptr) {
+    out += StrCat(" producer={", producer_->DebugString(), "}");
+  }
+  if (!exec_status_.ok()) out += StrCat(" error=", exec_status_.ToString());
+  return out;
+}
 
 bool FragmentExecutor::LocallyDrained() const {
   if (processing_) return false;
@@ -787,7 +932,11 @@ void FragmentExecutor::FinishFragment() {
   }
 
   // Drain remaining acknowledgments (the paper's "checkpoints are returned
-  // ... when tuples are not needed any more").
+  // ... when tuples are not needed any more"). Retained (state-resident)
+  // tuples are NOT unneeded yet: our outputs may still be unacknowledged
+  // downstream, and after a crash they can only be regenerated by
+  // replaying those inputs. MaybeAckRetained releases them once the
+  // recovery log drains.
   for (size_t p = 0; p < ports_.size(); ++p) {
     std::vector<std::string> keys;
     for (const auto& [key, tracking] : ports_[p].producers) {
@@ -802,6 +951,7 @@ void FragmentExecutor::FinishFragment() {
     const Status s = producer_->FinishInput();
     if (!s.ok()) Fail(s);
   }
+  MaybeAckRetained();
 
   if (plan_.coordinator.host != kInvalidHost) {
     const Status s =

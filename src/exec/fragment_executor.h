@@ -60,6 +60,8 @@ struct FragmentInstancePlan {
 
 /// Per-instance execution counters.
 struct FragmentStats {
+  /// Tuples delivered by upstream exchanges (includes resends).
+  uint64_t tuples_received = 0;
   uint64_t tuples_processed = 0;
   uint64_t tuples_emitted = 0;
   uint64_t tuples_discarded_in_moves = 0;
@@ -116,6 +118,10 @@ class FragmentExecutor : public GridService {
   /// tests can inspect state; callers check this after completion).
   const Status& execution_status() const { return exec_status_; }
 
+  /// One-line dump of the execution state (ports, EOS tracking, open
+  /// state-move rounds, producer log) for stuck-query diagnostics.
+  std::string DebugString() const;
+
  protected:
   void HandleMessage(const Message& msg) override;
 
@@ -132,6 +138,17 @@ class FragmentExecutor : public GridService {
     /// Every seq of this producer whose processing completed here (never
     /// resent by state moves).
     std::unordered_set<uint64_t> processed;
+    /// A state-resident (retained) input and the bucket its state lives
+    /// in: it stays "needed" until the fragment has finished AND all of
+    /// its outputs are acknowledged downstream — until then it is the
+    /// only copy from which the state could be rebuilt after a crash.
+    /// When the bucket's state is purged (moved to another consumer),
+    /// the entry is dropped: the new owner's copy governs from then on.
+    struct RetainedInput {
+      uint64_t seq;
+      int bucket;
+    };
+    std::vector<RetainedInput> retained_unacked;
     int exchange_id = -1;
   };
 
@@ -191,6 +208,9 @@ class FragmentExecutor : public GridService {
   void AckInput(int port, const std::string& producer_key, uint64_t seq);
   /// Cascading acknowledgments: outputs acked downstream release inputs.
   void OnOutputsAcked(const std::vector<uint64_t>& seqs);
+  /// Acknowledges retained (state-resident) inputs once the fragment has
+  /// finished and its own recovery log drained (outputs durable).
+  void MaybeAckRetained();
   void EmitM1IfDue(double cost_ms);
   void FlushAcks(int port, const std::string& producer_key, bool force);
 
@@ -225,6 +245,12 @@ class FragmentExecutor : public GridService {
   /// Buckets this instance lost in an in-flight round (their probe tuples
   /// are parked until the probe-side purge arrives).
   std::unordered_set<int> frozen_lost_;
+  /// Open failure-recovery rounds on the build port, as (producer key,
+  /// round) pairs. A recovery purge discards queued build tuples of EVERY
+  /// bucket — including ones this instance keeps — so until the
+  /// producer's resends land (RestoreComplete), the build state may be
+  /// missing arbitrary rows and no probe tuple may run at all.
+  std::set<std::pair<std::string, uint64_t>> build_recovery_rounds_;
 
   /// Cascading-acknowledgment bookkeeping: an input tuple is acknowledged
   /// upstream only when every output tuple derived from it has been

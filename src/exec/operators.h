@@ -12,6 +12,7 @@
 #define GRIDQP_EXEC_OPERATORS_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -200,8 +201,11 @@ class HashAggregateOperator : public PhysicalOperator {
     std::vector<Value> group_values;
     std::vector<Accumulator> accums;
   };
-  // bucket -> encoded group key -> state.
-  using BucketGroups = std::unordered_map<std::string, GroupState>;
+  // bucket -> encoded group key -> state. Ordered maps: Finish() emits in
+  // traversal order, and output order must not depend on hash-table
+  // layout (replay determinism, DESIGN.md "Testing & determinism
+  // contract").
+  using BucketGroups = std::map<std::string, GroupState>;
 
   Status Accumulate(GroupState* group, const Tuple& tuple, ExecContext* ctx);
   Value Finalize(const AggSpec& spec, const Accumulator& acc) const;
@@ -211,7 +215,7 @@ class HashAggregateOperator : public PhysicalOperator {
   SchemaPtr out_schema_;
   double cost_ms_;
   std::string tag_;
-  std::unordered_map<int, BucketGroups> state_;
+  std::map<int, BucketGroups> state_;
 };
 
 /// Result sink at the coordinator.

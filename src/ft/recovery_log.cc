@@ -37,6 +37,13 @@ std::vector<LogRecord> RecoveryLog::ExtractAll() {
   return Extract([](const LogRecord&) { return true; });
 }
 
+std::vector<uint64_t> RecoveryLog::PendingSeqs() const {
+  std::vector<uint64_t> seqs;
+  seqs.reserve(records_.size());
+  for (const auto& [seq, rec] : records_) seqs.push_back(seq);
+  return seqs;
+}
+
 bool AckBatcher::Add(uint64_t seq) {
   pending_.push_back(seq);
   return pending_.size() >= interval_;

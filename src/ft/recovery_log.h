@@ -71,6 +71,11 @@ class RecoveryLog {
   bool Contains(uint64_t seq) const { return records_.count(seq) > 0; }
   const RecoveryLogStats& stats() const { return stats_; }
 
+  /// Sequence numbers still unacknowledged, ascending. A query that ran to
+  /// completion must leave every producer log empty; the chaos harness
+  /// reports the stranded seqs when that invariant breaks.
+  std::vector<uint64_t> PendingSeqs() const;
+
  private:
   std::map<uint64_t, LogRecord> records_;
   RecoveryLogStats stats_;

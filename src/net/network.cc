@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace gqp {
@@ -18,6 +20,11 @@ void Network::RegisterHost(HostId host, DeliveryHandler handler) {
 
 void Network::SetLink(HostId src, HostId dst, LinkParams params) {
   links_[LinkKey(src, dst)].params = params;
+}
+
+void Network::SetAllLinks(LinkParams params) {
+  default_link_ = params;
+  for (auto& [key, link] : links_) link.params = params;
 }
 
 Network::LinkState& Network::GetLink(HostId src, HostId dst) {
@@ -57,7 +64,9 @@ Status Network::Send(Message msg) {
   const double tx = static_cast<double>(bytes) /
                     link.params.bandwidth_bytes_per_ms;
   link.busy_until = start + tx;
-  const SimTime arrival = start + tx + link.params.latency_ms;
+  const SimTime arrival =
+      std::max(start + tx + link.params.latency_ms, link.last_arrival);
+  link.last_arrival = arrival;
 
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;

@@ -59,6 +59,12 @@ class Network {
   /// Overrides link parameters for a directed host pair.
   void SetLink(HostId src, HostId dst, LinkParams params);
 
+  /// Replaces the parameters of every existing link and the default used
+  /// for links created later. In-flight transfers keep their original
+  /// schedule; only subsequent sends see the new delay/bandwidth (chaos
+  /// scenarios shift the whole fabric mid-query this way).
+  void SetAllLinks(LinkParams params);
+
   /// Envelope bytes added to every remote message (SOAP/HTTP analogue).
   void set_envelope_bytes(size_t bytes) { envelope_bytes_ = bytes; }
 
@@ -85,6 +91,12 @@ class Network {
   struct LinkState {
     LinkParams params;
     SimTime busy_until = 0.0;
+    /// Arrival time of the last message sent on this link. Delivery is
+    /// clamped to it so a latency drop mid-stream cannot make a later
+    /// (small) message overtake an earlier (large) one: the exchange
+    /// round protocol relies on in-order links (a StateMoveRequest or
+    /// RestoreComplete marker proves everything sent before it arrived).
+    SimTime last_arrival = 0.0;
   };
 
   LinkState& GetLink(HostId src, HostId dst);

@@ -76,4 +76,16 @@ Result<ScheduledPlan> SchedulePlan(const PhysicalPlan& plan,
   return scheduled;
 }
 
+std::vector<double> RecoveryWeights(std::vector<double> weights,
+                                    const std::set<int>& dead) {
+  double live_total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (dead.count(static_cast<int>(i)) > 0) weights[i] = 0.0;
+    live_total += weights[i];
+  }
+  if (live_total <= 0.0) return {};
+  for (double& w : weights) w /= live_total;
+  return weights;
+}
+
 }  // namespace gqp

@@ -6,6 +6,9 @@
 #ifndef GRIDQP_PLAN_SCHEDULER_H_
 #define GRIDQP_PLAN_SCHEDULER_H_
 
+#include <set>
+#include <vector>
+
 #include "common/result.h"
 #include "grid/registry.h"
 #include "plan/physical_plan.h"
@@ -26,6 +29,14 @@ struct SchedulerOptions {
 Result<ScheduledPlan> SchedulePlan(const PhysicalPlan& plan,
                                    const ResourceRegistry& registry,
                                    const SchedulerOptions& options);
+
+/// Derives the distribution vector after instances die: dead entries are
+/// zeroed and the survivors' shares renormalized to sum to 1, so the dead
+/// machines' workload is absorbed proportionally (the Responder applies
+/// this W' in its recovery rounds). Returns an empty vector when no live
+/// weight remains — every instance failed and recovery is impossible.
+std::vector<double> RecoveryWeights(std::vector<double> weights,
+                                    const std::set<int>& dead);
 
 }  // namespace gqp
 

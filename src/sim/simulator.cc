@@ -43,6 +43,7 @@ bool Simulator::Step() {
     callbacks_.erase(cb_it);
     now_ = top.time;
     ++events_executed_;
+    if (trace_sink_) trace_sink_(top.time, top.id);
     fn();
     return true;
   }

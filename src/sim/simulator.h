@@ -76,6 +76,14 @@ class Simulator {
   /// Replaces the runaway guard (default: 500M events).
   void set_max_events(uint64_t max_events) { max_events_ = max_events; }
 
+  /// Observer invoked for every executed event, immediately before its
+  /// callback runs. The (time, id) stream is a complete fingerprint of the
+  /// schedule — equal streams mean equal executions — so the chaos harness
+  /// records it to verify replay determinism. Pass nullptr to detach.
+  void set_trace_sink(std::function<void(SimTime, EventId)> sink) {
+    trace_sink_ = std::move(sink);
+  }
+
   /// Resets time to 0 and drops all pending events.
   void Reset();
 
@@ -98,6 +106,7 @@ class Simulator {
   std::unordered_set<EventId> cancelled_;
   // Callbacks keyed by id; erased on execution/cancellation.
   std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::function<void(SimTime, EventId)> trace_sink_;
 };
 
 }  // namespace gqp

@@ -1,0 +1,42 @@
+// The chaos sweep: 60 seeded scenarios through the full GDQS/GQES
+// pipeline, each checked against the system invariants (result-multiset
+// correctness vs. the unperturbed oracle, tuple conservation, and
+// termination). A red entry prints the scenario summary and the exact
+// one-line repro command (`chaos_repro --seed=N`).
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+
+namespace gqp {
+namespace chaos {
+namespace {
+
+class ChaosSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSweepTest, InvariantsHold) {
+  const uint64_t seed = GetParam();
+  const ChaosScenario scenario = GenerateScenario(seed);
+  const ChaosRunResult result = RunScenario(scenario);
+
+  ASSERT_TRUE(result.status.ok())
+      << result.status.ToString() << "\n  scenario: " << scenario.Describe()
+      << "\n  repro: " << ReproCommand(seed);
+  EXPECT_TRUE(result.ok()) << result.Report()
+                           << "\n  scenario: " << scenario.Describe();
+  EXPECT_TRUE(result.completed)
+      << "query never completed; repro: " << ReproCommand(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest,
+                         ::testing::Range<uint64_t>(1, 61),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace chaos
+}  // namespace gqp

@@ -162,12 +162,12 @@ TEST(ExchangeProducerTest, RetrospectiveWaitsForReplies) {
   // Consumer 0 processed seq 2; consumer 1 nothing.
   ASSERT_TRUE(h.producer
                   ->HandleStateMoveReply(StateMoveReplyPayload(
-                      1, 7, SubplanId{1, 2, 0}, {2}, 1))
+                      1, 7, SubplanId{1, 2, 0}, {2}, {}, 1))
                   .ok());
   EXPECT_TRUE(h.producer->round_in_flight());
   ASSERT_TRUE(h.producer
                   ->HandleStateMoveReply(StateMoveReplyPayload(
-                      1, 7, SubplanId{1, 2, 1}, {}, 2))
+                      1, 7, SubplanId{1, 2, 1}, {}, {}, 2))
                   .ok());
   EXPECT_FALSE(h.producer->round_in_flight());
   ASSERT_EQ(h.outcomes.size(), 1u);
@@ -192,11 +192,11 @@ TEST(ExchangeProducerTest, EosDeferredDuringRetrospectiveRound) {
   EXPECT_FALSE(h.producer->eos_sent());  // deferred behind the round
   ASSERT_TRUE(h.producer
                   ->HandleStateMoveReply(StateMoveReplyPayload(
-                      1, 7, SubplanId{1, 2, 0}, {}, 0))
+                      1, 7, SubplanId{1, 2, 0}, {}, {}, 0))
                   .ok());
   ASSERT_TRUE(h.producer
                   ->HandleStateMoveReply(StateMoveReplyPayload(
-                      1, 7, SubplanId{1, 2, 1}, {}, 1))
+                      1, 7, SubplanId{1, 2, 1}, {}, {}, 1))
                   .ok());
   EXPECT_TRUE(h.producer->eos_sent());
 }
@@ -231,7 +231,7 @@ TEST(ExchangeProducerTest, HashRetrospectiveMovesOnlyAffectedBuckets) {
   EXPECT_TRUE(saw_loser);
   ASSERT_TRUE(h.producer
                   ->HandleStateMoveReply(StateMoveReplyPayload(
-                      1, 7, SubplanId{1, 2, 0}, {}, 0))
+                      1, 7, SubplanId{1, 2, 0}, {}, {}, 0))
                   .ok());
   EXPECT_FALSE(h.producer->round_in_flight());
 }
@@ -247,7 +247,7 @@ TEST(ExchangeProducerTest, DeadConsumerRecoveredWithoutReply) {
   ASSERT_TRUE(h.producer->HandleRedistribute(request).ok());
   ASSERT_TRUE(h.producer
                   ->HandleStateMoveReply(StateMoveReplyPayload(
-                      1, 7, SubplanId{1, 2, 0}, {1, 3}, 0))
+                      1, 7, SubplanId{1, 2, 0}, {1, 3}, {}, 0))
                   .ok());
   EXPECT_FALSE(h.producer->round_in_flight());
   // 8 offered - 2 processed at the survivor = 6 recovered.

@@ -1,0 +1,111 @@
+#include "grid/perturbation.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+TEST(PerturbationTest, NoPerturbationIsIdentity) {
+  NoPerturbation none;
+  EXPECT_DOUBLE_EQ(none.Apply(0.7, 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(none.Apply(0.7, 1e6), 0.7);
+}
+
+TEST(PerturbationTest, ConstantFactorMultipliesCost) {
+  ConstantFactorPerturbation perturb(16.0);
+  EXPECT_DOUBLE_EQ(perturb.Apply(0.25, 0.0), 4.0);
+  // Time-invariant and stateless: repeated application is identical.
+  EXPECT_DOUBLE_EQ(perturb.Apply(0.25, 500.0), 4.0);
+}
+
+TEST(PerturbationTest, AddedDelayAddsFixedCost) {
+  AddedDelayPerturbation perturb(10.0);
+  EXPECT_DOUBLE_EQ(perturb.Apply(0.2, 0.0), 10.2);
+  EXPECT_DOUBLE_EQ(perturb.Apply(0.0, 0.0), 10.0);
+}
+
+TEST(PerturbationTest, GaussianFactorStaysWithinTruncationBounds) {
+  GaussianFactorPerturbation perturb(30.0, 5.0, 25.0, 35.0, /*seed=*/7);
+  for (int i = 0; i < 1000; ++i) {
+    const double cost = perturb.Apply(1.0, 0.0);
+    EXPECT_GE(cost, 25.0);
+    EXPECT_LE(cost, 35.0);
+  }
+}
+
+TEST(PerturbationTest, GaussianFactorIsStatefulPerTuple) {
+  // Fig. 5's per-tuple variation: successive draws must differ (the
+  // profile owns an RNG stream, not a fixed factor).
+  GaussianFactorPerturbation perturb(20.0, 10.0, 1.0, 60.0, /*seed=*/11);
+  std::set<double> costs;
+  for (int i = 0; i < 50; ++i) costs.insert(perturb.Apply(1.0, 0.0));
+  EXPECT_GT(costs.size(), 1u);
+}
+
+TEST(PerturbationTest, GaussianFactorIsSeedDeterministic) {
+  GaussianFactorPerturbation a(30.0, 5.0, 20.0, 40.0, /*seed=*/42);
+  GaussianFactorPerturbation b(30.0, 5.0, 20.0, 40.0, /*seed=*/42);
+  GaussianFactorPerturbation c(30.0, 5.0, 20.0, 40.0, /*seed=*/43);
+  bool any_difference_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const double cost_a = a.Apply(1.0, 0.0);
+    EXPECT_DOUBLE_EQ(cost_a, b.Apply(1.0, 0.0)) << "draw " << i;
+    if (cost_a != c.Apply(1.0, 0.0)) any_difference_from_c = true;
+  }
+  EXPECT_TRUE(any_difference_from_c);
+}
+
+TEST(PerturbationTest, DriftIsSeedDeterministicAndClamped) {
+  DriftPerturbation a(0.5, 100.0, /*seed=*/3);
+  DriftPerturbation b(0.5, 100.0, /*seed=*/3);
+  for (int i = 1; i <= 200; ++i) {
+    const SimTime t = 10.0 * i;
+    const double cost_a = a.Apply(1.0, t);
+    EXPECT_DOUBLE_EQ(cost_a, b.Apply(1.0, t)) << "t=" << t;
+    EXPECT_GE(cost_a, 0.25);
+    EXPECT_LE(cost_a, 4.0);
+  }
+}
+
+TEST(PerturbationTest, DriftStateAdvancesOnlyWithTime) {
+  DriftPerturbation perturb(0.4, 50.0, /*seed=*/9);
+  // Repeated queries at the same virtual time consume no randomness: the
+  // factor is a function of the (seeded) path, not of call count.
+  const double at_t10 = perturb.CurrentFactor(10.0);
+  EXPECT_DOUBLE_EQ(perturb.CurrentFactor(10.0), at_t10);
+  EXPECT_DOUBLE_EQ(perturb.Apply(1.0, 10.0), at_t10);
+}
+
+TEST(PerturbationTest, StepAppliesLastStepNotAfterNow) {
+  StepPerturbation perturb({{100.0, 8.0}, {300.0, 2.0}});
+  EXPECT_DOUBLE_EQ(perturb.Apply(1.0, 0.0), 1.0);     // before first step
+  EXPECT_DOUBLE_EQ(perturb.Apply(1.0, 100.0), 8.0);   // inclusive start
+  EXPECT_DOUBLE_EQ(perturb.Apply(1.0, 299.9), 8.0);
+  EXPECT_DOUBLE_EQ(perturb.Apply(1.0, 300.0), 2.0);
+  EXPECT_DOUBLE_EQ(perturb.Apply(1.0, 1e6), 2.0);     // final step persists
+}
+
+TEST(PerturbationTest, StepWithNoStepsIsIdentity) {
+  StepPerturbation perturb({});
+  EXPECT_DOUBLE_EQ(perturb.Apply(3.0, 123.0), 3.0);
+}
+
+TEST(PerturbationTest, DescribeNamesTheProfile) {
+  EXPECT_NE(ConstantFactorPerturbation(2.0).Describe().find("constant"),
+            std::string::npos);
+  EXPECT_NE(AddedDelayPerturbation(1.0).Describe().find("sleep"),
+            std::string::npos);
+  EXPECT_NE(GaussianFactorPerturbation(30, 5, 25, 35, 1).Describe().find(
+                "gaussian"),
+            std::string::npos);
+  EXPECT_NE(DriftPerturbation(0.5, 100, 1).Describe().find("drift"),
+            std::string::npos);
+  EXPECT_NE(StepPerturbation({}).Describe().find("steps"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gqp

@@ -1,0 +1,188 @@
+#include "plan/scheduler.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "grid/node.h"
+#include "grid/registry.h"
+#include "sim/simulator.h"
+
+namespace gqp {
+namespace {
+
+// Minimal three-fragment plan: scan leaf -> partitioned evaluation ->
+// root collect, connected by two exchanges.
+PhysicalPlan MakePlan() {
+  PhysicalPlan plan;
+
+  FragmentDesc scan;
+  scan.id = 0;
+  scan.ops.push_back({});
+  scan.ops.back().kind = PhysOpKind::kScan;
+  scan.ops.back().table = "t";
+  plan.fragments.push_back(scan);
+
+  FragmentDesc eval;
+  eval.id = 1;
+  eval.ops.push_back({});
+  eval.ops.back().kind = PhysOpKind::kProject;
+  eval.num_input_ports = 1;
+  eval.partitioned = true;
+  plan.fragments.push_back(eval);
+
+  FragmentDesc root;
+  root.id = 2;
+  root.ops.push_back({});
+  root.ops.back().kind = PhysOpKind::kCollect;
+  root.num_input_ports = 1;
+  plan.fragments.push_back(root);
+
+  ExchangeDesc scan_to_eval;
+  scan_to_eval.id = 0;
+  scan_to_eval.producer_fragment = 0;
+  scan_to_eval.consumer_fragment = 1;
+  plan.exchanges.push_back(scan_to_eval);
+
+  ExchangeDesc eval_to_root;
+  eval_to_root.id = 1;
+  eval_to_root.producer_fragment = 1;
+  eval_to_root.consumer_fragment = 2;
+  plan.exchanges.push_back(eval_to_root);
+
+  return plan;
+}
+
+class SchedulePlanTest : public ::testing::Test {
+ protected:
+  /// Builds a grid with one coordinator, one data node and compute nodes
+  /// of the given capacities.
+  void BuildGrid(const std::vector<double>& compute_caps) {
+    HostId next = 0;
+    nodes_.push_back(
+        std::make_unique<GridNode>(&sim_, next++, "coord", 1.0));
+    ASSERT_TRUE(
+        registry_.Register(nodes_.back().get(), NodeRole::kCoordinator).ok());
+    nodes_.push_back(std::make_unique<GridNode>(&sim_, next++, "data", 1.0));
+    ASSERT_TRUE(
+        registry_.Register(nodes_.back().get(), NodeRole::kData).ok());
+    for (double cap : compute_caps) {
+      nodes_.push_back(std::make_unique<GridNode>(
+          &sim_, next, "eval" + std::to_string(next), cap));
+      ++next;
+      ASSERT_TRUE(
+          registry_.Register(nodes_.back().get(), NodeRole::kCompute).ok());
+    }
+  }
+
+  Simulator sim_;
+  std::vector<std::unique_ptr<GridNode>> nodes_;
+  ResourceRegistry registry_;
+};
+
+TEST_F(SchedulePlanTest, HeterogeneousCapacitiesYieldProportionalWeights) {
+  BuildGrid({2.0, 1.0, 1.0});
+  auto result = SchedulePlan(MakePlan(), registry_, SchedulerOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ScheduledPlan& scheduled = result.value();
+
+  // The partitioned fragment is cloned over all three evaluators; the
+  // exchange feeding it splits the workload 2:1:1.
+  ASSERT_EQ(scheduled.NumInstances(1), 3);
+  const std::vector<double>& w = scheduled.initial_weights[0];
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.25);
+  EXPECT_DOUBLE_EQ(w[2], 0.25);
+
+  // The root is a single instance; its input exchange routes everything
+  // to it.
+  ASSERT_EQ(scheduled.NumInstances(2), 1);
+  ASSERT_EQ(scheduled.initial_weights[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(scheduled.initial_weights[1][0], 1.0);
+}
+
+TEST_F(SchedulePlanTest, HomogeneousCapacitiesSplitEvenly) {
+  BuildGrid({1.5, 1.5});
+  auto result = SchedulePlan(MakePlan(), registry_, SchedulerOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::vector<double>& w = result.value().initial_weights[0];
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+TEST_F(SchedulePlanTest, NumEvaluatorsLimitsCloning) {
+  BuildGrid({1.0, 3.0, 1.0, 1.0});
+  SchedulerOptions options;
+  options.num_evaluators = 2;
+  auto result = SchedulePlan(MakePlan(), registry_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ScheduledPlan& scheduled = result.value();
+
+  // Only the first two registered compute nodes are used, and the weights
+  // renormalize over them (1:3).
+  ASSERT_EQ(scheduled.NumInstances(1), 2);
+  const std::vector<double>& w = scheduled.initial_weights[0];
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+}
+
+TEST_F(SchedulePlanTest, PlacesRootOnCoordinatorAndScanOnDataNode) {
+  BuildGrid({1.0, 1.0});
+  auto result = SchedulePlan(MakePlan(), registry_, SchedulerOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ScheduledPlan& scheduled = result.value();
+  EXPECT_EQ(scheduled.instance_hosts[2],
+            std::vector<HostId>{nodes_[0]->id()});  // root -> coordinator
+  EXPECT_EQ(scheduled.instance_hosts[0],
+            std::vector<HostId>{nodes_[1]->id()});  // scan -> data node
+}
+
+TEST_F(SchedulePlanTest, FailsWithoutComputeNodes) {
+  BuildGrid({});
+  auto result = SchedulePlan(MakePlan(), registry_, SchedulerOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RecoveryWeightsTest, RenormalizesSurvivorsProportionally) {
+  const std::vector<double> recovered =
+      RecoveryWeights({0.5, 0.25, 0.25}, {0});
+  ASSERT_EQ(recovered.size(), 3u);
+  EXPECT_DOUBLE_EQ(recovered[0], 0.0);
+  EXPECT_DOUBLE_EQ(recovered[1], 0.5);
+  EXPECT_DOUBLE_EQ(recovered[2], 0.5);
+}
+
+TEST(RecoveryWeightsTest, NoDeadInstancesLeavesWeightsUnchanged) {
+  const std::vector<double> recovered = RecoveryWeights({0.6, 0.4}, {});
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_DOUBLE_EQ(recovered[0], 0.6);
+  EXPECT_DOUBLE_EQ(recovered[1], 0.4);
+}
+
+TEST(RecoveryWeightsTest, SequentialFailuresCompound) {
+  // The Responder re-derives W' as crashes accumulate; applying the
+  // second death to the first recovery must equal applying both at once.
+  std::vector<double> after_first = RecoveryWeights({0.4, 0.4, 0.2}, {0});
+  const std::vector<double> sequential = RecoveryWeights(after_first, {1});
+  const std::vector<double> at_once = RecoveryWeights({0.4, 0.4, 0.2}, {0, 1});
+  ASSERT_EQ(sequential.size(), 3u);
+  ASSERT_EQ(at_once.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(sequential[i], at_once[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(sequential[2], 1.0);
+}
+
+TEST(RecoveryWeightsTest, EmptyOnTotalLoss) {
+  // Every instance dead: no live weight remains and recovery is
+  // impossible; the contract is an empty vector, not NaNs from a 0/0.
+  EXPECT_TRUE(RecoveryWeights({0.5, 0.5}, {0, 1}).empty());
+  EXPECT_TRUE(RecoveryWeights({1.0}, {0}).empty());
+}
+
+}  // namespace
+}  // namespace gqp
