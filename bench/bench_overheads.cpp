@@ -68,6 +68,25 @@ int main() {
                 TupleRatio(r.stats), prospective ? "(1.21)" : "(1.01)");
   }
 
+  // Control-plane tax of the failure detector: heartbeats + reliable
+  // transport on, nothing failing. Guard, not just report: heartbeats are
+  // pure control traffic, so more than a few percent on Q1 means the
+  // control plane leaked into the data path.
+  std::printf("\n-- failure-detection overhead (no failures) --\n");
+  ExperimentParams detect = baseline;
+  detect.name = "overheads-heartbeat";
+  detect.failure_detection = true;
+  const ExperimentResult detect_result = MustRun(detect);
+  const double detect_overhead =
+      Normalized(detect_result, base_result) - 1.0;
+  constexpr double kDetectOverheadBudget = 0.05;
+  std::printf("%-16s %-11.1f%% (budget %.0f%%)\n", "heartbeat(Q1)",
+              detect_overhead * 100.0, kDetectOverheadBudget * 100.0);
+  if (detect_overhead > kDetectOverheadBudget) {
+    std::printf("FAIL: failure-detection overhead exceeds the budget\n");
+    return 1;
+  }
+
   std::printf("\n-- message volume under a 10x perturbation --\n");
   std::printf("%-14s %-10s %-10s %-12s %-12s %-10s\n", "m1-frequency",
               "raw M1", "raw M2", "MED digests", "proposals", "rebalances");

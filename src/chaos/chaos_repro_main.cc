@@ -1,9 +1,11 @@
-// chaos_repro --seed=N [--trace]
+// chaos_repro --seed=N [--lossy] [--trace]
 //
 // Replays one chaos scenario and prints its description, invariant
-// violations and trace fingerprint. Runs the scenario twice to also check
-// invariant (c): identical seeds must produce byte-identical event traces.
-// Exit code 0 iff every invariant holds.
+// violations, control-plane counters and trace fingerprint. Runs the
+// scenario twice to also check invariant (c): identical seeds must produce
+// byte-identical event traces. `--lossy` selects the lossy-network profile
+// (message loss, partitions, heartbeat stalls) of the same seed. Exit code
+// 0 iff every invariant holds.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +29,10 @@ bool ParseSeed(const char* text, uint64_t* seed) {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --seed=N [--trace]\n"
+               "usage: %s --seed=N [--lossy] [--trace]\n"
                "  --seed=N   scenario seed to replay (required)\n"
+               "  --lossy    lossy-network profile (loss, partitions, "
+               "stalls)\n"
                "  --trace    dump the full event trace of the first run\n",
                argv0);
 }
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 0;
   bool have_seed = false;
   bool dump_trace = false;
+  gqp::chaos::ChaosProfile profile = gqp::chaos::ChaosProfile::kStandard;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--seed=", 7) == 0) {
@@ -53,6 +58,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       have_seed = true;
+    } else if (std::strcmp(arg, "--lossy") == 0) {
+      profile = gqp::chaos::ChaosProfile::kLossy;
     } else if (std::strcmp(arg, "--trace") == 0) {
       dump_trace = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -68,7 +75,7 @@ int main(int argc, char** argv) {
   }
 
   const gqp::chaos::ChaosScenario scenario =
-      gqp::chaos::GenerateScenario(seed);
+      gqp::chaos::GenerateScenario(seed, profile);
   std::printf("%s\n", scenario.Describe().c_str());
 
   gqp::chaos::ChaosRunOptions options;
@@ -91,6 +98,26 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(first.stats.discarded_tuples),
       static_cast<unsigned long long>(first.stats.med_notifications),
       static_cast<unsigned long long>(first.stats.diagnoser_proposals));
+  std::printf(
+      "detect: beats=%llu/%llu suspected=%llu cleared=%llu confirmed=%llu "
+      "readmitted=%llu stale=%llu suppressed=%llu\n",
+      static_cast<unsigned long long>(first.detect.heartbeats_received),
+      static_cast<unsigned long long>(first.heartbeats_sent),
+      static_cast<unsigned long long>(first.detect.suspicions_raised),
+      static_cast<unsigned long long>(first.detect.suspicions_cleared),
+      static_cast<unsigned long long>(first.detect.failures_confirmed),
+      static_cast<unsigned long long>(first.detect.readmissions),
+      static_cast<unsigned long long>(first.detect.stale_heartbeats),
+      static_cast<unsigned long long>(first.heartbeats_suppressed));
+  std::printf(
+      "transport: sent=%llu retransmit=%llu dedup=%llu abandoned=%llu "
+      "net_loss=%llu net_partition=%llu\n",
+      static_cast<unsigned long long>(first.transport.sent),
+      static_cast<unsigned long long>(first.transport.retransmits),
+      static_cast<unsigned long long>(first.transport.dedup_hits),
+      static_cast<unsigned long long>(first.transport.abandoned),
+      static_cast<unsigned long long>(first.net.loss_drops),
+      static_cast<unsigned long long>(first.net.partition_drops));
 
   bool ok = first.ok();
   if (!first.status.ok()) {
@@ -109,13 +136,13 @@ int main(int argc, char** argv) {
         gqp::chaos::FirstTraceDivergence(first.trace, second.trace),
         static_cast<unsigned long long>(first.trace_hash),
         static_cast<unsigned long long>(second.trace_hash),
-        gqp::chaos::ReproCommand(seed).c_str());
+        gqp::chaos::ReproCommand(seed, profile).c_str());
   } else if (first.result_rows != second.result_rows) {
     ok = false;
     std::printf(
         "VIOLATION [determinism] identical traces but different result "
         "rows — repro: %s\n",
-        gqp::chaos::ReproCommand(seed).c_str());
+        gqp::chaos::ReproCommand(seed, profile).c_str());
   }
 
   if (dump_trace) std::fputs(first.trace.c_str(), stdout);

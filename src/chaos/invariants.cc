@@ -126,10 +126,16 @@ void CheckResults(const std::multiset<std::string>& oracle,
 }
 
 void CheckConservation(GridSetup* grid, int query_id,
+                       const std::set<HostId>& reported_failures,
                        std::vector<std::string>* violations) {
   // Gather every fragment instance of the query, hosts in id order.
   struct Instance {
     FragmentExecutor* exec = nullptr;
+    /// Machine still running (its counted sends were delivered).
+    bool alive = false;
+    /// Alive AND never reported failed — only these instances' protocol
+    /// bookkeeping is required to balance; a falsely-suspected one was
+    /// fenced mid-flight and recovery rewrote who owns its work.
     bool live = false;
   };
   std::map<std::string, Instance> instances;
@@ -139,14 +145,17 @@ void CheckConservation(GridSetup* grid, int query_id,
     if (gqes == nullptr) continue;
     for (FragmentExecutor* exec : gqes->Executors()) {
       if (exec->plan().id.query != query_id) continue;
-      instances[exec->plan().id.ToString()] =
-          Instance{exec, !exec->node()->dead()};
+      const bool alive = !exec->node()->dead();
+      instances[exec->plan().id.ToString()] = Instance{
+          exec, alive,
+          alive && reported_failures.count(static_cast<HostId>(host)) == 0};
     }
   }
 
   // Producer-side: routing conservation, log drain, and the expected
   // delivery count per consumer instance.
-  std::map<std::string, uint64_t> expected_received;
+  std::map<std::string, uint64_t> expected_min;
+  std::map<std::string, uint64_t> expected_max;
   for (const auto& [key, inst] : instances) {
     const ExchangeProducer* producer = inst.exec->producer();
     if (producer == nullptr) continue;
@@ -169,17 +178,44 @@ void CheckConservation(GridSetup* grid, int query_id,
           ps.resent_tuples));
     }
     if (inst.live && producer->eos_sent() && !producer->log().empty()) {
-      violations->push_back(StrCat(
-          "[conservation] producer ", key, ": ", producer->log().size(),
-          " tuples stranded in the recovery log after completion, seqs ",
-          Preview(producer->log().PendingSeqs())));
+      // Entries whose consumer died UNREPORTED (e.g. a crash after the
+      // detector deactivated) are exempt: their acks were abandoned with
+      // the host and the retained copy is exactly the at-least-once
+      // insurance the log exists for. Entries owned by a protocol-live
+      // consumer are genuinely stranded — the transport guarantees their
+      // acks' delivery.
+      std::vector<uint64_t> stranded;
+      for (const auto& [seq, consumer] : producer->log().PendingConsumers()) {
+        bool consumer_live = true;
+        if (inst.exec->plan().output.has_value() && consumer >= 0) {
+          const auto& outs = inst.exec->plan().output->consumers;
+          if (static_cast<size_t>(consumer) < outs.size()) {
+            const auto cit = instances.find(outs[consumer].id.ToString());
+            consumer_live = cit == instances.end() || cit->second.live;
+          }
+        }
+        if (consumer_live) stranded.push_back(seq);
+      }
+      if (!stranded.empty()) {
+        violations->push_back(StrCat(
+            "[conservation] producer ", key, ": ", stranded.size(),
+            " tuples stranded in the recovery log after completion, seqs ",
+            Preview(stranded)));
+      }
     }
 
     if (!inst.exec->plan().output.has_value()) continue;
     const auto& consumers = inst.exec->plan().output->consumers;
     for (size_t c = 0;
          c < consumers.size() && c < ps.tuples_sent_to_consumer.size(); ++c) {
-      expected_received[consumers[c].id.ToString()] +=
+      // An alive producer's counted sends are guaranteed delivered (the
+      // reliable transport retransmits until acked; loss-free raw sends
+      // always arrive); a dead one's may have evaporated mid-flight.
+      if (inst.alive) {
+        expected_min[consumers[c].id.ToString()] +=
+            ps.tuples_sent_to_consumer[c];
+      }
+      expected_max[consumers[c].id.ToString()] +=
           ps.tuples_sent_to_consumer[c];
     }
   }
@@ -189,14 +225,16 @@ void CheckConservation(GridSetup* grid, int query_id,
   std::map<std::string, std::map<uint64_t, int>> processed_by_producer;
   for (const auto& [key, inst] : instances) {
     if (!inst.live) continue;
-    const auto it = expected_received.find(key);
-    const uint64_t expected =
-        it == expected_received.end() ? 0 : it->second;
-    if (inst.exec->stats().tuples_received != expected) {
+    const auto lo_it = expected_min.find(key);
+    const auto hi_it = expected_max.find(key);
+    const uint64_t lo = lo_it == expected_min.end() ? 0 : lo_it->second;
+    const uint64_t hi = hi_it == expected_max.end() ? 0 : hi_it->second;
+    const uint64_t received = inst.exec->stats().tuples_received;
+    if (received < lo || received > hi) {
       violations->push_back(StrCat(
-          "[conservation] consumer ", key, ": received ",
-          inst.exec->stats().tuples_received, " tuples but producers sent ",
-          expected));
+          "[conservation] consumer ", key, ": received ", received,
+          " tuples but producers sent ", lo == hi ? StrCat(lo)
+                                                  : StrCat(lo, "..", hi)));
     }
     const size_t num_ports = inst.exec->plan().inputs.size();
     for (size_t port = 0; port < num_ports; ++port) {
@@ -212,6 +250,32 @@ void CheckConservation(GridSetup* grid, int query_id,
         }
       }
     }
+  }
+}
+
+void CheckDetection(const HeartbeatMonitor* monitor,
+                    const ChaosScenario& scenario,
+                    std::vector<std::string>* violations) {
+  if (monitor == nullptr) return;
+  const double bound_ms = monitor->MaxDetectionLatencyMs();
+  for (const FailureEvent& ev : scenario.failures) {
+    const HostId host = static_cast<HostId>(2 + ev.evaluator);
+    const double deadline = ev.at_ms + bound_ms;
+    const std::optional<SimTime> confirmed = monitor->LastConfirmMs(host);
+    if (confirmed.has_value() && *confirmed <= deadline) continue;
+    // The query may simply have finished first: once the detector is
+    // deactivated nothing beats and nothing can (or needs to) confirm.
+    if (!monitor->active() && monitor->last_deactivate_ms() <= deadline) {
+      continue;
+    }
+    // The last-survivor guard withholds confirmation on purpose.
+    if (monitor->ConfirmSuppressed(host)) continue;
+    violations->push_back(StrCat(
+        "[detection] evaluator ", ev.evaluator, " (host ", host,
+        ") crashed at ", ev.at_ms, " ms but was ",
+        confirmed.has_value() ? StrCat("confirmed at ", *confirmed)
+                              : std::string("never confirmed"),
+        "; bound is ", deadline, " ms (latency budget ", bound_ms, " ms)"));
   }
 }
 

@@ -13,7 +13,10 @@
 //   (c) replay determinism — checked by the runner/tests comparing event
 //       traces of double runs (see trace.h);
 //   (d) termination — the simulation drains, the query completes and
-//       reports no execution error.
+//       reports no execution error;
+//   (e) detection latency — every injected crash is confirmed by the
+//       heartbeat detector within its configured worst-case bound (unless
+//       the query finished first or the last-survivor guard applied).
 //
 // Every violation string is prefixed with the invariant tag so sweeps can
 // aggregate by class.
@@ -53,9 +56,26 @@ void CheckResults(const std::multiset<std::string>& oracle,
                   std::vector<std::string>* violations);
 
 /// Invariant (b), checked over every fragment instance of `query_id` in
-/// the grid after the simulation drained.
+/// the grid after the simulation drained. `reported_failures` are the
+/// hosts whose failure the coordinator acted on
+/// (Gdqs::reported_failures()): an instance is protocol-live only if its
+/// node is both actually alive and unreported — a falsely-suspected host
+/// is alive but fenced, so its counters are exempt like a dead one's.
+/// Under message loss a dead producer's counted sends may never arrive
+/// (retransmission abandons when the host is down), so consumer delivery
+/// is checked as a band: alive producers' sends are a floor, all counted
+/// sends a ceiling; the check stays exact when the two coincide.
 void CheckConservation(GridSetup* grid, int query_id,
+                       const std::set<HostId>& reported_failures,
                        std::vector<std::string>* violations);
+
+/// Invariant (e): every injected crash is confirmed within
+/// monitor->MaxDetectionLatencyMs() of the kill — excused only when the
+/// detector was deactivated (query done) before the bound expired or the
+/// last-survivor guard deliberately withheld the confirmation.
+void CheckDetection(const HeartbeatMonitor* monitor,
+                    const ChaosScenario& scenario,
+                    std::vector<std::string>* violations);
 
 }  // namespace chaos
 }  // namespace gqp

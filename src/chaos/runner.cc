@@ -80,7 +80,7 @@ std::string ChaosRunResult::Report() const {
 ChaosRunResult RunScenario(const ChaosScenario& scenario,
                            const ChaosRunOptions& options) {
   ChaosRunResult result;
-  const std::string repro = ReproCommand(scenario.seed);
+  const std::string repro = ReproCommand(scenario.seed, scenario.profile);
 
   GridOptions grid_options;
   grid_options.num_evaluators = scenario.num_evaluators;
@@ -89,6 +89,14 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   grid_options.adaptive = true;
   grid_options.med.window = scenario.med_window;
   grid_options.med.thres_m = scenario.thres_m;
+  // Failure detection + reliable control plane run in EVERY chaos
+  // scenario: crashes must be discovered through missed heartbeats, never
+  // reported by the harness.
+  grid_options.detect.enabled = true;
+  grid_options.detect.heartbeat_interval_ms = scenario.heartbeat_interval_ms;
+  grid_options.reliable.enabled = true;
+  grid_options.loss_rate = scenario.loss_rate;
+  grid_options.loss_seed = scenario.seed ^ 0x1055C0DEULL;
 
   GridSetup grid(grid_options);
   result.status = grid.Initialize();
@@ -141,6 +149,22 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
       grid.network()->SetAllLinks(ev.params);
     });
   }
+  for (const PartitionEvent& ev : scenario.partitions) {
+    grid.simulator()->Schedule(ev.at_ms, [&grid, &ev] {
+      grid.network()->BeginPartition(
+          grid.evaluator_node(ev.evaluator)->id());
+    });
+    grid.simulator()->Schedule(ev.at_ms + ev.duration_ms, [&grid, &ev] {
+      grid.network()->EndPartition(grid.evaluator_node(ev.evaluator)->id());
+    });
+  }
+  for (const StallEvent& ev : scenario.stalls) {
+    grid.simulator()->Schedule(ev.at_ms, [&grid, &ev] {
+      if (Heartbeater* hb = grid.heartbeater(ev.evaluator)) {
+        hb->Stall(ev.at_ms + ev.duration_ms);
+      }
+    });
+  }
 
   QueryOptions query_options;
   query_options.adaptivity.enabled = true;
@@ -172,10 +196,27 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   result.final_time_ms = grid.simulator()->Now();
   result.completed = grid.gdqs()->QueryComplete(*query);
 
+  // Control-plane counters (kept even on violation paths — they are the
+  // first thing a red seed's diagnosis needs).
+  result.net = grid.network()->stats();
+  if (grid.bus()->reliable() != nullptr) {
+    result.transport = grid.bus()->reliable()->stats();
+  }
+  if (grid.monitor() != nullptr) {
+    result.detect = grid.monitor()->stats();
+    for (int i = 0; i < scenario.num_evaluators; ++i) {
+      if (const Heartbeater* hb = grid.heartbeater(i)) {
+        result.heartbeats_sent += hb->beats_sent();
+        result.heartbeats_suppressed += hb->beats_suppressed();
+      }
+    }
+  }
+
   if (!run_status.ok()) {
     result.violations.push_back(
         StrCat("[termination] simulator did not drain: ",
-               run_status.ToString(), " — repro: ", repro));
+               run_status.ToString(), " — repro: ", repro,
+               DumpExecutors(&grid, *query)));
     return result;
   }
   if (!result.completed) {
@@ -205,15 +246,21 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   Result<QueryStatsSnapshot> stats = grid.gdqs()->CollectStats(*query);
   if (stats.ok()) result.stats = *stats;
 
-  // --- invariants (a) + (b) ---------------------------------------------
+  // --- invariants (a) + (b) + (e) ---------------------------------------
   std::vector<std::string> violations;
   const std::multiset<std::string> oracle =
       OracleRows(scenario.query, *sequences, *interactions);
-  CheckResults(oracle, query_result->rows, !scenario.failures.empty(),
+  // A confirmed false suspicion triggers the same recovery resends as a
+  // real crash, so it widens the at-least-once budget the same way.
+  const bool failures_injected = !scenario.failures.empty() ||
+                                 result.detect.failures_confirmed > 0;
+  CheckResults(oracle, query_result->rows, failures_injected,
                result.stats.resent_tuples,
                MaxOutputFanout(scenario.query, *sequences, *interactions),
                &violations);
-  CheckConservation(&grid, *query, &violations);
+  CheckConservation(&grid, *query, grid.gdqs()->reported_failures(),
+                    &violations);
+  CheckDetection(grid.monitor(), scenario, &violations);
   for (std::string& v : violations) {
     result.violations.push_back(StrCat(v, " — repro: ", repro));
   }

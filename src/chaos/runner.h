@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "chaos/scenario.h"
+#include "detect/heartbeat.h"
 #include "dqp/gdqs.h"
+#include "rpc/reliable.h"
 
 namespace gqp {
 namespace chaos {
@@ -39,6 +41,15 @@ struct ChaosRunResult {
   double response_ms = 0.0;
   double final_time_ms = 0.0;
   QueryStatsSnapshot stats;
+
+  /// Control-plane diagnostics (chaos_repro --verbose): failure-detector,
+  /// reliable-transport and network-loss counters of the run.
+  DetectStats detect;
+  ReliableStats transport;
+  NetworkStats net;
+  uint64_t heartbeats_sent = 0;
+  /// Heartbeats swallowed by injected stall windows.
+  uint64_t heartbeats_suppressed = 0;
 
   uint64_t trace_hash = 0;
   uint64_t trace_events = 0;

@@ -1,9 +1,11 @@
 #include "chaos/scenario.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/random.h"
 #include "common/strings.h"
+#include "detect/heartbeat.h"
 
 namespace gqp {
 namespace chaos {
@@ -94,16 +96,38 @@ std::string ChaosScenario::Describe() const {
     }
     out += "]";
   }
+  if (loss_rate > 0.0) {
+    out += StrCat(" loss=", loss_rate, " hb=", heartbeat_interval_ms);
+  }
+  if (!partitions.empty()) {
+    out += " part=[";
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      if (i > 0) out += " ";
+      out += StrCat("t", partitions[i].at_ms, "+", partitions[i].duration_ms,
+                    ":e", partitions[i].evaluator);
+    }
+    out += "]";
+  }
+  if (!stalls.empty()) {
+    out += " stall=[";
+    for (size_t i = 0; i < stalls.size(); ++i) {
+      if (i > 0) out += " ";
+      out += StrCat("t", stalls[i].at_ms, "+", stalls[i].duration_ms, ":e",
+                    stalls[i].evaluator);
+    }
+    out += "]";
+  }
   return out;
 }
 
-ChaosScenario GenerateScenario(uint64_t seed) {
+ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
   // Every draw happens in a fixed order so the scenario is a pure function
   // of the seed; never reorder or make draws conditional on earlier ones
   // unless the condition itself is seed-deterministic.
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   ChaosScenario s;
   s.seed = seed;
+  s.profile = profile;
 
   s.query = rng.NextBool(0.5) ? QueryKind::kQ1 : QueryKind::kQ2;
   s.sequences = static_cast<size_t>(rng.NextInt(150, 600));
@@ -217,11 +241,84 @@ ChaosScenario GenerateScenario(uint64_t seed) {
     s.link_shifts.push_back(ev);
   }
 
+  // Lossy-fabric extensions. Drawn UNCONDITIONALLY so both profiles
+  // consume the same RNG stream (a seed means the same base scenario in
+  // each); the standard profile simply discards the results.
+  const double loss_rate = rng.NextDouble(0.01, 0.05);
+  static constexpr double kHbIntervals[] = {2.5, 5.0, 10.0};
+  const double hb_interval = kHbIntervals[rng.NextBelow(3)];
+  std::vector<PartitionEvent> partitions;
+  const int num_partitions = static_cast<int>(rng.NextInt(0, 2));
+  for (int i = 0; i < num_partitions; ++i) {
+    PartitionEvent ev;
+    ev.at_ms = rng.NextDouble(30.0, 500.0);
+    ev.duration_ms = rng.NextDouble(10.0, 120.0);
+    ev.evaluator = static_cast<int>(
+        rng.NextBelow(static_cast<uint64_t>(s.num_evaluators)));
+    partitions.push_back(ev);
+  }
+  std::vector<StallEvent> stalls;
+  const int num_stalls = static_cast<int>(rng.NextInt(0, 2));
+  for (int i = 0; i < num_stalls; ++i) {
+    StallEvent ev;
+    ev.at_ms = rng.NextDouble(30.0, 500.0);
+    ev.duration_ms = rng.NextDouble(10.0, 120.0);
+    ev.evaluator = static_cast<int>(
+        rng.NextBelow(static_cast<uint64_t>(s.num_evaluators)));
+    stalls.push_back(ev);
+  }
+
+  if (profile == ChaosProfile::kLossy) {
+    s.loss_rate = loss_rate;
+    s.heartbeat_interval_ms = hb_interval;
+    s.partitions = std::move(partitions);
+    s.stalls = std::move(stalls);
+
+    // Survivor budget: a silence window long enough to be confirmed is a
+    // potential false kill. Real crashes plus false kills must leave at
+    // least one evaluator standing (the Responder needs a recovery
+    // target; the monitor's last-survivor guard is only a backstop).
+    // Deterministic post-processing, like the Q2 response override above.
+    DetectConfig detect;
+    detect.heartbeat_interval_ms = hb_interval;
+    // The FASTEST possible confirmation: the EWMA suspect timeout clamps
+    // at min_suspect_intervals, so a silence of (min_suspect + confirm)
+    // intervals can already kill. Every window that merely COULD reach
+    // that horizon must charge budget — observed silence exceeds the
+    // window itself by up to a beat phase, check granularity and a couple
+    // of loss-eaten beats.
+    const double confirmable_ms =
+        (detect.min_suspect_intervals + detect.confirm_intervals) *
+        hb_interval;
+    std::set<int> crashed;
+    for (const FailureEvent& ev : s.failures) crashed.insert(ev.evaluator);
+    std::set<int> budgeted;
+    int budget = s.num_evaluators - 1 - static_cast<int>(crashed.size());
+    auto ration = [&](int evaluator, double* duration_ms) {
+      if (crashed.count(evaluator) > 0) return;  // already dead anyway
+      if (budgeted.count(evaluator) > 0) return;  // budget already charged
+      if (budget > 0) {
+        --budget;
+        budgeted.insert(evaluator);
+      } else {
+        // Shorten well below the confirmation horizon: still suspicion
+        // pressure on the detector, but never a kill — even if loss eats
+        // the two beats flanking the window.
+        *duration_ms = std::min(*duration_ms, 0.3 * confirmable_ms);
+      }
+    };
+    for (PartitionEvent& ev : s.partitions) {
+      ration(ev.evaluator, &ev.duration_ms);
+    }
+    for (StallEvent& ev : s.stalls) ration(ev.evaluator, &ev.duration_ms);
+  }
+
   return s;
 }
 
-std::string ReproCommand(uint64_t seed) {
-  return StrCat("chaos_repro --seed=", seed);
+std::string ReproCommand(uint64_t seed, ChaosProfile profile) {
+  return StrCat("chaos_repro --seed=", seed,
+                profile == ChaosProfile::kLossy ? " --lossy" : "");
 }
 
 }  // namespace chaos

@@ -60,15 +60,39 @@ struct FailureEvent {
   int evaluator = 0;
 };
 
+/// Isolates one evaluator from the network for a window (the machine keeps
+/// running; its traffic is dropped in both directions).
+struct PartitionEvent {
+  SimTime at_ms = 0.0;
+  double duration_ms = 0.0;
+  int evaluator = 0;
+};
+
+/// Silences one evaluator's heartbeats for a window while it keeps
+/// processing work (GC pause / overloaded control path): the
+/// false-suspicion trigger.
+struct StallEvent {
+  SimTime at_ms = 0.0;
+  double duration_ms = 0.0;
+  int evaluator = 0;
+};
+
 /// Replaces every link's latency/bandwidth at a virtual time.
 struct LinkShiftEvent {
   SimTime at_ms = 0.0;
   LinkParams params;
 };
 
+/// Scenario family. Both profiles consume the identical RNG draw sequence,
+/// so a seed describes the same base scenario in each; kLossy additionally
+/// applies message loss, partition windows and heartbeat stalls that
+/// kStandard discards.
+enum class ChaosProfile { kStandard, kLossy };
+
 /// \brief A complete seeded chaos scenario.
 struct ChaosScenario {
   uint64_t seed = 0;
+  ChaosProfile profile = ChaosProfile::kStandard;
 
   // --- workload ---------------------------------------------------------
   QueryKind query = QueryKind::kQ1;
@@ -92,23 +116,34 @@ struct ChaosScenario {
   double thres_m = 0.20;
   double thres_a = 0.20;
 
+  // --- failure detection / lossy fabric ---------------------------------
+  /// Uniform drop probability of every remote message (0 in the standard
+  /// profile: legacy seeds keep their meaning).
+  double loss_rate = 0.0;
+  double heartbeat_interval_ms = 5.0;
+
   // --- injected chaos ---------------------------------------------------
   std::vector<PerturbationEvent> perturbations;
   std::vector<FailureEvent> failures;
   std::vector<LinkShiftEvent> link_shifts;
+  std::vector<PartitionEvent> partitions;
+  std::vector<StallEvent> stalls;
 
   /// One-line summary for logs and violation reports.
   std::string Describe() const;
 };
 
-/// Generates the scenario for a seed. Deterministic: equal seeds yield
-/// structurally identical scenarios. Guarantees at least one evaluator
-/// survives every failure schedule.
-ChaosScenario GenerateScenario(uint64_t seed);
+/// Generates the scenario for a seed. Deterministic: equal (seed, profile)
+/// pairs yield structurally identical scenarios. Guarantees at least one
+/// evaluator survives every failure schedule — including worst-case false
+/// kills from partition/stall windows long enough to be confirmed.
+ChaosScenario GenerateScenario(uint64_t seed,
+                               ChaosProfile profile = ChaosProfile::kStandard);
 
 /// The one-line command that reproduces a scenario (printed with every
 /// invariant violation).
-std::string ReproCommand(uint64_t seed);
+std::string ReproCommand(uint64_t seed,
+                         ChaosProfile profile = ChaosProfile::kStandard);
 
 }  // namespace chaos
 }  // namespace gqp

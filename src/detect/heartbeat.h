@@ -1,0 +1,111 @@
+// Heartbeat failure detection (DESIGN.md §D8): every GQES host runs a
+// Heartbeater that periodically beats the coordinator's HeartbeatMonitor
+// over the simulated (lossy) network. The monitor runs a φ-style adaptive
+// suspicion estimator per watched host and drives the
+// suspect → confirm → recover state machine that replaces the old
+// direct-call failure oracle.
+//
+// Heartbeats are deliberately best-effort (MessageBus::SendBestEffort):
+// their loss is the very signal the detector estimates. Control messages
+// that must arrive (the start/stop commands carrying the epoch) ride the
+// reliable transport instead.
+
+#ifndef GRIDQP_DETECT_HEARTBEAT_H_
+#define GRIDQP_DETECT_HEARTBEAT_H_
+
+#include <cstdint>
+
+#include "net/message.h"
+
+namespace gqp {
+
+/// Knobs of the failure detector.
+struct DetectConfig {
+  /// Off by default: legacy setups keep the direct-call oracle and
+  /// byte-identical schedules.
+  bool enabled = false;
+  /// Interval between beats from each evaluator.
+  double heartbeat_interval_ms = 5.0;
+  /// Suspicion threshold in standard deviations over the observed
+  /// inter-arrival mean (the φ-accrual analogue: suspect when silence
+  /// exceeds mean + phi_k * sd).
+  double phi_k = 3.0;
+  /// Clamp on the adaptive timeout, in heartbeat intervals. The lower
+  /// bound prevents false suspicion from an unluckily tight estimate; the
+  /// upper bound caps detection latency no matter how noisy the link.
+  double min_suspect_intervals = 3.0;
+  double max_suspect_intervals = 6.0;
+  /// Extra silence (in intervals) after suspicion before the failure is
+  /// confirmed to the GDQS. A beat arriving in this window clears the
+  /// suspicion with no recovery cost.
+  double confirm_intervals = 3.0;
+
+  /// Worst-case confirmed-detection latency after a crash: the adaptive
+  /// timeout is capped at max_suspect_intervals, confirmation adds
+  /// confirm_intervals, and the check timer (interval/2 period) can add
+  /// at most one interval of scan slack; one more interval absorbs the
+  /// in-flight beat that was sent just before the crash.
+  double MaxDetectionLatencyMs() const {
+    return heartbeat_interval_ms *
+           (max_suspect_intervals + confirm_intervals + 2.0);
+  }
+};
+
+/// Detector counters (chaos diagnostics and tests).
+struct DetectStats {
+  uint64_t heartbeats_received = 0;
+  /// Beats from a previous watch epoch, ignored.
+  uint64_t stale_heartbeats = 0;
+  uint64_t suspicions_raised = 0;
+  /// Suspicions cleared by a beat before confirmation (false suspicion).
+  uint64_t suspicions_cleared = 0;
+  uint64_t failures_confirmed = 0;
+  /// Confirmed-then-heard-from hosts re-admitted as fresh capacity.
+  uint64_t readmissions = 0;
+  /// Confirmations withheld by the last-survivor guard.
+  uint64_t confirms_suppressed = 0;
+};
+
+/// One beat: the sender's host, a per-epoch sequence number, and the watch
+/// epoch it belongs to (beats from a stale epoch are ignored).
+class HeartbeatPayload : public Payload {
+ public:
+  HeartbeatPayload(HostId host, uint64_t seq, uint64_t epoch)
+      : host_(host), seq_(seq), epoch_(epoch) {}
+
+  size_t WireSize() const override { return 24; }
+  std::string_view TypeName() const override { return "Heartbeat"; }
+
+  HostId host() const { return host_; }
+  uint64_t seq() const { return seq_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  HostId host_;
+  uint64_t seq_;
+  uint64_t epoch_;
+};
+
+/// Monitor -> heartbeater command: start (or stop) beating at the given
+/// interval, stamped with the current watch epoch. Sent reliably.
+class HeartbeatControlPayload : public Payload {
+ public:
+  HeartbeatControlPayload(bool start, uint64_t epoch, double interval_ms)
+      : start_(start), epoch_(epoch), interval_ms_(interval_ms) {}
+
+  size_t WireSize() const override { return 17; }
+  std::string_view TypeName() const override { return "HeartbeatControl"; }
+
+  bool start() const { return start_; }
+  uint64_t epoch() const { return epoch_; }
+  double interval_ms() const { return interval_ms_; }
+
+ private:
+  bool start_;
+  uint64_t epoch_;
+  double interval_ms_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_DETECT_HEARTBEAT_H_

@@ -1,0 +1,46 @@
+#include "detect/heartbeater.h"
+
+#include <memory>
+#include <utility>
+
+namespace gqp {
+
+Heartbeater::Heartbeater(MessageBus* bus, GridNode* node, Address monitor)
+    : GridService(bus, node->id(), "hb"),
+      node_(node),
+      monitor_(std::move(monitor)) {}
+
+void Heartbeater::HandleMessage(const Message& msg) {
+  const auto* ctrl = PayloadAs<HeartbeatControlPayload>(msg.payload);
+  if (ctrl == nullptr) return;
+  if (ctrl->start()) {
+    epoch_ = ctrl->epoch();
+    interval_ms_ = ctrl->interval_ms();
+    seq_ = 0;
+    active_ = true;
+    if (!tick_scheduled_) Tick();
+  } else if (ctrl->epoch() == epoch_) {
+    active_ = false;  // the pending tick (if any) sees this and stops
+  }
+}
+
+void Heartbeater::Tick() {
+  tick_scheduled_ = false;
+  // Not rescheduling is what drains the simulation once queries finish
+  // (DESIGN.md §6's "runs to quiescence" property).
+  if (!active_ || node_->dead()) return;
+  if (simulator()->Now() < stall_until_) {
+    ++beats_suppressed_;  // alive but silent: the false-suspicion trigger
+  } else {
+    ++seq_;
+    ++beats_sent_;
+    // Best-effort on purpose: a lost beat is information, not an error.
+    (void)bus()->SendBestEffort(
+        address(), monitor_,
+        std::make_shared<HeartbeatPayload>(host(), seq_, epoch_));
+  }
+  tick_scheduled_ = true;
+  simulator()->Schedule(interval_ms_, [this] { Tick(); });
+}
+
+}  // namespace gqp

@@ -1,0 +1,53 @@
+// Heartbeater: the evaluator-side half of the failure detector. Runs as a
+// service ("hb") on every GQES host; once started by the monitor it beats
+// at a fixed interval until the node dies, the monitor stops it, or a
+// chaos-injected stall silences it (the false-suspicion scenario: alive
+// but mute).
+
+#ifndef GRIDQP_DETECT_HEARTBEATER_H_
+#define GRIDQP_DETECT_HEARTBEATER_H_
+
+#include <algorithm>
+
+#include "detect/heartbeat.h"
+#include "grid/node.h"
+#include "rpc/service.h"
+
+namespace gqp {
+
+class Heartbeater : public GridService {
+ public:
+  /// `monitor` is the coordinator-side HeartbeatMonitor's address.
+  Heartbeater(MessageBus* bus, GridNode* node, Address monitor);
+
+  /// Chaos hook: suppress beats (but stay alive and keep processing work)
+  /// until the given simulation time. Models a GC pause, swap storm, or
+  /// overloaded control path — the detector must not corrupt results when
+  /// it wrongly gives up on this host.
+  void Stall(SimTime until) { stall_until_ = std::max(stall_until_, until); }
+
+  uint64_t beats_sent() const { return beats_sent_; }
+  /// Beats swallowed by an active stall window.
+  uint64_t beats_suppressed() const { return beats_suppressed_; }
+
+ protected:
+  void HandleMessage(const Message& msg) override;
+
+ private:
+  void Tick();
+
+  GridNode* node_;
+  Address monitor_;
+  bool active_ = false;
+  bool tick_scheduled_ = false;
+  uint64_t epoch_ = 0;
+  uint64_t seq_ = 0;
+  double interval_ms_ = 5.0;
+  SimTime stall_until_ = 0.0;
+  uint64_t beats_sent_ = 0;
+  uint64_t beats_suppressed_ = 0;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_DETECT_HEARTBEATER_H_

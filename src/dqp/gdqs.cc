@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "detect/monitor.h"
 #include "dqp/dqp_messages.h"
 #include "plan/binder.h"
 
@@ -67,9 +68,21 @@ Result<int> Gdqs::SubmitQuery(
   }
   GQP_RETURN_IF_ERROR(Deploy(&state));
 
+  // Watch the evaluators for the lifetime of the query: failure detection
+  // only matters while work is in flight, and an idle detector would keep
+  // the simulation from draining.
+  if (detector_ != nullptr) {
+    detector_->Activate();
+    state.detector_active = true;
+  }
+
   const int id = state.id;
   queries_.emplace(id, std::move(state));
   return id;
+}
+
+void Gdqs::SetFailureDetector(HeartbeatMonitor* monitor) {
+  detector_ = monitor;
 }
 
 Status Gdqs::SetUpAdaptivity(QueryState* state) {
@@ -247,6 +260,10 @@ void Gdqs::OnFragmentComplete(const FragmentCompletePayload& complete) {
   const bool first = !state.complete;
   state.complete = true;
   state.completion_time = simulator()->Now();
+  if (first && state.detector_active && detector_ != nullptr) {
+    detector_->Deactivate();
+    state.detector_active = false;
+  }
   if (first && state.on_complete) state.on_complete(BuildResult(state));
 }
 
@@ -361,6 +378,7 @@ Result<QueryStatsSnapshot> Gdqs::CollectStats(int query_id) const {
 }
 
 Status Gdqs::ReportNodeFailure(HostId failed_host) {
+  reported_failures_.insert(failed_host);
   for (auto& [id, state] : queries_) {
     if (state.complete) continue;
     const auto& plan = state.scheduled.plan;
@@ -432,6 +450,12 @@ Status Gdqs::ReportNodeFailure(HostId failed_host) {
 }
 
 void Gdqs::ReleaseQuery(int query_id) {
+  auto it = queries_.find(query_id);
+  if (it != queries_.end() && it->second.detector_active &&
+      detector_ != nullptr) {
+    detector_->Deactivate();
+    it->second.detector_active = false;
+  }
   for (Gqes* g : gqes_) g->ReleaseQuery(query_id);
   queries_.erase(query_id);
 }

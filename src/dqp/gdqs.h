@@ -25,6 +25,8 @@
 
 namespace gqp {
 
+class HeartbeatMonitor;
+
 /// Per-query knobs a client passes at submission.
 struct QueryOptions {
   AdaptivityConfig adaptivity;
@@ -99,6 +101,19 @@ class Gdqs : public GridService {
   /// dead instances to the survivors.
   Status ReportNodeFailure(HostId host);
 
+  /// Wires the heartbeat failure detector: the GDQS activates it while
+  /// queries are in flight (one Activate per running query) and it feeds
+  /// confirmed failures back through ReportNodeFailure. When set, the
+  /// chaos harness no longer reports failures directly — crashes are
+  /// discovered solely through missed heartbeats.
+  void SetFailureDetector(HeartbeatMonitor* monitor);
+
+  /// Hosts whose failure was reported (by the detector or directly).
+  /// The chaos invariants use it to tell protocol-dead from actually-dead.
+  const std::set<HostId>& reported_failures() const {
+    return reported_failures_;
+  }
+
   /// Drops all executors and adaptivity services of a query.
   void ReleaseQuery(int query_id);
 
@@ -127,6 +142,8 @@ class Gdqs : public GridService {
     std::function<void(const QueryResult&)> on_complete;
     /// The partitioned fragment being monitored (-1 when none).
     int monitored_fragment = -1;
+    /// True while this query holds an Activate() on the failure detector.
+    bool detector_active = false;
   };
 
   Gqes* GqesOnHost(HostId host) const;
@@ -146,6 +163,8 @@ class Gdqs : public GridService {
   /// its recovery rounds must fire in a deterministic order (replay
   /// determinism is a tested invariant of the chaos harness).
   std::map<int, QueryState> queries_;
+  HeartbeatMonitor* detector_ = nullptr;
+  std::set<HostId> reported_failures_;
   int next_query_id_ = 1;
 };
 

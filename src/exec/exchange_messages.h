@@ -39,11 +39,12 @@ struct RoutedTuple {
 class TupleBatchPayload : public Payload {
  public:
   TupleBatchPayload(int exchange_id, SubplanId producer, int consumer_port,
-                    bool resend, std::vector<RoutedTuple> tuples)
+                    bool resend, uint64_t round, std::vector<RoutedTuple> tuples)
       : exchange_id_(exchange_id),
         producer_(producer),
         consumer_port_(consumer_port),
         resend_(resend),
+        round_(round),
         tuples_(std::move(tuples)) {}
 
   size_t WireSize() const override {
@@ -57,6 +58,11 @@ class TupleBatchPayload : public Payload {
   const SubplanId& producer() const { return producer_; }
   int consumer_port() const { return consumer_port_; }
   bool resend() const { return resend_; }
+  /// Latest retrospective round the producer had opened when this batch
+  /// was flushed (0 = none). Tuples routed at round >= R already obey
+  /// round R's new map and are never recalled by it, so R's state-move
+  /// purge must leave them alone.
+  uint64_t round() const { return round_; }
   const std::vector<RoutedTuple>& tuples() const { return tuples_; }
 
  private:
@@ -64,6 +70,7 @@ class TupleBatchPayload : public Payload {
   SubplanId producer_;
   int consumer_port_;
   bool resend_;
+  uint64_t round_;
   std::vector<RoutedTuple> tuples_;
 };
 

@@ -72,7 +72,7 @@ Status ExchangeProducer::Flush(int idx, bool resend) {
 
   auto batch = std::make_shared<TupleBatchPayload>(
       wiring_.desc.id, self_, wiring_.desc.consumer_port, resend,
-      std::move(buffers_[uidx]));
+      round_epoch_, std::move(buffers_[uidx]));
   buffers_[uidx].clear();
   const double cost =
       config_.exchange_send_cost_ms + pending_overhead_ms_[uidx];
@@ -128,6 +128,15 @@ Status ExchangeProducer::FinishInput() {
 }
 
 void ExchangeProducer::OnAck(const AckPayload& ack) {
+  // Fence acks from consumers already declared dead (false suspicion:
+  // the consumer is alive and still flushing). Its records were recovered
+  // to survivors; a stale ack must not prune the log copy they now own.
+  for (int c = 0; c < num_consumers(); ++c) {
+    if (wiring_.consumers[static_cast<size_t>(c)].id == ack.consumer()) {
+      if (dead_consumers_.count(c) > 0) return;
+      break;
+    }
+  }
   log_.AckBatch(ack.seqs());
   for (const uint64_t seq : ack.seqs()) claimed_by_.erase(seq);
   if (hooks_.on_acked) hooks_.on_acked(ack.seqs());
@@ -192,6 +201,13 @@ Status ExchangeProducer::HandleRedistribute(
   InFlightRound round;
   round.id = request.round();
   round.recall_before_seq = next_seq_;
+  // From here on every tuple is routed by the new map; stamp outgoing
+  // batches so a consumer whose StateMoveRequest processing lags (it may
+  // defer mid-tuple) cannot purge them — they are exactly the tuples the
+  // recall watermark above excludes, so nobody would ever resend them.
+  round_epoch_ = round.id;
+  GQP_LOG_DEBUG << "producer " << self_.ToString() << " round " << round.id
+                << " opened: recall_before_seq=" << round.recall_before_seq;
   round.lost.resize(static_cast<size_t>(num_consumers()));
   round.gained.resize(static_cast<size_t>(num_consumers()));
   round.purge_all = policy_->kind() == PolicyKind::kWeightedRoundRobin;
@@ -311,6 +327,10 @@ Status ExchangeProducer::HandleStateMoveReply(
   if (idx < 0) {
     return Status::NotFound("StateMoveReply from unknown consumer");
   }
+  // Fence: a consumer declared dead mid-round (its reply raced the
+  // ConsumerLost) must not claim records — the recovery round assumes its
+  // processed set is empty and resends to survivors.
+  if (dead_consumers_.count(idx) > 0) return Status::OK();
   round_->awaiting_reply.erase(idx);
   for (const uint64_t seq : reply.processed_seqs()) {
     round_->processed.insert(seq);

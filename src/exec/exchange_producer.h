@@ -181,6 +181,11 @@ class ExchangeProducer {
   RecoveryLog log_;
 
   uint64_t next_seq_ = 1;
+  /// Id of the latest retrospective round opened here; stamped on every
+  /// outgoing batch. Consumers use it to fence their state-move purge
+  /// against tuples already routed under the round's new map (which the
+  /// recall_before_seq watermark excludes from resending).
+  uint64_t round_epoch_ = 0;
   std::vector<std::vector<RoutedTuple>> buffers_;
   /// CPU cost accumulated per consumer since its last flush (routing/log
   /// appends), charged with the flush work item.

@@ -294,11 +294,20 @@ void FragmentExecutor::OnTupleBatch(const Message& msg,
     return;
   }
   PortState& port = ports_[static_cast<size_t>(port_idx)];
-  TrackProducer(&port, batch.producer(), msg.from, batch.exchange_id());
   const std::string key = ProducerKey(batch.producer());
+  // Epoch fence: once a producer is reported lost, recovery owns its rows.
+  // A falsely-suspected (alive) producer may still flush stale batches;
+  // counting them received keeps the conservation ledger balanced, but
+  // they are dropped unprocessed and never acknowledged.
+  if (port.lost.count(key) > 0) {
+    stats_.tuples_received += batch.tuples().size();
+    stats_.tuples_fenced += batch.tuples().size();
+    return;
+  }
+  TrackProducer(&port, batch.producer(), msg.from, batch.exchange_id());
   stats_.tuples_received += batch.tuples().size();
   for (const RoutedTuple& rt : batch.tuples()) {
-    port.queue.push_back(QueuedTuple{rt, key});
+    port.queue.push_back(QueuedTuple{rt, key, batch.round()});
   }
   stats_.queue_high_watermark =
       std::max(stats_.queue_high_watermark, port.queue.size());
@@ -324,8 +333,12 @@ void FragmentExecutor::OnEos(const EosPayload& eos) {
     Fail(Status::OutOfRange(StrCat("EOS for invalid port ", port_idx)));
     return;
   }
-  ports_[static_cast<size_t>(port_idx)].eos_from.insert(
-      ProducerKey(eos.producer()));
+  const std::string key = ProducerKey(eos.producer());
+  // A fenced producer's stream already ended as far as recovery is
+  // concerned; its late EOS marker carries no information.
+  if (ports_[static_cast<size_t>(port_idx)].lost.count(key) == 0) {
+    ports_[static_cast<size_t>(port_idx)].eos_from.insert(key);
+  }
   MaybeProcess();
   CheckCompletion();
 }
@@ -379,9 +392,14 @@ void FragmentExecutor::OnStateMoveRequest(
     return;
   }
   PortState& port = ports_[static_cast<size_t>(port_idx)];
+  const std::string key = ProducerKey(request.producer());
+  // Fence: a round opened by an already-lost producer would be tracked in
+  // open_state_rounds_ with no ProducerLost left to clean it up, leaving
+  // the fragment unfinishable. Ignore the stale request entirely (the
+  // producer gets no reply; its outputs no longer matter).
+  if (port.lost.count(key) > 0) return;
   ProducerTracking& tracking = TrackProducer(&port, request.producer(),
                                              msg.from, request.exchange_id());
-  const std::string key = ProducerKey(request.producer());
   const bool stateful = plan_.fragment.Stateful();
 
   // The round stays open (and this fragment unfinishable) until the
@@ -394,9 +412,15 @@ void FragmentExecutor::OnStateMoveRequest(
   auto purge = [&](std::deque<QueuedTuple>* q) {
     for (auto it = q->begin(); it != q->end();) {
       const bool mine = it->producer_key == key;
+      // Batches stamped with this round (or a later one) were routed
+      // under its new map AFTER the producer froze its recall watermark:
+      // the producer will never resend them, so purging them here would
+      // lose them outright. They slip in when this request's dispatch was
+      // deferred behind a slow in-flight tuple.
       const bool in_scope =
-          request.purge_all() || request.recovery() ||
-          BucketInList(it->rt.bucket, request.buckets_lost());
+          it->round < request.round() &&
+          (request.purge_all() || request.recovery() ||
+           BucketInList(it->rt.bucket, request.buckets_lost()));
       if (mine && in_scope) {
         ++discarded;
         discarded_seqs += StrCat(" ", it->rt.seq);
@@ -498,6 +522,16 @@ void FragmentExecutor::OnStateMoveReply(const StateMoveReplyPayload& reply) {
 
 void FragmentExecutor::OnRestoreComplete(
     const RestoreCompletePayload& restore) {
+  // Fence stale markers, mirroring OnStateMoveRequest: a lost producer's
+  // rounds were already abandoned in OnProducerLost.
+  {
+    const int p = restore.consumer_port();
+    if (p >= 0 && static_cast<size_t>(p) < ports_.size() &&
+        ports_[static_cast<size_t>(p)].lost.count(
+            ProducerKey(restore.producer())) > 0) {
+      return;
+    }
+  }
   auto open_it = open_state_rounds_.find(ProducerKey(restore.producer()));
   if (open_it != open_state_rounds_.end()) {
     open_it->second.erase(restore.round());

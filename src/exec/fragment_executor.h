@@ -62,6 +62,10 @@ struct FragmentInstancePlan {
 struct FragmentStats {
   /// Tuples delivered by upstream exchanges (includes resends).
   uint64_t tuples_received = 0;
+  /// Tuples rejected because their producer was fenced: it was reported
+  /// failed (possibly a false suspicion) and recovery reassigned its
+  /// work, so late output from it must not contribute twice.
+  uint64_t tuples_fenced = 0;
   uint64_t tuples_processed = 0;
   uint64_t tuples_emitted = 0;
   uint64_t tuples_discarded_in_moves = 0;
@@ -130,6 +134,9 @@ class FragmentExecutor : public GridService {
     RoutedTuple rt;
     /// Producer identity (for acknowledgments and processed-tracking).
     std::string producer_key;
+    /// Round epoch stamped on the carrying batch; a state-move purge for
+    /// round R skips tuples with round >= R (already routed by R's map).
+    uint64_t round = 0;
   };
 
   struct ProducerTracking {

@@ -44,6 +44,13 @@ std::vector<uint64_t> RecoveryLog::PendingSeqs() const {
   return seqs;
 }
 
+std::vector<std::pair<uint64_t, int>> RecoveryLog::PendingConsumers() const {
+  std::vector<std::pair<uint64_t, int>> pairs;
+  pairs.reserve(records_.size());
+  for (const auto& [seq, rec] : records_) pairs.emplace_back(seq, rec.consumer);
+  return pairs;
+}
+
 bool AckBatcher::Add(uint64_t seq) {
   pending_.push_back(seq);
   return pending_.size() >= interval_;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "storage/tuple.h"
@@ -75,6 +76,11 @@ class RecoveryLog {
   /// completion must leave every producer log empty; the chaos harness
   /// reports the stranded seqs when that invariant breaks.
   std::vector<uint64_t> PendingSeqs() const;
+
+  /// Pending (seq, consumer index) pairs, ascending by seq. The chaos
+  /// invariants exempt entries whose consumer died unreported: their acks
+  /// were abandoned and the retained copy is the at-least-once insurance.
+  std::vector<std::pair<uint64_t, int>> PendingConsumers() const;
 
  private:
   std::map<uint64_t, LogRecord> records_;

@@ -40,6 +40,27 @@ const LinkParams& Network::GetLinkParams(HostId src, HostId dst) const {
 
 void Network::SetHostDown(HostId host) { down_.insert(host); }
 
+void Network::SetLinkLoss(HostId src, HostId dst, double drop_probability) {
+  link_loss_[LinkKey(src, dst)] = drop_probability;
+}
+
+double Network::LossRate(HostId src, HostId dst) const {
+  auto it = link_loss_.find(LinkKey(src, dst));
+  return it == link_loss_.end() ? default_loss_ : it->second;
+}
+
+void Network::BeginPartition(HostId host) { ++partitioned_[host]; }
+
+void Network::EndPartition(HostId host) {
+  auto it = partitioned_.find(host);
+  if (it == partitioned_.end()) return;
+  if (--it->second <= 0) partitioned_.erase(it);
+}
+
+bool Network::Partitioned(HostId host) const {
+  return partitioned_.count(host) > 0;
+}
+
 Status Network::Send(Message msg) {
   if (down_.count(msg.to.host) > 0 || down_.count(msg.from.host) > 0) {
     return Status::OK();  // dropped on the floor, like the real wide area
@@ -70,6 +91,21 @@ Status Network::Send(Message msg) {
 
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
+
+  // Lossy delivery: the transfer occupied the link either way (the bytes
+  // went out and vanished in the fabric), so the busy/FIFO bookkeeping
+  // above stands; only the delivery event is suppressed. Partition checks
+  // precede the loss draw so partition windows never perturb the RNG
+  // stream of unrelated messages.
+  if (Partitioned(msg.from.host) || Partitioned(msg.to.host)) {
+    ++stats_.partition_drops;
+    return Status::OK();
+  }
+  const double loss = LossRate(msg.from.host, msg.to.host);
+  if (loss > 0.0 && loss_rng_.NextDouble() < loss) {
+    ++stats_.loss_drops;
+    return Status::OK();
+  }
 
   sim_->ScheduleAt(arrival, [handler, m = std::move(msg)]() { (*handler)(m); });
   return Status::OK();

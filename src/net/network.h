@@ -1,5 +1,7 @@
 // Simulated wide-area network: point-to-point links with latency and
-// bandwidth, FIFO per-link serialization, and per-byte accounting.
+// bandwidth, FIFO per-link serialization, per-byte accounting, and an
+// optional lossy-delivery model (seeded per-message drops plus partition
+// windows that isolate hosts).
 //
 // This stands in for the paper's 100 Mbps LAN + SOAP/HTTP transport (see
 // DESIGN.md §1). Delivery within a host is free and immediate, matching the
@@ -15,6 +17,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "net/message.h"
 #include "sim/simulator.h"
@@ -34,6 +37,10 @@ struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t bytes_sent = 0;
   uint64_t local_deliveries = 0;
+  /// Remote messages discarded by the random-loss model.
+  uint64_t loss_drops = 0;
+  /// Remote messages discarded because an endpoint was partitioned away.
+  uint64_t partition_drops = 0;
 };
 
 /// \brief The simulated network fabric.
@@ -68,6 +75,30 @@ class Network {
   /// Envelope bytes added to every remote message (SOAP/HTTP analogue).
   void set_envelope_bytes(size_t bytes) { envelope_bytes_ = bytes; }
 
+  /// Reseeds the loss model's RNG. Drop decisions are a pure function of
+  /// the seed and the (deterministic) send sequence, so lossy runs replay
+  /// byte-identically (DESIGN.md §6).
+  void SeedLoss(uint64_t seed) { loss_rng_ = Rng(seed); }
+
+  /// Drop probability applied to every remote message without a per-link
+  /// override. 0 (the default) disables the model entirely: no RNG draw
+  /// happens, so pre-existing deterministic runs are unchanged.
+  void SetDefaultLoss(double drop_probability) {
+    default_loss_ = drop_probability;
+  }
+
+  /// Per-directed-link drop probability override.
+  void SetLinkLoss(HostId src, HostId dst, double drop_probability);
+
+  /// Opens a partition window isolating `host`: every remote message to or
+  /// from it is dropped (the transfer still occupies the link — the bytes
+  /// are transmitted and lost in the fabric). Windows nest: each
+  /// BeginPartition must be matched by an EndPartition before traffic
+  /// flows again. Unlike SetHostDown, the host itself keeps running.
+  void BeginPartition(HostId host);
+  void EndPartition(HostId host);
+  bool Partitioned(HostId host) const;
+
   /// Sends a message. Local (same-host) messages are delivered in a
   /// zero-delay event (still asynchronously, to preserve causality).
   /// Fails if the destination host is not registered.
@@ -101,6 +132,7 @@ class Network {
 
   LinkState& GetLink(HostId src, HostId dst);
   const LinkParams& GetLinkParams(HostId src, HostId dst) const;
+  double LossRate(HostId src, HostId dst) const;
 
   Simulator* sim_;
   LinkParams default_link_;
@@ -108,6 +140,11 @@ class Network {
   std::unordered_map<HostId, DeliveryHandler> hosts_;
   std::unordered_set<HostId> down_;
   std::unordered_map<uint64_t, LinkState> links_;
+  double default_loss_ = 0.0;
+  std::unordered_map<uint64_t, double> link_loss_;
+  Rng loss_rng_{0x10551055ULL};
+  /// Open partition windows per host (windows may overlap, hence a count).
+  std::unordered_map<HostId, int> partitioned_;
   NetworkStats stats_;
 };
 

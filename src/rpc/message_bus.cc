@@ -38,10 +38,34 @@ Status MessageBus::Send(const Address& from, const Address& to,
   msg.from = from;
   msg.to = to;
   msg.payload = std::move(payload);
+  if (reliable_ && from.host != to.host) {
+    return reliable_->Send(std::move(msg));
+  }
   return network_->Send(std::move(msg));
 }
 
+Status MessageBus::SendBestEffort(const Address& from, const Address& to,
+                                  PayloadPtr payload) {
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.payload = std::move(payload);
+  return network_->Send(std::move(msg));
+}
+
+void MessageBus::EnableReliableTransport(const ReliableConfig& config) {
+  if (!config.enabled || reliable_) return;
+  reliable_ = std::make_unique<ReliableTransport>(
+      network_, config, [this](const Message& msg) { DispatchToEndpoint(msg); });
+}
+
 void MessageBus::Deliver(const Message& msg) {
+  // Transport payloads (envelopes, acks) never reach endpoints.
+  if (reliable_ && reliable_->MaybeHandle(msg)) return;
+  DispatchToEndpoint(msg);
+}
+
+void MessageBus::DispatchToEndpoint(const Message& msg) {
   auto it = endpoints_.find(msg.to);
   if (it == endpoints_.end()) {
     ++dropped_;

@@ -5,11 +5,13 @@
 #define GRIDQP_RPC_MESSAGE_BUS_H_
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "common/status.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "rpc/reliable.h"
 
 namespace gqp {
 
@@ -34,8 +36,24 @@ class MessageBus {
   /// Removes an endpoint (e.g., when a query's evaluators shut down).
   void UnregisterEndpoint(const Address& addr);
 
-  /// Sends `payload` from `from` to `to` through the network model.
+  /// Sends `payload` from `from` to `to` through the network model. When
+  /// the reliable transport is enabled, remote messages travel through it
+  /// (acked, retransmitted, deduplicated, released in order); same-host
+  /// messages always go raw — local delivery cannot be lost.
   Status Send(const Address& from, const Address& to, PayloadPtr payload);
+
+  /// Sends raw even when the reliable transport is enabled. Heartbeats use
+  /// this: their loss is the signal the detector measures, and masking it
+  /// with retransmission would blind the failure detector.
+  Status SendBestEffort(const Address& from, const Address& to,
+                        PayloadPtr payload);
+
+  /// Routes all subsequent remote sends through an acknowledged-send
+  /// layer. Call before traffic starts; config.enabled must be true.
+  void EnableReliableTransport(const ReliableConfig& config);
+
+  /// Null unless EnableReliableTransport was called.
+  ReliableTransport* reliable() const { return reliable_.get(); }
 
   Network* network() const { return network_; }
   Simulator* simulator() const { return network_->simulator(); }
@@ -45,11 +63,13 @@ class MessageBus {
 
  private:
   void Deliver(const Message& msg);
+  void DispatchToEndpoint(const Message& msg);
   void EnsureHostRegistered(HostId host);
 
   Network* network_;
   std::unordered_map<Address, Handler, AddressHash> endpoints_;
   std::unordered_map<HostId, bool> hosts_registered_;
+  std::unique_ptr<ReliableTransport> reliable_;
   uint64_t dropped_ = 0;
 };
 

@@ -1,0 +1,159 @@
+#include "rpc/reliable.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gqp {
+namespace {
+
+/// Transport endpoints live outside the service namespace; the '!' prefix
+/// cannot collide with a registered service name.
+constexpr const char* kTransportService = "!transport";
+
+uint64_t ChannelKey(HostId src, HostId dst) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+         static_cast<uint32_t>(dst);
+}
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(Network* network,
+                                     const ReliableConfig& config,
+                                     DeliverFn deliver)
+    : network_(network),
+      sim_(network->simulator()),
+      config_(config),
+      deliver_(std::move(deliver)),
+      jitter_rng_(config.jitter_seed) {}
+
+Status ReliableTransport::Send(Message msg) {
+  const HostId src = msg.from.host;
+  const HostId dst = msg.to.host;
+  SenderChannel& ch = senders_[ChannelKey(src, dst)];
+  const uint64_t seq = ch.next_seq;
+
+  Message envelope;
+  envelope.from = msg.from;
+  envelope.to = msg.to;
+  envelope.payload =
+      std::make_shared<ReliableEnvelopePayload>(seq, std::move(msg.payload));
+
+  const Status sent = network_->Send(envelope);
+  // An unregistered destination is a caller error, not loss: report it
+  // without consuming the seq, or the receiver's cursor would stall on
+  // the gap forever.
+  if (!sent.ok()) return sent;
+  ++ch.next_seq;
+  ++stats_.sent;
+
+  Pending pending;
+  pending.envelope = std::move(envelope);
+  pending.rto_ms = config_.base_rto_ms;
+  ch.pending.emplace(seq, std::move(pending));
+  ScheduleRetransmit(src, dst, seq);
+  return Status::OK();
+}
+
+void ReliableTransport::ScheduleRetransmit(HostId src, HostId dst,
+                                           uint64_t seq) {
+  Pending& p = senders_[ChannelKey(src, dst)].pending[seq];
+  const double jitter =
+      config_.jitter_frac > 0.0
+          ? p.rto_ms * config_.jitter_frac * jitter_rng_.NextDouble()
+          : 0.0;
+  p.timer = sim_->Schedule(p.rto_ms + jitter, [this, src, dst, seq] {
+    OnTimeout(src, dst, seq);
+  });
+}
+
+void ReliableTransport::OnTimeout(HostId src, HostId dst, uint64_t seq) {
+  auto ch_it = senders_.find(ChannelKey(src, dst));
+  if (ch_it == senders_.end()) return;
+  auto it = ch_it->second.pending.find(seq);
+  if (it == ch_it->second.pending.end()) return;
+  Pending& p = it->second;
+
+  // A dead endpoint never acks; retrying would keep the simulation alive
+  // forever. Retry exhaustion is the lossless-hang safety net.
+  if (network_->HostDown(src) || network_->HostDown(dst) ||
+      p.retries >= config_.max_retries) {
+    ++stats_.abandoned;
+    ch_it->second.pending.erase(it);
+    return;
+  }
+
+  ++p.retries;
+  ++stats_.retransmits;
+  (void)network_->Send(p.envelope);
+  p.rto_ms = std::min(p.rto_ms * 2.0, config_.max_rto_ms);
+  ScheduleRetransmit(src, dst, seq);
+}
+
+bool ReliableTransport::MaybeHandle(const Message& msg) {
+  if (const auto* env = PayloadAs<ReliableEnvelopePayload>(msg.payload)) {
+    OnEnvelope(msg, *env);
+    return true;
+  }
+  if (const auto* ack = PayloadAs<ReliableAckPayload>(msg.payload)) {
+    OnAck(msg, *ack);
+    return true;
+  }
+  return false;
+}
+
+void ReliableTransport::OnEnvelope(const Message& msg,
+                                   const ReliableEnvelopePayload& env) {
+  // Always ack, duplicates included: the sender retransmitted because the
+  // previous ack may itself have been lost.
+  ++stats_.acks_sent;
+  Message ack;
+  ack.from = Address{msg.to.host, kTransportService};
+  ack.to = Address{msg.from.host, kTransportService};
+  ack.payload = std::make_shared<ReliableAckPayload>(env.seq());
+  (void)network_->Send(std::move(ack));
+
+  ReceiverChannel& ch = receivers_[ChannelKey(msg.from.host, msg.to.host)];
+  if (env.seq() < ch.next_expected || ch.holdback.count(env.seq()) > 0) {
+    ++stats_.dedup_hits;
+    return;
+  }
+  Message inner;
+  inner.from = msg.from;
+  inner.to = msg.to;
+  inner.payload = env.inner();
+  ch.holdback.emplace(env.seq(), std::move(inner));
+
+  // Release strictly in sequence: a lost message holds its successors back
+  // until the retransmission lands, preserving per-link FIFO end to end.
+  while (true) {
+    auto it = ch.holdback.find(ch.next_expected);
+    if (it == ch.holdback.end()) break;
+    Message release = std::move(it->second);
+    ch.holdback.erase(it);
+    ++ch.next_expected;
+    ++stats_.delivered;
+    deliver_(release);
+  }
+}
+
+void ReliableTransport::OnAck(const Message& msg,
+                              const ReliableAckPayload& ack) {
+  ++stats_.acks_received;
+  // The ack flows dst -> src of the original send.
+  auto ch_it = senders_.find(ChannelKey(msg.to.host, msg.from.host));
+  if (ch_it == senders_.end()) return;
+  auto it = ch_it->second.pending.find(ack.seq());
+  if (it == ch_it->second.pending.end()) return;
+  sim_->Cancel(it->second.timer);
+  ch_it->second.pending.erase(it);
+}
+
+size_t ReliableTransport::pending() const {
+  size_t n = 0;
+  for (const auto& [key, ch] : senders_) n += ch.pending.size();
+  return n;
+}
+
+}  // namespace gqp

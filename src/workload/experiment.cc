@@ -39,6 +39,8 @@ Status RunOnce(const ExperimentParams& params, uint64_t seed,
   grid_options.adaptive = params.adaptivity;
   grid_options.med.window = params.med_window;
   grid_options.med.thres_m = params.thres_m;
+  grid_options.detect.enabled = params.failure_detection;
+  grid_options.reliable.enabled = params.failure_detection;
 
   GridSetup grid(grid_options);
   GQP_RETURN_IF_ERROR(grid.Initialize());

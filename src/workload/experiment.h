@@ -55,6 +55,9 @@ struct ExperimentParams {
 
   // --- grid ---------------------------------------------------------------
   int num_evaluators = 2;
+  /// Runs the heartbeat failure detector and reliable control-plane
+  /// transport (the control-plane tax the overhead bench guards).
+  bool failure_detection = false;
 
   // --- adaptivity -----------------------------------------------------------
   bool adaptivity = true;

@@ -1,12 +1,20 @@
 #include "workload/grid_setup.h"
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace gqp {
 
 GridSetup::GridSetup(const GridOptions& options) : options_(options) {
   network_ = std::make_unique<Network>(&sim_, options_.link);
+  if (options_.loss_rate > 0.0) {
+    network_->SeedLoss(options_.loss_seed);
+    network_->SetDefaultLoss(options_.loss_rate);
+  }
   bus_ = std::make_unique<MessageBus>(network_.get());
+  if (options_.reliable.enabled) {
+    bus_->EnableReliableTransport(options_.reliable);
+  }
 }
 
 GridSetup::~GridSetup() = default;
@@ -48,6 +56,36 @@ Status GridSetup::Initialize() {
                                  &catalog_, &registry_);
   GQP_RETURN_IF_ERROR(gdqs_->Start());
   for (auto& gqes : gqes_) gdqs_->AddGqes(gqes.get());
+
+  if (options_.detect.enabled) {
+    monitor_ = std::make_unique<HeartbeatMonitor>(bus_.get(), nodes_[0]->id(),
+                                                  options_.detect);
+    GQP_RETURN_IF_ERROR(monitor_->Start());
+    for (int i = 0; i < options_.num_evaluators; ++i) {
+      GridNode* node = evaluator_node(i);
+      auto hb = std::make_unique<Heartbeater>(bus_.get(), node,
+                                              monitor_->address());
+      GQP_RETURN_IF_ERROR(hb->Start());
+      monitor_->Watch(node->id(), hb->address());
+      heartbeaters_.push_back(std::move(hb));
+    }
+    monitor_->set_on_confirm([this](HostId host) {
+      const Status s = gdqs_->ReportNodeFailure(host);
+      if (!s.ok()) {
+        GQP_LOG_WARN << "recovery after detected failure of host " << host
+                     << " failed: " << s.ToString();
+      }
+    });
+    // Re-admission needs no recovery action: the host's in-flight work was
+    // already fenced and recovered around when the failure was confirmed;
+    // from now on the scheduler may simply use it again. (If it actually
+    // dies later, detection re-confirms and ReportNodeFailure dedups.)
+    monitor_->set_on_readmit([](HostId host) {
+      GQP_LOG_INFO << "host " << host
+                   << " re-admitted after false failure suspicion";
+    });
+    gdqs_->SetFailureDetector(monitor_.get());
+  }
 
   initialized_ = true;
   return Status::OK();
@@ -99,6 +137,9 @@ Status GridSetup::FailEvaluator(int i) {
   GridNode* node = evaluator_node(i);
   node->Kill();
   network_->SetHostDown(node->id());
+  // With the detector running, the kill is silent: the coordinator learns
+  // of it only through missed heartbeats (suspect -> confirm -> recover).
+  if (monitor_ != nullptr) return Status::OK();
   return gdqs_->ReportNodeFailure(node->id());
 }
 

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "detect/heartbeater.h"
+#include "detect/monitor.h"
 #include "dqp/gdqs.h"
 
 namespace gqp {
@@ -23,6 +25,14 @@ struct GridOptions {
   /// Create MEDs on every node (AGQES mode).
   bool adaptive = true;
   MonitoringEventDetectorConfig med;
+  /// Reliable control-plane delivery (off: raw sends, legacy behavior).
+  ReliableConfig reliable;
+  /// Heartbeat failure detection (off: FailEvaluator reports directly).
+  DetectConfig detect;
+  /// Uniform message-drop probability of the network fabric.
+  double loss_rate = 0.0;
+  /// Seed of the loss model's RNG (scenarios derive it from their seed).
+  uint64_t loss_seed = 0;
 };
 
 /// \brief Owns one simulated grid and all its services.
@@ -50,6 +60,14 @@ class GridSetup {
   int num_evaluators() const { return options_.num_evaluators; }
   Gqes* gqes_on(HostId host);
 
+  /// Null unless options.detect.enabled.
+  HeartbeatMonitor* monitor() { return monitor_.get(); }
+  Heartbeater* heartbeater(int i) {
+    return static_cast<size_t>(i) < heartbeaters_.size()
+               ? heartbeaters_[static_cast<size_t>(i)].get()
+               : nullptr;
+  }
+
   /// Registers a table on the data node (as a Grid Data Service) and in
   /// the catalog.
   Status AddTable(TablePtr table);
@@ -63,9 +81,10 @@ class GridSetup {
   Status PerturbEvaluator(int i, const std::string& tag,
                           PerturbationPtr profile);
 
-  /// Crashes evaluator i: its machine stops executing, the network drops
-  /// its traffic, and the coordinator is informed so running queries
-  /// recover the machine's unacknowledged work from the recovery logs.
+  /// Crashes evaluator i: its machine stops executing and the network
+  /// drops its traffic. With the failure detector enabled this is ALL it
+  /// does — the coordinator finds out through missed heartbeats; without
+  /// it, the coordinator is informed directly (legacy oracle).
   Status FailEvaluator(int i);
 
  private:
@@ -78,6 +97,8 @@ class GridSetup {
   std::vector<std::unique_ptr<GridNode>> nodes_;
   std::vector<std::unique_ptr<Gqes>> gqes_;
   std::unique_ptr<Gdqs> gdqs_;
+  std::unique_ptr<HeartbeatMonitor> monitor_;
+  std::vector<std::unique_ptr<Heartbeater>> heartbeaters_;
   bool initialized_ = false;
 };
 

@@ -1,0 +1,48 @@
+// The lossy chaos sweep: seeded scenarios replayed under the
+// lossy-network profile — per-link message loss up to 5%, scheduled
+// partition windows, and heartbeat stalls (the false-suspicion case) on
+// top of the standard perturbation/crash schedule. Every run keeps the
+// full invariant set, now including detection latency: a crash must be
+// confirmed by the heartbeat detector within its configured bound. A red
+// entry prints the repro command (`chaos_repro --seed=N --lossy`).
+//
+// Uses a fresh seed range (201–240) so the standard sweep's seeds keep
+// their historical meaning.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+
+namespace gqp {
+namespace chaos {
+namespace {
+
+class LossyChaosSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LossyChaosSweepTest, InvariantsHoldUnderLoss) {
+  const uint64_t seed = GetParam();
+  const ChaosScenario scenario = GenerateScenario(seed, ChaosProfile::kLossy);
+  const ChaosRunResult result = RunScenario(scenario);
+
+  ASSERT_TRUE(result.status.ok())
+      << result.status.ToString() << "\n  scenario: " << scenario.Describe()
+      << "\n  repro: " << ReproCommand(seed, ChaosProfile::kLossy);
+  EXPECT_TRUE(result.ok()) << result.Report()
+                           << "\n  scenario: " << scenario.Describe();
+  EXPECT_TRUE(result.completed)
+      << "query never completed; repro: "
+      << ReproCommand(seed, ChaosProfile::kLossy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyChaosSweepTest,
+                         ::testing::Range<uint64_t>(201, 241),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace chaos
+}  // namespace gqp

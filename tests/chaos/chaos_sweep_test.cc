@@ -37,6 +37,17 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest,
                            return "seed" + std::to_string(info.param);
                          });
 
+// Regression pins: seeds outside the range above that once exposed real
+// bugs. 87: a slow consumer deferred a recovery StateMoveRequest behind a
+// perturbed (9.6 ms/tuple) in-flight tuple; batches routed under the new
+// map arrived meanwhile and the late purge destroyed them — tuples above
+// the producer's recall watermark that nothing would ever resend.
+INSTANTIATE_TEST_SUITE_P(RegressionSeeds, ChaosSweepTest,
+                         ::testing::Values<uint64_t>(87),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace chaos
 }  // namespace gqp

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Determinism lint: the simulation must be a pure function of its seeds.
+# Any wall-clock read or unseeded randomness in src/ breaks replayability
+# (chaos_repro --seed=N, the determinism sweeps) — so ban the APIs
+# outright. Seeded randomness goes through common/random.h (Rng).
+#
+# Usage: lint_determinism.sh [SRC_DIR]   (default: <repo>/src)
+
+set -u
+
+src_dir="${1:-$(dirname "$0")/../src}"
+if [ ! -d "$src_dir" ]; then
+  echo "lint_determinism: source dir not found: $src_dir" >&2
+  exit 2
+fi
+
+status=0
+for pattern in 'system_clock' 'steady_clock' '[^_[:alnum:]]rand\(' \
+               'random_device'; do
+  hits=$(grep -rnE "$pattern" "$src_dir" \
+           --include='*.cc' --include='*.h' --include='*.cpp')
+  if [ -n "$hits" ]; then
+    echo "lint_determinism: forbidden nondeterminism source '$pattern':"
+    echo "$hits"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "lint_determinism: OK (no wall-clock or unseeded randomness in src/)"
+fi
+exit "$status"

@@ -130,6 +130,60 @@ TEST_F(NetworkTest, TransferTimeMatchesModel) {
   EXPECT_DOUBLE_EQ(network_.TransferTime(5, 5, 2000), 0.0);  // same host
 }
 
+TEST_F(NetworkTest, SeededLossIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    Network net(&sim, LinkParams{1.0, 1000.0});
+    net.set_envelope_bytes(0);
+    net.SeedLoss(seed);
+    net.SetDefaultLoss(0.5);
+    std::vector<int> tags;
+    net.RegisterHost(2, [&](const Message& m) {
+      tags.push_back(static_cast<const TestPayload*>(m.payload.get())->tag());
+    });
+    for (int i = 0; i < 50; ++i) {
+      Message m;
+      m.from = {1, "src"};
+      m.to = {2, "dst"};
+      m.payload = std::make_shared<TestPayload>(10, i);
+      EXPECT_TRUE(net.Send(m).ok());
+    }
+    sim.RunToCompletion();
+    EXPECT_EQ(tags.size() + net.stats().loss_drops, 50u);
+    EXPECT_GT(net.stats().loss_drops, 0u);
+    return tags;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST_F(NetworkTest, PartitionedHostDropsUntilHealed) {
+  std::vector<int> tags;
+  const auto collect = [&](const Message& m) {
+    tags.push_back(static_cast<const TestPayload*>(m.payload.get())->tag());
+  };
+  network_.RegisterHost(1, collect);
+  network_.RegisterHost(2, collect);
+  network_.BeginPartition(2);
+  EXPECT_TRUE(network_.Partitioned(2));
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 10, 0)).ok());
+  ASSERT_TRUE(network_.Send(MakeMessage(2, 1, 10, 1)).ok());  // both directions
+  network_.EndPartition(2);
+  ASSERT_TRUE(network_.Send(MakeMessage(1, 2, 10, 2)).ok());
+  sim_.RunToCompletion();
+  EXPECT_EQ(tags, (std::vector<int>{2}));
+  EXPECT_EQ(network_.stats().partition_drops, 2u);
+}
+
+TEST_F(NetworkTest, PartitionsAreRefcounted) {
+  network_.BeginPartition(2);
+  network_.BeginPartition(2);  // overlapping windows
+  network_.EndPartition(2);
+  EXPECT_TRUE(network_.Partitioned(2));
+  network_.EndPartition(2);
+  EXPECT_FALSE(network_.Partitioned(2));
+}
+
 TEST_F(NetworkTest, ReversedLinkIsSeparate) {
   std::vector<double> arrivals;
   network_.RegisterHost(1, [&](const Message&) {

@@ -1,0 +1,180 @@
+#include "rpc/reliable.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rpc/message_bus.h"
+#include "rpc/service.h"
+
+namespace gqp {
+namespace {
+
+class TagPayload : public Payload {
+ public:
+  explicit TagPayload(int tag) : tag_(tag) {}
+  size_t WireSize() const override { return 8; }
+  std::string_view TypeName() const override { return "Tag"; }
+  int tag() const { return tag_; }
+
+ private:
+  int tag_;
+};
+
+class SinkService : public GridService {
+ public:
+  using GridService::GridService;
+
+  std::vector<int> tags;
+  std::vector<SimTime> arrivals;
+
+ protected:
+  void HandleMessage(const Message& msg) override {
+    if (const auto* tag = PayloadAs<TagPayload>(msg.payload)) {
+      tags.push_back(tag->tag());
+      arrivals.push_back(simulator()->Now());
+    }
+  }
+};
+
+class ReliableTest : public ::testing::Test {
+ protected:
+  ReliableTest() : network_(&sim_, LinkParams{0.1, 100000.0}), bus_(&network_) {
+    network_.set_envelope_bytes(0);
+    ReliableConfig config;
+    config.enabled = true;
+    config.base_rto_ms = 4.0;
+    config.max_rto_ms = 16.0;
+    config.jitter_frac = 0.0;  // exact retransmit times for the tests
+    bus_.EnableReliableTransport(config);
+  }
+
+  Simulator sim_;
+  Network network_;
+  MessageBus bus_;
+};
+
+TEST_F(ReliableTest, DeliversWithoutLoss) {
+  SinkService a(&bus_, 1, "a");
+  SinkService b(&bus_, 2, "b");
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  ASSERT_TRUE(a.SendTo(b.address(), std::make_shared<TagPayload>(7)).ok());
+  sim_.RunToCompletion();
+  EXPECT_EQ(b.tags, (std::vector<int>{7}));
+  EXPECT_EQ(bus_.reliable()->stats().delivered, 1u);
+  EXPECT_EQ(bus_.reliable()->stats().acks_received, 1u);
+  EXPECT_EQ(bus_.reliable()->pending(), 0u);
+}
+
+TEST_F(ReliableTest, RetransmitsUntilTheLinkHeals) {
+  SinkService a(&bus_, 1, "a");
+  SinkService b(&bus_, 2, "b");
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  network_.SeedLoss(1);
+  network_.SetLinkLoss(1, 2, 1.0);  // data direction black-holed
+  ASSERT_TRUE(a.SendTo(b.address(), std::make_shared<TagPayload>(1)).ok());
+  ASSERT_TRUE(sim_.Run(30.0).ok());
+  EXPECT_TRUE(b.tags.empty());
+  EXPECT_GT(bus_.reliable()->stats().retransmits, 0u);
+  EXPECT_EQ(bus_.reliable()->pending(), 1u);
+
+  network_.SetLinkLoss(1, 2, 0.0);
+  sim_.RunToCompletion();
+  EXPECT_EQ(b.tags, (std::vector<int>{1}));
+  EXPECT_EQ(bus_.reliable()->stats().delivered, 1u);
+  EXPECT_EQ(bus_.reliable()->pending(), 0u);
+}
+
+TEST_F(ReliableTest, BackoffDoublesUpToTheCap) {
+  SinkService a(&bus_, 1, "a");
+  SinkService b(&bus_, 2, "b");
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  network_.SeedLoss(1);
+  network_.SetLinkLoss(1, 2, 1.0);
+  ASSERT_TRUE(a.SendTo(b.address(), std::make_shared<TagPayload>(1)).ok());
+  // With base_rto=4, cap=16 and zero jitter the (re)send times are
+  // t=0, 4, 12, 28, 44, 60, ... — gaps 4, 8, 16, 16, 16.
+  const std::vector<std::pair<double, uint64_t>> expected = {
+      {1.0, 1},  {5.0, 2},  {13.0, 3}, {29.0, 4}, {45.0, 5}, {61.0, 6},
+  };
+  for (const auto& [until, sent] : expected) {
+    ASSERT_TRUE(sim_.Run(until).ok());
+    EXPECT_EQ(network_.stats().messages_sent, sent) << "at t=" << until;
+  }
+  network_.SetHostDown(2);  // let the retransmit loop abandon and drain
+  sim_.RunToCompletion();
+  EXPECT_EQ(bus_.reliable()->stats().abandoned, 1u);
+}
+
+TEST_F(ReliableTest, DedupsWhenAcksAreLost) {
+  SinkService a(&bus_, 1, "a");
+  SinkService b(&bus_, 2, "b");
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  network_.SeedLoss(1);
+  network_.SetLinkLoss(2, 1, 1.0);  // ack direction black-holed
+  ASSERT_TRUE(a.SendTo(b.address(), std::make_shared<TagPayload>(3)).ok());
+  ASSERT_TRUE(sim_.Run(30.0).ok());
+  // The receiver saw the message (and its retransmits) but the endpoint
+  // must still have processed it exactly once.
+  EXPECT_EQ(b.tags, (std::vector<int>{3}));
+  EXPECT_GT(bus_.reliable()->stats().dedup_hits, 0u);
+  EXPECT_EQ(bus_.reliable()->stats().delivered, 1u);
+
+  network_.SetLinkLoss(2, 1, 0.0);
+  sim_.RunToCompletion();
+  EXPECT_EQ(bus_.reliable()->pending(), 0u);
+  EXPECT_EQ(b.tags, (std::vector<int>{3}));
+}
+
+TEST_F(ReliableTest, PreservesFifoUnderSymmetricLoss) {
+  SinkService a(&bus_, 1, "a");
+  SinkService b(&bus_, 2, "b");
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  network_.SeedLoss(99);
+  network_.SetDefaultLoss(0.4);  // both data and acks drop
+  std::vector<int> want;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(a.SendTo(b.address(), std::make_shared<TagPayload>(i)).ok());
+    want.push_back(i);
+  }
+  sim_.RunToCompletion();
+  EXPECT_EQ(b.tags, want);  // in order, no gaps, no duplicates
+  EXPECT_EQ(bus_.reliable()->stats().delivered, 20u);
+  EXPECT_GT(bus_.reliable()->stats().retransmits, 0u);
+  EXPECT_EQ(bus_.reliable()->pending(), 0u);
+}
+
+TEST_F(ReliableTest, LocalSendsBypassTheTransport) {
+  SinkService a(&bus_, 1, "a");
+  SinkService b(&bus_, 1, "b");
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  ASSERT_TRUE(a.SendTo(b.address(), std::make_shared<TagPayload>(5)).ok());
+  sim_.RunToCompletion();
+  EXPECT_EQ(b.tags, (std::vector<int>{5}));
+  EXPECT_EQ(bus_.reliable()->stats().sent, 0u);
+}
+
+TEST_F(ReliableTest, BestEffortSendsSkipRetransmission) {
+  SinkService a(&bus_, 1, "a");
+  SinkService b(&bus_, 2, "b");
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  network_.SeedLoss(1);
+  network_.SetLinkLoss(1, 2, 1.0);
+  ASSERT_TRUE(bus_.SendBestEffort(a.address(), b.address(),
+                                  std::make_shared<TagPayload>(9))
+                  .ok());
+  sim_.RunToCompletion();
+  EXPECT_TRUE(b.tags.empty());
+  EXPECT_EQ(bus_.reliable()->stats().sent, 0u);
+  EXPECT_EQ(network_.stats().loss_drops, 1u);
+}
+
+}  // namespace
+}  // namespace gqp
