@@ -26,6 +26,9 @@ int main() {
   baseline.perturbations.clear();
   const ExperimentResult base_result = MustRun(baseline);
 
+  Metrics metrics("ablation");
+  metrics.Set("baseline_ms", base_result.response_ms);
+
   // (a) thresA sweep (the paper fixes 20% and leaves tuning as future
   // work; this is that experiment).
   std::printf("\n-- thresA sweep --\n%-12s %-14s %-12s\n", "thresA",
@@ -38,6 +41,7 @@ int main() {
     std::printf("%-12.2f %-14.2f %-12llu\n", thres_a,
                 Normalized(r, base_result),
                 static_cast<unsigned long long>(r.stats.rounds_applied));
+    metrics.Set(StrCat("thresA_", thres_a), Normalized(r, base_result));
   }
 
   // (b) MED window sweep.
@@ -52,6 +56,7 @@ int main() {
     std::printf("%-12zu %-14.2f %-12llu\n", window,
                 Normalized(r, base_result),
                 static_cast<unsigned long long>(r.stats.med_notifications));
+    metrics.Set(StrCat("window_", window), Normalized(r, base_result));
   }
 
   // (c) thresM sweep.
@@ -65,7 +70,9 @@ int main() {
     std::printf("%-12.2f %-14.2f %-12llu\n", thres_m,
                 Normalized(r, base_result),
                 static_cast<unsigned long long>(r.stats.med_notifications));
+    metrics.Set(StrCat("thresM_", thres_m), Normalized(r, base_result));
   }
+  metrics.WriteJson();
 
   std::printf(
       "\nexpected shape: response time is flat across sane settings (the "

@@ -34,6 +34,9 @@ int main() {
   const double paper_ad[] = {1.45, 2.48, 3.79};
   const double factors[] = {10, 20, 30};
 
+  Metrics metrics("fig2a");
+  metrics.Set("baseline_ms", base_result.response_ms);
+
   std::printf("\n%-12s %-22s %-22s\n", "perturb",
               "adaptivity disabled", "adaptivity enabled");
   std::printf("%-12s %-10s %-11s %-10s %-11s\n", "", "measured", "(paper)",
@@ -56,6 +59,11 @@ int main() {
                 StrCat(factors[i], "x").c_str(),
                 Normalized(noad_result, base_result), paper_noad[i],
                 Normalized(ad_result, base_result), paper_ad[i]);
+    metrics.Set(StrCat("noad_", factors[i], "x"),
+                Normalized(noad_result, base_result));
+    metrics.Set(StrCat("ad_", factors[i], "x"),
+                Normalized(ad_result, base_result));
   }
+  metrics.WriteJson();
   return 0;
 }

@@ -37,6 +37,8 @@ int main() {
   };
   const double factors[] = {10, 20, 30};
 
+  Metrics metrics("fig2b");
+  metrics.Set("baseline_ms", base_result.response_ms);
   std::printf("\n%-10s %-12s %-12s %-12s\n", "perturb", "A1+R2", "A1+R1",
               "A2+R2");
   for (const double factor : factors) {
@@ -51,9 +53,15 @@ int main() {
           {0, PerturbSpec::Kind::kFactor, factor, 0, 0, 0, 0, 0}};
       const ExperimentResult r = MustRun(p);
       std::printf(" %-12.2f", Normalized(r, base_result));
+      std::string slug = policy.label;  // "A1+R2" -> "A1_R2"
+      for (char& c : slug) {
+        if (c == '+') c = '_';
+      }
+      metrics.Set(StrCat(slug, "_", factor, "x"), Normalized(r, base_result));
     }
     std::printf("\n");
   }
+  metrics.WriteJson();
   std::printf(
       "\nexpected shape: A1+R1 roughly flat in the perturbation size and "
       "best at 30x;\nA1 variants <= A2+R2 (A2 mixes in communication costs "

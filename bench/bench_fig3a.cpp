@@ -34,6 +34,9 @@ int main() {
   const double sleeps[] = {10, 50, 100};
   const char* paper_note[] = {"1.71 / 1.31 (Table 1)", "-", "-"};
 
+  Metrics metrics("fig3a");
+  metrics.Set("baseline_ms", base_result.response_ms);
+
   std::printf("\n%-12s %-20s %-20s %-24s\n", "sleep", "adaptivity disabled",
               "adaptivity enabled", "paper (noad/ad)");
   for (int i = 0; i < 3; ++i) {
@@ -64,8 +67,13 @@ int main() {
                 StrCat(sleeps[i], "ms").c_str(),
                 Normalized(noad_result, base_result),
                 Normalized(ad_result, base_result), paper_note[i]);
+    metrics.Set(StrCat("noad_", sleeps[i], "ms"),
+                Normalized(noad_result, base_result));
+    metrics.Set(StrCat("ad_", sleeps[i], "ms"),
+                Normalized(ad_result, base_result));
   }
   std::printf("\nresult correctness: all runs returned %zu rows\n",
               base_result.result_rows);
+  metrics.WriteJson();
   return 0;
 }

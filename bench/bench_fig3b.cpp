@@ -18,6 +18,7 @@ int main() {
 
   const double factors[] = {10, 20, 30};
 
+  Metrics metrics("fig3b");
   for (const size_t tuples : {size_t{3000}, size_t{6000}}) {
     ExperimentParams base;
     base.query = QueryKind::kQ1;
@@ -51,8 +52,13 @@ int main() {
       std::printf("%-10s %-22.2f %-20.2f\n", StrCat(factor, "x").c_str(),
                   Normalized(noad_result, base_result),
                   Normalized(ad_result, base_result));
+      metrics.Set(StrCat("noad_", tuples, "_", factor, "x"),
+                  Normalized(noad_result, base_result));
+      metrics.Set(StrCat("ad_", tuples, "_", factor, "x"),
+                  Normalized(ad_result, base_result));
     }
   }
+  metrics.WriteJson();
   std::printf(
       "\nexpected shape: the 6000-tuple adaptive column improves on the "
       "3000-tuple one\n(relative to its own baseline), approaching the "

@@ -31,6 +31,8 @@ int main() {
   std::printf("baseline (no ad / no imb, 3 evaluators): %.1f virtual ms\n",
               base_result.response_ms);
 
+  Metrics metrics("fig4");
+  metrics.Set("baseline_ms", base_result.response_ms);
   const double factors[] = {10, 20, 30};
   for (const double factor : factors) {
     std::printf("\nFig. 4 — perturbation %sx\n", StrCat(factor).c_str());
@@ -57,8 +59,13 @@ int main() {
       std::printf("%-22d %-22.2f %-20.2f\n", perturbed,
                   Normalized(noad_result, base_result),
                   Normalized(ad_result, base_result));
+      metrics.Set(StrCat("noad_", factor, "x_", perturbed, "m"),
+                  Normalized(noad_result, base_result));
+      metrics.Set(StrCat("ad_", factor, "x_", perturbed, "m"),
+                  Normalized(ad_result, base_result));
     }
   }
+  metrics.WriteJson();
   std::printf(
       "\nexpected shape: adaptive curves flat while >= 1 machine is "
       "unperturbed and\nsimilar across 10x/20x/30x; static curves grow "

@@ -37,6 +37,8 @@ int main() {
       {"[1,60]", 1, 60, 15.0},
   };
 
+  Metrics metrics("fig5");
+  metrics.Set("baseline_ms", base_result.response_ms);
   std::printf("\n%-10s %-16s %-16s\n", "band", "prospective(R2)",
               "retrospective(R1)");
   for (const Band& band : bands) {
@@ -57,9 +59,20 @@ int main() {
       }
       const ExperimentResult r = MustRun(p);
       std::printf(" %-16.2f", Normalized(r, base_result));
+      // "[25,35]" -> "25_35"; R2 = prospective, R1 = retrospective.
+      std::string band_slug(band.label + 1);
+      band_slug.pop_back();
+      for (char& c : band_slug) {
+        if (c == ',') c = '_';
+      }
+      metrics.Set(
+          StrCat(response == ResponseType::kProspective ? "R2_" : "R1_",
+                 band_slug),
+          Normalized(r, base_result));
     }
     std::printf("\n");
   }
+  metrics.WriteJson();
   std::printf(
       "\nexpected shape: within each response type the four bars are nearly "
       "equal —\nvariability around a stable mean does not hurt the dynamic "

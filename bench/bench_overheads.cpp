@@ -49,6 +49,8 @@ int main() {
   baseline.adaptivity = false;
   const ExperimentResult base_result = MustRun(baseline);
 
+  Metrics metrics("overheads");
+  metrics.Set("baseline_ms", base_result.response_ms);
   std::printf("\n-- adaptivity overhead without imbalance --\n");
   std::printf("%-16s %-12s %-14s %-12s %-14s\n", "response",
               "overhead", "(paper)", "tuple-ratio", "(paper)");
@@ -66,6 +68,10 @@ int main() {
                 prospective ? "prospective(R2)" : "retrospective(R1)",
                 overhead * 100.0, prospective ? "(5.9%)" : "(15.3%)",
                 TupleRatio(r.stats), prospective ? "(1.21)" : "(1.01)");
+    metrics.Set(StrCat(prospective ? "R2" : "R1", "_overhead_pct"),
+                overhead * 100.0);
+    metrics.Set(StrCat(prospective ? "R2" : "R1", "_tuple_ratio"),
+                TupleRatio(r.stats));
   }
 
   // Control-plane tax of the failure detector: heartbeats + reliable
@@ -82,6 +88,7 @@ int main() {
   constexpr double kDetectOverheadBudget = 0.05;
   std::printf("%-16s %-11.1f%% (budget %.0f%%)\n", "heartbeat(Q1)",
               detect_overhead * 100.0, kDetectOverheadBudget * 100.0);
+  metrics.Set("heartbeat_overhead_pct", detect_overhead * 100.0);
   if (detect_overhead > kDetectOverheadBudget) {
     std::printf("FAIL: failure-detection overhead exceeds the budget\n");
     return 1;
@@ -116,10 +123,12 @@ int main() {
   std::printf("%-14s %-14s\n", "m1-frequency", "normalised RT");
   i = 0;
   for (const size_t freq : frequencies) {
+    const double normalized = Normalized(freq_results[i++], base_result);
     std::printf("%-14s %-14.2f\n",
-                freq == 0 ? "off" : StrCat("1/", freq).c_str(),
-                Normalized(freq_results[i++], base_result));
+                freq == 0 ? "off" : StrCat("1/", freq).c_str(), normalized);
+    metrics.Set(freq == 0 ? "freq_off" : StrCat("freq_", freq), normalized);
   }
+  metrics.WriteJson();
   std::printf(
       "\nexpected: frequencies 1/10..1/30 give nearly the same response "
       "time;\n'off' disables adaptation and degrades to the static "

@@ -49,6 +49,7 @@ int main() {
               "measured", "(paper)", "measured", "(paper)", "measured",
               "(paper)", "measured", "(paper)");
 
+  Metrics metrics("table1");
   for (const Row& row : rows) {
     ExperimentParams base;
     base.query = row.query;
@@ -84,7 +85,21 @@ int main() {
         row.label, 1.0, row.paper[0], Normalized(r_ad_noimb, r_base),
         row.paper[1], Normalized(r_noad_imb, r_base), row.paper[2],
         Normalized(r_ad_imb, r_base), row.paper[3]);
+
+    // JSON keys: "Q1 - R2" -> "Q1_R2_<config>".
+    std::string slug = row.label;
+    for (char& c : slug) {
+      if (c == ' ' || c == '-') c = '_';
+    }
+    while (slug.find("__") != std::string::npos) {
+      slug.erase(slug.find("__"), 1);
+    }
+    metrics.Set(StrCat(slug, "_base_ms"), r_base.response_ms);
+    metrics.Set(StrCat(slug, "_ad_noimb"), Normalized(r_ad_noimb, r_base));
+    metrics.Set(StrCat(slug, "_noad_imb"), Normalized(r_noad_imb, r_base));
+    metrics.Set(StrCat(slug, "_ad_imb"), Normalized(r_ad_imb, r_base));
   }
+  metrics.WriteJson();
 
   std::printf(
       "\nNote: the 'ad/no imb' column is the paper's \"unnecessary "

@@ -47,10 +47,17 @@ class TupleBatchPayload : public Payload {
         round_(round),
         tuples_(std::move(tuples)) {}
 
+  /// Memoized at batch granularity: the batch is immutable once built,
+  /// and the network cost model asks for the size of the same batch on
+  /// send, on (possibly repeated) transmission and in diagnostics — the
+  /// values are walked once, not once per ask.
   size_t WireSize() const override {
-    size_t bytes = 48;
-    for (const RoutedTuple& t : tuples_) bytes += 12 + t.tuple.WireSize();
-    return bytes;
+    if (wire_size_ == 0) {
+      size_t bytes = 48;
+      for (const RoutedTuple& t : tuples_) bytes += 12 + t.tuple.WireSize();
+      wire_size_ = bytes;
+    }
+    return wire_size_;
   }
   std::string_view TypeName() const override { return "TupleBatch"; }
 
@@ -72,6 +79,7 @@ class TupleBatchPayload : public Payload {
   bool resend_;
   uint64_t round_;
   std::vector<RoutedTuple> tuples_;
+  mutable size_t wire_size_ = 0;  // 0 = not yet computed
 };
 
 /// End-of-stream marker from one producer instance.

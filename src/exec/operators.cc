@@ -1,5 +1,7 @@
 #include "exec/operators.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -78,7 +80,7 @@ Status OperationCallOperator::Process(int, const Tuple& tuple, int,
   GQP_ASSIGN_OR_RETURN(FunctionRegistry::Fn fn,
                        ctx->functions->Find(ws_name_));
   GQP_ASSIGN_OR_RETURN(Value result, fn({tuple.at(arg_col_)}));
-  std::vector<Value> values = tuple.values();
+  std::vector<Value> values(tuple.data(), tuple.data() + tuple.size());
   values.push_back(std::move(result));
   return Emit(Tuple(out_schema_, std::move(values)), ctx);
 }
@@ -91,7 +93,20 @@ HashJoinOperator::HashJoinOperator(const PhysOpDesc& desc)
       out_schema_(desc.out_schema),
       probe_cost_ms_(desc.base_cost_ms),
       build_cost_ms_(desc.build_cost_ms),
-      tag_(desc.cost_tag) {}
+      tag_(desc.cost_tag),
+      bucket_reserve_hint_(
+          desc.estimated_build_rows /
+              static_cast<size_t>(std::max(desc.build_partitions, 1)) +
+          1) {}
+
+FlatJoinTable& HashJoinOperator::TableForBucket(int bucket) {
+  if (static_cast<size_t>(bucket) >= state_.size()) {
+    state_.resize(static_cast<size_t>(bucket) + 1);
+  }
+  FlatJoinTable& table = state_[static_cast<size_t>(bucket)];
+  if (table.empty()) table.Reserve(bucket_reserve_hint_);
+  return table;
+}
 
 Status HashJoinOperator::Process(int port, const Tuple& tuple, int bucket,
                                  ExecContext* ctx) {
@@ -102,16 +117,11 @@ Status HashJoinOperator::Process(int port, const Tuple& tuple, int bucket,
       return Status::OutOfRange("build key column out of range");
     }
     const Value& key = tuple.at(build_key_);
-    auto& entries = state_[bucket][key.Hash()];
-    for (const BuildEntry& existing : entries) {
-      if (existing.tuple == tuple) {
-        ++duplicate_build_inserts_;
-        GQP_LOG_WARN << "hash join: duplicate build insert, key="
-                     << key.ToString() << " bucket=" << bucket;
-        break;
-      }
+    if (TableForBucket(bucket).Insert(key.Hash(), key, tuple)) {
+      ++duplicate_build_inserts_;
+      GQP_LOG_WARN << "hash join: duplicate build insert, key="
+                   << key.ToString() << " bucket=" << bucket;
     }
-    entries.push_back(BuildEntry{key, tuple});
     ctx->retained = true;
     return Status::OK();
   }
@@ -121,39 +131,35 @@ Status HashJoinOperator::Process(int port, const Tuple& tuple, int bucket,
       return Status::OutOfRange("probe key column out of range");
     }
     const Value& key = tuple.at(probe_key_);
-    auto bucket_it = state_.find(bucket);
-    if (bucket_it == state_.end()) return Status::OK();
-    auto entries_it = bucket_it->second.find(key.Hash());
-    if (entries_it == bucket_it->second.end()) return Status::OK();
-    for (const BuildEntry& entry : entries_it->second) {
-      if (entry.key != key) continue;  // hash collision
-      GQP_RETURN_IF_ERROR(
-          Emit(Tuple::Concat(out_schema_, entry.tuple, tuple), ctx));
-    }
-    return Status::OK();
+    if (static_cast<size_t>(bucket) >= state_.size()) return Status::OK();
+    Status status = Status::OK();
+    state_[static_cast<size_t>(bucket)].ForEachMatch(
+        key.Hash(), [&](const Value& build_key, const Tuple& build_tuple) {
+          if (!status.ok() || build_key != key) return;  // hash collision
+          status = Emit(Tuple::Concat(out_schema_, build_tuple, tuple), ctx);
+        });
+    return status;
   }
   return Status::InvalidArgument(
       StrCat("hash join has no input port ", port));
 }
 
 void HashJoinOperator::PurgeBuckets(const std::vector<int>& buckets) {
-  for (const int b : buckets) state_.erase(b < 0 ? 0 : b);
+  for (const int b : buckets) {
+    const size_t idx = static_cast<size_t>(b < 0 ? 0 : b);
+    if (idx < state_.size()) state_[idx].Clear();
+  }
 }
 
 size_t HashJoinOperator::StateSize() const {
   size_t count = 0;
-  for (const auto& [bucket, keys] : state_) {
-    for (const auto& [hash, entries] : keys) count += entries.size();
-  }
+  for (const FlatJoinTable& table : state_) count += table.size();
   return count;
 }
 
 size_t HashJoinOperator::StateSizeForBucket(int bucket) const {
-  auto it = state_.find(bucket);
-  if (it == state_.end()) return 0;
-  size_t count = 0;
-  for (const auto& [hash, entries] : it->second) count += entries.size();
-  return count;
+  const size_t idx = static_cast<size_t>(bucket < 0 ? 0 : bucket);
+  return idx < state_.size() ? state_[idx].size() : 0;
 }
 
 // ---- HashAggregate -------------------------------------------------------

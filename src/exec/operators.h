@@ -14,10 +14,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "exec/flat_join_table.h"
 #include "expr/expression.h"
 #include "plan/physical_plan.h"
 #include "storage/table.h"
@@ -154,13 +154,9 @@ class HashJoinOperator : public PhysicalOperator {
   size_t StateSizeForBucket(int bucket) const;
 
  private:
-  struct BuildEntry {
-    Value key;
-    Tuple tuple;
-  };
-  // bucket -> key hash -> entries.
-  using BucketState =
-      std::unordered_map<uint64_t, std::vector<BuildEntry>>;
+  /// Lazily creates bucket `bucket`'s table, pre-sized from the
+  /// optimizer's build-side estimate.
+  FlatJoinTable& TableForBucket(int bucket);
 
   size_t build_key_;
   size_t probe_key_;
@@ -168,7 +164,11 @@ class HashJoinOperator : public PhysicalOperator {
   double probe_cost_ms_;
   double build_cost_ms_;
   std::string tag_;
-  std::unordered_map<int, BucketState> state_;
+  /// Per-bucket pre-size hint: estimated build rows / logical buckets.
+  size_t bucket_reserve_hint_;
+  // Build state, one flat table per logical partition (DESIGN.md
+  // "Performance engineering"); index = bucket id, grown on demand.
+  std::vector<FlatJoinTable> state_;
   size_t duplicate_build_inserts_ = 0;
 };
 

@@ -17,6 +17,22 @@ bool IsScanChain(const LogicalNodePtr& node) {
   return false;
 }
 
+/// Base-table row count at the bottom of a scan chain (filters above the
+/// scan do not shrink the estimate; join-table pre-sizing only needs the
+/// right order of magnitude). 0 when unknown.
+size_t EstimateChainRows(const LogicalNodePtr& node) {
+  LogicalNodePtr cur = node;
+  while (cur != nullptr) {
+    if (cur->kind() == LogicalKind::kScan) {
+      return static_cast<const LogicalScan*>(cur.get())->table().stats.num_rows;
+    }
+    const std::vector<LogicalNodePtr> children = cur->children();
+    if (children.size() != 1) return 0;
+    cur = children[0];
+  }
+  return 0;
+}
+
 int CountJoins(const LogicalNodePtr& node) {
   int count = node->kind() == LogicalKind::kJoin ? 1 : 0;
   for (const LogicalNodePtr& child : node->children()) {
@@ -146,6 +162,8 @@ Result<PhysicalPlan> CreatePhysicalPlan(const LogicalNodePtr& root,
         desc.cost_tag = CostModel::JoinTag();
         desc.build_key = j.left_key();
         desc.probe_key = j.right_key();
+        desc.estimated_build_rows = EstimateChainRows(j.left());
+        desc.build_partitions = options.num_buckets;
         break;
       }
       case LogicalKind::kFilter: {

@@ -56,6 +56,11 @@ struct PhysOpDesc {
   size_t build_key = 0;
   size_t probe_key = 0;
   double build_cost_ms = 0.0;
+  /// Build-side cardinality estimate (base-table rows of the build scan
+  /// chain) and the exchange's logical bucket count; the join operator
+  /// pre-sizes its per-bucket flat tables from estimate / partitions.
+  size_t estimated_build_rows = 0;
+  int build_partitions = 1;
 
   // kOperationCall
   std::string ws_name;

@@ -7,44 +7,69 @@
 
 namespace gqp {
 
-EventId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
-  if (delay < 0) delay = 0;
-  return ScheduleAt(now_ + delay, std::move(fn));
+void Simulator::GrowPool() {
+  chunks_.push_back(std::make_unique<EventSlot[]>(kChunkSize));
+  const uint32_t base = slot_count_;
+  slot_count_ += kChunkSize;
+  // Pushed in reverse so slots are handed out in ascending order.
+  for (uint32_t i = 0; i < kChunkSize; ++i) {
+    free_.push_back(base + kChunkSize - 1 - i);
+  }
 }
 
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
-  if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+void Simulator::DisarmSlot(uint32_t slot) {
+  EventSlot& s = SlotRef(slot);
+  s.destroy(s.storage);
+  s.invoke = nullptr;
+  ++s.gen;
+  free_.push_back(slot);
+}
+
+void Simulator::PopDiscard() {
+  std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+  heap_.pop_back();
 }
 
 bool Simulator::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
-  return true;
+  const uint64_t slot_part = id >> 32;
+  if (slot_part == 0 || slot_part > slot_count_) return false;
+  const uint32_t slot = static_cast<uint32_t>(slot_part - 1);
+  EventSlot& s = SlotRef(slot);
+  if (s.gen != static_cast<uint32_t>(id) || s.invoke == nullptr) return false;
+  DisarmSlot(slot);
+  --live_;
+  return true;  // heap entry goes stale; discarded when it surfaces
+}
+
+void Simulator::FireTop() {
+  const HeapEntry top = heap_.front();
+  PopDiscard();
+  EventSlot& s = SlotRef(top.slot);
+  now_ = top.time;
+  ++events_executed_;
+  --live_;
+  // Disarm before invoking: the callback observes itself as fired (a
+  // self-cancel is a no-op) but the slot is recycled only afterwards, so
+  // events it schedules cannot clobber the running callback's storage.
+  // Slot addresses are chunk-stable, so pool growth is safe too.
+  void (*invoke)(void*) = s.invoke;
+  s.invoke = nullptr;
+  ++s.gen;
+  if (trace_sink_) trace_sink_(top.time, top.seq);
+  invoke(s.storage);
+  EventSlot& after = SlotRef(top.slot);
+  after.destroy(after.storage);
+  free_.push_back(top.slot);
 }
 
 bool Simulator::Step() {
   while (!heap_.empty()) {
-    Entry top = heap_.top();
-    heap_.pop();
-    auto cancelled_it = cancelled_.find(top.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
+    const HeapEntry& top = heap_.front();
+    if (SlotRef(top.slot).gen != top.gen) {
+      PopDiscard();
       continue;
     }
-    auto cb_it = callbacks_.find(top.id);
-    if (cb_it == callbacks_.end()) continue;  // defensive
-    std::function<void()> fn = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
-    now_ = top.time;
-    ++events_executed_;
-    if (trace_sink_) trace_sink_(top.time, top.id);
-    fn();
+    FireTop();
     return true;
   }
   return false;
@@ -53,11 +78,10 @@ bool Simulator::Step() {
 Status Simulator::Run(SimTime until) {
   const uint64_t budget_start = events_executed_;
   while (!heap_.empty()) {
-    // Peek: stop before events beyond the horizon.
-    Entry top = heap_.top();
-    if (cancelled_.count(top.id) > 0) {
-      heap_.pop();
-      cancelled_.erase(top.id);
+    // Peek: discard stale entries, stop before events beyond the horizon.
+    const HeapEntry& top = heap_.front();
+    if (SlotRef(top.slot).gen != top.gen) {
+      PopDiscard();
       continue;
     }
     if (top.time > until) {
@@ -69,7 +93,7 @@ Status Simulator::Run(SimTime until) {
           StrCat("simulator exceeded ", max_events_,
                  " events; likely a runaway event loop (t=", now_, " ms)"));
     }
-    Step();
+    FireTop();
   }
   if (until != kSimTimeInfinity && until > now_) now_ = until;
   return Status::OK();
@@ -84,12 +108,26 @@ SimTime Simulator::RunToCompletion() {
   return now_;
 }
 
+void Simulator::DestroyPending() {
+  for (const HeapEntry& entry : heap_) {
+    EventSlot& s = SlotRef(entry.slot);
+    if (s.gen != entry.gen) continue;  // stale (cancelled) duplicate
+    s.destroy(s.storage);
+    s.invoke = nullptr;
+    ++s.gen;
+  }
+}
+
 void Simulator::Reset() {
+  DestroyPending();
   now_ = 0.0;
   events_executed_ = 0;
-  heap_ = {};
-  cancelled_.clear();
-  callbacks_.clear();
+  live_ = 0;
+  heap_.clear();
+  chunks_.clear();
+  free_.clear();
+  slot_count_ = 0;
+  // next_seq_ keeps counting, matching the pre-pool kernel's next_id_.
 }
 
 }  // namespace gqp

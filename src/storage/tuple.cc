@@ -1,25 +1,58 @@
 #include "storage/tuple.h"
 
+#include <new>
+#include <utility>
+
 namespace gqp {
 
-size_t Tuple::WireSize() const {
-  size_t bytes = 8;  // row header
-  if (values_) {
-    for (const Value& v : *values_) bytes += v.WireSize();
+Tuple::Rep* Tuple::NewRep(SchemaPtr schema, uint32_t n) {
+  void* block = ::operator new(sizeof(Rep) + n * sizeof(Value));
+  Rep* rep = ::new (block) Rep{1, n, 0, std::move(schema)};
+  return rep;
+}
+
+void Tuple::Destroy(Rep* rep) {
+  Value* values = ValuesOf(rep);
+  for (uint32_t i = rep->size; i > 0; --i) values[i - 1].~Value();
+  rep->~Rep();
+  ::operator delete(rep);
+}
+
+Tuple::Tuple(SchemaPtr schema, std::vector<Value> values)
+    : rep_(NewRep(std::move(schema), static_cast<uint32_t>(values.size()))) {
+  Value* out = ValuesOf(rep_);
+  for (size_t i = 0; i < values.size(); ++i) {
+    ::new (static_cast<void*>(out + i)) Value(std::move(values[i]));
   }
-  return bytes;
+}
+
+size_t Tuple::WireSize() const {
+  if (rep_ == nullptr) return 8;  // bare row header
+  if (rep_->wire_size == 0) {
+    size_t bytes = 8;  // row header
+    const Value* values = ValuesOf(rep_);
+    for (uint32_t i = 0; i < rep_->size; ++i) bytes += values[i].WireSize();
+    rep_->wire_size = bytes;
+  }
+  return rep_->wire_size;
 }
 
 Tuple Tuple::Concat(const SchemaPtr& schema, const Tuple& left,
                     const Tuple& right) {
-  std::vector<Value> values;
-  values.reserve(left.size() + right.size());
-  for (size_t i = 0; i < left.size(); ++i) values.push_back(left.at(i));
-  for (size_t i = 0; i < right.size(); ++i) values.push_back(right.at(i));
-  return Tuple(schema, std::move(values));
+  Rep* rep =
+      NewRep(schema, static_cast<uint32_t>(left.size() + right.size()));
+  Value* out = ValuesOf(rep);
+  for (size_t i = 0; i < left.size(); ++i) {
+    ::new (static_cast<void*>(out++)) Value(left.at(i));
+  }
+  for (size_t i = 0; i < right.size(); ++i) {
+    ::new (static_cast<void*>(out++)) Value(right.at(i));
+  }
+  return Tuple(rep);
 }
 
 bool Tuple::operator==(const Tuple& other) const {
+  if (rep_ == other.rep_) return true;  // shared payload (or both invalid)
   if (size() != other.size()) return false;
   for (size_t i = 0; i < size(); ++i) {
     if (at(i) != other.at(i)) return false;

@@ -1,0 +1,73 @@
+// Golden-fingerprint pinning. determinism_test.cc proves a seed replays
+// identically *within* one binary; this test pins the absolute (event
+// count, trace hash) of a handful of seeds against values recorded from
+// the pre-hot-path-overhaul kernel, so any change to event ordering,
+// sequence numbering, or scheduling behavior — however subtle — fails
+// loudly instead of silently shifting every downstream result.
+//
+// If a fingerprint changes *by design* (e.g. a new subsystem schedules
+// extra events), re-record the constants with:
+//   chaos_repro --seed=N [--lossy]
+// and say so in the commit message.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+
+namespace gqp {
+namespace chaos {
+namespace {
+
+struct GoldenFingerprint {
+  uint64_t seed;
+  ChaosProfile profile;
+  uint64_t events;
+  uint64_t hash;
+};
+
+// Recorded 2026-08 from the seed kernel (priority_queue + id map), before
+// the pooled event pool / packed rows / flat join table landed. Seed 87
+// is the historical duplicate-build-insert regression scenario.
+constexpr GoldenFingerprint kGolden[] = {
+    {1, ChaosProfile::kStandard, 4465, 0x1cec7d16215d2d6cULL},
+    {13, ChaosProfile::kStandard, 8927, 0xba0d24135de482d7ULL},
+    {29, ChaosProfile::kStandard, 6942, 0x4007ced18da45a10ULL},
+    {47, ChaosProfile::kStandard, 6244, 0x54b118bfe5855babULL},
+    {58, ChaosProfile::kStandard, 7715, 0x0acd6c9ef770b7b8ULL},
+    {87, ChaosProfile::kStandard, 14526, 0xb29764efbe1b9b07ULL},
+    {96, ChaosProfile::kStandard, 15644, 0xe8cc4f7b0c541cadULL},
+    {201, ChaosProfile::kLossy, 6999, 0x063fe15c9eb0a93bULL},
+    {213, ChaosProfile::kLossy, 3550, 0xbe5189377fd8e54fULL},
+    {240, ChaosProfile::kLossy, 6830, 0x3ecfcabd4e2146bfULL},
+};
+
+class FingerprintTest
+    : public ::testing::TestWithParam<GoldenFingerprint> {};
+
+TEST_P(FingerprintTest, MatchesPrePoolKernel) {
+  const GoldenFingerprint& golden = GetParam();
+  const ChaosScenario scenario =
+      GenerateScenario(golden.seed, golden.profile);
+  const ChaosRunResult result = RunScenario(scenario, ChaosRunOptions{});
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.trace_events, golden.events)
+      << ReproCommand(golden.seed, golden.profile);
+  EXPECT_EQ(result.trace_hash, golden.hash)
+      << ReproCommand(golden.seed, golden.profile);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GoldenSeeds, FingerprintTest, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenFingerprint>& info) {
+      return std::string(info.param.profile == ChaosProfile::kLossy
+                             ? "lossy_seed"
+                             : "seed") +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace chaos
+}  // namespace gqp

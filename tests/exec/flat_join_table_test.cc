@@ -1,0 +1,146 @@
+#include "exec/flat_join_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace gqp {
+namespace {
+
+SchemaPtr RowSchema() {
+  return MakeSchema({{"key", DataType::kInt64},
+                     {"payload", DataType::kString}});
+}
+
+Tuple Row(int64_t key, const std::string& payload) {
+  return Tuple(RowSchema(), {Value(key), Value(payload)});
+}
+
+/// Collects the payload column of every entry matching `hash` whose key
+/// equals `key` (the same collision filter the join operator applies).
+std::vector<std::string> Matches(const FlatJoinTable& table, uint64_t hash,
+                                 const Value& key) {
+  std::vector<std::string> out;
+  table.ForEachMatch(hash, [&](const Value& k, const Tuple& t) {
+    if (k == key) out.push_back(t[1].AsString());
+  });
+  return out;
+}
+
+TEST(FlatJoinTableTest, EmptyTableHasNoMatches) {
+  FlatJoinTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+  int calls = 0;
+  table.ForEachMatch(123, [&](const Value&, const Tuple&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(FlatJoinTableTest, InsertAndProbe) {
+  FlatJoinTable table;
+  const Value key(int64_t{7});
+  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(7, "a")));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(Matches(table, key.Hash(), key),
+            (std::vector<std::string>{"a"}));
+  // Probing a hash that is not in the table finds nothing.
+  EXPECT_TRUE(Matches(table, key.Hash() + 1, key).empty());
+}
+
+TEST(FlatJoinTableTest, DuplicateKeysEmitInInsertionOrder) {
+  FlatJoinTable table;
+  const Value key(int64_t{42});
+  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(42, "first")));
+  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(42, "second")));
+  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(42, "third")));
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.distinct_hashes(), 1u);
+  EXPECT_EQ(Matches(table, key.Hash(), key),
+            (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(FlatJoinTableTest, ValueIdenticalInsertReportsDuplicate) {
+  FlatJoinTable table;
+  const Value key(int64_t{5});
+  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(5, "x")));
+  // Same key, different payload: a legitimate multi-match, not a dup.
+  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(5, "y")));
+  // Value-identical row: flagged, but still stored (matches the join
+  // operator's historical duplicate-warning-then-insert behavior).
+  EXPECT_TRUE(table.Insert(key.Hash(), key, Row(5, "x")));
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(Matches(table, key.Hash(), key),
+            (std::vector<std::string>{"x", "y", "x"}));
+}
+
+TEST(FlatJoinTableTest, HashCollisionsShareAChainButKeepTheirKeys) {
+  FlatJoinTable table;
+  // Force a collision: two different keys inserted under the same hash.
+  const Value k1(int64_t{1});
+  const Value k2(int64_t{2});
+  const uint64_t hash = 0x1234;
+  EXPECT_FALSE(table.Insert(hash, k1, Row(1, "one")));
+  EXPECT_FALSE(table.Insert(hash, k2, Row(2, "two")));
+  EXPECT_FALSE(table.Insert(hash, k1, Row(1, "uno")));
+  EXPECT_EQ(table.distinct_hashes(), 1u);
+  // The key filter separates the colliding chains.
+  EXPECT_EQ(Matches(table, hash, k1),
+            (std::vector<std::string>{"one", "uno"}));
+  EXPECT_EQ(Matches(table, hash, k2), (std::vector<std::string>{"two"}));
+}
+
+TEST(FlatJoinTableTest, GrowthRehashPreservesAllChains) {
+  FlatJoinTable table;
+  constexpr int kRows = 5000;  // far beyond the initial slot count
+  for (int i = 0; i < kRows; ++i) {
+    const Value key(int64_t{i % 100});  // 100 distinct keys, 50 rows each
+    EXPECT_FALSE(table.Insert(key.Hash(), key,
+                              Row(i % 100, "p" + std::to_string(i))));
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kRows));
+  EXPECT_EQ(table.distinct_hashes(), 100u);
+  EXPECT_GE(table.slot_capacity(), 100u);
+  for (int k = 0; k < 100; ++k) {
+    const Value key(int64_t{k});
+    const std::vector<std::string> got = Matches(table, key.Hash(), key);
+    ASSERT_EQ(got.size(), 50u) << "key " << k;
+    // Insertion order: payload indices ascend by 100.
+    for (int j = 0; j < 50; ++j) {
+      EXPECT_EQ(got[static_cast<size_t>(j)],
+                "p" + std::to_string(k + 100 * j));
+    }
+  }
+}
+
+TEST(FlatJoinTableTest, ReservePresizesSlots) {
+  FlatJoinTable table;
+  table.Reserve(10'000);
+  const size_t presized = table.slot_capacity();
+  EXPECT_GE(presized, 10'000u);
+  // Inserting up to the reserved cardinality must not grow the slots.
+  for (int i = 0; i < 10'000; ++i) {
+    const Value key(int64_t{i});
+    table.Insert(key.Hash(), key, Row(i, "r"));
+  }
+  EXPECT_EQ(table.slot_capacity(), presized);
+}
+
+TEST(FlatJoinTableTest, ClearEmptiesTable) {
+  FlatJoinTable table;
+  const Value key(int64_t{9});
+  table.Insert(key.Hash(), key, Row(9, "z"));
+  table.Clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.distinct_hashes(), 0u);
+  EXPECT_TRUE(Matches(table, key.Hash(), key).empty());
+  // Reusable after Clear.
+  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(9, "z2")));
+  EXPECT_EQ(Matches(table, key.Hash(), key),
+            (std::vector<std::string>{"z2"}));
+}
+
+}  // namespace
+}  // namespace gqp

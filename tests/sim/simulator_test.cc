@@ -142,5 +142,135 @@ TEST(SimulatorTest, PendingEventsExcludesCancelled) {
   EXPECT_EQ(sim.pending_events(), 1u);
 }
 
+// ---- Pooled event kernel -----------------------------------------------
+
+// Pins the pending_events() contract: a second Cancel of the same event
+// (or a Cancel with an unknown handle) returns false and must not
+// decrement the counter again.
+TEST(SimulatorTest, PendingEventsExactUnderRecancelAndUnknownCancel) {
+  Simulator sim;
+  sim.Schedule(1, [] {});
+  const EventId id = sim.Schedule(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.Cancel(id));  // re-cancel
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.Cancel(0xdeadbeefULL << 32 | 7));  // never issued
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+// A cancelled event's slot is recycled with a bumped generation: the new
+// event fires, and the old handle no longer cancels anything.
+TEST(SimulatorTest, StaleHandleAfterSlotReuseDoesNotCancelNewEvent) {
+  Simulator sim;
+  bool first_ran = false;
+  bool second_ran = false;
+  const EventId first = sim.Schedule(5, [&] { first_ran = true; });
+  EXPECT_TRUE(sim.Cancel(first));
+  const EventId second = sim.Schedule(5, [&] { second_ran = true; });
+  EXPECT_NE(first, second);       // generation differs even on slot reuse
+  EXPECT_FALSE(sim.Cancel(first));  // stale handle
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunToCompletion();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+}
+
+// Heavy schedule/cancel churn recycles slots without leaking pending
+// counts or executing cancelled callbacks.
+TEST(SimulatorTest, ScheduleCancelChurnRecyclesSlots) {
+  Simulator sim;
+  int ran = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const EventId id = sim.Schedule(1, [&] { ++ran; });
+    EXPECT_TRUE(sim.Cancel(id));
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.RunToCompletion();
+  EXPECT_EQ(ran, 0);
+  // The pool must still work normally afterwards.
+  sim.Schedule(1, [&] { ++ran; });
+  sim.RunToCompletion();
+  EXPECT_EQ(ran, 1);
+}
+
+// Cancelling one of several same-timestamp events keeps the remaining
+// ones in scheduling order (the tie-break the fingerprint relies on).
+TEST(SimulatorTest, TieBreakOrderSurvivesCancellation) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(sim.Schedule(5.0, [&order, i] { order.push_back(i); }));
+  }
+  EXPECT_TRUE(sim.Cancel(ids[2]));
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3, 4}));
+}
+
+// An event cancelling itself mid-callback is a no-op: the slot was
+// disarmed before the callback ran.
+TEST(SimulatorTest, SelfCancelInsideCallbackIsNoop) {
+  Simulator sim;
+  EventId self = kInvalidEventId;
+  bool ran = false;
+  self = sim.Schedule(1, [&] {
+    ran = true;
+    EXPECT_FALSE(sim.Cancel(self));
+  });
+  sim.RunToCompletion();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// An earlier event at time T may cancel a later event also at time T.
+TEST(SimulatorTest, CallbackCancelsSameTimestampEvent) {
+  Simulator sim;
+  bool victim_ran = false;
+  EventId victim = kInvalidEventId;
+  sim.Schedule(5, [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  victim = sim.Schedule(5, [&] { victim_ran = true; });
+  sim.RunToCompletion();
+  EXPECT_FALSE(victim_ran);
+}
+
+// Captures above the inline-storage budget take the boxed path and must
+// still run (and destruct) correctly.
+TEST(SimulatorTest, OversizedCaptureRunsViaBoxedPath) {
+  Simulator sim;
+  struct Big {
+    char pad[96];
+  };
+  Big big{};
+  big.pad[0] = 42;
+  int seen = 0;
+  sim.Schedule(1, [big, &seen] { seen = big.pad[0]; });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, 42);
+}
+
+// The trace sink receives scheduling *sequence numbers* (monotonic from
+// 1), not pool handles — this keeps the fingerprint stream identical to
+// the pre-pool kernel. Cancelled events consume a sequence number but
+// never reach the sink.
+TEST(SimulatorTest, TraceSinkReceivesSchedulingSequenceNumbers) {
+  Simulator sim;
+  std::vector<std::pair<SimTime, EventId>> trace;
+  sim.set_trace_sink(
+      [&](SimTime t, EventId seq) { trace.emplace_back(t, seq); });
+  sim.Schedule(10, [] {});                          // seq 1
+  const EventId id = sim.Schedule(20, [] {});       // seq 2
+  sim.Schedule(30, [] {});                          // seq 3
+  sim.Cancel(id);
+  sim.Schedule(40, [] {});                          // seq 4
+  sim.RunToCompletion();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], (std::pair<SimTime, EventId>{10.0, 1}));
+  EXPECT_EQ(trace[1], (std::pair<SimTime, EventId>{30.0, 3}));
+  EXPECT_EQ(trace[2], (std::pair<SimTime, EventId>{40.0, 4}));
+}
+
 }  // namespace
 }  // namespace gqp

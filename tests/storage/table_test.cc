@@ -47,7 +47,8 @@ TEST(TupleTest, CopiesShareStorage) {
   SchemaPtr s = TwoColSchema();
   Tuple t(s, {Value("a"), Value(static_cast<int64_t>(1))});
   Tuple copy = t;
-  EXPECT_EQ(&t.values(), &copy.values());
+  EXPECT_EQ(t.data(), copy.data());
+  EXPECT_EQ(&t.schema(), &copy.schema());  // schema lives in the same rep
 }
 
 TEST(TupleTest, DefaultIsInvalid) {
