@@ -94,6 +94,26 @@ int main() {
     return 1;
   }
 
+  // Flow-control tax when nothing is overloaded: credits flow but the
+  // generous budget means the gate never closes, so the only cost is the
+  // bookkeeping and grant traffic. Guarded like the heartbeat tax — more
+  // than a few percent means credit accounting leaked into the data path.
+  std::printf("\n-- flow-control overhead (no overload) --\n");
+  ExperimentParams fc = baseline;
+  fc.name = "overheads-flow-control";
+  fc.flow_control = true;
+  fc.memory_budget_bytes = 4 << 20;
+  const ExperimentResult fc_result = MustRun(fc);
+  const double fc_overhead = Normalized(fc_result, base_result) - 1.0;
+  constexpr double kFcOverheadBudget = 0.05;
+  std::printf("%-16s %-11.1f%% (budget %.0f%%)\n", "flow-control(Q1)",
+              fc_overhead * 100.0, kFcOverheadBudget * 100.0);
+  metrics.Set("flow_control_overhead_pct", fc_overhead * 100.0);
+  if (fc_overhead > kFcOverheadBudget) {
+    std::printf("FAIL: flow-control overhead exceeds the budget\n");
+    return 1;
+  }
+
   std::printf("\n-- message volume under a 10x perturbation --\n");
   std::printf("%-14s %-10s %-10s %-12s %-12s %-10s\n", "m1-frequency",
               "raw M1", "raw M2", "MED digests", "proposals", "rebalances");

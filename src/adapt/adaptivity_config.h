@@ -38,6 +38,14 @@ struct AdaptivityConfig {
   /// Responder skips adaptation when the average input progress exceeds
   /// this fraction ("execution close to completion").
   double progress_guard = 0.90;
+  /// On a QueuePressure event the Diagnoser sheds load from the pressured
+  /// instance by scaling its distribution weight with this factor — an
+  /// early signal that fires before rate statistics converge.
+  double pressure_weight_factor = 0.5;
+  /// Minimum virtual time between two pressure-triggered proposals for
+  /// the same fragment (keeps a starved-but-draining consumer from
+  /// collapsing its own weight to zero).
+  double pressure_cooldown_ms = 50.0;
 };
 
 }  // namespace gqp

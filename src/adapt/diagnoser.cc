@@ -71,6 +71,10 @@ void Diagnoser::OnNotification(const Address& /*publisher*/,
     return;
   }
   if (topic != kTopicMonitoringAverages) return;
+  if (const auto* pressure = PayloadAs<QueuePressurePayload>(body)) {
+    HandlePressure(*pressure);
+    return;
+  }
   const auto* digest = PayloadAs<MonitoringAveragePayload>(body);
   if (digest == nullptr) return;
   ++stats_.digests_received;
@@ -93,6 +97,63 @@ void Diagnoser::OnNotification(const Address& /*publisher*/,
     }
   }
   Evaluate();
+}
+
+void Diagnoser::HandlePressure(const QueuePressurePayload& pressure) {
+  ++stats_.pressure_events;
+  const int idx = InstanceIndex(pressure.subplan());
+  if (idx < 0 || dead_[static_cast<size_t>(idx)]) return;
+  const double now = simulator()->Now();
+  if (last_pressure_proposal_ms_ >= 0.0 &&
+      now - last_pressure_proposal_ms_ < config_.pressure_cooldown_ms) {
+    return;
+  }
+
+  // Shed load from the starved instance: scale its weight down and
+  // renormalize over the live instances. No cost vector is needed — this
+  // is exactly the point of the pressure path: it acts before the
+  // windowed M1/M2 averages could have converged.
+  std::vector<double> proposed = weights_;
+  proposed[static_cast<size_t>(idx)] *= config_.pressure_weight_factor;
+  double sum = 0.0;
+  for (size_t i = 0; i < proposed.size(); ++i) {
+    if (dead_[i]) proposed[i] = 0.0;
+    sum += proposed[i];
+  }
+  if (sum <= 0.0) return;
+  for (double& w : proposed) w /= sum;
+
+  bool changed = false;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    if (std::abs(proposed[i] - weights_[i]) > 1e-9) {
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) return;  // e.g. a single live instance: nothing to shed to
+
+  last_pressure_proposal_ms_ = now;
+  ++stats_.proposals_sent;
+  ++stats_.pressure_proposals;
+  if (stats_.first_pressure_proposal_ms < 0.0) {
+    stats_.first_pressure_proposal_ms = now;
+  }
+  std::vector<double> costs(instances_.size(), 0.0);
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    costs[i] = processing_cost_[i] < 0.0 ? 0.0 : processing_cost_[i];
+  }
+  GQP_LOG_DEBUG << "diagnoser: queue pressure at "
+                << pressure.subplan().ToString() << " ("
+                << pressure.held_bytes() << "/" << pressure.window_bytes()
+                << " bytes) -> shedding load";
+  const Status s = Publish(
+      kTopicImbalance, std::make_shared<ImbalanceProposalPayload>(
+                           target_fragment_, std::move(proposed),
+                           std::move(costs)));
+  if (!s.ok()) {
+    GQP_LOG_WARN << "diagnoser: pressure proposal publish failed: "
+                 << s.ToString();
+  }
 }
 
 void Diagnoser::Evaluate() {
@@ -132,6 +193,9 @@ void Diagnoser::Evaluate() {
   if (!trigger) return;
 
   ++stats_.proposals_sent;
+  if (stats_.first_rate_proposal_ms < 0.0) {
+    stats_.first_rate_proposal_ms = simulator()->Now();
+  }
   const Status s = Publish(
       kTopicImbalance, std::make_shared<ImbalanceProposalPayload>(
                            target_fragment_, proposed, total));

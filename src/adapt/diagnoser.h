@@ -45,6 +45,16 @@ class ImbalanceProposalPayload : public Payload {
 struct DiagnoserStats {
   uint64_t digests_received = 0;
   uint64_t proposals_sent = 0;
+  /// QueuePressure events received (D11).
+  uint64_t pressure_events = 0;
+  /// Proposals triggered by pressure (subset of proposals_sent) — the
+  /// early path that fires before rate statistics converge.
+  uint64_t pressure_proposals = 0;
+  /// Virtual time of the first proposal of each kind (<0: none). The
+  /// overload tests assert pressure < rate: the early signal must act
+  /// before the windowed averages could have.
+  double first_pressure_proposal_ms = -1.0;
+  double first_rate_proposal_ms = -1.0;
 };
 
 /// \brief The Diagnoser grid service.
@@ -69,6 +79,9 @@ class Diagnoser : public GridService {
   /// Index of a subplan instance in the consumer order; -1 if unknown.
   int InstanceIndex(const SubplanId& id) const;
   void Evaluate();
+  /// Early-signal path (D11): a pressured consumer sheds load by having
+  /// its weight scaled down, without waiting for M1 cost averages.
+  void HandlePressure(const QueuePressurePayload& pressure);
 
   AdaptivityConfig config_;
   int target_fragment_;
@@ -80,6 +93,10 @@ class Diagnoser : public GridService {
   std::vector<double> comm_cost_;
   /// Instances reported crashed (excluded from balancing).
   std::vector<bool> dead_;
+  /// Virtual time of the last pressure-triggered proposal (<0: none).
+  /// The cooldown keeps a starved-but-draining consumer from collapsing
+  /// its own weight to zero through repeated pressure events.
+  double last_pressure_proposal_ms_ = -1.0;
   DiagnoserStats stats_;
 };
 

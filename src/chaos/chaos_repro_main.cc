@@ -28,13 +28,20 @@ bool ParseSeed(const char* text, uint64_t* seed) {
 }
 
 void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --seed=N [--lossy] [--trace]\n"
-               "  --seed=N   scenario seed to replay (required)\n"
-               "  --lossy    lossy-network profile (loss, partitions, "
-               "stalls)\n"
-               "  --trace    dump the full event trace of the first run\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s --seed=N [--lossy|--slow-consumer|--memory-squeeze] "
+      "[--trace]\n"
+      "  --seed=N          scenario seed to replay (required)\n"
+      "  --lossy           lossy-network profile (loss, partitions, "
+      "stalls)\n"
+      "  --slow-consumer   sustained CPU sag on one evaluator, flow "
+      "control on\n"
+      "  --memory-squeeze  standard chaos under a tight memory budget\n"
+      "  --no-flow-control force flow control off (A/B against a flow-"
+      "control profile)\n"
+      "  --trace           dump the full event trace of the first run\n",
+      argv0);
 }
 
 }  // namespace
@@ -43,6 +50,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 0;
   bool have_seed = false;
   bool dump_trace = false;
+  bool no_flow_control = false;
   gqp::chaos::ChaosProfile profile = gqp::chaos::ChaosProfile::kStandard;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -60,6 +68,12 @@ int main(int argc, char** argv) {
       have_seed = true;
     } else if (std::strcmp(arg, "--lossy") == 0) {
       profile = gqp::chaos::ChaosProfile::kLossy;
+    } else if (std::strcmp(arg, "--slow-consumer") == 0) {
+      profile = gqp::chaos::ChaosProfile::kSlowConsumer;
+    } else if (std::strcmp(arg, "--memory-squeeze") == 0) {
+      profile = gqp::chaos::ChaosProfile::kMemorySqueeze;
+    } else if (std::strcmp(arg, "--no-flow-control") == 0) {
+      no_flow_control = true;
     } else if (std::strcmp(arg, "--trace") == 0) {
       dump_trace = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -74,8 +88,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const gqp::chaos::ChaosScenario scenario =
+  gqp::chaos::ChaosScenario scenario =
       gqp::chaos::GenerateScenario(seed, profile);
+  if (no_flow_control) {
+    scenario.flow_control = false;
+    scenario.memory_budget_bytes = 0;
+  }
   std::printf("%s\n", scenario.Describe().c_str());
 
   gqp::chaos::ChaosRunOptions options;
@@ -110,14 +128,29 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(first.detect.stale_heartbeats),
       static_cast<unsigned long long>(first.heartbeats_suppressed));
   std::printf(
-      "transport: sent=%llu retransmit=%llu dedup=%llu abandoned=%llu "
-      "net_loss=%llu net_partition=%llu\n",
+      "transport: sent=%llu retransmit=%llu backoff=%llu dedup=%llu "
+      "abandoned=%llu net_loss=%llu net_partition=%llu\n",
       static_cast<unsigned long long>(first.transport.sent),
       static_cast<unsigned long long>(first.transport.retransmits),
+      static_cast<unsigned long long>(first.transport.backoffs),
       static_cast<unsigned long long>(first.transport.dedup_hits),
       static_cast<unsigned long long>(first.transport.abandoned),
       static_cast<unsigned long long>(first.net.loss_drops),
       static_cast<unsigned long long>(first.net.partition_drops));
+  std::printf(
+      "queues: high_watermark=%zu parked_peak=%zu bytes_peak=%llu "
+      "grants=%llu pressure=%llu pressure_proposals=%llu blocked=%llu "
+      "outstanding_peak=%llu first_pressure=%.3f first_rate=%.3f\n",
+      first.stats.queue_high_watermark, first.stats.parked_peak,
+      static_cast<unsigned long long>(first.stats.queued_bytes_peak),
+      static_cast<unsigned long long>(first.stats.credit_grants_sent),
+      static_cast<unsigned long long>(first.stats.queue_pressure_events),
+      static_cast<unsigned long long>(first.stats.pressure_proposals),
+      static_cast<unsigned long long>(first.stats.credit_blocked_events),
+      static_cast<unsigned long long>(
+          first.stats.peak_outstanding_credit_bytes),
+      first.stats.first_pressure_proposal_ms,
+      first.stats.first_rate_proposal_ms);
 
   bool ok = first.ok();
   if (!first.status.ok()) {

@@ -253,6 +253,78 @@ void CheckConservation(GridSetup* grid, int query_id,
   }
 }
 
+void CheckBoundedMemory(GridSetup* grid, int query_id,
+                        size_t max_tuple_wire_bytes, size_t max_fanout,
+                        uint64_t dataset_wire_bytes,
+                        std::vector<std::string>* violations) {
+  const int num_hosts = 2 + grid->num_evaluators();
+  std::vector<FragmentExecutor*> execs;
+  uint64_t total_recall_bytes = 0;
+  for (int host = 0; host < num_hosts; ++host) {
+    Gqes* gqes = grid->gqes_on(static_cast<HostId>(host));
+    if (gqes == nullptr) continue;
+    for (FragmentExecutor* exec : gqes->Executors()) {
+      if (exec->plan().id.query != query_id) continue;
+      execs.push_back(exec);
+      if (exec->producer() != nullptr) {
+        total_recall_bytes +=
+            exec->producer()->credit().stats().max_recall_burst_bytes;
+      }
+    }
+  }
+
+  for (FragmentExecutor* exec : execs) {
+    const ExecConfig& config = exec->plan().config;
+    if (!config.flow_control_enabled || config.credit_window_bytes == 0) {
+      continue;
+    }
+    const std::string key = exec->plan().id.ToString();
+    const uint64_t window = config.credit_window_bytes;
+    // Overshoot of one gated tuple start: its processing may route up to
+    // `max_fanout` outputs before the gate is consulted again.
+    const uint64_t slack =
+        static_cast<uint64_t>(max_fanout) * (12 + max_tuple_wire_bytes);
+
+    if (exec->producer() != nullptr) {
+      const CreditLedgerStats& cs = exec->producer()->credit().stats();
+      const uint64_t bound = window + slack + cs.max_recall_burst_bytes;
+      if (cs.peak_outstanding_bytes > bound) {
+        violations->push_back(StrCat(
+            "[memory] producer ", key, ": peak outstanding credit ",
+            cs.peak_outstanding_bytes, " bytes exceeds window ", window,
+            " + slack ", slack, " + recall ", cs.max_recall_burst_bytes));
+      }
+      const RecoveryLogStats& ls = exec->producer()->log().stats();
+      const uint64_t log_cap =
+          (static_cast<uint64_t>(max_fanout) + 2) * dataset_wire_bytes + 1024;
+      if (ls.bytes_peak > log_cap) {
+        violations->push_back(
+            StrCat("[memory] producer ", key, ": recovery log peaked at ",
+                   ls.bytes_peak, " bytes, over the dataset-derived cap ",
+                   log_cap));
+      }
+    }
+
+    size_t max_producers = 0;
+    for (const InputWiring& input : exec->plan().inputs) {
+      max_producers =
+          std::max(max_producers, static_cast<size_t>(input.num_producers));
+    }
+    if (max_producers > 0) {
+      const uint64_t bound =
+          static_cast<uint64_t>(max_producers) * (window + slack) +
+          total_recall_bytes;
+      if (exec->stats().queued_bytes_peak > bound) {
+        violations->push_back(StrCat(
+            "[memory] consumer ", key, ": port held ",
+            exec->stats().queued_bytes_peak, " bytes at peak, over ",
+            max_producers, " producers x (window ", window, " + slack ",
+            slack, ") + recall ", total_recall_bytes));
+      }
+    }
+  }
+}
+
 void CheckDetection(const HeartbeatMonitor* monitor,
                     const ChaosScenario& scenario,
                     std::vector<std::string>* violations) {

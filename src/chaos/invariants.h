@@ -77,6 +77,20 @@ void CheckDetection(const HeartbeatMonitor* monitor,
                     const ChaosScenario& scenario,
                     std::vector<std::string>* violations);
 
+/// Invariant (f), flow-control runs only: every queue, producer buffer and
+/// recovery log stayed inside its configured bound. Per producer link, the
+/// peak unacknowledged bytes may exceed the credit window W only by the
+/// processing overshoot of one input tuple (`max_fanout` outputs of up to
+/// `max_tuple_wire_bytes` each) plus the recall burst of a recovery round,
+/// which deliberately bypasses the gate (DESIGN.md §D11); a consumer port
+/// holds at most that much per live producer. Recovery-log bytes get a
+/// generous dataset-derived sanity cap (the log is bounded by acks, not
+/// credits).
+void CheckBoundedMemory(GridSetup* grid, int query_id,
+                        size_t max_tuple_wire_bytes, size_t max_fanout,
+                        uint64_t dataset_wire_bytes,
+                        std::vector<std::string>* violations);
+
 }  // namespace chaos
 }  // namespace gqp
 

@@ -178,6 +178,8 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   query_options.exec.buffer_tuples = scenario.buffer_tuples;
   query_options.exec.monitoring_enabled = true;
   query_options.exec.recovery_log_enabled = true;
+  query_options.exec.flow_control_enabled = scenario.flow_control;
+  query_options.exec.memory_budget_bytes = scenario.memory_budget_bytes;
   query_options.scheduler.num_evaluators = scenario.num_evaluators;
 
   Result<int> query = grid.gdqs()->SubmitQuery(QuerySql(scenario.query),
@@ -261,6 +263,25 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   CheckConservation(&grid, *query, grid.gdqs()->reported_failures(),
                     &violations);
   CheckDetection(grid.monitor(), scenario, &violations);
+  if (scenario.flow_control) {
+    // Bounds need the largest tuple the pipeline can carry (a join output
+    // concatenates one row of each input before projection).
+    size_t max_row = 0;
+    for (const Tuple& row : sequences->rows()) {
+      max_row = std::max(max_row, row.WireSize());
+    }
+    size_t max_inter = 0;
+    uint64_t dataset_bytes = 0;
+    for (const Tuple& row : sequences->rows()) dataset_bytes += row.WireSize();
+    for (const Tuple& row : interactions->rows()) {
+      max_inter = std::max(max_inter, row.WireSize());
+      dataset_bytes += row.WireSize();
+    }
+    CheckBoundedMemory(
+        &grid, *query, max_row + max_inter,
+        MaxOutputFanout(scenario.query, *sequences, *interactions),
+        dataset_bytes, &violations);
+  }
   for (std::string& v : violations) {
     result.violations.push_back(StrCat(v, " — repro: ", repro));
   }

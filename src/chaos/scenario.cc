@@ -99,6 +99,9 @@ std::string ChaosScenario::Describe() const {
   if (loss_rate > 0.0) {
     out += StrCat(" loss=", loss_rate, " hb=", heartbeat_interval_ms);
   }
+  if (flow_control) {
+    out += StrCat(" fc=on budget=", memory_budget_bytes);
+  }
   if (!partitions.empty()) {
     out += " part=[";
     for (size_t i = 0; i < partitions.size(); ++i) {
@@ -268,6 +271,43 @@ ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
     stalls.push_back(ev);
   }
 
+  // Flow-control extensions (D11). Tail draws, taken UNCONDITIONALLY for
+  // every profile so the base scenario of a seed stays identical across
+  // all four profiles; the legacy profiles simply discard the results.
+  const int slow_victim = static_cast<int>(
+      rng.NextBelow(static_cast<uint64_t>(s.num_evaluators)));
+  const double slow_factor = rng.NextDouble(8.0, 20.0);
+  const double slow_at_ms = rng.NextDouble(20.0, 60.0);
+  const size_t slow_budget_bytes =
+      static_cast<size_t>(rng.NextInt(4, 8)) * 1024;
+  const size_t squeeze_budget_bytes =
+      static_cast<size_t>(rng.NextInt(8, 24)) * 1024;
+
+  if (profile == ChaosProfile::kSlowConsumer) {
+    // A single sustained node-wide CPU sag on one evaluator and nothing
+    // else: no kills, no partitions, no stalls. The interesting dynamics
+    // are the unbounded queue growth at the sagging consumer (FC off) vs
+    // the credit gate holding producers back (FC on).
+    s.failures.clear();
+    s.partitions.clear();
+    s.stalls.clear();
+    s.perturbations.clear();
+    PerturbationEvent sag;
+    sag.at_ms = slow_at_ms;
+    sag.evaluator = slow_victim;
+    sag.kind = PerturbationEvent::Kind::kConstantFactor;
+    sag.p0 = slow_factor;
+    sag.node_wide = true;
+    s.perturbations.push_back(sag);
+    s.flow_control = true;
+    s.memory_budget_bytes = slow_budget_bytes;
+  } else if (profile == ChaosProfile::kMemorySqueeze) {
+    // Standard chaos schedule, but every queue/buffer must live inside a
+    // tight per-query budget.
+    s.flow_control = true;
+    s.memory_budget_bytes = squeeze_budget_bytes;
+  }
+
   if (profile == ChaosProfile::kLossy) {
     s.loss_rate = loss_rate;
     s.heartbeat_interval_ms = hb_interval;
@@ -317,8 +357,22 @@ ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
 }
 
 std::string ReproCommand(uint64_t seed, ChaosProfile profile) {
-  return StrCat("chaos_repro --seed=", seed,
-                profile == ChaosProfile::kLossy ? " --lossy" : "");
+  std::string_view flag;
+  switch (profile) {
+    case ChaosProfile::kStandard:
+      flag = "";
+      break;
+    case ChaosProfile::kLossy:
+      flag = " --lossy";
+      break;
+    case ChaosProfile::kSlowConsumer:
+      flag = " --slow-consumer";
+      break;
+    case ChaosProfile::kMemorySqueeze:
+      flag = " --memory-squeeze";
+      break;
+  }
+  return StrCat("chaos_repro --seed=", seed, flag);
 }
 
 }  // namespace chaos

@@ -83,11 +83,14 @@ struct LinkShiftEvent {
   LinkParams params;
 };
 
-/// Scenario family. Both profiles consume the identical RNG draw sequence,
-/// so a seed describes the same base scenario in each; kLossy additionally
-/// applies message loss, partition windows and heartbeat stalls that
-/// kStandard discards.
-enum class ChaosProfile { kStandard, kLossy };
+/// Scenario family. Every profile consumes the identical RNG draw
+/// sequence, so a seed describes the same base scenario in each; kLossy
+/// additionally applies message loss, partition windows and heartbeat
+/// stalls that kStandard discards. kSlowConsumer replaces the chaos
+/// schedule with a single sustained CPU sag on one evaluator (no kills)
+/// and turns flow control on; kMemorySqueeze keeps the standard chaos but
+/// runs under a tight per-query memory budget.
+enum class ChaosProfile { kStandard, kLossy, kSlowConsumer, kMemorySqueeze };
 
 /// \brief A complete seeded chaos scenario.
 struct ChaosScenario {
@@ -121,6 +124,12 @@ struct ChaosScenario {
   /// profile: legacy seeds keep their meaning).
   double loss_rate = 0.0;
   double heartbeat_interval_ms = 5.0;
+
+  // --- flow control (D11) ------------------------------------------------
+  /// Credit-based flow control (off in the legacy profiles: their seeds
+  /// keep byte-identical schedules).
+  bool flow_control = false;
+  size_t memory_budget_bytes = 0;
 
   // --- injected chaos ---------------------------------------------------
   std::vector<PerturbationEvent> perturbations;

@@ -145,6 +145,26 @@ Status Gdqs::SetUpAdaptivity(QueryState* state) {
 
 Status Gdqs::Deploy(QueryState* state) {
   const auto& plan = state->scheduled.plan;
+  // Flow control (D11): derive the per-link credit window once here —
+  // the query's memory budget spread evenly over every exchange link —
+  // and stamp it into each instance's config copy, so the producer and
+  // consumer of a link agree on W without any negotiation.
+  ExecConfig exec = state->options.exec;
+  if (exec.flow_control_enabled && exec.credit_window_bytes == 0 &&
+      exec.memory_budget_bytes > 0) {
+    size_t links = 0;
+    for (const FragmentDesc& frag : plan.fragments) {
+      if (const ExchangeDesc* out = plan.OutputOf(frag.id)) {
+        links += static_cast<size_t>(state->scheduled.NumInstances(frag.id)) *
+                 static_cast<size_t>(
+                     state->scheduled.NumInstances(out->consumer_fragment));
+      }
+    }
+    if (links > 0) {
+      exec.credit_window_bytes =
+          std::max<size_t>(1, exec.memory_budget_bytes / links);
+    }
+  }
   for (const FragmentDesc& frag : plan.fragments) {
     const auto& hosts =
         state->scheduled.instance_hosts[static_cast<size_t>(frag.id)];
@@ -153,7 +173,7 @@ Status Gdqs::Deploy(QueryState* state) {
       instance.id =
           SubplanId{state->id, frag.id, static_cast<int>(inst)};
       instance.fragment = frag;
-      instance.config = state->options.exec;
+      instance.config = exec;
       instance.config.monitoring_enabled =
           state->options.exec.monitoring_enabled &&
           state->options.adaptivity.enabled;
@@ -347,8 +367,21 @@ Result<QueryStatsSnapshot> Gdqs::CollectStats(int query_id) const {
     }
     for (FragmentExecutor* executor : g->Executors()) {
       if (executor->plan().id.query != query_id) continue;
+      const FragmentStats& fs = executor->stats();
+      snap.queue_high_watermark =
+          std::max(snap.queue_high_watermark, fs.queue_high_watermark);
+      snap.parked_peak = std::max(snap.parked_peak, fs.parked_peak);
+      snap.queued_bytes_peak =
+          std::max(snap.queued_bytes_peak, fs.queued_bytes_peak);
+      snap.credit_grants_sent += fs.credit_grants_sent;
+      snap.queue_pressure_events += fs.queue_pressure_events;
       if (executor->producer() != nullptr) {
         const ProducerStats& ps = executor->producer()->stats();
+        const CreditLedgerStats& cs = executor->producer()->credit().stats();
+        snap.credit_blocked_events += cs.blocked_events;
+        snap.peak_outstanding_credit_bytes =
+            std::max(snap.peak_outstanding_credit_bytes,
+                     cs.peak_outstanding_bytes);
         snap.resent_tuples += ps.resent_tuples;
         if (state.monitored_fragment >= 0 &&
             executor->plan().output.has_value() &&
@@ -367,8 +400,17 @@ Result<QueryStatsSnapshot> Gdqs::CollectStats(int query_id) const {
           executor->stats().tuples_discarded_in_moves;
     }
   }
+  if (bus()->reliable() != nullptr) {
+    snap.transport_retransmits = bus()->reliable()->stats().retransmits;
+    snap.transport_backoffs = bus()->reliable()->stats().backoffs;
+  }
   if (state.diagnoser != nullptr) {
     snap.diagnoser_proposals = state.diagnoser->stats().proposals_sent;
+    snap.pressure_proposals = state.diagnoser->stats().pressure_proposals;
+    snap.first_pressure_proposal_ms =
+        state.diagnoser->stats().first_pressure_proposal_ms;
+    snap.first_rate_proposal_ms =
+        state.diagnoser->stats().first_rate_proposal_ms;
   }
   if (state.responder != nullptr) {
     snap.rounds_started = state.responder->stats().rounds_started;

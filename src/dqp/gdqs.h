@@ -58,6 +58,28 @@ struct QueryStatsSnapshot {
   uint64_t discarded_tuples = 0;
   /// Tuples routed to each evaluator instance of the monitored fragment.
   std::vector<uint64_t> tuples_per_evaluator;
+  // --- queue / flow-control telemetry (D11) -----------------------------
+  /// Deepest input queue (tuples) across all fragment instances.
+  size_t queue_high_watermark = 0;
+  /// Peak tuples parked at once on any single instance.
+  size_t parked_peak = 0;
+  /// Peak bytes held (queued + parked) on any single input port.
+  uint64_t queued_bytes_peak = 0;
+  uint64_t credit_grants_sent = 0;
+  uint64_t queue_pressure_events = 0;
+  /// Pressure-triggered proposals (subset of diagnoser_proposals).
+  uint64_t pressure_proposals = 0;
+  /// First proposal time of each diagnoser path (<0: never fired).
+  double first_pressure_proposal_ms = -1.0;
+  double first_rate_proposal_ms = -1.0;
+  /// Producer-side events where the credit gate parked the driver.
+  uint64_t credit_blocked_events = 0;
+  /// Peak unacknowledged (in-flight) bytes on any producer->consumer link.
+  uint64_t peak_outstanding_credit_bytes = 0;
+  // --- reliable-transport telemetry (bus-wide, exact when one query
+  //     runs at a time; documented in DESIGN.md) -------------------------
+  uint64_t transport_retransmits = 0;
+  uint64_t transport_backoffs = 0;
 };
 
 /// \brief The coordinator service.

@@ -124,6 +124,32 @@ class AckPayload : public Payload {
   std::vector<uint64_t> seqs_;
 };
 
+/// Consumer -> producer: credit replenishment of the flow-control
+/// protocol (D11). Carries the cumulative number of bytes the consumer
+/// has released on this link since the query began — NOT a delta — so
+/// retransmitted or reordered grants are idempotent (the producer keeps
+/// the max). Travels over the reliable control plane when it is enabled.
+class CreditGrantPayload : public Payload {
+ public:
+  CreditGrantPayload(int exchange_id, SubplanId consumer,
+                     uint64_t released_bytes)
+      : exchange_id_(exchange_id),
+        consumer_(consumer),
+        released_bytes_(released_bytes) {}
+
+  size_t WireSize() const override { return 32; }
+  std::string_view TypeName() const override { return "CreditGrant"; }
+
+  int exchange_id() const { return exchange_id_; }
+  const SubplanId& consumer() const { return consumer_; }
+  uint64_t released_bytes() const { return released_bytes_; }
+
+ private:
+  int exchange_id_;
+  SubplanId consumer_;
+  uint64_t released_bytes_;
+};
+
 /// Responder -> producer fragment: change the distribution policy of the
 /// exchanges feeding fragment `target_fragment` to `weights`;
 /// retrospectively redistribute logged tuples when `retrospective`.

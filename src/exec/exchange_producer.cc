@@ -22,6 +22,9 @@ Status ExchangeProducer::Open() {
                        MakePolicy(wiring_.desc, wiring_.initial_weights));
   buffers_.resize(wiring_.consumers.size());
   pending_overhead_ms_.resize(wiring_.consumers.size(), 0.0);
+  credit_.Configure(wiring_.consumers.size(),
+                    config_.flow_control_enabled ? config_.credit_window_bytes
+                                                 : 0);
   stats_.tuples_to_consumer.assign(wiring_.consumers.size(), 0);
   stats_.tuples_sent_to_consumer.assign(wiring_.consumers.size(), 0);
   return Status::OK();
@@ -45,6 +48,7 @@ Status ExchangeProducer::RouteAndBuffer(const Tuple& tuple, uint64_t seq,
   buffers_[uidx].push_back(RoutedTuple{seq, bucket, tuple});
   ++stats_.tuples_to_consumer[uidx];
   if (resend) ++stats_.resent_tuples;
+  credit_.Charge(idx, RoutedTupleWireBytes(tuple.WireSize()), resend);
 
   if (buffers_[uidx].size() >= config_.buffer_tuples) {
     return Flush(idx, resend);
@@ -98,6 +102,13 @@ Status ExchangeProducer::Flush(int idx, bool resend) {
   return Status::OK();
 }
 
+Status ExchangeProducer::FlushPartialBuffers() {
+  for (int idx = 0; idx < num_consumers(); ++idx) {
+    GQP_RETURN_IF_ERROR(Flush(idx, /*resend=*/false));
+  }
+  return Status::OK();
+}
+
 Status ExchangeProducer::SendEos() {
   eos_sent_ = true;
   for (int idx = 0; idx < num_consumers(); ++idx) {
@@ -140,6 +151,17 @@ void ExchangeProducer::OnAck(const AckPayload& ack) {
   log_.AckBatch(ack.seqs());
   for (const uint64_t seq : ack.seqs()) claimed_by_.erase(seq);
   if (hooks_.on_acked) hooks_.on_acked(ack.seqs());
+}
+
+bool ExchangeProducer::OnCreditGrant(const CreditGrantPayload& grant) {
+  if (!credit_.enabled()) return false;
+  for (int c = 0; c < num_consumers(); ++c) {
+    if (wiring_.consumers[static_cast<size_t>(c)].id == grant.consumer()) {
+      if (dead_consumers_.count(c) > 0) return false;  // voided link
+      return credit_.OnGrant(c, grant.released_bytes());
+    }
+  }
+  return false;
 }
 
 double ExchangeProducer::ProgressFraction() const {
@@ -192,7 +214,12 @@ Status ExchangeProducer::HandleRedistribute(
   // recovery-log records are recovered to survivors (the fault-tolerance
   // substrate of Smith & Watson working as designed).
   for (const int dead : request.dead_consumers()) {
-    if (dead >= 0 && dead < num_consumers()) dead_consumers_.insert(dead);
+    if (dead >= 0 && dead < num_consumers()) {
+      dead_consumers_.insert(dead);
+      // Epoch fence for flow control too: a dead consumer can never
+      // release its bytes; its link stops gating.
+      credit_.VoidConsumer(dead);
+    }
   }
 
   GQP_ASSIGN_OR_RETURN(std::vector<BucketMove> moves,
@@ -240,21 +267,34 @@ Status ExchangeProducer::HandleRedistribute(
   }
 
   // Pull moved tuples out of the unsent buffers first; they are in the log
-  // and will be resent through the new routing (avoids duplicates).
+  // and will be resent through the new routing (avoids duplicates). The
+  // consumer never saw these tuples, so their credit is un-charged here —
+  // the resend re-charges them on whichever link the new map picks.
   for (int c = 0; c < num_consumers(); ++c) {
     auto& buf = buffers_[static_cast<size_t>(c)];
+    size_t purged_bytes = 0;
     if (round.purge_all || round.recovery) {
+      for (const RoutedTuple& t : buf) {
+        purged_bytes += RoutedTupleWireBytes(t.tuple.WireSize());
+      }
       buf.clear();
+      credit_.Uncharge(c, purged_bytes);
       continue;
     }
     const auto& lost = round.lost[static_cast<size_t>(c)];
     if (lost.empty()) continue;
     buf.erase(std::remove_if(buf.begin(), buf.end(),
-                             [&lost](const RoutedTuple& t) {
-                               return std::find(lost.begin(), lost.end(),
-                                                t.bucket) != lost.end();
+                             [&lost, &purged_bytes](const RoutedTuple& t) {
+                               if (std::find(lost.begin(), lost.end(),
+                                             t.bucket) == lost.end()) {
+                                 return false;
+                               }
+                               purged_bytes +=
+                                   RoutedTupleWireBytes(t.tuple.WireSize());
+                               return true;
                              }),
               buf.end());
+    credit_.Uncharge(c, purged_bytes);
   }
 
   // Notify live consumers. Purgers reply; gain-only consumers just park.
@@ -358,6 +398,10 @@ Status ExchangeProducer::HandleConsumerLost(const SubplanId& consumer) {
   }
   if (idx < 0) return Status::OK();
   dead_consumers_.insert(idx);
+  // Void the flow-control link: its bytes can never be released by the
+  // dead consumer, and a blocked producer must not stay parked waiting
+  // for a grant that cannot come.
+  credit_.VoidConsumer(idx);
   // Unsent buffered tuples are in the log; the recovery round recalls and
   // reroutes them.
   buffers_[static_cast<size_t>(idx)].clear();
@@ -415,6 +459,12 @@ Status ExchangeProducer::CompleteRound() {
     GQP_LOG_DEBUG << "producer " << self_.ToString() << " round " << round.id
                   << ": recalled" << seqs;
   }
+  // Resends bypass the credit gate: the RestoreComplete markers below must
+  // follow them on the same links, and parked consumers cannot release
+  // credit until those markers arrive. The burst still charges the links
+  // (the consumers will release it as they drain), and its size feeds the
+  // bounded-memory slack term.
+  credit_.BeginRecallBurst();
   for (const LogRecord& rec : recalled) {
     GQP_RETURN_IF_ERROR(RouteAndBuffer(rec.tuple, rec.seq, /*resend=*/true));
   }
@@ -422,6 +472,7 @@ Status ExchangeProducer::CompleteRound() {
   for (int c = 0; c < num_consumers(); ++c) {
     GQP_RETURN_IF_ERROR(Flush(c, /*resend=*/true));
   }
+  credit_.EndRecallBurst();
 
   // Close the round at every consumer that saw its StateMoveRequest: the
   // marker follows all resent tuples on the same link, so its arrival

@@ -18,6 +18,7 @@
 #include "exec/distribution_policy.h"
 #include "exec/exchange_messages.h"
 #include "exec/exec_config.h"
+#include "exec/flow_control.h"
 #include "ft/recovery_log.h"
 
 namespace gqp {
@@ -120,6 +121,24 @@ class ExchangeProducer {
   /// Unknown consumers are ignored.
   Status HandleConsumerLost(const SubplanId& consumer);
 
+  /// Flow control (D11): a consumer replenished credit. Returns true when
+  /// the grant advanced the link's released counter (the owning executor
+  /// should re-probe the driver — headroom may have appeared).
+  bool OnCreditGrant(const CreditGrantPayload& grant);
+
+  /// True when every live consumer link has credit headroom (always true
+  /// with flow control off). The executor gates *starting* new input
+  /// tuples on this; round resends and control traffic bypass it.
+  bool HasCreditHeadroom() const { return credit_.HasHeadroom(); }
+  void NoteCreditBlocked() { credit_.NoteBlocked(); }
+  const CreditLedger& credit() const { return credit_; }
+
+  /// Flow control: flushes every non-empty live-consumer buffer now.
+  /// Called when the driver parks on exhausted credit — a window smaller
+  /// than `buffer_tuples` would otherwise strand tuples in a buffer that
+  /// never fills, and the credit they hold could never be granted back.
+  Status FlushPartialBuffers();
+
   /// Fraction of the expected input already offered (1.0 once finished).
   double ProgressFraction() const;
 
@@ -179,6 +198,7 @@ class ExchangeProducer {
   Hooks hooks_;
   std::unique_ptr<DistributionPolicy> policy_;
   RecoveryLog log_;
+  CreditLedger credit_;
 
   uint64_t next_seq_ = 1;
   /// Id of the latest retrospective round opened here; stamped on every

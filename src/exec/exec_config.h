@@ -26,6 +26,30 @@ struct ExecConfig {
   /// this off.
   bool recovery_log_enabled = true;
 
+  // --- credit-based flow control (D11) ---------------------------------
+  /// Master switch. Off by default: with flow control disabled the engine
+  /// sends zero credit messages and performs zero credit bookkeeping, so
+  /// pinned golden traces are unchanged.
+  bool flow_control_enabled = false;
+  /// Per-query memory budget. At deployment the coordinator divides this
+  /// across all exchange links to derive `credit_window_bytes`; ignored
+  /// when a window is set explicitly. 0 = unlimited.
+  size_t memory_budget_bytes = 0;
+  /// Per producer->consumer link credit window: the maximum bytes a
+  /// producer may have outstanding (buffered, in flight or held in the
+  /// consumer's queues) on one link. 0 = derive from the budget.
+  size_t credit_window_bytes = 0;
+  /// A consumer sends a CreditGrant once it has released at least this
+  /// fraction of a link's window since the previous grant (batching keeps
+  /// the control plane quiet).
+  double credit_grant_fraction = 0.25;
+  /// A consumer is "pressured" when the bytes it holds for a port exceed
+  /// this fraction of the port's aggregate window.
+  double pressure_fraction = 0.75;
+  /// Sustained pressure (virtual ms) before a QueuePressure monitoring
+  /// event is emitted.
+  double pressure_threshold_ms = 10.0;
+
   // --- CPU cost model of the exchange machinery (virtual ms) -----------
   /// Serializing + initiating the send of one buffer.
   double exchange_send_cost_ms = 0.05;

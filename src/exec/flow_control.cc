@@ -1,0 +1,71 @@
+#include "exec/flow_control.h"
+
+#include <algorithm>
+
+namespace gqp {
+
+void CreditLedger::Configure(size_t num_consumers, size_t window_bytes) {
+  window_bytes_ = window_bytes;
+  links_.clear();
+  if (window_bytes_ > 0) links_.resize(num_consumers);
+}
+
+void CreditLedger::Charge(int idx, size_t bytes, bool recall) {
+  if (!enabled()) return;
+  Link& link = links_[static_cast<size_t>(idx)];
+  link.charged += bytes;
+  if (recall) recall_burst_bytes_ += bytes;
+  if (!link.voided) {
+    stats_.peak_outstanding_bytes =
+        std::max(stats_.peak_outstanding_bytes, link.charged - link.released);
+  }
+}
+
+void CreditLedger::Uncharge(int idx, size_t bytes) {
+  if (!enabled()) return;
+  Link& link = links_[static_cast<size_t>(idx)];
+  const uint64_t outstanding = link.charged - link.released;
+  link.charged -= std::min<uint64_t>(bytes, outstanding);
+}
+
+bool CreditLedger::OnGrant(int idx, uint64_t released_bytes) {
+  if (!enabled()) return false;
+  Link& link = links_[static_cast<size_t>(idx)];
+  ++stats_.grants_received;
+  if (link.voided || released_bytes <= link.released) return false;
+  // Grants are cumulative: retransmitted or reordered ones only ever
+  // advance the counter to the max seen. Never past charged — a link
+  // cannot owe the producer credit.
+  link.released = std::min<uint64_t>(released_bytes, link.charged);
+  return true;
+}
+
+void CreditLedger::VoidConsumer(int idx) {
+  if (!enabled()) return;
+  Link& link = links_[static_cast<size_t>(idx)];
+  link.voided = true;
+  link.released = link.charged;
+}
+
+bool CreditLedger::HasHeadroom() const {
+  if (!enabled()) return true;
+  for (const Link& link : links_) {
+    if (link.voided) continue;
+    if (link.charged - link.released >= window_bytes_) return false;
+  }
+  return true;
+}
+
+void CreditLedger::EndRecallBurst() {
+  stats_.max_recall_burst_bytes =
+      std::max(stats_.max_recall_burst_bytes, recall_burst_bytes_);
+  recall_burst_bytes_ = 0;
+}
+
+uint64_t CreditLedger::Outstanding(int idx) const {
+  if (!enabled()) return 0;
+  const Link& link = links_[static_cast<size_t>(idx)];
+  return link.voided ? 0 : link.charged - link.released;
+}
+
+}  // namespace gqp

@@ -1,0 +1,137 @@
+// Credit-based flow control for the exchange operator (DESIGN.md §D11).
+//
+// Every producer->consumer link carries a byte window W. The producer
+// keeps a monotonic cumulative count of bytes *charged* to the link
+// (buffered, in flight, or held in the consumer's queues); the consumer
+// keeps the matching cumulative count of bytes it has *released*
+// (processed, purged by a state move, or fenced) and ships it back in
+// CreditGrant messages. outstanding = charged - released; a producer with
+// any live link at or above W stops starting new input tuples until a
+// grant restores headroom.
+//
+// Cumulative counters — rather than decrement-style credit tokens — make
+// the protocol self-consistent across the failure machinery: grants are
+// idempotent and reorder-safe (the receiver keeps the max), a recovery
+// round's consumer-side purge releases exactly what the producer's resend
+// re-charges, and a StateMove that re-routes a bucket simply releases on
+// the old link and charges on the new one. Links to epoch-fenced dead
+// consumers are voided outright: they stop gating and their bytes are
+// forgotten (recovery re-charges the resends on the surviving links).
+
+#ifndef GRIDQP_EXEC_FLOW_CONTROL_H_
+#define GRIDQP_EXEC_FLOW_CONTROL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gqp {
+
+/// Producer-side counters, surfaced through ProducerStats/chaos checks.
+struct CreditLedgerStats {
+  /// Largest charged-minus-released ever observed on one live link.
+  uint64_t peak_outstanding_bytes = 0;
+  /// Times the producer wanted to start a tuple and found a saturated
+  /// link (one parked "episode" can count many times; it is a pressure
+  /// indicator, not a wall-clock measure).
+  uint64_t blocked_events = 0;
+  /// Largest number of bytes re-charged by a single retrospective-round
+  /// resend. Resends bypass the gate (RestoreComplete must follow them on
+  /// the same link or parked consumers would wait forever), so this is
+  /// the slack term of the bounded-memory invariant.
+  uint64_t max_recall_burst_bytes = 0;
+  uint64_t grants_received = 0;
+};
+
+/// \brief Producer-side credit ledger: one cumulative charged/released
+/// pair per consumer link.
+class CreditLedger {
+ public:
+  /// `window_bytes` == 0 disables the ledger entirely (all methods become
+  /// cheap no-ops and HasHeadroom() is always true).
+  void Configure(size_t num_consumers, size_t window_bytes);
+
+  bool enabled() const { return window_bytes_ > 0; }
+  size_t window_bytes() const { return window_bytes_; }
+
+  /// Charges `bytes` to consumer link `idx` (tuple routed into its
+  /// buffer). `recall` marks a retrospective-round resend, which feeds
+  /// the max_recall_burst_bytes slack instead of the blocked gate.
+  void Charge(int idx, size_t bytes, bool recall);
+
+  /// Un-charges bytes for tuples purged from an *unsent* buffer (the
+  /// consumer never saw them, so it can never release them).
+  void Uncharge(int idx, size_t bytes);
+
+  /// A CreditGrant arrived: the consumer has cumulatively released
+  /// `released_bytes` on this link. Returns true when the grant advanced
+  /// the counter (headroom may have appeared).
+  bool OnGrant(int idx, uint64_t released_bytes);
+
+  /// The consumer was epoch-fenced (declared dead): the link stops
+  /// gating and its accounting is dropped.
+  void VoidConsumer(int idx);
+
+  /// True when every live link is below the window. Counting a blocked
+  /// probe is the caller's job via NoteBlocked() so that passive
+  /// inspection (stats, logging) does not inflate the counter.
+  bool HasHeadroom() const;
+  void NoteBlocked() { ++stats_.blocked_events; }
+
+  /// Marks the start/end of one retrospective-round resend burst.
+  void BeginRecallBurst() { recall_burst_bytes_ = 0; }
+  void EndRecallBurst();
+
+  uint64_t Outstanding(int idx) const;
+  const CreditLedgerStats& stats() const { return stats_; }
+
+ private:
+  struct Link {
+    uint64_t charged = 0;
+    uint64_t released = 0;
+    bool voided = false;
+  };
+
+  std::vector<Link> links_;
+  size_t window_bytes_ = 0;
+  uint64_t recall_burst_bytes_ = 0;
+  CreditLedgerStats stats_;
+};
+
+/// \brief Consumer-side account for one producer link: bytes currently
+/// held here plus the cumulative released counter shipped in grants.
+struct CreditAccount {
+  uint64_t held_bytes = 0;
+  uint64_t released_bytes = 0;
+  /// Released since the last grant was sent; a grant is due when this
+  /// crosses grant_threshold bytes.
+  uint64_t pending_grant_bytes = 0;
+
+  void Hold(size_t bytes) { held_bytes += bytes; }
+
+  /// Releases `bytes`; returns true when a grant is due.
+  bool Release(size_t bytes, size_t grant_threshold) {
+    held_bytes -= bytes > held_bytes ? held_bytes : bytes;
+    released_bytes += bytes;
+    pending_grant_bytes += bytes;
+    return grant_threshold > 0 && pending_grant_bytes >= grant_threshold;
+  }
+
+  /// Consumes the pending batch; the returned cumulative counter goes
+  /// into the CreditGrant payload.
+  uint64_t TakeGrant() {
+    pending_grant_bytes = 0;
+    return released_bytes;
+  }
+};
+
+/// The wire-accounting size of one routed tuple inside a batch; matches
+/// TupleBatchPayload::WireSize() so producer charges and consumer
+/// releases agree byte-for-byte.
+inline size_t RoutedTupleWireBytes(size_t tuple_wire_size) {
+  return 12 + tuple_wire_size;
+}
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXEC_FLOW_CONTROL_H_

@@ -212,6 +212,13 @@ void FragmentExecutor::HandleMessage(const Message& msg) {
     OnAck(*ack);
     return;
   }
+  if (const auto* grant = PayloadAs<CreditGrantPayload>(msg.payload)) {
+    if (producer_ != nullptr && producer_->OnCreditGrant(*grant)) {
+      // Headroom may be back: re-probe the driver.
+      MaybeProcess();
+    }
+    return;
+  }
   if (const auto* redistribute =
           PayloadAs<RedistributeRequestPayload>(msg.payload)) {
     OnRedistribute(*redistribute);
@@ -304,13 +311,25 @@ void FragmentExecutor::OnTupleBatch(const Message& msg,
     stats_.tuples_fenced += batch.tuples().size();
     return;
   }
-  TrackProducer(&port, batch.producer(), msg.from, batch.exchange_id());
+  ProducerTracking& tracking =
+      TrackProducer(&port, batch.producer(), msg.from, batch.exchange_id());
   stats_.tuples_received += batch.tuples().size();
+  const bool fc = FlowControlOn();
   for (const RoutedTuple& rt : batch.tuples()) {
-    port.queue.push_back(QueuedTuple{rt, key, batch.round()});
+    QueuedTuple qt{rt, key, batch.round()};
+    // Byte accounting runs with flow control off too (WireSize is
+    // memoized): the peaks are what an A/B run compares FC against.
+    qt.wire_bytes = RoutedTupleWireBytes(rt.tuple.WireSize());
+    if (fc) tracking.credit.Hold(qt.wire_bytes);
+    port.held_bytes += qt.wire_bytes;
+    port.queue.push_back(std::move(qt));
   }
   stats_.queue_high_watermark =
       std::max(stats_.queue_high_watermark, port.queue.size());
+  port.peak_held_bytes = std::max(port.peak_held_bytes, port.held_bytes);
+  stats_.queued_bytes_peak =
+      std::max(stats_.queued_bytes_peak, port.held_bytes);
+  if (fc) UpdateQueuePressure(port_idx);
   node_->SubmitWork(kExchangeTag,
                     plan_.config.consumer_enqueue_cost_ms *
                         static_cast<double>(batch.tuples().size()),
@@ -408,6 +427,7 @@ void FragmentExecutor::OnStateMoveRequest(
 
   // 1. Purge unprocessed queued/parked tuples of this producer in scope.
   uint64_t discarded = 0;
+  uint64_t purged_credit_bytes = 0;
   std::string discarded_seqs;
   auto purge = [&](std::deque<QueuedTuple>* q) {
     for (auto it = q->begin(); it != q->end();) {
@@ -423,6 +443,7 @@ void FragmentExecutor::OnStateMoveRequest(
            BucketInList(it->rt.bucket, request.buckets_lost()));
       if (mine && in_scope) {
         ++discarded;
+        purged_credit_bytes += it->wire_bytes;
         discarded_seqs += StrCat(" ", it->rt.seq);
         it = q->erase(it);
       } else {
@@ -432,6 +453,9 @@ void FragmentExecutor::OnStateMoveRequest(
   };
   purge(&port.queue);
   purge(&port.parked);
+  // Purged tuples release their credit: the producer's recovery resend
+  // re-charges whichever link the new routing map picks.
+  ReleaseCredit(port_idx, key, purged_credit_bytes);
   if (discarded > 0) {
     GQP_LOG_DEBUG << "fragment " << plan_.id.ToString() << " round "
                   << request.round() << ": discarded" << discarded_seqs
@@ -588,6 +612,30 @@ int FragmentExecutor::PickPort() {
 void FragmentExecutor::MaybeProcess() {
   if (!began_ || processing_ || finished_ || dispatching_control_) return;
 
+  // Flow-control gate (D11): with a saturated output link, starting
+  // another input tuple would only pile more bytes onto the starved
+  // consumer. Park the driver; the pending CreditGrant re-probes it.
+  // Control traffic (state moves, acks, EOS) is never gated, and round
+  // resends bypass this entirely (they run from CompleteRound).
+  if (producer_ != nullptr && !producer_->HasCreditHeadroom()) {
+    producer_->NoteCreditBlocked();
+    // Parked output still ships: a window below `buffer_tuples` would
+    // otherwise strand tuples in buffers that can never fill, and the
+    // credit they hold could never be granted back (deadlock).
+    const Status flush = producer_->FlushPartialBuffers();
+    if (!flush.ok()) {
+      GQP_LOG_WARN << "credit-parked flush failed: " << flush.ToString();
+    }
+    // Any releases we owe our own producers still go out, so a blocked
+    // chain always unblocks bottom-up from the root.
+    FlushCreditGrants();
+    if (!idle_tracking_) {
+      idle_tracking_ = true;
+      idle_since_ = simulator()->Now();
+    }
+    return;
+  }
+
   if (plan_.fragment.IsScanLeaf()) {
     if (scan_row_ < scan_table_->num_rows()) {
       processing_ = true;
@@ -600,6 +648,9 @@ void FragmentExecutor::MaybeProcess() {
 
   const int port = PickPort();
   if (port < 0) {
+    // Going idle: ship sub-threshold credit batches now — an upstream
+    // producer blocked on them has no other way to make progress.
+    FlushCreditGrants();
     if (!idle_tracking_) {
       idle_tracking_ = true;
       idle_since_ = simulator()->Now();
@@ -659,6 +710,7 @@ void FragmentExecutor::ProcessQueuedTuple(int port_idx) {
     port.parked.push_back(std::move(port.queue.front()));
     port.queue.pop_front();
     ++stats_.tuples_parked;
+    stats_.parked_peak = std::max(stats_.parked_peak, port.parked.size());
   }
   if (port.queue.empty()) {
     processing_ = false;
@@ -668,6 +720,9 @@ void FragmentExecutor::ProcessQueuedTuple(int port_idx) {
 
   QueuedTuple qt = std::move(port.queue.front());
   port.queue.pop_front();
+  // The tuple leaves the bounded queue here; its bytes stop counting
+  // against the producer's window (operator state is not budgeted).
+  ReleaseCredit(port_idx, qt.producer_key, qt.wire_bytes);
 
   ctx_.ResetForTuple();
   const Status s =
@@ -826,6 +881,103 @@ void FragmentExecutor::FlushAcks(int port_idx, const std::string& producer_key,
                       const Status s = SendTo(to, ack);
                       if (!s.ok()) Fail(s);
                     });
+}
+
+// ---- flow control (D11) ----------------------------------------------------
+
+size_t FragmentExecutor::CreditGrantThreshold() const {
+  const double t = static_cast<double>(plan_.config.credit_window_bytes) *
+                   plan_.config.credit_grant_fraction;
+  return t < 1.0 ? 1 : static_cast<size_t>(t);
+}
+
+void FragmentExecutor::ReleaseCredit(int port_idx,
+                                     const std::string& producer_key,
+                                     size_t bytes) {
+  if (bytes == 0) return;
+  PortState& port = ports_[static_cast<size_t>(port_idx)];
+  port.held_bytes -= std::min<uint64_t>(bytes, port.held_bytes);
+  if (!FlowControlOn()) return;
+  auto it = port.producers.find(producer_key);
+  if (it != port.producers.end()) {
+    const bool due = it->second.credit.Release(bytes, CreditGrantThreshold());
+    // No grants to fenced producers: their link was voided at the
+    // producer side, and recovery owns their bytes now.
+    if (due && port.lost.count(producer_key) == 0) {
+      SendCreditGrant(&it->second);
+    }
+  }
+  UpdateQueuePressure(port_idx);
+}
+
+void FragmentExecutor::FlushCreditGrants() {
+  if (!FlowControlOn()) return;
+  for (auto& port : ports_) {
+    std::vector<std::string> keys;
+    for (const auto& [key, tracking] : port.producers) {
+      if (tracking.credit.pending_grant_bytes > 0 &&
+          port.lost.count(key) == 0) {
+        keys.push_back(key);
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const std::string& key : keys) {
+      SendCreditGrant(&port.producers.at(key));
+    }
+  }
+}
+
+void FragmentExecutor::SendCreditGrant(ProducerTracking* tracking) {
+  const uint64_t released = tracking->credit.TakeGrant();
+  auto grant = std::make_shared<CreditGrantPayload>(tracking->exchange_id,
+                                                    plan_.id, released);
+  ++stats_.credit_grants_sent;
+  const Address to = tracking->address;
+  node_->SubmitWork(kExchangeTag, plan_.config.exchange_send_cost_ms,
+                    [this, to, grant]() {
+                      const Status s = SendTo(to, grant);
+                      if (!s.ok()) {
+                        GQP_LOG_WARN << "credit grant send failed: "
+                                     << s.ToString();
+                      }
+                    });
+}
+
+void FragmentExecutor::UpdateQueuePressure(int port_idx) {
+  if (!FlowControlOn()) return;
+  PortState& port = ports_[static_cast<size_t>(port_idx)];
+  const double window =
+      static_cast<double>(plan_.config.credit_window_bytes) *
+      static_cast<double>(std::max(port.wiring.num_producers, 1));
+  const bool over = static_cast<double>(port.held_bytes) >=
+                    plan_.config.pressure_fraction * window;
+  if (!over) {
+    // Relief re-arms the episode detector.
+    port.pressure_since = -1.0;
+    port.pressure_emitted = false;
+    return;
+  }
+  const SimTime now = simulator()->Now();
+  if (port.pressure_since < 0.0) {
+    port.pressure_since = now;
+    return;
+  }
+  if (port.pressure_emitted ||
+      now - port.pressure_since < plan_.config.pressure_threshold_ms) {
+    return;
+  }
+  port.pressure_emitted = true;
+  ++stats_.queue_pressure_events;
+  if (plan_.adaptivity.med.host == kInvalidHost) return;
+  node_->SubmitWork(kExchangeTag, plan_.config.monitor_emit_cost_ms, nullptr);
+  const Status s =
+      SendTo(plan_.adaptivity.med,
+             std::make_shared<QueuePressurePayload>(
+                 plan_.id, port_idx, port.held_bytes,
+                 static_cast<uint64_t>(window)));
+  if (!s.ok()) {
+    GQP_LOG_WARN << "QueuePressure emission failed: " << s.ToString();
+  }
 }
 
 void FragmentExecutor::EmitM1IfDue(double /*cost_ms*/) {

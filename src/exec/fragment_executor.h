@@ -76,6 +76,13 @@ struct FragmentStats {
   double busy_ms = 0.0;
   double idle_wait_ms = 0.0;
   size_t queue_high_watermark = 0;
+  /// Peak number of tuples parked at once across all ports.
+  size_t parked_peak = 0;
+  // --- flow control (D11); all zero with it off -------------------------
+  /// Peak bytes held (queued + parked) on any single input port.
+  uint64_t queued_bytes_peak = 0;
+  uint64_t credit_grants_sent = 0;
+  uint64_t queue_pressure_events = 0;
 };
 
 /// \brief A deployed fragment instance.
@@ -137,6 +144,10 @@ class FragmentExecutor : public GridService {
     /// Round epoch stamped on the carrying batch; a state-move purge for
     /// round R skips tuples with round >= R (already routed by R's map).
     uint64_t round = 0;
+    /// Bytes this tuple holds against its producer's credit window
+    /// (0 with flow control off). Released exactly once, when the tuple
+    /// is popped for processing or purged by a state move.
+    size_t wire_bytes = 0;
   };
 
   struct ProducerTracking {
@@ -157,6 +168,8 @@ class FragmentExecutor : public GridService {
     };
     std::vector<RetainedInput> retained_unacked;
     int exchange_id = -1;
+    /// Flow-control account of this link (D11).
+    CreditAccount credit;
   };
 
   struct PortState {
@@ -175,6 +188,12 @@ class FragmentExecutor : public GridService {
     /// Producers reported crashed before their EOS arrived.
     std::set<std::string> lost;
     std::unordered_map<std::string, ProducerTracking> producers;
+    /// Flow control: bytes currently held (queued + parked) on this port
+    /// and the peak seen; pressure episode tracking (D11).
+    uint64_t held_bytes = 0;
+    uint64_t peak_held_bytes = 0;
+    SimTime pressure_since = -1.0;
+    bool pressure_emitted = false;
 
     bool EosComplete() const {
       size_t done = eos_from.size();
@@ -220,6 +239,24 @@ class FragmentExecutor : public GridService {
   void MaybeAckRetained();
   void EmitM1IfDue(double cost_ms);
   void FlushAcks(int port, const std::string& producer_key, bool force);
+
+  // --- flow control (D11) -----------------------------------------------
+  bool FlowControlOn() const {
+    return plan_.config.flow_control_enabled &&
+           plan_.config.credit_window_bytes > 0;
+  }
+  size_t CreditGrantThreshold() const;
+  /// Releases `bytes` of a producer's credit (tuple processed or purged)
+  /// and sends a CreditGrant when the batched releases cross the
+  /// threshold. Also refreshes the port's pressure tracking.
+  void ReleaseCredit(int port_idx, const std::string& producer_key,
+                     size_t bytes);
+  /// Sends any sub-threshold pending grants (called when the driver goes
+  /// idle or parks on credit, so an upstream producer can never starve on
+  /// releases that sit below the batching threshold forever).
+  void FlushCreditGrants();
+  void SendCreditGrant(ProducerTracking* tracking);
+  void UpdateQueuePressure(int port_idx);
 
   // --- completion ---------------------------------------------------------
   bool LocallyDrained() const;

@@ -5,13 +5,20 @@
 namespace gqp {
 
 void RecoveryLog::Append(LogRecord record) {
+  stats_.bytes_held += record.tuple.WireSize();
+  stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_held);
   records_.emplace(record.seq, std::move(record));
   ++stats_.appended;
   stats_.high_watermark = std::max(stats_.high_watermark, records_.size());
 }
 
 void RecoveryLog::Ack(uint64_t seq) {
-  if (records_.erase(seq) > 0) ++stats_.acked;
+  auto it = records_.find(seq);
+  if (it == records_.end()) return;
+  const uint64_t bytes = it->second.tuple.WireSize();
+  stats_.bytes_held -= std::min(stats_.bytes_held, bytes);
+  records_.erase(it);
+  ++stats_.acked;
 }
 
 void RecoveryLog::AckBatch(const std::vector<uint64_t>& seqs) {
@@ -23,6 +30,8 @@ std::vector<LogRecord> RecoveryLog::Extract(
   std::vector<LogRecord> out;
   for (auto it = records_.begin(); it != records_.end();) {
     if (pred(it->second)) {
+      const uint64_t bytes = it->second.tuple.WireSize();
+      stats_.bytes_held -= std::min(stats_.bytes_held, bytes);
       out.push_back(std::move(it->second));
       it = records_.erase(it);
     } else {

@@ -36,6 +36,10 @@ struct RecoveryLogStats {
   uint64_t acked = 0;
   uint64_t extracted = 0;
   size_t high_watermark = 0;
+  /// Bytes of tuple payload currently held (Tuple::WireSize is memoized,
+  /// so the charge/reclaim symmetry is exact even across Reinsert).
+  uint64_t bytes_held = 0;
+  uint64_t bytes_peak = 0;
 };
 
 /// \brief Per-producer log of unacknowledged outgoing tuples.

@@ -47,6 +47,22 @@ void MonitoringEventDetector::HandleMessage(const Message& msg) {
             static_cast<double>(m2->tuples_in_buffer()));
     return;
   }
+  if (PayloadAs<QueuePressurePayload>(msg.payload) != nullptr) {
+    // Flow-control pressure (D11) is forwarded verbatim and immediately:
+    // it is an *early* signal, valuable precisely because it does not
+    // wait for a window of rate samples to converge.
+    ++stats_.pressure_events;
+    if (node_ != nullptr && config_.processing_cost_ms > 0) {
+      node_->SubmitWork("med:process", config_.processing_cost_ms, nullptr);
+    }
+    ++stats_.notifications_out;
+    const Status s = Publish(kTopicMonitoringAverages, msg.payload);
+    if (!s.ok()) {
+      GQP_LOG_WARN << "MED " << name()
+                   << ": failed to forward pressure event: " << s.ToString();
+    }
+    return;
+  }
   GQP_LOG_DEBUG << "MED " << name() << ": ignoring payload "
                 << (msg.payload ? msg.payload->TypeName() : "null");
 }

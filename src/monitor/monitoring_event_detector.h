@@ -39,6 +39,8 @@ struct MedStats {
   uint64_t raw_m1 = 0;
   uint64_t raw_m2 = 0;
   uint64_t notifications_out = 0;
+  /// QueuePressure events forwarded verbatim to Diagnosers (D11).
+  uint64_t pressure_events = 0;
 };
 
 /// \brief The MED grid service.

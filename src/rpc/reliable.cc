@@ -87,6 +87,7 @@ void ReliableTransport::OnTimeout(HostId src, HostId dst, uint64_t seq) {
   ++p.retries;
   ++stats_.retransmits;
   (void)network_->Send(p.envelope);
+  if (p.rto_ms < config_.max_rto_ms) ++stats_.backoffs;
   p.rto_ms = std::min(p.rto_ms * 2.0, config_.max_rto_ms);
   ScheduleRetransmit(src, dst, seq);
 }

@@ -49,6 +49,9 @@ struct ReliableStats {
   /// First transmissions of wrapped messages.
   uint64_t sent = 0;
   uint64_t retransmits = 0;
+  /// Retransmissions whose RTO grew (i.e. the exponential backoff actually
+  /// engaged — a proxy for sustained loss rather than a one-off drop).
+  uint64_t backoffs = 0;
   uint64_t acks_sent = 0;
   uint64_t acks_received = 0;
   /// Duplicate envelopes discarded by receiver-side dedup.

@@ -123,6 +123,8 @@ Status RunOnce(const ExperimentParams& params, uint64_t seed,
   options.exec.m1_frequency = params.m1_frequency;
   options.exec.monitoring_enabled = params.adaptivity;
   options.exec.recovery_log_enabled = params.adaptivity;
+  options.exec.flow_control_enabled = params.flow_control;
+  options.exec.memory_budget_bytes = params.memory_budget_bytes;
   options.optimizer.costs.scan_cost_ms =
       (params.query == QueryKind::kQ2 && params.q2_scan_cost_ms > 0)
           ? params.q2_scan_cost_ms

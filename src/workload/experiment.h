@@ -58,6 +58,12 @@ struct ExperimentParams {
   /// Runs the heartbeat failure detector and reliable control-plane
   /// transport (the control-plane tax the overhead bench guards).
   bool failure_detection = false;
+  /// Credit-based flow control (D11): bounded queues under a per-query
+  /// memory budget. The overhead bench guards its no-overload tax.
+  bool flow_control = false;
+  /// Per-query budget split evenly across exchange links (0 = unlimited
+  /// window: credit machinery idles even with flow_control on).
+  size_t memory_budget_bytes = 0;
 
   // --- adaptivity -----------------------------------------------------------
   bool adaptivity = true;

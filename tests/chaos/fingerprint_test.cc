@@ -11,6 +11,7 @@
 // and say so in the commit message.
 
 #include <cstdint>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -42,7 +43,26 @@ constexpr GoldenFingerprint kGolden[] = {
     {201, ChaosProfile::kLossy, 6999, 0x063fe15c9eb0a93bULL},
     {213, ChaosProfile::kLossy, 3550, 0xbe5189377fd8e54fULL},
     {240, ChaosProfile::kLossy, 6830, 0x3ecfcabd4e2146bfULL},
+    // Flow-control profiles (D11), recorded 2026-08 when credit-based
+    // flow control landed: park/unpark scheduling and credit-grant
+    // traffic must replay bit-identically.
+    {6, ChaosProfile::kSlowConsumer, 12664, 0x3dbc880d0e788913ULL},
+    {3, ChaosProfile::kMemorySqueeze, 8960, 0xbb210f5865a4e957ULL},
 };
+
+std::string ProfilePrefix(ChaosProfile profile) {
+  switch (profile) {
+    case ChaosProfile::kStandard:
+      return "seed";
+    case ChaosProfile::kLossy:
+      return "lossy_seed";
+    case ChaosProfile::kSlowConsumer:
+      return "slow_seed";
+    case ChaosProfile::kMemorySqueeze:
+      return "squeeze_seed";
+  }
+  return "seed";
+}
 
 class FingerprintTest
     : public ::testing::TestWithParam<GoldenFingerprint> {};
@@ -62,9 +82,7 @@ TEST_P(FingerprintTest, MatchesPrePoolKernel) {
 INSTANTIATE_TEST_SUITE_P(
     GoldenSeeds, FingerprintTest, ::testing::ValuesIn(kGolden),
     [](const ::testing::TestParamInfo<GoldenFingerprint>& info) {
-      return std::string(info.param.profile == ChaosProfile::kLossy
-                             ? "lossy_seed"
-                             : "seed") +
+      return ProfilePrefix(info.param.profile) +
              std::to_string(info.param.seed);
     });
 

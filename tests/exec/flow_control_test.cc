@@ -1,0 +1,172 @@
+// Unit tests for the credit-based flow-control primitives (DESIGN.md
+// §D11): the producer-side CreditLedger (cumulative charged/released per
+// link) and the consumer-side CreditAccount (held bytes + grant batching).
+
+#include "exec/flow_control.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+TEST(CreditLedgerTest, DisabledLedgerIsAlwaysOpen) {
+  CreditLedger ledger;
+  ledger.Configure(3, /*window_bytes=*/0);
+  EXPECT_FALSE(ledger.enabled());
+  EXPECT_TRUE(ledger.HasHeadroom());
+  ledger.Charge(0, 1 << 20, /*recall=*/false);
+  EXPECT_TRUE(ledger.HasHeadroom());
+  EXPECT_EQ(ledger.Outstanding(0), 0u);
+  EXPECT_EQ(ledger.stats().peak_outstanding_bytes, 0u);
+}
+
+TEST(CreditLedgerTest, ChargeGatesAtWindowAndGrantReopens) {
+  CreditLedger ledger;
+  ledger.Configure(2, /*window_bytes=*/100);
+  ASSERT_TRUE(ledger.enabled());
+
+  ledger.Charge(0, 60, false);
+  EXPECT_TRUE(ledger.HasHeadroom());
+  ledger.Charge(0, 40, false);  // exactly at the window: gate closes
+  EXPECT_FALSE(ledger.HasHeadroom());
+  EXPECT_EQ(ledger.Outstanding(0), 100u);
+  EXPECT_EQ(ledger.Outstanding(1), 0u);
+
+  // One saturated link gates the whole producer, regardless of others.
+  ledger.Charge(1, 10, false);
+  EXPECT_FALSE(ledger.HasHeadroom());
+
+  EXPECT_TRUE(ledger.OnGrant(0, 30));
+  EXPECT_TRUE(ledger.HasHeadroom());
+  EXPECT_EQ(ledger.Outstanding(0), 70u);
+  EXPECT_EQ(ledger.stats().peak_outstanding_bytes, 100u);
+}
+
+TEST(CreditLedgerTest, GrantsAreCumulativeAndReorderSafe) {
+  CreditLedger ledger;
+  ledger.Configure(1, 100);
+  ledger.Charge(0, 90, false);
+
+  EXPECT_TRUE(ledger.OnGrant(0, 50));
+  EXPECT_EQ(ledger.Outstanding(0), 40u);
+
+  // A stale (reordered or retransmitted) grant never moves the counter
+  // backwards, and a duplicate is a no-op.
+  EXPECT_FALSE(ledger.OnGrant(0, 30));
+  EXPECT_FALSE(ledger.OnGrant(0, 50));
+  EXPECT_EQ(ledger.Outstanding(0), 40u);
+
+  // A grant can never exceed what was charged: the link cannot owe the
+  // producer credit.
+  EXPECT_TRUE(ledger.OnGrant(0, 1000));
+  EXPECT_EQ(ledger.Outstanding(0), 0u);
+  EXPECT_EQ(ledger.stats().grants_received, 4u);
+}
+
+TEST(CreditLedgerTest, UnchargeForgivesUnsentBytes) {
+  CreditLedger ledger;
+  ledger.Configure(1, 100);
+  ledger.Charge(0, 100, false);
+  EXPECT_FALSE(ledger.HasHeadroom());
+
+  // A purged unsent buffer un-charges: the consumer never saw the bytes.
+  ledger.Uncharge(0, 40);
+  EXPECT_TRUE(ledger.HasHeadroom());
+  EXPECT_EQ(ledger.Outstanding(0), 60u);
+
+  // Uncharge clamps at outstanding — it cannot drive the link negative.
+  ledger.Uncharge(0, 1000);
+  EXPECT_EQ(ledger.Outstanding(0), 0u);
+}
+
+TEST(CreditLedgerTest, VoidedConsumerStopsGating) {
+  CreditLedger ledger;
+  ledger.Configure(2, 100);
+  ledger.Charge(0, 100, false);
+  ledger.Charge(1, 50, false);
+  EXPECT_FALSE(ledger.HasHeadroom());
+
+  // The saturated consumer dies: its link is voided, bytes forgotten.
+  ledger.VoidConsumer(0);
+  EXPECT_TRUE(ledger.HasHeadroom());
+  EXPECT_EQ(ledger.Outstanding(0), 0u);
+  EXPECT_EQ(ledger.Outstanding(1), 50u);
+
+  // Late traffic on the dead link neither gates nor moves counters back.
+  ledger.Charge(0, 500, false);
+  EXPECT_TRUE(ledger.HasHeadroom());
+  EXPECT_EQ(ledger.Outstanding(0), 0u);
+  EXPECT_FALSE(ledger.OnGrant(0, 1 << 20));
+}
+
+TEST(CreditLedgerTest, RecallBurstsFeedSlackNotPeak) {
+  CreditLedger ledger;
+  ledger.Configure(2, 100);
+
+  ledger.BeginRecallBurst();
+  ledger.Charge(0, 80, /*recall=*/true);
+  ledger.Charge(1, 70, /*recall=*/true);
+  ledger.EndRecallBurst();
+  EXPECT_EQ(ledger.stats().max_recall_burst_bytes, 150u);
+
+  // A later, smaller burst does not shrink the recorded maximum.
+  ledger.BeginRecallBurst();
+  ledger.Charge(0, 10, /*recall=*/true);
+  ledger.EndRecallBurst();
+  EXPECT_EQ(ledger.stats().max_recall_burst_bytes, 150u);
+}
+
+TEST(CreditLedgerTest, BlockedEventsCountOnlyExplicitNotes) {
+  CreditLedger ledger;
+  ledger.Configure(1, 10);
+  ledger.Charge(0, 10, false);
+  // Passive probing does not inflate the counter...
+  EXPECT_FALSE(ledger.HasHeadroom());
+  EXPECT_FALSE(ledger.HasHeadroom());
+  EXPECT_EQ(ledger.stats().blocked_events, 0u);
+  // ...only the caller's explicit note does.
+  ledger.NoteBlocked();
+  EXPECT_EQ(ledger.stats().blocked_events, 1u);
+}
+
+TEST(CreditAccountTest, ReleaseBatchesIntoGrants) {
+  CreditAccount account;
+  account.Hold(30);
+  account.Hold(30);
+  EXPECT_EQ(account.held_bytes, 60u);
+
+  // Releases accumulate until the grant threshold is crossed.
+  EXPECT_FALSE(account.Release(10, /*grant_threshold=*/25));
+  EXPECT_TRUE(account.Release(20, 25));
+  EXPECT_EQ(account.held_bytes, 30u);
+  EXPECT_EQ(account.released_bytes, 30u);
+
+  // TakeGrant ships the cumulative counter and resets the batch.
+  EXPECT_EQ(account.TakeGrant(), 30u);
+  EXPECT_EQ(account.pending_grant_bytes, 0u);
+
+  // The next grant repeats the cumulative total plus the new releases —
+  // exactly what makes retransmitted grants idempotent at the ledger.
+  EXPECT_TRUE(account.Release(30, 25));
+  EXPECT_EQ(account.TakeGrant(), 60u);
+}
+
+TEST(CreditAccountTest, ReleaseClampsHeldButCountsFully) {
+  CreditAccount account;
+  account.Hold(10);
+  // A purge may release more than is held here (e.g. a fence that covers
+  // bytes already processed): held clamps at zero, but the cumulative
+  // released counter still advances by the full amount so the producer's
+  // charge is matched.
+  EXPECT_TRUE(account.Release(25, 5));
+  EXPECT_EQ(account.held_bytes, 0u);
+  EXPECT_EQ(account.released_bytes, 25u);
+}
+
+TEST(RoutedTupleWireBytesTest, MatchesBatchPerTupleFraming) {
+  EXPECT_EQ(RoutedTupleWireBytes(0), 12u);
+  EXPECT_EQ(RoutedTupleWireBytes(100), 112u);
+}
+
+}  // namespace
+}  // namespace gqp

@@ -85,6 +85,45 @@ TEST(RecoveryLogTest, HighWatermarkTracksPeak) {
   EXPECT_EQ(log.stats().appended, 11u);
 }
 
+TEST(RecoveryLogTest, ByteAccountingAcrossAckAndBatch) {
+  RecoveryLog log;
+  const uint64_t one = MakeTuple(1).WireSize();
+  for (uint64_t s = 1; s <= 4; ++s) log.Append({s, 0, 0, MakeTuple(1)});
+  EXPECT_EQ(log.stats().bytes_held, 4 * one);
+  EXPECT_EQ(log.stats().bytes_peak, 4 * one);
+
+  log.Ack(2);
+  EXPECT_EQ(log.stats().bytes_held, 3 * one);
+  log.Ack(2);  // duplicate ack: no double reclaim
+  EXPECT_EQ(log.stats().bytes_held, 3 * one);
+
+  log.AckBatch({1, 3});
+  EXPECT_EQ(log.stats().bytes_held, one);
+  log.AckBatch({4});
+  EXPECT_EQ(log.stats().bytes_held, 0u);
+  EXPECT_EQ(log.stats().bytes_peak, 4 * one);  // peak never decays
+}
+
+TEST(RecoveryLogTest, ByteAccountingReclaimsOnExtractAndRechargesOnReinsert) {
+  RecoveryLog log;
+  const uint64_t one = MakeTuple(1).WireSize();
+  log.Append({1, 2, 0, MakeTuple(1)});
+  log.Append({2, 5, 0, MakeTuple(2)});
+
+  auto extracted = log.Extract([](const LogRecord& r) { return r.bucket == 2; });
+  ASSERT_EQ(extracted.size(), 1u);
+  EXPECT_EQ(log.stats().bytes_held, one);
+
+  // Re-routing re-charges exactly what extraction reclaimed.
+  extracted[0].consumer = 1;
+  log.Reinsert(extracted[0]);
+  EXPECT_EQ(log.stats().bytes_held, 2 * one);
+
+  log.ExtractAll();
+  EXPECT_EQ(log.stats().bytes_held, 0u);
+  EXPECT_EQ(log.stats().bytes_peak, 2 * one);
+}
+
 TEST(AckBatcherTest, SignalsAtInterval) {
   AckBatcher batcher(3);
   EXPECT_FALSE(batcher.Add(1));
