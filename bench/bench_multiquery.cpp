@@ -1,0 +1,286 @@
+// Multi-query execution (DESIGN.md §D12): one grid, several live queries
+// at once. Five queries (a Q1/Q2 mix) are submitted at staggered virtual
+// times so their executions overlap on the same evaluators, then each is
+// checked for
+//
+//  1. correct completion: its result multiset is identical to the same
+//     query run alone on an identical grid (concurrency must not change
+//     answers, only timing);
+//  2. exact per-query statistics: the coordinator's per-query M1/M2
+//     counts equal the sum of what that query's own executors emitted,
+//     and the per-query MED slices sum back to the site-wide totals.
+//
+// There is no paper table for this; the paper's single-query experiments
+// implicitly assume the engine underneath can host overlapping queries.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "monitor/monitoring_event_detector.h"
+#include "storage/datagen.h"
+#include "workload/grid_setup.h"
+
+using namespace gqp;
+using namespace gqp::bench;
+
+namespace {
+
+constexpr int kNumEvaluators = 2;
+constexpr uint64_t kSeed = 7;
+constexpr size_t kSequences = 1500;
+constexpr size_t kInteractions = 2300;
+
+struct QuerySpec {
+  QueryKind kind;
+  double submit_at_ms;
+};
+
+/// Datasets + web service, identical for every grid this bench builds
+/// (the correctness oracle depends on it).
+Status PopulateGrid(GridSetup* grid) {
+  ProteinSequencesSpec seq_spec;
+  seq_spec.num_rows = kSequences;
+  seq_spec.seed = kSeed;
+  GQP_RETURN_IF_ERROR(grid->AddTable(GenerateProteinSequences(seq_spec)));
+
+  ProteinInteractionsSpec inter_spec;
+  inter_spec.num_rows = kInteractions;
+  inter_spec.num_orfs = kSequences;
+  inter_spec.seed = kSeed + 1000003;
+  GQP_RETURN_IF_ERROR(
+      grid->AddTable(GenerateProteinInteractions(inter_spec)));
+
+  return grid->AddWebService("EntropyAnalyser", DataType::kDouble, 0.21);
+}
+
+QueryOptions MakeOptions(QueryKind kind) {
+  QueryOptions options;
+  options.adaptivity.enabled = true;
+  options.adaptivity.response = ResponseType::kRetrospective;
+  options.exec.monitoring_enabled = true;
+  options.exec.recovery_log_enabled = true;
+  options.optimizer.costs.scan_cost_ms =
+      kind == QueryKind::kQ2 ? 3.5 : 0.30;
+  options.scheduler.num_evaluators = kNumEvaluators;
+  return options;
+}
+
+std::vector<std::string> SortedRows(const QueryResult& result) {
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const Tuple& t : result.rows) rows.push_back(t.ToString());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Runs `kind` alone on a fresh identical grid: the reference answer.
+Result<std::vector<std::string>> ReferenceRows(QueryKind kind) {
+  GridOptions grid_options;
+  grid_options.num_evaluators = kNumEvaluators;
+  GridSetup grid(grid_options);
+  GQP_RETURN_IF_ERROR(grid.Initialize());
+  GQP_RETURN_IF_ERROR(PopulateGrid(&grid));
+  GQP_ASSIGN_OR_RETURN(
+      int id, grid.gdqs()->SubmitQuery(QuerySql(kind), MakeOptions(kind)));
+  GQP_RETURN_IF_ERROR(grid.simulator()->Run());
+  GQP_RETURN_IF_ERROR(grid.gdqs()->ExecutionStatus(id));
+  GQP_ASSIGN_OR_RETURN(QueryResult result, grid.gdqs()->GetResult(id));
+  return SortedRows(result);
+}
+
+/// Sums an executor-side stat over every fragment instance of a query.
+uint64_t SumOverQuery(GridSetup* grid, int query_id,
+                      uint64_t FragmentStats::*field) {
+  uint64_t total = 0;
+  for (HostId h = 0; h < static_cast<HostId>(2 + kNumEvaluators); ++h) {
+    Gqes* gqes = grid->gqes_on(h);
+    if (gqes == nullptr) continue;
+    for (FragmentExecutor* executor : gqes->Executors()) {
+      if (executor->plan().id.query != query_id) continue;
+      total += executor->stats().*field;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Multi-query — overlapping queries on one grid",
+         "per-query results must match single-query runs; per-query "
+         "stats must be exact under concurrency");
+
+  const QuerySpec specs[] = {
+      {QueryKind::kQ1, 0.0},    {QueryKind::kQ2, 40.0},
+      {QueryKind::kQ1, 90.0},   {QueryKind::kQ2, 140.0},
+      {QueryKind::kQ1, 200.0},
+  };
+  const int num_queries = static_cast<int>(std::size(specs));
+
+  std::vector<std::string> reference_q1;
+  std::vector<std::string> reference_q2;
+  {
+    Result<std::vector<std::string>> q1 = ReferenceRows(QueryKind::kQ1);
+    Result<std::vector<std::string>> q2 = ReferenceRows(QueryKind::kQ2);
+    if (!q1.ok() || !q2.ok()) {
+      std::fprintf(stderr, "FATAL: reference run failed: %s\n",
+                   (!q1.ok() ? q1.status() : q2.status()).ToString().c_str());
+      return 1;
+    }
+    reference_q1 = std::move(*q1);
+    reference_q2 = std::move(*q2);
+  }
+
+  GridOptions grid_options;
+  grid_options.num_evaluators = kNumEvaluators;
+  GridSetup grid(grid_options);
+  if (Status s = grid.Initialize(); !s.ok()) {
+    std::fprintf(stderr, "FATAL: grid init failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = PopulateGrid(&grid); !s.ok()) {
+    std::fprintf(stderr, "FATAL: grid population failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<int> query_ids(static_cast<size_t>(num_queries), -1);
+  bool submit_failed = false;
+  for (int i = 0; i < num_queries; ++i) {
+    const QuerySpec& spec = specs[static_cast<size_t>(i)];
+    grid.simulator()->Schedule(spec.submit_at_ms, [&, i, spec] {
+      Result<int> id = grid.gdqs()->SubmitQuery(QuerySql(spec.kind),
+                                                MakeOptions(spec.kind));
+      if (!id.ok()) {
+        std::fprintf(stderr, "FATAL: submit %d failed: %s\n", i,
+                     id.status().ToString().c_str());
+        submit_failed = true;
+        return;
+      }
+      query_ids[static_cast<size_t>(i)] = *id;
+    });
+  }
+  if (Status s = grid.simulator()->Run(); !s.ok() || submit_failed) {
+    std::fprintf(stderr, "FATAL: simulation failed\n");
+    return 1;
+  }
+
+  Metrics metrics("multiquery");
+  int failures = 0;
+  double makespan = 0.0;
+  double prev_completion = 0.0;
+  bool overlapped = false;
+  uint64_t m1_slices = 0;
+  uint64_t m2_slices = 0;
+
+  std::printf("\n%-4s %-5s %-10s %-12s %-7s %-8s %-8s %-8s\n", "id",
+              "query", "submit_ms", "response_ms", "rows", "raw_m1",
+              "raw_m2", "rounds");
+  for (int i = 0; i < num_queries; ++i) {
+    const QuerySpec& spec = specs[static_cast<size_t>(i)];
+    const int id = query_ids[static_cast<size_t>(i)];
+    if (id < 0 || !grid.gdqs()->QueryComplete(id)) {
+      std::printf("q%-3d %-5s DID NOT COMPLETE\n", id,
+                  spec.kind == QueryKind::kQ1 ? "Q1" : "Q2");
+      ++failures;
+      continue;
+    }
+    if (Status s = grid.gdqs()->ExecutionStatus(id); !s.ok()) {
+      std::printf("q%-3d execution error: %s\n", id, s.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    Result<QueryResult> result = grid.gdqs()->GetResult(id);
+    Result<QueryStatsSnapshot> stats = grid.gdqs()->CollectStats(id);
+    if (!result.ok() || !stats.ok()) {
+      std::printf("q%-3d result/stats fetch failed\n", id);
+      ++failures;
+      continue;
+    }
+
+    // Correctness: identical result multiset to the single-query run.
+    const std::vector<std::string>& expected =
+        spec.kind == QueryKind::kQ1 ? reference_q1 : reference_q2;
+    if (SortedRows(*result) != expected) {
+      std::printf("q%-3d WRONG RESULT: %zu rows vs %zu expected\n", id,
+                  result->rows.size(), expected.size());
+      ++failures;
+    }
+
+    // Exactness: the coordinator's per-query M1/M2 slices must equal what
+    // this query's own executors emitted — no bleed between live queries.
+    const uint64_t m1_emitted =
+        SumOverQuery(&grid, id, &FragmentStats::m1_sent);
+    const uint64_t m2_emitted =
+        SumOverQuery(&grid, id, &FragmentStats::m2_sent);
+    if (stats->raw_m1 != m1_emitted || stats->raw_m2 != m2_emitted) {
+      std::printf(
+          "q%-3d STATS MISMATCH: raw_m1=%llu vs emitted %llu, raw_m2=%llu "
+          "vs emitted %llu\n",
+          id, static_cast<unsigned long long>(stats->raw_m1),
+          static_cast<unsigned long long>(m1_emitted),
+          static_cast<unsigned long long>(stats->raw_m2),
+          static_cast<unsigned long long>(m2_emitted));
+      ++failures;
+    }
+    m1_slices += stats->raw_m1;
+    m2_slices += stats->raw_m2;
+
+    if (i > 0 && result->submit_time_ms < prev_completion) overlapped = true;
+    prev_completion = result->completion_time_ms;
+    makespan = std::max(makespan, result->completion_time_ms);
+
+    std::printf("q%-3d %-5s %-10.0f %-12.1f %-7zu %-8llu %-8llu %-8llu\n",
+                id, spec.kind == QueryKind::kQ1 ? "Q1" : "Q2",
+                result->submit_time_ms, result->response_time_ms,
+                result->rows.size(),
+                static_cast<unsigned long long>(stats->raw_m1),
+                static_cast<unsigned long long>(stats->raw_m2),
+                static_cast<unsigned long long>(stats->rounds_applied));
+    metrics.Set(StrCat("q", i, "_response_ms"), result->response_time_ms);
+  }
+
+  // The queries must actually have run concurrently, or this bench proved
+  // nothing about multi-query hosting.
+  if (!overlapped) {
+    std::printf("FAIL: no two queries overlapped in time\n");
+    ++failures;
+  }
+
+  // Attribution conservation: per-query MED slices sum to site totals.
+  uint64_t m1_total = 0;
+  uint64_t m2_total = 0;
+  for (HostId h = 0; h < static_cast<HostId>(2 + kNumEvaluators); ++h) {
+    Gqes* gqes = grid.gqes_on(h);
+    if (gqes == nullptr || gqes->med() == nullptr) continue;
+    m1_total += gqes->med()->stats().raw_m1;
+    m2_total += gqes->med()->stats().raw_m2;
+  }
+  if (m1_slices != m1_total || m2_slices != m2_total) {
+    std::printf(
+        "FAIL: per-query slices do not sum to MED totals (m1 %llu/%llu, "
+        "m2 %llu/%llu)\n",
+        static_cast<unsigned long long>(m1_slices),
+        static_cast<unsigned long long>(m1_total),
+        static_cast<unsigned long long>(m2_slices),
+        static_cast<unsigned long long>(m2_total));
+    ++failures;
+  }
+
+  metrics.Set("makespan_ms", makespan);
+  metrics.Set("queries", num_queries);
+  metrics.WriteJson();
+
+  if (failures > 0) {
+    std::printf("\nFAIL: %d multi-query check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("\nall %d concurrent queries completed correctly with exact "
+              "per-query stats\n",
+              num_queries);
+  return 0;
+}

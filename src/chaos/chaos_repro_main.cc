@@ -1,4 +1,5 @@
-// chaos_repro --seed=N [--lossy] [--trace]
+// chaos_repro --seed=N
+//   [--lossy|--slow-consumer|--memory-squeeze|--multi-query] [--trace]
 //
 // Replays one chaos scenario and prints its description, invariant
 // violations, control-plane counters and trace fingerprint. Runs the
@@ -30,7 +31,8 @@ bool ParseSeed(const char* text, uint64_t* seed) {
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --seed=N [--lossy|--slow-consumer|--memory-squeeze] "
+      "usage: %s --seed=N "
+      "[--lossy|--slow-consumer|--memory-squeeze|--multi-query] "
       "[--trace]\n"
       "  --seed=N          scenario seed to replay (required)\n"
       "  --lossy           lossy-network profile (loss, partitions, "
@@ -38,6 +40,8 @@ void Usage(const char* argv0) {
       "  --slow-consumer   sustained CPU sag on one evaluator, flow "
       "control on\n"
       "  --memory-squeeze  standard chaos under a tight memory budget\n"
+      "  --multi-query     standard chaos with several overlapping "
+      "queries\n"
       "  --no-flow-control force flow control off (A/B against a flow-"
       "control profile)\n"
       "  --trace           dump the full event trace of the first run\n",
@@ -72,6 +76,8 @@ int main(int argc, char** argv) {
       profile = gqp::chaos::ChaosProfile::kSlowConsumer;
     } else if (std::strcmp(arg, "--memory-squeeze") == 0) {
       profile = gqp::chaos::ChaosProfile::kMemorySqueeze;
+    } else if (std::strcmp(arg, "--multi-query") == 0) {
+      profile = gqp::chaos::ChaosProfile::kMultiQuery;
     } else if (std::strcmp(arg, "--no-flow-control") == 0) {
       no_flow_control = true;
     } else if (std::strcmp(arg, "--trace") == 0) {
@@ -151,6 +157,17 @@ int main(int argc, char** argv) {
           first.stats.peak_outstanding_credit_bytes),
       first.stats.first_pressure_proposal_ms,
       first.stats.first_rate_proposal_ms);
+  if (first.per_query.size() > 1) {
+    for (const gqp::chaos::QueryOutcome& q : first.per_query) {
+      std::printf(
+          "query q%d (%s): %s rows=%zu response=%.3f ms "
+          "queued_bytes_peak=%llu rounds_applied=%llu\n",
+          q.query_id, q.kind == gqp::QueryKind::kQ1 ? "Q1" : "Q2",
+          q.completed ? "completed" : "INCOMPLETE", q.rows, q.response_ms,
+          static_cast<unsigned long long>(q.queued_bytes_peak),
+          static_cast<unsigned long long>(q.rounds_applied));
+    }
+  }
 
   bool ok = first.ok();
   if (!first.status.ok()) {

@@ -268,7 +268,7 @@ void CheckBoundedMemory(GridSetup* grid, int query_id,
       execs.push_back(exec);
       if (exec->producer() != nullptr) {
         total_recall_bytes +=
-            exec->producer()->credit().stats().max_recall_burst_bytes;
+            exec->producer()->credit().stats().total_recall_bytes;
       }
     }
   }
@@ -287,12 +287,15 @@ void CheckBoundedMemory(GridSetup* grid, int query_id,
 
     if (exec->producer() != nullptr) {
       const CreditLedgerStats& cs = exec->producer()->credit().stats();
-      const uint64_t bound = window + slack + cs.max_recall_burst_bytes;
+      // Recall resends of successive rounds bypass the gate and may all be
+      // in flight at once, so the whole cumulative recall traffic is
+      // exempt — the gate only governs ordinary sends.
+      const uint64_t bound = window + slack + cs.total_recall_bytes;
       if (cs.peak_outstanding_bytes > bound) {
         violations->push_back(StrCat(
             "[memory] producer ", key, ": peak outstanding credit ",
             cs.peak_outstanding_bytes, " bytes exceeds window ", window,
-            " + slack ", slack, " + recall ", cs.max_recall_burst_bytes));
+            " + slack ", slack, " + recall ", cs.total_recall_bytes));
       }
       const RecoveryLogStats& ls = exec->producer()->log().stats();
       const uint64_t log_cap =

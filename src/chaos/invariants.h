@@ -81,8 +81,9 @@ void CheckDetection(const HeartbeatMonitor* monitor,
 /// recovery log stayed inside its configured bound. Per producer link, the
 /// peak unacknowledged bytes may exceed the credit window W only by the
 /// processing overshoot of one input tuple (`max_fanout` outputs of up to
-/// `max_tuple_wire_bytes` each) plus the recall burst of a recovery round,
-/// which deliberately bypasses the gate (DESIGN.md §D11); a consumer port
+/// `max_tuple_wire_bytes` each) plus the cumulative recall traffic of
+/// recovery rounds, which deliberately bypasses the gate (DESIGN.md §D11)
+/// and can have several rounds' bursts in flight at once; a consumer port
 /// holds at most that much per live producer. Recovery-log bytes get a
 /// generous dataset-derived sanity cap (the log is bounded by acks, not
 /// credits).

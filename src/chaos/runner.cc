@@ -189,6 +189,26 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
     return result;
   }
 
+  // Concurrent queries (kMultiQuery only; the vector is empty in every
+  // other profile, so legacy runs schedule zero extra events). Submission
+  // happens at virtual time, while the base query is already executing.
+  std::vector<int> extra_ids(scenario.extra_queries.size(), -1);
+  for (size_t i = 0; i < scenario.extra_queries.size(); ++i) {
+    const ConcurrentQuery& q = scenario.extra_queries[i];
+    QueryOptions extra_options = query_options;
+    // R2 cannot preserve correctness for the partitioned stateful join;
+    // per-query override, same rule the generator applies to the base.
+    if (q.kind == QueryKind::kQ2) {
+      extra_options.adaptivity.response = ResponseType::kRetrospective;
+    }
+    grid.simulator()->Schedule(
+        q.submit_at_ms, [&grid, &extra_ids, i, q, extra_options] {
+          Result<int> id =
+              grid.gdqs()->SubmitQuery(QuerySql(q.kind), extra_options);
+          if (id.ok()) extra_ids[i] = *id;
+        });
+  }
+
   // --- invariant (d): termination --------------------------------------
   const Status run_status = grid.simulator()->Run();
   EventTraceRecorder::Detach(grid.simulator());
@@ -247,6 +267,10 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   }
   Result<QueryStatsSnapshot> stats = grid.gdqs()->CollectStats(*query);
   if (stats.ok()) result.stats = *stats;
+  result.per_query.push_back(QueryOutcome{
+      *query, scenario.query, true, query_result->rows.size(),
+      result.response_ms, result.stats.queued_bytes_peak,
+      result.stats.rounds_applied});
 
   // --- invariants (a) + (b) + (e) ---------------------------------------
   std::vector<std::string> violations;
@@ -256,6 +280,21 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   // real crash, so it widens the at-least-once budget the same way.
   const bool failures_injected = !scenario.failures.empty() ||
                                  result.detect.failures_confirmed > 0;
+  // Bounds need the largest tuple the pipeline can carry (a join output
+  // concatenates one row of each input before projection).
+  size_t max_row = 0;
+  size_t max_inter = 0;
+  uint64_t dataset_bytes = 0;
+  if (scenario.flow_control) {
+    for (const Tuple& row : sequences->rows()) {
+      max_row = std::max(max_row, row.WireSize());
+      dataset_bytes += row.WireSize();
+    }
+    for (const Tuple& row : interactions->rows()) {
+      max_inter = std::max(max_inter, row.WireSize());
+      dataset_bytes += row.WireSize();
+    }
+  }
   CheckResults(oracle, query_result->rows, failures_injected,
                result.stats.resent_tuples,
                MaxOutputFanout(scenario.query, *sequences, *interactions),
@@ -264,24 +303,58 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
                     &violations);
   CheckDetection(grid.monitor(), scenario, &violations);
   if (scenario.flow_control) {
-    // Bounds need the largest tuple the pipeline can carry (a join output
-    // concatenates one row of each input before projection).
-    size_t max_row = 0;
-    for (const Tuple& row : sequences->rows()) {
-      max_row = std::max(max_row, row.WireSize());
-    }
-    size_t max_inter = 0;
-    uint64_t dataset_bytes = 0;
-    for (const Tuple& row : sequences->rows()) dataset_bytes += row.WireSize();
-    for (const Tuple& row : interactions->rows()) {
-      max_inter = std::max(max_inter, row.WireSize());
-      dataset_bytes += row.WireSize();
-    }
     CheckBoundedMemory(
         &grid, *query, max_row + max_inter,
         MaxOutputFanout(scenario.query, *sequences, *interactions),
         dataset_bytes, &violations);
   }
+
+  // Every concurrent query is held to the same invariants: correct result
+  // multiset, tuple conservation and bounded memory, all scoped per query.
+  for (size_t i = 0; i < scenario.extra_queries.size(); ++i) {
+    const ConcurrentQuery& q = scenario.extra_queries[i];
+    QueryOutcome outcome;
+    outcome.query_id = extra_ids[i];
+    outcome.kind = q.kind;
+    const size_t before = violations.size();
+    if (extra_ids[i] < 0 || !grid.gdqs()->QueryComplete(extra_ids[i])) {
+      violations.push_back(StrCat("[termination] concurrent query ", i + 1,
+                                  " never completed"));
+    } else if (const Status st = grid.gdqs()->ExecutionStatus(extra_ids[i]);
+               !st.ok()) {
+      violations.push_back(StrCat(
+          "[termination] concurrent query execution error: ", st.ToString()));
+    } else {
+      outcome.completed = true;
+      Result<QueryResult> extra_result = grid.gdqs()->GetResult(extra_ids[i]);
+      Result<QueryStatsSnapshot> extra_stats =
+          grid.gdqs()->CollectStats(extra_ids[i]);
+      if (extra_result.ok() && extra_stats.ok()) {
+        outcome.rows = extra_result->rows.size();
+        outcome.response_ms = extra_result->response_time_ms;
+        outcome.queued_bytes_peak = extra_stats->queued_bytes_peak;
+        outcome.rounds_applied = extra_stats->rounds_applied;
+        CheckResults(OracleRows(q.kind, *sequences, *interactions),
+                     extra_result->rows, failures_injected,
+                     extra_stats->resent_tuples,
+                     MaxOutputFanout(q.kind, *sequences, *interactions),
+                     &violations);
+        CheckConservation(&grid, extra_ids[i],
+                          grid.gdqs()->reported_failures(), &violations);
+        if (scenario.flow_control) {
+          CheckBoundedMemory(&grid, extra_ids[i], max_row + max_inter,
+                             MaxOutputFanout(q.kind, *sequences,
+                                             *interactions),
+                             dataset_bytes, &violations);
+        }
+      }
+    }
+    for (size_t v = before; v < violations.size(); ++v) {
+      violations[v] += StrCat(" [q", extra_ids[i], "]");
+    }
+    result.per_query.push_back(outcome);
+  }
+
   for (std::string& v : violations) {
     result.violations.push_back(StrCat(v, " — repro: ", repro));
   }

@@ -29,6 +29,18 @@ struct ChaosRunOptions {
   uint64_t max_events = 30'000'000ULL;
 };
 
+/// Outcome of one query of a chaos run (every run has at least the base
+/// query; kMultiQuery scenarios add the concurrent ones).
+struct QueryOutcome {
+  int query_id = 0;
+  QueryKind kind = QueryKind::kQ1;
+  bool completed = false;
+  size_t rows = 0;
+  double response_ms = 0.0;
+  uint64_t queued_bytes_peak = 0;
+  uint64_t rounds_applied = 0;
+};
+
 struct ChaosRunResult {
   /// Infrastructure failures (grid setup, submission); invariant
   /// violations are reported in `violations`, not here.
@@ -37,10 +49,13 @@ struct ChaosRunResult {
   std::vector<std::string> violations;
 
   /// Result rows in arrival order (rendered), for determinism comparison.
+  /// Base query only; concurrent queries are summarized in `per_query`.
   std::vector<std::string> result_rows;
   double response_ms = 0.0;
   double final_time_ms = 0.0;
   QueryStatsSnapshot stats;
+  /// One entry per submitted query, base query first.
+  std::vector<QueryOutcome> per_query;
 
   /// Control-plane diagnostics (chaos_repro --verbose): failure-detector,
   /// reliable-transport and network-loss counters of the run.

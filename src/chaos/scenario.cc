@@ -120,6 +120,15 @@ std::string ChaosScenario::Describe() const {
     }
     out += "]";
   }
+  if (!extra_queries.empty()) {
+    out += " mq=[";
+    for (size_t i = 0; i < extra_queries.size(); ++i) {
+      if (i > 0) out += " ";
+      out += StrCat("t", extra_queries[i].submit_at_ms, ":",
+                    extra_queries[i].kind == QueryKind::kQ1 ? "Q1" : "Q2");
+    }
+    out += "]";
+  }
   return out;
 }
 
@@ -283,6 +292,21 @@ ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
   const size_t squeeze_budget_bytes =
       static_cast<size_t>(rng.NextInt(8, 24)) * 1024;
 
+  // Multi-query extensions (D12). Same unconditional-tail-draw rule. The
+  // submission window [5, 25] ms closes before the earliest possible
+  // failure/partition (30 ms), so every query deploys onto a fully-live
+  // grid and the chaos then hits several running queries at once.
+  const int num_extra_queries = static_cast<int>(rng.NextInt(1, 3));
+  std::vector<ConcurrentQuery> extra_queries;
+  for (int i = 0; i < num_extra_queries; ++i) {
+    ConcurrentQuery q;
+    q.kind = rng.NextBool(0.5) ? QueryKind::kQ1 : QueryKind::kQ2;
+    q.submit_at_ms = rng.NextDouble(5.0, 25.0);
+    extra_queries.push_back(q);
+  }
+  const size_t mq_budget_bytes =
+      static_cast<size_t>(rng.NextInt(16, 48)) * 1024;
+
   if (profile == ChaosProfile::kSlowConsumer) {
     // A single sustained node-wide CPU sag on one evaluator and nothing
     // else: no kills, no partitions, no stalls. The interesting dynamics
@@ -306,6 +330,13 @@ ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
     // tight per-query budget.
     s.flow_control = true;
     s.memory_budget_bytes = squeeze_budget_bytes;
+  } else if (profile == ChaosProfile::kMultiQuery) {
+    // Standard chaos with several live queries on the same grid. Flow
+    // control on with a per-query budget, so the bounded-memory invariant
+    // is checked for every query independently.
+    s.flow_control = true;
+    s.memory_budget_bytes = mq_budget_bytes;
+    s.extra_queries = std::move(extra_queries);
   }
 
   if (profile == ChaosProfile::kLossy) {
@@ -370,6 +401,9 @@ std::string ReproCommand(uint64_t seed, ChaosProfile profile) {
       break;
     case ChaosProfile::kMemorySqueeze:
       flag = " --memory-squeeze";
+      break;
+    case ChaosProfile::kMultiQuery:
+      flag = " --multi-query";
       break;
   }
   return StrCat("chaos_repro --seed=", seed, flag);

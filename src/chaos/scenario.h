@@ -89,8 +89,23 @@ struct LinkShiftEvent {
 /// stalls that kStandard discards. kSlowConsumer replaces the chaos
 /// schedule with a single sustained CPU sag on one evaluator (no kills)
 /// and turns flow control on; kMemorySqueeze keeps the standard chaos but
-/// runs under a tight per-query memory budget.
-enum class ChaosProfile { kStandard, kLossy, kSlowConsumer, kMemorySqueeze };
+/// runs under a tight per-query memory budget; kMultiQuery keeps the
+/// standard chaos and submits 1-3 additional overlapping queries, every
+/// invariant checked per query (DESIGN.md §D12).
+enum class ChaosProfile {
+  kStandard,
+  kLossy,
+  kSlowConsumer,
+  kMemorySqueeze,
+  kMultiQuery,
+};
+
+/// One additional query of a multi-query scenario, submitted while the
+/// base query is running.
+struct ConcurrentQuery {
+  QueryKind kind = QueryKind::kQ1;
+  SimTime submit_at_ms = 0.0;
+};
 
 /// \brief A complete seeded chaos scenario.
 struct ChaosScenario {
@@ -130,6 +145,12 @@ struct ChaosScenario {
   /// keep byte-identical schedules).
   bool flow_control = false;
   size_t memory_budget_bytes = 0;
+
+  // --- multi-query (D12) -------------------------------------------------
+  /// Queries submitted on top of the base `query` while it runs. Only the
+  /// kMultiQuery profile populates this; legacy profiles leave it empty so
+  /// their runs add zero events and keep byte-identical traces.
+  std::vector<ConcurrentQuery> extra_queries;
 
   // --- injected chaos ---------------------------------------------------
   std::vector<PerturbationEvent> perturbations;

@@ -1,0 +1,20 @@
+#include "common/interner.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace gqp {
+
+std::string_view InternString(std::string_view s) {
+  // Leaky singleton: interned tags must outlive every node work item,
+  // including ones that outlive their submitting executor.
+  static auto* interned = new std::unordered_set<std::string, StringHash,
+                                                 std::equal_to<>>();
+  auto it = interned->find(s);
+  if (it == interned->end()) {
+    it = interned->emplace(s).first;
+  }
+  return std::string_view(*it);
+}
+
+}  // namespace gqp

@@ -1,0 +1,31 @@
+// Global string interner for hot-path operation tags. Operators charge
+// per-tuple costs under a tag; carrying those tags as std::string meant a
+// heap allocation per charge. Interning returns a stable string_view whose
+// storage lives for the process lifetime, so charge records and node work
+// items can hold views without ownership or lifetime hazards.
+
+#ifndef GRIDQP_COMMON_INTERNER_H_
+#define GRIDQP_COMMON_INTERNER_H_
+
+#include <string_view>
+
+namespace gqp {
+
+/// Returns a stable, NUL-free view equal to `s`. Repeated calls with equal
+/// contents return views into the same storage. The interned set is
+/// process-lifetime (tags are a small closed vocabulary: operator tags,
+/// "op:exchange", "med:process", web-service names).
+std::string_view InternString(std::string_view s);
+
+/// Transparent hash for string-keyed maps that should accept
+/// std::string_view lookups without constructing a temporary std::string.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_COMMON_INTERNER_H_

@@ -359,11 +359,12 @@ Result<QueryStatsSnapshot> Gdqs::CollectStats(int query_id) const {
 
   for (Gqes* g : gqes_) {
     if (g->med() != nullptr) {
-      // MEDs are shared across queries; for single-query experiments the
-      // attribution is exact (documented in DESIGN.md).
-      snap.raw_m1 += g->med()->stats().raw_m1;
-      snap.raw_m2 += g->med()->stats().raw_m2;
-      snap.med_notifications += g->med()->stats().notifications_out;
+      // MEDs are shared across queries, but every raw event carries its
+      // SubplanId: the per-query slice is exact under concurrency (D12).
+      const MedStats& med = g->med()->stats_for_query(query_id);
+      snap.raw_m1 += med.raw_m1;
+      snap.raw_m2 += med.raw_m2;
+      snap.med_notifications += med.notifications_out;
     }
     for (FragmentExecutor* executor : g->Executors()) {
       if (executor->plan().id.query != query_id) continue;
@@ -401,8 +402,10 @@ Result<QueryStatsSnapshot> Gdqs::CollectStats(int query_id) const {
     }
   }
   if (bus()->reliable() != nullptr) {
-    snap.transport_retransmits = bus()->reliable()->stats().retransmits;
-    snap.transport_backoffs = bus()->reliable()->stats().backoffs;
+    const ReliableStats& transport =
+        bus()->reliable()->stats_for_query(query_id);
+    snap.transport_retransmits = transport.retransmits;
+    snap.transport_backoffs = transport.backoffs;
   }
   if (state.diagnoser != nullptr) {
     snap.diagnoser_proposals = state.diagnoser->stats().proposals_sent;

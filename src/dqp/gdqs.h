@@ -76,8 +76,10 @@ struct QueryStatsSnapshot {
   uint64_t credit_blocked_events = 0;
   /// Peak unacknowledged (in-flight) bytes on any producer->consumer link.
   uint64_t peak_outstanding_credit_bytes = 0;
-  // --- reliable-transport telemetry (bus-wide, exact when one query
-  //     runs at a time; documented in DESIGN.md) -------------------------
+  // --- reliable-transport telemetry, scoped to this query's traffic
+  //     (attributed per message from the service naming convention, so
+  //     the counters stay exact with several live queries on the bus;
+  //     DESIGN.md §D12) ---------------------------------------------------
   uint64_t transport_retransmits = 0;
   uint64_t transport_backoffs = 0;
 };

@@ -1,0 +1,114 @@
+#include "exec/egress.h"
+
+#include "common/logging.h"
+#include "monitor/monitoring_events.h"
+
+namespace gqp {
+
+EgressAdapter::EgressAdapter(GridNode* node, Network* network,
+                             const FragmentInstancePlan* plan,
+                             FragmentStats* stats, Hooks hooks)
+    : node_(node),
+      network_(network),
+      plan_(plan),
+      stats_(stats),
+      hooks_(std::move(hooks)) {}
+
+EgressAdapter::~EgressAdapter() = default;
+
+Status EgressAdapter::Open() {
+  ExchangeProducer::Hooks hooks;
+  hooks.send = [this](int idx, PayloadPtr payload) {
+    return hooks_.send_to(
+        plan_->output->consumers[static_cast<size_t>(idx)].address,
+        std::move(payload));
+  };
+  hooks.submit_work = [this](double cost_ms, std::function<void()> done) {
+    node_->SubmitWork(kExchangeTag, cost_ms,
+                      [done = std::move(done)]() {
+                        if (done) done();
+                      });
+  };
+  hooks.on_buffer_sent = [this](int idx, double send_cost_ms, size_t tuples,
+                                size_t wire_bytes) {
+    ++stats_->m2_sent;
+    if (!plan_->config.monitoring_enabled ||
+        plan_->adaptivity.med.host == kInvalidHost) {
+      return;
+    }
+    const ConsumerEndpoint& consumer =
+        plan_->output->consumers[static_cast<size_t>(idx)];
+    const double transfer = network_->TransferTime(
+        node_->id(), consumer.address.host, wire_bytes);
+    node_->SubmitWork(kExchangeTag, plan_->config.monitor_emit_cost_ms,
+                      nullptr);
+    const Status s = hooks_.send_to(
+        plan_->adaptivity.med,
+        std::make_shared<M2Payload>(plan_->id, consumer.id,
+                                    send_cost_ms + transfer, tuples));
+    if (!s.ok()) {
+      GQP_LOG_WARN << "M2 emission failed: " << s.ToString();
+    }
+  };
+  hooks.on_acked = [this](const std::vector<uint64_t>& seqs) {
+    hooks_.on_acked(seqs);
+  };
+  hooks.on_round_done = [this](uint64_t round, bool applied) {
+    if (plan_->adaptivity.responder.host == kInvalidHost) return;
+    const Status s =
+        hooks_.send_to(plan_->adaptivity.responder,
+                       std::make_shared<RedistributeOutcomePayload>(
+                           round, plan_->id, applied));
+    if (!s.ok()) {
+      GQP_LOG_WARN << "redistribute outcome report failed: "
+                   << s.ToString();
+    }
+  };
+  producer_ = std::make_unique<ExchangeProducer>(
+      plan_->id, *plan_->output, plan_->config, std::move(hooks));
+  return producer_->Open();
+}
+
+std::vector<uint64_t> EgressAdapter::Deliver(std::vector<Tuple>* out) {
+  std::vector<uint64_t> seqs;
+  seqs.reserve(out->size());
+  for (const Tuple& t : *out) {
+    Result<uint64_t> seq = producer_->Offer(t);
+    if (!seq.ok()) {
+      hooks_.fail(seq.status());
+      break;
+    }
+    seqs.push_back(*seq);
+  }
+  out->clear();
+  return seqs;
+}
+
+void EgressAdapter::HandleRedistribute(
+    const RedistributeRequestPayload& request) {
+  const Status s = producer_->HandleRedistribute(request);
+  if (!s.ok()) {
+    GQP_LOG_WARN << "fragment " << plan_->id.ToString()
+                 << ": redistribute failed: " << s.ToString();
+  }
+}
+
+void EgressAdapter::HandleStateMoveReply(const StateMoveReplyPayload& reply) {
+  const Status s = producer_->HandleStateMoveReply(reply);
+  if (!s.ok()) {
+    GQP_LOG_WARN << "fragment " << plan_->id.ToString()
+                 << ": state-move reply failed: " << s.ToString();
+  }
+}
+
+bool EgressAdapter::BlockedOnCredit() {
+  if (producer_->HasCreditHeadroom()) return false;
+  producer_->NoteCreditBlocked();
+  const Status flush = producer_->FlushPartialBuffers();
+  if (!flush.ok()) {
+    GQP_LOG_WARN << "credit-parked flush failed: " << flush.ToString();
+  }
+  return true;
+}
+
+}  // namespace gqp

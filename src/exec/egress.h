@@ -1,0 +1,68 @@
+// Egress adapter of a fragment instance (DESIGN.md §D12): wraps the
+// ExchangeProducer, wiring its callbacks to the grid node (CPU charges),
+// the network model (transfer times for M2 monitoring), the MED (M2
+// emission) and the Responder (redistribution outcomes). The composition
+// root supplies only bus delivery and the output-ack cascade.
+
+#ifndef GRIDQP_EXEC_EGRESS_H_
+#define GRIDQP_EXEC_EGRESS_H_
+
+#include <functional>
+#include <memory>
+
+#include "exec/exchange_producer.h"
+#include "exec/instance_plan.h"
+#include "grid/node.h"
+#include "net/network.h"
+
+namespace gqp {
+
+class EgressAdapter {
+ public:
+  struct Hooks {
+    /// Delivers a payload over the bus.
+    std::function<Status(const Address&, PayloadPtr)> send_to;
+    /// Output seqs acknowledged downstream (cascading acknowledgments).
+    std::function<void(const std::vector<uint64_t>& seqs)> on_acked;
+    /// Reports a delivery error (the executor records it, keeps running).
+    std::function<void(const Status&)> fail;
+  };
+
+  EgressAdapter(GridNode* node, Network* network,
+                const FragmentInstancePlan* plan, FragmentStats* stats,
+                Hooks hooks);
+  ~EgressAdapter();
+
+  /// Constructs and opens the exchange producer for plan->output.
+  Status Open();
+
+  /// Flow-control gate (D11): true when the output window is exhausted
+  /// and the driver must park. Ships partially-filled buffers first — a
+  /// window below `buffer_tuples` would otherwise strand tuples in
+  /// buffers that can never fill, and the credit they hold could never
+  /// be granted back (deadlock).
+  bool BlockedOnCredit();
+
+  /// Offers staged output tuples to the producer, clearing `out`.
+  /// Returns the assigned output seqs (short on delivery failure).
+  std::vector<uint64_t> Deliver(std::vector<Tuple>* out);
+
+  /// Producer-protocol forwarding (failures are logged, not fatal).
+  void HandleRedistribute(const RedistributeRequestPayload& request);
+  void HandleStateMoveReply(const StateMoveReplyPayload& reply);
+
+  ExchangeProducer* producer() { return producer_.get(); }
+  const ExchangeProducer* producer() const { return producer_.get(); }
+
+ private:
+  GridNode* node_;
+  Network* network_;
+  const FragmentInstancePlan* plan_;
+  FragmentStats* stats_;
+  Hooks hooks_;
+  std::unique_ptr<ExchangeProducer> producer_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXEC_EGRESS_H_

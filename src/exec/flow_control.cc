@@ -14,7 +14,10 @@ void CreditLedger::Charge(int idx, size_t bytes, bool recall) {
   if (!enabled()) return;
   Link& link = links_[static_cast<size_t>(idx)];
   link.charged += bytes;
-  if (recall) recall_burst_bytes_ += bytes;
+  if (recall) {
+    recall_burst_bytes_ += bytes;
+    stats_.total_recall_bytes += bytes;
+  }
   if (!link.voided) {
     stats_.peak_outstanding_bytes =
         std::max(stats_.peak_outstanding_bytes, link.charged - link.released);

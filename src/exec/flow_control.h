@@ -40,6 +40,11 @@ struct CreditLedgerStats {
   /// the same link or parked consumers would wait forever), so this is
   /// the slack term of the bounded-memory invariant.
   uint64_t max_recall_burst_bytes = 0;
+  /// All recall bytes ever re-charged. Bursts of successive rounds can be
+  /// in flight together when acks drain slowly (e.g. several queries
+  /// sharing a CPU), so the bounded-memory invariant exempts cumulative
+  /// recall traffic, not just the largest single burst.
+  uint64_t total_recall_bytes = 0;
   uint64_t grants_received = 0;
 };
 

@@ -1,21 +1,12 @@
 #include "exec/fragment_executor.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 #include "common/strings.h"
-#include "plan/cost_model.h"
 
 namespace gqp {
 namespace {
 
-constexpr const char* kExchangeTag = "op:exchange";
-
 std::string ProducerKey(const SubplanId& id) { return id.ToString(); }
-
-bool BucketInList(int bucket, const std::vector<int>& buckets) {
-  return std::find(buckets.begin(), buckets.end(), bucket) != buckets.end();
-}
 
 }  // namespace
 
@@ -32,96 +23,43 @@ FragmentExecutor::FragmentExecutor(MessageBus* bus, GridNode* node,
 FragmentExecutor::~FragmentExecutor() = default;
 
 Status FragmentExecutor::Prepare() {
-  if (plan_.fragment.ops.empty()) {
-    return Status::InvalidArgument("fragment has no operators");
-  }
-  const bool is_scan = plan_.fragment.IsScanLeaf();
-  if (is_scan && scan_table_ == nullptr) {
-    return Status::FailedPrecondition(
-        StrCat("no local table for scan fragment ",
-               plan_.fragment.ops.front().table));
-  }
-  if (!is_scan &&
-      static_cast<int>(plan_.inputs.size()) !=
-          plan_.fragment.num_input_ports) {
-    return Status::InvalidArgument("input wiring/port count mismatch");
-  }
+  GQP_RETURN_IF_ERROR(ValidateInstancePlan(plan_, scan_table_.get()));
 
-  // Instantiate the chain (scan leaves skip the scan descriptor: the
-  // executor itself drives the table).
-  const size_t first_op = is_scan ? 1 : 0;
-  for (size_t i = first_op; i < plan_.fragment.ops.size(); ++i) {
-    GQP_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalOperator> op,
-                         MakeOperator(plan_.fragment.ops[i]));
-    ops_.push_back(std::move(op));
-  }
-  for (size_t i = 0; i + 1 < ops_.size(); ++i) {
-    ops_[i]->set_next(ops_[i + 1].get());
-  }
-  for (auto& op : ops_) {
-    GQP_RETURN_IF_ERROR(op->Open(&ctx_));
-  }
+  auto send_to = [this](const Address& to, PayloadPtr payload) {
+    return SendTo(to, std::move(payload));
+  };
+  auto fail = [this](const Status& s) { Fail(s); };
 
-  // Input ports.
-  ports_.clear();
+  driver_ = std::make_unique<OperatorDriver>(
+      node_, &plan_, &stats_, OperatorDriver::Hooks{send_to, fail});
+  GQP_RETURN_IF_ERROR(driver_->BuildAndOpen());
+
+  ingress_ = std::make_unique<IngressManager>();
+  queues_ = std::make_unique<PortQueueManager>(
+      node_, simulator(), &plan_.config, plan_.id, &plan_.adaptivity, &stats_,
+      PortQueueManager::Hooks{
+          send_to,
+          [this](int port, const std::string& key) {
+            return ingress_->Fenced(port, key);
+          }});
+  state_ = std::make_unique<StateManager>(node_, &plan_.config, plan_.id,
+                                          &stats_,
+                                          StateManager::Hooks{send_to, fail});
   for (const InputWiring& wiring : plan_.inputs) {
-    PortState port;
-    port.wiring = wiring;
-    ports_.push_back(std::move(port));
+    ingress_->AddPort(wiring.num_producers);
+    queues_->AddPort(wiring.num_producers);
+    state_->AddPort();
   }
 
-  // Output exchange.
   if (plan_.output.has_value()) {
-    ExchangeProducer::Hooks hooks;
-    hooks.send = [this](int idx, PayloadPtr payload) {
-      return SendTo(
-          plan_.output->consumers[static_cast<size_t>(idx)].address,
-          std::move(payload));
-    };
-    hooks.submit_work = [this](double cost_ms, std::function<void()> done) {
-      node_->SubmitWork(kExchangeTag, cost_ms,
-                        [done = std::move(done)]() {
-                          if (done) done();
-                        });
-    };
-    hooks.on_buffer_sent = [this](int idx, double send_cost_ms,
-                                  size_t tuples, size_t wire_bytes) {
-      ++stats_.m2_sent;
-      if (!plan_.config.monitoring_enabled ||
-          plan_.adaptivity.med.host == kInvalidHost) {
-        return;
-      }
-      const ConsumerEndpoint& consumer =
-          plan_.output->consumers[static_cast<size_t>(idx)];
-      const double transfer = network_->TransferTime(
-          host(), consumer.address.host, wire_bytes);
-      node_->SubmitWork(kExchangeTag, plan_.config.monitor_emit_cost_ms,
-                        nullptr);
-      const Status s = SendTo(
-          plan_.adaptivity.med,
-          std::make_shared<M2Payload>(plan_.id, consumer.id,
-                                      send_cost_ms + transfer, tuples));
-      if (!s.ok()) {
-        GQP_LOG_WARN << "M2 emission failed: " << s.ToString();
-      }
-    };
-    hooks.on_acked = [this](const std::vector<uint64_t>& seqs) {
-      OnOutputsAcked(seqs);
-    };
-    hooks.on_round_done = [this](uint64_t round, bool applied) {
-      if (plan_.adaptivity.responder.host == kInvalidHost) return;
-      const Status s =
-          SendTo(plan_.adaptivity.responder,
-                 std::make_shared<RedistributeOutcomePayload>(
-                     round, plan_.id, applied));
-      if (!s.ok()) {
-        GQP_LOG_WARN << "redistribute outcome report failed: "
-                     << s.ToString();
-      }
-    };
-    producer_ = std::make_unique<ExchangeProducer>(
-        plan_.id, *plan_.output, plan_.config, std::move(hooks));
-    GQP_RETURN_IF_ERROR(producer_->Open());
+    egress_ = std::make_unique<EgressAdapter>(
+        node_, network_, &plan_, &stats_,
+        EgressAdapter::Hooks{send_to,
+                             [this](const std::vector<uint64_t>& seqs) {
+                               state_->OnOutputsAcked(seqs, finished_);
+                             },
+                             fail});
+    GQP_RETURN_IF_ERROR(egress_->Open());
   }
 
   return Start();  // register the service endpoint
@@ -136,42 +74,6 @@ Status FragmentExecutor::Begin() {
   return Status::OK();
 }
 
-const std::vector<Tuple>& FragmentExecutor::Results() const {
-  static const std::vector<Tuple> kEmpty;
-  for (const auto& op : ops_) {
-    if (const auto* collect = dynamic_cast<const CollectOperator*>(op.get())) {
-      return collect->results();
-    }
-  }
-  return kEmpty;
-}
-
-size_t FragmentExecutor::QueuedTuples(int port) const {
-  if (port < 0 || static_cast<size_t>(port) >= ports_.size()) return 0;
-  const PortState& p = ports_[static_cast<size_t>(port)];
-  return p.queue.size() + p.parked.size();
-}
-
-const HashJoinOperator* FragmentExecutor::FindHashJoin() const {
-  for (const auto& op : ops_) {
-    if (const auto* join = dynamic_cast<const HashJoinOperator*>(op.get())) {
-      return join;
-    }
-  }
-  return nullptr;
-}
-
-std::unordered_map<std::string, std::vector<uint64_t>>
-FragmentExecutor::ProcessedSeqs(int port) const {
-  std::unordered_map<std::string, std::vector<uint64_t>> out;
-  if (port < 0 || static_cast<size_t>(port) >= ports_.size()) return out;
-  for (const auto& [key, tracking] : ports_[static_cast<size_t>(port)].producers) {
-    out[key] = std::vector<uint64_t>(tracking.processed.begin(),
-                                     tracking.processed.end());
-  }
-  return out;
-}
-
 void FragmentExecutor::Fail(const Status& status) {
   if (exec_status_.ok()) exec_status_ = status;
   GQP_LOG_ERROR << "fragment " << plan_.id.ToString()
@@ -181,27 +83,23 @@ void FragmentExecutor::Fail(const Status& status) {
 // ---- message dispatch ----------------------------------------------------
 
 void FragmentExecutor::HandleMessage(const Message& msg) {
-  if (const auto* begin = PayloadAs<BeginPayload>(msg.payload)) {
-    (void)begin;
+  if (PayloadAs<BeginPayload>(msg.payload) != nullptr) {
     const Status s = Begin();
     if (!s.ok()) Fail(s);
     return;
   }
   if (const auto* batch = PayloadAs<TupleBatchPayload>(msg.payload)) {
-    OnTupleBatch(msg, *batch);
-    return;
+    return OnTupleBatch(msg, *batch);
   }
   if (const auto* eos = PayloadAs<EosPayload>(msg.payload)) {
-    OnEos(*eos);
-    return;
+    return OnEos(*eos);
   }
   if (const auto* lost = PayloadAs<ProducerLostPayload>(msg.payload)) {
-    OnProducerLost(*lost);
-    return;
+    return OnProducerLost(*lost);
   }
   if (const auto* lost = PayloadAs<ConsumerLostPayload>(msg.payload)) {
-    if (producer_ != nullptr) {
-      const Status s = producer_->HandleConsumerLost(lost->consumer());
+    if (ExchangeProducer* producer = mutable_producer()) {
+      const Status s = producer->HandleConsumerLost(lost->consumer());
       if (!s.ok()) Fail(s);
       MaybeProcess();
       CheckCompletion();
@@ -209,19 +107,28 @@ void FragmentExecutor::HandleMessage(const Message& msg) {
     return;
   }
   if (const auto* ack = PayloadAs<AckPayload>(msg.payload)) {
-    OnAck(*ack);
+    if (ExchangeProducer* producer = mutable_producer()) {
+      producer->OnAck(*ack);
+      // The ack may have drained the recovery log: retained inputs become
+      // releasable only once every output is durable downstream.
+      MaybeAckRetained();
+    }
     return;
   }
   if (const auto* grant = PayloadAs<CreditGrantPayload>(msg.payload)) {
-    if (producer_ != nullptr && producer_->OnCreditGrant(*grant)) {
-      // Headroom may be back: re-probe the driver.
-      MaybeProcess();
+    ExchangeProducer* producer = mutable_producer();
+    if (producer != nullptr && producer->OnCreditGrant(*grant)) {
+      MaybeProcess();  // headroom may be back: re-probe the driver
     }
     return;
   }
   if (const auto* redistribute =
           PayloadAs<RedistributeRequestPayload>(msg.payload)) {
-    OnRedistribute(*redistribute);
+    if (egress_ == nullptr) {
+      GQP_LOG_WARN << "redistribute request at fragment without an output";
+    } else {
+      egress_->HandleRedistribute(*redistribute);
+    }
     return;
   }
   if (PayloadAs<StateMoveRequestPayload>(msg.payload) != nullptr ||
@@ -237,29 +144,23 @@ void FragmentExecutor::HandleMessage(const Message& msg) {
     return;
   }
   if (const auto* reply = PayloadAs<StateMoveReplyPayload>(msg.payload)) {
-    OnStateMoveReply(*reply);
-    return;
-  }
-  if (const auto* restore = PayloadAs<RestoreCompletePayload>(msg.payload)) {
-    OnRestoreComplete(*restore);
+    if (egress_ != nullptr) egress_->HandleStateMoveReply(*reply);
     return;
   }
   if (const auto* progress = PayloadAs<ProgressRequestPayload>(msg.payload)) {
-    const double fraction =
-        producer_ != nullptr ? producer_->ProgressFraction() : 1.0;
-    const bool eos = producer_ != nullptr ? producer_->eos_sent() : true;
-    const uint64_t log_size =
-        producer_ != nullptr ? producer_->log_size() : 0;
-    const Status s =
-        SendTo(msg.from, std::make_shared<ProgressReplyPayload>(
-                             progress->round(), plan_.id, fraction, eos,
-                             log_size));
+    const ExchangeProducer* p = producer();
+    const Status s = SendTo(
+        msg.from,
+        std::make_shared<ProgressReplyPayload>(
+            progress->round(), plan_.id,
+            p != nullptr ? p->ProgressFraction() : 1.0,
+            p != nullptr ? p->eos_sent() : true,
+            p != nullptr ? p->log_size() : 0));
     if (!s.ok()) Fail(s);
     return;
   }
   if (PayloadAs<CompletionGrantPayload>(msg.payload) != nullptr) {
-    OnCompletionGrant();
-    return;
+    return OnCompletionGrant();
   }
   GQP_LOG_DEBUG << "fragment " << plan_.id.ToString()
                 << ": unhandled payload "
@@ -267,346 +168,109 @@ void FragmentExecutor::HandleMessage(const Message& msg) {
 }
 
 void FragmentExecutor::DispatchStateMove(const Message& msg) {
+  const bool stateful = plan_.fragment.Stateful();
   if (const auto* move = PayloadAs<StateMoveRequestPayload>(msg.payload)) {
-    OnStateMoveRequest(msg, *move);
-    return;
+    const int port = move->consumer_port();
+    if (!ingress_->ValidPort(port)) {
+      return Fail(Status::OutOfRange("StateMoveRequest for invalid port"));
+    }
+    const std::string key = ProducerKey(move->producer());
+    // Fence: a round opened by an already-lost producer would stay open
+    // with no ProducerLost left to clean it up, leaving the fragment
+    // unfinishable. Ignore the stale request entirely.
+    if (ingress_->Fenced(port, key)) return;
+    TrackProducer(port, move->producer(), msg.from, move->exchange_id());
+    state_->ApplyStateMove(*move, key, msg.from, stateful, queues_.get(),
+                           driver_.get());
+  } else if (const auto* restore =
+                 PayloadAs<RestoreCompletePayload>(msg.payload)) {
+    const int port = restore->consumer_port();
+    const std::string key = ProducerKey(restore->producer());
+    // Fence stale markers too: a lost producer's rounds were already
+    // abandoned in OnProducerLost.
+    if (ingress_->ValidPort(port) && ingress_->Fenced(port, key)) return;
+    state_->ApplyRestoreComplete(*restore, key, stateful, queues_.get());
   }
-  if (const auto* restore = PayloadAs<RestoreCompletePayload>(msg.payload)) {
-    OnRestoreComplete(*restore);
-  }
+  MaybeProcess();
+  CheckCompletion();
 }
 
-FragmentExecutor::ProducerTracking& FragmentExecutor::TrackProducer(
-    PortState* port, const SubplanId& producer, const Address& address,
-    int exchange_id) {
+void FragmentExecutor::TrackProducer(int port, const SubplanId& producer,
+                                     const Address& address,
+                                     int exchange_id) {
+  // Both registrations run at every call site with the same key: the two
+  // producer maps then see the identical insertion sequence as the
+  // pre-split executor's single map, keeping iteration-order-sensitive
+  // paths (retained-ack sweep, completion flush) on the golden order.
   const std::string key = ProducerKey(producer);
-  auto it = port->producers.find(key);
-  if (it == port->producers.end()) {
-    ProducerTracking tracking;
-    tracking.address = address;
-    tracking.acks =
-        std::make_unique<AckBatcher>(plan_.config.checkpoint_interval);
-    tracking.exchange_id = exchange_id;
-    it = port->producers.emplace(key, std::move(tracking)).first;
-  }
-  return it->second;
+  queues_->RegisterProducer(port, key, address, exchange_id);
+  state_->RegisterProducer(port, key, address, exchange_id);
 }
 
 void FragmentExecutor::OnTupleBatch(const Message& msg,
                                     const TupleBatchPayload& batch) {
-  const int port_idx = batch.consumer_port();
-  if (port_idx < 0 || static_cast<size_t>(port_idx) >= ports_.size()) {
-    Fail(Status::OutOfRange(
-        StrCat("tuple batch for invalid port ", port_idx)));
+  const int port = batch.consumer_port();
+  if (!ingress_->ValidPort(port)) {
+    Fail(Status::OutOfRange(StrCat("tuple batch for invalid port ", port)));
     return;
   }
-  PortState& port = ports_[static_cast<size_t>(port_idx)];
   const std::string key = ProducerKey(batch.producer());
-  // Epoch fence: once a producer is reported lost, recovery owns its rows.
-  // A falsely-suspected (alive) producer may still flush stale batches;
-  // counting them received keeps the conservation ledger balanced, but
-  // they are dropped unprocessed and never acknowledged.
-  if (port.lost.count(key) > 0) {
+  // Epoch fence: once a producer is reported lost, recovery owns its
+  // rows. Count them received (conservation ledger) but never process.
+  if (ingress_->Fenced(port, key)) {
     stats_.tuples_received += batch.tuples().size();
     stats_.tuples_fenced += batch.tuples().size();
     return;
   }
-  ProducerTracking& tracking =
-      TrackProducer(&port, batch.producer(), msg.from, batch.exchange_id());
+  TrackProducer(port, batch.producer(), msg.from, batch.exchange_id());
   stats_.tuples_received += batch.tuples().size();
-  const bool fc = FlowControlOn();
-  for (const RoutedTuple& rt : batch.tuples()) {
-    QueuedTuple qt{rt, key, batch.round()};
-    // Byte accounting runs with flow control off too (WireSize is
-    // memoized): the peaks are what an A/B run compares FC against.
-    qt.wire_bytes = RoutedTupleWireBytes(rt.tuple.WireSize());
-    if (fc) tracking.credit.Hold(qt.wire_bytes);
-    port.held_bytes += qt.wire_bytes;
-    port.queue.push_back(std::move(qt));
-  }
-  stats_.queue_high_watermark =
-      std::max(stats_.queue_high_watermark, port.queue.size());
-  port.peak_held_bytes = std::max(port.peak_held_bytes, port.held_bytes);
-  stats_.queued_bytes_peak =
-      std::max(stats_.queued_bytes_peak, port.held_bytes);
-  if (fc) UpdateQueuePressure(port_idx);
-  node_->SubmitWork(kExchangeTag,
-                    plan_.config.consumer_enqueue_cost_ms *
-                        static_cast<double>(batch.tuples().size()),
-                    nullptr);
+  queues_->EnqueueBatch(port, key, batch);
   // New work may re-open a fragment that had offered completion — or one
-  // that already finished: the completion handshake cannot foresee
-  // failures, so a recovery resend may arrive post-completion. Resume,
-  // reprocess, and finish (incl. EOS + completion report) again.
+  // that already finished: a recovery resend may arrive post-completion.
+  // Resume, reprocess, and finish (incl. EOS + completion report) again.
   if (finished_) {
     finished_ = false;
-    if (producer_ != nullptr) producer_->Reopen();
+    if (ExchangeProducer* producer = mutable_producer()) producer->Reopen();
   }
   completion_offered_ = false;
   MaybeProcess();
 }
 
 void FragmentExecutor::OnEos(const EosPayload& eos) {
-  const int port_idx = eos.consumer_port();
-  if (port_idx < 0 || static_cast<size_t>(port_idx) >= ports_.size()) {
-    Fail(Status::OutOfRange(StrCat("EOS for invalid port ", port_idx)));
+  const int port = eos.consumer_port();
+  if (!ingress_->ValidPort(port)) {
+    Fail(Status::OutOfRange(StrCat("EOS for invalid port ", port)));
     return;
   }
-  const std::string key = ProducerKey(eos.producer());
-  // A fenced producer's stream already ended as far as recovery is
-  // concerned; its late EOS marker carries no information.
-  if (ports_[static_cast<size_t>(port_idx)].lost.count(key) == 0) {
-    ports_[static_cast<size_t>(port_idx)].eos_from.insert(key);
-  }
+  ingress_->MarkEos(port, ProducerKey(eos.producer()));
   MaybeProcess();
   CheckCompletion();
 }
 
 void FragmentExecutor::OnProducerLost(const ProducerLostPayload& lost) {
-  const int port_idx = lost.consumer_port();
-  if (port_idx < 0 || static_cast<size_t>(port_idx) >= ports_.size()) {
-    return;
-  }
+  const int port = lost.consumer_port();
+  if (!ingress_->ValidPort(port)) return;
   // Keep whatever the crashed producer already delivered (those outputs
-  // are valid); just stop waiting for its end-of-stream marker.
+  // are valid); just stop waiting for its end-of-stream marker, and
+  // abandon its open rounds (no RestoreComplete will ever arrive).
   const std::string key = ProducerKey(lost.producer());
-  ports_[static_cast<size_t>(port_idx)].lost.insert(key);
-  // Abandon its open rounds: no RestoreComplete will ever arrive, and the
-  // replacement delivery comes through the coordinator's recovery.
-  open_state_rounds_.erase(key);
-  for (auto it = build_recovery_rounds_.begin();
-       it != build_recovery_rounds_.end();) {
-    it = it->first == key ? build_recovery_rounds_.erase(it) : std::next(it);
-  }
-  MaybeProcess();
-  CheckCompletion();
-}
-
-void FragmentExecutor::OnAck(const AckPayload& ack) {
-  if (producer_ == nullptr) return;
-  producer_->OnAck(ack);
-  // The ack may have drained the recovery log: retained inputs become
-  // releasable only once every output is durable downstream.
-  MaybeAckRetained();
-}
-
-void FragmentExecutor::OnRedistribute(
-    const RedistributeRequestPayload& request) {
-  if (producer_ == nullptr) {
-    GQP_LOG_WARN << "redistribute request at fragment without an output";
-    return;
-  }
-  const Status s = producer_->HandleRedistribute(request);
-  if (!s.ok()) {
-    GQP_LOG_WARN << "fragment " << plan_.id.ToString()
-                 << ": redistribute failed: " << s.ToString();
-  }
-}
-
-void FragmentExecutor::OnStateMoveRequest(
-    const Message& msg, const StateMoveRequestPayload& request) {
-  const int port_idx = request.consumer_port();
-  if (port_idx < 0 || static_cast<size_t>(port_idx) >= ports_.size()) {
-    Fail(Status::OutOfRange("StateMoveRequest for invalid port"));
-    return;
-  }
-  PortState& port = ports_[static_cast<size_t>(port_idx)];
-  const std::string key = ProducerKey(request.producer());
-  // Fence: a round opened by an already-lost producer would be tracked in
-  // open_state_rounds_ with no ProducerLost left to clean it up, leaving
-  // the fragment unfinishable. Ignore the stale request entirely (the
-  // producer gets no reply; its outputs no longer matter).
-  if (port.lost.count(key) > 0) return;
-  ProducerTracking& tracking = TrackProducer(&port, request.producer(),
-                                             msg.from, request.exchange_id());
-  const bool stateful = plan_.fragment.Stateful();
-
-  // The round stays open (and this fragment unfinishable) until the
-  // producer's RestoreComplete marker arrives behind any resent tuples.
-  open_state_rounds_[key].insert(request.round());
-
-  // 1. Purge unprocessed queued/parked tuples of this producer in scope.
-  uint64_t discarded = 0;
-  uint64_t purged_credit_bytes = 0;
-  std::string discarded_seqs;
-  auto purge = [&](std::deque<QueuedTuple>* q) {
-    for (auto it = q->begin(); it != q->end();) {
-      const bool mine = it->producer_key == key;
-      // Batches stamped with this round (or a later one) were routed
-      // under its new map AFTER the producer froze its recall watermark:
-      // the producer will never resend them, so purging them here would
-      // lose them outright. They slip in when this request's dispatch was
-      // deferred behind a slow in-flight tuple.
-      const bool in_scope =
-          it->round < request.round() &&
-          (request.purge_all() || request.recovery() ||
-           BucketInList(it->rt.bucket, request.buckets_lost()));
-      if (mine && in_scope) {
-        ++discarded;
-        purged_credit_bytes += it->wire_bytes;
-        discarded_seqs += StrCat(" ", it->rt.seq);
-        it = q->erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-  purge(&port.queue);
-  purge(&port.parked);
-  // Purged tuples release their credit: the producer's recovery resend
-  // re-charges whichever link the new routing map picks.
-  ReleaseCredit(port_idx, key, purged_credit_bytes);
-  if (discarded > 0) {
-    GQP_LOG_DEBUG << "fragment " << plan_.id.ToString() << " round "
-                  << request.round() << ": discarded" << discarded_seqs
-                  << " from " << key << " (producer will resend)";
-  }
-  stats_.tuples_discarded_in_moves += discarded;
-  if (discarded > 0) {
-    node_->SubmitWork(kExchangeTag,
-                      plan_.config.consumer_discard_cost_ms *
-                          static_cast<double>(discarded),
-                      nullptr);
-  }
-
-  // 2. Stateful fragments: port 0 carries build state.
-  if (stateful && port_idx == 0) {
-    if (request.recovery()) {
-      // The recovery purge above discarded queued build tuples of every
-      // bucket, kept ones included. Probe processing must pause entirely
-      // until this producer's resends land (RestoreComplete), or probes
-      // would run against incomplete state and silently drop matches.
-      build_recovery_rounds_.insert({key, request.round()});
-    }
-    if (!request.buckets_lost().empty()) {
-      for (auto& op : ops_) op->PurgeBuckets(request.buckets_lost());
-      // Probe tuples of lost buckets must not run against the now-missing
-      // state; they stay parked until the probe-side purge removes them.
-      for (const int b : request.buckets_lost()) frozen_lost_.insert(b);
-      // The purged state's inputs are no longer held here; the bucket's
-      // new owner becomes responsible for them. Forgetting them now keeps
-      // a later ack of ours from pruning the producer's only copy.
-      auto& retained = tracking.retained_unacked;
-      retained.erase(
-          std::remove_if(retained.begin(), retained.end(),
-                         [&request](const ProducerTracking::RetainedInput& r) {
-                           return BucketInList(r.bucket,
-                                               request.buckets_lost());
-                         }),
-          retained.end());
-    }
-    for (const int b : request.buckets_gained()) {
-      awaiting_restore_.insert(b);
-    }
-  }
-  if (stateful && port_idx != 0 && !request.buckets_lost().empty()) {
-    // The probe-side purge arrived: those buckets can thaw.
-    for (const int b : request.buckets_lost()) frozen_lost_.erase(b);
-  }
-
-  // 3. Reply with everything this consumer holds — processed seqs (its
-  // outputs carry their results while it lives) plus retained
-  // (state-resident) seqs of buckets it keeps — so nothing it already
-  // has is resent and duplicated.
-  if (request.purge_all() || request.recovery() ||
-      !request.buckets_lost().empty()) {
-    std::vector<uint64_t> processed(tracking.processed.begin(),
-                                    tracking.processed.end());
-    std::sort(processed.begin(), processed.end());
-    std::vector<uint64_t> retained;
-    for (const ProducerTracking::RetainedInput& r :
-         tracking.retained_unacked) {
-      if (!BucketInList(r.bucket, request.buckets_lost())) {
-        retained.push_back(r.seq);
-      }
-    }
-    std::sort(retained.begin(), retained.end());
-    auto reply = std::make_shared<StateMoveReplyPayload>(
-        request.round(), request.exchange_id(), plan_.id,
-        std::move(processed), std::move(retained), discarded);
-    const Address to = msg.from;
-    node_->SubmitWork(kExchangeTag, plan_.config.exchange_send_cost_ms,
-                      [this, to, reply]() {
-                        const Status s = SendTo(to, reply);
-                        if (!s.ok()) Fail(s);
-                      });
-  }
-  MaybeProcess();
-  CheckCompletion();
-}
-
-void FragmentExecutor::OnStateMoveReply(const StateMoveReplyPayload& reply) {
-  if (producer_ == nullptr) return;
-  const Status s = producer_->HandleStateMoveReply(reply);
-  if (!s.ok()) {
-    GQP_LOG_WARN << "fragment " << plan_.id.ToString()
-                 << ": state-move reply failed: " << s.ToString();
-  }
-}
-
-void FragmentExecutor::OnRestoreComplete(
-    const RestoreCompletePayload& restore) {
-  // Fence stale markers, mirroring OnStateMoveRequest: a lost producer's
-  // rounds were already abandoned in OnProducerLost.
-  {
-    const int p = restore.consumer_port();
-    if (p >= 0 && static_cast<size_t>(p) < ports_.size() &&
-        ports_[static_cast<size_t>(p)].lost.count(
-            ProducerKey(restore.producer())) > 0) {
-      return;
-    }
-  }
-  auto open_it = open_state_rounds_.find(ProducerKey(restore.producer()));
-  if (open_it != open_state_rounds_.end()) {
-    open_it->second.erase(restore.round());
-    if (open_it->second.empty()) open_state_rounds_.erase(open_it);
-  }
-  const int port_idx = restore.consumer_port();
-  if (port_idx == 0 && plan_.fragment.Stateful()) {
-    build_recovery_rounds_.erase(
-        {ProducerKey(restore.producer()), restore.round()});
-    if (restore.all_buckets()) {
-      awaiting_restore_.clear();
-    } else {
-      for (const int b : restore.buckets()) awaiting_restore_.erase(b);
-    }
-    // Unpark probe tuples whose buckets are clear again (none while a
-    // build-side recovery round is still restoring state).
-    if (build_recovery_rounds_.empty()) {
-      for (auto& port : ports_) {
-        for (auto it = port.parked.begin(); it != port.parked.end();) {
-          const int b = it->rt.bucket;
-          if (awaiting_restore_.count(b) == 0 && frozen_lost_.count(b) == 0) {
-            port.queue.push_back(std::move(*it));
-            it = port.parked.erase(it);
-          } else {
-            ++it;
-          }
-        }
-      }
-    }
-  }
+  ingress_->MarkLost(port, key);
+  state_->AbandonProducer(key);
   MaybeProcess();
   CheckCompletion();
 }
 
 // ---- driver ----------------------------------------------------------------
 
-bool FragmentExecutor::PortRunnable(int port) const {
-  for (int q = 0; q < port; ++q) {
-    const PortState& earlier = ports_[static_cast<size_t>(q)];
-    if (!earlier.EosComplete() || !earlier.queue.empty()) return false;
+void FragmentExecutor::GoIdle() {
+  // Going idle: ship sub-threshold credit batches now — an upstream
+  // producer blocked on them has no other way to make progress. A blocked
+  // chain thus always unblocks bottom-up from the root.
+  queues_->FlushCreditGrants();
+  if (!idle_tracking_) {
+    idle_tracking_ = true;
+    idle_since_ = simulator()->Now();
   }
-  return true;
-}
-
-int FragmentExecutor::PickPort() {
-  for (size_t p = 0; p < ports_.size(); ++p) {
-    if (ports_[p].queue.empty()) continue;
-    if (!PortRunnable(static_cast<int>(p))) continue;
-    return static_cast<int>(p);
-  }
-  return -1;
 }
 
 void FragmentExecutor::MaybeProcess() {
@@ -615,26 +279,7 @@ void FragmentExecutor::MaybeProcess() {
   // Flow-control gate (D11): with a saturated output link, starting
   // another input tuple would only pile more bytes onto the starved
   // consumer. Park the driver; the pending CreditGrant re-probes it.
-  // Control traffic (state moves, acks, EOS) is never gated, and round
-  // resends bypass this entirely (they run from CompleteRound).
-  if (producer_ != nullptr && !producer_->HasCreditHeadroom()) {
-    producer_->NoteCreditBlocked();
-    // Parked output still ships: a window below `buffer_tuples` would
-    // otherwise strand tuples in buffers that can never fill, and the
-    // credit they hold could never be granted back (deadlock).
-    const Status flush = producer_->FlushPartialBuffers();
-    if (!flush.ok()) {
-      GQP_LOG_WARN << "credit-parked flush failed: " << flush.ToString();
-    }
-    // Any releases we owe our own producers still go out, so a blocked
-    // chain always unblocks bottom-up from the root.
-    FlushCreditGrants();
-    if (!idle_tracking_) {
-      idle_tracking_ = true;
-      idle_since_ = simulator()->Now();
-    }
-    return;
-  }
+  if (egress_ != nullptr && egress_->BlockedOnCredit()) return GoIdle();
 
   if (plan_.fragment.IsScanLeaf()) {
     if (scan_row_ < scan_table_->num_rows()) {
@@ -646,21 +291,11 @@ void FragmentExecutor::MaybeProcess() {
     return;
   }
 
-  const int port = PickPort();
-  if (port < 0) {
-    // Going idle: ship sub-threshold credit batches now — an upstream
-    // producer blocked on them has no other way to make progress.
-    FlushCreditGrants();
-    if (!idle_tracking_) {
-      idle_tracking_ = true;
-      idle_since_ = simulator()->Now();
-    }
-    return;
-  }
+  const int port = queues_->PickRunnablePort(
+      [this](int q) { return ingress_->EosComplete(q); });
+  if (port < 0) return GoIdle();
   if (idle_tracking_) {
-    const double wait = simulator()->Now() - idle_since_;
-    m1_wait_ms_ += wait;
-    stats_.idle_wait_ms += wait;
+    driver_->AccumulateWait(simulator()->Now() - idle_since_);
     idle_tracking_ = false;
   }
   processing_ = true;
@@ -669,345 +304,94 @@ void FragmentExecutor::MaybeProcess() {
 
 void FragmentExecutor::ProcessScanRow() {
   const Tuple& row = scan_table_->row(scan_row_++);
-  const PhysOpDesc& scan_desc = plan_.fragment.ops.front();
-  ctx_.ResetForTuple();
-  ctx_.Charge(scan_desc.cost_tag, scan_desc.base_cost_ms);
-
-  Status s = Status::OK();
-  if (!ops_.empty()) {
-    s = ops_.front()->Process(0, row, -1, &ctx_);
-  } else {
-    ctx_.out.push_back(row);
-  }
+  const Status s = driver_->RunScanRow(row);
   if (!s.ok()) {
     Fail(s);
     processing_ = false;
     return;
   }
-
   ++stats_.tuples_processed;
-  node_->SubmitComposite(ctx_.charges, [this](double actual_ms) {
-    stats_.busy_ms += actual_ms;
-    m1_cost_ms_ += actual_ms;
-    ++m1_tuples_;
-    (void)DeliverOutputs(&ctx_);
-    EmitM1IfDue(actual_ms);
+  node_->SubmitComposite(driver_->ctx()->charges, [this](double actual_ms) {
+    driver_->AccumulateTupleCost(actual_ms);
+    (void)DeliverOutputs(driver_->ctx());
+    driver_->MaybeEmitM1(producer() != nullptr);
     processing_ = false;
     MaybeProcess();
   });
 }
 
-void FragmentExecutor::ProcessQueuedTuple(int port_idx) {
-  PortState& port = ports_[static_cast<size_t>(port_idx)];
+bool FragmentExecutor::BucketBlocked(int bucket) const {
+  return !state_->build_recovery_empty() ||
+         state_->AwaitingRestore(bucket) || state_->Frozen(bucket);
+}
+
+void FragmentExecutor::ProcessQueuedTuple(int port) {
   // Park probe tuples of in-move buckets (stateful fragments only).
-  while (!port.queue.empty()) {
-    const int bucket = port.queue.front().rt.bucket;
-    const bool parked =
-        port_idx > 0 &&
-        (!build_recovery_rounds_.empty() ||
-         awaiting_restore_.count(bucket) > 0 || frozen_lost_.count(bucket) > 0);
-    if (!parked) break;
-    port.parked.push_back(std::move(port.queue.front()));
-    port.queue.pop_front();
-    ++stats_.tuples_parked;
-    stats_.parked_peak = std::max(stats_.parked_peak, port.parked.size());
+  if (port > 0) {
+    queues_->ParkBlocked(port,
+                         [this](int bucket) { return BucketBlocked(bucket); });
   }
-  if (port.queue.empty()) {
+  if (queues_->QueueEmpty(port)) {
     processing_ = false;
     MaybeProcess();
     return;
   }
 
-  QueuedTuple qt = std::move(port.queue.front());
-  port.queue.pop_front();
+  QueuedTuple qt = queues_->PopFront(port);
   // The tuple leaves the bounded queue here; its bytes stop counting
   // against the producer's window (operator state is not budgeted).
-  ReleaseCredit(port_idx, qt.producer_key, qt.wire_bytes);
+  queues_->ReleaseCredit(port, qt.producer_key, qt.wire_bytes);
 
-  ctx_.ResetForTuple();
-  const Status s =
-      ops_.front()->Process(port_idx, qt.rt.tuple, qt.rt.bucket, &ctx_);
+  const Status s = driver_->RunTuple(port, qt.rt.tuple, qt.rt.bucket);
   if (!s.ok()) {
     Fail(s);
     processing_ = false;
     return;
   }
-  const bool retained = ctx_.retained;
+  const bool retained = driver_->ctx()->retained;
   ++stats_.tuples_processed;
 
   node_->SubmitComposite(
-      ctx_.charges, [this, port_idx, qt = std::move(qt),
-                     retained](double actual_ms) {
-        stats_.busy_ms += actual_ms;
-        m1_cost_ms_ += actual_ms;
-        ++m1_tuples_;
-        const std::vector<uint64_t> output_seqs = DeliverOutputs(&ctx_);
-        RecordProcessed(port_idx, qt, retained, output_seqs);
+      driver_->ctx()->charges,
+      [this, port, qt = std::move(qt), retained](double actual_ms) {
+        driver_->AccumulateTupleCost(actual_ms);
+        const std::vector<uint64_t> output_seqs =
+            DeliverOutputs(driver_->ctx());
+        state_->RecordProcessed(port, qt.producer_key, qt.rt.seq,
+                                qt.rt.bucket, retained, output_seqs,
+                                producer() != nullptr, finished_);
         processing_ = false;
-        // Handle state moves that raced with this tuple: its seq is now in
-        // the processed set, so the purge/reply below stay consistent.
-        // The driver stays suppressed until every deferred control message
-        // is dispatched — otherwise the first handler would start new
-        // tuple work and later purges/replies would race with it again.
+        // Handle state moves that raced with this tuple: its seq is now
+        // in the processed set, so the purge/reply stay consistent. The
+        // driver stays suppressed until every deferred control message is
+        // dispatched — otherwise the first handler would start new tuple
+        // work and later purges/replies would race with it again.
         dispatching_control_ = true;
         std::vector<Message> deferred;
         deferred.swap(deferred_state_moves_);
         for (const Message& m : deferred) DispatchStateMove(m);
         dispatching_control_ = false;
-        EmitM1IfDue(actual_ms);
+        driver_->MaybeEmitM1(producer() != nullptr);
         MaybeProcess();
         CheckCompletion();
       });
 }
 
 std::vector<uint64_t> FragmentExecutor::DeliverOutputs(ExecContext* ctx) {
-  std::vector<uint64_t> seqs;
   stats_.tuples_emitted += ctx->out.size();
-  if (producer_ == nullptr) {
+  if (egress_ == nullptr) {
     ctx->out.clear();
-    return seqs;
+    return {};
   }
-  seqs.reserve(ctx->out.size());
-  for (const Tuple& t : ctx->out) {
-    Result<uint64_t> seq = producer_->Offer(t);
-    if (!seq.ok()) {
-      Fail(seq.status());
-      break;
-    }
-    seqs.push_back(*seq);
-  }
-  ctx->out.clear();
-  return seqs;
-}
-
-void FragmentExecutor::RecordProcessed(
-    int port_idx, const QueuedTuple& qt, bool retained,
-    const std::vector<uint64_t>& output_seqs) {
-  PortState& port = ports_[static_cast<size_t>(port_idx)];
-  auto it = port.producers.find(qt.producer_key);
-  if (it == port.producers.end()) return;
-  if (retained) {
-    // State-resident tuples are acknowledged only once the fragment has
-    // finished and its outputs are durable downstream (MaybeAckRetained):
-    // until then they are the recovery copy of the state.
-    it->second.retained_unacked.push_back(
-        ProducerTracking::RetainedInput{qt.rt.seq, qt.rt.bucket});
-    return;
-  }
-  // The processed set is updated immediately (state moves must not resend
-  // this tuple), but the acknowledgment cascades: it is sent only once all
-  // outputs derived from the tuple are acknowledged downstream.
-  it->second.processed.insert(qt.rt.seq);
-  if (output_seqs.empty() || producer_ == nullptr) {
-    AckInput(port_idx, qt.producer_key, qt.rt.seq);
-    return;
-  }
-  auto pending = std::make_shared<PendingInput>();
-  pending->port = port_idx;
-  pending->producer_key = qt.producer_key;
-  pending->seq = qt.rt.seq;
-  pending->remaining_outputs = output_seqs.size();
-  for (const uint64_t out_seq : output_seqs) {
-    output_to_input_.emplace(out_seq, pending);
-  }
-}
-
-void FragmentExecutor::AckInput(int port_idx, const std::string& producer_key,
-                                uint64_t seq) {
-  PortState& port = ports_[static_cast<size_t>(port_idx)];
-  auto it = port.producers.find(producer_key);
-  if (it == port.producers.end()) return;
-  const bool checkpoint_due = it->second.acks->Add(seq);
-  // After the fragment finished, acknowledgments no longer batch: late
-  // cascading acks (outputs confirmed downstream after our completion)
-  // must still reach the producer, or its recovery log never drains.
-  if (checkpoint_due || finished_) {
-    FlushAcks(port_idx, producer_key, /*force=*/finished_);
-  }
-}
-
-void FragmentExecutor::OnOutputsAcked(const std::vector<uint64_t>& seqs) {
-  for (const uint64_t out_seq : seqs) {
-    auto it = output_to_input_.find(out_seq);
-    if (it == output_to_input_.end()) continue;
-    const std::shared_ptr<PendingInput> pending = it->second;
-    output_to_input_.erase(it);
-    if (pending->remaining_outputs == 0) continue;  // defensive
-    if (--pending->remaining_outputs == 0) {
-      AckInput(pending->port, pending->producer_key, pending->seq);
-    }
-  }
+  return egress_->Deliver(&ctx->out);
 }
 
 void FragmentExecutor::MaybeAckRetained() {
   if (!finished_) return;
   // Outputs are durable once nothing remains in the recovery log (the
   // root has no producer: its outputs ARE the delivered result).
-  if (producer_ != nullptr && !producer_->log().empty()) return;
-  for (size_t p = 0; p < ports_.size(); ++p) {
-    std::vector<std::string> keys;
-    for (const auto& [key, tracking] : ports_[p].producers) {
-      if (!tracking.retained_unacked.empty()) keys.push_back(key);
-    }
-    for (const std::string& key : keys) {
-      ProducerTracking& tracking = ports_[p].producers.at(key);
-      for (const ProducerTracking::RetainedInput& r :
-           tracking.retained_unacked) {
-        tracking.acks->Add(r.seq);
-      }
-      tracking.retained_unacked.clear();
-      FlushAcks(static_cast<int>(p), key, /*force=*/true);
-    }
-  }
-}
-
-void FragmentExecutor::FlushAcks(int port_idx, const std::string& producer_key,
-                                 bool force) {
-  PortState& port = ports_[static_cast<size_t>(port_idx)];
-  auto it = port.producers.find(producer_key);
-  if (it == port.producers.end()) return;
-  ProducerTracking& tracking = it->second;
-  if (!force && tracking.acks->pending() < plan_.config.checkpoint_interval) {
-    return;
-  }
-  std::vector<uint64_t> seqs = tracking.acks->Drain();
-  if (seqs.empty()) return;
-  auto ack = std::make_shared<AckPayload>(tracking.exchange_id, plan_.id,
-                                          std::move(seqs));
-  ++stats_.acks_sent;
-  const Address to = tracking.address;
-  node_->SubmitWork(kExchangeTag, plan_.config.exchange_send_cost_ms,
-                    [this, to, ack]() {
-                      const Status s = SendTo(to, ack);
-                      if (!s.ok()) Fail(s);
-                    });
-}
-
-// ---- flow control (D11) ----------------------------------------------------
-
-size_t FragmentExecutor::CreditGrantThreshold() const {
-  const double t = static_cast<double>(plan_.config.credit_window_bytes) *
-                   plan_.config.credit_grant_fraction;
-  return t < 1.0 ? 1 : static_cast<size_t>(t);
-}
-
-void FragmentExecutor::ReleaseCredit(int port_idx,
-                                     const std::string& producer_key,
-                                     size_t bytes) {
-  if (bytes == 0) return;
-  PortState& port = ports_[static_cast<size_t>(port_idx)];
-  port.held_bytes -= std::min<uint64_t>(bytes, port.held_bytes);
-  if (!FlowControlOn()) return;
-  auto it = port.producers.find(producer_key);
-  if (it != port.producers.end()) {
-    const bool due = it->second.credit.Release(bytes, CreditGrantThreshold());
-    // No grants to fenced producers: their link was voided at the
-    // producer side, and recovery owns their bytes now.
-    if (due && port.lost.count(producer_key) == 0) {
-      SendCreditGrant(&it->second);
-    }
-  }
-  UpdateQueuePressure(port_idx);
-}
-
-void FragmentExecutor::FlushCreditGrants() {
-  if (!FlowControlOn()) return;
-  for (auto& port : ports_) {
-    std::vector<std::string> keys;
-    for (const auto& [key, tracking] : port.producers) {
-      if (tracking.credit.pending_grant_bytes > 0 &&
-          port.lost.count(key) == 0) {
-        keys.push_back(key);
-      }
-    }
-    std::sort(keys.begin(), keys.end());
-    for (const std::string& key : keys) {
-      SendCreditGrant(&port.producers.at(key));
-    }
-  }
-}
-
-void FragmentExecutor::SendCreditGrant(ProducerTracking* tracking) {
-  const uint64_t released = tracking->credit.TakeGrant();
-  auto grant = std::make_shared<CreditGrantPayload>(tracking->exchange_id,
-                                                    plan_.id, released);
-  ++stats_.credit_grants_sent;
-  const Address to = tracking->address;
-  node_->SubmitWork(kExchangeTag, plan_.config.exchange_send_cost_ms,
-                    [this, to, grant]() {
-                      const Status s = SendTo(to, grant);
-                      if (!s.ok()) {
-                        GQP_LOG_WARN << "credit grant send failed: "
-                                     << s.ToString();
-                      }
-                    });
-}
-
-void FragmentExecutor::UpdateQueuePressure(int port_idx) {
-  if (!FlowControlOn()) return;
-  PortState& port = ports_[static_cast<size_t>(port_idx)];
-  const double window =
-      static_cast<double>(plan_.config.credit_window_bytes) *
-      static_cast<double>(std::max(port.wiring.num_producers, 1));
-  const bool over = static_cast<double>(port.held_bytes) >=
-                    plan_.config.pressure_fraction * window;
-  if (!over) {
-    // Relief re-arms the episode detector.
-    port.pressure_since = -1.0;
-    port.pressure_emitted = false;
-    return;
-  }
-  const SimTime now = simulator()->Now();
-  if (port.pressure_since < 0.0) {
-    port.pressure_since = now;
-    return;
-  }
-  if (port.pressure_emitted ||
-      now - port.pressure_since < plan_.config.pressure_threshold_ms) {
-    return;
-  }
-  port.pressure_emitted = true;
-  ++stats_.queue_pressure_events;
-  if (plan_.adaptivity.med.host == kInvalidHost) return;
-  node_->SubmitWork(kExchangeTag, plan_.config.monitor_emit_cost_ms, nullptr);
-  const Status s =
-      SendTo(plan_.adaptivity.med,
-             std::make_shared<QueuePressurePayload>(
-                 plan_.id, port_idx, port.held_bytes,
-                 static_cast<uint64_t>(window)));
-  if (!s.ok()) {
-    GQP_LOG_WARN << "QueuePressure emission failed: " << s.ToString();
-  }
-}
-
-void FragmentExecutor::EmitM1IfDue(double /*cost_ms*/) {
-  if (!plan_.config.monitoring_enabled || plan_.config.m1_frequency == 0 ||
-      plan_.adaptivity.med.host == kInvalidHost || producer_ == nullptr) {
-    return;
-  }
-  if (m1_tuples_ < plan_.config.m1_frequency) return;
-
-  const double cost_per_tuple =
-      m1_cost_ms_ / static_cast<double>(m1_tuples_);
-  const double wait_per_tuple =
-      m1_wait_ms_ / static_cast<double>(m1_tuples_);
-  const double selectivity =
-      stats_.tuples_processed > 0
-          ? static_cast<double>(stats_.tuples_emitted) /
-                static_cast<double>(stats_.tuples_processed)
-          : 1.0;
-  m1_tuples_ = 0;
-  m1_cost_ms_ = 0.0;
-  m1_wait_ms_ = 0.0;
-  ++stats_.m1_sent;
-  node_->SubmitWork(kExchangeTag, plan_.config.monitor_emit_cost_ms, nullptr);
-  const Status s = SendTo(
-      plan_.adaptivity.med,
-      std::make_shared<M1Payload>(plan_.id, cost_per_tuple, wait_per_tuple,
-                                  selectivity, stats_.tuples_processed));
-  if (!s.ok()) {
-    GQP_LOG_WARN << "M1 emission failed: " << s.ToString();
-  }
+  if (producer() != nullptr && !producer()->log().empty()) return;
+  state_->AckAllRetained();
 }
 
 // ---- completion ------------------------------------------------------------
@@ -1020,34 +404,18 @@ std::string FragmentExecutor::DebugString() const {
   if (plan_.fragment.IsScanLeaf()) {
     out += StrCat(" scan_row=", scan_row_, "/", scan_table_->num_rows());
   }
-  for (size_t p = 0; p < ports_.size(); ++p) {
-    const PortState& port = ports_[p];
-    size_t acks_pending = 0;
-    for (const auto& [key, tracking] : port.producers) {
-      acks_pending += tracking.acks->pending();
-      acks_pending += tracking.retained_unacked.size();
-    }
-    out += StrCat(" port", p, "={queue=", port.queue.size(), " parked=",
-                  port.parked.size(), " eos=", port.eos_from.size(), "/",
-                  port.wiring.num_producers, " lost=", port.lost.size(),
-                  " acks_pending=", acks_pending, "}");
+  for (size_t p = 0; p < plan_.inputs.size(); ++p) {
+    const int port = static_cast<int>(p);
+    out += StrCat(" port", p, "={queue=", queues_->queue_size(port),
+                  " parked=", queues_->parked_size(port), " eos=",
+                  ingress_->eos_count(port), "/",
+                  ingress_->num_producers(port), " lost=",
+                  ingress_->lost_count(port), " acks_pending=",
+                  state_->AcksPendingTotal(port), "}");
   }
-  if (!open_state_rounds_.empty()) {
-    out += " open_rounds={";
-    bool first = true;
-    for (const auto& [key, rounds] : open_state_rounds_) {
-      if (!first) out += " ";
-      first = false;
-      out += StrCat(key, ":", rounds.size());
-    }
-    out += "}";
-  }
-  if (!awaiting_restore_.empty()) {
-    out += StrCat(" awaiting_restore=", awaiting_restore_.size());
-  }
-  if (!frozen_lost_.empty()) out += StrCat(" frozen=", frozen_lost_.size());
-  if (producer_ != nullptr) {
-    out += StrCat(" producer={", producer_->DebugString(), "}");
+  if (state_ != nullptr) out += state_->DebugSuffix();
+  if (producer() != nullptr) {
+    out += StrCat(" producer={", producer()->DebugString(), "}");
   }
   if (!exec_status_.ok()) out += StrCat(" error=", exec_status_.ToString());
   return out;
@@ -1058,13 +426,8 @@ bool FragmentExecutor::LocallyDrained() const {
   if (plan_.fragment.IsScanLeaf()) {
     return scan_row_ >= scan_table_->num_rows();
   }
-  if (!awaiting_restore_.empty()) return false;
-  if (!open_state_rounds_.empty()) return false;
-  for (const PortState& port : ports_) {
-    if (!port.EosComplete()) return false;
-    if (!port.queue.empty() || !port.parked.empty()) return false;
-  }
-  return true;
+  return state_->quiescent() && ingress_->AllEosComplete() &&
+         queues_->AllQueuesEmpty();
 }
 
 void FragmentExecutor::CheckCompletion() {
@@ -1104,37 +467,19 @@ void FragmentExecutor::FinishFragment() {
   if (finished_) return;
   finished_ = true;
 
-  for (size_t p = 0; p < ports_.size(); ++p) {
-    for (auto& op : ops_) {
-      const Status s = op->FinishPort(static_cast<int>(p), &ctx_);
-      if (!s.ok()) Fail(s);
-    }
-  }
-  ctx_.ResetForTuple();
-  if (!ops_.empty()) {
-    const Status s = ops_.front()->Finish(&ctx_);
-    if (!s.ok()) Fail(s);
-    (void)DeliverOutputs(&ctx_);
+  driver_->FinishPorts(plan_.inputs.size());
+  if (driver_->FinishChain()) {
+    (void)DeliverOutputs(driver_->ctx());
   }
 
-  // Drain remaining acknowledgments (the paper's "checkpoints are returned
-  // ... when tuples are not needed any more"). Retained (state-resident)
-  // tuples are NOT unneeded yet: our outputs may still be unacknowledged
-  // downstream, and after a crash they can only be regenerated by
-  // replaying those inputs. MaybeAckRetained releases them once the
-  // recovery log drains.
-  for (size_t p = 0; p < ports_.size(); ++p) {
-    std::vector<std::string> keys;
-    for (const auto& [key, tracking] : ports_[p].producers) {
-      keys.push_back(key);
-    }
-    for (const std::string& key : keys) {
-      FlushAcks(static_cast<int>(p), key, /*force=*/true);
-    }
-  }
+  // Drain remaining acknowledgments (the paper's "checkpoints are
+  // returned ... when tuples are not needed any more"). Retained
+  // (state-resident) tuples are NOT unneeded yet: MaybeAckRetained
+  // releases them once the recovery log drains.
+  state_->FlushAllAcks();
 
-  if (producer_ != nullptr) {
-    const Status s = producer_->FinishInput();
+  if (ExchangeProducer* producer = mutable_producer()) {
+    const Status s = producer->FinishInput();
     if (!s.ok()) Fail(s);
   }
   MaybeAckRetained();

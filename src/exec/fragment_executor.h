@@ -1,101 +1,49 @@
 // FragmentExecutor: one running instance of a plan fragment on a grid
 // node, exposed as a GridService endpoint. It is the paper's query engine
-// component of a (A)GQES:
+// component of a (A)GQES, reduced to a composition root (DESIGN.md §D12)
+// over five cohesive components:
 //
-//  - scan leaves pump their table through the operator chain and into the
-//    exchange producer "as fast as they can";
-//  - partitioned evaluation fragments consume exchange inputs (port 0 is
-//    drained before port 1, giving the classic two-phase hash join),
-//    run the chain, acknowledge processed tuples, emit self-monitoring
-//    M1/M2 events, and participate in the retrospective state-move
-//    protocol (purging, parking and restoring partitions);
-//  - the root fragment collects results and reports query completion.
+//  - IngressManager: per-producer EOS tracking + epoch fencing;
+//  - PortQueueManager: port queues, credit accounting, pressure episodes;
+//  - OperatorDriver: operator-chain execution + cost charging + M1 loop;
+//  - StateManager: processed/retained inputs, cascading acknowledgments,
+//    the state-move/purge protocol;
+//  - EgressAdapter: the ExchangeProducer and its monitoring wiring.
+//
+// The executor itself keeps only protocol orchestration: message
+// dispatch, the two-phase tuple driver, the completion handshake, and
+// the exact event ordering the golden traces pin down.
 
 #ifndef GRIDQP_EXEC_FRAGMENT_EXECUTOR_H_
 #define GRIDQP_EXEC_FRAGMENT_EXECUTOR_H_
 
-#include <deque>
-#include <map>
 #include <memory>
-#include <set>
-#include <optional>
+#include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "exec/exchange_producer.h"
-#include "exec/operators.h"
-#include "grid/node.h"
+#include "exec/egress.h"
+#include "exec/ingress.h"
+#include "exec/instance_plan.h"
+#include "exec/operator_driver.h"
+#include "exec/port_queue_manager.h"
+#include "exec/state_manager.h"
 #include "rpc/service.h"
 #include "storage/table.h"
 
 namespace gqp {
 
-/// Wiring of one input port.
-struct InputWiring {
-  ExchangeDesc desc;
-  int num_producers = 1;
-};
-
-/// Adaptivity wiring of a fragment instance.
-struct AdaptivityWiring {
-  bool enabled = false;
-  /// Local MonitoringEventDetector receiving raw M1/M2 events.
-  Address med;
-  /// The query's Responder (state-move outcomes + completion handshake).
-  Address responder;
-};
-
-/// Everything a GQES needs to instantiate one fragment instance.
-struct FragmentInstancePlan {
-  SubplanId id;
-  FragmentDesc fragment;
-  std::vector<InputWiring> inputs;
-  std::optional<OutputWiring> output;
-  ExecConfig config;
-  AdaptivityWiring adaptivity;
-  /// Coordinator (GDQS) endpoint for completion notifications.
-  Address coordinator;
-};
-
-/// Per-instance execution counters.
-struct FragmentStats {
-  /// Tuples delivered by upstream exchanges (includes resends).
-  uint64_t tuples_received = 0;
-  /// Tuples rejected because their producer was fenced: it was reported
-  /// failed (possibly a false suspicion) and recovery reassigned its
-  /// work, so late output from it must not contribute twice.
-  uint64_t tuples_fenced = 0;
-  uint64_t tuples_processed = 0;
-  uint64_t tuples_emitted = 0;
-  uint64_t tuples_discarded_in_moves = 0;
-  uint64_t tuples_parked = 0;
-  uint64_t m1_sent = 0;
-  uint64_t m2_sent = 0;
-  uint64_t acks_sent = 0;
-  double busy_ms = 0.0;
-  double idle_wait_ms = 0.0;
-  size_t queue_high_watermark = 0;
-  /// Peak number of tuples parked at once across all ports.
-  size_t parked_peak = 0;
-  // --- flow control (D11); all zero with it off -------------------------
-  /// Peak bytes held (queued + parked) on any single input port.
-  uint64_t queued_bytes_peak = 0;
-  uint64_t credit_grants_sent = 0;
-  uint64_t queue_pressure_events = 0;
-};
-
 /// \brief A deployed fragment instance.
 class FragmentExecutor : public GridService {
  public:
-  /// `tables` resolves scan targets on this host (null for non-scan
-  /// fragments). The executor registers its endpoint under
+  /// `scan_table` resolves the scan target on this host (null for
+  /// non-scan fragments). The executor registers its endpoint under
   /// `plan.id.ToString()`.
   FragmentExecutor(MessageBus* bus, GridNode* node, Network* network,
                    FragmentInstancePlan plan, TablePtr scan_table);
   ~FragmentExecutor() override;
 
-  /// Validates the plan, instantiates operators/producer and registers the
+  /// Validates the plan, instantiates the components and registers the
   /// endpoint.
   Status Prepare();
 
@@ -105,25 +53,42 @@ class FragmentExecutor : public GridService {
 
   bool finished() const { return finished_; }
   const FragmentStats& stats() const { return stats_; }
-  const ExchangeProducer* producer() const { return producer_.get(); }
+  const ExchangeProducer* producer() const {
+    return egress_ != nullptr ? egress_->producer() : nullptr;
+  }
   const FragmentInstancePlan& plan() const { return plan_; }
   GridNode* node() const { return node_; }
 
   /// Results collected by a root fragment (empty otherwise).
-  const std::vector<Tuple>& Results() const;
+  const std::vector<Tuple>& Results() const {
+    static const std::vector<Tuple> kEmpty;
+    return driver_ != nullptr ? driver_->Results() : kEmpty;
+  }
 
   /// Introspection for tests: buckets currently awaiting build-state
   /// restoration / frozen after a local state purge.
-  size_t awaiting_restore_count() const { return awaiting_restore_.size(); }
-  size_t frozen_lost_count() const { return frozen_lost_.size(); }
+  size_t awaiting_restore_count() const {
+    return state_ != nullptr ? state_->awaiting_restore_count() : 0;
+  }
+  size_t frozen_lost_count() const {
+    return state_ != nullptr ? state_->frozen_count() : 0;
+  }
   /// Queued + parked tuples on one input port.
-  size_t QueuedTuples(int port) const;
+  size_t QueuedTuples(int port) const {
+    return queues_ != nullptr ? queues_->QueuedTuples(port) : 0;
+  }
   /// Seqs processed on a port, per producer key (tests verify that state
   /// moves never process a tuple at two consumers).
   std::unordered_map<std::string, std::vector<uint64_t>> ProcessedSeqs(
-      int port) const;
+      int port) const {
+    return state_ != nullptr
+               ? state_->ProcessedSeqs(port)
+               : std::unordered_map<std::string, std::vector<uint64_t>>{};
+  }
   /// The fragment's hash join, if any (tests inspect its state).
-  const HashJoinOperator* FindHashJoin() const;
+  const HashJoinOperator* FindHashJoin() const {
+    return driver_ != nullptr ? driver_->FindHashJoin() : nullptr;
+  }
 
   /// First execution error encountered (simulation keeps running so that
   /// tests can inspect state; callers check this after completion).
@@ -137,133 +102,41 @@ class FragmentExecutor : public GridService {
   void HandleMessage(const Message& msg) override;
 
  private:
-  struct QueuedTuple {
-    RoutedTuple rt;
-    /// Producer identity (for acknowledgments and processed-tracking).
-    std::string producer_key;
-    /// Round epoch stamped on the carrying batch; a state-move purge for
-    /// round R skips tuples with round >= R (already routed by R's map).
-    uint64_t round = 0;
-    /// Bytes this tuple holds against its producer's credit window
-    /// (0 with flow control off). Released exactly once, when the tuple
-    /// is popped for processing or purged by a state move.
-    size_t wire_bytes = 0;
-  };
-
-  struct ProducerTracking {
-    Address address;
-    std::unique_ptr<AckBatcher> acks;
-    /// Every seq of this producer whose processing completed here (never
-    /// resent by state moves).
-    std::unordered_set<uint64_t> processed;
-    /// A state-resident (retained) input and the bucket its state lives
-    /// in: it stays "needed" until the fragment has finished AND all of
-    /// its outputs are acknowledged downstream — until then it is the
-    /// only copy from which the state could be rebuilt after a crash.
-    /// When the bucket's state is purged (moved to another consumer),
-    /// the entry is dropped: the new owner's copy governs from then on.
-    struct RetainedInput {
-      uint64_t seq;
-      int bucket;
-    };
-    std::vector<RetainedInput> retained_unacked;
-    int exchange_id = -1;
-    /// Flow-control account of this link (D11).
-    CreditAccount credit;
-  };
-
-  struct PortState {
-    PortState() = default;
-    PortState(PortState&&) = default;
-    PortState& operator=(PortState&&) = default;
-    PortState(const PortState&) = delete;
-    PortState& operator=(const PortState&) = delete;
-
-    InputWiring wiring;
-    std::deque<QueuedTuple> queue;
-    /// Probe tuples parked while their bucket's build state moves.
-    std::deque<QueuedTuple> parked;
-    /// Producers that sent their end-of-stream marker.
-    std::set<std::string> eos_from;
-    /// Producers reported crashed before their EOS arrived.
-    std::set<std::string> lost;
-    std::unordered_map<std::string, ProducerTracking> producers;
-    /// Flow control: bytes currently held (queued + parked) on this port
-    /// and the peak seen; pressure episode tracking (D11).
-    uint64_t held_bytes = 0;
-    uint64_t peak_held_bytes = 0;
-    SimTime pressure_since = -1.0;
-    bool pressure_emitted = false;
-
-    bool EosComplete() const {
-      size_t done = eos_from.size();
-      for (const std::string& key : lost) {
-        if (eos_from.count(key) == 0) ++done;
-      }
-      return done >= static_cast<size_t>(wiring.num_producers);
-    }
-  };
-
   // --- message handlers -------------------------------------------------
   void OnTupleBatch(const Message& msg, const TupleBatchPayload& batch);
   void OnEos(const EosPayload& eos);
   void OnProducerLost(const ProducerLostPayload& lost);
-  void OnAck(const AckPayload& ack);
-  void OnRedistribute(const RedistributeRequestPayload& request);
-  void OnStateMoveRequest(const Message& msg,
-                          const StateMoveRequestPayload& request);
-  void OnStateMoveReply(const StateMoveReplyPayload& reply);
-  void OnRestoreComplete(const RestoreCompletePayload& restore);
   void OnCompletionGrant();
-  /// Routes a (possibly deferred) StateMoveRequest/RestoreComplete.
+  /// Routes a (possibly deferred) StateMoveRequest/RestoreComplete:
+  /// fences stale senders, registers the link, applies via StateManager.
   void DispatchStateMove(const Message& msg);
 
-  // --- driver ------------------------------------------------------------
-  /// Port whose tuples should be processed next (-1: nothing runnable).
-  int PickPort();
-  /// True when earlier ports are fully drained (two-phase ordering).
-  bool PortRunnable(int port) const;
+  // --- tuple driver ------------------------------------------------------
   void MaybeProcess();
   void ProcessScanRow();
   void ProcessQueuedTuple(int port);
+  /// Flushes pending credit grants and starts idle-wait tracking.
+  void GoIdle();
   /// Offers staged outputs to the producer; returns their seqs.
   std::vector<uint64_t> DeliverOutputs(ExecContext* ctx);
-  void RecordProcessed(int port, const QueuedTuple& qt, bool retained,
-                       const std::vector<uint64_t>& output_seqs);
-  /// Marks an input tuple safe (enqueues its acknowledgment).
-  void AckInput(int port, const std::string& producer_key, uint64_t seq);
-  /// Cascading acknowledgments: outputs acked downstream release inputs.
-  void OnOutputsAcked(const std::vector<uint64_t>& seqs);
-  /// Acknowledges retained (state-resident) inputs once the fragment has
-  /// finished and its own recovery log drained (outputs durable).
+  /// Registers the producer link with queues + state (identical
+  /// registration order keeps producer-map iteration aligned with the
+  /// pre-split executor).
+  void TrackProducer(int port, const SubplanId& producer,
+                     const Address& address, int exchange_id);
+  /// True while a probe tuple of `bucket` must stay parked.
+  bool BucketBlocked(int bucket) const;
+  /// Releases retained inputs once finished and the recovery log drained.
   void MaybeAckRetained();
-  void EmitM1IfDue(double cost_ms);
-  void FlushAcks(int port, const std::string& producer_key, bool force);
 
-  // --- flow control (D11) -----------------------------------------------
-  bool FlowControlOn() const {
-    return plan_.config.flow_control_enabled &&
-           plan_.config.credit_window_bytes > 0;
+  ExchangeProducer* mutable_producer() {
+    return egress_ != nullptr ? egress_->producer() : nullptr;
   }
-  size_t CreditGrantThreshold() const;
-  /// Releases `bytes` of a producer's credit (tuple processed or purged)
-  /// and sends a CreditGrant when the batched releases cross the
-  /// threshold. Also refreshes the port's pressure tracking.
-  void ReleaseCredit(int port_idx, const std::string& producer_key,
-                     size_t bytes);
-  /// Sends any sub-threshold pending grants (called when the driver goes
-  /// idle or parks on credit, so an upstream producer can never starve on
-  /// releases that sit below the batching threshold forever).
-  void FlushCreditGrants();
-  void SendCreditGrant(ProducerTracking* tracking);
-  void UpdateQueuePressure(int port_idx);
 
   // --- completion ---------------------------------------------------------
   bool LocallyDrained() const;
   void CheckCompletion();
   void FinishFragment();
-  ProducerTracking& TrackProducer(PortState* port, const SubplanId& producer,
-                                  const Address& address, int exchange_id);
 
   void Fail(const Status& status);
 
@@ -272,45 +145,11 @@ class FragmentExecutor : public GridService {
   FragmentInstancePlan plan_;
   TablePtr scan_table_;
 
-  std::vector<std::unique_ptr<PhysicalOperator>> ops_;
-  std::unique_ptr<ExchangeProducer> producer_;
-  std::vector<PortState> ports_;
-  ExecContext ctx_;
-
-  /// State-move rounds announced by a producer whose RestoreComplete has
-  /// not arrived yet. While any round is open, resent tuples may still be
-  /// in flight (they precede the RestoreComplete on the producer's link),
-  /// so the fragment must not finish.
-  std::map<std::string, std::set<uint64_t>> open_state_rounds_;
-
-  /// Buckets whose build state is being restored here (probe tuples for
-  /// them are parked). Only non-empty on stateful fragments.
-  std::unordered_set<int> awaiting_restore_;
-  /// Buckets this instance lost in an in-flight round (their probe tuples
-  /// are parked until the probe-side purge arrives).
-  std::unordered_set<int> frozen_lost_;
-  /// Open failure-recovery rounds on the build port, as (producer key,
-  /// round) pairs. A recovery purge discards queued build tuples of EVERY
-  /// bucket — including ones this instance keeps — so until the
-  /// producer's resends land (RestoreComplete), the build state may be
-  /// missing arbitrary rows and no probe tuple may run at all.
-  std::set<std::pair<std::string, uint64_t>> build_recovery_rounds_;
-
-  /// Cascading-acknowledgment bookkeeping: an input tuple is acknowledged
-  /// upstream only when every output tuple derived from it has been
-  /// acknowledged by our consumers ("checkpoints are returned when the
-  /// tuples are not needed any more by the operators higher up"). Without
-  /// this, a crash could lose results that were acknowledged but still
-  /// buffered in the dead machine's exchange.
-  struct PendingInput {
-    int port = 0;
-    std::string producer_key;
-    uint64_t seq = 0;
-    size_t remaining_outputs = 0;
-  };
-  /// output seq -> the input awaiting it.
-  std::unordered_map<uint64_t, std::shared_ptr<PendingInput>>
-      output_to_input_;
+  std::unique_ptr<OperatorDriver> driver_;
+  std::unique_ptr<IngressManager> ingress_;
+  std::unique_ptr<PortQueueManager> queues_;
+  std::unique_ptr<StateManager> state_;
+  std::unique_ptr<EgressAdapter> egress_;
 
   /// StateMoveRequests arriving while a tuple is mid-processing are
   /// deferred until the work item completes; otherwise the in-flight
@@ -328,11 +167,6 @@ class FragmentExecutor : public GridService {
   size_t scan_row_ = 0;
   SimTime idle_since_ = 0.0;
   bool idle_tracking_ = false;
-
-  // M1 accumulation since the last emission.
-  uint64_t m1_tuples_ = 0;
-  double m1_cost_ms_ = 0.0;
-  double m1_wait_ms_ = 0.0;
 
   FragmentStats stats_;
   Status exec_status_;

@@ -1,0 +1,36 @@
+#include "exec/ingress.h"
+
+namespace gqp {
+
+void IngressManager::AddPort(int num_producers) {
+  Port port;
+  port.num_producers = num_producers;
+  ports_.push_back(std::move(port));
+}
+
+bool IngressManager::Fenced(int port, const std::string& key) const {
+  if (!ValidPort(port)) return false;
+  return ports_[static_cast<size_t>(port)].lost.count(key) > 0;
+}
+
+void IngressManager::MarkEos(int port, const std::string& key) {
+  Port& p = ports_[static_cast<size_t>(port)];
+  if (p.lost.count(key) == 0) p.eos_from.insert(key);
+}
+
+void IngressManager::MarkLost(int port, const std::string& key) {
+  ports_[static_cast<size_t>(port)].lost.insert(key);
+}
+
+bool IngressManager::EosComplete(int port) const {
+  const Port& p = ports_[static_cast<size_t>(port)];
+  // Keep whatever a crashed producer already delivered; just stop waiting
+  // for its end-of-stream marker (EOS and lost may both be recorded).
+  size_t done = p.eos_from.size();
+  for (const std::string& key : p.lost) {
+    if (p.eos_from.count(key) == 0) ++done;
+  }
+  return done >= static_cast<size_t>(p.num_producers);
+}
+
+}  // namespace gqp

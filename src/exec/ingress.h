@@ -1,0 +1,71 @@
+// Ingress stage of a fragment instance: per-port producer liveness
+// bookkeeping — end-of-stream markers and epoch fencing of producers
+// reported lost. Once a producer is fenced, recovery owns its rows: late
+// batches, EOS markers and state-move rounds from it carry no
+// information and must be dropped by the caller.
+
+#ifndef GRIDQP_EXEC_INGRESS_H_
+#define GRIDQP_EXEC_INGRESS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gqp {
+
+class IngressManager {
+ public:
+  /// Declares one input port expecting `num_producers` streams.
+  void AddPort(int num_producers);
+
+  size_t num_ports() const { return ports_.size(); }
+  bool ValidPort(int port) const {
+    return port >= 0 && static_cast<size_t>(port) < ports_.size();
+  }
+
+  /// True when this producer was reported lost on the port (epoch fence).
+  /// Out-of-range ports are never fenced (callers validate separately).
+  bool Fenced(int port, const std::string& key) const;
+
+  /// Records a producer's end-of-stream marker. A fenced producer's
+  /// stream already ended as far as recovery is concerned; its late EOS
+  /// is ignored.
+  void MarkEos(int port, const std::string& key);
+
+  /// Fences a producer reported crashed before its EOS arrived.
+  void MarkLost(int port, const std::string& key);
+
+  /// All streams of the port ended (EOS received or producer fenced).
+  bool EosComplete(int port) const;
+  bool AllEosComplete() const {
+    for (size_t p = 0; p < ports_.size(); ++p) {
+      if (!EosComplete(static_cast<int>(p))) return false;
+    }
+    return true;
+  }
+
+  size_t eos_count(int port) const {
+    return ports_[static_cast<size_t>(port)].eos_from.size();
+  }
+  size_t lost_count(int port) const {
+    return ports_[static_cast<size_t>(port)].lost.size();
+  }
+  int num_producers(int port) const {
+    return ports_[static_cast<size_t>(port)].num_producers;
+  }
+
+ private:
+  struct Port {
+    int num_producers = 1;
+    /// Producers that sent their end-of-stream marker.
+    std::set<std::string> eos_from;
+    /// Producers reported crashed before their EOS arrived.
+    std::set<std::string> lost;
+  };
+
+  std::vector<Port> ports_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXEC_INGRESS_H_

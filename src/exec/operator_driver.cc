@@ -1,0 +1,134 @@
+#include "exec/operator_driver.h"
+
+#include "common/interner.h"
+#include "common/logging.h"
+#include "monitor/monitoring_events.h"
+
+namespace gqp {
+
+OperatorDriver::OperatorDriver(GridNode* node,
+                               const FragmentInstancePlan* plan,
+                               FragmentStats* stats, Hooks hooks)
+    : node_(node),
+      plan_(plan),
+      fragment_(&plan->fragment),
+      stats_(stats),
+      hooks_(std::move(hooks)) {}
+
+OperatorDriver::~OperatorDriver() = default;
+
+Status OperatorDriver::BuildAndOpen() {
+  const bool is_scan = fragment_->IsScanLeaf();
+  if (is_scan) {
+    const PhysOpDesc& scan_desc = fragment_->ops.front();
+    scan_tag_ = InternString(scan_desc.cost_tag);
+    scan_cost_ms_ = scan_desc.base_cost_ms;
+  }
+  const size_t first_op = is_scan ? 1 : 0;
+  for (size_t i = first_op; i < fragment_->ops.size(); ++i) {
+    GQP_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalOperator> op,
+                         MakeOperator(fragment_->ops[i]));
+    ops_.push_back(std::move(op));
+  }
+  for (size_t i = 0; i + 1 < ops_.size(); ++i) {
+    ops_[i]->set_next(ops_[i + 1].get());
+  }
+  for (auto& op : ops_) {
+    GQP_RETURN_IF_ERROR(op->Open(&ctx_));
+  }
+  return Status::OK();
+}
+
+Status OperatorDriver::RunScanRow(const Tuple& row) {
+  ctx_.ResetForTuple();
+  ctx_.Charge(scan_tag_, scan_cost_ms_);
+  if (!ops_.empty()) {
+    return ops_.front()->Process(0, row, -1, &ctx_);
+  }
+  ctx_.out.push_back(row);
+  return Status::OK();
+}
+
+Status OperatorDriver::RunTuple(int port, const Tuple& tuple, int bucket) {
+  ctx_.ResetForTuple();
+  return ops_.front()->Process(port, tuple, bucket, &ctx_);
+}
+
+void OperatorDriver::FinishPorts(size_t num_ports) {
+  for (size_t p = 0; p < num_ports; ++p) {
+    for (auto& op : ops_) {
+      const Status s = op->FinishPort(static_cast<int>(p), &ctx_);
+      if (!s.ok()) hooks_.fail(s);
+    }
+  }
+}
+
+bool OperatorDriver::FinishChain() {
+  ctx_.ResetForTuple();
+  if (ops_.empty()) return false;
+  const Status s = ops_.front()->Finish(&ctx_);
+  if (!s.ok()) hooks_.fail(s);
+  return true;
+}
+
+void OperatorDriver::PurgeBuckets(const std::vector<int>& buckets) {
+  for (auto& op : ops_) op->PurgeBuckets(buckets);
+}
+
+OperatorDriver::M1Sample OperatorDriver::TakeM1(uint64_t tuples_processed,
+                                                uint64_t tuples_emitted) {
+  M1Sample sample;
+  sample.cost_per_tuple_ms = m1_cost_ms_ / static_cast<double>(m1_tuples_);
+  sample.wait_per_tuple_ms = m1_wait_ms_ / static_cast<double>(m1_tuples_);
+  sample.selectivity = tuples_processed > 0
+                           ? static_cast<double>(tuples_emitted) /
+                                 static_cast<double>(tuples_processed)
+                           : 1.0;
+  m1_tuples_ = 0;
+  m1_cost_ms_ = 0.0;
+  m1_wait_ms_ = 0.0;
+  return sample;
+}
+
+void OperatorDriver::MaybeEmitM1(bool has_producer) {
+  if (!plan_->config.monitoring_enabled || plan_->config.m1_frequency == 0 ||
+      plan_->adaptivity.med.host == kInvalidHost || !has_producer) {
+    return;
+  }
+  if (m1_tuples_ < plan_->config.m1_frequency) return;
+  const M1Sample sample =
+      TakeM1(stats_->tuples_processed, stats_->tuples_emitted);
+  ++stats_->m1_sent;
+  node_->SubmitWork(kExchangeTag, plan_->config.monitor_emit_cost_ms,
+                    nullptr);
+  const Status s = hooks_.send_to(
+      plan_->adaptivity.med,
+      std::make_shared<M1Payload>(plan_->id, sample.cost_per_tuple_ms,
+                                  sample.wait_per_tuple_ms,
+                                  sample.selectivity,
+                                  stats_->tuples_processed));
+  if (!s.ok()) {
+    GQP_LOG_WARN << "M1 emission failed: " << s.ToString();
+  }
+}
+
+const std::vector<Tuple>& OperatorDriver::Results() const {
+  static const std::vector<Tuple> kEmpty;
+  for (const auto& op : ops_) {
+    if (const auto* collect = dynamic_cast<const CollectOperator*>(op.get())) {
+      return collect->results();
+    }
+  }
+  return kEmpty;
+}
+
+const HashJoinOperator* OperatorDriver::FindHashJoin() const {
+  for (const auto& op : ops_) {
+    if (const auto* join = dynamic_cast<const HashJoinOperator*>(op.get())) {
+      return join;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace gqp

@@ -1,0 +1,107 @@
+// Operator-chain driver of a fragment instance (DESIGN.md §D12): builds
+// and owns the physical operator chain, runs tuples through it with cost
+// charging into the shared ExecContext, and owns the M1 self-monitoring
+// loop (cost/wait per tuple, selectivity) between emissions. Scheduling —
+// when a tuple runs, how its composite work item is submitted, what
+// happens on completion — stays with the composition root
+// (FragmentExecutor).
+
+#ifndef GRIDQP_EXEC_OPERATOR_DRIVER_H_
+#define GRIDQP_EXEC_OPERATOR_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "exec/instance_plan.h"
+#include "exec/operators.h"
+#include "grid/node.h"
+
+namespace gqp {
+
+class OperatorDriver {
+ public:
+  struct Hooks {
+    /// Delivers an M1 monitoring event over the bus.
+    std::function<Status(const Address&, PayloadPtr)> send_to;
+    /// Reports a chain error (the executor records it and keeps running).
+    std::function<void(const Status&)> fail;
+  };
+
+  OperatorDriver(GridNode* node, const FragmentInstancePlan* plan,
+                 FragmentStats* stats, Hooks hooks);
+  ~OperatorDriver();
+
+  /// Instantiates and opens the chain (scan leaves skip the scan
+  /// descriptor: the executor itself drives the table).
+  Status BuildAndOpen();
+
+  bool has_ops() const { return !ops_.empty(); }
+  ExecContext* ctx() { return &ctx_; }
+
+  /// Runs one scan row through the chain, charging the scan descriptor's
+  /// cost first.
+  Status RunScanRow(const Tuple& row);
+  /// Runs one queued exchange tuple through the chain.
+  Status RunTuple(int port, const Tuple& tuple, int bucket);
+
+  /// FinishPort on every operator for every port; errors go to `fail`.
+  void FinishPorts(size_t num_ports);
+  /// Resets the context and flushes chain-finish output into it. Returns
+  /// true when the chain exists (the caller delivers ctx()->out).
+  bool FinishChain();
+
+  void PurgeBuckets(const std::vector<int>& buckets);
+
+  // --- M1 self-monitoring ----------------------------------------------
+  /// Records one tuple's actual (perturbed) cost, in both the fragment
+  /// stats and the M1 accumulators.
+  void AccumulateTupleCost(double actual_ms) {
+    stats_->busy_ms += actual_ms;
+    m1_cost_ms_ += actual_ms;
+    ++m1_tuples_;
+  }
+  /// Records an idle wait that ended when a tuple became runnable.
+  void AccumulateWait(double wait_ms) {
+    stats_->idle_wait_ms += wait_ms;
+    m1_wait_ms_ += wait_ms;
+  }
+  struct M1Sample {
+    double cost_per_tuple_ms = 0.0;
+    double wait_per_tuple_ms = 0.0;
+    double selectivity = 1.0;
+  };
+  /// Computes the due sample and resets the accumulators.
+  M1Sample TakeM1(uint64_t tuples_processed, uint64_t tuples_emitted);
+  /// Emits an M1 event to the MED when a sample is due (monitoring on,
+  /// the fragment has an output, and m1_frequency tuples accumulated).
+  void MaybeEmitM1(bool has_producer);
+
+  // --- introspection ----------------------------------------------------
+  /// Results collected by a root fragment (empty otherwise).
+  const std::vector<Tuple>& Results() const;
+  /// The chain's hash join, if any (tests inspect its state).
+  const HashJoinOperator* FindHashJoin() const;
+
+ private:
+  GridNode* node_;
+  const FragmentInstancePlan* plan_;
+  const FragmentDesc* fragment_;
+  FragmentStats* stats_;
+  Hooks hooks_;
+  std::vector<std::unique_ptr<PhysicalOperator>> ops_;
+  ExecContext ctx_;
+  /// Interned scan tag + base cost (scan leaves only).
+  std::string_view scan_tag_;
+  double scan_cost_ms_ = 0.0;
+
+  // M1 accumulation since the last emission.
+  uint64_t m1_tuples_ = 0;
+  double m1_cost_ms_ = 0.0;
+  double m1_wait_ms_ = 0.0;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXEC_OPERATOR_DRIVER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/interner.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -31,7 +32,7 @@ Status PhysicalOperator::Emit(const Tuple& tuple, ExecContext* ctx) {
 FilterOperator::FilterOperator(const PhysOpDesc& desc)
     : predicate_(desc.predicate),
       cost_ms_(desc.base_cost_ms),
-      tag_(desc.cost_tag) {}
+      tag_(InternString(desc.cost_tag)) {}
 
 Status FilterOperator::Process(int, const Tuple& tuple, int,
                                ExecContext* ctx) {
@@ -47,7 +48,7 @@ ProjectOperator::ProjectOperator(const PhysOpDesc& desc)
     : exprs_(desc.exprs),
       out_schema_(desc.out_schema),
       cost_ms_(desc.base_cost_ms),
-      tag_(desc.cost_tag) {}
+      tag_(InternString(desc.cost_tag)) {}
 
 Status ProjectOperator::Process(int, const Tuple& tuple, int,
                                 ExecContext* ctx) {
@@ -68,7 +69,7 @@ OperationCallOperator::OperationCallOperator(const PhysOpDesc& desc)
       arg_col_(desc.arg_col),
       out_schema_(desc.out_schema),
       cost_ms_(desc.base_cost_ms),
-      tag_(desc.cost_tag) {}
+      tag_(InternString(desc.cost_tag)) {}
 
 Status OperationCallOperator::Process(int, const Tuple& tuple, int,
                                       ExecContext* ctx) {
@@ -93,7 +94,7 @@ HashJoinOperator::HashJoinOperator(const PhysOpDesc& desc)
       out_schema_(desc.out_schema),
       probe_cost_ms_(desc.base_cost_ms),
       build_cost_ms_(desc.build_cost_ms),
-      tag_(desc.cost_tag),
+      tag_(InternString(desc.cost_tag)),
       bucket_reserve_hint_(
           desc.estimated_build_rows /
               static_cast<size_t>(std::max(desc.build_partitions, 1)) +
@@ -186,7 +187,7 @@ HashAggregateOperator::HashAggregateOperator(const PhysOpDesc& desc)
       aggs_(desc.aggs),
       out_schema_(desc.out_schema),
       cost_ms_(desc.base_cost_ms),
-      tag_(desc.cost_tag) {}
+      tag_(InternString(desc.cost_tag)) {}
 
 Status HashAggregateOperator::Accumulate(GroupState* group,
                                          const Tuple& tuple,
@@ -298,7 +299,7 @@ size_t HashAggregateOperator::GroupCount() const {
 // ---- Collect -----------------------------------------------------------
 
 CollectOperator::CollectOperator(const PhysOpDesc& desc)
-    : cost_ms_(desc.base_cost_ms), tag_(desc.cost_tag) {}
+    : cost_ms_(desc.base_cost_ms), tag_(InternString(desc.cost_tag)) {}
 
 Status CollectOperator::Process(int, const Tuple& tuple, int,
                                 ExecContext* ctx) {

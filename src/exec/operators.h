@@ -14,8 +14,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "exec/flat_join_table.h"
 #include "expr/expression.h"
@@ -29,8 +31,10 @@ namespace gqp {
 struct ExecContext {
   /// (operation tag, base cost ms) pairs accumulated while processing the
   /// current tuple; the driver turns them into one composite node work
-  /// item.
-  std::vector<std::pair<std::string, double>> charges;
+  /// item. Tags are interned views (InternString): charging is
+  /// allocation-free on the hot path, and the views stay valid for the
+  /// lifetime of any node work item they are copied into.
+  std::vector<std::pair<std::string_view, double>> charges;
   /// Set by stateful operators when the input tuple was absorbed into
   /// operator state (it must not be acknowledged upstream yet).
   bool retained = false;
@@ -39,7 +43,7 @@ struct ExecContext {
   /// Scalar function implementations for filter/project expressions.
   const FunctionRegistry* functions = &FunctionRegistry::Builtins();
 
-  void Charge(const std::string& tag, double ms) {
+  void Charge(std::string_view tag, double ms) {
     charges.emplace_back(tag, ms);
   }
   void ResetForTuple() {
@@ -99,7 +103,8 @@ class FilterOperator : public PhysicalOperator {
  private:
   ExprPtr predicate_;
   double cost_ms_;
-  std::string tag_;
+  /// Interned (process-lifetime) operation tag.
+  std::string_view tag_;
 };
 
 /// Expression projection.
@@ -113,7 +118,8 @@ class ProjectOperator : public PhysicalOperator {
   std::vector<ExprPtr> exprs_;
   SchemaPtr out_schema_;
   double cost_ms_;
-  std::string tag_;
+  /// Interned (process-lifetime) operation tag.
+  std::string_view tag_;
 };
 
 /// Web-service operation call (the paper's operation_call operator). The
@@ -130,7 +136,8 @@ class OperationCallOperator : public PhysicalOperator {
   size_t arg_col_;
   SchemaPtr out_schema_;
   double cost_ms_;
-  std::string tag_;
+  /// Interned (process-lifetime) operation tag.
+  std::string_view tag_;
 };
 
 /// Partitioned hash join (stateful). Build state is bucketed by the
@@ -163,7 +170,8 @@ class HashJoinOperator : public PhysicalOperator {
   SchemaPtr out_schema_;
   double probe_cost_ms_;
   double build_cost_ms_;
-  std::string tag_;
+  /// Interned (process-lifetime) operation tag.
+  std::string_view tag_;
   /// Per-bucket pre-size hint: estimated build rows / logical buckets.
   size_t bucket_reserve_hint_;
   // Build state, one flat table per logical partition (DESIGN.md
@@ -214,7 +222,8 @@ class HashAggregateOperator : public PhysicalOperator {
   std::vector<AggSpec> aggs_;
   SchemaPtr out_schema_;
   double cost_ms_;
-  std::string tag_;
+  /// Interned (process-lifetime) operation tag.
+  std::string_view tag_;
   std::map<int, BucketGroups> state_;
 };
 
@@ -230,7 +239,8 @@ class CollectOperator : public PhysicalOperator {
 
  private:
   double cost_ms_;
-  std::string tag_;
+  /// Interned (process-lifetime) operation tag.
+  std::string_view tag_;
   std::vector<Tuple> results_;
 };
 

@@ -11,9 +11,15 @@ GridNode::GridNode(Simulator* sim, HostId id, std::string name,
   assert(capacity > 0.0);
 }
 
-void GridNode::SetPerturbation(const std::string& tag,
+void GridNode::SetPerturbation(std::string_view tag,
                                PerturbationPtr profile) {
-  tag_perturbations_[tag] = std::move(profile);
+  // Heterogeneous operator[] is unavailable: find-or-emplace by hand.
+  auto it = tag_perturbations_.find(tag);
+  if (it == tag_perturbations_.end()) {
+    tag_perturbations_.emplace(std::string(tag), std::move(profile));
+  } else {
+    it->second = std::move(profile);
+  }
 }
 
 void GridNode::SetNodePerturbation(PerturbationPtr profile) {
@@ -25,7 +31,7 @@ void GridNode::ClearPerturbations() {
   node_perturbation_.reset();
 }
 
-double GridNode::EffectiveCost(const std::string& tag, double base_cost_ms) {
+double GridNode::EffectiveCost(std::string_view tag, double base_cost_ms) {
   double cost = base_cost_ms / capacity_;
   auto it = tag_perturbations_.find(tag);
   if (it != tag_perturbations_.end() && it->second != nullptr) {
@@ -37,7 +43,7 @@ double GridNode::EffectiveCost(const std::string& tag, double base_cost_ms) {
   return cost;
 }
 
-void GridNode::SubmitWork(const std::string& tag, double base_cost_ms,
+void GridNode::SubmitWork(std::string_view tag, double base_cost_ms,
                           std::function<void()> done) {
   SubmitComposite({{tag, base_cost_ms}},
                   [done = std::move(done)](double) {
@@ -46,7 +52,7 @@ void GridNode::SubmitWork(const std::string& tag, double base_cost_ms,
 }
 
 void GridNode::SubmitComposite(
-    std::vector<std::pair<std::string, double>> parts,
+    std::vector<std::pair<std::string_view, double>> parts,
     std::function<void(double)> done) {
   if (dead_) return;
   queue_.push_back(WorkItem{std::move(parts), std::move(done)});
@@ -70,7 +76,11 @@ void GridNode::StartNext() {
   double duration = 0.0;
   for (const auto& [tag, base_cost] : item.parts) {
     const double part = EffectiveCost(tag, base_cost);
-    stats_.busy_ms_by_tag[tag] += part;
+    auto it = stats_.busy_ms_by_tag.find(tag);
+    if (it == stats_.busy_ms_by_tag.end()) {
+      it = stats_.busy_ms_by_tag.emplace(std::string(tag), 0.0).first;
+    }
+    it->second += part;
     duration += part;
   }
   ++stats_.work_items;

@@ -10,22 +10,27 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "grid/perturbation.h"
 #include "net/message.h"
 #include "sim/simulator.h"
 
 namespace gqp {
 
-/// Per-node utilization counters.
+/// Per-node utilization counters. The tag map accepts string_view lookups
+/// (transparent hashing): hot-path charges carry interned views, never
+/// temporary strings.
 struct NodeStats {
   uint64_t work_items = 0;
   double busy_ms = 0.0;
   /// Perturbed cost charged per operation tag.
-  std::unordered_map<std::string, double> busy_ms_by_tag;
+  std::unordered_map<std::string, double, StringHash, std::equal_to<>>
+      busy_ms_by_tag;
 };
 
 /// \brief A simulated machine.
@@ -45,7 +50,7 @@ class GridNode {
   double capacity() const { return capacity_; }
 
   /// Installs a perturbation for a specific operation tag on this node.
-  void SetPerturbation(const std::string& tag, PerturbationPtr profile);
+  void SetPerturbation(std::string_view tag, PerturbationPtr profile);
 
   /// Installs a node-wide perturbation applied to every work item (after
   /// any tag-specific profile).
@@ -60,7 +65,10 @@ class GridNode {
   /// the effective duration is computed when execution starts (so
   /// time-varying profiles see the correct virtual time). `done` runs when
   /// the work completes. Work items on a node never overlap.
-  void SubmitWork(const std::string& tag, double base_cost_ms,
+  ///
+  /// The tag is held by view until execution: callers pass literals or
+  /// interned tags (InternString), never transient strings.
+  void SubmitWork(std::string_view tag, double base_cost_ms,
                   std::function<void()> done);
 
   /// \brief Enqueues a composite work item made of several tagged parts
@@ -70,14 +78,15 @@ class GridNode {
   /// Per-tag perturbations apply to each part; the parts execute as one
   /// uninterruptible unit. `done` receives the total effective duration —
   /// the engine's self-monitoring instrumentation reports it as the
-  /// tuple's processing cost.
-  void SubmitComposite(std::vector<std::pair<std::string, double>> parts,
+  /// tuple's processing cost. Part tags follow the SubmitWork view
+  /// contract (literals or interned).
+  void SubmitComposite(std::vector<std::pair<std::string_view, double>> parts,
                        std::function<void(double actual_ms)> done);
 
   /// The perturbed, capacity-scaled cost this node would charge for the
   /// given work right now (without enqueueing). Used by tests and by
   /// self-monitoring instrumentation.
-  double EffectiveCost(const std::string& tag, double base_cost_ms);
+  double EffectiveCost(std::string_view tag, double base_cost_ms);
 
   /// True if the CPU is idle and no work is queued.
   bool Idle() const { return !running_ && queue_.empty(); }
@@ -94,7 +103,7 @@ class GridNode {
 
  private:
   struct WorkItem {
-    std::vector<std::pair<std::string, double>> parts;
+    std::vector<std::pair<std::string_view, double>> parts;
     std::function<void(double)> done;
   };
 
@@ -107,7 +116,9 @@ class GridNode {
   bool running_ = false;
   bool dead_ = false;
   std::deque<WorkItem> queue_;
-  std::unordered_map<std::string, PerturbationPtr> tag_perturbations_;
+  std::unordered_map<std::string, PerturbationPtr, StringHash,
+                     std::equal_to<>>
+      tag_perturbations_;
   PerturbationPtr node_perturbation_;
   NodeStats stats_;
 };

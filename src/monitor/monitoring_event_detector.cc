@@ -18,9 +18,16 @@ MonitoringEventDetector::MonitoringEventDetector(
       config_(config),
       node_(node) {}
 
+const MedStats& MonitoringEventDetector::stats_for_query(int query) const {
+  static const MedStats kEmpty;
+  auto it = by_query_.find(query);
+  return it == by_query_.end() ? kEmpty : it->second;
+}
+
 void MonitoringEventDetector::HandleMessage(const Message& msg) {
   if (const auto* m1 = PayloadAs<M1Payload>(msg.payload)) {
     ++stats_.raw_m1;
+    ++QueryStats(m1->subplan().query).raw_m1;
     const std::string key = StrCat("m1:", m1->subplan().ToString());
     auto [it, inserted] = groups_.try_emplace(key, config_.window);
     Group& group = it->second;
@@ -34,6 +41,7 @@ void MonitoringEventDetector::HandleMessage(const Message& msg) {
   }
   if (const auto* m2 = PayloadAs<M2Payload>(msg.payload)) {
     ++stats_.raw_m2;
+    ++QueryStats(m2->producer().query).raw_m2;
     const std::string key = StrCat("m2:", m2->producer().ToString(), ">",
                                    m2->recipient().ToString());
     auto [it, inserted] = groups_.try_emplace(key, config_.window);
@@ -47,7 +55,8 @@ void MonitoringEventDetector::HandleMessage(const Message& msg) {
             static_cast<double>(m2->tuples_in_buffer()));
     return;
   }
-  if (PayloadAs<QueuePressurePayload>(msg.payload) != nullptr) {
+  if (const auto* pressure =
+          PayloadAs<QueuePressurePayload>(msg.payload)) {
     // Flow-control pressure (D11) is forwarded verbatim and immediately:
     // it is an *early* signal, valuable precisely because it does not
     // wait for a window of rate samples to converge.
@@ -56,6 +65,9 @@ void MonitoringEventDetector::HandleMessage(const Message& msg) {
       node_->SubmitWork("med:process", config_.processing_cost_ms, nullptr);
     }
     ++stats_.notifications_out;
+    MedStats& qs = QueryStats(pressure->subplan().query);
+    ++qs.pressure_events;
+    ++qs.notifications_out;
     const Status s = Publish(kTopicMonitoringAverages, msg.payload);
     if (!s.ok()) {
       GQP_LOG_WARN << "MED " << name()
@@ -93,6 +105,7 @@ void MonitoringEventDetector::MaybeNotify(Group* group) {
   if (!notify) return;
   group->last_notified = avg;
   ++stats_.notifications_out;
+  ++QueryStats(group->subplan.query).notifications_out;
   auto digest = std::make_shared<MonitoringAveragePayload>(
       group->kind, group->subplan, group->recipient, avg,
       group->tuples_per_buffer.Average(), group->last_selectivity,

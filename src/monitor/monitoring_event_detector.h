@@ -8,6 +8,7 @@
 #ifndef GRIDQP_MONITOR_MONITORING_EVENT_DETECTOR_H_
 #define GRIDQP_MONITOR_MONITORING_EVENT_DETECTOR_H_
 
+#include <map>
 #include <string>
 #include <unordered_map>
 
@@ -53,7 +54,12 @@ class MonitoringEventDetector : public GridService {
                           MonitoringEventDetectorConfig config,
                           GridNode* node = nullptr);
 
+  /// Site-wide totals, summed over every query this MED has observed.
   const MedStats& stats() const { return stats_; }
+  /// Counters of one query only. MEDs are per-site, shared by every live
+  /// query on the host; each raw event carries its SubplanId, so the
+  /// attribution is exact even with concurrent queries.
+  const MedStats& stats_for_query(int query) const;
   const MonitoringEventDetectorConfig& config() const { return config_; }
 
  protected:
@@ -77,10 +83,14 @@ class MonitoringEventDetector : public GridService {
   void Observe(Group* group, double value, double tuples_in_buffer);
   void MaybeNotify(Group* group);
 
+  /// Per-query slice of `stats_` (created on first event of the query).
+  MedStats& QueryStats(int query) { return by_query_[query]; }
+
   MonitoringEventDetectorConfig config_;
   GridNode* node_;  // optional: charges processing_cost_ms per raw event
   std::unordered_map<std::string, Group> groups_;
   MedStats stats_;
+  std::map<int, MedStats> by_query_;
 };
 
 }  // namespace gqp

@@ -1,6 +1,7 @@
 #include "rpc/reliable.h"
 
 #include <algorithm>
+#include <string_view>
 #include <utility>
 
 #include "common/logging.h"
@@ -17,7 +18,40 @@ uint64_t ChannelKey(HostId src, HostId dst) {
          static_cast<uint32_t>(dst);
 }
 
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Parses the query id embedded in a service name, or 0.
+int QueryOfService(std::string_view service) {
+  // Fragment endpoints: "q<N>.f<F>.i<I>".
+  if (service.size() >= 2 && service[0] == 'q' && IsDigit(service[1])) {
+    int value = 0;
+    size_t i = 1;
+    while (i < service.size() && IsDigit(service[i])) {
+      value = value * 10 + (service[i] - '0');
+      ++i;
+    }
+    if (i < service.size() && service[i] == '.') return value;
+  }
+  // Per-query adaptivity services: "<role>.q<N>".
+  const size_t pos = service.rfind(".q");
+  if (pos != std::string_view::npos && pos + 2 < service.size()) {
+    int value = 0;
+    for (size_t i = pos + 2; i < service.size(); ++i) {
+      if (!IsDigit(service[i])) return 0;
+      value = value * 10 + (service[i] - '0');
+    }
+    return value;
+  }
+  return 0;
+}
+
 }  // namespace
+
+int QueryOf(const Message& msg) {
+  const int to = QueryOfService(msg.to.service);
+  if (to != 0) return to;
+  return QueryOfService(msg.from.service);
+}
 
 ReliableTransport::ReliableTransport(Network* network,
                                      const ReliableConfig& config,
@@ -31,6 +65,7 @@ ReliableTransport::ReliableTransport(Network* network,
 Status ReliableTransport::Send(Message msg) {
   const HostId src = msg.from.host;
   const HostId dst = msg.to.host;
+  const int query = QueryOf(msg);
   SenderChannel& ch = senders_[ChannelKey(src, dst)];
   const uint64_t seq = ch.next_seq;
 
@@ -47,10 +82,12 @@ Status ReliableTransport::Send(Message msg) {
   if (!sent.ok()) return sent;
   ++ch.next_seq;
   ++stats_.sent;
+  ++QueryStats(query).sent;
 
   Pending pending;
   pending.envelope = std::move(envelope);
   pending.rto_ms = config_.base_rto_ms;
+  pending.query = query;
   ch.pending.emplace(seq, std::move(pending));
   ScheduleRetransmit(src, dst, seq);
   return Status::OK();
@@ -80,14 +117,19 @@ void ReliableTransport::OnTimeout(HostId src, HostId dst, uint64_t seq) {
   if (network_->HostDown(src) || network_->HostDown(dst) ||
       p.retries >= config_.max_retries) {
     ++stats_.abandoned;
+    ++QueryStats(p.query).abandoned;
     ch_it->second.pending.erase(it);
     return;
   }
 
   ++p.retries;
   ++stats_.retransmits;
+  ++QueryStats(p.query).retransmits;
   (void)network_->Send(p.envelope);
-  if (p.rto_ms < config_.max_rto_ms) ++stats_.backoffs;
+  if (p.rto_ms < config_.max_rto_ms) {
+    ++stats_.backoffs;
+    ++QueryStats(p.query).backoffs;
+  }
   p.rto_ms = std::min(p.rto_ms * 2.0, config_.max_rto_ms);
   ScheduleRetransmit(src, dst, seq);
 }
@@ -108,7 +150,9 @@ void ReliableTransport::OnEnvelope(const Message& msg,
                                    const ReliableEnvelopePayload& env) {
   // Always ack, duplicates included: the sender retransmitted because the
   // previous ack may itself have been lost.
+  const int query = QueryOf(msg);  // the envelope keeps the inner addresses
   ++stats_.acks_sent;
+  ++QueryStats(query).acks_sent;
   Message ack;
   ack.from = Address{msg.to.host, kTransportService};
   ack.to = Address{msg.from.host, kTransportService};
@@ -118,6 +162,7 @@ void ReliableTransport::OnEnvelope(const Message& msg,
   ReceiverChannel& ch = receivers_[ChannelKey(msg.from.host, msg.to.host)];
   if (env.seq() < ch.next_expected || ch.holdback.count(env.seq()) > 0) {
     ++stats_.dedup_hits;
+    ++QueryStats(query).dedup_hits;
     return;
   }
   Message inner;
@@ -135,6 +180,7 @@ void ReliableTransport::OnEnvelope(const Message& msg,
     ch.holdback.erase(it);
     ++ch.next_expected;
     ++stats_.delivered;
+    ++QueryStats(QueryOf(release)).delivered;
     deliver_(release);
   }
 }
@@ -147,8 +193,15 @@ void ReliableTransport::OnAck(const Message& msg,
   if (ch_it == senders_.end()) return;
   auto it = ch_it->second.pending.find(ack.seq());
   if (it == ch_it->second.pending.end()) return;
+  ++QueryStats(it->second.query).acks_received;
   sim_->Cancel(it->second.timer);
   ch_it->second.pending.erase(it);
+}
+
+const ReliableStats& ReliableTransport::stats_for_query(int query) const {
+  static const ReliableStats kEmpty;
+  auto it = by_query_.find(query);
+  return it == by_query_.end() ? kEmpty : it->second;
 }
 
 size_t ReliableTransport::pending() const {

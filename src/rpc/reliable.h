@@ -62,6 +62,15 @@ struct ReliableStats {
   uint64_t abandoned = 0;
 };
 
+/// Best-effort query attribution of a bus message, from the service
+/// naming conventions: fragment endpoints are "q<N>.f<F>.i<I>" and the
+/// per-query adaptivity services end in ".q<N>" ("diagnoser.q<N>",
+/// "responder.q<N>"). Checks the destination first, then the sender
+/// (e.g. an M1 from "q1.f2.i0" to the shared "med" endpoint belongs to
+/// query 1). Returns 0 for unattributable traffic (deploy control,
+/// transport internals).
+int QueryOf(const Message& msg);
+
 /// Wraps one bus message with its channel sequence number. The outer
 /// Message keeps the original from/to addresses; the transport intercepts
 /// by payload type before endpoint dispatch.
@@ -125,13 +134,21 @@ class ReliableTransport {
   /// Envelopes awaiting acknowledgment across all channels.
   size_t pending() const;
 
+  /// Bus-wide totals, over every query and control message.
   const ReliableStats& stats() const { return stats_; }
+  /// Counters of one query's traffic only, attributed via QueryOf at send
+  /// time (retransmissions and acks inherit the envelope's attribution).
+  /// Exact per query even with several queries on the bus; query 0 holds
+  /// unattributable control traffic.
+  const ReliableStats& stats_for_query(int query) const;
 
  private:
   struct Pending {
     Message envelope;
     double rto_ms = 0.0;
     int retries = 0;
+    /// Query attributed at send time (0: control traffic).
+    int query = 0;
     EventId timer = kInvalidEventId;
   };
   struct SenderChannel {
@@ -143,6 +160,9 @@ class ReliableTransport {
     /// Out-of-order arrivals held back until the gap fills.
     std::map<uint64_t, Message> holdback;
   };
+
+  /// The per-query slice of `stats_` (created on first use).
+  ReliableStats& QueryStats(int query) { return by_query_[query]; }
 
   void ScheduleRetransmit(HostId src, HostId dst, uint64_t seq);
   void OnTimeout(HostId src, HostId dst, uint64_t seq);
@@ -157,6 +177,7 @@ class ReliableTransport {
   std::map<uint64_t, SenderChannel> senders_;
   std::map<uint64_t, ReceiverChannel> receivers_;
   ReliableStats stats_;
+  std::map<int, ReliableStats> by_query_;
 };
 
 }  // namespace gqp

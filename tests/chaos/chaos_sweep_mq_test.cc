@@ -1,0 +1,52 @@
+// Multi-query chaos sweep (DESIGN.md §D12): the standard chaos schedule
+// (kills, sags, link shifts) with 1-3 additional queries submitted while
+// the base query runs, all on the same grid. The runner checks every
+// invariant per query — result multiset vs oracle, tuple conservation,
+// bounded memory under the per-query credit budget, termination — so a
+// green sweep means several live queries neither corrupt each other's
+// answers nor escape their memory bounds while the chaos plays out.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+
+namespace gqp {
+namespace chaos {
+namespace {
+
+class MultiQuerySweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiQuerySweepTest, InvariantsHoldPerQuery) {
+  const uint64_t seed = GetParam();
+  const ChaosScenario scenario =
+      GenerateScenario(seed, ChaosProfile::kMultiQuery);
+  ASSERT_FALSE(scenario.extra_queries.empty());
+  ASSERT_TRUE(scenario.flow_control);
+
+  const ChaosRunResult result = RunScenario(scenario, ChaosRunOptions{});
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(result.ok()) << result.Report() << "\n" << scenario.Describe();
+  EXPECT_TRUE(result.completed) << scenario.Describe();
+
+  // One outcome per submitted query, every query finished with rows.
+  ASSERT_EQ(result.per_query.size(), 1 + scenario.extra_queries.size());
+  for (const QueryOutcome& q : result.per_query) {
+    EXPECT_TRUE(q.completed) << "q" << q.query_id << " incomplete — "
+                             << scenario.Describe();
+    EXPECT_GT(q.rows, 0u) << "q" << q.query_id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiQuerySweepTest,
+                         ::testing::Range<uint64_t>(1, 41),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace chaos
+}  // namespace gqp

@@ -1,0 +1,84 @@
+// IngressManager unit tests: per-port EOS bookkeeping, duplicate-EOS
+// dedup, and the epoch fence that makes a lost producer's late messages
+// inert (recovery owns its rows from the moment it is reported).
+
+#include "exec/ingress.h"
+
+#include <gtest/gtest.h>
+
+namespace gqp {
+namespace {
+
+TEST(IngressTest, EosCompletionPerPort) {
+  IngressManager ingress;
+  ingress.AddPort(2);
+  ingress.AddPort(1);
+
+  EXPECT_FALSE(ingress.EosComplete(0));
+  ingress.MarkEos(0, "q1.f0.i0");
+  EXPECT_FALSE(ingress.EosComplete(0));
+  EXPECT_FALSE(ingress.AllEosComplete());
+  ingress.MarkEos(0, "q1.f0.i1");
+  EXPECT_TRUE(ingress.EosComplete(0));
+  EXPECT_FALSE(ingress.AllEosComplete());
+  ingress.MarkEos(1, "q1.f1.i0");
+  EXPECT_TRUE(ingress.AllEosComplete());
+}
+
+TEST(IngressTest, DuplicateEosCountsOnce) {
+  IngressManager ingress;
+  ingress.AddPort(2);
+  ingress.MarkEos(0, "p");
+  ingress.MarkEos(0, "p");
+  EXPECT_EQ(ingress.eos_count(0), 1u);
+  EXPECT_FALSE(ingress.EosComplete(0));
+}
+
+TEST(IngressTest, LostProducerIsFencedAndStopsBlockingEos) {
+  IngressManager ingress;
+  ingress.AddPort(2);
+  ingress.MarkEos(0, "alive");
+
+  EXPECT_FALSE(ingress.Fenced(0, "dead"));
+  ingress.MarkLost(0, "dead");
+  EXPECT_TRUE(ingress.Fenced(0, "dead"));
+  EXPECT_FALSE(ingress.Fenced(0, "alive"));
+  // The crashed producer's stream is over as far as recovery is
+  // concerned: the port no longer waits for its EOS.
+  EXPECT_TRUE(ingress.EosComplete(0));
+  EXPECT_EQ(ingress.lost_count(0), 1u);
+}
+
+TEST(IngressTest, LateEosFromFencedProducerIsIgnored) {
+  IngressManager ingress;
+  ingress.AddPort(1);
+  ingress.MarkLost(0, "dead");
+  ingress.MarkEos(0, "dead");
+  EXPECT_EQ(ingress.eos_count(0), 0u);
+  EXPECT_TRUE(ingress.EosComplete(0));
+}
+
+TEST(IngressTest, EosThenLostDoesNotDoubleCount) {
+  IngressManager ingress;
+  ingress.AddPort(2);
+  // EOS arrives, then the producer is reported crashed (e.g. it died after
+  // finishing): the port still needs the second producer.
+  ingress.MarkEos(0, "p0");
+  ingress.MarkLost(0, "p0");
+  EXPECT_FALSE(ingress.EosComplete(0));
+  ingress.MarkEos(0, "p1");
+  EXPECT_TRUE(ingress.EosComplete(0));
+}
+
+TEST(IngressTest, OutOfRangePortsAreNeverFencedAndInvalid) {
+  IngressManager ingress;
+  ingress.AddPort(1);
+  EXPECT_TRUE(ingress.ValidPort(0));
+  EXPECT_FALSE(ingress.ValidPort(-1));
+  EXPECT_FALSE(ingress.ValidPort(1));
+  EXPECT_FALSE(ingress.Fenced(1, "p"));
+  EXPECT_FALSE(ingress.Fenced(-1, "p"));
+}
+
+}  // namespace
+}  // namespace gqp
