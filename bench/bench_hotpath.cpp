@@ -6,7 +6,10 @@
 //                              schedule/fire + schedule/cancel mix the rpc
 //                              and detector layers generate.
 //   2. join_tuples_per_sec   — partitioned hash-join build+probe through
-//                              HashJoinOperator::Process.
+//                              HashJoinOperator::ProcessBatch (1024-row
+//                              batches, the vectorized executor path);
+//                              join_scalar_tuples_per_sec records the
+//                              per-tuple Process path for the trajectory.
 //   3. tuple_ops_per_sec     — row construction, refcounted copy and
 //                              WireSize accounting (the per-tuple tax of
 //                              the exchange machinery).
@@ -20,11 +23,13 @@
 // Modes:
 //   bench_hotpath                      measure and write BENCH_hotpath.json
 //   bench_hotpath --check <baseline>   additionally compare events_per_sec
-//                                      against the checked-in baseline and
-//                                      exit 1 on a >20% regression (CI
-//                                      perf-smoke; tolerance overridable
-//                                      via GRIDQP_PERF_TOLERANCE).
+//                                      and join_tuples_per_sec against the
+//                                      checked-in baseline and exit 1 on a
+//                                      >20% regression (CI perf-smoke;
+//                                      tolerance overridable via
+//                                      GRIDQP_PERF_TOLERANCE).
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <functional>
@@ -48,6 +53,13 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+// Repetitions per timed metric; the fastest is reported. On shared
+// machines the scheduler only ever ADDS time to a CPU-bound deterministic
+// loop, so min-of-k is the low-variance estimator of true throughput
+// (the same reasoning hyperfine and the LLVM benchmarking guide use).
+// Keeps the perf-smoke CI leg from flaking on a noisy runner.
+constexpr int kTimingReps = 3;
+
 // ---- 1. event kernel ----------------------------------------------------
 
 // One self-rescheduling chain: a small-capture callback of the kind the
@@ -70,22 +82,27 @@ struct ChainFn {
 };
 
 double BenchEvents(uint64_t target_events) {
-  Simulator sim;
-  uint64_t fired = 0;
-  constexpr int kChains = 64;  // staggered periods: realistic heap mixing
-  for (int i = 0; i < kChains; ++i) {
-    const double period = 1.0 + 0.1 * i;
-    sim.Schedule(period, ChainFn{&sim, &fired, target_events, period});
+  double best = 0;
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    Simulator sim;
+    uint64_t fired = 0;
+    constexpr int kChains = 64;  // staggered periods: realistic heap mixing
+    for (int i = 0; i < kChains; ++i) {
+      const double period = 1.0 + 0.1 * i;
+      sim.Schedule(period, ChainFn{&sim, &fired, target_events, period});
+    }
+    const auto start = Clock::now();
+    sim.RunToCompletion();
+    const double secs = SecondsSince(start);
+    best = std::max(best, static_cast<double>(sim.events_executed()) / secs);
   }
-  const auto start = Clock::now();
-  sim.RunToCompletion();
-  const double secs = SecondsSince(start);
-  return static_cast<double>(sim.events_executed()) / secs;
+  return best;
 }
 
 // ---- 2. hash join -------------------------------------------------------
 
-double BenchJoin(size_t build_rows, size_t probe_rows, size_t* matches_out) {
+double BenchJoin(size_t build_rows, size_t probe_rows, bool vectorized,
+                 size_t* matches_out) {
   const SchemaPtr build_schema = MakeSchema(
       {{"k", DataType::kInt64}, {"payload", DataType::kInt64}});
   const SchemaPtr probe_schema = MakeSchema({{"k", DataType::kInt64}});
@@ -100,13 +117,6 @@ double BenchJoin(size_t build_rows, size_t probe_rows, size_t* matches_out) {
   desc.base_cost_ms = 1.0;
   desc.build_cost_ms = 0.5;
   desc.cost_tag = "join";
-
-  auto op_result = MakeOperator(desc);
-  if (!op_result.ok()) {
-    std::fprintf(stderr, "FATAL: %s\n", op_result.status().ToString().c_str());
-    std::exit(1);
-  }
-  std::unique_ptr<PhysicalOperator> op = std::move(*op_result);
 
   // Keys are bucketed the way a hash-partitioned exchange would route
   // them: bucket = key % kBuckets, two build rows per key, and probes
@@ -129,23 +139,64 @@ double BenchJoin(size_t build_rows, size_t probe_rows, size_t* matches_out) {
                            (i * 2654435761ULL) % (2 * distinct_keys)))});
   }
 
-  ExecContext ctx;
+  double best = 0;
   size_t matches = 0;
-  const auto start = Clock::now();
-  for (const Tuple& t : build) {
-    ctx.ResetForTuple();
-    const uint64_t key = static_cast<uint64_t>(t.at(0).AsInt64());
-    (void)op->Process(0, t, static_cast<int>(key % kBuckets), &ctx);
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    // The operator is rebuilt per repetition: its build table is stateful,
+    // and a fresh instance also keeps the cold-allocation cost (table
+    // growth, scratch vectors) inside the measurement like a real query.
+    auto op_result = MakeOperator(desc);
+    if (!op_result.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   op_result.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::unique_ptr<PhysicalOperator> op = std::move(*op_result);
+    ExecContext ctx;
+    matches = 0;
+    const auto start = Clock::now();
+    if (vectorized) {
+      // The executor's batch quantum: slices of the input stream appended
+      // (refcounted copy, as a queue pop hands over) into a reused batch,
+      // one ProcessBatch per slice.
+      constexpr size_t kBatch = 1024;
+      TupleBatch in, out;
+      for (int port = 0; port <= 1; ++port) {
+        const std::vector<Tuple>& rows = port == 0 ? build : probe;
+        for (size_t pos = 0; pos < rows.size(); pos += kBatch) {
+          const size_t n = std::min(kBatch, rows.size() - pos);
+          in.Clear();
+          for (size_t i = 0; i < n; ++i) {
+            const Tuple& t = rows[pos + i];
+            const uint64_t key = static_cast<uint64_t>(t.at(0).AsInt64());
+            in.Append(t, static_cast<int>(key % kBuckets),
+                      static_cast<uint32_t>(i));
+          }
+          ctx.ResetForBatch(n);
+          out.Clear();
+          (void)op->ProcessBatch(port, &in, &out, &ctx);
+          matches += out.size();
+        }
+      }
+    } else {
+      for (const Tuple& t : build) {
+        ctx.ResetForTuple();
+        const uint64_t key = static_cast<uint64_t>(t.at(0).AsInt64());
+        (void)op->Process(0, t, static_cast<int>(key % kBuckets), &ctx);
+      }
+      for (const Tuple& t : probe) {
+        ctx.ResetForTuple();
+        const uint64_t key = static_cast<uint64_t>(t.at(0).AsInt64());
+        (void)op->Process(1, t, static_cast<int>(key % kBuckets), &ctx);
+        matches += ctx.out.size();
+      }
+    }
+    const double secs = SecondsSince(start);
+    best = std::max(best,
+                    static_cast<double>(build_rows + probe_rows) / secs);
   }
-  for (const Tuple& t : probe) {
-    ctx.ResetForTuple();
-    const uint64_t key = static_cast<uint64_t>(t.at(0).AsInt64());
-    (void)op->Process(1, t, static_cast<int>(key % kBuckets), &ctx);
-    matches += ctx.out.size();
-  }
-  const double secs = SecondsSince(start);
   *matches_out = matches;
-  return static_cast<double>(build_rows + probe_rows) / secs;
+  return best;
 }
 
 // ---- 3. tuple construction / copy / wire accounting ---------------------
@@ -239,10 +290,22 @@ int main(int argc, char** argv) {
 
   size_t matches = 0;
   const double join_tuples_per_sec =
-      BenchJoin(build_rows, probe_rows, &matches);
-  std::printf("%-24s %14.0f tuples/s   (%zu matches)\n", "hash join",
+      BenchJoin(build_rows, probe_rows, /*vectorized=*/true, &matches);
+  std::printf("%-24s %14.0f tuples/s   (%zu matches)\n", "hash join (batch)",
               join_tuples_per_sec, matches);
   metrics.Set("join_tuples_per_sec", join_tuples_per_sec);
+
+  size_t scalar_matches = 0;
+  const double join_scalar_tuples_per_sec =
+      BenchJoin(build_rows, probe_rows, /*vectorized=*/false, &scalar_matches);
+  std::printf("%-24s %14.0f tuples/s   (%zu matches)\n", "hash join (scalar)",
+              join_scalar_tuples_per_sec, scalar_matches);
+  metrics.Set("join_scalar_tuples_per_sec", join_scalar_tuples_per_sec);
+  if (matches != scalar_matches) {
+    std::fprintf(stderr, "FATAL: batch/scalar join disagree: %zu vs %zu\n",
+                 matches, scalar_matches);
+    return 1;
+  }
 
   const double tuple_ops_per_sec = BenchTuples(tuple_rows);
   std::printf("%-24s %14.0f rows/s\n", "tuple layer", tuple_ops_per_sec);
@@ -261,26 +324,34 @@ int main(int argc, char** argv) {
   metrics.WriteJson();
 
   if (baseline_path != nullptr) {
-    double baseline = 0.0;
-    if (!ReadJsonMetric(baseline_path, "events_per_sec", &baseline)) {
-      std::fprintf(stderr, "FATAL: no events_per_sec in %s\n", baseline_path);
-      return 2;
-    }
     double tolerance = 0.20;
     if (const char* env = std::getenv("GRIDQP_PERF_TOLERANCE")) {
       const double v = std::atof(env);
       if (v > 0 && v < 1) tolerance = v;
     }
-    const double floor = baseline * (1.0 - tolerance);
-    std::printf("\nperf check: events/s %.0f vs baseline %.0f (floor %.0f)\n",
-                events_per_sec, baseline, floor);
-    if (events_per_sec < floor) {
-      std::fprintf(stderr,
-                   "FAIL: events_per_sec regressed more than %.0f%% against "
-                   "%s\n",
-                   100 * tolerance, baseline_path);
-      return 1;
+    const struct {
+      const char* key;
+      double measured;
+    } gates[] = {{"events_per_sec", events_per_sec},
+                 {"join_tuples_per_sec", join_tuples_per_sec}};
+    bool failed = false;
+    for (const auto& gate : gates) {
+      double baseline = 0.0;
+      if (!ReadJsonMetric(baseline_path, gate.key, &baseline)) {
+        std::fprintf(stderr, "FATAL: no %s in %s\n", gate.key, baseline_path);
+        return 2;
+      }
+      const double floor = baseline * (1.0 - tolerance);
+      std::printf("\nperf check: %s %.0f vs baseline %.0f (floor %.0f)\n",
+                  gate.key, gate.measured, baseline, floor);
+      if (gate.measured < floor) {
+        std::fprintf(stderr,
+                     "FAIL: %s regressed more than %.0f%% against %s\n",
+                     gate.key, 100 * tolerance, baseline_path);
+        failed = true;
+      }
     }
+    if (failed) return 1;
     std::printf("perf check OK\n");
   }
   return 0;

@@ -44,6 +44,7 @@ void Usage(const char* argv0) {
       "queries\n"
       "  --no-flow-control force flow control off (A/B against a flow-"
       "control profile)\n"
+      "  --vectorized      batch-at-a-time operator execution (D13)\n"
       "  --trace           dump the full event trace of the first run\n",
       argv0);
 }
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
   bool have_seed = false;
   bool dump_trace = false;
   bool no_flow_control = false;
+  bool vectorized = false;
   gqp::chaos::ChaosProfile profile = gqp::chaos::ChaosProfile::kStandard;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -80,6 +82,8 @@ int main(int argc, char** argv) {
       profile = gqp::chaos::ChaosProfile::kMultiQuery;
     } else if (std::strcmp(arg, "--no-flow-control") == 0) {
       no_flow_control = true;
+    } else if (std::strcmp(arg, "--vectorized") == 0) {
+      vectorized = true;
     } else if (std::strcmp(arg, "--trace") == 0) {
       dump_trace = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -100,6 +104,7 @@ int main(int argc, char** argv) {
     scenario.flow_control = false;
     scenario.memory_budget_bytes = 0;
   }
+  if (vectorized) scenario.vectorized = true;
   std::printf("%s\n", scenario.Describe().c_str());
 
   gqp::chaos::ChaosRunOptions options;
@@ -186,13 +191,13 @@ int main(int argc, char** argv) {
         gqp::chaos::FirstTraceDivergence(first.trace, second.trace),
         static_cast<unsigned long long>(first.trace_hash),
         static_cast<unsigned long long>(second.trace_hash),
-        gqp::chaos::ReproCommand(seed, profile).c_str());
+        gqp::chaos::ReproCommand(seed, profile, vectorized).c_str());
   } else if (first.result_rows != second.result_rows) {
     ok = false;
     std::printf(
         "VIOLATION [determinism] identical traces but different result "
         "rows — repro: %s\n",
-        gqp::chaos::ReproCommand(seed, profile).c_str());
+        gqp::chaos::ReproCommand(seed, profile, vectorized).c_str());
   }
 
   if (dump_trace) std::fputs(first.trace.c_str(), stdout);

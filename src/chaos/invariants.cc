@@ -280,10 +280,16 @@ void CheckBoundedMemory(GridSetup* grid, int query_id,
     }
     const std::string key = exec->plan().id.ToString();
     const uint64_t window = config.credit_window_bytes;
-    // Overshoot of one gated tuple start: its processing may route up to
-    // `max_fanout` outputs before the gate is consulted again.
-    const uint64_t slack =
-        static_cast<uint64_t>(max_fanout) * (12 + max_tuple_wire_bytes);
+    // Overshoot of one gated driver step: the credit gate is consulted
+    // before a step starts, and one step routes up to `max_fanout` outputs
+    // per input tuple before the gate is seen again. A scalar step covers
+    // one tuple; a vectorized step covers a whole batch (D13).
+    const uint64_t step_tuples =
+        config.vectorized_enabled
+            ? std::max<uint64_t>(config.vector_batch_size, 1)
+            : 1;
+    const uint64_t slack = step_tuples * static_cast<uint64_t>(max_fanout) *
+                           (12 + max_tuple_wire_bytes);
 
     if (exec->producer() != nullptr) {
       const CreditLedgerStats& cs = exec->producer()->credit().stats();

@@ -80,7 +80,8 @@ std::string ChaosRunResult::Report() const {
 ChaosRunResult RunScenario(const ChaosScenario& scenario,
                            const ChaosRunOptions& options) {
   ChaosRunResult result;
-  const std::string repro = ReproCommand(scenario.seed, scenario.profile);
+  const std::string repro =
+      ReproCommand(scenario.seed, scenario.profile, scenario.vectorized);
 
   GridOptions grid_options;
   grid_options.num_evaluators = scenario.num_evaluators;
@@ -180,6 +181,8 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   query_options.exec.recovery_log_enabled = true;
   query_options.exec.flow_control_enabled = scenario.flow_control;
   query_options.exec.memory_budget_bytes = scenario.memory_budget_bytes;
+  query_options.exec.vectorized_enabled = scenario.vectorized;
+  query_options.exec.vector_batch_size = scenario.vector_batch_size;
   query_options.scheduler.num_evaluators = scenario.num_evaluators;
 
   Result<int> query = grid.gdqs()->SubmitQuery(QuerySql(scenario.query),

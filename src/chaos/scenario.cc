@@ -102,6 +102,9 @@ std::string ChaosScenario::Describe() const {
   if (flow_control) {
     out += StrCat(" fc=on budget=", memory_budget_bytes);
   }
+  if (vectorized) {
+    out += StrCat(" vec=on batch=", vector_batch_size);
+  }
   if (!partitions.empty()) {
     out += " part=[";
     for (size_t i = 0; i < partitions.size(); ++i) {
@@ -387,7 +390,8 @@ ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
   return s;
 }
 
-std::string ReproCommand(uint64_t seed, ChaosProfile profile) {
+std::string ReproCommand(uint64_t seed, ChaosProfile profile,
+                         bool vectorized) {
   std::string_view flag;
   switch (profile) {
     case ChaosProfile::kStandard:
@@ -406,7 +410,8 @@ std::string ReproCommand(uint64_t seed, ChaosProfile profile) {
       flag = " --multi-query";
       break;
   }
-  return StrCat("chaos_repro --seed=", seed, flag);
+  return StrCat("chaos_repro --seed=", seed, flag,
+                vectorized ? " --vectorized" : "");
 }
 
 }  // namespace chaos

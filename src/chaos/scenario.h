@@ -146,6 +146,13 @@ struct ChaosScenario {
   bool flow_control = false;
   size_t memory_budget_bytes = 0;
 
+  // --- vectorized execution (D13) ----------------------------------------
+  /// Batch-at-a-time operator execution. GenerateScenario never sets this
+  /// (legacy traces stay byte-identical); the vectorized sweeps and
+  /// `chaos_repro --vectorized` flip it after generation.
+  bool vectorized = false;
+  size_t vector_batch_size = 16;
+
   // --- multi-query (D12) -------------------------------------------------
   /// Queries submitted on top of the base `query` while it runs. Only the
   /// kMultiQuery profile populates this; legacy profiles leave it empty so
@@ -173,7 +180,8 @@ ChaosScenario GenerateScenario(uint64_t seed,
 /// The one-line command that reproduces a scenario (printed with every
 /// invariant violation).
 std::string ReproCommand(uint64_t seed,
-                         ChaosProfile profile = ChaosProfile::kStandard);
+                         ChaosProfile profile = ChaosProfile::kStandard,
+                         bool vectorized = false);
 
 }  // namespace chaos
 }  // namespace gqp

@@ -1,5 +1,7 @@
 #include "exec/flat_join_table.h"
 
+#include <algorithm>
+
 namespace gqp {
 
 namespace {
@@ -20,22 +22,27 @@ size_t NextPow2(size_t n) {
 
 void FlatJoinTable::Reserve(size_t expected_rows) {
   if (expected_rows == 0) return;
-  entries_.reserve(expected_rows);
+  if (expected_rows > entries_.capacity()) {
+    // At least double: batched builds call Reserve with a running total
+    // every batch, and an exact-fit reserve each time would degrade the
+    // entry vector to quadratic reallocation.
+    entries_.reserve(std::max(expected_rows, entries_.capacity() * 2));
+  }
   const size_t wanted = NextPow2(expected_rows * kLoadDen / kLoadNum + 1);
   if (wanted > slots_.size()) Rehash(wanted);
 }
 
 uint32_t FlatJoinTable::FindHead(uint64_t hash) const {
   const size_t mask = slots_.size() - 1;
+  const uint8_t tag = TagOf(hash);
   for (size_t i = hash & mask;; i = (i + 1) & mask) {
     const uint32_t at = slots_[i];
     if (at == 0) return 0;
-    if (entries_[at - 1].hash == hash) return at;
+    if (tags_[i] == tag && entries_[at - 1].hash == hash) return at;
   }
 }
 
-bool FlatJoinTable::Insert(uint64_t hash, const Value& key,
-                           const Tuple& tuple) {
+bool FlatJoinTable::Insert(uint64_t hash, const Tuple& tuple) {
   if (slots_.empty() ||
       (occupied_ + 1) * kLoadDen > slots_.size() * kLoadNum) {
     Rehash(slots_.empty() ? kMinSlots : slots_.size() * 2);
@@ -43,17 +50,21 @@ bool FlatJoinTable::Insert(uint64_t hash, const Value& key,
 
   const uint32_t offset = static_cast<uint32_t>(entries_.size() + 1);
   const size_t mask = slots_.size() - 1;
+  const uint8_t tag = TagOf(hash);
   size_t i = hash & mask;
   for (;; i = (i + 1) & mask) {
     const uint32_t head = slots_[i];
     if (head == 0) {
       // New chain.
       slots_[i] = offset;
+      tags_[i] = tag;
       ++occupied_;
-      entries_.push_back(Entry{hash, 0, offset, key, tuple});
+      entries_.push_back(Entry{hash, 0, offset, tuple});
       return false;
     }
-    if (entries_[head - 1].hash != hash) continue;  // probe collision
+    if (tags_[i] != tag || entries_[head - 1].hash != hash) {
+      continue;  // probe collision
+    }
     // Existing chain: check for a value-identical duplicate, then append
     // at the tail so iteration stays in insertion order.
     bool duplicate = false;
@@ -66,13 +77,14 @@ bool FlatJoinTable::Insert(uint64_t hash, const Value& key,
     Entry& head_entry = entries_[head - 1];
     entries_[head_entry.tail - 1].next = offset;
     head_entry.tail = offset;
-    entries_.push_back(Entry{hash, 0, 0, key, tuple});
+    entries_.push_back(Entry{hash, 0, 0, tuple});
     return duplicate;
   }
 }
 
 void FlatJoinTable::Rehash(size_t new_slot_count) {
   slots_.assign(new_slot_count, 0);
+  tags_.assign(new_slot_count, 0);
   occupied_ = 0;
   const size_t mask = new_slot_count - 1;
   // Re-seat chain heads only; chains and entries are untouched.
@@ -82,6 +94,7 @@ void FlatJoinTable::Rehash(size_t new_slot_count) {
     for (size_t i = entry.hash & mask;; i = (i + 1) & mask) {
       if (slots_[i] == 0) {
         slots_[i] = static_cast<uint32_t>(e + 1);
+        tags_[i] = TagOf(entry.hash);
         ++occupied_;
         break;
       }
@@ -92,6 +105,7 @@ void FlatJoinTable::Rehash(size_t new_slot_count) {
 void FlatJoinTable::Clear() {
   entries_.clear();
   slots_.clear();
+  tags_.clear();
   occupied_ = 0;
 }
 

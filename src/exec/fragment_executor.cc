@@ -1,5 +1,7 @@
 #include "exec/fragment_executor.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -284,7 +286,11 @@ void FragmentExecutor::MaybeProcess() {
   if (plan_.fragment.IsScanLeaf()) {
     if (scan_row_ < scan_table_->num_rows()) {
       processing_ = true;
-      ProcessScanRow();
+      if (plan_.config.vectorized_enabled) {
+        ProcessScanBatch();
+      } else {
+        ProcessScanRow();
+      }
     } else {
       CheckCompletion();
     }
@@ -299,7 +305,11 @@ void FragmentExecutor::MaybeProcess() {
     idle_tracking_ = false;
   }
   processing_ = true;
-  ProcessQueuedTuple(port);
+  if (plan_.config.vectorized_enabled) {
+    ProcessQueuedBatch(port);
+  } else {
+    ProcessQueuedTuple(port);
+  }
 }
 
 void FragmentExecutor::ProcessScanRow() {
@@ -366,6 +376,103 @@ void FragmentExecutor::ProcessQueuedTuple(int port) {
         // driver stays suppressed until every deferred control message is
         // dispatched — otherwise the first handler would start new tuple
         // work and later purges/replies would race with it again.
+        dispatching_control_ = true;
+        std::vector<Message> deferred;
+        deferred.swap(deferred_state_moves_);
+        for (const Message& m : deferred) DispatchStateMove(m);
+        dispatching_control_ = false;
+        driver_->MaybeEmitM1(producer() != nullptr);
+        MaybeProcess();
+        CheckCompletion();
+      });
+}
+
+void FragmentExecutor::ProcessScanBatch() {
+  const size_t remaining = scan_table_->num_rows() - scan_row_;
+  const size_t batch = std::max<size_t>(plan_.config.vector_batch_size, 1);
+  const size_t n = remaining < batch ? remaining : batch;
+  const Status s = driver_->RunScanBatch(*scan_table_, scan_row_, n);
+  scan_row_ += n;
+  if (!s.ok()) {
+    Fail(s);
+    processing_ = false;
+    return;
+  }
+  stats_.tuples_processed += n;
+  node_->SubmitComposite(driver_->ctx()->charges, [this, n](double actual_ms) {
+    driver_->AccumulateBatchCost(actual_ms, n);
+    (void)DeliverOutputs(driver_->ctx());
+    driver_->MaybeEmitM1(producer() != nullptr);
+    processing_ = false;
+    MaybeProcess();
+  });
+}
+
+void FragmentExecutor::ProcessQueuedBatch(int port) {
+  // Pop up to a batch of runnable tuples. Parking is re-checked before
+  // every pop: the front may turn blocked mid-batch (a blocked tuple must
+  // never ride along with runnable ones — bucket state cannot change
+  // while we pop, but the *front* changes with each pop).
+  const size_t batch = std::max<size_t>(plan_.config.vector_batch_size, 1);
+  std::vector<QueuedTuple> popped;
+  popped.reserve(batch);
+  while (popped.size() < batch) {
+    if (port > 0) {
+      queues_->ParkBlocked(
+          port, [this](int bucket) { return BucketBlocked(bucket); });
+    }
+    if (queues_->QueueEmpty(port)) break;
+    popped.push_back(queues_->PopFront(port));
+    const QueuedTuple& qt = popped.back();
+    queues_->ReleaseCredit(port, qt.producer_key, qt.wire_bytes);
+  }
+  if (popped.empty()) {
+    processing_ = false;
+    MaybeProcess();
+    return;
+  }
+
+  const size_t n = popped.size();
+  TupleBatch in;
+  in.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    in.Append(popped[i].rt.tuple, popped[i].rt.bucket,
+              static_cast<uint32_t>(i));
+  }
+  const Status s = driver_->RunBatch(port, &in);
+  if (!s.ok()) {
+    Fail(s);
+    processing_ = false;
+    return;
+  }
+  stats_.tuples_processed += n;
+
+  node_->SubmitComposite(
+      driver_->ctx()->charges,
+      [this, port, popped = std::move(popped), n](double actual_ms) {
+        driver_->AccumulateBatchCost(actual_ms, n);
+        ExecContext* ctx = driver_->ctx();
+        // DeliverOutputs clears ctx->out but leaves out_origin: seqs[i]
+        // belongs to the input row out_origin[i] (origins are
+        // non-decreasing — every operator emits in input-row order).
+        const std::vector<uint64_t> output_seqs = DeliverOutputs(ctx);
+        size_t next_out = 0;
+        std::vector<uint64_t> row_seqs;
+        for (size_t i = 0; i < n; ++i) {
+          row_seqs.clear();
+          while (next_out < output_seqs.size() &&
+                 ctx->out_origin[next_out] == i) {
+            row_seqs.push_back(output_seqs[next_out]);
+            ++next_out;
+          }
+          state_->RecordProcessed(port, popped[i].producer_key,
+                                  popped[i].rt.seq, popped[i].rt.bucket,
+                                  ctx->row_retained[i] != 0, row_seqs,
+                                  producer() != nullptr, finished_);
+        }
+        processing_ = false;
+        // Same deferred-control drain as the scalar path: state moves that
+        // raced with this batch see every popped seq in the processed set.
         dispatching_control_ = true;
         std::vector<Message> deferred;
         deferred.swap(deferred_state_moves_);

@@ -115,6 +115,10 @@ class FragmentExecutor : public GridService {
   void MaybeProcess();
   void ProcessScanRow();
   void ProcessQueuedTuple(int port);
+  // Vectorized mode (DESIGN.md §D13): same two-phase shape, but one
+  // composite work item covers a whole popped batch.
+  void ProcessScanBatch();
+  void ProcessQueuedBatch(int port);
   /// Flushes pending credit grants and starts idle-wait tracking.
   void GoIdle();
   /// Offers staged outputs to the producer; returns their seqs.

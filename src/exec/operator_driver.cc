@@ -54,6 +54,53 @@ Status OperatorDriver::RunTuple(int port, const Tuple& tuple, int bucket) {
   return ops_.front()->Process(port, tuple, bucket, &ctx_);
 }
 
+Status OperatorDriver::RunScanBatch(const Table& table, size_t start,
+                                    size_t n) {
+  ctx_.ResetForBatch(n);
+  ctx_.ChargeN(scan_tag_, scan_cost_ms_, n);
+  if (ops_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      ctx_.out.push_back(table.row(start + i));
+      ctx_.out_origin.push_back(static_cast<uint32_t>(i));
+    }
+    return Status::OK();
+  }
+  scan_batch_.Clear();
+  scan_batch_.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scan_batch_.Append(table.row(start + i), -1, static_cast<uint32_t>(i));
+  }
+  return RunChainBatch(0, &scan_batch_);
+}
+
+Status OperatorDriver::RunBatch(int port, TupleBatch* in) {
+  ctx_.ResetForBatch(in->size());
+  return RunChainBatch(port, in);
+}
+
+Status OperatorDriver::RunChainBatch(int port, TupleBatch* in) {
+  TupleBatch* cur = in;
+  TupleBatch* next = &scratch_a_;
+  for (auto& op : ops_) {
+    next->Clear();
+    GQP_RETURN_IF_ERROR(op->ProcessBatch(port, cur, next, &ctx_));
+    // Ping-pong: the consumed batch becomes the next stage's output
+    // scratch (the caller's `in` is scratch to it as well).
+    TupleBatch* spent = cur == in ? &scratch_b_ : cur;
+    cur = next;
+    next = spent;
+    port = 0;
+  }
+  const size_t rows = cur->size();
+  ctx_.out.reserve(ctx_.out.size() + rows);
+  ctx_.out_origin.reserve(ctx_.out_origin.size() + rows);
+  for (size_t i = 0; i < rows; ++i) {
+    ctx_.out.push_back(cur->TakeTuple(i));
+    ctx_.out_origin.push_back(cur->origin(i));
+  }
+  return Status::OK();
+}
+
 void OperatorDriver::FinishPorts(size_t num_ports) {
   for (size_t p = 0; p < num_ports; ++p) {
     for (auto& op : ops_) {

@@ -46,6 +46,15 @@ class OperatorDriver {
   /// Runs one queued exchange tuple through the chain.
   Status RunTuple(int port, const Tuple& tuple, int bucket);
 
+  // --- vectorized mode (DESIGN.md §D13) ---------------------------------
+  /// Runs `n` scan rows starting at `start` through the chain as one
+  /// batch, charging the scan cost once (n × unit).
+  Status RunScanBatch(const Table& table, size_t start, size_t n);
+  /// Runs a popped batch of exchange tuples through the chain. `in` is
+  /// consumed; per-row retention lands in ctx()->row_retained, outputs in
+  /// ctx()->out with their input-row origin in ctx()->out_origin.
+  Status RunBatch(int port, TupleBatch* in);
+
   /// FinishPort on every operator for every port; errors go to `fail`.
   void FinishPorts(size_t num_ports);
   /// Resets the context and flushes chain-finish output into it. Returns
@@ -61,6 +70,14 @@ class OperatorDriver {
     stats_->busy_ms += actual_ms;
     m1_cost_ms_ += actual_ms;
     ++m1_tuples_;
+  }
+  /// Batch-mode variant: one work item covered `n` tuples, so the M1
+  /// accumulators advance by the whole batch at once (batch-boundary
+  /// monitoring granularity).
+  void AccumulateBatchCost(double actual_ms, uint64_t n) {
+    stats_->busy_ms += actual_ms;
+    m1_cost_ms_ += actual_ms;
+    m1_tuples_ += n;
   }
   /// Records an idle wait that ended when a tuple became runnable.
   void AccumulateWait(double wait_ms) {
@@ -90,8 +107,17 @@ class OperatorDriver {
   const FragmentDesc* fragment_;
   FragmentStats* stats_;
   Hooks hooks_;
+  /// Walks the batch through the chain; the survivors of the last
+  /// operator move into ctx_.out / ctx_.out_origin.
+  Status RunChainBatch(int port, TupleBatch* in);
+
   std::vector<std::unique_ptr<PhysicalOperator>> ops_;
   ExecContext ctx_;
+  /// Ping-pong scratch batches for RunChainBatch (capacity reused).
+  TupleBatch scratch_a_;
+  TupleBatch scratch_b_;
+  /// Scan-batch staging (capacity reused).
+  TupleBatch scan_batch_;
   /// Interned scan tag + base cost (scan leaves only).
   std::string_view scan_tag_;
   double scan_cost_ms_ = 0.0;

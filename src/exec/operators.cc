@@ -27,6 +27,32 @@ Status PhysicalOperator::Emit(const Tuple& tuple, ExecContext* ctx) {
   return Status::OK();
 }
 
+// Generic batch step for operators without a hand-written override: runs
+// the scalar Process per row with chaining suppressed and re-maps the
+// per-tuple outputs/retention into batch form. Charges land per row, so
+// the ledger counts match a scalar run exactly.
+Status PhysicalOperator::ProcessBatch(int port, TupleBatch* in,
+                                      TupleBatch* out, ExecContext* ctx) {
+  PhysicalOperator* saved_next = next_;
+  next_ = nullptr;
+  Status status = Status::OK();
+  const size_t stage_base = ctx->out.size();
+  for (size_t i = 0; i < in->size() && status.ok(); ++i) {
+    ctx->retained = false;
+    status = Process(port, in->tuple(i), in->bucket(i), ctx);
+    if (ctx->retained && in->origin(i) < ctx->row_retained.size()) {
+      ctx->row_retained[in->origin(i)] = 1;
+    }
+    for (size_t j = stage_base; j < ctx->out.size(); ++j) {
+      out->Append(std::move(ctx->out[j]), -1, in->origin(i));
+    }
+    ctx->out.resize(stage_base);
+  }
+  ctx->retained = false;
+  next_ = saved_next;
+  return status;
+}
+
 // ---- Filter ------------------------------------------------------------
 
 FilterOperator::FilterOperator(const PhysOpDesc& desc)
@@ -40,6 +66,23 @@ Status FilterOperator::Process(int, const Tuple& tuple, int,
   GQP_ASSIGN_OR_RETURN(Value v, predicate_->Eval(tuple, ctx->functions));
   if (!ValueIsTrue(v)) return Status::OK();
   return Emit(tuple, ctx);
+}
+
+Status FilterOperator::ProcessBatch(int, TupleBatch* in, TupleBatch* out,
+                                    ExecContext* ctx) {
+  const size_t n = in->size();
+  ctx->ChargeN(tag_, cost_ms_, n);
+  std::vector<unsigned char>& mask = ctx->mask;
+  mask.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    GQP_ASSIGN_OR_RETURN(Value v,
+                         predicate_->Eval(in->tuple(i), ctx->functions));
+    mask[i] = ValueIsTrue(v) ? 1 : 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i] != 0) out->Append(in->TakeTuple(i), -1, in->origin(i));
+  }
+  return Status::OK();
 }
 
 // ---- Project -----------------------------------------------------------
@@ -60,6 +103,23 @@ Status ProjectOperator::Process(int, const Tuple& tuple, int,
     values.push_back(std::move(v));
   }
   return Emit(Tuple(out_schema_, std::move(values)), ctx);
+}
+
+Status ProjectOperator::ProcessBatch(int, TupleBatch* in, TupleBatch* out,
+                                     ExecContext* ctx) {
+  const size_t n = in->size();
+  ctx->ChargeN(tag_, cost_ms_, n);
+  std::vector<Value> values;
+  for (size_t i = 0; i < n; ++i) {
+    values.clear();
+    values.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) {
+      GQP_ASSIGN_OR_RETURN(Value v, e->Eval(in->tuple(i), ctx->functions));
+      values.push_back(std::move(v));
+    }
+    out->Append(Tuple(out_schema_, std::move(values)), -1, in->origin(i));
+  }
+  return Status::OK();
 }
 
 // ---- OperationCall -----------------------------------------------------
@@ -84,6 +144,32 @@ Status OperationCallOperator::Process(int, const Tuple& tuple, int,
   std::vector<Value> values(tuple.data(), tuple.data() + tuple.size());
   values.push_back(std::move(result));
   return Emit(Tuple(out_schema_, std::move(values)), ctx);
+}
+
+Status OperationCallOperator::ProcessBatch(int, TupleBatch* in,
+                                           TupleBatch* out,
+                                           ExecContext* ctx) {
+  const size_t n = in->size();
+  if (n == 0) return Status::OK();
+  ctx->ChargeN(tag_, cost_ms_, n);
+  // One registry lookup for the whole batch (the std::function copy is
+  // the scalar path's per-tuple tax).
+  GQP_ASSIGN_OR_RETURN(FunctionRegistry::Fn fn,
+                       ctx->functions->Find(ws_name_));
+  std::vector<Value> args(1);
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& tuple = in->tuple(i);
+    if (arg_col_ >= tuple.size()) {
+      return Status::OutOfRange(StrCat("operation call argument column ",
+                                       arg_col_, " out of range"));
+    }
+    args[0] = tuple.at(arg_col_);
+    GQP_ASSIGN_OR_RETURN(Value result, fn(args));
+    std::vector<Value> values(tuple.data(), tuple.data() + tuple.size());
+    values.push_back(std::move(result));
+    out->Append(Tuple(out_schema_, std::move(values)), -1, in->origin(i));
+  }
+  return Status::OK();
 }
 
 // ---- HashJoin ----------------------------------------------------------
@@ -118,7 +204,7 @@ Status HashJoinOperator::Process(int port, const Tuple& tuple, int bucket,
       return Status::OutOfRange("build key column out of range");
     }
     const Value& key = tuple.at(build_key_);
-    if (TableForBucket(bucket).Insert(key.Hash(), key, tuple)) {
+    if (TableForBucket(bucket).Insert(key.JoinHash(), tuple)) {
       ++duplicate_build_inserts_;
       GQP_LOG_WARN << "hash join: duplicate build insert, key="
                    << key.ToString() << " bucket=" << bucket;
@@ -135,11 +221,141 @@ Status HashJoinOperator::Process(int port, const Tuple& tuple, int bucket,
     if (static_cast<size_t>(bucket) >= state_.size()) return Status::OK();
     Status status = Status::OK();
     state_[static_cast<size_t>(bucket)].ForEachMatch(
-        key.Hash(), [&](const Value& build_key, const Tuple& build_tuple) {
-          if (!status.ok() || build_key != key) return;  // hash collision
+        key.JoinHash(), [&](const Tuple& build_tuple) {
+          // Hash collision: the stored key is the build tuple's key column.
+          if (!status.ok() || build_tuple.at(build_key_) != key) return;
           status = Emit(Tuple::Concat(out_schema_, build_tuple, tuple), ctx);
         });
     return status;
+  }
+  return Status::InvalidArgument(
+      StrCat("hash join has no input port ", port));
+}
+
+Status HashJoinOperator::ProcessBatch(int port, TupleBatch* in,
+                                      TupleBatch* out, ExecContext* ctx) {
+  const size_t n = in->size();
+  if (port == 0) {
+    ctx->ChargeN(tag_, build_cost_ms_, n);
+    // Pre-size each touched bucket for its share of the batch so entry
+    // vectors and slot arrays grow at most once per batch.
+    batch_bucket_counts_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t bucket =
+          static_cast<size_t>(in->bucket(i) < 0 ? 0 : in->bucket(i));
+      if (bucket >= batch_bucket_counts_.size()) {
+        batch_bucket_counts_.resize(bucket + 1, 0);
+      }
+      ++batch_bucket_counts_[bucket];
+    }
+    for (size_t b = 0; b < batch_bucket_counts_.size(); ++b) {
+      if (batch_bucket_counts_[b] == 0) continue;
+      FlatJoinTable& table = TableForBucket(static_cast<int>(b));
+      table.Reserve(table.size() + batch_bucket_counts_[b]);
+    }
+    // Pass 2: hash the key column and prefetch each row's destination
+    // slot, so the insert loop's slot-array misses overlap with the
+    // following rows' hashing.
+    hash_scratch_.clear();
+    hash_scratch_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Tuple& tuple = in->tuple(i);
+      if (build_key_ >= tuple.size()) {
+        return Status::OutOfRange("build key column out of range");
+      }
+      const uint64_t hash = tuple.at(build_key_).JoinHash();
+      hash_scratch_.push_back(hash);
+      const size_t bucket =
+          static_cast<size_t>(in->bucket(i) < 0 ? 0 : in->bucket(i));
+      state_[bucket].Prefetch(hash);
+    }
+    // Pass 3: insert.
+    for (size_t i = 0; i < n; ++i) {
+      const Tuple& tuple = in->tuple(i);
+      const int bucket = in->bucket(i) < 0 ? 0 : in->bucket(i);
+      if (TableForBucket(bucket).Insert(hash_scratch_[i], tuple)) {
+        ++duplicate_build_inserts_;
+        GQP_LOG_WARN << "hash join: duplicate build insert, key="
+                     << tuple.at(build_key_).ToString()
+                     << " bucket=" << bucket;
+      }
+      if (in->origin(i) < ctx->row_retained.size()) {
+        ctx->row_retained[in->origin(i)] = 1;
+      }
+    }
+    return Status::OK();
+  }
+  if (port == 1) {
+    ctx->ChargeN(tag_, probe_cost_ms_, n);
+    // Pass 1: hash the key column and prefetch each row's slot, so the
+    // table's cache misses overlap with the next rows' hashing instead of
+    // stalling the probe loop.
+    hash_scratch_.clear();
+    hash_scratch_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Tuple& tuple = in->tuple(i);
+      if (probe_key_ >= tuple.size()) {
+        return Status::OutOfRange("probe key column out of range");
+      }
+      const uint64_t hash = tuple.at(probe_key_).JoinHash();
+      hash_scratch_.push_back(hash);
+      const size_t bucket =
+          static_cast<size_t>(in->bucket(i) < 0 ? 0 : in->bucket(i));
+      if (bucket < state_.size()) state_[bucket].Prefetch(hash);
+    }
+    // Pass 2a: scan the (cache-resident) slot tags for each row's
+    // candidate chain head; CandidateSlot prefetches the candidate's
+    // entry, so the entry-vector misses of the whole batch overlap.
+    cand_scratch_.clear();
+    cand_scratch_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t bucket =
+          static_cast<size_t>(in->bucket(i) < 0 ? 0 : in->bucket(i));
+      cand_scratch_.push_back(bucket < state_.size()
+                                  ? state_[bucket].CandidateSlot(
+                                        hash_scratch_[i])
+                                  : FlatJoinTable::kNoSlot);
+    }
+    // Pass 2b: confirm each candidate against its (now cached) entry.
+    head_scratch_.clear();
+    head_scratch_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t head = 0;
+      if (cand_scratch_[i] != FlatJoinTable::kNoSlot) {
+        const size_t bucket =
+            static_cast<size_t>(in->bucket(i) < 0 ? 0 : in->bucket(i));
+        head = state_[bucket].ConfirmHead(hash_scratch_[i],
+                                          cand_scratch_[i]);
+      }
+      head_scratch_.push_back(head);
+    }
+    // Pass 3: walk the chains and emit. A short lookahead prefetches the
+    // build payloads ~kLookahead rows before the emit touches them —
+    // far enough to cover a memory round trip, near enough that the
+    // lines are still resident when consumed (a whole-batch prefetch
+    // pass floods the L2 instead).
+    constexpr size_t kLookahead = 12;
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kLookahead < n && head_scratch_[i + kLookahead] != 0) {
+        const size_t pf_bucket = static_cast<size_t>(
+            in->bucket(i + kLookahead) < 0 ? 0 : in->bucket(i + kLookahead));
+        state_[pf_bucket].PrefetchMatchPayload(head_scratch_[i + kLookahead]);
+      }
+      const uint32_t head = head_scratch_[i];
+      if (head == 0) continue;
+      const size_t bucket =
+          static_cast<size_t>(in->bucket(i) < 0 ? 0 : in->bucket(i));
+      const Tuple& tuple = in->tuple(i);
+      const Value& key = tuple.at(probe_key_);
+      const uint32_t origin = in->origin(i);
+      state_[bucket].ForEachMatchFrom(head, [&](const Tuple& build_tuple) {
+        // Hash collision: the stored key is the build tuple's key column.
+        if (build_tuple.at(build_key_) != key) return;
+        out->Append(Tuple::Concat(out_schema_, build_tuple, tuple), -1,
+                    origin);
+      });
+    }
+    return Status::OK();
   }
   return Status::InvalidArgument(
       StrCat("hash join has no input port ", port));
@@ -248,6 +464,39 @@ Status HashAggregateOperator::Process(int port, const Tuple& tuple,
   return Status::OK();
 }
 
+Status HashAggregateOperator::ProcessBatch(int port, TupleBatch* in,
+                                           TupleBatch* out,
+                                           ExecContext* ctx) {
+  (void)out;  // an aggregate absorbs its batch; output comes from Finish
+  if (port != 0) {
+    return Status::InvalidArgument("hash aggregate has a single input port");
+  }
+  const size_t n = in->size();
+  ctx->ChargeN(tag_, cost_ms_, n);
+  std::vector<Value> group_values;
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& tuple = in->tuple(i);
+    const int bucket = in->bucket(i) < 0 ? 0 : in->bucket(i);
+    group_values.clear();
+    group_values.reserve(group_exprs_.size());
+    for (const ExprPtr& e : group_exprs_) {
+      GQP_ASSIGN_OR_RETURN(Value v, e->Eval(tuple, ctx->functions));
+      group_values.push_back(std::move(v));
+    }
+    const std::string key = EncodeGroupKey(group_values);
+    auto [it, inserted] = state_[bucket].try_emplace(key);
+    if (inserted) {
+      it->second.group_values = std::move(group_values);
+      it->second.accums.resize(aggs_.size());
+    }
+    GQP_RETURN_IF_ERROR(Accumulate(&it->second, tuple, ctx));
+    if (in->origin(i) < ctx->row_retained.size()) {
+      ctx->row_retained[in->origin(i)] = 1;
+    }
+  }
+  return Status::OK();
+}
+
 Value HashAggregateOperator::Finalize(const AggSpec& spec,
                                       const Accumulator& acc) const {
   switch (spec.kind) {
@@ -305,6 +554,16 @@ Status CollectOperator::Process(int, const Tuple& tuple, int,
                                 ExecContext* ctx) {
   ctx->Charge(tag_, cost_ms_);
   results_.push_back(tuple);
+  return Status::OK();
+}
+
+Status CollectOperator::ProcessBatch(int, TupleBatch* in, TupleBatch* out,
+                                     ExecContext* ctx) {
+  (void)out;  // collect is a sink
+  const size_t n = in->size();
+  ctx->ChargeN(tag_, cost_ms_, n);
+  results_.reserve(results_.size() + n);
+  for (size_t i = 0; i < n; ++i) results_.push_back(in->TakeTuple(i));
   return Status::OK();
 }
 

@@ -23,33 +23,104 @@
 #include "expr/expression.h"
 #include "plan/physical_plan.h"
 #include "storage/table.h"
+#include "storage/tuple_batch.h"
 
 namespace gqp {
+
+/// Cumulative record of every cost charged through an ExecContext, kept as
+/// integer counts per distinct (tag, unit cost) pair. Because the counts
+/// are exact and the entry order depends only on the order of first
+/// encounter (identical in scalar and vectorized mode: the chain order),
+/// TotalMs() is computed by the *same* sequence of floating-point
+/// operations regardless of batch size — so scalar and vectorized runs of
+/// the same input agree bit-for-bit, with none of the drift that
+/// re-associating per-tuple additions into per-batch multiplies would
+/// introduce (DESIGN.md §D13).
+struct ChargeLedger {
+  struct Entry {
+    std::string_view tag;
+    double unit_ms;
+    uint64_t count;
+  };
+  std::vector<Entry> entries;
+
+  void Add(std::string_view tag, double unit_ms, uint64_t n) {
+    // Charges repeat the same (tag, unit) in runs; scan from the back so
+    // the common case is a first-probe hit.
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (it->unit_ms == unit_ms && it->tag == tag) {
+        it->count += n;
+        return;
+      }
+    }
+    entries.push_back(Entry{tag, unit_ms, n});
+  }
+  double TotalMs() const {
+    double total = 0.0;
+    for (const Entry& e : entries) {
+      total += e.unit_ms * static_cast<double>(e.count);
+    }
+    return total;
+  }
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (const Entry& e : entries) total += e.count;
+    return total;
+  }
+  void Clear() { entries.clear(); }
+};
 
 /// Per-tuple execution context: cost charges, retention flag, staging area
 /// for chain outputs.
 struct ExecContext {
   /// (operation tag, base cost ms) pairs accumulated while processing the
-  /// current tuple; the driver turns them into one composite node work
-  /// item. Tags are interned views (InternString): charging is
+  /// current tuple (or batch); the driver turns them into one composite
+  /// node work item. Tags are interned views (InternString): charging is
   /// allocation-free on the hot path, and the views stay valid for the
   /// lifetime of any node work item they are copied into.
   std::vector<std::pair<std::string_view, double>> charges;
   /// Set by stateful operators when the input tuple was absorbed into
-  /// operator state (it must not be acknowledged upstream yet).
+  /// operator state (it must not be acknowledged upstream yet). Scalar
+  /// mode only; batch mode records per-row retention in `row_retained`.
   bool retained = false;
-  /// Tuples emitted by the chain for the current input tuple.
+  /// Tuples emitted by the chain for the current input tuple/batch.
   std::vector<Tuple> out;
+  /// Batch mode: out_origin[i] is the input-batch row index `out[i]`
+  /// derives from (parallel to `out`; empty in scalar mode). Survives the
+  /// egress clearing `out` so the executor can map delivered output seqs
+  /// back to the input tuples awaiting acknowledgment.
+  std::vector<uint32_t> out_origin;
+  /// Batch mode: row_retained[i] != 0 when input-batch row i was absorbed
+  /// into operator state (indexed by origin, sized by ResetForBatch).
+  std::vector<unsigned char> row_retained;
+  /// Cumulative (whole-run) charge counts; never reset between tuples.
+  /// The canonical total cost both execution modes are compared on.
+  ChargeLedger ledger;
   /// Scalar function implementations for filter/project expressions.
   const FunctionRegistry* functions = &FunctionRegistry::Builtins();
+  /// Shared predicate-mask scratch for batch filters (capacity reuse).
+  std::vector<unsigned char> mask;
 
   void Charge(std::string_view tag, double ms) {
     charges.emplace_back(tag, ms);
+    ledger.Add(tag, ms, 1);
+  }
+  /// Batch-mode charge: one composite part worth n scalar charges. No-op
+  /// for an empty batch (scalar mode charges nothing for zero tuples).
+  void ChargeN(std::string_view tag, double unit_ms, uint64_t n) {
+    if (n == 0) return;
+    charges.emplace_back(tag, unit_ms * static_cast<double>(n));
+    ledger.Add(tag, unit_ms, n);
   }
   void ResetForTuple() {
     charges.clear();
     retained = false;
     out.clear();
+    out_origin.clear();
+  }
+  void ResetForBatch(size_t rows) {
+    ResetForTuple();
+    row_retained.assign(rows, 0);
   }
   double TotalBaseCost() const {
     double total = 0.0;
@@ -71,6 +142,19 @@ class PhysicalOperator {
   /// partitioned).
   virtual Status Process(int port, const Tuple& tuple, int bucket,
                          ExecContext* ctx) = 0;
+
+  /// Vectorized step: consumes the rows of `in` (which may be left
+  /// moved-from) and appends this operator's outputs to `out`. Unlike
+  /// Process, a batch step never chains into next_ — the driver walks the
+  /// chain, handing each operator's output batch to the next (run to
+  /// completion over the batch). Emitted rows carry bucket -1 (exactly
+  /// what scalar Emit forwards) and inherit the origin of the input row
+  /// they derive from; rows absorbed into operator state mark
+  /// ctx->row_retained[origin] instead of ctx->retained. The default
+  /// implementation runs the scalar Process per row with chaining
+  /// suppressed; every built-in operator overrides it with a tight loop.
+  virtual Status ProcessBatch(int port, TupleBatch* in, TupleBatch* out,
+                              ExecContext* ctx);
 
   /// All producers of `port` reached end-of-stream and the queue drained.
   virtual Status FinishPort(int port, ExecContext* ctx);
@@ -99,6 +183,8 @@ class FilterOperator : public PhysicalOperator {
   explicit FilterOperator(const PhysOpDesc& desc);
   Status Process(int port, const Tuple& tuple, int bucket,
                  ExecContext* ctx) override;
+  Status ProcessBatch(int port, TupleBatch* in, TupleBatch* out,
+                      ExecContext* ctx) override;
 
  private:
   ExprPtr predicate_;
@@ -113,6 +199,8 @@ class ProjectOperator : public PhysicalOperator {
   explicit ProjectOperator(const PhysOpDesc& desc);
   Status Process(int port, const Tuple& tuple, int bucket,
                  ExecContext* ctx) override;
+  Status ProcessBatch(int port, TupleBatch* in, TupleBatch* out,
+                      ExecContext* ctx) override;
 
  private:
   std::vector<ExprPtr> exprs_;
@@ -130,6 +218,10 @@ class OperationCallOperator : public PhysicalOperator {
   explicit OperationCallOperator(const PhysOpDesc& desc);
   Status Process(int port, const Tuple& tuple, int bucket,
                  ExecContext* ctx) override;
+  /// The registry lookup (a std::function copy in scalar mode) is
+  /// amortized: one Find per batch, reused for every row.
+  Status ProcessBatch(int port, TupleBatch* in, TupleBatch* out,
+                      ExecContext* ctx) override;
 
  private:
   std::string ws_name_;
@@ -149,6 +241,11 @@ class HashJoinOperator : public PhysicalOperator {
 
   Status Process(int port, const Tuple& tuple, int bucket,
                  ExecContext* ctx) override;
+  /// Build: inserts the whole batch, marking every row retained. Probe:
+  /// hashes the key column up front, prefetches the bucket tables, then
+  /// probes in a tight loop.
+  Status ProcessBatch(int port, TupleBatch* in, TupleBatch* out,
+                      ExecContext* ctx) override;
   void PurgeBuckets(const std::vector<int>& buckets) override;
 
   /// Number of build tuples currently held in state.
@@ -177,6 +274,16 @@ class HashJoinOperator : public PhysicalOperator {
   // Build state, one flat table per logical partition (DESIGN.md
   // "Performance engineering"); index = bucket id, grown on demand.
   std::vector<FlatJoinTable> state_;
+  /// Per-batch key-hash scratch (capacity reused across batches).
+  std::vector<uint64_t> hash_scratch_;
+  /// Per-batch probe candidate-slot scratch (capacity reused across
+  /// batches).
+  std::vector<uint32_t> cand_scratch_;
+  /// Per-batch probe chain-head scratch (capacity reused across batches).
+  std::vector<uint32_t> head_scratch_;
+  /// Per-batch build-row count per bucket (capacity reused across
+  /// batches) for one-shot table pre-sizing.
+  std::vector<size_t> batch_bucket_counts_;
   size_t duplicate_build_inserts_ = 0;
 };
 
@@ -190,6 +297,8 @@ class HashAggregateOperator : public PhysicalOperator {
 
   Status Process(int port, const Tuple& tuple, int bucket,
                  ExecContext* ctx) override;
+  Status ProcessBatch(int port, TupleBatch* in, TupleBatch* out,
+                      ExecContext* ctx) override;
   /// Emits one output tuple per group, then finishes downstream.
   Status Finish(ExecContext* ctx) override;
   void PurgeBuckets(const std::vector<int>& buckets) override;
@@ -233,6 +342,8 @@ class CollectOperator : public PhysicalOperator {
   explicit CollectOperator(const PhysOpDesc& desc);
   Status Process(int port, const Tuple& tuple, int bucket,
                  ExecContext* ctx) override;
+  Status ProcessBatch(int port, TupleBatch* in, TupleBatch* out,
+                      ExecContext* ctx) override;
 
   const std::vector<Tuple>& results() const { return results_; }
   std::vector<Tuple> TakeResults() { return std::move(results_); }

@@ -2,19 +2,59 @@
 
 #include <new>
 #include <utility>
+#include <vector>
 
 namespace gqp {
 
+namespace {
+
+// Freelist pool of Rep blocks, one size class per value count. Rows churn
+// at millions per second through the exchange and join hot paths, and the
+// round trip through the global allocator is the single biggest cost of
+// materializing a row; recycling fixed-size blocks turns it into a
+// pointer pop/push. Safe without locks because the engine is
+// single-threaded by design (DESIGN.md D1). The pool itself is
+// intentionally leaked so rows destroyed during static teardown never
+// touch a dead vector.
+constexpr uint32_t kPooledMaxValues = 16;
+constexpr size_t kPoolMaxBlocksPerClass = 8192;
+
+std::vector<void*>* PoolForClass(uint32_t n) {
+  static std::vector<void*>* pools =
+      new std::vector<void*>[kPooledMaxValues + 1];
+  return &pools[n];
+}
+
+}  // namespace
+
 Tuple::Rep* Tuple::NewRep(SchemaPtr schema, uint32_t n) {
-  void* block = ::operator new(sizeof(Rep) + n * sizeof(Value));
+  void* block = nullptr;
+  if (n <= kPooledMaxValues) {
+    std::vector<void*>* pool = PoolForClass(n);
+    if (!pool->empty()) {
+      block = pool->back();
+      pool->pop_back();
+    }
+  }
+  if (block == nullptr) {
+    block = ::operator new(sizeof(Rep) + n * sizeof(Value));
+  }
   Rep* rep = ::new (block) Rep{1, n, 0, std::move(schema)};
   return rep;
 }
 
 void Tuple::Destroy(Rep* rep) {
   Value* values = ValuesOf(rep);
-  for (uint32_t i = rep->size; i > 0; --i) values[i - 1].~Value();
+  const uint32_t n = rep->size;
+  for (uint32_t i = n; i > 0; --i) values[i - 1].~Value();
   rep->~Rep();
+  if (n <= kPooledMaxValues) {
+    std::vector<void*>* pool = PoolForClass(n);
+    if (pool->size() < kPoolMaxBlocksPerClass) {
+      pool->push_back(rep);
+      return;
+    }
+  }
   ::operator delete(rep);
 }
 

@@ -34,25 +34,9 @@ std::string_view DataTypeToString(DataType type) {
   return "?";
 }
 
-DataType Value::type() const {
-  switch (v_.index()) {
-    case 0:
-      return DataType::kNull;
-    case 1:
-      return DataType::kInt64;
-    case 2:
-      return DataType::kDouble;
-    case 3:
-      return DataType::kString;
-  }
-  return DataType::kNull;
-}
-
 double Value::ToNumeric() const {
-  if (std::holds_alternative<int64_t>(v_)) {
-    return static_cast<double>(std::get<int64_t>(v_));
-  }
-  if (std::holds_alternative<double>(v_)) return std::get<double>(v_);
+  if (type() == DataType::kInt64) return static_cast<double>(AsInt64());
+  if (type() == DataType::kDouble) return AsDouble();
   return 0.0;
 }
 

@@ -27,6 +27,7 @@ struct GoldenFingerprint {
   ChaosProfile profile;
   uint64_t events;
   uint64_t hash;
+  bool vectorized = false;
 };
 
 // Recorded 2026-08 from the seed kernel (priority_queue + id map), before
@@ -48,6 +49,24 @@ constexpr GoldenFingerprint kGolden[] = {
     // traffic must replay bit-identically.
     {6, ChaosProfile::kSlowConsumer, 12664, 0x3dbc880d0e788913ULL},
     {3, ChaosProfile::kMemorySqueeze, 8960, 0xbb210f5865a4e957ULL},
+    // Vectorized execution (D13), recorded 2026-08 when batch-at-a-time
+    // operators landed: the same 12 seeds re-pinned at batch-boundary
+    // event granularity (one composite charge per batch legitimately
+    // changes simulated timing, so these differ from the scalar rows
+    // above by design). Re-record with:
+    //   chaos_repro --seed=N [profile flag] --vectorized
+    {1, ChaosProfile::kStandard, 2913, 0x88b4b7d44bda0d26ULL, true},
+    {13, ChaosProfile::kStandard, 4758, 0x2d2d136c7dd27bb9ULL, true},
+    {29, ChaosProfile::kStandard, 3054, 0xe43d9be2248c6bdfULL, true},
+    {47, ChaosProfile::kStandard, 2967, 0x965d1f056e5ecb9eULL, true},
+    {58, ChaosProfile::kStandard, 3656, 0x71b7fefc6b4a8597ULL, true},
+    {87, ChaosProfile::kStandard, 11102, 0x3dbc0f89745ee2aeULL, true},
+    {96, ChaosProfile::kStandard, 3746, 0x34a52a146493d176ULL, true},
+    {201, ChaosProfile::kLossy, 3933, 0xd3695289fbdd3ee4ULL, true},
+    {213, ChaosProfile::kLossy, 1973, 0x4ce1769ae8ee59abULL, true},
+    {240, ChaosProfile::kLossy, 3946, 0x8251978a7dfdce06ULL, true},
+    {6, ChaosProfile::kSlowConsumer, 3950, 0xdc830b1447364194ULL, true},
+    {3, ChaosProfile::kMemorySqueeze, 5296, 0x1142bc093144a15fULL, true},
 };
 
 std::string ProfilePrefix(ChaosProfile profile) {
@@ -60,6 +79,8 @@ std::string ProfilePrefix(ChaosProfile profile) {
       return "slow_seed";
     case ChaosProfile::kMemorySqueeze:
       return "squeeze_seed";
+    case ChaosProfile::kMultiQuery:
+      return "mq_seed";
   }
   return "seed";
 }
@@ -69,20 +90,21 @@ class FingerprintTest
 
 TEST_P(FingerprintTest, MatchesPrePoolKernel) {
   const GoldenFingerprint& golden = GetParam();
-  const ChaosScenario scenario =
-      GenerateScenario(golden.seed, golden.profile);
+  ChaosScenario scenario = GenerateScenario(golden.seed, golden.profile);
+  scenario.vectorized = golden.vectorized;
   const ChaosRunResult result = RunScenario(scenario, ChaosRunOptions{});
   ASSERT_TRUE(result.status.ok()) << result.status.ToString();
   EXPECT_EQ(result.trace_events, golden.events)
-      << ReproCommand(golden.seed, golden.profile);
+      << ReproCommand(golden.seed, golden.profile, golden.vectorized);
   EXPECT_EQ(result.trace_hash, golden.hash)
-      << ReproCommand(golden.seed, golden.profile);
+      << ReproCommand(golden.seed, golden.profile, golden.vectorized);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     GoldenSeeds, FingerprintTest, ::testing::ValuesIn(kGolden),
     [](const ::testing::TestParamInfo<GoldenFingerprint>& info) {
-      return ProfilePrefix(info.param.profile) +
+      return (info.param.vectorized ? "vec_" : "") +
+             ProfilePrefix(info.param.profile) +
              std::to_string(info.param.seed);
     });
 

@@ -24,8 +24,8 @@ Tuple Row(int64_t key, const std::string& payload) {
 std::vector<std::string> Matches(const FlatJoinTable& table, uint64_t hash,
                                  const Value& key) {
   std::vector<std::string> out;
-  table.ForEachMatch(hash, [&](const Value& k, const Tuple& t) {
-    if (k == key) out.push_back(t[1].AsString());
+  table.ForEachMatch(hash, [&](const Tuple& t) {
+    if (t[0] == key) out.push_back(t[1].AsString());
   });
   return out;
 }
@@ -35,14 +35,14 @@ TEST(FlatJoinTableTest, EmptyTableHasNoMatches) {
   EXPECT_TRUE(table.empty());
   EXPECT_EQ(table.size(), 0u);
   int calls = 0;
-  table.ForEachMatch(123, [&](const Value&, const Tuple&) { ++calls; });
+  table.ForEachMatch(123, [&](const Tuple&) { ++calls; });
   EXPECT_EQ(calls, 0);
 }
 
 TEST(FlatJoinTableTest, InsertAndProbe) {
   FlatJoinTable table;
   const Value key(int64_t{7});
-  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(7, "a")));
+  EXPECT_FALSE(table.Insert(key.Hash(), Row(7, "a")));
   EXPECT_EQ(table.size(), 1u);
   EXPECT_EQ(Matches(table, key.Hash(), key),
             (std::vector<std::string>{"a"}));
@@ -53,9 +53,9 @@ TEST(FlatJoinTableTest, InsertAndProbe) {
 TEST(FlatJoinTableTest, DuplicateKeysEmitInInsertionOrder) {
   FlatJoinTable table;
   const Value key(int64_t{42});
-  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(42, "first")));
-  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(42, "second")));
-  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(42, "third")));
+  EXPECT_FALSE(table.Insert(key.Hash(), Row(42, "first")));
+  EXPECT_FALSE(table.Insert(key.Hash(), Row(42, "second")));
+  EXPECT_FALSE(table.Insert(key.Hash(), Row(42, "third")));
   EXPECT_EQ(table.size(), 3u);
   EXPECT_EQ(table.distinct_hashes(), 1u);
   EXPECT_EQ(Matches(table, key.Hash(), key),
@@ -65,12 +65,12 @@ TEST(FlatJoinTableTest, DuplicateKeysEmitInInsertionOrder) {
 TEST(FlatJoinTableTest, ValueIdenticalInsertReportsDuplicate) {
   FlatJoinTable table;
   const Value key(int64_t{5});
-  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(5, "x")));
+  EXPECT_FALSE(table.Insert(key.Hash(), Row(5, "x")));
   // Same key, different payload: a legitimate multi-match, not a dup.
-  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(5, "y")));
+  EXPECT_FALSE(table.Insert(key.Hash(), Row(5, "y")));
   // Value-identical row: flagged, but still stored (matches the join
   // operator's historical duplicate-warning-then-insert behavior).
-  EXPECT_TRUE(table.Insert(key.Hash(), key, Row(5, "x")));
+  EXPECT_TRUE(table.Insert(key.Hash(), Row(5, "x")));
   EXPECT_EQ(table.size(), 3u);
   EXPECT_EQ(Matches(table, key.Hash(), key),
             (std::vector<std::string>{"x", "y", "x"}));
@@ -82,9 +82,9 @@ TEST(FlatJoinTableTest, HashCollisionsShareAChainButKeepTheirKeys) {
   const Value k1(int64_t{1});
   const Value k2(int64_t{2});
   const uint64_t hash = 0x1234;
-  EXPECT_FALSE(table.Insert(hash, k1, Row(1, "one")));
-  EXPECT_FALSE(table.Insert(hash, k2, Row(2, "two")));
-  EXPECT_FALSE(table.Insert(hash, k1, Row(1, "uno")));
+  EXPECT_FALSE(table.Insert(hash, Row(1, "one")));
+  EXPECT_FALSE(table.Insert(hash, Row(2, "two")));
+  EXPECT_FALSE(table.Insert(hash, Row(1, "uno")));
   EXPECT_EQ(table.distinct_hashes(), 1u);
   // The key filter separates the colliding chains.
   EXPECT_EQ(Matches(table, hash, k1),
@@ -97,8 +97,8 @@ TEST(FlatJoinTableTest, GrowthRehashPreservesAllChains) {
   constexpr int kRows = 5000;  // far beyond the initial slot count
   for (int i = 0; i < kRows; ++i) {
     const Value key(int64_t{i % 100});  // 100 distinct keys, 50 rows each
-    EXPECT_FALSE(table.Insert(key.Hash(), key,
-                              Row(i % 100, "p" + std::to_string(i))));
+    EXPECT_FALSE(
+        table.Insert(key.Hash(), Row(i % 100, "p" + std::to_string(i))));
   }
   EXPECT_EQ(table.size(), static_cast<size_t>(kRows));
   EXPECT_EQ(table.distinct_hashes(), 100u);
@@ -123,7 +123,7 @@ TEST(FlatJoinTableTest, ReservePresizesSlots) {
   // Inserting up to the reserved cardinality must not grow the slots.
   for (int i = 0; i < 10'000; ++i) {
     const Value key(int64_t{i});
-    table.Insert(key.Hash(), key, Row(i, "r"));
+    table.Insert(key.Hash(), Row(i, "r"));
   }
   EXPECT_EQ(table.slot_capacity(), presized);
 }
@@ -131,13 +131,13 @@ TEST(FlatJoinTableTest, ReservePresizesSlots) {
 TEST(FlatJoinTableTest, ClearEmptiesTable) {
   FlatJoinTable table;
   const Value key(int64_t{9});
-  table.Insert(key.Hash(), key, Row(9, "z"));
+  table.Insert(key.Hash(), Row(9, "z"));
   table.Clear();
   EXPECT_TRUE(table.empty());
   EXPECT_EQ(table.distinct_hashes(), 0u);
   EXPECT_TRUE(Matches(table, key.Hash(), key).empty());
   // Reusable after Clear.
-  EXPECT_FALSE(table.Insert(key.Hash(), key, Row(9, "z2")));
+  EXPECT_FALSE(table.Insert(key.Hash(), Row(9, "z2")));
   EXPECT_EQ(Matches(table, key.Hash(), key),
             (std::vector<std::string>{"z2"}));
 }
