@@ -114,6 +114,40 @@ int main() {
     return 1;
   }
 
+  // Standby-mirroring tax (D14): a replicated coordinator shadows every
+  // GDQS decision over the control plane, nothing failing. Mirror entries
+  // and primary heartbeats are pure control traffic, so the same few-
+  // percent budget applies. With the knob off the failover machinery must
+  // not exist at all — the run is byte-identical to the baseline, so its
+  // response time must match EXACTLY, not just within the budget.
+  std::printf("\n-- coordinator-standby overhead (no takeover) --\n");
+  ExperimentParams standby = baseline;
+  standby.name = "overheads-standby";
+  standby.coordinator_standby = true;
+  const ExperimentResult standby_result = MustRun(standby);
+  const double standby_overhead =
+      Normalized(standby_result, base_result) - 1.0;
+  constexpr double kStandbyOverheadBudget = 0.05;
+  std::printf("%-16s %-11.1f%% (budget %.0f%%)\n", "standby(Q1)",
+              standby_overhead * 100.0, kStandbyOverheadBudget * 100.0);
+  metrics.Set("standby_overhead_pct", standby_overhead * 100.0);
+  if (standby_overhead > kStandbyOverheadBudget) {
+    std::printf("FAIL: coordinator-standby overhead exceeds the budget\n");
+    return 1;
+  }
+  ExperimentParams standby_off = baseline;
+  standby_off.name = "overheads-standby-off";
+  standby_off.coordinator_standby = false;
+  const ExperimentResult standby_off_result = MustRun(standby_off);
+  if (standby_off_result.response_ms != base_result.response_ms) {
+    std::printf("FAIL: standby=off changed the response time (%.6f vs "
+                "%.6f ms) — disabled failover machinery must be free\n",
+                standby_off_result.response_ms, base_result.response_ms);
+    return 1;
+  }
+  std::printf("%-16s exact match with baseline (%.3f ms)\n", "standby-off",
+              standby_off_result.response_ms);
+
   std::printf("\n-- message volume under a 10x perturbation --\n");
   std::printf("%-14s %-10s %-10s %-12s %-12s %-10s\n", "m1-frequency",
               "raw M1", "raw M2", "MED digests", "proposals", "rebalances");

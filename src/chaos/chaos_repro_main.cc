@@ -32,8 +32,8 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --seed=N "
-      "[--lossy|--slow-consumer|--memory-squeeze|--multi-query] "
-      "[--trace]\n"
+      "[--lossy|--slow-consumer|--memory-squeeze|--multi-query|"
+      "--coordinator-kill] [--trace]\n"
       "  --seed=N          scenario seed to replay (required)\n"
       "  --lossy           lossy-network profile (loss, partitions, "
       "stalls)\n"
@@ -42,6 +42,8 @@ void Usage(const char* argv0) {
       "  --memory-squeeze  standard chaos under a tight memory budget\n"
       "  --multi-query     standard chaos with several overlapping "
       "queries\n"
+      "  --coordinator-kill  crash the primary coordinator; a standby "
+      "GDQS takes over (D14)\n"
       "  --no-flow-control force flow control off (A/B against a flow-"
       "control profile)\n"
       "  --vectorized      batch-at-a-time operator execution (D13)\n"
@@ -80,6 +82,8 @@ int main(int argc, char** argv) {
       profile = gqp::chaos::ChaosProfile::kMemorySqueeze;
     } else if (std::strcmp(arg, "--multi-query") == 0) {
       profile = gqp::chaos::ChaosProfile::kMultiQuery;
+    } else if (std::strcmp(arg, "--coordinator-kill") == 0) {
+      profile = gqp::chaos::ChaosProfile::kCoordinatorKill;
     } else if (std::strcmp(arg, "--no-flow-control") == 0) {
       no_flow_control = true;
     } else if (std::strcmp(arg, "--vectorized") == 0) {
@@ -162,6 +166,38 @@ int main(int argc, char** argv) {
           first.stats.peak_outstanding_credit_bytes),
       first.stats.first_pressure_proposal_ms,
       first.stats.first_rate_proposal_ms);
+  if (scenario.standby) {
+    std::printf(
+        "mirror: entries=%llu acked=%llu lag=%llu stale_epoch_dropped=%llu "
+        "epoch_updates=%llu\n",
+        static_cast<unsigned long long>(first.mirror_entries),
+        static_cast<unsigned long long>(first.mirror_acked),
+        static_cast<unsigned long long>(first.mirror_entries -
+                                        first.mirror_acked),
+        static_cast<unsigned long long>(first.stale_epoch_dropped),
+        static_cast<unsigned long long>(first.epoch_updates));
+    if (first.takeover.taken_over) {
+      std::printf(
+          "takeover: epoch=%llu at=%.3f ms latency=%.3f ms "
+          "applied=%llu held_back=%llu reconciled=%d retried=%d "
+          "terminated=%d mirrored=%d probes=%d/%d instances=%d "
+          "releases=%d\n",
+          static_cast<unsigned long long>(first.takeover.epoch),
+          first.takeover.takeover_at_ms,
+          first.takeover.takeover_at_ms - scenario.coordinator_kill_at_ms,
+          static_cast<unsigned long long>(
+              first.takeover.mirror_entries_applied),
+          static_cast<unsigned long long>(
+              first.takeover.mirror_entries_held_back),
+          first.takeover.queries_reconciled, first.takeover.queries_retried,
+          first.takeover.queries_terminated,
+          first.takeover.queries_served_mirrored,
+          first.takeover.probe_replies, first.takeover.probes_sent,
+          first.takeover.instances_probed, first.takeover.releases_sent);
+    } else {
+      std::printf("takeover: none (primary survived)\n");
+    }
+  }
   if (first.per_query.size() > 1) {
     for (const gqp::chaos::QueryOutcome& q : first.per_query) {
       std::printf(

@@ -139,7 +139,7 @@ void CheckConservation(GridSetup* grid, int query_id,
     bool live = false;
   };
   std::map<std::string, Instance> instances;
-  const int num_hosts = 2 + grid->num_evaluators();
+  const int num_hosts = grid->num_hosts();
   for (int host = 0; host < num_hosts; ++host) {
     Gqes* gqes = grid->gqes_on(static_cast<HostId>(host));
     if (gqes == nullptr) continue;
@@ -257,7 +257,7 @@ void CheckBoundedMemory(GridSetup* grid, int query_id,
                         size_t max_tuple_wire_bytes, size_t max_fanout,
                         uint64_t dataset_wire_bytes,
                         std::vector<std::string>* violations) {
-  const int num_hosts = 2 + grid->num_evaluators();
+  const int num_hosts = grid->num_hosts();
   std::vector<FragmentExecutor*> execs;
   uint64_t total_recall_bytes = 0;
   for (int host = 0; host < num_hosts; ++host) {

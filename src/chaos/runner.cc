@@ -56,7 +56,7 @@ void InstallPerturbation(GridSetup* grid, const PerturbationEvent& ev,
 
 std::string DumpExecutors(GridSetup* grid, int query_id) {
   std::string out;
-  const int num_hosts = 2 + grid->num_evaluators();
+  const int num_hosts = grid->num_hosts();
   for (int host = 0; host < num_hosts; ++host) {
     Gqes* gqes = grid->gqes_on(static_cast<HostId>(host));
     if (gqes == nullptr) continue;
@@ -98,6 +98,7 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   grid_options.reliable.enabled = true;
   grid_options.loss_rate = scenario.loss_rate;
   grid_options.loss_seed = scenario.seed ^ 0x1055C0DEULL;
+  grid_options.standby_enabled = scenario.standby;
 
   GridSetup grid(grid_options);
   result.status = grid.Initialize();
@@ -166,6 +167,11 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
       }
     });
   }
+  if (scenario.coordinator_kill) {
+    grid.simulator()->Schedule(scenario.coordinator_kill_at_ms, [&grid] {
+      (void)grid.FailCoordinator();
+    });
+  }
 
   QueryOptions query_options;
   query_options.adaptivity.enabled = true;
@@ -184,6 +190,7 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   query_options.exec.vectorized_enabled = scenario.vectorized;
   query_options.exec.vector_batch_size = scenario.vector_batch_size;
   query_options.scheduler.num_evaluators = scenario.num_evaluators;
+  query_options.deadline_ms = scenario.deadline_ms;
 
   Result<int> query = grid.gdqs()->SubmitQuery(QuerySql(scenario.query),
                                                query_options);
@@ -219,7 +226,41 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   result.trace_events = recorder.events();
   if (options.keep_trace) result.trace = recorder.trace();
   result.final_time_ms = grid.simulator()->Now();
-  result.completed = grid.gdqs()->QueryComplete(*query);
+
+  // After a takeover the standby is the authority for every original query
+  // id (it proxies retried incarnations and serves mirrored results);
+  // otherwise the primary GDQS answers directly. Invariant checks run
+  // against the FINAL id — a retried query's executors live under its new
+  // id, the released originals are gone.
+  StandbyCoordinator* standby = grid.standby();
+  const bool took_over = standby != nullptr && standby->TakenOver();
+  const auto final_id = [&](int id) {
+    return took_over ? standby->FinalQueryId(id) : id;
+  };
+  const auto query_complete = [&](int id) {
+    return took_over ? standby->QueryComplete(id)
+                     : grid.gdqs()->QueryComplete(id);
+  };
+  const auto execution_status = [&](int id) {
+    return took_over ? standby->ExecutionStatus(id)
+                     : grid.gdqs()->ExecutionStatus(id);
+  };
+  const auto get_result = [&](int id) {
+    return took_over ? standby->GetResult(id) : grid.gdqs()->GetResult(id);
+  };
+  const auto collect_stats = [&](int id) {
+    if (took_over && final_id(id) != id) {
+      return standby->gdqs()->CollectStats(final_id(id));
+    }
+    return grid.gdqs()->CollectStats(id);
+  };
+  std::set<HostId> reported_failures = grid.gdqs()->reported_failures();
+  if (standby != nullptr) {
+    const auto& extra = standby->gdqs()->reported_failures();
+    reported_failures.insert(extra.begin(), extra.end());
+  }
+
+  result.completed = query_complete(*query);
 
   // Control-plane counters (kept even on violation paths — they are the
   // first thing a red seed's diagnosis needs).
@@ -233,6 +274,22 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
       if (const Heartbeater* hb = grid.heartbeater(i)) {
         result.heartbeats_sent += hb->beats_sent();
         result.heartbeats_suppressed += hb->beats_suppressed();
+      }
+    }
+  }
+  if (standby != nullptr) {
+    result.takeover = standby->stats();
+    if (const MirrorLog* log = grid.gdqs()->mirror_log()) {
+      result.mirror_entries = log->entries_appended();
+      result.mirror_acked = log->entries_truncated();
+    }
+    for (int host = 0; host < grid.num_hosts(); ++host) {
+      Gqes* gqes = grid.gqes_on(static_cast<HostId>(host));
+      if (gqes == nullptr) continue;
+      result.stale_epoch_dropped += gqes->stats().stale_epoch_dropped;
+      result.epoch_updates += gqes->stats().epoch_updates;
+      for (const FragmentExecutor* exec : gqes->Executors()) {
+        result.stale_epoch_dropped += exec->epoch_guard().stale_dropped();
       }
     }
   }
@@ -251,7 +308,7 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
         " ms) — repro: ", repro, DumpExecutors(&grid, *query)));
     return result;
   }
-  const Status exec_status = grid.gdqs()->ExecutionStatus(*query);
+  const Status exec_status = execution_status(*query);
   if (!exec_status.ok()) {
     result.violations.push_back(
         StrCat("[termination] execution error: ", exec_status.ToString(),
@@ -259,7 +316,7 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
     return result;
   }
 
-  Result<QueryResult> query_result = grid.gdqs()->GetResult(*query);
+  Result<QueryResult> query_result = get_result(*query);
   if (!query_result.ok()) {
     result.status = query_result.status();
     return result;
@@ -268,7 +325,7 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   for (const Tuple& row : query_result->rows) {
     result.result_rows.push_back(row.ToString());
   }
-  Result<QueryStatsSnapshot> stats = grid.gdqs()->CollectStats(*query);
+  Result<QueryStatsSnapshot> stats = collect_stats(*query);
   if (stats.ok()) result.stats = *stats;
   result.per_query.push_back(QueryOutcome{
       *query, scenario.query, true, query_result->rows.size(),
@@ -302,12 +359,11 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
                result.stats.resent_tuples,
                MaxOutputFanout(scenario.query, *sequences, *interactions),
                &violations);
-  CheckConservation(&grid, *query, grid.gdqs()->reported_failures(),
-                    &violations);
+  CheckConservation(&grid, final_id(*query), reported_failures, &violations);
   CheckDetection(grid.monitor(), scenario, &violations);
   if (scenario.flow_control) {
     CheckBoundedMemory(
-        &grid, *query, max_row + max_inter,
+        &grid, final_id(*query), max_row + max_inter,
         MaxOutputFanout(scenario.query, *sequences, *interactions),
         dataset_bytes, &violations);
   }
@@ -320,18 +376,16 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
     outcome.query_id = extra_ids[i];
     outcome.kind = q.kind;
     const size_t before = violations.size();
-    if (extra_ids[i] < 0 || !grid.gdqs()->QueryComplete(extra_ids[i])) {
+    if (extra_ids[i] < 0 || !query_complete(extra_ids[i])) {
       violations.push_back(StrCat("[termination] concurrent query ", i + 1,
                                   " never completed"));
-    } else if (const Status st = grid.gdqs()->ExecutionStatus(extra_ids[i]);
-               !st.ok()) {
+    } else if (const Status st = execution_status(extra_ids[i]); !st.ok()) {
       violations.push_back(StrCat(
           "[termination] concurrent query execution error: ", st.ToString()));
     } else {
       outcome.completed = true;
-      Result<QueryResult> extra_result = grid.gdqs()->GetResult(extra_ids[i]);
-      Result<QueryStatsSnapshot> extra_stats =
-          grid.gdqs()->CollectStats(extra_ids[i]);
+      Result<QueryResult> extra_result = get_result(extra_ids[i]);
+      Result<QueryStatsSnapshot> extra_stats = collect_stats(extra_ids[i]);
       if (extra_result.ok() && extra_stats.ok()) {
         outcome.rows = extra_result->rows.size();
         outcome.response_ms = extra_result->response_time_ms;
@@ -342,10 +396,11 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
                      extra_stats->resent_tuples,
                      MaxOutputFanout(q.kind, *sequences, *interactions),
                      &violations);
-        CheckConservation(&grid, extra_ids[i],
-                          grid.gdqs()->reported_failures(), &violations);
+        CheckConservation(&grid, final_id(extra_ids[i]), reported_failures,
+                          &violations);
         if (scenario.flow_control) {
-          CheckBoundedMemory(&grid, extra_ids[i], max_row + max_inter,
+          CheckBoundedMemory(&grid, final_id(extra_ids[i]),
+                             max_row + max_inter,
                              MaxOutputFanout(q.kind, *sequences,
                                              *interactions),
                              dataset_bytes, &violations);

@@ -15,6 +15,7 @@
 #include "chaos/scenario.h"
 #include "detect/heartbeat.h"
 #include "dqp/gdqs.h"
+#include "dqp/standby.h"
 #include "rpc/reliable.h"
 
 namespace gqp {
@@ -65,6 +66,19 @@ struct ChaosRunResult {
   uint64_t heartbeats_sent = 0;
   /// Heartbeats swallowed by injected stall windows.
   uint64_t heartbeats_suppressed = 0;
+
+  /// Coordinator failover (D14) diagnostics; all zero unless the scenario
+  /// enabled the standby.
+  TakeoverStats takeover;
+  /// Entries the primary appended to / had acknowledged from its mirror
+  /// log (`mirror_entries - mirror_acked` is the final replication lag).
+  uint64_t mirror_entries = 0;
+  uint64_t mirror_acked = 0;
+  /// Fenced commands dropped grid-wide: GQES-level deploy/release drops
+  /// plus per-executor stale producer/consumer/state-move drops.
+  uint64_t stale_epoch_dropped = 0;
+  /// GQES endpoints that advanced to the takeover epoch.
+  uint64_t epoch_updates = 0;
 
   uint64_t trace_hash = 0;
   uint64_t trace_events = 0;

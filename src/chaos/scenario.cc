@@ -123,6 +123,11 @@ std::string ChaosScenario::Describe() const {
     }
     out += "]";
   }
+  if (standby) {
+    out += " standby=on";
+    if (coordinator_kill) out += StrCat(" coordkill=t", coordinator_kill_at_ms);
+    if (deadline_ms > 0) out += StrCat(" deadline=", deadline_ms);
+  }
   if (!extra_queries.empty()) {
     out += " mq=[";
     for (size_t i = 0; i < extra_queries.size(); ++i) {
@@ -310,6 +315,17 @@ ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
   const size_t mq_budget_bytes =
       static_cast<size_t>(rng.NextInt(16, 48)) * 1024;
 
+  // Coordinator-failover extensions (D14). Same unconditional-tail-draw
+  // rule. The kill window [40, 220] ms opens after every query has
+  // deployed and usually closes before the base query drains, so the
+  // standby takes over with real in-flight state. The deadline is
+  // deliberately generous — takeover plus a full retry fits comfortably —
+  // so sweep queries never deadline-terminate (the termination path is
+  // pinned by unit tests instead).
+  const double coord_kill_at_ms = rng.NextDouble(40.0, 220.0);
+  const double coord_deadline_ms = rng.NextDouble(30000.0, 60000.0);
+  const int coord_extra_queries = static_cast<int>(rng.NextInt(0, 2));
+
   if (profile == ChaosProfile::kSlowConsumer) {
     // A single sustained node-wide CPU sag on one evaluator and nothing
     // else: no kills, no partitions, no stalls. The interesting dynamics
@@ -339,6 +355,21 @@ ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
     // is checked for every query independently.
     s.flow_control = true;
     s.memory_budget_bytes = mq_budget_bytes;
+    s.extra_queries = std::move(extra_queries);
+  } else if (profile == ChaosProfile::kCoordinatorKill) {
+    // The only injected fault is the primary coordinator's crash:
+    // evaluator kills are cleared so a kill-free reference run of the
+    // same seed produces the exact rows the failover run must reproduce.
+    s.failures.clear();
+    s.standby = true;
+    s.coordinator_kill = true;
+    s.coordinator_kill_at_ms = coord_kill_at_ms;
+    s.deadline_ms = coord_deadline_ms;
+    s.flow_control = true;
+    s.memory_budget_bytes = mq_budget_bytes;
+    if (extra_queries.size() > static_cast<size_t>(coord_extra_queries)) {
+      extra_queries.resize(static_cast<size_t>(coord_extra_queries));
+    }
     s.extra_queries = std::move(extra_queries);
   }
 
@@ -408,6 +439,9 @@ std::string ReproCommand(uint64_t seed, ChaosProfile profile,
       break;
     case ChaosProfile::kMultiQuery:
       flag = " --multi-query";
+      break;
+    case ChaosProfile::kCoordinatorKill:
+      flag = " --coordinator-kill";
       break;
   }
   return StrCat("chaos_repro --seed=", seed, flag,

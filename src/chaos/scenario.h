@@ -91,13 +91,17 @@ struct LinkShiftEvent {
 /// and turns flow control on; kMemorySqueeze keeps the standard chaos but
 /// runs under a tight per-query memory budget; kMultiQuery keeps the
 /// standard chaos and submits 1-3 additional overlapping queries, every
-/// invariant checked per query (DESIGN.md §D12).
+/// invariant checked per query (DESIGN.md §D12). kCoordinatorKill drops
+/// every evaluator kill and instead crashes the PRIMARY COORDINATOR at a
+/// random time, with a standby GDQS mirroring it and taking over (D14) —
+/// the results must match a kill-free reference run byte-for-byte.
 enum class ChaosProfile {
   kStandard,
   kLossy,
   kSlowConsumer,
   kMemorySqueeze,
   kMultiQuery,
+  kCoordinatorKill,
 };
 
 /// One additional query of a multi-query scenario, submitted while the
@@ -158,6 +162,17 @@ struct ChaosScenario {
   /// kMultiQuery profile populates this; legacy profiles leave it empty so
   /// their runs add zero events and keep byte-identical traces.
   std::vector<ConcurrentQuery> extra_queries;
+
+  // --- coordinator failover (D14) ----------------------------------------
+  /// Run with a standby GDQS mirroring the primary. Only the
+  /// kCoordinatorKill profile sets it; legacy profiles stay standby-free
+  /// and keep byte-identical traces.
+  bool standby = false;
+  /// Crash the primary coordinator at `coordinator_kill_at_ms`.
+  bool coordinator_kill = false;
+  double coordinator_kill_at_ms = 0.0;
+  /// Per-query deadline handed to the GDQS (0: no watchdog).
+  double deadline_ms = 0.0;
 
   // --- injected chaos ---------------------------------------------------
   std::vector<PerturbationEvent> perturbations;

@@ -39,6 +39,11 @@ struct DetectConfig {
   /// confirmed to the GDQS. A beat arriving in this window clears the
   /// suspicion with no recovery cost.
   double confirm_intervals = 3.0;
+  /// Permits confirming the last unconfirmed watched host. Evaluator
+  /// watches keep this off (the last-survivor guard: recovery needs a
+  /// live target); the standby's primary watch turns it on — it watches
+  /// exactly one host and confirming it IS the takeover trigger (D14).
+  bool allow_last_survivor_confirm = false;
 
   /// Worst-case confirmed-detection latency after a crash: the adaptive
   /// timeout is capped at max_suspect_intervals, confirmation adds

@@ -19,7 +19,12 @@ void Heartbeater::HandleMessage(const Message& msg) {
     seq_ = 0;
     active_ = true;
     if (!tick_scheduled_) Tick();
-  } else if (ctrl->epoch() == epoch_) {
+  } else if (ctrl->epoch() >= epoch_) {
+    // Epochs are monotone, so a stop stamped with a NEWER epoch is also
+    // authoritative: the standby coordinator stops heartbeaters with the
+    // watch epoch it mirrored, which can run ahead of what this beater
+    // saw if the primary died mid-activation (D14). A stop from an older
+    // epoch stays ignored (a fresh start already superseded it).
     active_ = false;  // the pending tick (if any) sees this and stops
   }
 }

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "grid/node.h"
 
 namespace gqp {
 namespace {
@@ -79,6 +80,9 @@ double HeartbeatMonitor::SuspectTimeoutMs(const Watched& w) const {
 void HeartbeatMonitor::Check() {
   check_scheduled_ = false;
   if (active_count_ == 0) return;  // stop rescheduling: drains the sim
+  // The monitor dies with its host: a killed coordinator must not keep
+  // scanning (or keep the simulation alive) — the standby takes over.
+  if (node_ != nullptr && node_->dead()) return;
   const SimTime now = simulator()->Now();
   size_t unconfirmed = 0;
   for (const auto& [host, w] : watched_) {
@@ -99,7 +103,7 @@ void HeartbeatMonitor::Check() {
     if (w.state == State::kSuspect &&
         now - w.suspect_since >=
             config_.confirm_intervals * config_.heartbeat_interval_ms) {
-      if (unconfirmed <= 1) {
+      if (unconfirmed <= 1 && !config_.allow_last_survivor_confirm) {
         // Last-survivor guard: confirming the only remaining evaluator
         // would leave recovery with nowhere to move work. Keep suspecting;
         // either a beat clears it or the query stalls and the harness's

@@ -23,6 +23,8 @@
 
 namespace gqp {
 
+class GridNode;
+
 class HeartbeatMonitor : public GridService {
  public:
   using HostCallback = std::function<void(HostId)>;
@@ -31,6 +33,12 @@ class HeartbeatMonitor : public GridService {
 
   /// Registers a host to watch. Call before Activate().
   void Watch(HostId host, const Address& heartbeater);
+
+  /// Binds the node the monitor runs on. When that node dies the Check()
+  /// timer stops rescheduling — a dead coordinator's monitor must not
+  /// keep the simulation alive (the standby's takeover owns the grid from
+  /// then on, D14).
+  void BindNode(GridNode* node) { node_ = node; }
 
   /// Reference-counted: the first Activate() opens a new watch epoch
   /// (commanding every heartbeater to start beating) and the matching
@@ -50,6 +58,10 @@ class HeartbeatMonitor : public GridService {
   bool ConfirmSuppressed(HostId host) const;
   /// Time of the last final Deactivate() (0 if still active / never).
   SimTime last_deactivate_ms() const { return last_deactivate_ms_; }
+
+  /// Current watch epoch (the standby mirrors it so its takeover can stop
+  /// heartbeaters started by the dead primary's monitor).
+  uint64_t epoch() const { return epoch_; }
 
   double MaxDetectionLatencyMs() const {
     return config_.MaxDetectionLatencyMs();
@@ -79,6 +91,8 @@ class HeartbeatMonitor : public GridService {
   void SendControl(const Watched& w, bool start);
 
   DetectConfig config_;
+  /// Node hosting this monitor (null: assumed immortal, legacy setups).
+  GridNode* node_ = nullptr;
   /// std::map: deterministic iteration order for Check() and Activate().
   std::map<HostId, Watched> watched_;
   /// Confirmation history, preserved across epochs (detection-latency

@@ -1,0 +1,143 @@
+// Payloads of the coordinator-failover control protocol (DESIGN.md §D14).
+//
+// Mirroring (primary GDQS -> standby): MirrorEntryPayload ships one
+// state-machine log entry; MirrorAckPayload flows back so the primary can
+// truncate its acknowledged prefix. Takeover (standby -> evaluators):
+// CoordinatorEpochPayload announces the new, fenced coordinator;
+// ProbeQuery/ProbeReply reconcile which fragment instances of an
+// in-flight query still exist on each GQES; ReleaseQueryPayload tears the
+// survivors down before the query is retried under the new epoch.
+//
+// All of this traffic exists only when the standby is enabled, so the
+// WireSize figures here never perturb legacy traces.
+
+#ifndef GRIDQP_DQP_FAILOVER_MESSAGES_H_
+#define GRIDQP_DQP_FAILOVER_MESSAGES_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "dqp/mirror_log.h"
+#include "net/message.h"
+
+namespace gqp {
+
+/// Primary -> standby: one mirror-log entry (reliable control plane).
+class MirrorEntryPayload : public Payload {
+ public:
+  explicit MirrorEntryPayload(MirrorEntry entry) : entry_(std::move(entry)) {}
+
+  size_t WireSize() const override {
+    // Kind + seq + query id + fixed scalar fields...
+    size_t bytes = 64 + entry_.sql.size() + 8 * entry_.weights.size();
+    // ...plus result rows for completion entries.
+    for (const Tuple& row : entry_.rows) bytes += 12 + row.WireSize();
+    return bytes;
+  }
+  std::string_view TypeName() const override { return "MirrorEntry"; }
+
+  const MirrorEntry& entry() const { return entry_; }
+
+ private:
+  MirrorEntry entry_;
+};
+
+/// Standby -> primary: entries up to `seq` are applied; truncate them.
+class MirrorAckPayload : public Payload {
+ public:
+  explicit MirrorAckPayload(uint64_t seq) : seq_(seq) {}
+
+  size_t WireSize() const override { return 16; }
+  std::string_view TypeName() const override { return "MirrorAck"; }
+
+  uint64_t seq() const { return seq_; }
+
+ private:
+  uint64_t seq_;
+};
+
+/// New coordinator -> every GQES: the coordinator epoch advanced; commands
+/// stamped with older epochs are void, and coordinator-bound reports go to
+/// `coordinator` from now on.
+class CoordinatorEpochPayload : public Payload {
+ public:
+  CoordinatorEpochPayload(uint64_t epoch, Address coordinator)
+      : epoch_(epoch), coordinator_(std::move(coordinator)) {}
+
+  size_t WireSize() const override {
+    return 16 + coordinator_.service.size();
+  }
+  std::string_view TypeName() const override { return "CoordinatorEpoch"; }
+
+  uint64_t epoch() const { return epoch_; }
+  const Address& coordinator() const { return coordinator_; }
+
+ private:
+  uint64_t epoch_;
+  Address coordinator_;
+};
+
+/// New coordinator -> GQES: report the executor state of `query` (D14
+/// reconciliation probe). Fenced by `coordinator_epoch`.
+class ProbeQueryPayload : public Payload {
+ public:
+  ProbeQueryPayload(int query, uint64_t coordinator_epoch)
+      : query_(query), coordinator_epoch_(coordinator_epoch) {}
+
+  size_t WireSize() const override { return 16; }
+  std::string_view TypeName() const override { return "ProbeQuery"; }
+
+  int query() const { return query_; }
+  uint64_t coordinator_epoch() const { return coordinator_epoch_; }
+
+ private:
+  int query_;
+  uint64_t coordinator_epoch_;
+};
+
+/// GQES -> new coordinator: executor census for one probed query.
+class ProbeReplyPayload : public Payload {
+ public:
+  ProbeReplyPayload(int query, HostId host, int executors, int finished)
+      : query_(query), host_(host), executors_(executors),
+        finished_(finished) {}
+
+  size_t WireSize() const override { return 24; }
+  std::string_view TypeName() const override { return "ProbeReply"; }
+
+  int query() const { return query_; }
+  HostId host() const { return host_; }
+  /// Fragment instances of the query still registered on this host.
+  int executors() const { return executors_; }
+  /// How many of them had already finished.
+  int finished() const { return finished_; }
+
+ private:
+  int query_;
+  HostId host_;
+  int executors_;
+  int finished_;
+};
+
+/// New coordinator -> GQES: tear down every fragment instance of `query`
+/// (the query is being retried or terminated). Fenced by
+/// `coordinator_epoch`.
+class ReleaseQueryPayload : public Payload {
+ public:
+  ReleaseQueryPayload(int query, uint64_t coordinator_epoch)
+      : query_(query), coordinator_epoch_(coordinator_epoch) {}
+
+  size_t WireSize() const override { return 16; }
+  std::string_view TypeName() const override { return "ReleaseQuery"; }
+
+  int query() const { return query_; }
+  uint64_t coordinator_epoch() const { return coordinator_epoch_; }
+
+ private:
+  int query_;
+  uint64_t coordinator_epoch_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_DQP_FAILOVER_MESSAGES_H_

@@ -1,11 +1,13 @@
 #include "dqp/gdqs.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/strings.h"
 #include "detect/monitor.h"
 #include "dqp/dqp_messages.h"
+#include "dqp/failover_messages.h"
 #include "plan/binder.h"
 
 namespace gqp {
@@ -63,6 +65,21 @@ Result<int> Gdqs::SubmitQuery(
   }
   state.root_instance = SubplanId{state.id, state.root_fragment, 0};
 
+  // A takeover resumes adaptivity from the last mirrored W rather than
+  // rediscovering the imbalance: override the scheduler's initial weights
+  // on the monitored fragment's input exchanges when the shape matches.
+  if (!options.initial_weights_override.empty() &&
+      state.monitored_fragment >= 0) {
+    for (const ExchangeDesc* ex :
+         state.scheduled.plan.InputsOf(state.monitored_fragment)) {
+      auto& weights =
+          state.scheduled.initial_weights[static_cast<size_t>(ex->id)];
+      if (weights.size() == options.initial_weights_override.size()) {
+        weights = options.initial_weights_override;
+      }
+    }
+  }
+
   if (options.adaptivity.enabled && state.monitored_fragment >= 0) {
     GQP_RETURN_IF_ERROR(SetUpAdaptivity(&state));
   }
@@ -76,13 +93,73 @@ Result<int> Gdqs::SubmitQuery(
     state.detector_active = true;
   }
 
+  if (mirroring_) {
+    MirrorEntry reg;
+    reg.kind = MirrorEntryKind::kQueryRegistered;
+    reg.query_id = state.id;
+    reg.sql = sql;
+    reg.adaptivity = options.adaptivity;
+    reg.exec = options.exec;
+    reg.optimizer = options.optimizer;
+    reg.scheduler = options.scheduler;
+    reg.submit_time_ms = state.submit_time;
+    reg.deadline_ms = options.deadline_ms;
+    Mirror(std::move(reg));
+    MirrorDetectorEpoch();
+    MirrorEntry dep;
+    dep.kind = MirrorEntryKind::kDeployed;
+    dep.query_id = state.id;
+    dep.credit_window_bytes = state.derived_credit_window;
+    Mirror(std::move(dep));
+  }
+
   const int id = state.id;
-  queries_.emplace(id, std::move(state));
+  auto [it, inserted] = queries_.emplace(id, std::move(state));
+  (void)inserted;
+  if (options.deadline_ms > 0) {
+    it->second.deadline_event = simulator()->Schedule(
+        options.deadline_ms, [this, id] { OnDeadline(id); });
+  }
   return id;
 }
 
 void Gdqs::SetFailureDetector(HeartbeatMonitor* monitor) {
   detector_ = monitor;
+}
+
+void Gdqs::EnableMirroring(const Address& standby) {
+  standby_ = standby;
+  mirroring_ = true;
+  mirror_log_ = std::make_unique<MirrorLog>();
+}
+
+void Gdqs::SeedQueryIds(int next_id) {
+  next_query_id_ = std::max(next_query_id_, next_id);
+}
+
+void Gdqs::Mirror(MirrorEntry entry) {
+  if (!mirroring_ || mirror_log_ == nullptr) return;
+  mirror_log_->Append(std::move(entry));
+  // Append stamped the seq; ship the stored copy to the standby. Delivery
+  // rides the reliable control plane; loss of the tail is tolerated (the
+  // standby takes over from a consistent prefix).
+  const Status s = SendTo(
+      standby_, std::make_shared<MirrorEntryPayload>(
+                    mirror_log_->pending().back()));
+  if (!s.ok()) {
+    GQP_LOG_WARN << "mirror shipment failed: " << s.ToString();
+  }
+}
+
+void Gdqs::MirrorDetectorEpoch() {
+  if (!mirroring_ || detector_ == nullptr) return;
+  const uint64_t epoch = detector_->epoch();
+  if (epoch == last_mirrored_epoch_) return;
+  last_mirrored_epoch_ = epoch;
+  MirrorEntry entry;
+  entry.kind = MirrorEntryKind::kEpochBump;
+  entry.detector_epoch = epoch;
+  Mirror(std::move(entry));
 }
 
 Status Gdqs::SetUpAdaptivity(QueryState* state) {
@@ -140,6 +217,12 @@ Status Gdqs::SetUpAdaptivity(QueryState* state) {
       state->diagnoser->address(), kTopicImbalance));
   GQP_RETURN_IF_ERROR(state->diagnoser->Subscribe(
       state->responder->address(), kTopicWeightsApplied));
+  // With a standby attached, the coordinator itself also listens for the
+  // applied W so every redistribution lands in the mirror log.
+  if (mirroring_) {
+    GQP_RETURN_IF_ERROR(
+        Subscribe(state->responder->address(), kTopicWeightsApplied));
+  }
   return Status::OK();
 }
 
@@ -165,6 +248,7 @@ Status Gdqs::Deploy(QueryState* state) {
           std::max<size_t>(1, exec.memory_budget_bytes / links);
     }
   }
+  state->derived_credit_window = exec.credit_window_bytes;
   for (const FragmentDesc& frag : plan.fragments) {
     const auto& hosts =
         state->scheduled.instance_hosts[static_cast<size_t>(frag.id)];
@@ -178,6 +262,7 @@ Status Gdqs::Deploy(QueryState* state) {
           state->options.exec.monitoring_enabled &&
           state->options.adaptivity.enabled;
       instance.coordinator = address();
+      instance.coordinator_epoch = coordinator_epoch_;
 
       // Input wiring.
       for (const ExchangeDesc* ex : plan.InputsOf(frag.id)) {
@@ -242,8 +327,32 @@ void Gdqs::HandleMessage(const Message& msg) {
     OnFragmentComplete(*complete);
     return;
   }
+  if (const auto* mirror_ack = PayloadAs<MirrorAckPayload>(msg.payload)) {
+    if (mirror_log_ != nullptr) mirror_log_->Acknowledge(mirror_ack->seq());
+    return;
+  }
   GQP_LOG_DEBUG << "GDQS: unhandled payload "
                 << (msg.payload ? msg.payload->TypeName() : "null");
+}
+
+void Gdqs::OnNotification(const Address& publisher, const std::string& topic,
+                          const PayloadPtr& body) {
+  // Mirroring subscribes to each Responder's weights-applied topic so the
+  // standby can resume adaptivity from the live W (the publisher is
+  // "responder.q<id>"; the query id rides in its name).
+  if (topic != kTopicWeightsApplied || !mirroring_) return;
+  const auto* applied = PayloadAs<WeightsAppliedPayload>(body);
+  if (applied == nullptr) return;
+  const size_t pos = publisher.service.rfind(".q");
+  if (pos == std::string::npos) return;
+  const int query_id = std::atoi(publisher.service.c_str() + pos + 2);
+  if (queries_.find(query_id) == queries_.end()) return;
+  MirrorEntry entry;
+  entry.kind = MirrorEntryKind::kWeightsApplied;
+  entry.query_id = query_id;
+  entry.round = applied->round();
+  entry.weights = applied->weights();
+  Mirror(std::move(entry));
 }
 
 void Gdqs::OnDeployAck(const DeployAckPayload& ack) {
@@ -280,11 +389,96 @@ void Gdqs::OnFragmentComplete(const FragmentCompletePayload& complete) {
   const bool first = !state.complete;
   state.complete = true;
   state.completion_time = simulator()->Now();
+  if (first && state.deadline_event != kInvalidEventId) {
+    simulator()->Cancel(state.deadline_event);
+    state.deadline_event = kInvalidEventId;
+  }
   if (first && state.detector_active && detector_ != nullptr) {
     detector_->Deactivate();
     state.detector_active = false;
   }
+  if (first && mirroring_) {
+    MirrorEntry entry;
+    entry.kind = MirrorEntryKind::kQueryComplete;
+    entry.query_id = state.id;
+    entry.completion_time_ms = state.completion_time;
+    if (const FragmentExecutor* root = FindInstance(state.root_instance)) {
+      entry.rows = root->Results();
+    }
+    Mirror(std::move(entry));
+  }
   if (first && state.on_complete) state.on_complete(BuildResult(state));
+}
+
+void Gdqs::OnDeadline(int query_id) {
+  // The watchdog dies with the coordinator process: a killed primary's
+  // pending deadline events fire as no-ops (the standby re-arms deadlines
+  // on the queries it retries).
+  if (node_->dead()) return;
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  it->second.deadline_event = kInvalidEventId;  // fired, nothing to cancel
+  if (it->second.complete || it->second.terminated) return;
+  const Status s = TerminateQuery(
+      query_id, StrCat("deadline of ", it->second.options.deadline_ms,
+                       " ms exceeded"));
+  if (!s.ok()) {
+    GQP_LOG_ERROR << "deadline termination of query " << query_id
+                  << " failed: " << s.ToString();
+  }
+}
+
+void Gdqs::CancelDeadlineWatchdogs() {
+  for (auto& [id, state] : queries_) {
+    if (state.deadline_event != kInvalidEventId) {
+      simulator()->Cancel(state.deadline_event);
+      state.deadline_event = kInvalidEventId;
+    }
+  }
+}
+
+Status Gdqs::TerminateQuery(int query_id, const std::string& reason) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("unknown query ", query_id));
+  }
+  QueryState& state = it->second;
+  if (state.complete) {
+    return Status::FailedPrecondition(
+        StrCat("query ", query_id, " already completed"));
+  }
+  if (state.terminated) return Status::OK();
+
+  // Salvage whatever the root produced before the executors go away.
+  if (const FragmentExecutor* root = FindInstance(state.root_instance)) {
+    state.partial_rows = root->Results();
+  }
+  state.terminated = true;
+  state.terminal_status =
+      Status::Aborted(StrCat("query ", query_id, " terminated: ", reason));
+  state.completion_time = simulator()->Now();
+  if (state.deadline_event != kInvalidEventId) {
+    simulator()->Cancel(state.deadline_event);
+    state.deadline_event = kInvalidEventId;
+  }
+  if (state.detector_active && detector_ != nullptr) {
+    detector_->Deactivate();
+    state.detector_active = false;
+  }
+  // Stop the adaptivity services before their executors vanish.
+  state.diagnoser.reset();
+  state.responder.reset();
+  for (Gqes* g : gqes_) g->ReleaseQuery(query_id);
+  if (mirroring_) {
+    MirrorEntry entry;
+    entry.kind = MirrorEntryKind::kQueryTerminated;
+    entry.query_id = query_id;
+    entry.rows = state.partial_rows;
+    entry.completion_time_ms = state.completion_time;
+    Mirror(std::move(entry));
+  }
+  GQP_LOG_WARN << "query " << query_id << " terminated: " << reason;
+  return Status::OK();
 }
 
 bool Gdqs::QueryComplete(int query_id) const {
@@ -307,6 +501,11 @@ QueryResult Gdqs::BuildResult(const QueryState& state) const {
   result.submit_time_ms = state.submit_time;
   result.completion_time_ms = state.completion_time;
   result.response_time_ms = state.completion_time - state.submit_time;
+  if (state.terminated) {
+    // Executors are gone; the salvaged partial rows are the result.
+    result.rows = state.partial_rows;
+    return result;
+  }
   if (const FragmentExecutor* root = FindInstance(state.root_instance)) {
     result.rows = root->Results();
   }
@@ -338,6 +537,7 @@ Status Gdqs::ExecutionStatus(int query_id) const {
   if (it == queries_.end()) {
     return Status::NotFound(StrCat("unknown query ", query_id));
   }
+  if (it->second.terminated) return it->second.terminal_status;
   for (Gqes* g : gqes_) {
     for (FragmentExecutor* executor : g->Executors()) {
       if (executor->plan().id.query != query_id) continue;
@@ -423,7 +623,17 @@ Result<QueryStatsSnapshot> Gdqs::CollectStats(int query_id) const {
 }
 
 Status Gdqs::ReportNodeFailure(HostId failed_host) {
+  if (!registry_->Find(failed_host).ok()) {
+    return Status::NotFound(
+        StrCat("host ", failed_host, " is not a registered grid node"));
+  }
   reported_failures_.insert(failed_host);
+  if (mirroring_) {
+    MirrorEntry entry;
+    entry.kind = MirrorEntryKind::kFailureDecision;
+    entry.failed_host = failed_host;
+    Mirror(std::move(entry));
+  }
   for (auto& [id, state] : queries_) {
     if (state.complete) continue;
     const auto& plan = state.scheduled.plan;
@@ -446,7 +656,8 @@ Status Gdqs::ReportNodeFailure(HostId failed_host) {
             GQP_RETURN_IF_ERROR(
                 SendTo(Address{consumer_hosts[c], cid.ToString()},
                        std::make_shared<ProducerLostPayload>(
-                           out->id, dead, out->consumer_port)));
+                           out->id, dead, out->consumer_port,
+                           coordinator_epoch_)));
           }
         }
 
@@ -464,7 +675,8 @@ Status Gdqs::ReportNodeFailure(HostId failed_host) {
                                 static_cast<int>(p)};
             GQP_RETURN_IF_ERROR(
                 SendTo(Address{producer_hosts[p], pid.ToString()},
-                       std::make_shared<ConsumerLostPayload>(exch.id, dead)));
+                       std::make_shared<ConsumerLostPayload>(
+                           exch.id, dead, coordinator_epoch_)));
           }
         }
 
@@ -496,10 +708,15 @@ Status Gdqs::ReportNodeFailure(HostId failed_host) {
 
 void Gdqs::ReleaseQuery(int query_id) {
   auto it = queries_.find(query_id);
-  if (it != queries_.end() && it->second.detector_active &&
-      detector_ != nullptr) {
-    detector_->Deactivate();
-    it->second.detector_active = false;
+  if (it != queries_.end()) {
+    if (it->second.deadline_event != kInvalidEventId) {
+      simulator()->Cancel(it->second.deadline_event);
+      it->second.deadline_event = kInvalidEventId;
+    }
+    if (it->second.detector_active && detector_ != nullptr) {
+      detector_->Deactivate();
+      it->second.detector_active = false;
+    }
   }
   for (Gqes* g : gqes_) g->ReleaseQuery(query_id);
   queries_.erase(query_id);

@@ -20,8 +20,10 @@
 #include "catalog/catalog.h"
 #include "dqp/dqp_messages.h"
 #include "dqp/gqes.h"
+#include "dqp/mirror_log.h"
 #include "plan/optimizer.h"
 #include "plan/scheduler.h"
+#include "sim/simulator.h"
 
 namespace gqp {
 
@@ -33,6 +35,16 @@ struct QueryOptions {
   ExecConfig exec;
   OptimizerOptions optimizer;
   SchedulerOptions scheduler;
+  /// Wall-clock (virtual) budget for the query; 0 disables the deadline
+  /// watchdog. A query still running when the budget elapses is
+  /// terminated with a partial result (D14: queries stuck in failover
+  /// limbo must not hang forever).
+  double deadline_ms = 0;
+  /// Replaces the scheduler's initial weights on the input exchanges of
+  /// the monitored fragment (must match the instance count; ignored
+  /// otherwise). A takeover uses it to resume adaptivity from the last
+  /// mirrored W instead of rediscovering the imbalance from scratch.
+  std::vector<double> initial_weights_override;
 };
 
 /// The outcome of a completed query.
@@ -141,11 +153,45 @@ class Gdqs : public GridService {
   /// Drops all executors and adaptivity services of a query.
   void ReleaseQuery(int query_id);
 
+  /// Terminates a running query: tears down its executors, keeping
+  /// whatever rows the root had produced as a partial result. GetResult
+  /// afterwards returns complete=false with those rows;
+  /// ExecutionStatus returns Aborted. Used by the deadline watchdog and
+  /// by the standby for queries past their deadline at takeover.
+  Status TerminateQuery(int query_id, const std::string& reason);
+
+  /// Cancels every pending per-query deadline watchdog. Called when the
+  /// coordinator's machine is killed: a dead process has no timers, and
+  /// leaving them queued would hold the simulation clock until they fire
+  /// as no-ops.
+  void CancelDeadlineWatchdogs();
+
+  /// Starts mirroring every coordinator decision to `standby` as
+  /// MirrorEntryPayloads over the control plane (DESIGN.md §D14). Off by
+  /// default; when off, no mirror traffic exists at all.
+  void EnableMirroring(const Address& standby);
+
+  /// The primary-side mirror log (null unless mirroring is enabled).
+  const MirrorLog* mirror_log() const { return mirror_log_.get(); }
+
+  /// Raises the floor of the query-id counter. A standby taking over
+  /// seeds it past the primary's highest mirrored id so retried queries
+  /// never collide with surviving executor endpoints.
+  void SeedQueryIds(int next_id);
+
+  /// Sets the fenced coordinator epoch stamped onto every deployed plan
+  /// and failure-recovery command (D14). Evaluators drop commands with
+  /// epochs below their high-water mark.
+  void set_coordinator_epoch(uint64_t epoch) { coordinator_epoch_ = epoch; }
+  uint64_t coordinator_epoch() const { return coordinator_epoch_; }
+
   Diagnoser* diagnoser(int query_id) const;
   Responder* responder(int query_id) const;
 
  protected:
   void HandleMessage(const Message& msg) override;
+  void OnNotification(const Address& publisher, const std::string& topic,
+                      const PayloadPtr& body) override;
 
  private:
   struct QueryState {
@@ -168,6 +214,16 @@ class Gdqs : public GridService {
     int monitored_fragment = -1;
     /// True while this query holds an Activate() on the failure detector.
     bool detector_active = false;
+    /// Terminated by the deadline watchdog (or a takeover decision).
+    bool terminated = false;
+    Status terminal_status;
+    /// Root rows salvaged at termination (the executors are gone after).
+    std::vector<Tuple> partial_rows;
+    /// Pending deadline-watchdog event (kInvalidEventId when disarmed).
+    EventId deadline_event = kInvalidEventId;
+    /// Credit window Deploy derived from the memory budget (mirrored so
+    /// the standby can report/recreate it without re-deriving).
+    uint64_t derived_credit_window = 0;
   };
 
   Gqes* GqesOnHost(HostId host) const;
@@ -175,8 +231,15 @@ class Gdqs : public GridService {
   Status SetUpAdaptivity(QueryState* state);
   void OnDeployAck(const DeployAckPayload& ack);
   void OnFragmentComplete(const FragmentCompletePayload& complete);
+  void OnDeadline(int query_id);
   QueryResult BuildResult(const QueryState& state) const;
   FragmentExecutor* FindInstance(const SubplanId& id) const;
+  /// Appends to the mirror log and ships the entry to the standby.
+  /// No-op unless mirroring is enabled.
+  void Mirror(MirrorEntry entry);
+  /// Mirrors a kEpochBump when the detector's watch epoch moved since the
+  /// last mirrored value.
+  void MirrorDetectorEpoch();
 
   GridNode* node_;
   Network* network_;
@@ -190,6 +253,12 @@ class Gdqs : public GridService {
   HeartbeatMonitor* detector_ = nullptr;
   std::set<HostId> reported_failures_;
   int next_query_id_ = 1;
+  // --- coordinator failover (D14) ---------------------------------------
+  bool mirroring_ = false;
+  Address standby_;
+  std::unique_ptr<MirrorLog> mirror_log_;
+  uint64_t last_mirrored_epoch_ = 0;
+  uint64_t coordinator_epoch_ = 0;
 };
 
 }  // namespace gqp

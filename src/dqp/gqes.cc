@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "dqp/dqp_messages.h"
+#include "dqp/failover_messages.h"
 
 namespace gqp {
 
@@ -54,6 +55,12 @@ std::vector<FragmentExecutor*> Gqes::Executors() const {
 void Gqes::ReleaseQuery(int query_id) {
   for (auto it = executors_.begin(); it != executors_.end();) {
     if (it->second->plan().id.query == query_id) {
+      // The instance may have node work in flight whose completion
+      // callback points into it; destroying it here would leave the node
+      // queue dangling. Abandon it (inert: drops every message, starts no
+      // work) and park the object until the GQES itself is torn down.
+      it->second->Abandon();
+      released_.push_back(std::move(it->second));
       it = executors_.erase(it);
     } else {
       ++it;
@@ -62,14 +69,70 @@ void Gqes::ReleaseQuery(int query_id) {
 }
 
 void Gqes::HandleMessage(const Message& msg) {
-  const auto* deploy = PayloadAs<DeployFragmentPayload>(msg.payload);
-  if (deploy == nullptr) {
-    GQP_LOG_DEBUG << "GQES " << name() << ": unhandled payload "
-                  << (msg.payload ? msg.payload->TypeName() : "null");
+  if (const auto* deploy = PayloadAs<DeployFragmentPayload>(msg.payload)) {
+    OnDeploy(msg, deploy->plan());
     return;
   }
+  if (const auto* epoch = PayloadAs<CoordinatorEpochPayload>(msg.payload)) {
+    OnCoordinatorEpoch(epoch->epoch());
+    return;
+  }
+  if (const auto* probe = PayloadAs<ProbeQueryPayload>(msg.payload)) {
+    OnProbeQuery(msg, probe->query(), probe->coordinator_epoch());
+    return;
+  }
+  if (const auto* release = PayloadAs<ReleaseQueryPayload>(msg.payload)) {
+    if (release->coordinator_epoch() < coordinator_epoch_) {
+      ++stats_.stale_epoch_dropped;
+      return;
+    }
+    ReleaseQuery(release->query());
+    return;
+  }
+  GQP_LOG_DEBUG << "GQES " << name() << ": unhandled payload "
+                << (msg.payload ? msg.payload->TypeName() : "null");
+}
 
-  const FragmentInstancePlan& plan = deploy->plan();
+void Gqes::OnCoordinatorEpoch(uint64_t epoch) {
+  if (epoch <= coordinator_epoch_) return;
+  coordinator_epoch_ = epoch;
+  ++stats_.epoch_updates;
+  // Fan the fence out to every live executor so commands of the deposed
+  // coordinator (recovery purges, lost-stream notices) become void.
+  for (auto& [key, executor] : executors_) {
+    executor->AdvanceCoordinatorEpoch(epoch);
+  }
+}
+
+void Gqes::OnProbeQuery(const Message& msg, int query, uint64_t epoch) {
+  if (epoch < coordinator_epoch_) {
+    ++stats_.stale_epoch_dropped;
+    return;
+  }
+  int count = 0;
+  int finished = 0;
+  for (const auto& [key, executor] : executors_) {
+    if (executor->plan().id.query != query) continue;
+    ++count;
+    if (executor->finished()) ++finished;
+  }
+  ++stats_.probes_answered;
+  const Status sent = SendTo(
+      msg.from,
+      std::make_shared<ProbeReplyPayload>(query, host(), count, finished));
+  if (!sent.ok()) {
+    GQP_LOG_ERROR << "GQES " << name()
+                  << ": probe reply failed: " << sent.ToString();
+  }
+}
+
+void Gqes::OnDeploy(const Message& msg, const FragmentInstancePlan& plan) {
+  // A deployment stamped by a deposed coordinator must not take root: the
+  // new coordinator has its own view of the query and will redeploy.
+  if (plan.coordinator_epoch < coordinator_epoch_) {
+    ++stats_.stale_epoch_dropped;
+    return;
+  }
   TablePtr table;
   if (plan.fragment.IsScanLeaf()) {
     auto it = tables_.find(ToUpper(plan.fragment.ops.front().table));

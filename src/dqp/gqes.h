@@ -21,6 +21,16 @@
 
 namespace gqp {
 
+/// Failover-related counters of one GQES (DESIGN.md §D14).
+struct GqesStats {
+  /// Commands dropped because they carried a stale coordinator epoch.
+  uint64_t stale_epoch_dropped = 0;
+  /// CoordinatorEpoch announcements that advanced the local epoch.
+  uint64_t epoch_updates = 0;
+  /// Reconciliation probes answered.
+  uint64_t probes_answered = 0;
+};
+
 /// \brief A (possibly adaptive) query-evaluation service.
 class Gqes : public GridService {
  public:
@@ -46,13 +56,23 @@ class Gqes : public GridService {
   MonitoringEventDetector* med() const { return med_.get(); }
   GridNode* node() const { return node_; }
 
-  /// Destroys all executors of a query (endpoint cleanup between runs).
+  /// Abandons all executors of a query: they turn inert and drop out of
+  /// Executors(), but stay alive until the GQES is destroyed (in-flight
+  /// node work still holds callbacks into them).
   void ReleaseQuery(int query_id);
+
+  /// Highest coordinator epoch this GQES has accepted (D14).
+  uint64_t coordinator_epoch() const { return coordinator_epoch_; }
+  const GqesStats& stats() const { return stats_; }
 
  protected:
   void HandleMessage(const Message& msg) override;
 
  private:
+  void OnDeploy(const Message& msg, const FragmentInstancePlan& plan);
+  void OnCoordinatorEpoch(uint64_t epoch);
+  void OnProbeQuery(const Message& msg, int query, uint64_t epoch);
+
   GridNode* node_;
   Network* network_;
   bool adaptive_;
@@ -61,6 +81,11 @@ class Gqes : public GridService {
   /// Ordered by instance key so Executors() enumerates deterministically
   /// (stats harvesting and chaos invariant sweeps iterate it).
   std::map<std::string, std::unique_ptr<FragmentExecutor>> executors_;
+  /// Abandoned instances parked until teardown (see ReleaseQuery).
+  std::vector<std::unique_ptr<FragmentExecutor>> released_;
+  /// High-water coordinator epoch; commands below it are void (D14).
+  uint64_t coordinator_epoch_ = 0;
+  GqesStats stats_;
 };
 
 }  // namespace gqp

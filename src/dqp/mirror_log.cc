@@ -1,0 +1,198 @@
+#include "dqp/mirror_log.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace gqp {
+namespace {
+
+std::string_view KindName(MirrorEntryKind kind) {
+  switch (kind) {
+    case MirrorEntryKind::kQueryRegistered:
+      return "register";
+    case MirrorEntryKind::kDeployed:
+      return "deploy";
+    case MirrorEntryKind::kEpochBump:
+      return "epoch";
+    case MirrorEntryKind::kFailureDecision:
+      return "failure";
+    case MirrorEntryKind::kWeightsApplied:
+      return "weights";
+    case MirrorEntryKind::kQueryComplete:
+      return "complete";
+    case MirrorEntryKind::kQueryTerminated:
+      return "terminate";
+  }
+  return "?";
+}
+
+void FnvMix(uint64_t* hash, const std::string& bytes) {
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  for (const char c : bytes) {
+    *hash ^= static_cast<uint8_t>(c);
+    *hash *= kPrime;
+  }
+}
+
+}  // namespace
+
+std::string MirrorEntry::Describe() const {
+  std::string out =
+      StrCat("#", seq, ":", KindName(kind), ":q", query_id);
+  switch (kind) {
+    case MirrorEntryKind::kQueryRegistered:
+      out += StrCat("(", sql.size(), "B sql, t=", submit_time_ms,
+                    ", deadline=", deadline_ms, ")");
+      break;
+    case MirrorEntryKind::kDeployed:
+      out += StrCat("(window=", credit_window_bytes, ")");
+      break;
+    case MirrorEntryKind::kEpochBump:
+      out += StrCat("(epoch=", detector_epoch, ")");
+      break;
+    case MirrorEntryKind::kFailureDecision:
+      out += StrCat("(host=", failed_host, ")");
+      break;
+    case MirrorEntryKind::kWeightsApplied: {
+      out += StrCat("(round=", round, ", w=[");
+      for (size_t i = 0; i < weights.size(); ++i) {
+        if (i > 0) out += ",";
+        out += StrCat(weights[i]);
+      }
+      out += "])";
+      break;
+    }
+    case MirrorEntryKind::kQueryComplete:
+    case MirrorEntryKind::kQueryTerminated:
+      out += StrCat("(rows=", rows.size(), ", t=", completion_time_ms, ")");
+      break;
+  }
+  return out;
+}
+
+uint64_t MirrorLog::Append(MirrorEntry entry) {
+  entry.seq = next_seq_++;
+  pending_.push_back(std::move(entry));
+  return pending_.back().seq;
+}
+
+void MirrorLog::Acknowledge(uint64_t seq) {
+  if (seq <= acked_seq_) return;
+  acked_seq_ = seq;
+  while (!pending_.empty() && pending_.front().seq <= seq) {
+    pending_.pop_front();
+    ++truncated_;
+  }
+}
+
+uint64_t MirrorState::Apply(const MirrorEntry& entry) {
+  if (entry.seq <= applied_seq_) return applied_seq_;  // duplicate
+  if (entry.seq != applied_seq_ + 1) {
+    pending_.emplace(entry.seq, entry);  // hold back until the gap fills
+    return applied_seq_;
+  }
+  ApplyInOrder(entry);
+  applied_seq_ = entry.seq;
+  // Drain held-back entries that the new frontier unblocked.
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first == applied_seq_ + 1) {
+    ApplyInOrder(it->second);
+    applied_seq_ = it->first;
+    it = pending_.erase(it);
+  }
+  return applied_seq_;
+}
+
+void MirrorState::ApplyInOrder(const MirrorEntry& entry) {
+  switch (entry.kind) {
+    case MirrorEntryKind::kQueryRegistered: {
+      MirroredQuery q;
+      q.id = entry.query_id;
+      q.sql = entry.sql;
+      q.adaptivity = entry.adaptivity;
+      q.exec = entry.exec;
+      q.optimizer = entry.optimizer;
+      q.scheduler = entry.scheduler;
+      q.submit_time_ms = entry.submit_time_ms;
+      q.deadline_ms = entry.deadline_ms;
+      queries_[entry.query_id] = std::move(q);
+      max_query_id_ = std::max(max_query_id_, entry.query_id);
+      break;
+    }
+    case MirrorEntryKind::kDeployed: {
+      auto it = queries_.find(entry.query_id);
+      if (it != queries_.end()) {
+        it->second.deployed = true;
+        it->second.credit_window_bytes = entry.credit_window_bytes;
+      }
+      break;
+    }
+    case MirrorEntryKind::kEpochBump:
+      detector_epoch_ = std::max(detector_epoch_, entry.detector_epoch);
+      break;
+    case MirrorEntryKind::kFailureDecision:
+      ++failure_decisions_[entry.failed_host];
+      break;
+    case MirrorEntryKind::kWeightsApplied: {
+      auto it = queries_.find(entry.query_id);
+      if (it != queries_.end()) {
+        it->second.weights_round = entry.round;
+        it->second.last_weights = entry.weights;
+      }
+      break;
+    }
+    case MirrorEntryKind::kQueryComplete: {
+      auto it = queries_.find(entry.query_id);
+      if (it != queries_.end()) {
+        it->second.complete = true;
+        it->second.completion_time_ms = entry.completion_time_ms;
+        it->second.rows = entry.rows;
+      }
+      break;
+    }
+    case MirrorEntryKind::kQueryTerminated: {
+      auto it = queries_.find(entry.query_id);
+      if (it != queries_.end()) {
+        it->second.terminated = true;
+        it->second.completion_time_ms = entry.completion_time_ms;
+        it->second.rows = entry.rows;
+      }
+      break;
+    }
+  }
+}
+
+const MirroredQuery* MirrorState::Find(int query_id) const {
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : &it->second;
+}
+
+std::vector<int> MirrorState::IncompleteQueries() const {
+  std::vector<int> out;
+  for (const auto& [id, q] : queries_) {
+    if (!q.complete && !q.terminated) out.push_back(id);
+  }
+  return out;
+}
+
+uint64_t MirrorState::Fingerprint() const {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  FnvMix(&hash, StrCat("seq=", applied_seq_, ";epoch=", detector_epoch_));
+  for (const auto& [host, count] : failure_decisions_) {
+    FnvMix(&hash, StrCat(";fail:", host, "x", count));
+  }
+  for (const auto& [id, q] : queries_) {
+    FnvMix(&hash,
+           StrCat(";q", id, ":", q.sql, ":t", q.submit_time_ms, ":dl",
+                  q.deadline_ms, ":dep", q.deployed ? 1 : 0, ":win",
+                  q.credit_window_bytes, ":c", q.complete ? 1 : 0, ":term",
+                  q.terminated ? 1 : 0, ":ct", q.completion_time_ms, ":round",
+                  q.weights_round));
+    for (const double w : q.last_weights) FnvMix(&hash, StrCat(",", w));
+    for (const Tuple& row : q.rows) FnvMix(&hash, row.ToString());
+  }
+  return hash;
+}
+
+}  // namespace gqp

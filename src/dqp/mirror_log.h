@@ -1,0 +1,182 @@
+// Coordinator mirror log (DESIGN.md §D14): the deterministic state-machine
+// log a primary GDQS ships to its standby over the reliable control plane.
+// Every coordinator decision that the standby needs for a takeover becomes
+// one MirrorEntry: query registration (enough to resubmit), deployment
+// (derived credit window), detector watch-epoch bumps (to stop orphaned
+// heartbeaters), applied redistribution weights (to resume adaptivity from
+// the mirrored W), ReportNodeFailure decisions, and query completion (with
+// the result rows, so a finished query survives the primary).
+//
+// Primary side: MirrorLog assigns contiguous sequence numbers and retains
+// entries until the standby acknowledges them (truncating the acked
+// prefix). Standby side: MirrorState applies entries strictly in sequence
+// order — out-of-order arrivals are held back — so replaying the same log
+// always produces the same state (Fingerprint() proves it byte-for-byte).
+//
+// Determinism contract: both sides iterate std::map only (no unordered
+// containers in any fingerprinted path), and nothing here reads a clock —
+// times are carried inside the entries.
+
+#ifndef GRIDQP_DQP_MIRROR_LOG_H_
+#define GRIDQP_DQP_MIRROR_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adapt/adaptivity_config.h"
+#include "exec/exec_config.h"
+#include "net/message.h"
+#include "plan/optimizer.h"
+#include "plan/scheduler.h"
+#include "storage/tuple.h"
+
+namespace gqp {
+
+enum class MirrorEntryKind {
+  /// A query was admitted: everything needed to resubmit it.
+  kQueryRegistered,
+  /// Its fragments were deployed (derived flow-control credit window).
+  kDeployed,
+  /// The failure detector opened a new watch epoch.
+  kEpochBump,
+  /// The coordinator confirmed a host failure and ran recovery.
+  kFailureDecision,
+  /// The Responder applied a redistribution: the live weights W.
+  kWeightsApplied,
+  /// The root fragment completed; rows are the query's result.
+  kQueryComplete,
+  /// The query was terminated (deadline watchdog) with a partial result.
+  kQueryTerminated,
+};
+
+/// One replicated coordinator decision.
+struct MirrorEntry {
+  MirrorEntryKind kind = MirrorEntryKind::kQueryRegistered;
+  /// Contiguous log position, assigned by MirrorLog::Append (1-based).
+  uint64_t seq = 0;
+  int query_id = 0;
+
+  // kQueryRegistered
+  std::string sql;
+  AdaptivityConfig adaptivity;
+  ExecConfig exec;
+  OptimizerOptions optimizer;
+  SchedulerOptions scheduler;
+  double submit_time_ms = 0.0;
+  double deadline_ms = 0.0;
+
+  // kDeployed
+  uint64_t credit_window_bytes = 0;
+
+  // kEpochBump
+  uint64_t detector_epoch = 0;
+
+  // kFailureDecision
+  HostId failed_host = kInvalidHost;
+
+  // kWeightsApplied
+  uint64_t round = 0;
+  std::vector<double> weights;
+
+  // kQueryComplete / kQueryTerminated
+  std::vector<Tuple> rows;
+  double completion_time_ms = 0.0;
+
+  /// Deterministic one-line rendering (fingerprinting and logs).
+  std::string Describe() const;
+};
+
+/// Primary-side log: append, ship, truncate after acknowledgment.
+class MirrorLog {
+ public:
+  /// Stamps the next sequence number onto `entry` and retains it until
+  /// acknowledged. Returns the assigned seq.
+  uint64_t Append(MirrorEntry entry);
+
+  /// The standby acknowledged every entry up to and including `seq`;
+  /// the acked prefix is dropped.
+  void Acknowledge(uint64_t seq);
+
+  /// Entries appended but not yet acknowledged, in seq order.
+  const std::deque<MirrorEntry>& pending() const { return pending_; }
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t acked_seq() const { return acked_seq_; }
+  uint64_t entries_appended() const { return next_seq_ - 1; }
+  uint64_t entries_truncated() const { return truncated_; }
+
+ private:
+  std::deque<MirrorEntry> pending_;
+  uint64_t next_seq_ = 1;
+  uint64_t acked_seq_ = 0;
+  uint64_t truncated_ = 0;
+};
+
+/// Standby-side replica of the primary's query table.
+struct MirroredQuery {
+  int id = 0;
+  std::string sql;
+  AdaptivityConfig adaptivity;
+  ExecConfig exec;
+  OptimizerOptions optimizer;
+  SchedulerOptions scheduler;
+  double submit_time_ms = 0.0;
+  double deadline_ms = 0.0;
+  bool deployed = false;
+  uint64_t credit_window_bytes = 0;
+  bool complete = false;
+  bool terminated = false;
+  double completion_time_ms = 0.0;
+  std::vector<Tuple> rows;
+  /// Latest applied redistribution (empty: initial weights still live).
+  uint64_t weights_round = 0;
+  std::vector<double> last_weights;
+};
+
+/// Standby-side state machine. Apply() is tolerant of out-of-order
+/// delivery (entries above the contiguous frontier are held back) and
+/// idempotent for duplicates (entries at or below the frontier are
+/// dropped), so any reliable-enough channel yields the same state.
+class MirrorState {
+ public:
+  /// Feeds one entry; applies it (and any unblocked held-back entries)
+  /// when it extends the contiguous prefix. Returns the new applied seq.
+  uint64_t Apply(const MirrorEntry& entry);
+
+  /// Highest contiguously applied sequence number.
+  uint64_t applied_seq() const { return applied_seq_; }
+  uint64_t entries_applied() const { return applied_seq_; }
+  uint64_t held_back() const { return static_cast<uint64_t>(pending_.size()); }
+
+  const std::map<int, MirroredQuery>& queries() const { return queries_; }
+  const MirroredQuery* Find(int query_id) const;
+  /// Queries registered but neither complete nor terminated, ascending id.
+  std::vector<int> IncompleteQueries() const;
+  int max_query_id() const { return max_query_id_; }
+  uint64_t detector_epoch() const { return detector_epoch_; }
+  const std::map<HostId, uint64_t>& failure_decisions() const {
+    return failure_decisions_;
+  }
+
+  /// FNV-1a over a canonical rendering of the whole state: equal logs
+  /// produce equal fingerprints, any divergence (ordering, lost entry,
+  /// duplicated apply) changes it.
+  uint64_t Fingerprint() const;
+
+ private:
+  void ApplyInOrder(const MirrorEntry& entry);
+
+  std::map<int, MirroredQuery> queries_;
+  /// Entries ahead of the contiguous frontier, keyed by seq.
+  std::map<uint64_t, MirrorEntry> pending_;
+  std::map<HostId, uint64_t> failure_decisions_;
+  uint64_t applied_seq_ = 0;
+  uint64_t detector_epoch_ = 0;
+  int max_query_id_ = 0;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_DQP_MIRROR_LOG_H_

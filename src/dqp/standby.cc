@@ -1,0 +1,252 @@
+#include "dqp/standby.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "grid/registry.h"
+
+namespace gqp {
+
+StandbyCoordinator::StandbyCoordinator(MessageBus* bus, GridNode* node,
+                                       Network* network, Catalog* catalog,
+                                       ResourceRegistry* registry,
+                                       const DetectConfig& watch,
+                                       Address primary)
+    : GridService(bus, node->id(), "standby"),
+      node_(node),
+      network_(network),
+      registry_(registry),
+      primary_(std::move(primary)) {
+  gdqs_ = std::make_unique<Gdqs>(bus, node, network, catalog, registry);
+  monitor_ = std::make_unique<HeartbeatMonitor>(bus, node->id(), watch);
+  monitor_->BindNode(node);
+}
+
+StandbyCoordinator::~StandbyCoordinator() = default;
+
+Status StandbyCoordinator::Initialize() {
+  GQP_RETURN_IF_ERROR(Start());
+  GQP_RETURN_IF_ERROR(gdqs_->Start());
+  GQP_RETURN_IF_ERROR(monitor_->Start());
+  monitor_->set_on_confirm([this](HostId host) {
+    if (host == primary_.host) TakeOver();
+  });
+  return Status::OK();
+}
+
+void StandbyCoordinator::AddGqes(Gqes* gqes) {
+  gqes_.push_back(gqes);
+  gdqs_->AddGqes(gqes);
+}
+
+void StandbyCoordinator::HandleMessage(const Message& msg) {
+  if (const auto* mirror = PayloadAs<MirrorEntryPayload>(msg.payload)) {
+    OnMirrorEntry(msg, mirror->entry());
+    return;
+  }
+  if (const auto* reply = PayloadAs<ProbeReplyPayload>(msg.payload)) {
+    ++stats_.probe_replies;
+    stats_.instances_probed += reply->executors();
+    return;
+  }
+  GQP_LOG_DEBUG << "standby: unhandled payload "
+                << (msg.payload ? msg.payload->TypeName() : "null");
+}
+
+void StandbyCoordinator::OnMirrorEntry(const Message& msg,
+                                       const MirrorEntry& entry) {
+  const uint64_t applied = mirror_state_.Apply(entry);
+  stats_.mirror_entries_applied = applied;
+  const Status s =
+      SendTo(msg.from, std::make_shared<MirrorAckPayload>(applied));
+  if (!s.ok()) {
+    GQP_LOG_WARN << "standby: mirror ack failed: " << s.ToString();
+  }
+  if (!stats_.taken_over) UpdateWatch();
+}
+
+void StandbyCoordinator::UpdateWatch() {
+  const bool busy = !mirror_state_.IncompleteQueries().empty();
+  if (busy && !watch_active_) {
+    watch_active_ = true;
+    monitor_->Activate();
+  } else if (!busy && watch_active_) {
+    watch_active_ = false;
+    monitor_->Deactivate();
+  }
+}
+
+void StandbyCoordinator::TakeOver() {
+  if (stats_.taken_over) return;
+  stats_.taken_over = true;
+  stats_.takeover_at_ms = simulator()->Now();
+  stats_.mirror_entries_applied = mirror_state_.applied_seq();
+  stats_.mirror_entries_held_back = mirror_state_.held_back();
+  // The primary never held a takeover epoch, so epoch 1 deposes it; a
+  // chain of takeovers would keep counting up from the mirrored value.
+  stats_.epoch = 1;
+
+  // The primary watch served its purpose; let the simulation drain.
+  if (watch_active_) {
+    watch_active_ = false;
+    monitor_->Deactivate();
+  }
+
+  // 1. Stop the evaluator heartbeaters the dead primary's monitor
+  //    started: they carry its mirrored watch epoch, and with their
+  //    monitor gone they would beat (and keep the simulation alive)
+  //    forever. The stop is stamped with the mirrored epoch so the
+  //    monotone heartbeater accepts it.
+  for (GridNode* evaluator : registry_->NodesWithRole(NodeRole::kCompute)) {
+    const Status s =
+        SendTo(Address{evaluator->id(), "hb"},
+               std::make_shared<HeartbeatControlPayload>(
+                   /*start=*/false, mirror_state_.detector_epoch(),
+                   monitor_->config().heartbeat_interval_ms));
+    if (!s.ok()) {
+      GQP_LOG_WARN << "standby: heartbeater stop to host " << evaluator->id()
+                   << " failed: " << s.ToString();
+    }
+  }
+
+  // 2. Fence: announce the new epoch to every surviving GQES.
+  for (Gqes* g : gqes_) {
+    if (g->host() == primary_.host) continue;
+    const Status s = SendTo(
+        Address{g->host(), g->name()},
+        std::make_shared<CoordinatorEpochPayload>(stats_.epoch,
+                                                  gdqs_->address()));
+    if (!s.ok()) {
+      GQP_LOG_WARN << "standby: epoch broadcast to host " << g->host()
+                   << " failed: " << s.ToString();
+    }
+  }
+
+  // 3. The inner GDQS becomes the coordinator: retried queries get fresh
+  //    ids past everything the primary handed out (no endpoint
+  //    collisions with executors still draining their release).
+  gdqs_->SeedQueryIds(mirror_state_.max_query_id() + 1);
+  gdqs_->set_coordinator_epoch(stats_.epoch);
+
+  // 4. Reconcile in-flight queries in ascending id order (determinism).
+  for (const int query_id : mirror_state_.IncompleteQueries()) {
+    const MirroredQuery* q = mirror_state_.Find(query_id);
+    if (q != nullptr) ReconcileQuery(query_id, *q);
+  }
+  for (const auto& [id, q] : mirror_state_.queries()) {
+    if (q.complete) ++stats_.queries_served_mirrored;
+  }
+  GQP_LOG_INFO << "standby: took over at " << stats_.takeover_at_ms
+               << "ms under epoch " << stats_.epoch << " ("
+               << stats_.queries_retried << " retried, "
+               << stats_.queries_terminated << " terminated)";
+}
+
+void StandbyCoordinator::ReconcileQuery(int query_id,
+                                        const MirroredQuery& q) {
+  ++stats_.queries_reconciled;
+
+  // Probe-then-release on every surviving host, over the same in-order
+  // control channel: the census each host reports reflects its state the
+  // instant before the release tears it down.
+  for (Gqes* g : gqes_) {
+    if (g->host() == primary_.host) continue;
+    const Address to{g->host(), g->name()};
+    Status s = SendTo(
+        to, std::make_shared<ProbeQueryPayload>(query_id, stats_.epoch));
+    if (s.ok()) {
+      ++stats_.probes_sent;
+    } else {
+      GQP_LOG_WARN << "standby: probe failed: " << s.ToString();
+    }
+    s = SendTo(
+        to, std::make_shared<ReleaseQueryPayload>(query_id, stats_.epoch));
+    if (s.ok()) {
+      ++stats_.releases_sent;
+    } else {
+      GQP_LOG_WARN << "standby: release failed: " << s.ToString();
+    }
+  }
+
+  const SimTime now = simulator()->Now();
+  if (q.deadline_ms > 0 && q.submit_time_ms + q.deadline_ms <= now) {
+    // The deadline elapsed while the query sat in failover limbo:
+    // terminate cleanly instead of retrying work nobody is waiting for.
+    ++stats_.queries_terminated;
+    terminated_[query_id] = Status::Aborted(
+        StrCat("query ", query_id, " terminated: deadline of ",
+               q.deadline_ms, " ms expired during coordinator failover"));
+    return;
+  }
+
+  QueryOptions options;
+  options.adaptivity = q.adaptivity;
+  options.exec = q.exec;
+  options.optimizer = q.optimizer;
+  options.scheduler = q.scheduler;
+  if (q.deadline_ms > 0) {
+    options.deadline_ms = q.submit_time_ms + q.deadline_ms - now;
+  }
+  options.initial_weights_override = q.last_weights;
+  Result<int> retried = gdqs_->SubmitQuery(q.sql, options);
+  if (!retried.ok()) {
+    GQP_LOG_ERROR << "standby: retry of query " << query_id
+                  << " failed: " << retried.status().ToString();
+    terminated_[query_id] = Status::Aborted(
+        StrCat("query ", query_id, " retry failed after takeover: ",
+               retried.status().message()));
+    ++stats_.queries_terminated;
+    return;
+  }
+  retried_[query_id] = *retried;
+  ++stats_.queries_retried;
+}
+
+int StandbyCoordinator::FinalQueryId(int query_id) const {
+  auto it = retried_.find(query_id);
+  return it == retried_.end() ? query_id : it->second;
+}
+
+bool StandbyCoordinator::QueryComplete(int query_id) const {
+  auto it = retried_.find(query_id);
+  if (it != retried_.end()) return gdqs_->QueryComplete(it->second);
+  if (terminated_.count(query_id) > 0) return false;
+  const MirroredQuery* q = mirror_state_.Find(query_id);
+  return q != nullptr && q->complete;
+}
+
+Result<QueryResult> StandbyCoordinator::GetResult(int query_id) const {
+  auto it = retried_.find(query_id);
+  if (it != retried_.end()) {
+    GQP_ASSIGN_OR_RETURN(QueryResult result, gdqs_->GetResult(it->second));
+    result.query_id = query_id;  // clients know the original id
+    return result;
+  }
+  const MirroredQuery* q = mirror_state_.Find(query_id);
+  if (q == nullptr) {
+    return Status::NotFound(StrCat("unknown query ", query_id));
+  }
+  QueryResult result;
+  result.query_id = query_id;
+  result.complete = q->complete;
+  result.rows = q->rows;
+  result.submit_time_ms = q->submit_time_ms;
+  result.completion_time_ms = q->completion_time_ms;
+  result.response_time_ms = q->completion_time_ms - q->submit_time_ms;
+  return result;
+}
+
+Status StandbyCoordinator::ExecutionStatus(int query_id) const {
+  auto term = terminated_.find(query_id);
+  if (term != terminated_.end()) return term->second;
+  auto it = retried_.find(query_id);
+  if (it != retried_.end()) return gdqs_->ExecutionStatus(it->second);
+  if (mirror_state_.Find(query_id) == nullptr) {
+    return Status::NotFound(StrCat("unknown query ", query_id));
+  }
+  return Status::OK();
+}
+
+}  // namespace gqp

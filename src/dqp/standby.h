@@ -1,0 +1,124 @@
+// StandbyCoordinator (DESIGN.md §D14): a replicated GDQS that mirrors the
+// primary's decisions via the mirror log, watches the primary with its own
+// φ-style heartbeat monitor, and on confirmed primary death takes over
+// under a freshly fenced coordinator epoch:
+//
+//   1. stop the orphaned evaluator heartbeaters of the dead primary's
+//      watch epoch;
+//   2. broadcast the new coordinator epoch to every surviving GQES
+//      (commands of the deposed primary become void);
+//   3. reconcile each in-flight query: probe the executor census on every
+//      surviving host, release the survivors, then either terminate the
+//      query (deadline already blown) or resubmit it through the inner
+//      GDQS — seeded past the primary's highest query id and primed with
+//      the last mirrored weight vector W so adaptivity resumes instead of
+//      restarting.
+//
+// Clients keep their original query ids: the standby answers
+// QueryComplete/GetResult/ExecutionStatus for them, serving mirrored rows
+// for queries that finished before the crash and proxying to the retried
+// incarnation otherwise.
+
+#ifndef GRIDQP_DQP_STANDBY_H_
+#define GRIDQP_DQP_STANDBY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/monitor.h"
+#include "dqp/failover_messages.h"
+#include "dqp/gdqs.h"
+#include "dqp/mirror_log.h"
+
+namespace gqp {
+
+/// Counters of one takeover (chaos summaries and tests).
+struct TakeoverStats {
+  bool taken_over = false;
+  /// The fenced coordinator epoch the takeover ran under.
+  uint64_t epoch = 0;
+  SimTime takeover_at_ms = 0.0;
+  uint64_t mirror_entries_applied = 0;
+  /// Entries above the contiguous frontier at takeover (mirror lag).
+  uint64_t mirror_entries_held_back = 0;
+  int queries_reconciled = 0;
+  int queries_retried = 0;
+  int queries_terminated = 0;
+  /// Queries already complete in the mirror, served without re-running.
+  int queries_served_mirrored = 0;
+  int probes_sent = 0;
+  int probe_replies = 0;
+  /// Executor instances surviving hosts reported in probe replies.
+  int instances_probed = 0;
+  int releases_sent = 0;
+};
+
+/// \brief The standby GDQS and its takeover protocol.
+class StandbyCoordinator : public GridService {
+ public:
+  /// `watch` must have enabled=true and allow_last_survivor_confirm=true
+  /// (the standby watches exactly one host; confirming it IS the
+  /// takeover trigger). `primary` is the primary GDQS's address.
+  StandbyCoordinator(MessageBus* bus, GridNode* node, Network* network,
+                     Catalog* catalog, ResourceRegistry* registry,
+                     const DetectConfig& watch, Address primary);
+  ~StandbyCoordinator() override;
+
+  /// Starts the standby endpoint, the inner GDQS and the primary watch
+  /// monitor (the caller still wires a Heartbeater on the primary's host
+  /// to monitor()->Watch()).
+  Status Initialize();
+
+  /// Forwards to the inner GDQS (deployment targets for retried queries).
+  void AddGqes(Gqes* gqes);
+
+  bool TakenOver() const { return stats_.taken_over; }
+  const TakeoverStats& stats() const { return stats_; }
+  const MirrorState& mirror_state() const { return mirror_state_; }
+  HeartbeatMonitor* monitor() { return monitor_.get(); }
+  /// The inner GDQS that owns retried queries after a takeover.
+  Gdqs* gdqs() { return gdqs_.get(); }
+
+  // --- client view keyed by ORIGINAL query id ---------------------------
+  /// The id a query runs under now: its retried id after a takeover, the
+  /// original id otherwise.
+  int FinalQueryId(int query_id) const;
+  bool QueryComplete(int query_id) const;
+  Result<QueryResult> GetResult(int query_id) const;
+  Status ExecutionStatus(int query_id) const;
+
+  /// Forces the takeover immediately (tests; normally the watch monitor's
+  /// confirm callback drives it).
+  void TakeOver();
+
+ protected:
+  void HandleMessage(const Message& msg) override;
+
+ private:
+  void OnMirrorEntry(const Message& msg, const MirrorEntry& entry);
+  /// Keeps the primary watch active exactly while the mirror shows
+  /// in-flight queries — an idle watch would keep the simulation alive.
+  void UpdateWatch();
+  void ReconcileQuery(int query_id, const MirroredQuery& q);
+
+  GridNode* node_;
+  Network* network_;
+  ResourceRegistry* registry_;
+  Address primary_;
+  std::unique_ptr<Gdqs> gdqs_;
+  std::unique_ptr<HeartbeatMonitor> monitor_;
+  std::vector<Gqes*> gqes_;
+  MirrorState mirror_state_;
+  /// original id -> retried id (takeover resubmissions).
+  std::map<int, int> retried_;
+  /// Queries terminated at takeover (deadline blown in failover limbo).
+  std::map<int, Status> terminated_;
+  bool watch_active_ = false;
+  TakeoverStats stats_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_DQP_STANDBY_H_

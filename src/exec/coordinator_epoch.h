@@ -1,0 +1,46 @@
+// Coordinator-epoch fence (DESIGN.md §D14). Every coordinator command
+// that mutates executor liveness state (ProducerLost / ConsumerLost /
+// recovery StateMoveRequests / query releases) is stamped with the
+// coordinator epoch it was issued under. Executors track the highest
+// epoch they have been told about and drop commands from older epochs:
+// after a failover, in-flight commands of the dead primary must not race
+// the standby's reconciliation. Epoch 0 is the pre-failover world — all
+// legacy traffic carries it and is always admitted, so the fence is free
+// when failover is disabled.
+
+#ifndef GRIDQP_EXEC_COORDINATOR_EPOCH_H_
+#define GRIDQP_EXEC_COORDINATOR_EPOCH_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gqp {
+
+class CoordinatorEpochGuard {
+ public:
+  /// Raises the fence. Epochs only move forward.
+  void Advance(uint64_t epoch) { current_ = std::max(current_, epoch); }
+
+  /// True when a command stamped `epoch` may be applied. Commands from a
+  /// NEWER epoch than the fence has seen are admitted (and advance the
+  /// fence): the command itself is proof the epoch exists.
+  bool Admit(uint64_t epoch) {
+    if (epoch < current_) {
+      ++stale_dropped_;
+      return false;
+    }
+    current_ = std::max(current_, epoch);
+    return true;
+  }
+
+  uint64_t current() const { return current_; }
+  uint64_t stale_dropped() const { return stale_dropped_; }
+
+ private:
+  uint64_t current_ = 0;
+  uint64_t stale_dropped_ = 0;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_EXEC_COORDINATOR_EPOCH_H_

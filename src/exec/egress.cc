@@ -66,7 +66,22 @@ Status EgressAdapter::Open() {
   };
   producer_ = std::make_unique<ExchangeProducer>(
       plan_->id, *plan_->output, plan_->config, std::move(hooks));
+  // The producer stamps its recovery StateMoveRequests with the epoch it
+  // was deployed under, so downstream fences can tell its rounds from a
+  // deposed coordinator's (D14).
+  producer_->set_coordinator_epoch(plan_->coordinator_epoch);
   return producer_->Open();
+}
+
+bool EgressAdapter::HandleConsumerLost(const ConsumerLostPayload& lost) {
+  if (epoch_guard_ != nullptr &&
+      !epoch_guard_->Admit(lost.coordinator_epoch())) {
+    return false;
+  }
+  if (producer_ == nullptr) return false;
+  const Status s = producer_->HandleConsumerLost(lost.consumer());
+  if (!s.ok()) hooks_.fail(s);
+  return true;
 }
 
 std::vector<uint64_t> EgressAdapter::Deliver(std::vector<Tuple>* out) {

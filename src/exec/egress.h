@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 
+#include "exec/coordinator_epoch.h"
 #include "exec/exchange_producer.h"
 #include "exec/instance_plan.h"
 #include "grid/node.h"
@@ -47,9 +48,19 @@ class EgressAdapter {
   /// Returns the assigned output seqs (short on delivery failure).
   std::vector<uint64_t> Deliver(std::vector<Tuple>* out);
 
+  /// Installs the instance's coordinator-epoch fence (D14). Null: every
+  /// command admitted.
+  void set_epoch_guard(CoordinatorEpochGuard* guard) { epoch_guard_ = guard; }
+
   /// Producer-protocol forwarding (failures are logged, not fatal).
   void HandleRedistribute(const RedistributeRequestPayload& request);
   void HandleStateMoveReply(const StateMoveReplyPayload& reply);
+
+  /// Epoch-checked ConsumerLost (D14): drops the consumer from the
+  /// producer's routing and in-flight rounds, unless the command carries
+  /// a stale coordinator epoch. Returns true when applied; protocol
+  /// errors go through hooks_.fail.
+  bool HandleConsumerLost(const ConsumerLostPayload& lost);
 
   ExchangeProducer* producer() { return producer_.get(); }
   const ExchangeProducer* producer() const { return producer_.get(); }
@@ -60,6 +71,7 @@ class EgressAdapter {
   const FragmentInstancePlan* plan_;
   FragmentStats* stats_;
   Hooks hooks_;
+  CoordinatorEpochGuard* epoch_guard_ = nullptr;
   std::unique_ptr<ExchangeProducer> producer_;
 };
 

@@ -218,7 +218,8 @@ class StateMoveRequestPayload : public Payload {
   StateMoveRequestPayload(uint64_t round, int exchange_id, SubplanId producer,
                           int consumer_port, bool purge_all, bool recovery,
                           std::vector<int> buckets_lost,
-                          std::vector<int> buckets_gained)
+                          std::vector<int> buckets_gained,
+                          uint64_t coordinator_epoch = 0)
       : round_(round),
         exchange_id_(exchange_id),
         producer_(producer),
@@ -226,7 +227,8 @@ class StateMoveRequestPayload : public Payload {
         purge_all_(purge_all),
         recovery_(recovery),
         buckets_lost_(std::move(buckets_lost)),
-        buckets_gained_(std::move(buckets_gained)) {}
+        buckets_gained_(std::move(buckets_gained)),
+        coordinator_epoch_(coordinator_epoch) {}
 
   size_t WireSize() const override {
     return 49 + 4 * (buckets_lost_.size() + buckets_gained_.size());
@@ -247,6 +249,9 @@ class StateMoveRequestPayload : public Payload {
   bool recovery() const { return recovery_; }
   const std::vector<int>& buckets_lost() const { return buckets_lost_; }
   const std::vector<int>& buckets_gained() const { return buckets_gained_; }
+  /// Coordinator epoch of the round's initiator (D14 fencing: recovery
+  /// rounds started by a deposed primary must not purge state).
+  uint64_t coordinator_epoch() const { return coordinator_epoch_; }
 
  private:
   uint64_t round_;
@@ -257,6 +262,7 @@ class StateMoveRequestPayload : public Payload {
   bool recovery_;
   std::vector<int> buckets_lost_;
   std::vector<int> buckets_gained_;
+  uint64_t coordinator_epoch_;
 };
 
 /// Consumer -> producer: seqs of this producer the consumer has fully
@@ -440,10 +446,12 @@ class WeightsAppliedPayload : public Payload {
 /// crashed; stop waiting for its end-of-stream marker.
 class ProducerLostPayload : public Payload {
  public:
-  ProducerLostPayload(int exchange_id, SubplanId producer, int consumer_port)
+  ProducerLostPayload(int exchange_id, SubplanId producer, int consumer_port,
+                      uint64_t coordinator_epoch = 0)
       : exchange_id_(exchange_id),
         producer_(producer),
-        consumer_port_(consumer_port) {}
+        consumer_port_(consumer_port),
+        coordinator_epoch_(coordinator_epoch) {}
 
   size_t WireSize() const override { return 32; }
   std::string_view TypeName() const override { return "ProducerLost"; }
@@ -451,11 +459,15 @@ class ProducerLostPayload : public Payload {
   int exchange_id() const { return exchange_id_; }
   const SubplanId& producer() const { return producer_; }
   int consumer_port() const { return consumer_port_; }
+  /// Coordinator epoch the command was issued under (D14 fencing; 0 =
+  /// pre-failover, always admitted).
+  uint64_t coordinator_epoch() const { return coordinator_epoch_; }
 
  private:
   int exchange_id_;
   SubplanId producer_;
   int consumer_port_;
+  uint64_t coordinator_epoch_;
 };
 
 /// Coordinator -> producer fragment: one of the consumers of `exchange_id`
@@ -466,18 +478,24 @@ class ProducerLostPayload : public Payload {
 /// could never start either).
 class ConsumerLostPayload : public Payload {
  public:
-  ConsumerLostPayload(int exchange_id, SubplanId consumer)
-      : exchange_id_(exchange_id), consumer_(consumer) {}
+  ConsumerLostPayload(int exchange_id, SubplanId consumer,
+                      uint64_t coordinator_epoch = 0)
+      : exchange_id_(exchange_id),
+        consumer_(consumer),
+        coordinator_epoch_(coordinator_epoch) {}
 
   size_t WireSize() const override { return 32; }
   std::string_view TypeName() const override { return "ConsumerLost"; }
 
   int exchange_id() const { return exchange_id_; }
   const SubplanId& consumer() const { return consumer_; }
+  /// Coordinator epoch the command was issued under (D14 fencing).
+  uint64_t coordinator_epoch() const { return coordinator_epoch_; }
 
  private:
   int exchange_id_;
   SubplanId consumer_;
+  uint64_t coordinator_epoch_;
 };
 
 /// Coordinator -> Responder/Diagnoser: a monitored evaluator instance

@@ -307,7 +307,8 @@ Status ExchangeProducer::HandleRedistribute(
     }
     auto msg = std::make_shared<StateMoveRequestPayload>(
         round.id, wiring_.desc.id, self_, wiring_.desc.consumer_port,
-        round.purge_all, round.recovery, round.lost[uc], round.gained[uc]);
+        round.purge_all, round.recovery, round.lost[uc], round.gained[uc],
+        coordinator_epoch_);
     const int idx = c;
     hooks_.submit_work(config_.exchange_send_cost_ms, [this, idx, msg]() {
       const Status s = hooks_.send(idx, msg);

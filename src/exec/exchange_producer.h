@@ -121,6 +121,10 @@ class ExchangeProducer {
   /// Unknown consumers are ignored.
   Status HandleConsumerLost(const SubplanId& consumer);
 
+  /// Coordinator epoch stamped into outgoing StateMoveRequests (D14);
+  /// consumers fence rounds carrying a stale epoch after a failover.
+  void set_coordinator_epoch(uint64_t epoch) { coordinator_epoch_ = epoch; }
+
   /// Flow control (D11): a consumer replenished credit. Returns true when
   /// the grant advanced the link's released counter (the owning executor
   /// should re-probe the driver — headroom may have appeared).
@@ -206,6 +210,9 @@ class ExchangeProducer {
   /// against tuples already routed under the round's new map (which the
   /// recall_before_seq watermark excludes from resending).
   uint64_t round_epoch_ = 0;
+  /// Coordinator epoch of this deployment, stamped on StateMoveRequests
+  /// so post-failover fences can reject rounds of a deposed primary.
+  uint64_t coordinator_epoch_ = 0;
   std::vector<std::vector<RoutedTuple>> buffers_;
   /// CPU cost accumulated per consumer since its last flush (routing/log
   /// appends), charged with the flush work item.

@@ -26,6 +26,7 @@ FragmentExecutor::~FragmentExecutor() = default;
 
 Status FragmentExecutor::Prepare() {
   GQP_RETURN_IF_ERROR(ValidateInstancePlan(plan_, scan_table_.get()));
+  epoch_guard_.Advance(plan_.coordinator_epoch);
 
   auto send_to = [this](const Address& to, PayloadPtr payload) {
     return SendTo(to, std::move(payload));
@@ -37,6 +38,7 @@ Status FragmentExecutor::Prepare() {
   GQP_RETURN_IF_ERROR(driver_->BuildAndOpen());
 
   ingress_ = std::make_unique<IngressManager>();
+  ingress_->set_epoch_guard(&epoch_guard_);
   queues_ = std::make_unique<PortQueueManager>(
       node_, simulator(), &plan_.config, plan_.id, &plan_.adaptivity, &stats_,
       PortQueueManager::Hooks{
@@ -47,6 +49,7 @@ Status FragmentExecutor::Prepare() {
   state_ = std::make_unique<StateManager>(node_, &plan_.config, plan_.id,
                                           &stats_,
                                           StateManager::Hooks{send_to, fail});
+  state_->set_epoch_guard(&epoch_guard_);
   for (const InputWiring& wiring : plan_.inputs) {
     ingress_->AddPort(wiring.num_producers);
     queues_->AddPort(wiring.num_producers);
@@ -61,6 +64,7 @@ Status FragmentExecutor::Prepare() {
                                state_->OnOutputsAcked(seqs, finished_);
                              },
                              fail});
+    egress_->set_epoch_guard(&epoch_guard_);
     GQP_RETURN_IF_ERROR(egress_->Open());
   }
 
@@ -85,6 +89,10 @@ void FragmentExecutor::Fail(const Status& status) {
 // ---- message dispatch ----------------------------------------------------
 
 void FragmentExecutor::HandleMessage(const Message& msg) {
+  // A released instance no longer participates: the retried incarnation of
+  // its query owns fresh instance keys, so anything still addressed here
+  // is stale traffic of the old incarnation.
+  if (abandoned_) return;
   if (PayloadAs<BeginPayload>(msg.payload) != nullptr) {
     const Status s = Begin();
     if (!s.ok()) Fail(s);
@@ -100,9 +108,7 @@ void FragmentExecutor::HandleMessage(const Message& msg) {
     return OnProducerLost(*lost);
   }
   if (const auto* lost = PayloadAs<ConsumerLostPayload>(msg.payload)) {
-    if (ExchangeProducer* producer = mutable_producer()) {
-      const Status s = producer->HandleConsumerLost(lost->consumer());
-      if (!s.ok()) Fail(s);
+    if (egress_ != nullptr && egress_->HandleConsumerLost(*lost)) {
       MaybeProcess();
       CheckCompletion();
     }
@@ -256,7 +262,9 @@ void FragmentExecutor::OnProducerLost(const ProducerLostPayload& lost) {
   // are valid); just stop waiting for its end-of-stream marker, and
   // abandon its open rounds (no RestoreComplete will ever arrive).
   const std::string key = ProducerKey(lost.producer());
-  ingress_->MarkLost(port, key);
+  if (!ingress_->MarkLostIfCurrent(port, key, lost.coordinator_epoch())) {
+    return;  // stale-epoch command of a deposed coordinator (D14)
+  }
   state_->AbandonProducer(key);
   MaybeProcess();
   CheckCompletion();
@@ -276,6 +284,7 @@ void FragmentExecutor::GoIdle() {
 }
 
 void FragmentExecutor::MaybeProcess() {
+  if (abandoned_) return;
   if (!began_ || processing_ || finished_ || dispatching_control_) return;
 
   // Flow-control gate (D11): with a saturated output link, starting
@@ -322,6 +331,7 @@ void FragmentExecutor::ProcessScanRow() {
   }
   ++stats_.tuples_processed;
   node_->SubmitComposite(driver_->ctx()->charges, [this](double actual_ms) {
+    if (abandoned_) return;
     driver_->AccumulateTupleCost(actual_ms);
     (void)DeliverOutputs(driver_->ctx());
     driver_->MaybeEmitM1(producer() != nullptr);
@@ -364,6 +374,7 @@ void FragmentExecutor::ProcessQueuedTuple(int port) {
   node_->SubmitComposite(
       driver_->ctx()->charges,
       [this, port, qt = std::move(qt), retained](double actual_ms) {
+        if (abandoned_) return;
         driver_->AccumulateTupleCost(actual_ms);
         const std::vector<uint64_t> output_seqs =
             DeliverOutputs(driver_->ctx());
@@ -400,6 +411,7 @@ void FragmentExecutor::ProcessScanBatch() {
   }
   stats_.tuples_processed += n;
   node_->SubmitComposite(driver_->ctx()->charges, [this, n](double actual_ms) {
+    if (abandoned_) return;
     driver_->AccumulateBatchCost(actual_ms, n);
     (void)DeliverOutputs(driver_->ctx());
     driver_->MaybeEmitM1(producer() != nullptr);
@@ -450,6 +462,7 @@ void FragmentExecutor::ProcessQueuedBatch(int port) {
   node_->SubmitComposite(
       driver_->ctx()->charges,
       [this, port, popped = std::move(popped), n](double actual_ms) {
+        if (abandoned_) return;
         driver_->AccumulateBatchCost(actual_ms, n);
         ExecContext* ctx = driver_->ctx();
         // DeliverOutputs clears ctx->out but leaves out_origin: seqs[i]

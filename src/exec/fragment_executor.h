@@ -94,6 +94,19 @@ class FragmentExecutor : public GridService {
   /// tests can inspect state; callers check this after completion).
   const Status& execution_status() const { return exec_status_; }
 
+  /// Coordinator-epoch fence of this instance (D14). The GQES advances it
+  /// when a new coordinator announces itself; the components drop
+  /// commands stamped with older epochs.
+  void AdvanceCoordinatorEpoch(uint64_t epoch) { epoch_guard_.Advance(epoch); }
+  const CoordinatorEpochGuard& epoch_guard() const { return epoch_guard_; }
+
+  /// Turns the instance inert after a coordinator-side release (D14):
+  /// every further message is dropped and no new tuple work starts. The
+  /// object must stay alive — node work items already in flight complete
+  /// into it — so the owning GQES parks it instead of destroying it.
+  void Abandon() { abandoned_ = true; }
+  bool abandoned() const { return abandoned_; }
+
   /// One-line dump of the execution state (ports, EOS tracking, open
   /// state-move rounds, producer log) for stuck-query diagnostics.
   std::string DebugString() const;
@@ -168,10 +181,13 @@ class FragmentExecutor : public GridService {
   bool dispatching_control_ = false;
   bool finished_ = false;
   bool completion_offered_ = false;
+  /// Released by the coordinator (D14); inert but kept alive by the GQES.
+  bool abandoned_ = false;
   size_t scan_row_ = 0;
   SimTime idle_since_ = 0.0;
   bool idle_tracking_ = false;
 
+  CoordinatorEpochGuard epoch_guard_;
   FragmentStats stats_;
   Status exec_status_;
 };

@@ -7,9 +7,12 @@
 #ifndef GRIDQP_EXEC_INGRESS_H_
 #define GRIDQP_EXEC_INGRESS_H_
 
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "exec/coordinator_epoch.h"
 
 namespace gqp {
 
@@ -17,6 +20,10 @@ class IngressManager {
  public:
   /// Declares one input port expecting `num_producers` streams.
   void AddPort(int num_producers);
+
+  /// Installs the instance's coordinator-epoch fence (D14). Null: every
+  /// command admitted (legacy single-coordinator setups).
+  void set_epoch_guard(CoordinatorEpochGuard* guard) { epoch_guard_ = guard; }
 
   size_t num_ports() const { return ports_.size(); }
   bool ValidPort(int port) const {
@@ -34,6 +41,18 @@ class IngressManager {
 
   /// Fences a producer reported crashed before its EOS arrived.
   void MarkLost(int port, const std::string& key);
+
+  /// Epoch-checked MarkLost (D14): applies the command only when
+  /// `cmd_epoch` passes the coordinator-epoch fence. Returns false (and
+  /// counts the drop) for commands of a deposed coordinator.
+  bool MarkLostIfCurrent(int port, const std::string& key,
+                         uint64_t cmd_epoch) {
+    if (epoch_guard_ != nullptr && !epoch_guard_->Admit(cmd_epoch)) {
+      return false;
+    }
+    MarkLost(port, key);
+    return true;
+  }
 
   /// All streams of the port ended (EOS received or producer fenced).
   bool EosComplete(int port) const;
@@ -64,6 +83,7 @@ class IngressManager {
   };
 
   std::vector<Port> ports_;
+  CoordinatorEpochGuard* epoch_guard_ = nullptr;
 };
 
 }  // namespace gqp

@@ -52,6 +52,10 @@ struct FragmentInstancePlan {
   AdaptivityWiring adaptivity;
   /// Coordinator (GDQS) endpoint for completion notifications.
   Address coordinator;
+  /// Coordinator epoch the deployment belongs to (D14): the instance's
+  /// fence starts here, and commands from older epochs are dropped. 0 is
+  /// the pre-failover epoch every legacy deployment carries.
+  uint64_t coordinator_epoch = 0;
 };
 
 /// Deployment-time sanity checks shared by Prepare().

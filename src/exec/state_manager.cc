@@ -143,6 +143,13 @@ void StateManager::ApplyStateMove(const StateMoveRequestPayload& request,
                                   const std::string& key, const Address& from,
                                   bool stateful, PortQueueManager* queues,
                                   OperatorDriver* driver) {
+  // Coordinator-epoch fence (D14): a round initiated under a deposed
+  // coordinator must not purge queues or freeze state — the standby's
+  // reconciliation owns this query now.
+  if (epoch_guard_ != nullptr &&
+      !epoch_guard_->Admit(request.coordinator_epoch())) {
+    return;
+  }
   const int port = request.consumer_port();
   // The round stays open (and the fragment unfinishable) until the
   // producer's RestoreComplete marker arrives behind any resent tuples.

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/coordinator_epoch.h"
 #include "exec/exchange_messages.h"
 #include "exec/instance_plan.h"
 #include "ft/recovery_log.h"
@@ -73,12 +74,18 @@ class StateManager {
   /// Force-flushes every producer's pending acknowledgments (completion).
   void FlushAllAcks();
 
+  /// Installs the instance's coordinator-epoch fence (D14). Null: every
+  /// round admitted.
+  void set_epoch_guard(CoordinatorEpochGuard* guard) { epoch_guard_ = guard; }
+
   // --- state-move / recovery rounds -------------------------------------
   /// Applies a producer's StateMoveRequest (the state-move/purge
   /// protocol): opens the round, purges in-scope queued tuples (releasing
   /// their credit), freezes/thaws/awaits buckets on stateful fragments,
   /// and replies with the seqs this consumer already holds. The caller
-  /// has already fenced stale requests and registered the producer.
+  /// has already fenced stale requests and registered the producer;
+  /// rounds stamped with a stale coordinator epoch are dropped here (a
+  /// deposed primary's recovery must not purge state, D14).
   void ApplyStateMove(const StateMoveRequestPayload& request,
                       const std::string& key, const Address& from,
                       bool stateful, PortQueueManager* queues,
@@ -174,6 +181,7 @@ class StateManager {
   SubplanId self_;
   FragmentStats* stats_;
   Hooks hooks_;
+  CoordinatorEpochGuard* epoch_guard_ = nullptr;
 
   std::vector<std::unordered_map<std::string, Entry>> ports_;
 

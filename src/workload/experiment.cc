@@ -41,6 +41,7 @@ Status RunOnce(const ExperimentParams& params, uint64_t seed,
   grid_options.med.thres_m = params.thres_m;
   grid_options.detect.enabled = params.failure_detection;
   grid_options.reliable.enabled = params.failure_detection;
+  grid_options.standby_enabled = params.coordinator_standby;
 
   GridSetup grid(grid_options);
   GQP_RETURN_IF_ERROR(grid.Initialize());

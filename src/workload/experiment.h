@@ -64,6 +64,10 @@ struct ExperimentParams {
   /// Per-query budget split evenly across exchange links (0 = unlimited
   /// window: credit machinery idles even with flow_control on).
   size_t memory_budget_bytes = 0;
+  /// Replicated-coordinator mode (D14): a standby GDQS mirrors every
+  /// coordinator decision over the control plane. The overhead bench
+  /// guards the mirroring tax; when off, nothing failover-related exists.
+  bool coordinator_standby = false;
 
   // --- adaptivity -----------------------------------------------------------
   bool adaptivity = true;

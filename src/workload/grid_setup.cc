@@ -25,7 +25,8 @@ Status GridSetup::Initialize() {
     return Status::InvalidArgument("need at least one evaluator");
   }
 
-  // Host ids: 0 coordinator, 1 data node, 2.. evaluators.
+  // Host ids: 0 coordinator, 1 data node, 2.. evaluators (then the
+  // standby, when enabled, at 2 + num_evaluators).
   nodes_.push_back(std::make_unique<GridNode>(&sim_, 0, "coordinator", 1.0));
   nodes_.push_back(std::make_unique<GridNode>(&sim_, 1, "data", 1.0));
   for (int i = 0; i < options_.num_evaluators; ++i) {
@@ -36,6 +37,11 @@ Status GridSetup::Initialize() {
     nodes_.push_back(std::make_unique<GridNode>(
         &sim_, static_cast<HostId>(2 + i), StrCat("evaluator", i), capacity));
   }
+  if (options_.standby_enabled) {
+    nodes_.push_back(std::make_unique<GridNode>(
+        &sim_, static_cast<HostId>(2 + options_.num_evaluators), "standby",
+        1.0));
+  }
 
   GQP_RETURN_IF_ERROR(
       registry_.Register(nodes_[0].get(), NodeRole::kCoordinator));
@@ -43,6 +49,11 @@ Status GridSetup::Initialize() {
   for (int i = 0; i < options_.num_evaluators; ++i) {
     GQP_RETURN_IF_ERROR(registry_.Register(
         nodes_[static_cast<size_t>(2 + i)].get(), NodeRole::kCompute));
+  }
+  if (options_.standby_enabled) {
+    // kCoordinator keeps the standby out of the scheduler's compute pool.
+    GQP_RETURN_IF_ERROR(
+        registry_.Register(nodes_.back().get(), NodeRole::kCoordinator));
   }
 
   for (auto& node : nodes_) {
@@ -84,7 +95,31 @@ Status GridSetup::Initialize() {
       GQP_LOG_INFO << "host " << host
                    << " re-admitted after false failure suspicion";
     });
+    // The primary's monitor dies with the primary (D14): without the
+    // binding a coordinator kill would leave the watch timer scanning —
+    // and keeping the simulation alive — forever.
+    monitor_->BindNode(nodes_[0].get());
     gdqs_->SetFailureDetector(monitor_.get());
+  }
+
+  if (options_.standby_enabled) {
+    GridNode* standby_node = nodes_.back().get();
+    DetectConfig watch = options_.detect;
+    watch.enabled = true;
+    // The standby watches exactly one host; confirming it IS the
+    // takeover trigger, so the last-survivor guard must stand aside.
+    watch.allow_last_survivor_confirm = true;
+    standby_ = std::make_unique<StandbyCoordinator>(
+        bus_.get(), standby_node, network_.get(), &catalog_, &registry_,
+        watch, gdqs_->address());
+    GQP_RETURN_IF_ERROR(standby_->Initialize());
+    for (auto& gqes : gqes_) standby_->AddGqes(gqes.get());
+    primary_heartbeater_ = std::make_unique<Heartbeater>(
+        bus_.get(), nodes_[0].get(), standby_->monitor()->address());
+    GQP_RETURN_IF_ERROR(primary_heartbeater_->Start());
+    standby_->monitor()->Watch(nodes_[0]->id(),
+                               primary_heartbeater_->address());
+    gdqs_->EnableMirroring(standby_->address());
   }
 
   initialized_ = true;
@@ -141,6 +176,19 @@ Status GridSetup::FailEvaluator(int i) {
   // of it only through missed heartbeats (suspect -> confirm -> recover).
   if (monitor_ != nullptr) return Status::OK();
   return gdqs_->ReportNodeFailure(node->id());
+}
+
+Status GridSetup::FailCoordinator() {
+  if (standby_ == nullptr) {
+    return Status::FailedPrecondition(
+        "coordinator kill requires a standby (options.standby_enabled)");
+  }
+  nodes_[0]->Kill();
+  network_->SetHostDown(nodes_[0]->id());
+  // A dead process takes its timers with it.
+  gdqs_->CancelDeadlineWatchdogs();
+  // Always silent: only the standby's missed-heartbeat watch may notice.
+  return Status::OK();
 }
 
 }  // namespace gqp

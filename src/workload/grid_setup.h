@@ -14,6 +14,7 @@
 #include "detect/heartbeater.h"
 #include "detect/monitor.h"
 #include "dqp/gdqs.h"
+#include "dqp/standby.h"
 
 namespace gqp {
 
@@ -33,6 +34,11 @@ struct GridOptions {
   double loss_rate = 0.0;
   /// Seed of the loss model's RNG (scenarios derive it from their seed).
   uint64_t loss_seed = 0;
+  /// Replicated-coordinator mode (D14): adds a standby node (host
+  /// 2 + num_evaluators) running a StandbyCoordinator that mirrors the
+  /// GDQS and takes over on its confirmed death. Off by default — when
+  /// off, nothing failover-related exists in the grid.
+  bool standby_enabled = false;
 };
 
 /// \brief Owns one simulated grid and all its services.
@@ -58,6 +64,9 @@ class GridSetup {
   GridNode* data_node() { return nodes_[1].get(); }
   GridNode* evaluator_node(int i) { return nodes_[static_cast<size_t>(2 + i)].get(); }
   int num_evaluators() const { return options_.num_evaluators; }
+  /// Total host count including the standby node when enabled (invariant
+  /// checks must scan the standby's executors: retried queries root there).
+  int num_hosts() const { return static_cast<int>(nodes_.size()); }
   Gqes* gqes_on(HostId host);
 
   /// Null unless options.detect.enabled.
@@ -87,6 +96,17 @@ class GridSetup {
   /// it, the coordinator is informed directly (legacy oracle).
   Status FailEvaluator(int i);
 
+  /// Crashes the primary coordinator (host 0). Requires a standby: the
+  /// kill is silent and recovery happens solely through the standby's
+  /// missed-heartbeat takeover (D14).
+  Status FailCoordinator();
+
+  /// Null unless options.standby_enabled.
+  StandbyCoordinator* standby() { return standby_.get(); }
+  GridNode* standby_node() {
+    return standby_ != nullptr ? nodes_.back().get() : nullptr;
+  }
+
  private:
   GridOptions options_;
   Simulator sim_;
@@ -99,6 +119,9 @@ class GridSetup {
   std::unique_ptr<Gdqs> gdqs_;
   std::unique_ptr<HeartbeatMonitor> monitor_;
   std::vector<std::unique_ptr<Heartbeater>> heartbeaters_;
+  std::unique_ptr<StandbyCoordinator> standby_;
+  /// Beats from the primary's host to the standby's watch monitor.
+  std::unique_ptr<Heartbeater> primary_heartbeater_;
   bool initialized_ = false;
 };
 

@@ -81,6 +81,8 @@ std::string ProfilePrefix(ChaosProfile profile) {
       return "squeeze_seed";
     case ChaosProfile::kMultiQuery:
       return "mq_seed";
+    case ChaosProfile::kCoordinatorKill:
+      return "coord_seed";
   }
   return "seed";
 }

@@ -1,0 +1,251 @@
+// Coordinator failover end-to-end tests (DESIGN.md §D14): standby
+// mirroring without takeover, fenced takeover with query retry, deadline
+// expiry during failover limbo, the primary-side deadline watchdog, epoch
+// fencing at the GQES, and ReportNodeFailure argument validation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "dqp/failover_messages.h"
+#include "storage/datagen.h"
+#include "workload/experiment.h"
+#include "workload/grid_setup.h"
+
+namespace gqp {
+namespace {
+
+/// A grid with the demo datasets loaded, standby optional.
+struct FailoverGrid {
+  explicit FailoverGrid(bool standby, int evaluators = 2) {
+    GridOptions options;
+    options.num_evaluators = evaluators;
+    options.detect.enabled = true;
+    options.reliable.enabled = true;
+    options.standby_enabled = standby;
+    setup = std::make_unique<GridSetup>(options);
+    EXPECT_TRUE(setup->Initialize().ok());
+
+    ProteinSequencesSpec seq_spec;
+    seq_spec.num_rows = 300;
+    seq_spec.sequence_length = 32;
+    seq_spec.seed = 7;
+    sequences = GenerateProteinSequences(seq_spec);
+    EXPECT_TRUE(setup->AddTable(sequences).ok());
+
+    ProteinInteractionsSpec inter_spec;
+    inter_spec.num_rows = 450;
+    inter_spec.num_orfs = 300;
+    inter_spec.seed = 7 + 13;
+    interactions = GenerateProteinInteractions(inter_spec);
+    EXPECT_TRUE(setup->AddTable(interactions).ok());
+
+    EXPECT_TRUE(
+        setup->AddWebService("EntropyAnalyser", DataType::kDouble, 0.2).ok());
+  }
+
+  QueryOptions Options() const {
+    QueryOptions options;
+    options.adaptivity.enabled = false;
+    options.exec.monitoring_enabled = true;
+    options.exec.recovery_log_enabled = true;
+    return options;
+  }
+
+  std::unique_ptr<GridSetup> setup;
+  TablePtr sequences;
+  TablePtr interactions;
+};
+
+std::multiset<std::string> RowSet(const std::vector<Tuple>& rows) {
+  std::multiset<std::string> out;
+  for (const Tuple& t : rows) out.insert(t.ToString());
+  return out;
+}
+
+TEST(CoordinatorFailoverTest, MirroringWithoutTakeoverIsPassive) {
+  FailoverGrid grid(/*standby=*/true);
+  Result<int> id =
+      grid.setup->gdqs()->SubmitQuery(QuerySql(QueryKind::kQ1), grid.Options());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(grid.setup->simulator()->Run().ok());
+
+  StandbyCoordinator* standby = grid.setup->standby();
+  ASSERT_NE(standby, nullptr);
+  EXPECT_FALSE(standby->TakenOver());
+  EXPECT_TRUE(grid.setup->gdqs()->QueryComplete(*id));
+
+  // The mirror converged: the whole log is acknowledged and the standby's
+  // replica holds the completed query with its result rows.
+  const MirrorLog* log = grid.setup->gdqs()->mirror_log();
+  ASSERT_NE(log, nullptr);
+  EXPECT_GT(log->entries_appended(), 0u);
+  EXPECT_TRUE(log->pending().empty());
+  const MirroredQuery* mirrored = standby->mirror_state().Find(*id);
+  ASSERT_NE(mirrored, nullptr);
+  EXPECT_TRUE(mirrored->complete);
+  Result<QueryResult> primary = grid.setup->gdqs()->GetResult(*id);
+  ASSERT_TRUE(primary.ok());
+  EXPECT_EQ(RowSet(mirrored->rows), RowSet(primary->rows));
+  // The standby view answers for the original id without a takeover.
+  EXPECT_TRUE(standby->QueryComplete(*id));
+  EXPECT_EQ(standby->FinalQueryId(*id), *id);
+}
+
+TEST(CoordinatorFailoverTest, TakeoverRetriesInFlightQuery) {
+  // Reference run: same grid and query, primary stays alive.
+  FailoverGrid reference(/*standby=*/true);
+  Result<int> ref_id = reference.setup->gdqs()->SubmitQuery(
+      QuerySql(QueryKind::kQ1), reference.Options());
+  ASSERT_TRUE(ref_id.ok());
+  ASSERT_TRUE(reference.setup->simulator()->Run().ok());
+  Result<QueryResult> ref_result = reference.setup->gdqs()->GetResult(*ref_id);
+  ASSERT_TRUE(ref_result.ok());
+
+  FailoverGrid grid(/*standby=*/true);
+  Result<int> id =
+      grid.setup->gdqs()->SubmitQuery(QuerySql(QueryKind::kQ1), grid.Options());
+  ASSERT_TRUE(id.ok());
+  grid.setup->simulator()->Schedule(
+      40.0, [&grid] { ASSERT_TRUE(grid.setup->FailCoordinator().ok()); });
+  ASSERT_TRUE(grid.setup->simulator()->Run().ok());
+
+  StandbyCoordinator* standby = grid.setup->standby();
+  ASSERT_TRUE(standby->TakenOver());
+  const TakeoverStats& stats = standby->stats();
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_GT(stats.takeover_at_ms, 40.0);
+  EXPECT_EQ(stats.queries_reconciled, 1);
+  EXPECT_EQ(stats.queries_retried, 1);
+  EXPECT_EQ(stats.queries_terminated, 0);
+  EXPECT_GT(stats.probes_sent, 0);
+  EXPECT_EQ(stats.probe_replies, stats.probes_sent);
+  EXPECT_EQ(stats.releases_sent, stats.probes_sent);
+
+  // Every surviving GQES is fenced under the takeover epoch.
+  for (int host = 1; host < grid.setup->num_hosts(); ++host) {
+    Gqes* gqes = grid.setup->gqes_on(static_cast<HostId>(host));
+    ASSERT_NE(gqes, nullptr);
+    EXPECT_EQ(gqes->coordinator_epoch(), 1u) << "host " << host;
+  }
+  // The deposed primary's GQES never saw the announcement.
+  EXPECT_EQ(grid.setup->gqes_on(0)->coordinator_epoch(), 0u);
+
+  // The retried incarnation answers under the ORIGINAL id, and its result
+  // matches the kill-free reference run byte-for-byte.
+  EXPECT_NE(standby->FinalQueryId(*id), *id);
+  ASSERT_TRUE(standby->QueryComplete(*id));
+  EXPECT_TRUE(standby->ExecutionStatus(*id).ok());
+  Result<QueryResult> result = standby->GetResult(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query_id, *id);
+  EXPECT_EQ(RowSet(result->rows), RowSet(ref_result->rows));
+}
+
+TEST(CoordinatorFailoverTest, DeadlineExpiredInFailoverLimboTerminates) {
+  FailoverGrid grid(/*standby=*/true);
+  QueryOptions options = grid.Options();
+  // Expires between the kill (40 ms) and the takeover (~40 ms + detection
+  // latency): the standby must terminate instead of retrying.
+  options.deadline_ms = 50.0;
+  Result<int> id =
+      grid.setup->gdqs()->SubmitQuery(QuerySql(QueryKind::kQ1), options);
+  ASSERT_TRUE(id.ok());
+  grid.setup->simulator()->Schedule(
+      40.0, [&grid] { ASSERT_TRUE(grid.setup->FailCoordinator().ok()); });
+  ASSERT_TRUE(grid.setup->simulator()->Run().ok());
+
+  StandbyCoordinator* standby = grid.setup->standby();
+  ASSERT_TRUE(standby->TakenOver());
+  EXPECT_GT(standby->stats().takeover_at_ms, 50.0);
+  EXPECT_EQ(standby->stats().queries_terminated, 1);
+  EXPECT_EQ(standby->stats().queries_retried, 0);
+
+  EXPECT_FALSE(standby->QueryComplete(*id));
+  const Status status = standby->ExecutionStatus(*id);
+  EXPECT_TRUE(status.IsAborted()) << status.ToString();
+  Result<QueryResult> result = standby->GetResult(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->complete);
+}
+
+TEST(CoordinatorFailoverTest, PrimaryDeadlineWatchdogTerminatesQuery) {
+  FailoverGrid grid(/*standby=*/false);
+  QueryOptions options = grid.Options();
+  options.deadline_ms = 25.0;  // far below Q1's runtime
+  Result<int> id =
+      grid.setup->gdqs()->SubmitQuery(QuerySql(QueryKind::kQ1), options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(grid.setup->simulator()->Run().ok());
+
+  EXPECT_FALSE(grid.setup->gdqs()->QueryComplete(*id));
+  const Status status = grid.setup->gdqs()->ExecutionStatus(*id);
+  EXPECT_TRUE(status.IsAborted()) << status.ToString();
+  // The partial result (whatever the root had) is preserved, flagged
+  // incomplete; the executors were torn down grid-wide.
+  Result<QueryResult> result = grid.setup->gdqs()->GetResult(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->complete);
+  EXPECT_LT(result->rows.size(), grid.sequences->num_rows());
+  for (int host = 0; host < grid.setup->num_hosts(); ++host) {
+    Gqes* gqes = grid.setup->gqes_on(static_cast<HostId>(host));
+    ASSERT_NE(gqes, nullptr);
+    EXPECT_TRUE(gqes->Executors().empty()) << "host " << host;
+  }
+}
+
+TEST(CoordinatorFailoverTest, GenerousDeadlineNeverFires) {
+  FailoverGrid grid(/*standby=*/false);
+  QueryOptions options = grid.Options();
+  options.deadline_ms = 60'000.0;
+  Result<int> id =
+      grid.setup->gdqs()->SubmitQuery(QuerySql(QueryKind::kQ1), options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(grid.setup->simulator()->Run().ok());
+  EXPECT_TRUE(grid.setup->gdqs()->QueryComplete(*id));
+  EXPECT_TRUE(grid.setup->gdqs()->ExecutionStatus(*id).ok());
+  // The watchdog was cancelled at completion: the simulation drained long
+  // before the deadline would have fired.
+  EXPECT_LT(grid.setup->simulator()->Now(), 60'000.0);
+}
+
+TEST(CoordinatorFailoverTest, StaleEpochReleaseIsDropped) {
+  FailoverGrid grid(/*standby=*/true);
+  Result<int> id =
+      grid.setup->gdqs()->SubmitQuery(QuerySql(QueryKind::kQ1), grid.Options());
+  ASSERT_TRUE(id.ok());
+  grid.setup->simulator()->Schedule(
+      40.0, [&grid] { ASSERT_TRUE(grid.setup->FailCoordinator().ok()); });
+  ASSERT_TRUE(grid.setup->simulator()->Run().ok());
+  ASSERT_TRUE(grid.setup->standby()->TakenOver());
+
+  // A release stamped by the deposed coordinator (epoch 0) arriving at a
+  // fenced evaluator must be dropped, not acted on.
+  Gqes* gqes = grid.setup->gqes_on(2);
+  ASSERT_NE(gqes, nullptr);
+  ASSERT_EQ(gqes->coordinator_epoch(), 1u);
+  const uint64_t before = gqes->stats().stale_epoch_dropped;
+  const size_t executors_before = gqes->Executors().size();
+  ASSERT_TRUE(grid.setup->bus()
+                  ->Send(Address{2, "test"}, gqes->address(),
+                         std::make_shared<ReleaseQueryPayload>(
+                             grid.setup->standby()->FinalQueryId(*id),
+                             /*coordinator_epoch=*/0))
+                  .ok());
+  ASSERT_TRUE(grid.setup->simulator()->Run().ok());
+  EXPECT_EQ(gqes->stats().stale_epoch_dropped, before + 1);
+  EXPECT_EQ(gqes->Executors().size(), executors_before);
+}
+
+TEST(CoordinatorFailoverTest, ReportNodeFailureRejectsUnknownHost) {
+  FailoverGrid grid(/*standby=*/false);
+  const Status status = grid.setup->gdqs()->ReportNodeFailure(99);
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+  // Registered hosts (even without running queries) are accepted.
+  EXPECT_TRUE(grid.setup->gdqs()->ReportNodeFailure(2).ok());
+}
+
+}  // namespace
+}  // namespace gqp

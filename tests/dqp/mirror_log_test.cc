@@ -1,0 +1,188 @@
+// Mirror-log unit tests (DESIGN.md §D14): replay determinism (the same
+// log applied in any delivery order yields byte-identical standby state),
+// prefix truncation after acknowledgment, out-of-order holdback and
+// duplicate drops.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dqp/mirror_log.h"
+
+namespace gqp {
+namespace {
+
+/// A small but representative log: two queries, a deployment each, an
+/// epoch bump, a failure decision, applied weights, one completion and
+/// one termination.
+std::vector<MirrorEntry> SampleLog() {
+  MirrorLog log;
+  MirrorEntry reg1;
+  reg1.kind = MirrorEntryKind::kQueryRegistered;
+  reg1.query_id = 1;
+  reg1.sql = "select p.orf from protein_sequences p";
+  reg1.submit_time_ms = 0.0;
+  reg1.deadline_ms = 500.0;
+  log.Append(reg1);
+
+  MirrorEntry dep1;
+  dep1.kind = MirrorEntryKind::kDeployed;
+  dep1.query_id = 1;
+  dep1.credit_window_bytes = 4096;
+  log.Append(dep1);
+
+  MirrorEntry epoch;
+  epoch.kind = MirrorEntryKind::kEpochBump;
+  epoch.detector_epoch = 3;
+  log.Append(epoch);
+
+  MirrorEntry reg2;
+  reg2.kind = MirrorEntryKind::kQueryRegistered;
+  reg2.query_id = 2;
+  reg2.sql = "select i.score from protein_interactions i";
+  reg2.submit_time_ms = 12.5;
+  log.Append(reg2);
+
+  MirrorEntry fail;
+  fail.kind = MirrorEntryKind::kFailureDecision;
+  fail.failed_host = 3;
+  log.Append(fail);
+
+  MirrorEntry weights;
+  weights.kind = MirrorEntryKind::kWeightsApplied;
+  weights.query_id = 1;
+  weights.round = 2;
+  weights.weights = {0.25, 0.75};
+  log.Append(weights);
+
+  MirrorEntry done;
+  done.kind = MirrorEntryKind::kQueryComplete;
+  done.query_id = 1;
+  done.completion_time_ms = 420.0;
+  done.rows.push_back(Tuple(nullptr, {Value("ORF00001")}));
+  log.Append(done);
+
+  MirrorEntry term;
+  term.kind = MirrorEntryKind::kQueryTerminated;
+  term.query_id = 2;
+  term.completion_time_ms = 999.0;
+  log.Append(term);
+
+  return std::vector<MirrorEntry>(log.pending().begin(), log.pending().end());
+}
+
+TEST(MirrorLogTest, AppendAssignsContiguousOneBasedSeqs) {
+  const std::vector<MirrorEntry> entries = SampleLog();
+  ASSERT_EQ(entries.size(), 8u);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, i + 1);
+  }
+}
+
+TEST(MirrorLogTest, AcknowledgeTruncatesPrefixOnly) {
+  MirrorLog log;
+  for (const MirrorEntry& e : SampleLog()) {
+    MirrorEntry copy = e;
+    copy.seq = 0;  // Append restamps
+    log.Append(copy);
+  }
+  EXPECT_EQ(log.pending().size(), 8u);
+  EXPECT_EQ(log.entries_appended(), 8u);
+
+  log.Acknowledge(3);
+  EXPECT_EQ(log.acked_seq(), 3u);
+  EXPECT_EQ(log.entries_truncated(), 3u);
+  ASSERT_EQ(log.pending().size(), 5u);
+  EXPECT_EQ(log.pending().front().seq, 4u);
+
+  // A stale (already-covered) ack must not truncate anything further.
+  log.Acknowledge(2);
+  EXPECT_EQ(log.acked_seq(), 3u);
+  EXPECT_EQ(log.pending().size(), 5u);
+
+  log.Acknowledge(8);
+  EXPECT_TRUE(log.pending().empty());
+  EXPECT_EQ(log.entries_truncated(), 8u);
+}
+
+TEST(MirrorStateTest, ReplayInOrderBuildsExpectedState) {
+  MirrorState state;
+  for (const MirrorEntry& e : SampleLog()) state.Apply(e);
+
+  EXPECT_EQ(state.applied_seq(), 8u);
+  EXPECT_EQ(state.held_back(), 0u);
+  EXPECT_EQ(state.detector_epoch(), 3u);
+  EXPECT_EQ(state.max_query_id(), 2);
+  ASSERT_EQ(state.failure_decisions().count(3), 1u);
+
+  const MirroredQuery* q1 = state.Find(1);
+  ASSERT_NE(q1, nullptr);
+  EXPECT_TRUE(q1->deployed);
+  EXPECT_TRUE(q1->complete);
+  EXPECT_EQ(q1->credit_window_bytes, 4096u);
+  EXPECT_EQ(q1->weights_round, 2u);
+  ASSERT_EQ(q1->last_weights.size(), 2u);
+  ASSERT_EQ(q1->rows.size(), 1u);
+
+  const MirroredQuery* q2 = state.Find(2);
+  ASSERT_NE(q2, nullptr);
+  EXPECT_FALSE(q2->complete);
+  EXPECT_TRUE(q2->terminated);
+
+  // Neither query is still in flight: one completed, one terminated.
+  EXPECT_TRUE(state.IncompleteQueries().empty());
+}
+
+TEST(MirrorStateTest, ReplayDeterminism) {
+  const std::vector<MirrorEntry> entries = SampleLog();
+  MirrorState a, b;
+  for (const MirrorEntry& e : entries) a.Apply(e);
+  for (const MirrorEntry& e : entries) b.Apply(e);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), MirrorState().Fingerprint());
+}
+
+TEST(MirrorStateTest, OutOfOrderDeliveryIsHeldBackThenDrained) {
+  const std::vector<MirrorEntry> entries = SampleLog();
+
+  MirrorState in_order;
+  for (const MirrorEntry& e : entries) in_order.Apply(e);
+
+  // Reversed pairs: 2,1,4,3,6,5,8,7 — every even seq arrives one early.
+  MirrorState shuffled;
+  for (size_t i = 0; i + 1 < entries.size(); i += 2) {
+    shuffled.Apply(entries[i + 1]);
+    EXPECT_EQ(shuffled.held_back(), 1u) << "seq " << entries[i + 1].seq;
+    shuffled.Apply(entries[i]);
+    EXPECT_EQ(shuffled.held_back(), 0u) << "seq " << entries[i].seq;
+  }
+  EXPECT_EQ(shuffled.applied_seq(), 8u);
+  EXPECT_EQ(shuffled.Fingerprint(), in_order.Fingerprint());
+
+  // Fully reversed: everything held back until seq 1 lands.
+  MirrorState reversed;
+  for (size_t i = entries.size(); i > 1; --i) {
+    reversed.Apply(entries[i - 1]);
+    EXPECT_EQ(reversed.applied_seq(), 0u);
+  }
+  EXPECT_EQ(reversed.held_back(), entries.size() - 1);
+  reversed.Apply(entries[0]);
+  EXPECT_EQ(reversed.applied_seq(), 8u);
+  EXPECT_EQ(reversed.held_back(), 0u);
+  EXPECT_EQ(reversed.Fingerprint(), in_order.Fingerprint());
+}
+
+TEST(MirrorStateTest, DuplicatesAreDropped) {
+  const std::vector<MirrorEntry> entries = SampleLog();
+  MirrorState once, twice;
+  for (const MirrorEntry& e : entries) once.Apply(e);
+  for (const MirrorEntry& e : entries) {
+    twice.Apply(e);
+    twice.Apply(e);  // the reliable channel may redeliver
+  }
+  EXPECT_EQ(twice.applied_seq(), 8u);
+  EXPECT_EQ(twice.Fingerprint(), once.Fingerprint());
+}
+
+}  // namespace
+}  // namespace gqp

@@ -26,6 +26,22 @@ for pattern in 'system_clock' 'steady_clock' '[^_[:alnum:]]rand\(' \
   fi
 done
 
+# Coordinator-failover replication (D14): the mirror log is replayed on
+# the standby and fingerprinted, and the takeover reconciles queries in
+# iteration order — any unordered container in these files could leak a
+# hash-order dependence into replicated state. std::map/std::set only.
+for f in "$src_dir"/dqp/mirror_log.h "$src_dir"/dqp/mirror_log.cc \
+         "$src_dir"/dqp/standby.h "$src_dir"/dqp/standby.cc \
+         "$src_dir"/dqp/failover_messages.h; do
+  [ -f "$f" ] || continue
+  hits=$(grep -nE 'unordered_(map|set)' "$f")
+  if [ -n "$hits" ]; then
+    echo "lint_determinism: unordered container in replicated-state file $f:"
+    echo "$hits"
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "lint_determinism: OK (no wall-clock or unseeded randomness in src/)"
 fi
