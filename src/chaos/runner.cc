@@ -1,5 +1,7 @@
 #include "chaos/runner.h"
 
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <utility>
 
@@ -99,14 +101,42 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   grid_options.loss_rate = scenario.loss_rate;
   grid_options.loss_seed = scenario.seed ^ 0x1055C0DEULL;
   grid_options.standby_enabled = scenario.standby;
+  grid_options.shards = options.shards;
+  grid_options.shard_rng_streams = options.shard_rng_streams;
+  if (options.shards > 1) {
+    // Conservative lookahead must lower-bound every latency the run will
+    // ever see, including mid-run link shifts.
+    double min_latency = scenario.initial_link.latency_ms;
+    for (const LinkShiftEvent& ev : scenario.link_shifts) {
+      min_latency = std::min(min_latency, ev.params.latency_ms);
+    }
+    grid_options.lookahead_override_ms = min_latency;
+  }
 
   GridSetup grid(grid_options);
   result.status = grid.Initialize();
   if (!result.status.ok()) return result;
 
+  ShardedSimulator* ssim = grid.sharded_simulator();
   EventTraceRecorder recorder(options.keep_trace);
-  recorder.Attach(grid.simulator());
-  grid.simulator()->set_max_events(options.max_events);
+  ShardedEventTraceRecorder sharded_recorder(options.keep_trace);
+  if (ssim != nullptr) {
+    sharded_recorder.Attach(ssim);
+    ssim->set_max_events(options.max_events);
+  } else {
+    recorder.Attach(grid.simulator());
+    grid.simulator()->set_max_events(options.max_events);
+  }
+  // Chaos events mutate state across hosts (link tables, down sets, node
+  // kills); in a sharded run they execute as stop-the-world globals.
+  const auto schedule_chaos = [&grid, ssim](double at_ms,
+                                            std::function<void()> fn) {
+    if (ssim != nullptr) {
+      ssim->ScheduleGlobalAt(at_ms, std::move(fn));
+    } else {
+      grid.simulator()->Schedule(at_ms, std::move(fn));
+    }
+  };
 
   // Datasets, seeded from the scenario (same derivation as the experiment
   // harness so chaos results stay comparable to the paper runs).
@@ -136,41 +166,36 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
     if (ev.at_ms <= 0.0) {
       InstallPerturbation(&grid, ev, tag);
     } else {
-      grid.simulator()->Schedule(ev.at_ms, [&grid, &ev, tag] {
-        InstallPerturbation(&grid, ev, tag);
-      });
+      schedule_chaos(ev.at_ms,
+                     [&grid, &ev, tag] { InstallPerturbation(&grid, ev, tag); });
     }
   }
   for (const FailureEvent& ev : scenario.failures) {
-    grid.simulator()->Schedule(ev.at_ms, [&grid, &ev] {
-      (void)grid.FailEvaluator(ev.evaluator);
-    });
+    schedule_chaos(ev.at_ms,
+                   [&grid, &ev] { (void)grid.FailEvaluator(ev.evaluator); });
   }
   for (const LinkShiftEvent& ev : scenario.link_shifts) {
-    grid.simulator()->Schedule(ev.at_ms, [&grid, &ev] {
-      grid.network()->SetAllLinks(ev.params);
-    });
+    schedule_chaos(ev.at_ms,
+                   [&grid, &ev] { grid.network()->SetAllLinks(ev.params); });
   }
   for (const PartitionEvent& ev : scenario.partitions) {
-    grid.simulator()->Schedule(ev.at_ms, [&grid, &ev] {
-      grid.network()->BeginPartition(
-          grid.evaluator_node(ev.evaluator)->id());
+    schedule_chaos(ev.at_ms, [&grid, &ev] {
+      grid.network()->BeginPartition(grid.evaluator_node(ev.evaluator)->id());
     });
-    grid.simulator()->Schedule(ev.at_ms + ev.duration_ms, [&grid, &ev] {
+    schedule_chaos(ev.at_ms + ev.duration_ms, [&grid, &ev] {
       grid.network()->EndPartition(grid.evaluator_node(ev.evaluator)->id());
     });
   }
   for (const StallEvent& ev : scenario.stalls) {
-    grid.simulator()->Schedule(ev.at_ms, [&grid, &ev] {
+    schedule_chaos(ev.at_ms, [&grid, &ev] {
       if (Heartbeater* hb = grid.heartbeater(ev.evaluator)) {
         hb->Stall(ev.at_ms + ev.duration_ms);
       }
     });
   }
   if (scenario.coordinator_kill) {
-    grid.simulator()->Schedule(scenario.coordinator_kill_at_ms, [&grid] {
-      (void)grid.FailCoordinator();
-    });
+    schedule_chaos(scenario.coordinator_kill_at_ms,
+                   [&grid] { (void)grid.FailCoordinator(); });
   }
 
   QueryOptions query_options;
@@ -211,7 +236,10 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
     if (q.kind == QueryKind::kQ2) {
       extra_options.adaptivity.response = ResponseType::kRetrospective;
     }
-    grid.simulator()->Schedule(
+    // Submission only touches coordinator-host state (plus messages), so
+    // in a sharded run it is an ordinary event on the coordinator's shard,
+    // not a stop-the-world global.
+    grid.SimForHost(0)->ScheduleAt(
         q.submit_at_ms, [&grid, &extra_ids, i, q, extra_options] {
           Result<int> id =
               grid.gdqs()->SubmitQuery(QuerySql(q.kind), extra_options);
@@ -220,12 +248,23 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   }
 
   // --- invariant (d): termination --------------------------------------
-  const Status run_status = grid.simulator()->Run();
-  EventTraceRecorder::Detach(grid.simulator());
-  result.trace_hash = recorder.hash();
-  result.trace_events = recorder.events();
-  if (options.keep_trace) result.trace = recorder.trace();
-  result.final_time_ms = grid.simulator()->Now();
+  Status run_status;
+  if (ssim != nullptr) {
+    run_status = ssim->Run();
+    ShardedEventTraceRecorder::Detach(ssim);
+    sharded_recorder.Finalize();
+    result.trace_hash = sharded_recorder.hash();
+    result.trace_events = sharded_recorder.events();
+    if (options.keep_trace) result.trace = sharded_recorder.trace();
+    result.final_time_ms = ssim->Now();
+  } else {
+    run_status = grid.simulator()->Run();
+    EventTraceRecorder::Detach(grid.simulator());
+    result.trace_hash = recorder.hash();
+    result.trace_events = recorder.events();
+    if (options.keep_trace) result.trace = recorder.trace();
+    result.final_time_ms = grid.simulator()->Now();
+  }
 
   // After a takeover the standby is the authority for every original query
   // id (it proxies retried incarnations and serves mirrored results);
@@ -304,8 +343,10 @@ ChaosRunResult RunScenario(const ChaosScenario& scenario,
   if (!result.completed) {
     result.violations.push_back(StrCat(
         "[termination] query never completed (events=",
-        grid.simulator()->events_executed(), ", t=", result.final_time_ms,
-        " ms) — repro: ", repro, DumpExecutors(&grid, *query)));
+        ssim != nullptr ? ssim->events_executed()
+                        : grid.simulator()->events_executed(),
+        ", t=", result.final_time_ms, " ms) — repro: ", repro,
+        DumpExecutors(&grid, *query)));
     return result;
   }
   const Status exec_status = execution_status(*query);

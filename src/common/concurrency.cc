@@ -1,0 +1,13 @@
+#include "common/concurrency.h"
+
+namespace gqp {
+
+namespace internal {
+bool g_sharded_run_active = false;
+}  // namespace internal
+
+void SetShardedRunActive(bool active) {
+  internal::g_sharded_run_active = active;
+}
+
+}  // namespace gqp

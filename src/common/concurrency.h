@@ -1,0 +1,56 @@
+// Process-wide concurrency mode switch for sharded simulation (DESIGN.md
+// §D15). The engine is single-threaded by design (D1); the sharded event
+// kernel (sim/sharded.h) runs per-shard worker threads, and a handful of
+// hot-path structures that are deliberately unsynchronized in sequential
+// mode (tuple/value refcounts, the Rep freelist pool) must switch to their
+// thread-safe variants while shard workers are live.
+//
+// The flag is set by the sharded driver BEFORE worker threads start and
+// cleared AFTER they join, so the flag itself is never written while it is
+// being read concurrently: thread creation/join provide the necessary
+// happens-before edges. Sequential runs never set it, keeping their hot
+// paths free of atomic read-modify-writes.
+
+#ifndef GRIDQP_COMMON_CONCURRENCY_H_
+#define GRIDQP_COMMON_CONCURRENCY_H_
+
+#include <cstdint>
+
+namespace gqp {
+
+namespace internal {
+// Plain bool on purpose: transitions only happen on the driver thread
+// while no worker threads exist (see file comment).
+extern bool g_sharded_run_active;
+}  // namespace internal
+
+/// True while a sharded simulation (worker threads) is running. Hot-path
+/// structures consult this to pick atomic vs plain refcount operations.
+inline bool ShardedRunActive() { return internal::g_sharded_run_active; }
+
+/// Driver-only. Must be called with no shard worker threads alive.
+void SetShardedRunActive(bool active);
+
+/// Conditionally-atomic refcount bump: a plain increment in sequential
+/// mode (the common case — zero atomic RMW cost), an atomic one while a
+/// sharded run is live (tuples/values cross shard boundaries inside
+/// message payloads). Returns the new count.
+inline uint32_t RefIncrement(uint32_t* refs) {
+  if (ShardedRunActive()) {
+    return __atomic_add_fetch(refs, 1u, __ATOMIC_RELAXED);
+  }
+  return ++*refs;
+}
+
+/// Conditionally-atomic refcount drop. Acquire/release so the thread that
+/// sees zero also sees every write made before the other threads' drops.
+inline uint32_t RefDecrement(uint32_t* refs) {
+  if (ShardedRunActive()) {
+    return __atomic_sub_fetch(refs, 1u, __ATOMIC_ACQ_REL);
+  }
+  return --*refs;
+}
+
+}  // namespace gqp
+
+#endif  // GRIDQP_COMMON_CONCURRENCY_H_

@@ -1,5 +1,6 @@
 #include "common/interner.h"
 
+#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -7,9 +8,13 @@ namespace gqp {
 
 std::string_view InternString(std::string_view s) {
   // Leaky singleton: interned tags must outlive every node work item,
-  // including ones that outlive their submitting executor.
+  // including ones that outlive their submitting executor. Mutexed
+  // unconditionally: operator construction (deploy events) can run on
+  // shard worker threads, and interning is far off the hot path.
+  static std::mutex* mu = new std::mutex();
   static auto* interned = new std::unordered_set<std::string, StringHash,
                                                  std::equal_to<>>();
+  std::lock_guard<std::mutex> lock(*mu);
   auto it = interned->find(s);
   if (it == interned->end()) {
     it = interned->emplace(s).first;

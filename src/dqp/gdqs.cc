@@ -468,7 +468,7 @@ Status Gdqs::TerminateQuery(int query_id, const std::string& reason) {
   // Stop the adaptivity services before their executors vanish.
   state.diagnoser.reset();
   state.responder.reset();
-  for (Gqes* g : gqes_) g->ReleaseQuery(query_id);
+  ReleaseOnAllNodes(query_id);
   if (mirroring_) {
     MirrorEntry entry;
     entry.kind = MirrorEntryKind::kQueryTerminated;
@@ -487,7 +487,12 @@ bool Gdqs::QueryComplete(int query_id) const {
 }
 
 FragmentExecutor* Gdqs::FindInstance(const SubplanId& id) const {
+  // Every call site passes a root instance, and roots are always placed on
+  // the coordinator host; in a sharded run the other nodes' executor maps
+  // belong to other shards and must not be read from here.
+  const bool sharded = bus()->network()->sharded();
   for (Gqes* g : gqes_) {
+    if (sharded && g->host() != host()) continue;
     if (FragmentExecutor* executor = g->FindExecutor(id)) return executor;
   }
   return nullptr;
@@ -718,8 +723,22 @@ void Gdqs::ReleaseQuery(int query_id) {
       it->second.detector_active = false;
     }
   }
-  for (Gqes* g : gqes_) g->ReleaseQuery(query_id);
+  ReleaseOnAllNodes(query_id);
   queries_.erase(query_id);
+}
+
+void Gdqs::ReleaseOnAllNodes(int query_id) {
+  if (bus()->network()->sharded()) {
+    // Remote evaluator state belongs to other shards; reach it the way a
+    // real coordinator would, by message. The direct call below is a
+    // sequential-mode shortcut only.
+    for (Gqes* g : gqes_) {
+      (void)SendTo(g->address(), std::make_shared<ReleaseQueryPayload>(
+                                     query_id, coordinator_epoch_));
+    }
+    return;
+  }
+  for (Gqes* g : gqes_) g->ReleaseQuery(query_id);
 }
 
 Diagnoser* Gdqs::diagnoser(int query_id) const {

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -112,6 +114,16 @@ class ReliableAckPayload : public Payload {
 /// Channels are directed host pairs; each carries its own seq space, its
 /// own retransmission state on the sender, and its own in-order release
 /// cursor on the receiver.
+///
+/// Sharded mode: all state is partitioned per host. Sender-side state of
+/// channel (src,dst) — seq allocation, pendings, retransmission timers —
+/// is only touched by events on src (Send, the timer, the returning ack
+/// delivered to src); receiver-side state only by envelope arrivals on
+/// dst. So each host's partition is confined to its shard. The jitter RNG
+/// splits per source host too (a single global draw order cannot exist
+/// under parallel sends); sequential runs keep the one global stream and
+/// its byte-identical schedules. EnsureHosts pre-creates the partitions
+/// so the vector never grows while shard workers are live.
 class ReliableTransport {
  public:
   using DeliverFn = std::function<void(const Message&)>;
@@ -122,6 +134,10 @@ class ReliableTransport {
 
   ReliableTransport(const ReliableTransport&) = delete;
   ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  /// Pre-creates per-host state for hosts [0, num_hosts). Sharded setups
+  /// must call this before traffic starts.
+  void EnsureHosts(int num_hosts);
 
   /// Wraps and sends a remote message, scheduling retransmissions until
   /// the receiving transport acknowledges it.
@@ -135,7 +151,7 @@ class ReliableTransport {
   size_t pending() const;
 
   /// Bus-wide totals, over every query and control message.
-  const ReliableStats& stats() const { return stats_; }
+  const ReliableStats& stats() const;
   /// Counters of one query's traffic only, attributed via QueryOf at send
   /// time (retransmissions and acks inherit the envelope's attribution).
   /// Exact per query even with several queries on the bus; query 0 holds
@@ -160,9 +176,25 @@ class ReliableTransport {
     /// Out-of-order arrivals held back until the gap fills.
     std::map<uint64_t, Message> holdback;
   };
+  /// One host's slice of the transport. Sender maps are keyed by the
+  /// destination host (this host is the source); receiver maps by the
+  /// source host (this host is the destination).
+  struct HostState {
+    std::map<HostId, SenderChannel> senders;
+    std::map<HostId, ReceiverChannel> receivers;
+    /// Per-source-host jitter stream, used in sharded mode only.
+    Rng jitter{0};
+    ReliableStats stats;
+    std::map<int, ReliableStats> by_query;
+  };
 
-  /// The per-query slice of `stats_` (created on first use).
-  ReliableStats& QueryStats(int query) { return by_query_[query]; }
+  HostState& ForHost(HostId host);
+  double NextJitterDraw(HostId src);
+
+  /// The per-query slice of `host`'s stats (created on first use).
+  ReliableStats& QueryStats(HostId host, int query) {
+    return ForHost(host).by_query[query];
+  }
 
   void ScheduleRetransmit(HostId src, HostId dst, uint64_t seq);
   void OnTimeout(HostId src, HostId dst, uint64_t seq);
@@ -170,14 +202,14 @@ class ReliableTransport {
   void OnAck(const Message& msg, const ReliableAckPayload& ack);
 
   Network* network_;
-  Simulator* sim_;
   ReliableConfig config_;
   DeliverFn deliver_;
+  /// The sequential mode's single global jitter stream.
   Rng jitter_rng_;
-  std::map<uint64_t, SenderChannel> senders_;
-  std::map<uint64_t, ReceiverChannel> receivers_;
-  ReliableStats stats_;
-  std::map<int, ReliableStats> by_query_;
+  /// Indexed by HostId; grown only in EnsureHosts / sequential mode.
+  std::vector<std::unique_ptr<HostState>> hosts_;
+  mutable ReliableStats merged_stats_;
+  mutable std::map<int, ReliableStats> merged_by_query_;
 };
 
 }  // namespace gqp

@@ -1,0 +1,272 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/concurrency.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gqp {
+
+namespace {
+// Shard id of the current thread; -1 outside worker threads. Used both to
+// route ScheduleCrossAt and to enforce the lookahead contract.
+thread_local int t_current_shard = -1;
+
+// Tolerance for the lookahead contract check. Arrival times are computed
+// as now + latency (+ serialization); latency >= lookahead by derivation,
+// but the additions round independently.
+constexpr double kLookaheadSlackMs = 1e-9;
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(int num_shards, double lookahead_ms)
+    : lookahead_ms_(lookahead_ms) {
+  if (num_shards < 1 || !(lookahead_ms > 0.0)) {
+    GQP_LOG_ERROR << "ShardedSimulator: invalid configuration (shards="
+                  << num_shards << ", lookahead_ms=" << lookahead_ms
+                  << "); lookahead must be > 0";
+    std::abort();
+  }
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  outboxes_.resize(shards_.size());
+  shard_status_.resize(shards_.size());
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+int ShardedSimulator::CurrentShard() { return t_current_shard; }
+
+void ShardedSimulator::ScheduleCrossAt(int dst, SimTime when,
+                                       std::function<void()> fn) {
+  const int src = t_current_shard;
+  if (src < 0) {
+    // Driver context (setup, global events): workers are quiescent, all
+    // shard heaps are safe to touch directly.
+    shards_[static_cast<size_t>(dst)]->ScheduleAt(when, std::move(fn));
+    return;
+  }
+  Simulator& src_sim = *shards_[static_cast<size_t>(src)];
+  if (dst == src) {
+    src_sim.ScheduleAt(when, std::move(fn));
+    return;
+  }
+  // Conservative contract: a cross-shard send from simulated time t may
+  // not arrive before t + lookahead, otherwise the destination shard may
+  // already have executed past `when` and determinism is silently lost.
+  if (when + kLookaheadSlackMs < src_sim.Now() + lookahead_ms_) {
+    GQP_LOG_ERROR << "ShardedSimulator: lookahead contract violation: shard "
+                  << src << " at t=" << src_sim.Now() << " ms sent to shard "
+                  << dst << " arriving at t=" << when << " ms (< now + "
+                  << lookahead_ms_ << " ms lookahead)";
+    std::abort();
+  }
+  outboxes_[static_cast<size_t>(src)].push_back(
+      CrossEvent{when, dst, std::move(fn)});
+}
+
+void ShardedSimulator::ScheduleGlobalAt(SimTime when,
+                                        std::function<void()> fn) {
+  globals_.push_back(GlobalEvent{when, next_global_seq_++, std::move(fn)});
+}
+
+void ShardedSimulator::DrainOutboxes() {
+  for (auto& outbox : outboxes_) {
+    for (CrossEvent& ev : outbox) {
+      shards_[static_cast<size_t>(ev.dst)]->ScheduleAt(ev.when,
+                                                       std::move(ev.fn));
+    }
+    outbox.clear();
+  }
+}
+
+SimTime ShardedSimulator::MinNextEventTime() {
+  SimTime t_min = kSimTimeInfinity;
+  for (auto& shard : shards_) {
+    t_min = std::min(t_min, shard->NextEventTime());
+  }
+  return t_min;
+}
+
+void ShardedSimulator::StartWorkers() {
+  stop_ = false;
+  done_count_ = 0;
+  workers_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    workers_.emplace_back(&ShardedSimulator::WorkerLoop, this,
+                          static_cast<int>(s));
+  }
+}
+
+void ShardedSimulator::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_workers_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void ShardedSimulator::WorkerLoop(int shard_id) {
+  t_current_shard = shard_id;
+  Simulator& sim = *shards_[static_cast<size_t>(shard_id)];
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_workers_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    const SimTime end = window_end_;
+    lk.unlock();
+    Status st = sim.RunWindow(end);
+    lk.lock();
+    if (!st.ok()) shard_status_[static_cast<size_t>(shard_id)] = st;
+    if (++done_count_ == static_cast<int>(shards_.size())) {
+      cv_driver_.notify_one();
+    }
+  }
+}
+
+void ShardedSimulator::RunWindowOnWorkers(SimTime end) {
+  std::unique_lock<std::mutex> lk(mu_);
+  window_end_ = end;
+  done_count_ = 0;
+  ++epoch_;
+  cv_workers_.notify_all();
+  cv_driver_.wait(
+      lk, [&] { return done_count_ == static_cast<int>(shards_.size()); });
+}
+
+Status ShardedSimulator::Run(SimTime until) {
+  // RunWindow's cutoff is strict (<), so to include events at exactly
+  // `until` the clamp horizon is the next representable time above it.
+  const SimTime horizon = (until == kSimTimeInfinity)
+                              ? kSimTimeInfinity
+                              : std::nextafter(until, kSimTimeInfinity);
+  const bool threaded = shards_.size() > 1;
+  if (threaded) {
+    SetShardedRunActive(true);
+    StartWorkers();
+  }
+  for (Status& st : shard_status_) st = Status::OK();
+
+  Status result = Status::OK();
+  for (;;) {
+    if (events_executed() >= max_events_) {
+      result = Status::ResourceExhausted(
+          StrCat("sharded simulator exceeded ", max_events_,
+                 " aggregate events; likely a runaway event loop (t=", Now(),
+                 " ms)"));
+      break;
+    }
+    const SimTime t_min = MinNextEventTime();
+    // Globals are few; a linear scan per window is cheaper than
+    // maintaining a heap.
+    const GlobalEvent* next_global = nullptr;
+    for (const GlobalEvent& g : globals_) {
+      if (next_global == nullptr || g.when < next_global->when ||
+          (g.when == next_global->when && g.seq < next_global->seq)) {
+        next_global = &g;
+      }
+    }
+    const SimTime g_time = next_global ? next_global->when : kSimTimeInfinity;
+    const SimTime next = std::min(t_min, g_time);
+    if (next == kSimTimeInfinity || next > until) break;
+    if (g_time <= t_min) {
+      // Stop-the-world: all shards quiescent below g_time; advance every
+      // clock so zero-delay scheduling inside the event lands at g_time on
+      // any shard, then run all globals tied at g_time in scheduling order.
+      for (auto& shard : shards_) shard->AdvanceTo(g_time);
+      std::vector<GlobalEvent> due;
+      for (size_t i = 0; i < globals_.size();) {
+        if (globals_[i].when == g_time) {
+          due.push_back(std::move(globals_[i]));
+          globals_.erase(globals_.begin() + static_cast<ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      std::sort(due.begin(), due.end(),
+                [](const GlobalEvent& a, const GlobalEvent& b) {
+                  return a.seq < b.seq;
+                });
+      for (GlobalEvent& g : due) g.fn();
+      continue;
+    }
+    const SimTime end = std::min(std::min(t_min + lookahead_ms_, g_time),
+                                 horizon);
+    if (threaded) {
+      RunWindowOnWorkers(end);
+      for (const Status& st : shard_status_) {
+        if (!st.ok()) {
+          result = st;
+          break;
+        }
+      }
+      if (!result.ok()) break;
+    } else {
+      t_current_shard = 0;
+      Status st = shards_[0]->RunWindow(end);
+      t_current_shard = -1;
+      if (!st.ok()) {
+        result = st;
+        break;
+      }
+    }
+    DrainOutboxes();
+  }
+
+  if (threaded) {
+    StopWorkers();
+    SetShardedRunActive(false);
+  }
+  if (result.ok() && until != kSimTimeInfinity) {
+    for (auto& shard : shards_) shard->AdvanceTo(until);
+  }
+  return result;
+}
+
+SimTime ShardedSimulator::RunToCompletion() {
+  Status s = Run();
+  if (!s.ok()) {
+    GQP_LOG_ERROR << "ShardedSimulator::RunToCompletion failed: "
+                  << s.ToString();
+    std::abort();
+  }
+  return Now();
+}
+
+SimTime ShardedSimulator::Now() const {
+  SimTime now = 0.0;
+  for (const auto& shard : shards_) now = std::max(now, shard->Now());
+  return now;
+}
+
+uint64_t ShardedSimulator::events_executed() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->events_executed();
+  return total;
+}
+
+size_t ShardedSimulator::pending_events() const {
+  size_t total = globals_.size();
+  for (const auto& shard : shards_) total += shard->pending_events();
+  for (const auto& outbox : outboxes_) total += outbox.size();
+  return total;
+}
+
+void ShardedSimulator::set_max_events(uint64_t max_events) {
+  max_events_ = max_events;
+  // Raise each shard's own guard to the aggregate so a runaway confined to
+  // one shard inside a single window still terminates (RunWindow checks
+  // cumulative events_executed against it).
+  for (auto& shard : shards_) shard->set_max_events(max_events);
+}
+
+}  // namespace gqp

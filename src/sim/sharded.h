@@ -1,0 +1,178 @@
+// Sharded multi-core event kernel (DESIGN.md §D15).
+//
+// Partitions the simulation into N shards, each a plain single-threaded
+// Simulator driven by its own worker thread, synchronized by conservative
+// lookahead in bounded windows (a YAWNS-style protocol):
+//
+//   window_end = min(T_min + lookahead, next_global_event, horizon)
+//
+// where T_min is the earliest pending event time across all shards and
+// lookahead is the minimum cross-shard link latency of the network model.
+// Every shard executes all of its events with time < window_end in
+// parallel, then the shards barrier. Cross-shard sends made inside a
+// window are pushed to the sending shard's outbox and drained at the
+// barrier in (source shard id, push order) order — a deterministic merge,
+// because each shard's execution order is itself deterministic. The
+// conservative contract makes the drain safe: an event executing at time
+// t ∈ [T_min, window_end) may only send cross-shard with arrival
+// ≥ t + lookahead ≥ window_end, so no drained arrival can land in a
+// window that has already run.
+//
+// Global (stop-the-world) events — chaos perturbations, failure
+// injections, link shifts — run on the driver thread at a barrier, with
+// every shard clock first advanced to the event's time, so whatever they
+// schedule lands consistently on any shard.
+//
+// Determinism contract: a sharded run is a pure function of its inputs
+// and the shard count. It is NOT trace-identical to a sequential run
+// (same-timestamp events on different shards interleave differently);
+// the differential suite asserts the stronger invariant that matters —
+// identical per-query results and invariant outcomes (see
+// tests/chaos/sharded_diff_test.cc).
+//
+// Threading: workers are started at the top of Run() and joined before it
+// returns; all synchronization is a single mutex + condvar epoch barrier,
+// which also provides the happens-before edges for outbox drains and the
+// driver's NextEventTime() scans. No wall-clock reads, no unseeded RNG,
+// no thread sleeps or yields — simulated time only (lint-enforced).
+
+#ifndef GRIDQP_SIM_SHARDED_H_
+#define GRIDQP_SIM_SHARDED_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace gqp {
+
+/// \brief Conservative-lookahead parallel driver over per-shard Simulators.
+///
+/// The driver thread owns the windowing loop; per-shard worker threads own
+/// event execution. All public methods except ScheduleCrossAt are
+/// driver-thread-only (ScheduleCrossAt is additionally callable from the
+/// worker thread of the sending shard, which is where the network calls it).
+class ShardedSimulator {
+ public:
+  /// `lookahead_ms` must be strictly positive: it is the conservative
+  /// synchronization bound, derived by the caller from the minimum
+  /// cross-shard link latency (a zero-latency remote link would make every
+  /// window empty and must be rejected upstream with InvalidArgument).
+  /// Aborts on lookahead <= 0 or num_shards < 1 — programming errors, not
+  /// user input; user-facing validation happens in GridSetup/chaos.
+  ShardedSimulator(int num_shards, double lookahead_ms);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+  ~ShardedSimulator();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  double lookahead_ms() const { return lookahead_ms_; }
+
+  /// The shard's underlying sequential simulator. Services on hosts mapped
+  /// to shard `i` schedule their local events here directly.
+  Simulator* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
+
+  /// Shard index of the calling thread: the shard id on a worker thread
+  /// during Run(), -1 on the driver (or any other) thread.
+  static int CurrentShard();
+
+  /// Schedules `fn` at absolute time `when` on shard `dst`. From a worker
+  /// thread this enforces the conservative contract (`when` must be at
+  /// least the sending shard's Now() + lookahead; violations abort — they
+  /// would silently break determinism) and routes cross-shard sends via
+  /// the sender's outbox for the deterministic barrier drain. From the
+  /// driver thread (setup, global events) it schedules directly.
+  void ScheduleCrossAt(int dst, SimTime when, std::function<void()> fn);
+
+  /// Schedules a stop-the-world event: runs on the driver thread at a
+  /// barrier once every shard has exhausted events before `when`, with all
+  /// shard clocks advanced to `when` first. Used for chaos perturbations
+  /// and anything else that touches state spanning shards. Ties are run
+  /// in scheduling order. Driver-thread-only (including from inside a
+  /// running global event).
+  void ScheduleGlobalAt(SimTime when, std::function<void()> fn);
+
+  /// Runs the windowed loop until no shard has pending events, no global
+  /// events remain, or `until` is passed (events with time > `until` stay
+  /// queued and every shard clock advances to `until`, matching
+  /// Simulator::Run). Starts workers on entry and joins them before
+  /// returning; while they are live, ShardedRunActive() is true (with one
+  /// shard everything runs inline on the driver thread and no flag is
+  /// set). Returns ResourceExhausted when the aggregate executed-event
+  /// count exceeds the budget.
+  Status Run(SimTime until = kSimTimeInfinity);
+
+  /// Convenience mirror of Simulator::RunToCompletion: aborts on error.
+  SimTime RunToCompletion();
+
+  /// Latest shard clock (they converge at barriers and at the end of Run).
+  SimTime Now() const;
+
+  /// Total events executed across all shards.
+  uint64_t events_executed() const;
+
+  /// Pending events across shard heaps, outboxes, and global events.
+  size_t pending_events() const;
+
+  /// Aggregate runaway guard (default 500M, like Simulator). Each shard's
+  /// own guard is raised to the aggregate so a single-shard runaway loop
+  /// inside one window still terminates.
+  void set_max_events(uint64_t max_events);
+
+ private:
+  struct CrossEvent {
+    SimTime when;
+    int dst;
+    std::function<void()> fn;
+  };
+  struct GlobalEvent {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+
+  void StartWorkers();
+  void StopWorkers();
+  void WorkerLoop(int shard_id);
+  /// Dispatches one window to the workers and blocks until all report done.
+  void RunWindowOnWorkers(SimTime end);
+  /// Delivers outboxed cross-shard events in (src shard, push order) order.
+  void DrainOutboxes();
+  /// Earliest pending shard-event time across all shards.
+  SimTime MinNextEventTime();
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  const double lookahead_ms_;
+  uint64_t max_events_ = 500'000'000ULL;
+
+  // Outboxes: outboxes_[s] is written only by shard s's worker during a
+  // window and drained only by the driver at the barrier (mutex acquire/
+  // release on the barrier orders the accesses).
+  std::vector<std::vector<CrossEvent>> outboxes_;
+
+  // Global events, driver-thread-only. Sorted lazily in the run loop;
+  // kept as a vector because the set is tiny (chaos scenario actions).
+  std::vector<GlobalEvent> globals_;
+  uint64_t next_global_seq_ = 0;
+
+  // Epoch barrier.
+  std::mutex mu_;
+  std::condition_variable cv_workers_;
+  std::condition_variable cv_driver_;
+  std::vector<std::thread> workers_;
+  uint64_t epoch_ = 0;           // guarded by mu_
+  SimTime window_end_ = 0.0;     // guarded by mu_
+  int done_count_ = 0;           // guarded by mu_
+  bool stop_ = false;            // guarded by mu_
+  std::vector<Status> shard_status_;  // guarded by mu_
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_SIM_SHARDED_H_

@@ -1,0 +1,242 @@
+// Unit tests of the sharded event kernel (DESIGN.md §D15): cross-shard
+// channel ordering, conservative window advancement, stop-the-world
+// globals, the aggregate event budget, deterministic trace merging, and
+// the setup-level rejection of configurations that leave no lookahead.
+
+#include "sim/sharded.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/trace.h"
+#include "common/concurrency.h"
+#include "workload/grid_setup.h"
+
+namespace gqp {
+namespace {
+
+TEST(ShardedSimulatorTest, SingleShardRunsInline) {
+  ShardedSimulator sim(1, 1.0);
+  std::vector<int> order;
+  sim.shard(0)->ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.shard(0)->ScheduleAt(1.0, [&] { order.push_back(1); });
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.Now(), 2.0);
+  EXPECT_EQ(sim.events_executed(), 2u);
+  // Single-shard mode never starts workers, so the hot-path flag stays off.
+  EXPECT_FALSE(ShardedRunActive());
+}
+
+TEST(ShardedSimulatorTest, CrossShardSendsArriveInTimestampOrder) {
+  // A ping-pong chain across two shards: each hop schedules the next at
+  // now + lookahead. The receive order must follow timestamps exactly.
+  ShardedSimulator sim(2, 1.0);
+  std::vector<double> arrivals;
+  std::function<void(int, int)> hop = [&](int dst, int remaining) {
+    arrivals.push_back(sim.shard(dst)->Now());
+    if (remaining == 0) return;
+    const double when = sim.shard(dst)->Now() + 1.0;
+    sim.ScheduleCrossAt(1 - dst, when,
+                        [&hop, dst, remaining] { hop(1 - dst, remaining - 1); });
+  };
+  sim.shard(0)->ScheduleAt(0.5, [&hop] { hop(0, 10); });
+  ASSERT_TRUE(sim.Run().ok());
+  ASSERT_EQ(arrivals.size(), 11u);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(arrivals[i], arrivals[i - 1] + 1.0) << "hop " << i;
+  }
+  EXPECT_GE(sim.events_executed(), 11u);
+}
+
+TEST(ShardedSimulatorTest, WindowAdvancementRespectsLookahead) {
+  // Shard 1 has nothing to do until shard 0's send arrives; the driver
+  // must keep opening windows bounded by T_min + lookahead and the run
+  // must terminate with both clocks at the final event time.
+  ShardedSimulator sim(4, 0.5);
+  std::atomic<int> fired{0};
+  for (int s = 0; s < 4; ++s) {
+    sim.shard(s)->ScheduleAt(0.25 * s, [&sim, &fired, s] {
+      // Fan out to every other shard at exactly the lookahead bound (the
+      // tightest legal cross-shard send).
+      for (int dst = 0; dst < 4; ++dst) {
+        if (dst == s) continue;
+        sim.ScheduleCrossAt(dst, sim.shard(s)->Now() + 0.5,
+                            [&fired] { fired.fetch_add(1); });
+      }
+    });
+  }
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(fired.load(), 12);
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.25 * 3 + 0.5);
+}
+
+TEST(ShardedSimulatorTest, SameTimeCrossSendsDrainInSourceShardOrder) {
+  // Two shards send to shard 0 with the SAME arrival timestamp. The drain
+  // order must be (source shard id, push order) — deterministic, never
+  // thread-arrival order. ScheduleAt ids on the destination then break the
+  // tie in drain order, so execution order equals drain order.
+  for (int round = 0; round < 5; ++round) {
+    ShardedSimulator sim(3, 1.0);
+    std::vector<int> order;
+    for (int s = 1; s <= 2; ++s) {
+      sim.shard(s)->ScheduleAt(0.0, [&sim, &order, s] {
+        sim.ScheduleCrossAt(0, 2.0, [&order, s] { order.push_back(s * 10); });
+        sim.ScheduleCrossAt(0, 2.0, [&order, s] { order.push_back(s * 10 + 1); });
+      });
+    }
+    ASSERT_TRUE(sim.Run().ok());
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21})) << "round " << round;
+  }
+}
+
+TEST(ShardedSimulatorTest, GlobalEventsRunAtBarriersInScheduleOrder) {
+  ShardedSimulator sim(2, 1.0);
+  std::vector<std::string> log;
+  // Shard events on both sides of the global's time.
+  sim.shard(0)->ScheduleAt(1.0, [&] { log.push_back("s0@1"); });
+  sim.shard(1)->ScheduleAt(3.0, [&] { log.push_back("s1@3"); });
+  // Two ties at t=2: must run in scheduling order, after every shard
+  // event before t=2 and before any after it.
+  sim.ScheduleGlobalAt(2.0, [&] {
+    log.push_back("g1@2");
+    EXPECT_DOUBLE_EQ(sim.shard(0)->Now(), 2.0);
+    EXPECT_DOUBLE_EQ(sim.shard(1)->Now(), 2.0);
+  });
+  sim.ScheduleGlobalAt(2.0, [&] { log.push_back("g2@2"); });
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(log, (std::vector<std::string>{"s0@1", "g1@2", "g2@2", "s1@3"}));
+}
+
+TEST(ShardedSimulatorTest, GlobalEventCanScheduleOnAnyShard) {
+  ShardedSimulator sim(2, 1.0);
+  // Both targets land in the same conservative window, so they execute
+  // concurrently on their own shards: record per-shard, not into one
+  // ordered log (cross-shard intra-window order is deliberately
+  // unspecified — the conservative contract makes it unobservable).
+  double fired_at[2] = {-1.0, -1.0};
+  sim.ScheduleGlobalAt(1.0, [&] {
+    // Runs on the driver: direct scheduling on both shards is legal and
+    // needs no lookahead slack.
+    sim.ScheduleCrossAt(0, 1.5, [&] { fired_at[0] = sim.shard(0)->Now(); });
+    sim.ScheduleCrossAt(1, 1.25, [&] { fired_at[1] = sim.shard(1)->Now(); });
+  });
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_DOUBLE_EQ(fired_at[0], 1.5);
+  EXPECT_DOUBLE_EQ(fired_at[1], 1.25);
+}
+
+TEST(ShardedSimulatorTest, AggregateBudgetReturnsResourceExhausted) {
+  ShardedSimulator sim(2, 1.0);
+  sim.set_max_events(100);
+  // A self-perpetuating local loop on each shard: never drains on its own.
+  std::function<void(int)> loop = [&](int s) {
+    sim.shard(s)->Schedule(0.1, [&loop, s] { loop(s); });
+  };
+  sim.shard(0)->ScheduleAt(0.0, [&loop] { loop(0); });
+  sim.shard(1)->ScheduleAt(0.0, [&loop] { loop(1); });
+  const Status status = sim.Run();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << status.ToString();
+  EXPECT_GE(sim.events_executed(), 100u);
+}
+
+TEST(ShardedSimulatorTest, RunUntilLeavesLaterEventsQueued) {
+  ShardedSimulator sim(2, 1.0);
+  int fired = 0;
+  sim.shard(0)->ScheduleAt(1.0, [&] { ++fired; });
+  sim.shard(1)->ScheduleAt(5.0, [&] { ++fired; });
+  ASSERT_TRUE(sim.Run(3.0).ok());
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(ShardedSimulatorTest, EventAtExactUntilTimeStillRuns) {
+  // Simulator::Run(until) is inclusive of events at exactly `until`; the
+  // sharded driver must match.
+  ShardedSimulator sim(2, 1.0);
+  int fired = 0;
+  sim.shard(1)->ScheduleAt(3.0, [&] { ++fired; });
+  ASSERT_TRUE(sim.Run(3.0).ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ShardedTraceRecorderTest, MergeIsDeterministicAcrossRuns) {
+  // Same workload, two runs: the merged (time, shard, seq) trace must be
+  // byte-identical regardless of thread scheduling.
+  const auto run_once = [](std::string* trace, uint64_t* hash,
+                           uint64_t* events) {
+    ShardedSimulator sim(4, 0.5);
+    chaos::ShardedEventTraceRecorder recorder(/*keep_full=*/true);
+    recorder.Attach(&sim);
+    std::function<void(int, int)> chain = [&](int s, int remaining) {
+      if (remaining == 0) return;
+      for (int dst = 0; dst < 4; ++dst) {
+        if (dst == s) continue;
+        sim.ScheduleCrossAt(dst, sim.shard(s)->Now() + 0.5,
+                            [&chain, dst, remaining] {
+                              chain(dst, remaining - 1);
+                            });
+      }
+    };
+    for (int s = 0; s < 4; ++s) {
+      sim.shard(s)->ScheduleAt(0.125 * (s + 1), [&chain, s] { chain(s, 3); });
+    }
+    ASSERT_TRUE(sim.Run().ok());
+    chaos::ShardedEventTraceRecorder::Detach(&sim);
+    recorder.Finalize();
+    *trace = recorder.trace();
+    *hash = recorder.hash();
+    *events = recorder.events();
+  };
+  std::string t1, t2;
+  uint64_t h1 = 0, h2 = 0, e1 = 0, e2 = 0;
+  run_once(&t1, &h1, &e1);
+  run_once(&t2, &h2, &e2);
+  EXPECT_GT(e1, 0u);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(ShardedSetupTest, ZeroLatencyLinksAreRejected) {
+  GridOptions options;
+  options.shards = 2;
+  options.link.latency_ms = 0.0;  // no conservative window possible
+  GridSetup grid(options);
+  const Status status = grid.Initialize();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+      << status.ToString();
+}
+
+TEST(ShardedSetupTest, StandbyIsRejected) {
+  GridOptions options;
+  options.shards = 2;
+  options.standby_enabled = true;
+  GridSetup grid(options);
+  const Status status = grid.Initialize();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+      << status.ToString();
+}
+
+TEST(ShardedSetupTest, LookaheadOverrideBeatsLinkLatency) {
+  GridOptions options;
+  options.shards = 2;
+  options.link.latency_ms = 0.0;
+  options.lookahead_override_ms = 0.25;
+  GridSetup grid(options);
+  ASSERT_TRUE(grid.Initialize().ok());
+  ASSERT_NE(grid.sharded_simulator(), nullptr);
+  EXPECT_DOUBLE_EQ(grid.sharded_simulator()->lookahead_ms(), 0.25);
+}
+
+}  // namespace
+}  // namespace gqp
