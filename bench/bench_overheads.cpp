@@ -148,6 +148,39 @@ int main() {
   std::printf("%-16s exact match with baseline (%.3f ms)\n", "standby-off",
               standby_off_result.response_ms);
 
+  // Admission-control tax (D16): the controller in the submission path of
+  // a single uncontended query — one queue push/pop and the tenant
+  // bookkeeping, no rejections possible. Same few-percent budget; and
+  // with the knob off the submission path must be byte-identical to the
+  // baseline, so the response time must match EXACTLY.
+  std::printf("\n-- admission-control overhead (no contention) --\n");
+  ExperimentParams admission = baseline;
+  admission.name = "overheads-admission";
+  admission.admission_control = true;
+  const ExperimentResult admission_result = MustRun(admission);
+  const double admission_overhead =
+      Normalized(admission_result, base_result) - 1.0;
+  constexpr double kAdmissionOverheadBudget = 0.05;
+  std::printf("%-16s %-11.1f%% (budget %.0f%%)\n", "admission(Q1)",
+              admission_overhead * 100.0, kAdmissionOverheadBudget * 100.0);
+  metrics.Set("admission_overhead_pct", admission_overhead * 100.0);
+  if (admission_overhead > kAdmissionOverheadBudget) {
+    std::printf("FAIL: admission-control overhead exceeds the budget\n");
+    return 1;
+  }
+  ExperimentParams admission_off = baseline;
+  admission_off.name = "overheads-admission-off";
+  admission_off.admission_control = false;
+  const ExperimentResult admission_off_result = MustRun(admission_off);
+  if (admission_off_result.response_ms != base_result.response_ms) {
+    std::printf("FAIL: admission=off changed the response time (%.6f vs "
+                "%.6f ms) — disabled admission control must be free\n",
+                admission_off_result.response_ms, base_result.response_ms);
+    return 1;
+  }
+  std::printf("%-16s exact match with baseline (%.3f ms)\n",
+              "admission-off", admission_off_result.response_ms);
+
   std::printf("\n-- message volume under a 10x perturbation --\n");
   std::printf("%-14s %-10s %-10s %-12s %-12s %-10s\n", "m1-frequency",
               "raw M1", "raw M2", "MED digests", "proposals", "rebalances");

@@ -33,7 +33,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --seed=N "
       "[--lossy|--slow-consumer|--memory-squeeze|--multi-query|"
-      "--coordinator-kill] [--trace]\n"
+      "--coordinator-kill|--tenant-storm] [--trace]\n"
       "  --seed=N          scenario seed to replay (required)\n"
       "  --lossy           lossy-network profile (loss, partitions, "
       "stalls)\n"
@@ -44,6 +44,8 @@ void Usage(const char* argv0) {
       "queries\n"
       "  --coordinator-kill  crash the primary coordinator; a standby "
       "GDQS takes over (D14)\n"
+      "  --tenant-storm    open-loop multi-tenant overload under GDQS "
+      "admission control (D16)\n"
       "  --no-flow-control force flow control off (A/B against a flow-"
       "control profile)\n"
       "  --vectorized      batch-at-a-time operator execution (D13)\n"
@@ -88,6 +90,8 @@ int main(int argc, char** argv) {
       profile = gqp::chaos::ChaosProfile::kMultiQuery;
     } else if (std::strcmp(arg, "--coordinator-kill") == 0) {
       profile = gqp::chaos::ChaosProfile::kCoordinatorKill;
+    } else if (std::strcmp(arg, "--tenant-storm") == 0) {
+      profile = gqp::chaos::ChaosProfile::kTenantStorm;
     } else if (std::strcmp(arg, "--no-flow-control") == 0) {
       no_flow_control = true;
     } else if (std::strcmp(arg, "--vectorized") == 0) {
@@ -217,11 +221,26 @@ int main(int argc, char** argv) {
       std::printf(
           "query q%d (%s): %s rows=%zu response=%.3f ms "
           "queued_bytes_peak=%llu rounds_applied=%llu\n",
-          q.query_id, q.kind == gqp::QueryKind::kQ1 ? "Q1" : "Q2",
+          q.query_id, gqp::QueryKindName(q.kind).c_str(),
           q.completed ? "completed" : "INCOMPLETE", q.rows, q.response_ms,
           static_cast<unsigned long long>(q.queued_bytes_peak),
           static_cast<unsigned long long>(q.rounds_applied));
     }
+  }
+  if (scenario.tenant_storm) {
+    std::fputs(first.workload.Render().c_str(), stdout);
+    std::printf(
+        "admission: submitted=%llu admitted=%llu queue_full=%llu "
+        "shed_queued=%llu shed_running=%llu pressure=%llu rounds=%llu "
+        "queue_peak=%zu\n",
+        static_cast<unsigned long long>(first.admission.submitted),
+        static_cast<unsigned long long>(first.admission.admitted),
+        static_cast<unsigned long long>(first.admission.rejected_queue_full),
+        static_cast<unsigned long long>(first.admission.shed_queued),
+        static_cast<unsigned long long>(first.admission.shed_running),
+        static_cast<unsigned long long>(first.admission.pressure_events),
+        static_cast<unsigned long long>(first.admission.shed_rounds),
+        first.admission.queue_peak);
   }
 
   bool ok = first.ok();
@@ -247,6 +266,12 @@ int main(int argc, char** argv) {
     std::printf(
         "VIOLATION [determinism] identical traces but different result "
         "rows — repro: %s\n",
+        gqp::chaos::ReproCommand(seed, profile, vectorized).c_str());
+  } else if (first.workload.Render() != second.workload.Render()) {
+    ok = false;
+    std::printf(
+        "VIOLATION [determinism] identical traces but different workload "
+        "reports — repro: %s\n",
         gqp::chaos::ReproCommand(seed, profile, vectorized).c_str());
   }
 

@@ -44,6 +44,18 @@ std::multiset<std::string> OracleRows(QueryKind query, const Table& sequences,
     }
     return oracle;
   }
+  if (query == QueryKind::kScanAgg) {
+    // SA: select i.orf1, count(*) from interactions i group by i.orf1.
+    const SchemaPtr schema = MakeSchema(
+        {{"orf1", DataType::kString}, {"count", DataType::kInt64}});
+    std::map<std::string, int64_t> counts;
+    for (const Tuple& row : interactions.rows()) ++counts[row[0].AsString()];
+    for (const auto& [orf, count] : counts) {
+      oracle.insert(
+          Tuple(schema, {Value(orf), Value(count)}).ToString());
+    }
+    return oracle;
+  }
   // Q2: select i.orf2 from sequences p, interactions i where i.orf1 = p.orf.
   std::multiset<std::string> orfs;
   for (const Tuple& row : sequences.rows()) orfs.insert(row[0].AsString());
@@ -56,9 +68,65 @@ std::multiset<std::string> OracleRows(QueryKind query, const Table& sequences,
   return oracle;
 }
 
+void CheckAggregateResults(const Table& interactions,
+                           const std::vector<Tuple>& actual,
+                           bool failures_injected, uint64_t resent_tuples,
+                           std::vector<std::string>* violations) {
+  std::map<std::string, int64_t> want;
+  for (const Tuple& row : interactions.rows()) ++want[row[0].AsString()];
+  std::map<std::string, int64_t> got;
+  for (const Tuple& row : actual) got[row[0].AsString()] += row[1].AsInt64();
+
+  std::vector<std::string> missing, unexpected;
+  for (const auto& [orf, count] : want) {
+    if (got.find(orf) == got.end()) missing.push_back(orf);
+  }
+  for (const auto& [orf, count] : got) {
+    if (want.find(orf) == want.end()) unexpected.push_back(orf);
+  }
+  if (!missing.empty() || !unexpected.empty()) {
+    violations->push_back(StrCat(
+        "[results] aggregate group set diverged: missing=", Preview(missing),
+        " unexpected=", Preview(unexpected)));
+    return;
+  }
+  if (!failures_injected && resent_tuples == 0) {
+    // Exact run: every count must match the oracle precisely.
+    for (const auto& [orf, count] : want) {
+      if (got[orf] != count) {
+        violations->push_back(StrCat("[results] aggregate count for group '",
+                                     orf, "' is ", got[orf], ", oracle says ",
+                                     count, " (no replays to excuse it)"));
+        return;
+      }
+    }
+    return;
+  }
+  // At-least-once run: replayed inputs can only INFLATE counts, and the
+  // total inflation across groups is bounded by the replay count.
+  int64_t inflation = 0;
+  for (const auto& [orf, count] : want) {
+    if (got[orf] < count) {
+      violations->push_back(
+          StrCat("[results] aggregate count for group '", orf, "' is ",
+                 got[orf], ", below the oracle's ", count,
+                 " (at-least-once must never lose inputs)"));
+      return;
+    }
+    inflation += got[orf] - count;
+  }
+  if (inflation > static_cast<int64_t>(resent_tuples)) {
+    violations->push_back(
+        StrCat("[results] aggregate counts inflated by ", inflation,
+               " but only ", resent_tuples, " tuples were replayed"));
+  }
+}
+
 size_t MaxOutputFanout(QueryKind query, const Table& sequences,
                        const Table& interactions) {
-  if (query == QueryKind::kQ1) return 1;
+  // Q1 maps one input to one output; a replayed aggregate input touches
+  // exactly one group row.
+  if (query == QueryKind::kQ1 || query == QueryKind::kScanAgg) return 1;
   // A replayed probe (interaction) tuple re-emits one row per build tuple
   // sharing its key; a replayed build (sequence) tuple can at worst
   // re-enable every interaction row of its orf.

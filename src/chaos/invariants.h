@@ -55,6 +55,16 @@ void CheckResults(const std::multiset<std::string>& oracle,
                   uint64_t resent_tuples, size_t max_fanout,
                   std::vector<std::string>* violations);
 
+/// Invariant (a) for the scan-aggregate query (kScanAgg), whose outputs
+/// are group rows rather than per-input rows. The group SET must always
+/// equal the oracle's; with no failures/replays every count matches
+/// exactly, and under at-least-once recovery counts may only inflate, by
+/// at most `resent_tuples` in total.
+void CheckAggregateResults(const Table& interactions,
+                           const std::vector<Tuple>& actual,
+                           bool failures_injected, uint64_t resent_tuples,
+                           std::vector<std::string>* violations);
+
 /// Invariant (b), checked over every fragment instance of `query_id` in
 /// the grid after the simulation drained. `reported_failures` are the
 /// hosts whose failure the coordinator acted on

@@ -70,6 +70,226 @@ std::string DumpExecutors(GridSetup* grid, int query_id) {
   return out;
 }
 
+/// Multi-tenant storm (D16): the open-loop workload driver replaces the
+/// single base query; the per-query invariant is the terminal trichotomy
+/// plus per-completed-query result correctness, and the admission
+/// controller's caps are checked against its own counters.
+ChaosRunResult RunTenantStorm(const ChaosScenario& scenario,
+                              const ChaosRunOptions& options) {
+  ChaosRunResult result;
+  const std::string repro =
+      ReproCommand(scenario.seed, scenario.profile, scenario.vectorized);
+  if (options.shards > 1) {
+    result.status = Status::InvalidArgument(
+        "tenant-storm scenarios run on the sequential kernel only");
+    return result;
+  }
+
+  GridOptions grid_options;
+  grid_options.num_evaluators = scenario.num_evaluators;
+  grid_options.evaluator_capacities = scenario.capacities;
+  grid_options.link = scenario.initial_link;
+  grid_options.adaptive = true;
+  grid_options.med.window = scenario.med_window;
+  grid_options.med.thres_m = scenario.thres_m;
+  grid_options.detect.enabled = true;
+  grid_options.detect.heartbeat_interval_ms = scenario.heartbeat_interval_ms;
+  grid_options.reliable.enabled = true;
+  grid_options.admission.enabled = true;
+  grid_options.admission.max_concurrent_queries = scenario.storm_max_concurrent;
+  grid_options.admission.queue_capacity =
+      static_cast<size_t>(scenario.storm_queue_capacity);
+  grid_options.admission.per_tenant_inflight_cap = scenario.storm_per_tenant_cap;
+  // Each admitted query's share of the global pool lands near the
+  // scenario's per-query budget.
+  grid_options.admission.global_memory_budget_bytes =
+      static_cast<uint64_t>(scenario.memory_budget_bytes) *
+      static_cast<uint64_t>(scenario.storm_max_concurrent);
+  grid_options.admission.shed_enabled = true;
+
+  GridSetup grid(grid_options);
+  result.status = grid.Initialize();
+  if (!result.status.ok()) return result;
+
+  EventTraceRecorder recorder(options.keep_trace);
+  recorder.Attach(grid.simulator());
+  grid.simulator()->set_max_events(options.max_events);
+
+  ProteinSequencesSpec seq_spec;
+  seq_spec.num_rows = scenario.sequences;
+  seq_spec.sequence_length = scenario.sequence_length;
+  seq_spec.seed = scenario.seed;
+  const TablePtr sequences = GenerateProteinSequences(seq_spec);
+  ProteinInteractionsSpec inter_spec;
+  inter_spec.num_rows = scenario.interactions;
+  inter_spec.num_orfs = scenario.sequences;
+  inter_spec.seed = scenario.seed + 1000003;
+  const TablePtr interactions = GenerateProteinInteractions(inter_spec);
+  result.status = grid.AddTable(sequences);
+  if (!result.status.ok()) return result;
+  result.status = grid.AddTable(interactions);
+  if (!result.status.ok()) return result;
+  result.status = grid.AddWebService("EntropyAnalyser", DataType::kDouble,
+                                     scenario.ws_cost_ms);
+  if (!result.status.ok()) return result;
+
+  for (const FailureEvent& ev : scenario.failures) {
+    grid.simulator()->Schedule(
+        ev.at_ms, [&grid, &ev] { (void)grid.FailEvaluator(ev.evaluator); });
+  }
+
+  DriverConfig driver_config;
+  driver_config.seed = scenario.seed ^ 0x7E4A47ULL;
+  driver_config.horizon_ms = scenario.storm_horizon_ms;
+  driver_config.deadline_ms = scenario.deadline_ms;
+  driver_config.max_queries = 300;
+  for (int i = 0; i < scenario.storm_tenants; ++i) {
+    TenantSpec tenant;
+    tenant.name = StrCat("t", i);
+    tenant.arrival_rate_qps = scenario.storm_rate_qps;
+    if (i == 0) {
+      // The heaviest tenant: periodic bursts on top of the base rate —
+      // the shedding target when sustained queue pressure hits.
+      tenant.burst_period_ms = scenario.storm_horizon_ms / 3.0;
+      tenant.burst_duty = 0.4;
+      tenant.burst_multiplier = scenario.storm_burst_multiplier;
+    }
+    tenant.weight_q1 = 1.0;
+    tenant.weight_q2 = 0.5;
+    tenant.weight_scan_agg = 0.5;
+    driver_config.tenants.push_back(std::move(tenant));
+  }
+  QueryOptions base;
+  base.adaptivity.enabled = true;
+  base.adaptivity.assessment = scenario.assessment;
+  base.adaptivity.response = ResponseType::kRetrospective;
+  base.adaptivity.thres_a = scenario.thres_a;
+  base.adaptivity.thres_m = scenario.thres_m;
+  base.adaptivity.window = scenario.med_window;
+  base.exec.m1_frequency = scenario.m1_frequency;
+  base.exec.checkpoint_interval = scenario.checkpoint_interval;
+  base.exec.buffer_tuples = scenario.buffer_tuples;
+  base.exec.monitoring_enabled = true;
+  base.exec.recovery_log_enabled = true;
+  base.exec.flow_control_enabled = scenario.flow_control;
+  base.exec.memory_budget_bytes = scenario.memory_budget_bytes;
+  base.scheduler.num_evaluators = scenario.num_evaluators;
+  driver_config.base_options = base;
+
+  WorkloadDriver driver(driver_config);
+  driver.ScheduleArrivals(&grid);
+
+  const Status run_status = grid.simulator()->Run();
+  EventTraceRecorder::Detach(grid.simulator());
+  result.trace_hash = recorder.hash();
+  result.trace_events = recorder.events();
+  if (options.keep_trace) result.trace = recorder.trace();
+  result.final_time_ms = grid.simulator()->Now();
+
+  result.net = grid.network()->stats();
+  if (grid.bus()->reliable() != nullptr) {
+    result.transport = grid.bus()->reliable()->stats();
+  }
+  if (grid.monitor() != nullptr) {
+    result.detect = grid.monitor()->stats();
+    for (int i = 0; i < scenario.num_evaluators; ++i) {
+      if (const Heartbeater* hb = grid.heartbeater(i)) {
+        result.heartbeats_sent += hb->beats_sent();
+        result.heartbeats_suppressed += hb->beats_suppressed();
+      }
+    }
+  }
+  if (const AdmissionController* admission = grid.gdqs()->admission()) {
+    result.admission = admission->stats();
+  }
+
+  if (!run_status.ok()) {
+    result.violations.push_back(
+        StrCat("[termination] simulator did not drain: ",
+               run_status.ToString(), " — repro: ", repro));
+    return result;
+  }
+
+  result.workload = driver.Collect(&grid);
+  result.completed = result.workload.trichotomy_ok;
+
+  std::vector<std::string> violations;
+  for (const DriverQueryRecord& record : result.workload.queries) {
+    if (record.outcome == gqp::QueryOutcome::kUnresolved) {
+      violations.push_back(StrCat(
+          "[trichotomy] query ", record.query_id, " (tenant t",
+          record.tenant, ", ", QueryKindName(record.kind), ", submitted t",
+          record.submit_ms, ") drained without a terminal state: ",
+          record.detail));
+    }
+  }
+
+  // Per-completed-query correctness, under at-least-once bounds (one
+  // evaluator crash is always injected mid-storm).
+  const std::set<HostId> reported_failures = grid.gdqs()->reported_failures();
+  for (const DriverQueryRecord& record : result.workload.queries) {
+    if (record.outcome != gqp::QueryOutcome::kComplete) continue;
+    Result<QueryResult> rows = grid.gdqs()->GetResult(record.query_id);
+    if (!rows.ok()) {
+      violations.push_back(StrCat("[results] completed query ",
+                                  record.query_id, " has no result: ",
+                                  rows.status().ToString()));
+      continue;
+    }
+    Result<QueryStatsSnapshot> stats =
+        grid.gdqs()->CollectStats(record.query_id);
+    const uint64_t resent = stats.ok() ? stats->resent_tuples : 0;
+    const size_t before = violations.size();
+    if (record.kind == QueryKind::kScanAgg) {
+      CheckAggregateResults(*interactions, rows->rows,
+                            /*failures_injected=*/true, resent, &violations);
+    } else {
+      CheckResults(OracleRows(record.kind, *sequences, *interactions),
+                   rows->rows, /*failures_injected=*/true, resent,
+                   MaxOutputFanout(record.kind, *sequences, *interactions),
+                   &violations);
+    }
+    CheckConservation(&grid, record.query_id, reported_failures, &violations);
+    for (size_t v = before; v < violations.size(); ++v) {
+      violations[v] += StrCat(" [q", record.query_id, "]");
+    }
+    result.per_query.push_back(QueryOutcome{
+        record.query_id, record.kind, true, rows->rows.size(),
+        record.latency_ms, stats.ok() ? stats->queued_bytes_peak : 0,
+        stats.ok() ? stats->rounds_applied : 0});
+  }
+
+  // Admission accounting: the bounded queue must actually have been
+  // bounded, every rejection the clients saw must match the controller's
+  // own ledger, and nothing may be left admitted or queued after drain.
+  if (result.admission.queue_peak >
+      static_cast<size_t>(scenario.storm_queue_capacity)) {
+    violations.push_back(StrCat(
+        "[admission] queue peak ", result.admission.queue_peak,
+        " exceeded the configured capacity ", scenario.storm_queue_capacity));
+  }
+  if (result.admission.rejected_queue_full + result.admission.shed_queued !=
+      result.workload.rejected) {
+    violations.push_back(StrCat(
+        "[admission] controller counted ",
+        result.admission.rejected_queue_full, " queue-full + ",
+        result.admission.shed_queued, " shed rejections but clients saw ",
+        result.workload.rejected));
+  }
+  if (const AdmissionController* admission = grid.gdqs()->admission()) {
+    if (admission->live() != 0 || admission->queue_depth() != 0) {
+      violations.push_back(StrCat(
+          "[admission] drained simulation left live=", admission->live(),
+          " queued=", admission->queue_depth()));
+    }
+  }
+
+  for (std::string& v : violations) {
+    result.violations.push_back(StrCat(v, " — repro: ", repro));
+  }
+  return result;
+}
+
 }  // namespace
 
 std::string ChaosRunResult::Report() const {
@@ -81,6 +301,7 @@ std::string ChaosRunResult::Report() const {
 
 ChaosRunResult RunScenario(const ChaosScenario& scenario,
                            const ChaosRunOptions& options) {
+  if (scenario.tenant_storm) return RunTenantStorm(scenario, options);
   ChaosRunResult result;
   const std::string repro =
       ReproCommand(scenario.seed, scenario.profile, scenario.vectorized);

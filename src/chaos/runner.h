@@ -14,9 +14,11 @@
 
 #include "chaos/scenario.h"
 #include "detect/heartbeat.h"
+#include "dqp/admission.h"
 #include "dqp/gdqs.h"
 #include "dqp/standby.h"
 #include "rpc/reliable.h"
+#include "workload/driver.h"
 
 namespace gqp {
 namespace chaos {
@@ -91,6 +93,13 @@ struct ChaosRunResult {
   uint64_t stale_epoch_dropped = 0;
   /// GQES endpoints that advanced to the takeover epoch.
   uint64_t epoch_updates = 0;
+
+  /// Multi-tenant storm (D16): the open-loop workload's full report and
+  /// the admission controller's counters. Only populated when the
+  /// scenario set tenant_storm; `workload.queries` then replaces the
+  /// single-base-query fields above (result_rows stays empty).
+  DriverReport workload;
+  AdmissionStats admission;
 
   uint64_t trace_hash = 0;
   uint64_t trace_events = 0;

@@ -63,7 +63,7 @@ std::string ChaosScenario::Describe() const {
     caps += StrCat(capacities[i]);
   }
   std::string out = StrCat(
-      "seed=", seed, " query=", query == QueryKind::kQ1 ? "Q1" : "Q2",
+      "seed=", seed, " query=", QueryKindName(query),
       " rows=", sequences, "/", interactions, " evals=", num_evaluators,
       " caps=[", caps, "] link=", initial_link.latency_ms, "ms/",
       initial_link.bandwidth_bytes_per_ms, " assess=",
@@ -133,9 +133,18 @@ std::string ChaosScenario::Describe() const {
     for (size_t i = 0; i < extra_queries.size(); ++i) {
       if (i > 0) out += " ";
       out += StrCat("t", extra_queries[i].submit_at_ms, ":",
-                    extra_queries[i].kind == QueryKind::kQ1 ? "Q1" : "Q2");
+                    QueryKindName(extra_queries[i].kind));
     }
     out += "]";
+  }
+  if (tenant_storm) {
+    out += StrCat(" storm=[tenants=", storm_tenants, " rate=", storm_rate_qps,
+                  "qps burst=", storm_burst_multiplier,
+                  "x horizon=", storm_horizon_ms,
+                  "ms queue=", storm_queue_capacity,
+                  " conc=", storm_max_concurrent,
+                  " pertenant=", storm_per_tenant_cap,
+                  " deadline=", deadline_ms, "]");
   }
   return out;
 }
@@ -326,6 +335,21 @@ ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
   const double coord_deadline_ms = rng.NextDouble(30000.0, 60000.0);
   const int coord_extra_queries = static_cast<int>(rng.NextInt(0, 2));
 
+  // Multi-tenant storm extensions (D16). Same unconditional-tail-draw
+  // rule, appended after every earlier draw so all legacy profiles keep
+  // their scenarios (and recorded golden traces) bit-identical.
+  const int storm_tenants = static_cast<int>(rng.NextInt(2, 4));
+  const double storm_rate_qps = rng.NextDouble(10.0, 25.0);
+  const double storm_burst_multiplier = rng.NextDouble(2.0, 4.0);
+  const double storm_horizon_ms = rng.NextDouble(400.0, 800.0);
+  const double storm_deadline_ms = rng.NextDouble(4000.0, 8000.0);
+  const int storm_queue_capacity = static_cast<int>(rng.NextInt(4, 10));
+  const int storm_max_concurrent = static_cast<int>(rng.NextInt(2, 4));
+  const int storm_per_tenant_cap = static_cast<int>(rng.NextInt(1, 2));
+  const int storm_victim = static_cast<int>(
+      rng.NextBelow(static_cast<uint64_t>(s.num_evaluators)));
+  const double storm_kill_at_ms = rng.NextDouble(80.0, 300.0);
+
   if (profile == ChaosProfile::kSlowConsumer) {
     // A single sustained node-wide CPU sag on one evaluator and nothing
     // else: no kills, no partitions, no stalls. The interesting dynamics
@@ -371,6 +395,35 @@ ChaosScenario GenerateScenario(uint64_t seed, ChaosProfile profile) {
       extra_queries.resize(static_cast<size_t>(coord_extra_queries));
     }
     s.extra_queries = std::move(extra_queries);
+  } else if (profile == ChaosProfile::kTenantStorm) {
+    // Open-loop multi-tenant overload (D16): K tenants press a bounded
+    // admission queue at burst rates while one evaluator crashes and the
+    // detector recovers mid-storm. Small fixed datasets keep the per-seed
+    // cost linear in the arrival count; seed diversity comes from the
+    // rates, caps and kill schedule. Retrospective response throughout:
+    // the mix includes stateful partitioned operators (join, aggregate).
+    s.tenant_storm = true;
+    s.storm_tenants = storm_tenants;
+    s.storm_rate_qps = storm_rate_qps;
+    s.storm_burst_multiplier = storm_burst_multiplier;
+    s.storm_horizon_ms = storm_horizon_ms;
+    s.storm_queue_capacity = storm_queue_capacity;
+    s.storm_max_concurrent = storm_max_concurrent;
+    s.storm_per_tenant_cap = storm_per_tenant_cap;
+    s.deadline_ms = storm_deadline_ms;
+    s.sequences = 80;
+    s.interactions = 120;
+    s.sequence_length = 16;
+    s.response = ResponseType::kRetrospective;
+    s.perturbations.clear();
+    s.link_shifts.clear();
+    s.failures.clear();
+    FailureEvent kill;
+    kill.evaluator = storm_victim;
+    kill.at_ms = storm_kill_at_ms;
+    s.failures.push_back(kill);
+    s.flow_control = true;
+    s.memory_budget_bytes = mq_budget_bytes;
   }
 
   if (profile == ChaosProfile::kLossy) {
@@ -442,6 +495,9 @@ std::string ReproCommand(uint64_t seed, ChaosProfile profile,
       break;
     case ChaosProfile::kCoordinatorKill:
       flag = " --coordinator-kill";
+      break;
+    case ChaosProfile::kTenantStorm:
+      flag = " --tenant-storm";
       break;
   }
   return StrCat("chaos_repro --seed=", seed, flag,

@@ -95,6 +95,11 @@ struct LinkShiftEvent {
 /// every evaluator kill and instead crashes the PRIMARY COORDINATOR at a
 /// random time, with a standby GDQS mirroring it and taking over (D14) —
 /// the results must match a kill-free reference run byte-for-byte.
+/// kTenantStorm replaces the single base query with an open-loop
+/// multi-tenant workload pressing a bounded GDQS admission queue at burst
+/// rates while one evaluator crashes and recovers mid-storm (D16); the
+/// per-query invariant is the terminal trichotomy — every submitted query
+/// reaches exactly one of {Complete, Aborted, Rejected}.
 enum class ChaosProfile {
   kStandard,
   kLossy,
@@ -102,6 +107,7 @@ enum class ChaosProfile {
   kMemorySqueeze,
   kMultiQuery,
   kCoordinatorKill,
+  kTenantStorm,
 };
 
 /// One additional query of a multi-query scenario, submitted while the
@@ -173,6 +179,23 @@ struct ChaosScenario {
   double coordinator_kill_at_ms = 0.0;
   /// Per-query deadline handed to the GDQS (0: no watchdog).
   double deadline_ms = 0.0;
+
+  // --- multi-tenant storm (D16) ------------------------------------------
+  /// Open-loop multi-tenant overload under GDQS admission control. Only
+  /// the kTenantStorm profile sets it; legacy profiles keep byte-identical
+  /// runs (the storm knobs below are dead weight for them).
+  bool tenant_storm = false;
+  int storm_tenants = 0;
+  /// Sustained per-tenant arrival rate; tenant 0 additionally bursts at
+  /// `storm_burst_multiplier` times that rate in periodic windows.
+  double storm_rate_qps = 0.0;
+  double storm_burst_multiplier = 1.0;
+  /// Arrivals are generated in [0, storm_horizon_ms).
+  double storm_horizon_ms = 0.0;
+  /// Bounded admission queue + concurrency caps (AdmissionConfig).
+  int storm_queue_capacity = 0;
+  int storm_max_concurrent = 0;
+  int storm_per_tenant_cap = 0;
 
   // --- injected chaos ---------------------------------------------------
   std::vector<PerturbationEvent> perturbations;

@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kRejected:
+      return "Rejected";
   }
   return "Unknown";
 }

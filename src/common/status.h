@@ -24,6 +24,9 @@ enum class StatusCode : int {
   kAborted = 8,
   kResourceExhausted = 9,
   kParseError = 10,
+  /// Admission control refused the query before execution began (D16):
+  /// unlike kAborted, no work was ever deployed.
+  kRejected = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("NotFound", ...).
@@ -70,6 +73,9 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -91,6 +97,7 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsRejected() const { return code_ == StatusCode::kRejected; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,146 @@
+#include "dqp/admission.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace gqp {
+
+std::string_view RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {}
+
+AdmissionOutcome AdmissionController::OnSubmit(const std::string& tenant,
+                                               int query_id,
+                                               RejectReason* reason) {
+  TenantAdmissionState& t = tenants_[tenant];
+  ++t.submitted;
+  ++stats_.submitted;
+  if (queue_.size() >= config_.queue_capacity) {
+    ++t.rejected;
+    ++stats_.rejected_queue_full;
+    if (reason != nullptr) *reason = RejectReason::kQueueFull;
+    return AdmissionOutcome::kRejected;
+  }
+  queue_.push_back(QueuedEntry{query_id, tenant});
+  ++t.queued;
+  stats_.queue_peak = std::max(stats_.queue_peak, queue_.size());
+  if (reason != nullptr) *reason = RejectReason::kNone;
+  return AdmissionOutcome::kQueued;
+}
+
+int AdmissionController::NextAdmittable() {
+  if (live_ >= config_.max_concurrent_queries) return -1;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    TenantAdmissionState& t = tenants_[it->tenant];
+    if (t.inflight >= config_.per_tenant_inflight_cap) continue;
+    const int id = it->query_id;
+    --t.queued;
+    ++t.inflight;
+    ++t.admitted;
+    ++live_;
+    ++stats_.admitted;
+    queue_.erase(it);
+    return id;
+  }
+  return -1;
+}
+
+uint64_t AdmissionController::BudgetShareBytes() const {
+  if (config_.global_memory_budget_bytes == 0) return 0;
+  const int live = live_ > 0 ? live_ : 1;
+  const uint64_t share =
+      config_.global_memory_budget_bytes / static_cast<uint64_t>(live);
+  return share > 0 ? share : 1;
+}
+
+void AdmissionController::OnQueryFinished(const std::string& tenant,
+                                          bool completed) {
+  TenantAdmissionState& t = tenants_[tenant];
+  if (t.inflight > 0) --t.inflight;
+  if (live_ > 0) --live_;
+  if (completed) ++t.completed;
+}
+
+bool AdmissionController::RemoveQueued(int query_id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->query_id != query_id) continue;
+    TenantAdmissionState& t = tenants_[it->tenant];
+    if (t.queued > 0) --t.queued;
+    queue_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool AdmissionController::OnPressureEvent(double now_ms) {
+  ++stats_.pressure_events;
+  if (!config_.shed_enabled) return false;
+  pressure_window_.push_back(now_ms);
+  while (!pressure_window_.empty() &&
+         pressure_window_.front() < now_ms - config_.shed_window_ms) {
+    pressure_window_.pop_front();
+  }
+  if (pressure_window_.size() <
+      static_cast<size_t>(config_.shed_pressure_events)) {
+    return false;
+  }
+  if (last_shed_ms_ >= 0.0 &&
+      now_ms - last_shed_ms_ < config_.shed_cooldown_ms) {
+    return false;
+  }
+  last_shed_ms_ = now_ms;
+  pressure_window_.clear();
+  ++stats_.shed_rounds;
+  return true;
+}
+
+std::string AdmissionController::HeaviestTenant() const {
+  std::string heaviest;
+  int best_inflight = -1;
+  size_t best_queued = 0;
+  for (const auto& [name, t] : tenants_) {
+    if (t.inflight == 0 && t.queued == 0) continue;
+    // Strict > keeps the first (lexicographically smallest) tenant among
+    // ties — the documented deterministic tie-break.
+    if (t.inflight > best_inflight ||
+        (t.inflight == best_inflight && t.queued > best_queued)) {
+      heaviest = name;
+      best_inflight = t.inflight;
+      best_queued = t.queued;
+    }
+  }
+  return heaviest;
+}
+
+int AdmissionController::PopNewestQueuedOf(const std::string& tenant) {
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (it->tenant != tenant) continue;
+    const int id = it->query_id;
+    TenantAdmissionState& t = tenants_[tenant];
+    if (t.queued > 0) --t.queued;
+    ++t.shed;
+    ++t.rejected;
+    ++stats_.shed_queued;
+    queue_.erase(std::next(it).base());
+    return id;
+  }
+  return -1;
+}
+
+void AdmissionController::NoteRunningShed(const std::string& tenant) {
+  ++tenants_[tenant].shed;
+  ++stats_.shed_running;
+}
+
+}  // namespace gqp

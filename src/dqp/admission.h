@@ -1,0 +1,177 @@
+// GDQS admission control (DESIGN.md §D16): the coordinator-side policy
+// that keeps the engine inside its resource envelope when offered load
+// exceeds capacity. The controller is pure bookkeeping — the GDQS owns it,
+// feeds it submissions / completions / pressure events, and performs the
+// resulting actions (launch, queue, reject, shed):
+//
+//   * a bounded FIFO admission queue in front of `max_concurrent_queries`
+//     execution slots, with a per-tenant in-flight cap so one tenant
+//     cannot monopolise the grid;
+//   * deterministic rejection (Rejected terminal status + reason code)
+//     once the queue is full;
+//   * a global memory budget partitioned evenly across live queries via
+//     the D11 `memory_budget_bytes` plumbing (each admission derives the
+//     current share; Deploy turns it into per-link credit windows);
+//   * pressure-driven shedding: sustained QueuePressure events within a
+//     window trigger one shed round against the heaviest tenant (most
+//     in-flight, then most queued, ties to the lexicographically smallest
+//     tenant id), dropping its newest queued entry first and terminating
+//     its youngest running query otherwise, then backing off for a
+//     cooldown.
+//
+// Determinism contract: std::map/std::deque only, no clock reads — the
+// GDQS passes virtual timestamps in. Every decision is a pure function of
+// the submission/pressure sequence, so same-seed runs replay identically.
+
+#ifndef GRIDQP_DQP_ADMISSION_H_
+#define GRIDQP_DQP_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace gqp {
+
+struct AdmissionConfig {
+  /// Master switch; when false the GDQS behaves exactly as before (no
+  /// controller state, no MED subscription, byte-identical traces).
+  bool enabled = false;
+  /// Execution slots: queries admitted (deployed) at once.
+  int max_concurrent_queries = 8;
+  /// Bounded FIFO queue in front of the slots; submissions beyond it are
+  /// rejected with RejectReason::kQueueFull.
+  size_t queue_capacity = 16;
+  /// Per-tenant ceiling on in-flight (admitted, unfinished) queries.
+  int per_tenant_inflight_cap = 4;
+  /// Global memory budget split evenly across live queries at admission
+  /// (0: queries keep whatever budget their options carry).
+  uint64_t global_memory_budget_bytes = 0;
+  /// Pressure-driven shedding (needs enabled=true to matter).
+  bool shed_enabled = true;
+  /// QueuePressure events within `shed_window_ms` that count as
+  /// "sustained" and trigger a shed round.
+  int shed_pressure_events = 8;
+  double shed_window_ms = 50.0;
+  /// Minimum spacing between shed rounds.
+  double shed_cooldown_ms = 200.0;
+};
+
+/// Why a submission was refused (carried in the Rejected status message
+/// and the mirror log, so the standby reports the same reason).
+enum class RejectReason {
+  kNone = 0,
+  /// The bounded admission queue was at capacity.
+  kQueueFull = 1,
+  /// Dropped from the queue by an overload shed round.
+  kShed = 2,
+};
+
+std::string_view RejectReasonName(RejectReason reason);
+
+/// What OnSubmit decided for a new query.
+enum class AdmissionOutcome { kQueued, kRejected };
+
+/// Per-tenant accounting (driver reports, shed selection, tests).
+struct TenantAdmissionState {
+  int inflight = 0;
+  size_t queued = 0;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  /// Shed while queued or running (subset of rejected/terminated).
+  uint64_t shed = 0;
+  uint64_t completed = 0;
+};
+
+struct AdmissionStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t shed_queued = 0;
+  uint64_t shed_running = 0;
+  uint64_t pressure_events = 0;
+  uint64_t shed_rounds = 0;
+  size_t queue_peak = 0;
+};
+
+/// \brief Admission-queue state machine of the GDQS.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Routes a new submission: enqueues it (FIFO) or rejects it when the
+  /// queue is full. The caller drains admittable entries afterwards.
+  AdmissionOutcome OnSubmit(const std::string& tenant, int query_id,
+                            RejectReason* reason);
+
+  /// Pops the first queue entry eligible to run — FIFO order, skipping
+  /// entries whose tenant is at its in-flight cap (so a flooding tenant
+  /// cannot head-of-line-block the others) — and accounts it as admitted.
+  /// Returns -1 when no entry is eligible (or all slots are busy).
+  int NextAdmittable();
+
+  /// The memory-budget share a query admitted right now receives:
+  /// global_memory_budget_bytes split over the current live count.
+  /// 0 when no global budget is configured.
+  uint64_t BudgetShareBytes() const;
+
+  /// An admitted query reached a terminal state (complete, terminated or
+  /// failed to launch); frees its slot and its tenant's in-flight unit.
+  void OnQueryFinished(const std::string& tenant, bool completed);
+
+  /// Removes a queued entry (queue-deadline expiry or takeover replay).
+  /// Returns true if the id was queued.
+  bool RemoveQueued(int query_id);
+
+  /// Feeds one QueuePressure event at virtual time `now_ms`. Returns true
+  /// when the event completes a sustained burst (>= shed_pressure_events
+  /// within shed_window_ms, cooldown respected): the caller runs one shed
+  /// round against HeaviestTenant().
+  bool OnPressureEvent(double now_ms);
+
+  /// The heaviest tenant among those with work in the system: most
+  /// in-flight, then most queued, ties to the lexicographically smallest
+  /// tenant id. Empty string when no tenant has work.
+  std::string HeaviestTenant() const;
+
+  /// Pops the NEWEST queued entry of `tenant` (queued work is shed before
+  /// running work — nothing started, nothing wasted). Returns the query
+  /// id, or -1 when the tenant has no queued entries.
+  int PopNewestQueuedOf(const std::string& tenant);
+
+  /// Accounts a shed of a RUNNING query of `tenant` (the GDQS terminates
+  /// it; OnQueryFinished still fires through the termination path).
+  void NoteRunningShed(const std::string& tenant);
+
+  int live() const { return live_; }
+  size_t queue_depth() const { return queue_.size(); }
+  const AdmissionStats& stats() const { return stats_; }
+  const std::map<std::string, TenantAdmissionState>& tenants() const {
+    return tenants_;
+  }
+
+ private:
+  struct QueuedEntry {
+    int query_id = 0;
+    std::string tenant;
+  };
+
+  AdmissionConfig config_;
+  std::deque<QueuedEntry> queue_;
+  std::map<std::string, TenantAdmissionState> tenants_;
+  /// Admitted queries not yet finished.
+  int live_ = 0;
+  AdmissionStats stats_;
+  /// Timestamps of recent pressure events (sliding shed window).
+  std::deque<double> pressure_window_;
+  double last_shed_ms_ = -1.0;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_DQP_ADMISSION_H_

@@ -8,6 +8,7 @@
 #include "detect/monitor.h"
 #include "dqp/dqp_messages.h"
 #include "dqp/failover_messages.h"
+#include "monitor/monitoring_events.h"
 #include "plan/binder.h"
 
 namespace gqp {
@@ -34,6 +35,25 @@ Gqes* Gdqs::GqesOnHost(HostId host) const {
 Result<int> Gdqs::SubmitQuery(
     const std::string& sql, const QueryOptions& options,
     std::function<void(const QueryResult&)> on_complete) {
+  // Satellite backstop: a runaway submission loop fails loudly instead of
+  // OOMing the simulation, admission control or not.
+  if (active_queries_ + pending_admissions_.size() >= max_active_queries_) {
+    return Status::ResourceExhausted(
+        StrCat("coordinator at capacity: ", max_active_queries_,
+               " simultaneously-registered queries (max_active_queries)"));
+  }
+  if (admission_ != nullptr) {
+    return SubmitWithAdmission(sql, options, std::move(on_complete));
+  }
+  return LaunchQuery(sql, options, std::move(on_complete), /*forced_id=*/-1,
+                     simulator()->Now(), options.deadline_ms,
+                     /*admission_managed=*/false);
+}
+
+Result<int> Gdqs::LaunchQuery(
+    const std::string& sql, const QueryOptions& options,
+    std::function<void(const QueryResult&)> on_complete, int forced_id,
+    SimTime submit_time, double watchdog_ms, bool admission_managed) {
   GQP_ASSIGN_OR_RETURN(LogicalNodePtr logical, PlanSql(sql, *catalog_));
   GQP_ASSIGN_OR_RETURN(PhysicalPlan physical,
                        CreatePhysicalPlan(logical, options.optimizer));
@@ -48,15 +68,23 @@ Result<int> Gdqs::SubmitQuery(
 
   SchedulerOptions sched = options.scheduler;
   if (sched.coordinator == kInvalidHost) sched.coordinator = host();
+  // Schedule around every host whose failure this coordinator has acted
+  // on: deploying there would wait on a dead host's ack until the
+  // deadline. Confirmed knowledge only — a merely-suspected host still
+  // gets work.
+  for (const HostId failed : reported_failures_) {
+    sched.exclude_hosts.insert(failed);
+  }
   GQP_ASSIGN_OR_RETURN(ScheduledPlan scheduled,
                        SchedulePlan(physical, *registry_, sched));
 
   QueryState state;
-  state.id = next_query_id_++;
+  state.id = forced_id >= 0 ? forced_id : next_query_id_++;
   state.scheduled = std::move(scheduled);
   state.options = options;
-  state.submit_time = simulator()->Now();
+  state.submit_time = submit_time;
   state.on_complete = std::move(on_complete);
+  state.admission_live = admission_managed;
   for (const FragmentDesc& f : state.scheduled.plan.fragments) {
     if (f.IsRoot()) state.root_fragment = f.id;
     if (f.partitioned && state.scheduled.NumInstances(f.id) > 1) {
@@ -104,6 +132,7 @@ Result<int> Gdqs::SubmitQuery(
     reg.scheduler = options.scheduler;
     reg.submit_time_ms = state.submit_time;
     reg.deadline_ms = options.deadline_ms;
+    reg.tenant = options.tenant;
     Mirror(std::move(reg));
     MirrorDetectorEpoch();
     MirrorEntry dep;
@@ -114,13 +143,233 @@ Result<int> Gdqs::SubmitQuery(
   }
 
   const int id = state.id;
+  state.active_counted = true;
+  ++active_queries_;
   auto [it, inserted] = queries_.emplace(id, std::move(state));
   (void)inserted;
-  if (options.deadline_ms > 0) {
-    it->second.deadline_event = simulator()->Schedule(
-        options.deadline_ms, [this, id] { OnDeadline(id); });
+  if (watchdog_ms > 0) {
+    it->second.deadline_event =
+        simulator()->Schedule(watchdog_ms, [this, id] { OnDeadline(id); });
   }
   return id;
+}
+
+void Gdqs::ConfigureAdmission(const AdmissionConfig& config) {
+  if (!config.enabled) return;
+  admission_ = std::make_unique<AdmissionController>(config);
+  // Pressure-driven shedding (D16): every node's MED forwards
+  // QueuePressurePayloads verbatim on the monitoring topic; the
+  // coordinator listens so sustained pressure anywhere in the grid can
+  // trigger a shed round. No subscription — no extra traffic — when
+  // shedding is off.
+  if (config.shed_enabled) {
+    for (Gqes* g : gqes_) {
+      const Status s =
+          Subscribe(Address{g->host(), "med"}, kTopicMonitoringAverages);
+      if (!s.ok()) {
+        GQP_LOG_WARN << "admission pressure subscription on host "
+                     << g->host() << " failed: " << s.ToString();
+      }
+    }
+  }
+}
+
+Result<int> Gdqs::SubmitWithAdmission(
+    const std::string& sql, const QueryOptions& options,
+    std::function<void(const QueryResult&)> on_complete) {
+  const SimTime now = simulator()->Now();
+  const int id = next_query_id_++;
+  RejectReason reason = RejectReason::kNone;
+  if (admission_->OnSubmit(options.tenant, id, &reason) ==
+      AdmissionOutcome::kRejected) {
+    RecordRejected(id, options.tenant, reason, now);
+    return id;
+  }
+  PendingSubmission pending;
+  pending.sql = sql;
+  pending.options = options;
+  pending.on_complete = std::move(on_complete);
+  pending.submit_time = now;
+  auto [it, inserted] = pending_admissions_.emplace(id, std::move(pending));
+  (void)inserted;
+  if (mirroring_) {
+    MirrorEntry entry;
+    entry.kind = MirrorEntryKind::kQueryQueued;
+    entry.query_id = id;
+    entry.sql = sql;
+    entry.adaptivity = options.adaptivity;
+    entry.exec = options.exec;
+    entry.optimizer = options.optimizer;
+    entry.scheduler = options.scheduler;
+    entry.submit_time_ms = now;
+    entry.deadline_ms = options.deadline_ms;
+    entry.tenant = options.tenant;
+    Mirror(std::move(entry));
+  }
+  if (options.deadline_ms > 0) {
+    it->second.queue_deadline_event = simulator()->Schedule(
+        options.deadline_ms, [this, id] { OnQueuedDeadline(id); });
+  }
+  DrainAdmissionQueue();
+  return id;
+}
+
+void Gdqs::DrainAdmissionQueue() {
+  if (admission_ == nullptr) return;
+  int id;
+  while ((id = admission_->NextAdmittable()) >= 0) {
+    auto it = pending_admissions_.find(id);
+    if (it == pending_admissions_.end()) {
+      // Queue/desk mismatch should be impossible; free the slot loudly.
+      GQP_LOG_ERROR << "admitted query " << id << " has no pending payload";
+      admission_->OnQueryFinished("", false);
+      continue;
+    }
+    PendingSubmission pending = std::move(it->second);
+    pending_admissions_.erase(it);
+    if (pending.queue_deadline_event != kInvalidEventId) {
+      simulator()->Cancel(pending.queue_deadline_event);
+      pending.queue_deadline_event = kInvalidEventId;
+    }
+    QueryOptions options = pending.options;
+    // Global memory budget partitioned over live queries (D11 plumbing):
+    // the share admitted now sticks for the query's lifetime; Deploy
+    // spreads it over the plan's exchange links as credit windows.
+    if (admission_->config().global_memory_budget_bytes > 0 &&
+        options.exec.flow_control_enabled) {
+      options.exec.memory_budget_bytes = admission_->BudgetShareBytes();
+      options.exec.credit_window_bytes = 0;  // Deploy re-derives per link
+    }
+    double watchdog_ms = 0.0;
+    if (options.deadline_ms > 0) {
+      watchdog_ms =
+          pending.submit_time + options.deadline_ms - simulator()->Now();
+      if (watchdog_ms <= 0) {
+        // The budget elapsed the instant a slot freed: terminate without
+        // deploying (the queue watchdog races this drain at equal time).
+        admission_->OnQueryFinished(options.tenant, false);
+        RecordQueuedTerminal(
+            id, pending,
+            Status::Aborted(StrCat(
+                "query ", id, " terminated: deadline of ",
+                options.deadline_ms, " ms exceeded while queued")));
+        continue;
+      }
+    }
+    Result<int> launched =
+        LaunchQuery(pending.sql, options, std::move(pending.on_complete),
+                    id, pending.submit_time, watchdog_ms,
+                    /*admission_managed=*/true);
+    if (!launched.ok()) {
+      admission_->OnQueryFinished(options.tenant, false);
+      RecordQueuedTerminal(
+          id, pending,
+          Status::Aborted(StrCat("query ", id, " failed at admission: ",
+                                 launched.status().message())));
+    }
+  }
+}
+
+void Gdqs::OnQueuedDeadline(int query_id) {
+  // A dead coordinator's timers fire as no-ops (D14).
+  if (node_->dead()) return;
+  auto it = pending_admissions_.find(query_id);
+  if (it == pending_admissions_.end()) return;
+  PendingSubmission pending = std::move(it->second);
+  pending_admissions_.erase(it);
+  admission_->RemoveQueued(query_id);
+  RecordQueuedTerminal(
+      query_id, pending,
+      Status::Aborted(StrCat("query ", query_id, " terminated: deadline of ",
+                             pending.options.deadline_ms,
+                             " ms exceeded while queued for admission")));
+}
+
+void Gdqs::RecordRejected(int query_id, const std::string& tenant,
+                          RejectReason reason, SimTime submit_time) {
+  AdmissionTerminal rec;
+  rec.tenant = tenant;
+  rec.submit_time = submit_time;
+  rec.decided_time = simulator()->Now();
+  rec.status = Status::Rejected(
+      StrCat("query ", query_id, " rejected by admission control (",
+             RejectReasonName(reason), ")"));
+  admission_terminal_.emplace(query_id, std::move(rec));
+  if (mirroring_) {
+    MirrorEntry entry;
+    entry.kind = MirrorEntryKind::kQueryRejected;
+    entry.query_id = query_id;
+    entry.tenant = tenant;
+    entry.reject_reason = static_cast<int>(reason);
+    entry.completion_time_ms = simulator()->Now();
+    Mirror(std::move(entry));
+  }
+}
+
+void Gdqs::RecordQueuedTerminal(int query_id,
+                                const PendingSubmission& pending,
+                                Status status) {
+  AdmissionTerminal rec;
+  rec.tenant = pending.options.tenant;
+  rec.submit_time = pending.submit_time;
+  rec.decided_time = simulator()->Now();
+  rec.status = std::move(status);
+  admission_terminal_.emplace(query_id, std::move(rec));
+  if (mirroring_) {
+    MirrorEntry entry;
+    entry.kind = MirrorEntryKind::kQueryTerminated;
+    entry.query_id = query_id;
+    entry.completion_time_ms = simulator()->Now();
+    Mirror(std::move(entry));
+  }
+}
+
+void Gdqs::FinishAdmission(QueryState* state, bool completed) {
+  if (!state->admission_live || admission_ == nullptr) return;
+  state->admission_live = false;
+  admission_->OnQueryFinished(state->options.tenant, completed);
+  DrainAdmissionQueue();
+}
+
+void Gdqs::ShedHeaviestTenant() {
+  if (admission_->live() == 0 && admission_->queue_depth() == 0) return;
+  const std::string tenant = admission_->HeaviestTenant();
+  // Queued work first: nothing started, nothing wasted.
+  const int queued = admission_->PopNewestQueuedOf(tenant);
+  if (queued >= 0) {
+    auto it = pending_admissions_.find(queued);
+    if (it != pending_admissions_.end()) {
+      if (it->second.queue_deadline_event != kInvalidEventId) {
+        simulator()->Cancel(it->second.queue_deadline_event);
+      }
+      const SimTime submit_time = it->second.submit_time;
+      pending_admissions_.erase(it);
+      RecordRejected(queued, tenant, RejectReason::kShed, submit_time);
+    }
+    return;
+  }
+  // No queued entries: terminate the tenant's youngest running query.
+  int victim = -1;
+  for (const auto& [id, state] : queries_) {
+    if (state.complete || state.terminated || !state.admission_live) continue;
+    if (state.options.tenant != tenant) continue;
+    victim = id;  // ascending map: the last match is the youngest
+  }
+  if (victim < 0) return;
+  admission_->NoteRunningShed(tenant);
+  const Status s = TerminateQuery(
+      victim, StrCat("shed under sustained queue pressure (heaviest tenant '",
+                     tenant, "')"));
+  if (!s.ok()) {
+    GQP_LOG_ERROR << "shed of query " << victim
+                  << " failed: " << s.ToString();
+  }
+}
+
+void Gdqs::MarkInactive(QueryState* state) {
+  if (!state->active_counted) return;
+  state->active_counted = false;
+  if (active_queries_ > 0) --active_queries_;
 }
 
 void Gdqs::SetFailureDetector(HeartbeatMonitor* monitor) {
@@ -337,6 +586,17 @@ void Gdqs::HandleMessage(const Message& msg) {
 
 void Gdqs::OnNotification(const Address& publisher, const std::string& topic,
                           const PayloadPtr& body) {
+  // Admission control (D16) listens to the MEDs' monitoring topic for
+  // forwarded QueuePressurePayloads: sustained pressure triggers one shed
+  // round against the heaviest tenant.
+  if (topic == kTopicMonitoringAverages) {
+    if (admission_ == nullptr || node_->dead()) return;
+    if (PayloadAs<QueuePressurePayload>(body) == nullptr) return;
+    if (admission_->OnPressureEvent(simulator()->Now())) {
+      ShedHeaviestTenant();
+    }
+    return;
+  }
   // Mirroring subscribes to each Responder's weights-applied topic so the
   // standby can resume adaptivity from the live W (the publisher is
   // "responder.q<id>"; the query id rides in its name).
@@ -407,6 +667,10 @@ void Gdqs::OnFragmentComplete(const FragmentCompletePayload& complete) {
     }
     Mirror(std::move(entry));
   }
+  if (first) {
+    MarkInactive(&state);
+    FinishAdmission(&state, /*completed=*/true);
+  }
   if (first && state.on_complete) state.on_complete(BuildResult(state));
 }
 
@@ -433,6 +697,12 @@ void Gdqs::CancelDeadlineWatchdogs() {
     if (state.deadline_event != kInvalidEventId) {
       simulator()->Cancel(state.deadline_event);
       state.deadline_event = kInvalidEventId;
+    }
+  }
+  for (auto& [id, pending] : pending_admissions_) {
+    if (pending.queue_deadline_event != kInvalidEventId) {
+      simulator()->Cancel(pending.queue_deadline_event);
+      pending.queue_deadline_event = kInvalidEventId;
     }
   }
 }
@@ -478,6 +748,8 @@ Status Gdqs::TerminateQuery(int query_id, const std::string& reason) {
     Mirror(std::move(entry));
   }
   GQP_LOG_WARN << "query " << query_id << " terminated: " << reason;
+  MarkInactive(&state);
+  FinishAdmission(&state, /*completed=*/false);
   return Status::OK();
 }
 
@@ -518,6 +790,23 @@ QueryResult Gdqs::BuildResult(const QueryState& state) const {
 }
 
 Result<QueryResult> Gdqs::GetResult(int query_id) const {
+  auto term = admission_terminal_.find(query_id);
+  if (term != admission_terminal_.end()) {
+    // Rejected / queue-terminated queries never produced rows; the result
+    // mirrors a terminated query's shape (complete=false).
+    QueryResult result;
+    result.query_id = query_id;
+    result.complete = false;
+    result.submit_time_ms = term->second.submit_time;
+    result.completion_time_ms = term->second.decided_time;
+    result.response_time_ms =
+        term->second.decided_time - term->second.submit_time;
+    return result;
+  }
+  if (pending_admissions_.count(query_id) > 0) {
+    return Status::FailedPrecondition(
+        StrCat("query ", query_id, " still queued for admission"));
+  }
   auto it = queries_.find(query_id);
   if (it == queries_.end()) {
     return Status::NotFound(StrCat("unknown query ", query_id));
@@ -538,6 +827,10 @@ Result<ScheduledPlan> Gdqs::GetPlan(int query_id) const {
 }
 
 Status Gdqs::ExecutionStatus(int query_id) const {
+  auto term = admission_terminal_.find(query_id);
+  if (term != admission_terminal_.end()) return term->second.status;
+  // Still queued: no terminal state yet, no execution error either.
+  if (pending_admissions_.count(query_id) > 0) return Status::OK();
   auto it = queries_.find(query_id);
   if (it == queries_.end()) {
     return Status::NotFound(StrCat("unknown query ", query_id));
@@ -722,6 +1015,8 @@ void Gdqs::ReleaseQuery(int query_id) {
       detector_->Deactivate();
       it->second.detector_active = false;
     }
+    MarkInactive(&it->second);
+    FinishAdmission(&it->second, it->second.complete);
   }
   ReleaseOnAllNodes(query_id);
   queries_.erase(query_id);

@@ -18,6 +18,7 @@
 #include "adapt/diagnoser.h"
 #include "adapt/responder.h"
 #include "catalog/catalog.h"
+#include "dqp/admission.h"
 #include "dqp/dqp_messages.h"
 #include "dqp/gqes.h"
 #include "dqp/mirror_log.h"
@@ -45,6 +46,10 @@ struct QueryOptions {
   /// otherwise). A takeover uses it to resume adaptivity from the last
   /// mirrored W instead of rediscovering the imbalance from scratch.
   std::vector<double> initial_weights_override;
+  /// Submitting tenant (D16 admission control: per-tenant in-flight caps,
+  /// fairness accounting, heaviest-tenant shedding). Empty is a valid
+  /// tenant id (the default single-tenant workload).
+  std::string tenant;
 };
 
 /// The outcome of a completed query.
@@ -110,9 +115,33 @@ class Gdqs : public GridService {
 
   /// Compiles and deploys a query; execution proceeds as the simulation
   /// runs. `on_complete` (optional) fires when the root fragment finishes.
+  /// With admission control configured (D16) the returned id may denote a
+  /// QUEUED or REJECTED query rather than a running one: the query either
+  /// deploys later when a slot frees up, or carries a terminal Rejected
+  /// status (poll ExecutionStatus). Every submitted id reaches exactly one
+  /// of {Complete, Aborted, Rejected}.
   Result<int> SubmitQuery(const std::string& sql, const QueryOptions& options,
                           std::function<void(const QueryResult&)> on_complete =
                               nullptr);
+
+  /// Installs the D16 admission controller. Call after every AddGqes (the
+  /// pressure subscription covers the known evaluator hosts). A config
+  /// with enabled=false is a no-op: the submission path stays exactly as
+  /// without admission control.
+  void ConfigureAdmission(const AdmissionConfig& config);
+
+  /// Null unless ConfigureAdmission installed an enabled controller.
+  const AdmissionController* admission() const { return admission_.get(); }
+
+  /// Hard cap on simultaneously-registered (queued + live) queries — the
+  /// loud backstop that stops a runaway submission loop from OOMing the
+  /// simulation even with admission control off. SubmitQuery fails with
+  /// ResourceExhausted beyond it. Default: effectively unlimited.
+  void set_max_active_queries(size_t cap) { max_active_queries_ = cap; }
+  size_t max_active_queries() const { return max_active_queries_; }
+  /// Queries registered and not yet complete/terminated (excludes the
+  /// admission queue; pending_admissions count against the cap too).
+  size_t active_queries() const { return active_queries_; }
 
   /// True once the root fragment of `query_id` reported completion.
   bool QueryComplete(int query_id) const;
@@ -224,6 +253,33 @@ class Gdqs : public GridService {
     /// Credit window Deploy derived from the memory budget (mirrored so
     /// the standby can report/recreate it without re-deriving).
     uint64_t derived_credit_window = 0;
+    /// Counted in active_queries_ (cleared at the terminal transition).
+    bool active_counted = false;
+    /// Holds an admission slot (D16); released exactly once on the
+    /// terminal transition.
+    bool admission_live = false;
+  };
+
+  /// A submission waiting in the admission queue (D16): everything needed
+  /// to launch it when a slot frees up.
+  struct PendingSubmission {
+    std::string sql;
+    QueryOptions options;
+    std::function<void(const QueryResult&)> on_complete;
+    SimTime submit_time = 0;
+    /// Deadline watchdog covering the queue wait (composes with D14: a
+    /// query whose budget elapses while queued terminates without ever
+    /// deploying).
+    EventId queue_deadline_event = kInvalidEventId;
+  };
+
+  /// Terminal record of a query that never deployed: Rejected (queue
+  /// full / shed) or Aborted (deadline elapsed in the queue).
+  struct AdmissionTerminal {
+    std::string tenant;
+    Status status;
+    SimTime submit_time = 0;
+    SimTime decided_time = 0;
   };
 
   Gqes* GqesOnHost(HostId host) const;
@@ -232,6 +288,35 @@ class Gdqs : public GridService {
   void OnDeployAck(const DeployAckPayload& ack);
   void OnFragmentComplete(const FragmentCompletePayload& complete);
   void OnDeadline(int query_id);
+  /// Compiles and deploys one query. forced_id < 0 allocates a fresh id
+  /// (after compilation, so failed submissions never consume ids);
+  /// admission launches pass their pre-assigned id. `watchdog_ms` arms the
+  /// deadline watchdog (0: none; admission passes the remaining budget).
+  Result<int> LaunchQuery(const std::string& sql, const QueryOptions& options,
+                          std::function<void(const QueryResult&)> on_complete,
+                          int forced_id, SimTime submit_time,
+                          double watchdog_ms, bool admission_managed);
+  // --- admission control (D16) ------------------------------------------
+  Result<int> SubmitWithAdmission(
+      const std::string& sql, const QueryOptions& options,
+      std::function<void(const QueryResult&)> on_complete);
+  /// Launches queued submissions while slots and per-tenant caps allow.
+  void DrainAdmissionQueue();
+  /// Deadline watchdog of a query still waiting in the admission queue.
+  void OnQueuedDeadline(int query_id);
+  /// Finalizes a rejection: terminal Rejected record + mirror entry.
+  void RecordRejected(int query_id, const std::string& tenant,
+                      RejectReason reason, SimTime submit_time);
+  /// Terminal record for a queued query that died before deploying.
+  void RecordQueuedTerminal(int query_id, const PendingSubmission& pending,
+                            Status status);
+  /// Releases the admission slot of a finished query exactly once and
+  /// admits queued successors.
+  void FinishAdmission(QueryState* state, bool completed);
+  /// One shed round: drop the heaviest tenant's newest queued entry, or
+  /// terminate its youngest running query.
+  void ShedHeaviestTenant();
+  void MarkInactive(QueryState* state);
   QueryResult BuildResult(const QueryState& state) const;
   FragmentExecutor* FindInstance(const SubplanId& id) const;
   /// Releases a query's executors on every node: direct calls
@@ -257,6 +342,15 @@ class Gdqs : public GridService {
   HeartbeatMonitor* detector_ = nullptr;
   std::set<HostId> reported_failures_;
   int next_query_id_ = 1;
+  // --- admission control (D16) ------------------------------------------
+  std::unique_ptr<AdmissionController> admission_;
+  /// Queued submissions by id (the controller holds the FIFO order).
+  std::map<int, PendingSubmission> pending_admissions_;
+  /// Queries that reached a terminal state without ever deploying.
+  std::map<int, AdmissionTerminal> admission_terminal_;
+  /// Registered queries not yet complete/terminated (satellite backstop).
+  size_t active_queries_ = 0;
+  size_t max_active_queries_ = 1'000'000;
   // --- coordinator failover (D14) ---------------------------------------
   bool mirroring_ = false;
   Address standby_;

@@ -23,6 +23,10 @@ std::string_view KindName(MirrorEntryKind kind) {
       return "complete";
     case MirrorEntryKind::kQueryTerminated:
       return "terminate";
+    case MirrorEntryKind::kQueryQueued:
+      return "queued";
+    case MirrorEntryKind::kQueryRejected:
+      return "rejected";
   }
   return "?";
 }
@@ -66,6 +70,14 @@ std::string MirrorEntry::Describe() const {
     case MirrorEntryKind::kQueryComplete:
     case MirrorEntryKind::kQueryTerminated:
       out += StrCat("(rows=", rows.size(), ", t=", completion_time_ms, ")");
+      break;
+    case MirrorEntryKind::kQueryQueued:
+      out += StrCat("(", sql.size(), "B sql, t=", submit_time_ms,
+                    ", deadline=", deadline_ms, ", tenant=", tenant, ")");
+      break;
+    case MirrorEntryKind::kQueryRejected:
+      out += StrCat("(reason=", reject_reason, ", t=", completion_time_ms,
+                    ", tenant=", tenant, ")");
       break;
   }
   return out;
@@ -116,8 +128,41 @@ void MirrorState::ApplyInOrder(const MirrorEntry& entry) {
       q.scheduler = entry.scheduler;
       q.submit_time_ms = entry.submit_time_ms;
       q.deadline_ms = entry.deadline_ms;
+      q.tenant = entry.tenant;
       queries_[entry.query_id] = std::move(q);
       max_query_id_ = std::max(max_query_id_, entry.query_id);
+      break;
+    }
+    case MirrorEntryKind::kQueryQueued: {
+      MirroredQuery q;
+      q.id = entry.query_id;
+      q.sql = entry.sql;
+      q.adaptivity = entry.adaptivity;
+      q.exec = entry.exec;
+      q.optimizer = entry.optimizer;
+      q.scheduler = entry.scheduler;
+      q.submit_time_ms = entry.submit_time_ms;
+      q.deadline_ms = entry.deadline_ms;
+      q.tenant = entry.tenant;
+      q.queued_pending = true;
+      queries_[entry.query_id] = std::move(q);
+      max_query_id_ = std::max(max_query_id_, entry.query_id);
+      break;
+    }
+    case MirrorEntryKind::kQueryRejected: {
+      auto it = queries_.find(entry.query_id);
+      if (it == queries_.end()) {
+        // Rejected before any queue entry was mirrored (queue-full).
+        MirroredQuery q;
+        q.id = entry.query_id;
+        q.tenant = entry.tenant;
+        it = queries_.emplace(entry.query_id, std::move(q)).first;
+        max_query_id_ = std::max(max_query_id_, entry.query_id);
+      }
+      it->second.queued_pending = false;
+      it->second.rejected = true;
+      it->second.reject_reason = entry.reject_reason;
+      it->second.completion_time_ms = entry.completion_time_ms;
       break;
     }
     case MirrorEntryKind::kDeployed: {
@@ -171,7 +216,19 @@ const MirroredQuery* MirrorState::Find(int query_id) const {
 std::vector<int> MirrorState::IncompleteQueries() const {
   std::vector<int> out;
   for (const auto& [id, q] : queries_) {
-    if (!q.complete && !q.terminated) out.push_back(id);
+    if (!q.complete && !q.terminated && !q.rejected && !q.queued_pending) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<int> MirrorState::QueuedQueries() const {
+  std::vector<int> out;
+  for (const auto& [id, q] : queries_) {
+    if (q.queued_pending && !q.complete && !q.terminated && !q.rejected) {
+      out.push_back(id);
+    }
   }
   return out;
 }
@@ -188,7 +245,9 @@ uint64_t MirrorState::Fingerprint() const {
                   q.deadline_ms, ":dep", q.deployed ? 1 : 0, ":win",
                   q.credit_window_bytes, ":c", q.complete ? 1 : 0, ":term",
                   q.terminated ? 1 : 0, ":ct", q.completion_time_ms, ":round",
-                  q.weights_round));
+                  q.weights_round, ":ten", q.tenant, ":qd",
+                  q.queued_pending ? 1 : 0, ":rej", q.rejected ? 1 : 0, ":rr",
+                  q.reject_reason));
     for (const double w : q.last_weights) FnvMix(&hash, StrCat(",", w));
     for (const Tuple& row : q.rows) FnvMix(&hash, row.ToString());
   }

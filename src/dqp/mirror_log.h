@@ -50,6 +50,12 @@ enum class MirrorEntryKind {
   kQueryComplete,
   /// The query was terminated (deadline watchdog) with a partial result.
   kQueryTerminated,
+  /// Admission control queued the query (D16): everything needed to
+  /// resubmit it if the primary dies before it is admitted.
+  kQueryQueued,
+  /// Admission control rejected the query (queue full or shed) — a
+  /// terminal state the standby must report consistently.
+  kQueryRejected,
 };
 
 /// One replicated coordinator decision.
@@ -59,7 +65,7 @@ struct MirrorEntry {
   uint64_t seq = 0;
   int query_id = 0;
 
-  // kQueryRegistered
+  // kQueryRegistered / kQueryQueued
   std::string sql;
   AdaptivityConfig adaptivity;
   ExecConfig exec;
@@ -67,6 +73,11 @@ struct MirrorEntry {
   SchedulerOptions scheduler;
   double submit_time_ms = 0.0;
   double deadline_ms = 0.0;
+  /// Submitting tenant (D16 admission control; empty without it).
+  std::string tenant;
+
+  // kQueryRejected
+  int reject_reason = 0;
 
   // kDeployed
   uint64_t credit_window_bytes = 0;
@@ -124,6 +135,12 @@ struct MirroredQuery {
   SchedulerOptions scheduler;
   double submit_time_ms = 0.0;
   double deadline_ms = 0.0;
+  std::string tenant;
+  /// Still waiting in the admission queue (D16); cleared on registration.
+  bool queued_pending = false;
+  /// Terminally rejected by admission control (queue full / shed).
+  bool rejected = false;
+  int reject_reason = 0;
   bool deployed = false;
   uint64_t credit_window_bytes = 0;
   bool complete = false;
@@ -152,8 +169,13 @@ class MirrorState {
 
   const std::map<int, MirroredQuery>& queries() const { return queries_; }
   const MirroredQuery* Find(int query_id) const;
-  /// Queries registered but neither complete nor terminated, ascending id.
+  /// Queries registered (deployed or deploying) but neither complete nor
+  /// terminated nor rejected, ascending id. Queued-only queries are not
+  /// in-flight; QueuedQueries() lists them.
   std::vector<int> IncompleteQueries() const;
+  /// Queries still waiting in the admission queue, ascending id (the
+  /// takeover resubmits them so queued work survives the primary).
+  std::vector<int> QueuedQueries() const;
   int max_query_id() const { return max_query_id_; }
   uint64_t detector_epoch() const { return detector_epoch_; }
   const std::map<HostId, uint64_t>& failure_decisions() const {

@@ -41,6 +41,10 @@ void StandbyCoordinator::AddGqes(Gqes* gqes) {
   gdqs_->AddGqes(gqes);
 }
 
+void StandbyCoordinator::ConfigureAdmission(const AdmissionConfig& config) {
+  gdqs_->ConfigureAdmission(config);
+}
+
 void StandbyCoordinator::HandleMessage(const Message& msg) {
   if (const auto* mirror = PayloadAs<MirrorEntryPayload>(msg.payload)) {
     OnMirrorEntry(msg, mirror->entry());
@@ -68,7 +72,10 @@ void StandbyCoordinator::OnMirrorEntry(const Message& msg,
 }
 
 void StandbyCoordinator::UpdateWatch() {
-  const bool busy = !mirror_state_.IncompleteQueries().empty();
+  // Queued-only queries count as busy: if the primary dies before ever
+  // admitting them, the takeover must still run them.
+  const bool busy = !mirror_state_.IncompleteQueries().empty() ||
+                    !mirror_state_.QueuedQueries().empty();
   if (busy && !watch_active_) {
     watch_active_ = true;
     monitor_->Activate();
@@ -135,6 +142,13 @@ void StandbyCoordinator::TakeOver() {
     const MirroredQuery* q = mirror_state_.Find(query_id);
     if (q != nullptr) ReconcileQuery(query_id, *q);
   }
+  // 5. Resubmit queries that were still waiting in the primary's
+  //    admission queue (D16): queued work survives the primary. FIFO
+  //    order is preserved — ids were assigned in arrival order.
+  for (const int query_id : mirror_state_.QueuedQueries()) {
+    const MirroredQuery* q = mirror_state_.Find(query_id);
+    if (q != nullptr) RequeueQuery(query_id, *q);
+  }
   for (const auto& [id, q] : mirror_state_.queries()) {
     if (q.complete) ++stats_.queries_served_mirrored;
   }
@@ -186,6 +200,7 @@ void StandbyCoordinator::ReconcileQuery(int query_id,
   options.exec = q.exec;
   options.optimizer = q.optimizer;
   options.scheduler = q.scheduler;
+  options.tenant = q.tenant;
   if (q.deadline_ms > 0) {
     options.deadline_ms = q.submit_time_ms + q.deadline_ms - now;
   }
@@ -202,6 +217,39 @@ void StandbyCoordinator::ReconcileQuery(int query_id,
   }
   retried_[query_id] = *retried;
   ++stats_.queries_retried;
+}
+
+void StandbyCoordinator::RequeueQuery(int query_id, const MirroredQuery& q) {
+  const SimTime now = simulator()->Now();
+  if (q.deadline_ms > 0 && q.submit_time_ms + q.deadline_ms <= now) {
+    // The budget elapsed while the entry sat in failover limbo.
+    ++stats_.queries_terminated;
+    terminated_[query_id] = Status::Aborted(
+        StrCat("query ", query_id, " terminated: deadline of ", q.deadline_ms,
+               " ms expired while queued across coordinator failover"));
+    return;
+  }
+  QueryOptions options;
+  options.adaptivity = q.adaptivity;
+  options.exec = q.exec;
+  options.optimizer = q.optimizer;
+  options.scheduler = q.scheduler;
+  options.tenant = q.tenant;
+  if (q.deadline_ms > 0) {
+    options.deadline_ms = q.submit_time_ms + q.deadline_ms - now;
+  }
+  Result<int> requeued = gdqs_->SubmitQuery(q.sql, options);
+  if (!requeued.ok()) {
+    GQP_LOG_ERROR << "standby: requeue of query " << query_id
+                  << " failed: " << requeued.status().ToString();
+    terminated_[query_id] = Status::Aborted(
+        StrCat("query ", query_id, " requeue failed after takeover: ",
+               requeued.status().message()));
+    ++stats_.queries_terminated;
+    return;
+  }
+  retried_[query_id] = *requeued;
+  ++stats_.queries_requeued;
 }
 
 int StandbyCoordinator::FinalQueryId(int query_id) const {
@@ -243,8 +291,17 @@ Status StandbyCoordinator::ExecutionStatus(int query_id) const {
   if (term != terminated_.end()) return term->second;
   auto it = retried_.find(query_id);
   if (it != retried_.end()) return gdqs_->ExecutionStatus(it->second);
-  if (mirror_state_.Find(query_id) == nullptr) {
+  const MirroredQuery* q = mirror_state_.Find(query_id);
+  if (q == nullptr) {
     return Status::NotFound(StrCat("unknown query ", query_id));
+  }
+  // A mirrored rejection is terminal: the standby reports it exactly as
+  // the primary did (same reason code).
+  if (q->rejected) {
+    return Status::Rejected(
+        StrCat("query ", query_id, " rejected by admission control (",
+               RejectReasonName(static_cast<RejectReason>(q->reject_reason)),
+               ")"));
   }
   return Status::OK();
 }

@@ -46,6 +46,9 @@ struct TakeoverStats {
   int queries_reconciled = 0;
   int queries_retried = 0;
   int queries_terminated = 0;
+  /// Mirrored admission-queue entries resubmitted at takeover (D16:
+  /// queued work survives the primary).
+  int queries_requeued = 0;
   /// Queries already complete in the mirror, served without re-running.
   int queries_served_mirrored = 0;
   int probes_sent = 0;
@@ -73,6 +76,11 @@ class StandbyCoordinator : public GridService {
 
   /// Forwards to the inner GDQS (deployment targets for retried queries).
   void AddGqes(Gqes* gqes);
+
+  /// Installs the same D16 admission config on the inner GDQS, so retried
+  /// and re-queued queries face the caps the primary enforced. Call after
+  /// every AddGqes.
+  void ConfigureAdmission(const AdmissionConfig& config);
 
   bool TakenOver() const { return stats_.taken_over; }
   const TakeoverStats& stats() const { return stats_; }
@@ -102,6 +110,8 @@ class StandbyCoordinator : public GridService {
   /// in-flight queries — an idle watch would keep the simulation alive.
   void UpdateWatch();
   void ReconcileQuery(int query_id, const MirroredQuery& q);
+  /// Resubmits a query that was still in the primary's admission queue.
+  void RequeueQuery(int query_id, const MirroredQuery& q);
 
   GridNode* node_;
   Network* network_;

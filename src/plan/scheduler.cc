@@ -1,5 +1,7 @@
 #include "plan/scheduler.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace gqp {
@@ -20,10 +22,20 @@ Result<ScheduledPlan> SchedulePlan(const PhysicalPlan& plan,
     coordinator = coordinators.front()->id();
   }
 
-  // Select evaluator nodes.
+  // Select evaluator nodes, scheduling around confirmed-failed hosts.
   std::vector<GridNode*> compute = registry.NodesWithRole(NodeRole::kCompute);
+  if (!options.exclude_hosts.empty()) {
+    compute.erase(std::remove_if(compute.begin(), compute.end(),
+                                 [&options](GridNode* node) {
+                                   return options.exclude_hosts.count(
+                                              node->id()) > 0;
+                                 }),
+                  compute.end());
+  }
   if (compute.empty()) {
-    return Status::FailedPrecondition("no compute nodes registered");
+    return Status::FailedPrecondition(
+        "no live compute nodes registered (every evaluator excluded as "
+        "failed?)");
   }
   if (options.num_evaluators > 0 &&
       static_cast<size_t>(options.num_evaluators) < compute.size()) {

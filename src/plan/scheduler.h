@@ -22,6 +22,11 @@ struct SchedulerOptions {
   /// Host running the root collect fragment; kInvalidHost = the
   /// registry's coordinator node.
   HostId coordinator = kInvalidHost;
+  /// Compute hosts to schedule around — the coordinator passes its
+  /// confirmed failure set so queries submitted AFTER a crash deploy only
+  /// onto live evaluators instead of waiting on a dead host's deploy ack
+  /// until their deadline. Errors when the exclusion empties the pool.
+  std::set<HostId> exclude_hosts;
 };
 
 /// Produces a ScheduledPlan. Errors when required roles are missing from

@@ -1,0 +1,276 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace gqp {
+
+namespace {
+
+/// Fixed-precision rendering so reports are byte-identical across runs
+/// and platforms (never locale- or %g-dependent).
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// Arrival rate (queries per simulated second) in effect at time t.
+double EffectiveRate(const TenantSpec& spec, double t_ms) {
+  double rate = spec.arrival_rate_qps;
+  if (spec.burst_period_ms > 0.0 && spec.burst_multiplier != 1.0) {
+    const double phase = std::fmod(t_ms, spec.burst_period_ms);
+    if (phase < spec.burst_duty * spec.burst_period_ms) {
+      rate *= spec.burst_multiplier;
+    }
+  }
+  return rate;
+}
+
+QueryKind DrawKind(const TenantSpec& spec, Rng* rng) {
+  const double total =
+      spec.weight_q1 + spec.weight_q2 + spec.weight_scan_agg;
+  if (total <= 0.0) return QueryKind::kQ1;
+  const double u = rng->NextDouble() * total;
+  if (u < spec.weight_q1) return QueryKind::kQ1;
+  if (u < spec.weight_q1 + spec.weight_q2) return QueryKind::kQ2;
+  return QueryKind::kScanAgg;
+}
+
+}  // namespace
+
+double NearestRankPercentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sample.size())));
+  if (rank == 0) rank = 1;
+  return sample[rank - 1];
+}
+
+WorkloadDriver::WorkloadDriver(const DriverConfig& config)
+    : config_(config) {
+  Generate();
+}
+
+void WorkloadDriver::Generate() {
+  for (size_t t = 0; t < config_.tenants.size(); ++t) {
+    const TenantSpec& spec = config_.tenants[t];
+    if (spec.arrival_rate_qps <= 0.0) continue;
+    // One independent stream per tenant: adding or re-ordering tenants
+    // never perturbs another tenant's arrivals.
+    Rng rng(config_.seed + 0x9E3779B97F4A7C15ull * (t + 1));
+    double now = 0.0;
+    int seq = 0;
+    while (now < config_.horizon_ms) {
+      // Exponential inter-arrival at the rate in effect now (a burst
+      // window entered mid-gap shortens only the NEXT draw — a standard
+      // piecewise approximation, and deterministic).
+      const double rate = EffectiveRate(spec, now);
+      const double u = rng.NextDouble();
+      now += -std::log(1.0 - u) * 1000.0 / rate;
+      if (now >= config_.horizon_ms) break;
+      DriverArrival arrival;
+      arrival.time_ms = now;
+      arrival.tenant = static_cast<int>(t);
+      arrival.kind = DrawKind(spec, &rng);
+      arrival.seq = seq++;
+      arrivals_.push_back(arrival);
+    }
+  }
+  std::sort(arrivals_.begin(), arrivals_.end(),
+            [](const DriverArrival& a, const DriverArrival& b) {
+              if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.seq < b.seq;
+            });
+  if (arrivals_.size() > config_.max_queries) {
+    arrivals_.resize(config_.max_queries);
+  }
+}
+
+void WorkloadDriver::ScheduleArrivals(GridSetup* grid) {
+  query_ids_.assign(arrivals_.size(), -1);
+  submit_errors_.assign(arrivals_.size(), "");
+  submitted_to_standby_.assign(arrivals_.size(), 0);
+  for (size_t i = 0; i < arrivals_.size(); ++i) {
+    grid->simulator()->ScheduleAt(
+        arrivals_[i].time_ms,
+        [this, grid, i] { SubmitArrival(grid, i); });
+  }
+}
+
+void WorkloadDriver::SubmitArrival(GridSetup* grid, size_t index) {
+  const DriverArrival& arrival = arrivals_[static_cast<size_t>(index)];
+  Gdqs* target = grid->gdqs();
+  if (grid->coordinator_node()->dead()) {
+    // Clients re-resolve the coordinator: after a takeover they submit to
+    // the standby's inner GDQS; during the failover gap the submission
+    // fails client-side (a terminal, counted outcome — not a hang).
+    if (grid->standby() != nullptr && grid->standby()->TakenOver()) {
+      target = grid->standby()->gdqs();
+      submitted_to_standby_[index] = 1;
+    } else {
+      submit_errors_[index] = "coordinator unreachable (failover pending)";
+      return;
+    }
+  }
+  QueryOptions options = config_.base_options;
+  options.tenant = config_.tenants[static_cast<size_t>(arrival.tenant)].name;
+  options.deadline_ms = config_.deadline_ms;
+  Result<int> id = target->SubmitQuery(QuerySql(arrival.kind), options);
+  if (!id.ok()) {
+    submit_errors_[index] = id.status().ToString();
+    return;
+  }
+  query_ids_[index] = *id;
+}
+
+DriverReport WorkloadDriver::Collect(GridSetup* grid) const {
+  DriverReport report;
+  report.tenants.resize(config_.tenants.size());
+  for (size_t t = 0; t < config_.tenants.size(); ++t) {
+    report.tenants[t].name = config_.tenants[t].name;
+  }
+  std::vector<std::vector<double>> latencies(config_.tenants.size());
+
+  StandbyCoordinator* standby = grid->standby();
+  const bool taken_over = standby != nullptr && standby->TakenOver();
+
+  for (size_t i = 0; i < arrivals_.size(); ++i) {
+    const DriverArrival& arrival = arrivals_[i];
+    DriverQueryRecord record;
+    record.query_id = query_ids_.empty() ? -1 : query_ids_[i];
+    record.tenant = arrival.tenant;
+    record.kind = arrival.kind;
+    record.submit_ms = arrival.time_ms;
+
+    TenantReport& tenant = report.tenants[static_cast<size_t>(arrival.tenant)];
+    ++tenant.submitted;
+    ++report.submitted;
+
+    if (record.query_id < 0) {
+      record.outcome = QueryOutcome::kAborted;
+      record.detail = submit_errors_.empty() ? "never scheduled"
+                                             : submit_errors_[i];
+    } else {
+      // Resolve against the authority that owns the query now: the
+      // standby's inner GDQS for post-takeover submissions, the standby's
+      // client view (original ids) for pre-crash ones after a takeover,
+      // the primary otherwise.
+      const bool via_standby = submitted_to_standby_[i] != 0;
+      bool complete = false;
+      Status status = Status::OK();
+      double latency = 0.0;
+      if (via_standby) {
+        complete = standby->gdqs()->QueryComplete(record.query_id);
+        status = standby->gdqs()->ExecutionStatus(record.query_id);
+        if (complete) {
+          Result<QueryResult> result =
+              standby->gdqs()->GetResult(record.query_id);
+          if (result.ok()) latency = result->response_time_ms;
+        }
+      } else if (taken_over) {
+        complete = standby->QueryComplete(record.query_id);
+        status = standby->ExecutionStatus(record.query_id);
+        if (complete) {
+          Result<QueryResult> result = standby->GetResult(record.query_id);
+          if (result.ok()) latency = result->response_time_ms;
+        }
+      } else {
+        complete = grid->gdqs()->QueryComplete(record.query_id);
+        status = grid->gdqs()->ExecutionStatus(record.query_id);
+        if (complete) {
+          Result<QueryResult> result = grid->gdqs()->GetResult(record.query_id);
+          if (result.ok()) latency = result->response_time_ms;
+        }
+      }
+      if (complete) {
+        record.outcome = QueryOutcome::kComplete;
+        record.latency_ms = latency;
+      } else if (status.IsRejected()) {
+        record.outcome = QueryOutcome::kRejected;
+        record.detail = status.ToString();
+      } else if (!status.ok()) {
+        record.outcome = QueryOutcome::kAborted;
+        record.detail = status.ToString();
+      } else {
+        record.outcome = QueryOutcome::kUnresolved;
+        record.detail = "simulation drained without a terminal status";
+      }
+    }
+
+    switch (record.outcome) {
+      case QueryOutcome::kComplete:
+        ++tenant.completed;
+        ++report.completed;
+        latencies[static_cast<size_t>(arrival.tenant)].push_back(
+            record.latency_ms);
+        break;
+      case QueryOutcome::kAborted:
+        ++tenant.aborted;
+        ++report.aborted;
+        break;
+      case QueryOutcome::kRejected:
+        ++tenant.rejected;
+        ++report.rejected;
+        break;
+      case QueryOutcome::kUnresolved:
+        ++tenant.unresolved;
+        ++report.unresolved;
+        break;
+    }
+    report.queries.push_back(std::move(record));
+  }
+
+  const double horizon_s = config_.horizon_ms / 1000.0;
+  for (size_t t = 0; t < report.tenants.size(); ++t) {
+    TenantReport& tenant = report.tenants[t];
+    const std::vector<double>& sample = latencies[t];
+    tenant.p50_ms = NearestRankPercentile(sample, 50.0);
+    tenant.p95_ms = NearestRankPercentile(sample, 95.0);
+    tenant.p99_ms = NearestRankPercentile(sample, 99.0);
+    if (!sample.empty()) {
+      double total = 0.0;
+      for (double v : sample) total += v;
+      tenant.mean_ms = total / static_cast<double>(sample.size());
+    }
+    if (horizon_s > 0.0) {
+      tenant.goodput_qps =
+          static_cast<double>(tenant.completed) / horizon_s;
+    }
+  }
+  if (horizon_s > 0.0) {
+    report.goodput_qps = static_cast<double>(report.completed) / horizon_s;
+  }
+  report.trichotomy_ok = report.unresolved == 0;
+  return report;
+}
+
+std::string DriverReport::Render() const {
+  std::string out =
+      StrCat("workload: submitted=", submitted, " completed=", completed,
+             " aborted=", aborted, " rejected=", rejected,
+             " unresolved=", unresolved, " goodput=", Fmt(goodput_qps),
+             "qps trichotomy=", trichotomy_ok ? "ok" : "VIOLATED", "\n");
+  for (const TenantReport& tenant : tenants) {
+    out += StrCat("tenant ", tenant.name, ": submitted=", tenant.submitted,
+                  " completed=", tenant.completed,
+                  " aborted=", tenant.aborted,
+                  " rejected=", tenant.rejected,
+                  " unresolved=", tenant.unresolved,
+                  " p50=", Fmt(tenant.p50_ms), "ms p95=", Fmt(tenant.p95_ms),
+                  "ms p99=", Fmt(tenant.p99_ms),
+                  "ms mean=", Fmt(tenant.mean_ms),
+                  "ms goodput=", Fmt(tenant.goodput_qps), "qps\n");
+  }
+  return out;
+}
+
+}  // namespace gqp

@@ -1,0 +1,165 @@
+// Open-loop multi-tenant workload driver (D16). Generates a seeded
+// arrival schedule for K tenants — Poisson inter-arrivals, optionally
+// modulated by a periodic burst profile — over the templated queries
+// Q1/Q2/SA, schedules each submission on the deterministic simulation
+// clock, and after the run classifies every submitted query into exactly
+// one of {Complete, Aborted, Rejected} while measuring per-tenant
+// latency percentiles, goodput and rejection/shed counts.
+//
+// Open-loop means arrivals do not wait for completions: under overload
+// the offered rate keeps pressing the coordinator, which is exactly the
+// regime the GDQS admission controller is built for. The schedule is
+// pregenerated from the config seed alone (one forked RNG stream per
+// tenant), so two runs with equal seeds submit byte-identical workloads
+// and the whole report renders byte-identically.
+
+#ifndef GRIDQP_WORKLOAD_DRIVER_H_
+#define GRIDQP_WORKLOAD_DRIVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.h"
+#include "workload/grid_setup.h"
+
+namespace gqp {
+
+/// One tenant of the open-loop workload.
+struct TenantSpec {
+  std::string name;
+  /// Mean arrival rate in queries per simulated second (Poisson).
+  double arrival_rate_qps = 1.0;
+  /// Periodic burst modulation: during the first `burst_duty` fraction of
+  /// every `burst_period_ms` window the arrival rate is multiplied by
+  /// `burst_multiplier`. A multiplier of 1 (default) is plain Poisson.
+  double burst_period_ms = 0.0;
+  double burst_duty = 0.25;
+  double burst_multiplier = 1.0;
+  /// Query-mix weights (need not sum to 1; all zero means Q1 only).
+  double weight_q1 = 1.0;
+  double weight_q2 = 0.0;
+  double weight_scan_agg = 0.0;
+};
+
+struct DriverConfig {
+  std::vector<TenantSpec> tenants;
+  uint64_t seed = 1;
+  /// Arrivals are generated in [0, horizon_ms).
+  double horizon_ms = 10'000.0;
+  /// Global cap on generated arrivals (earliest win; a safety net against
+  /// misconfigured rates, not a shaping mechanism).
+  size_t max_queries = 5'000;
+  /// Per-query deadline handed to the coordinator. Must be positive: the
+  /// deadline watchdog is what guarantees queued/stuck queries reach a
+  /// terminal state, which the trichotomy invariant depends on.
+  double deadline_ms = 8'000.0;
+  /// Template for every submission (adaptivity, exec, optimizer,
+  /// scheduler knobs); the driver fills tenant, deadline_ms and the
+  /// query text per arrival.
+  QueryOptions base_options;
+};
+
+/// One pregenerated arrival.
+struct DriverArrival {
+  double time_ms = 0.0;
+  int tenant = 0;
+  QueryKind kind = QueryKind::kQ1;
+  /// Arrival index within the tenant's own stream.
+  int seq = 0;
+};
+
+/// Terminal classification of one submitted query. kUnresolved means the
+/// simulation drained without the query reaching a terminal state — an
+/// invariant violation the chaos harness fails on.
+enum class QueryOutcome { kComplete, kAborted, kRejected, kUnresolved };
+
+/// Per-query record of the finished run.
+struct DriverQueryRecord {
+  int query_id = -1;  // -1: submission itself failed (counts as aborted)
+  int tenant = 0;
+  QueryKind kind = QueryKind::kQ1;
+  double submit_ms = 0.0;
+  QueryOutcome outcome = QueryOutcome::kUnresolved;
+  /// Response time for completed queries (virtual ms).
+  double latency_ms = 0.0;
+  /// Status string for non-complete outcomes.
+  std::string detail;
+};
+
+/// Per-tenant aggregates.
+struct TenantReport {
+  std::string name;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t aborted = 0;
+  uint64_t rejected = 0;
+  uint64_t unresolved = 0;
+  /// Nearest-rank percentiles over completed-query latencies (0 when no
+  /// query completed).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  /// Completed queries per simulated second of horizon.
+  double goodput_qps = 0.0;
+};
+
+struct DriverReport {
+  std::vector<DriverQueryRecord> queries;
+  std::vector<TenantReport> tenants;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t aborted = 0;
+  uint64_t rejected = 0;
+  uint64_t unresolved = 0;
+  double goodput_qps = 0.0;
+  /// True when every submitted query reached exactly one terminal state.
+  bool trichotomy_ok = false;
+
+  /// Deterministic multi-line rendering (byte-identical across equal-seed
+  /// runs; the tenant-bench compares these directly).
+  std::string Render() const;
+};
+
+/// Nearest-rank percentile (p in [0,100]) of an unsorted sample; 0 on an
+/// empty sample. Exposed for tests.
+double NearestRankPercentile(std::vector<double> sample, double p);
+
+/// \brief Drives one grid with the configured open-loop workload.
+///
+/// Usage: construct, GenerateArrivals() happens eagerly; ScheduleArrivals
+/// before grid->simulator()->Run(); Collect afterwards.
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(const DriverConfig& config);
+
+  /// The pregenerated schedule, sorted by (time, tenant, seq).
+  const std::vector<DriverArrival>& arrivals() const { return arrivals_; }
+
+  /// Schedules every arrival on the grid's simulation clock. Submissions
+  /// to a dead coordinator (mid-failover) fail client-side and count as
+  /// aborted. Call once per grid, before Run().
+  void ScheduleArrivals(GridSetup* grid);
+
+  /// Classifies every submission and computes the report. Call after the
+  /// simulation drained.
+  DriverReport Collect(GridSetup* grid) const;
+
+ private:
+  void Generate();
+  void SubmitArrival(GridSetup* grid, size_t index);
+
+  DriverConfig config_;
+  std::vector<DriverArrival> arrivals_;
+  /// Parallel to arrivals_ after ScheduleArrivals: query id or -1, the
+  /// submission-failure detail, and which coordinator took the query
+  /// (post-takeover arrivals go to the standby's inner GDQS).
+  std::vector<int> query_ids_;
+  std::vector<std::string> submit_errors_;
+  std::vector<char> submitted_to_standby_;
+};
+
+}  // namespace gqp
+
+#endif  // GRIDQP_WORKLOAD_DRIVER_H_

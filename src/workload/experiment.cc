@@ -14,8 +14,23 @@ std::string QuerySql(QueryKind kind) {
     case QueryKind::kQ2:
       return "select i.orf2 from protein_sequences p, protein_interactions i "
              "where i.orf1 = p.orf";
+    case QueryKind::kScanAgg:
+      return "select i.orf1, count(*) from protein_interactions i "
+             "group by i.orf1";
   }
   return "";
+}
+
+std::string QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kQ1:
+      return "Q1";
+    case QueryKind::kQ2:
+      return "Q2";
+    case QueryKind::kScanAgg:
+      return "SA";
+  }
+  return "?";
 }
 
 std::string PerturbTag(QueryKind kind) {
@@ -24,6 +39,8 @@ std::string PerturbTag(QueryKind kind) {
       return CostModel::WsTag("EntropyAnalyser");
     case QueryKind::kQ2:
       return CostModel::JoinTag();
+    case QueryKind::kScanAgg:
+      return CostModel::AggregateTag();
   }
   return "";
 }
@@ -42,6 +59,7 @@ Status RunOnce(const ExperimentParams& params, uint64_t seed,
   grid_options.detect.enabled = params.failure_detection;
   grid_options.reliable.enabled = params.failure_detection;
   grid_options.standby_enabled = params.coordinator_standby;
+  grid_options.admission.enabled = params.admission_control;
 
   GridSetup grid(grid_options);
   GQP_RETURN_IF_ERROR(grid.Initialize());

@@ -14,8 +14,14 @@
 
 namespace gqp {
 
-/// The two queries of the paper's evaluation.
-enum class QueryKind { kQ1, kQ2 };
+/// The paper's two evaluation queries plus the scan-aggregate template of
+/// the multi-tenant workload driver (D16): a grouped count over
+/// protein_interactions, executed as a partitioned stateful hash
+/// aggregate (retrospective response only, like Q2).
+enum class QueryKind { kQ1, kQ2, kScanAgg };
+
+/// Short stable name ("Q1", "Q2", "SA") for reports and repro commands.
+std::string QueryKindName(QueryKind kind);
 
 /// SQL text of the paper's queries.
 std::string QuerySql(QueryKind kind);
@@ -68,6 +74,10 @@ struct ExperimentParams {
   /// coordinator decision over the control plane. The overhead bench
   /// guards the mirroring tax; when off, nothing failover-related exists.
   bool coordinator_standby = false;
+  /// GDQS admission control (D16) with its default caps — wide enough
+  /// that a single query admits instantly. The overhead bench guards the
+  /// no-contention tax; when off, the submission path is untouched.
+  bool admission_control = false;
 
   // --- adaptivity -----------------------------------------------------------
   bool adaptivity = true;

@@ -103,6 +103,11 @@ Status GridSetup::Initialize() {
                                  &catalog_, &registry_);
   GQP_RETURN_IF_ERROR(gdqs_->Start());
   for (auto& gqes : gqes_) gdqs_->AddGqes(gqes.get());
+  if (options_.max_active_queries > 0) {
+    gdqs_->set_max_active_queries(options_.max_active_queries);
+  }
+  // After AddGqes: the pressure subscription covers every known host.
+  gdqs_->ConfigureAdmission(options_.admission);
 
   if (options_.detect.enabled) {
     monitor_ = std::make_unique<HeartbeatMonitor>(bus_.get(), nodes_[0]->id(),
@@ -150,6 +155,7 @@ Status GridSetup::Initialize() {
         watch, gdqs_->address());
     GQP_RETURN_IF_ERROR(standby_->Initialize());
     for (auto& gqes : gqes_) standby_->AddGqes(gqes.get());
+    standby_->ConfigureAdmission(options_.admission);
     primary_heartbeater_ = std::make_unique<Heartbeater>(
         bus_.get(), nodes_[0].get(), standby_->monitor()->address());
     GQP_RETURN_IF_ERROR(primary_heartbeater_->Start());

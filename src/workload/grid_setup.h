@@ -55,6 +55,14 @@ struct GridOptions {
   /// (differential suite). Defaults off: golden traces depend on the two
   /// classic global streams.
   bool shard_rng_streams = false;
+  /// GDQS admission control (D16). Off by default: the submission path is
+  /// byte-identical to every release before admission existed. When
+  /// enabled, the same config is installed on the standby's inner GDQS so
+  /// a takeover enforces the same caps.
+  AdmissionConfig admission;
+  /// Hard cap on simultaneously-registered queries (satellite backstop;
+  /// 0 keeps the Gdqs default of one million).
+  size_t max_active_queries = 0;
 };
 
 /// \brief Owns one simulated grid and all its services.

@@ -1,0 +1,263 @@
+// Admission-controller unit tests (DESIGN.md §D16): FIFO queue order and
+// decision determinism, the per-tenant in-flight cap (including the
+// head-of-line skip), memory-budget repartitioning across live queries,
+// heaviest-tenant selection with its tie-breaks, rejection reason codes,
+// and the end-to-end mirrored-admission replay onto a standby.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dqp/admission.h"
+#include "storage/datagen.h"
+#include "workload/experiment.h"
+#include "workload/grid_setup.h"
+
+namespace gqp {
+namespace {
+
+AdmissionConfig SmallConfig() {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_concurrent_queries = 2;
+  config.queue_capacity = 3;
+  config.per_tenant_inflight_cap = 2;
+  return config;
+}
+
+TEST(AdmissionControllerTest, QueueIsFifoAndBounded) {
+  AdmissionController admission(SmallConfig());
+  RejectReason reason = RejectReason::kNone;
+  for (int id = 1; id <= 3; ++id) {
+    EXPECT_EQ(admission.OnSubmit("t", id, &reason),
+              AdmissionOutcome::kQueued);
+  }
+  // Capacity 3: the fourth submission is rejected with a reason code.
+  EXPECT_EQ(admission.OnSubmit("t", 4, &reason),
+            AdmissionOutcome::kRejected);
+  EXPECT_EQ(reason, RejectReason::kQueueFull);
+  EXPECT_EQ(admission.stats().rejected_queue_full, 1u);
+
+  // Drain order is submission order.
+  EXPECT_EQ(admission.NextAdmittable(), 1);
+  EXPECT_EQ(admission.NextAdmittable(), 2);
+  // Both slots busy now (max_concurrent 2): nothing more admits.
+  EXPECT_EQ(admission.NextAdmittable(), -1);
+  admission.OnQueryFinished("t", true);
+  EXPECT_EQ(admission.NextAdmittable(), 3);
+  EXPECT_EQ(admission.stats().queue_peak, 3u);
+}
+
+TEST(AdmissionControllerTest, DecisionsAreDeterministic) {
+  // Two controllers fed the same submission/completion sequence make
+  // identical decisions — the property the standby's mirror relies on.
+  AdmissionController a(SmallConfig());
+  AdmissionController b(SmallConfig());
+  const std::string tenants[] = {"t0", "t1", "t0", "t2", "t1", "t0"};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      RejectReason ra = RejectReason::kNone;
+      RejectReason rb = RejectReason::kNone;
+      const int id = round * 6 + i;
+      EXPECT_EQ(a.OnSubmit(tenants[i], id, &ra),
+                b.OnSubmit(tenants[i], id, &rb));
+      EXPECT_EQ(ra, rb);
+    }
+    int ida, idb;
+    while ((ida = a.NextAdmittable()) >= 0) {
+      idb = b.NextAdmittable();
+      EXPECT_EQ(ida, idb);
+      a.OnQueryFinished(tenants[ida % 6], true);
+      b.OnQueryFinished(tenants[idb % 6], true);
+    }
+  }
+  EXPECT_EQ(a.stats().admitted, b.stats().admitted);
+  EXPECT_EQ(a.stats().rejected_queue_full, b.stats().rejected_queue_full);
+}
+
+TEST(AdmissionControllerTest, PerTenantCapSkipsWithoutBlockingOthers) {
+  AdmissionConfig config = SmallConfig();
+  config.max_concurrent_queries = 4;
+  config.queue_capacity = 8;
+  config.per_tenant_inflight_cap = 1;
+  AdmissionController admission(config);
+  RejectReason reason = RejectReason::kNone;
+  // A floods the queue ahead of B.
+  EXPECT_EQ(admission.OnSubmit("a", 1, &reason), AdmissionOutcome::kQueued);
+  EXPECT_EQ(admission.OnSubmit("a", 2, &reason), AdmissionOutcome::kQueued);
+  EXPECT_EQ(admission.OnSubmit("b", 3, &reason), AdmissionOutcome::kQueued);
+
+  // A's first query takes its single in-flight unit; A's second must NOT
+  // head-of-line-block B.
+  EXPECT_EQ(admission.NextAdmittable(), 1);
+  EXPECT_EQ(admission.NextAdmittable(), 3);
+  EXPECT_EQ(admission.NextAdmittable(), -1);
+  EXPECT_EQ(admission.tenants().at("a").inflight, 1);
+  EXPECT_EQ(admission.tenants().at("b").inflight, 1);
+
+  // A finishing frees the cap; its queued query admits in FIFO position.
+  admission.OnQueryFinished("a", true);
+  EXPECT_EQ(admission.NextAdmittable(), 2);
+}
+
+TEST(AdmissionControllerTest, BudgetRepartitionsAcrossLiveQueries) {
+  AdmissionConfig config = SmallConfig();
+  config.max_concurrent_queries = 4;
+  config.queue_capacity = 8;
+  config.per_tenant_inflight_cap = 4;
+  config.global_memory_budget_bytes = 1 << 20;
+  AdmissionController admission(config);
+  RejectReason reason = RejectReason::kNone;
+
+  // First admission: sole live query takes the whole budget.
+  admission.OnSubmit("t", 1, &reason);
+  ASSERT_EQ(admission.NextAdmittable(), 1);
+  EXPECT_EQ(admission.BudgetShareBytes(), static_cast<uint64_t>(1 << 20));
+
+  // Second and third: the share a NEW admission would get shrinks.
+  admission.OnSubmit("t", 2, &reason);
+  ASSERT_EQ(admission.NextAdmittable(), 2);
+  EXPECT_EQ(admission.BudgetShareBytes(), static_cast<uint64_t>(1 << 19));
+  admission.OnSubmit("t", 3, &reason);
+  ASSERT_EQ(admission.NextAdmittable(), 3);
+  EXPECT_EQ(admission.BudgetShareBytes(),
+            static_cast<uint64_t>((1 << 20) / 3));
+
+  // Completions repartition back up.
+  admission.OnQueryFinished("t", true);
+  admission.OnQueryFinished("t", true);
+  EXPECT_EQ(admission.BudgetShareBytes(), static_cast<uint64_t>(1 << 20));
+
+  // No global budget configured: share is 0 (caller keeps its own).
+  AdmissionController unbudgeted(SmallConfig());
+  EXPECT_EQ(unbudgeted.BudgetShareBytes(), 0u);
+}
+
+TEST(AdmissionControllerTest, HeaviestTenantTieBreaks) {
+  AdmissionConfig config = SmallConfig();
+  config.max_concurrent_queries = 8;
+  config.queue_capacity = 16;
+  config.per_tenant_inflight_cap = 4;
+  AdmissionController admission(config);
+  RejectReason reason = RejectReason::kNone;
+
+  // b: 2 in flight; a: 1 in flight + 2 queued; c: 1 in flight.
+  admission.OnSubmit("b", 1, &reason);
+  admission.OnSubmit("b", 2, &reason);
+  admission.OnSubmit("a", 3, &reason);
+  admission.OnSubmit("c", 4, &reason);
+  for (int i = 0; i < 4; ++i) ASSERT_GE(admission.NextAdmittable(), 0);
+  admission.OnSubmit("a", 5, &reason);
+  admission.OnSubmit("a", 6, &reason);
+
+  // Most in-flight wins outright.
+  EXPECT_EQ(admission.HeaviestTenant(), "b");
+
+  // In-flight tie (a=2 after admitting one more, b=2): most queued wins.
+  ASSERT_EQ(admission.NextAdmittable(), 5);
+  EXPECT_EQ(admission.HeaviestTenant(), "a");
+
+  // Full tie (in-flight and queued equal): lexicographically smallest.
+  ASSERT_EQ(admission.NextAdmittable(), 6);  // a: 3 in flight, 0 queued
+  admission.OnQueryFinished("a", true);      // a: 2 in flight — ties b
+  EXPECT_EQ(admission.HeaviestTenant(), "a");
+
+  // Shedding queued work pops the NEWEST entry of the victim.
+  admission.OnSubmit("a", 7, &reason);
+  admission.OnSubmit("a", 8, &reason);
+  EXPECT_EQ(admission.PopNewestQueuedOf("a"), 8);
+  EXPECT_EQ(admission.PopNewestQueuedOf("a"), 7);
+  EXPECT_EQ(admission.PopNewestQueuedOf("a"), -1);
+  EXPECT_EQ(admission.stats().shed_queued, 2u);
+}
+
+TEST(AdmissionControllerTest, RejectReasonNames) {
+  EXPECT_EQ(RejectReasonName(RejectReason::kQueueFull), "queue-full");
+  EXPECT_EQ(RejectReasonName(RejectReason::kShed), "shed");
+  EXPECT_EQ(RejectReasonName(RejectReason::kNone), "none");
+}
+
+// End-to-end mirrored replay: a primary with admission control and a
+// standby mirroring it. Queued and rejected submissions must land in the
+// standby's replica with tenant and reason intact, and the mirror must
+// drain fully once the workload finishes.
+TEST(AdmissionMirrorTest, StandbyReplicatesAdmissionDecisions) {
+  GridOptions options;
+  options.num_evaluators = 2;
+  options.detect.enabled = true;
+  options.reliable.enabled = true;
+  options.standby_enabled = true;
+  options.admission.enabled = true;
+  options.admission.max_concurrent_queries = 1;
+  options.admission.queue_capacity = 1;
+  options.admission.per_tenant_inflight_cap = 1;
+  GridSetup grid(options);
+  ASSERT_TRUE(grid.Initialize().ok());
+
+  ProteinSequencesSpec seq_spec;
+  seq_spec.num_rows = 200;
+  seq_spec.sequence_length = 16;
+  seq_spec.seed = 11;
+  ASSERT_TRUE(grid.AddTable(GenerateProteinSequences(seq_spec)).ok());
+  ProteinInteractionsSpec inter_spec;
+  inter_spec.num_rows = 300;
+  inter_spec.num_orfs = 200;
+  inter_spec.seed = 11 + 13;
+  ASSERT_TRUE(grid.AddTable(GenerateProteinInteractions(inter_spec)).ok());
+  ASSERT_TRUE(
+      grid.AddWebService("EntropyAnalyser", DataType::kDouble, 0.2).ok());
+
+  QueryOptions query_options;
+  query_options.adaptivity.enabled = false;
+  query_options.exec.monitoring_enabled = true;
+  query_options.exec.recovery_log_enabled = true;
+  query_options.deadline_ms = 5000.0;
+
+  // Three same-instant submissions against 1 slot + 1 queue entry:
+  // q1 admits, q2 queues, q3 is rejected (queue full).
+  std::vector<int> ids;
+  for (int i = 0; i < 3; ++i) {
+    QueryOptions per_query = query_options;
+    per_query.tenant = i == 0 ? "alpha" : "beta";
+    Result<int> id =
+        grid.gdqs()->SubmitQuery(QuerySql(QueryKind::kQ1), per_query);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(grid.simulator()->Run().ok());
+
+  EXPECT_TRUE(grid.gdqs()->QueryComplete(ids[0]));
+  EXPECT_TRUE(grid.gdqs()->QueryComplete(ids[1]));
+  const Status rejected = grid.gdqs()->ExecutionStatus(ids[2]);
+  EXPECT_TRUE(rejected.IsRejected()) << rejected.ToString();
+
+  // The standby replayed the same admission history.
+  StandbyCoordinator* standby = grid.standby();
+  ASSERT_NE(standby, nullptr);
+  EXPECT_FALSE(standby->TakenOver());
+  const MirrorState& mirror = standby->mirror_state();
+  const MirroredQuery* q1 = mirror.Find(ids[0]);
+  ASSERT_NE(q1, nullptr);
+  EXPECT_TRUE(q1->complete);
+  EXPECT_EQ(q1->tenant, "alpha");
+  const MirroredQuery* q2 = mirror.Find(ids[1]);
+  ASSERT_NE(q2, nullptr);
+  EXPECT_TRUE(q2->complete);
+  EXPECT_FALSE(q2->queued_pending) << "registration must clear queued";
+  EXPECT_EQ(q2->tenant, "beta");
+  const MirroredQuery* q3 = mirror.Find(ids[2]);
+  ASSERT_NE(q3, nullptr);
+  EXPECT_TRUE(q3->rejected);
+  EXPECT_EQ(q3->reject_reason,
+            static_cast<int>(RejectReason::kQueueFull));
+  EXPECT_EQ(q3->tenant, "beta");
+
+  // Fully replicated: no pending mirror entries, no queued leftovers.
+  EXPECT_TRUE(grid.gdqs()->mirror_log()->pending().empty());
+  EXPECT_TRUE(mirror.QueuedQueries().empty());
+}
+
+}  // namespace
+}  // namespace gqp

@@ -172,6 +172,84 @@ TEST(MirrorStateTest, OutOfOrderDeliveryIsHeldBackThenDrained) {
   EXPECT_EQ(reversed.Fingerprint(), in_order.Fingerprint());
 }
 
+TEST(MirrorStateTest, QueuedAndRejectedEntriesReplayIntoAdmissionState) {
+  MirrorLog log;
+  MirrorEntry queued;
+  queued.kind = MirrorEntryKind::kQueryQueued;
+  queued.query_id = 7;
+  queued.sql = "select p.orf from protein_sequences p";
+  queued.tenant = "tenant-a";
+  queued.submit_time_ms = 5.0;
+  queued.deadline_ms = 100.0;
+  log.Append(queued);
+
+  MirrorEntry rejected;
+  rejected.kind = MirrorEntryKind::kQueryRejected;
+  rejected.query_id = 8;
+  rejected.tenant = "tenant-b";
+  rejected.reject_reason = 1;  // kQueueFull
+  log.Append(rejected);
+
+  MirrorState state;
+  for (const MirrorEntry& e : log.pending()) state.Apply(e);
+
+  const MirroredQuery* q7 = state.Find(7);
+  ASSERT_NE(q7, nullptr);
+  EXPECT_TRUE(q7->queued_pending);
+  EXPECT_EQ(q7->tenant, "tenant-a");
+  EXPECT_EQ(state.QueuedQueries(), std::vector<int>{7});
+  // Queued-only queries are not in flight — a takeover resubmits them
+  // instead of probing executors for fragments that never deployed.
+  EXPECT_TRUE(state.IncompleteQueries().empty());
+
+  const MirroredQuery* q8 = state.Find(8);
+  ASSERT_NE(q8, nullptr);
+  EXPECT_TRUE(q8->rejected);
+  EXPECT_EQ(q8->reject_reason, 1);
+  EXPECT_FALSE(q8->queued_pending);
+}
+
+TEST(MirrorStateTest, FingerprintCoversAdmissionState) {
+  // The fingerprint must distinguish (a) a queued query from an absent
+  // one, (b) queued from rejected, (c) different tenants and (d)
+  // different rejection reasons — a standby that diverges in any of
+  // these would reconcile a takeover differently.
+  MirrorEntry queued;
+  queued.kind = MirrorEntryKind::kQueryQueued;
+  queued.seq = 1;
+  queued.query_id = 7;
+  queued.tenant = "tenant-a";
+
+  MirrorState base;
+  base.Apply(queued);
+
+  EXPECT_NE(base.Fingerprint(), MirrorState().Fingerprint());
+
+  MirrorState other_tenant;
+  MirrorEntry renamed = queued;
+  renamed.tenant = "tenant-b";
+  other_tenant.Apply(renamed);
+  EXPECT_NE(other_tenant.Fingerprint(), base.Fingerprint());
+
+  MirrorState rejected;
+  MirrorEntry reject = queued;
+  reject.kind = MirrorEntryKind::kQueryRejected;
+  reject.reject_reason = 1;
+  rejected.Apply(reject);
+  EXPECT_NE(rejected.Fingerprint(), base.Fingerprint());
+
+  MirrorState shed;
+  MirrorEntry shed_entry = reject;
+  shed_entry.reject_reason = 2;  // kShed
+  shed.Apply(shed_entry);
+  EXPECT_NE(shed.Fingerprint(), rejected.Fingerprint());
+
+  // Same admission history replayed twice: identical fingerprints.
+  MirrorState again;
+  again.Apply(queued);
+  EXPECT_EQ(again.Fingerprint(), base.Fingerprint());
+}
+
 TEST(MirrorStateTest, DuplicatesAreDropped) {
   const std::vector<MirrorEntry> entries = SampleLog();
   MirrorState once, twice;

@@ -58,6 +58,22 @@ for f in "$src_dir"/sim/sharded.h "$src_dir"/sim/sharded.cc \
   fi
 done
 
+# Multi-tenant workload + admission control (D16): the arrival schedule
+# and every admission decision must replay identically from the config
+# seed — the tenant bench compares whole rendered reports byte-for-byte.
+# Ban wall-clock reads, unseeded randomness and unordered containers in
+# the driver and controller outright.
+for f in "$src_dir"/workload/driver.h "$src_dir"/workload/driver.cc \
+         "$src_dir"/dqp/admission.h "$src_dir"/dqp/admission.cc; do
+  [ -f "$f" ] || continue
+  hits=$(grep -nE '::time\(|gettimeofday|clock_gettime|system_clock|steady_clock|[^_[:alnum:]]rand\(|random_device|mt19937|unordered_(map|set)' "$f")
+  if [ -n "$hits" ]; then
+    echo "lint_determinism: nondeterminism source in workload/admission file $f:"
+    echo "$hits"
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "lint_determinism: OK (no wall-clock or unseeded randomness in src/)"
 fi

@@ -1,0 +1,151 @@
+// Workload-driver unit tests (DESIGN.md §D16): seeded arrival-schedule
+// determinism, burst-profile rate modulation, nearest-rank percentiles,
+// and an end-to-end run whose report must hold terminal trichotomy and
+// render byte-identically across two same-seed grids.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/datagen.h"
+#include "workload/driver.h"
+#include "workload/grid_setup.h"
+
+namespace gqp {
+namespace {
+
+DriverConfig TwoTenantConfig(uint64_t seed) {
+  DriverConfig config;
+  config.seed = seed;
+  config.horizon_ms = 2000.0;
+  config.deadline_ms = 4000.0;
+  TenantSpec a;
+  a.name = "a";
+  a.arrival_rate_qps = 5.0;
+  TenantSpec b;
+  b.name = "b";
+  b.arrival_rate_qps = 5.0;
+  b.weight_q1 = 1.0;
+  b.weight_q2 = 1.0;
+  config.tenants = {a, b};
+  return config;
+}
+
+TEST(WorkloadDriverTest, SameSeedSameSchedule) {
+  WorkloadDriver first(TwoTenantConfig(42));
+  WorkloadDriver second(TwoTenantConfig(42));
+  ASSERT_EQ(first.arrivals().size(), second.arrivals().size());
+  ASSERT_GT(first.arrivals().size(), 0u);
+  for (size_t i = 0; i < first.arrivals().size(); ++i) {
+    EXPECT_EQ(first.arrivals()[i].time_ms, second.arrivals()[i].time_ms);
+    EXPECT_EQ(first.arrivals()[i].tenant, second.arrivals()[i].tenant);
+    EXPECT_EQ(first.arrivals()[i].kind, second.arrivals()[i].kind);
+    EXPECT_EQ(first.arrivals()[i].seq, second.arrivals()[i].seq);
+  }
+
+  // A different seed draws a different schedule.
+  WorkloadDriver other(TwoTenantConfig(43));
+  bool differs = other.arrivals().size() != first.arrivals().size();
+  for (size_t i = 0; !differs && i < first.arrivals().size(); ++i) {
+    differs = other.arrivals()[i].time_ms != first.arrivals()[i].time_ms;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadDriverTest, ScheduleIsSortedAndWithinHorizon) {
+  const DriverConfig config = TwoTenantConfig(7);
+  WorkloadDriver driver(config);
+  double prev = -1.0;
+  for (const DriverArrival& a : driver.arrivals()) {
+    EXPECT_GE(a.time_ms, prev);
+    EXPECT_LT(a.time_ms, config.horizon_ms);
+    prev = a.time_ms;
+  }
+}
+
+TEST(WorkloadDriverTest, BurstMultiplierRaisesArrivalCount) {
+  DriverConfig plain = TwoTenantConfig(9);
+  plain.tenants.resize(1);
+  DriverConfig bursty = plain;
+  bursty.tenants[0].burst_period_ms = 500.0;
+  bursty.tenants[0].burst_duty = 0.5;
+  bursty.tenants[0].burst_multiplier = 8.0;
+  WorkloadDriver plain_driver(plain);
+  WorkloadDriver bursty_driver(bursty);
+  // Half of every window runs at 8x the rate: the expectation is 4.5x
+  // the plain count, so seeing at least 2x is noise-proof.
+  EXPECT_GT(bursty_driver.arrivals().size(),
+            2 * plain_driver.arrivals().size());
+}
+
+TEST(WorkloadDriverTest, MaxQueriesTruncatesEarliestFirst) {
+  DriverConfig config = TwoTenantConfig(11);
+  WorkloadDriver unlimited(config);
+  ASSERT_GT(unlimited.arrivals().size(), 4u);
+  config.max_queries = 4;
+  WorkloadDriver capped(config);
+  ASSERT_EQ(capped.arrivals().size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(capped.arrivals()[i].time_ms, unlimited.arrivals()[i].time_ms);
+  }
+}
+
+TEST(NearestRankPercentileTest, MatchesHandComputedRanks) {
+  EXPECT_EQ(NearestRankPercentile({}, 95.0), 0.0);
+  EXPECT_EQ(NearestRankPercentile({7.0}, 50.0), 7.0);
+  // N=4 sorted {1,2,3,4}: rank(50) = ceil(2) = 2 -> 2; rank(95) = ceil(3.8)
+  // = 4 -> 4; unsorted input must be handled.
+  EXPECT_EQ(NearestRankPercentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.0);
+  EXPECT_EQ(NearestRankPercentile({4.0, 1.0, 3.0, 2.0}, 95.0), 4.0);
+  EXPECT_EQ(NearestRankPercentile({4.0, 1.0, 3.0, 2.0}, 100.0), 4.0);
+}
+
+TEST(WorkloadDriverTest, EndToEndReportIsDeterministicAndTrichotomous) {
+  auto run_once = []() {
+    GridOptions grid_options;
+    grid_options.num_evaluators = 2;
+    grid_options.admission.enabled = true;
+    grid_options.admission.max_concurrent_queries = 2;
+    grid_options.admission.queue_capacity = 2;
+    grid_options.admission.per_tenant_inflight_cap = 2;
+    GridSetup grid(grid_options);
+    EXPECT_TRUE(grid.Initialize().ok());
+
+    ProteinSequencesSpec seq_spec;
+    seq_spec.num_rows = 80;
+    seq_spec.sequence_length = 16;
+    seq_spec.seed = 5;
+    EXPECT_TRUE(grid.AddTable(GenerateProteinSequences(seq_spec)).ok());
+    ProteinInteractionsSpec inter_spec;
+    inter_spec.num_rows = 120;
+    inter_spec.num_orfs = 80;
+    inter_spec.seed = 5 + 13;
+    EXPECT_TRUE(grid.AddTable(GenerateProteinInteractions(inter_spec)).ok());
+    EXPECT_TRUE(
+        grid.AddWebService("EntropyAnalyser", DataType::kDouble, 0.2).ok());
+
+    DriverConfig config = TwoTenantConfig(21);
+    config.horizon_ms = 600.0;
+    config.base_options.exec.monitoring_enabled = true;
+    config.base_options.exec.recovery_log_enabled = true;
+    config.base_options.scheduler.num_evaluators = 2;
+    WorkloadDriver driver(config);
+    driver.ScheduleArrivals(&grid);
+    EXPECT_TRUE(grid.simulator()->Run().ok());
+    return driver.Collect(&grid);
+  };
+
+  const DriverReport first = run_once();
+  EXPECT_TRUE(first.trichotomy_ok) << first.Render();
+  EXPECT_GT(first.submitted, 0u);
+  EXPECT_EQ(first.submitted,
+            first.completed + first.aborted + first.rejected);
+  EXPECT_EQ(first.unresolved, 0u);
+  EXPECT_EQ(first.tenants.size(), 2u);
+
+  const DriverReport second = run_once();
+  EXPECT_EQ(first.Render(), second.Render());
+}
+
+}  // namespace
+}  // namespace gqp
